@@ -1,0 +1,357 @@
+//! Parallel 2D fast Fourier transform (paper Section V-A, Figure 13).
+//!
+//! The image's rows are block-distributed over the PEs. Each PE runs
+//! 1D FFTs over its rows, the data is redistributed with a distributed
+//! all-to-all transpose (puts of packed sub-blocks), each PE runs 1D
+//! FFTs over what are now the image's columns, and one final transpose
+//! — **serialized on PE 0, as in the paper** — produces the output.
+//! That serial stage is the Amdahl bottleneck that levels speedup off
+//! near 5 on the TILE-Gx.
+
+use tshmem::prelude::*;
+use tshmem::types::Complex32;
+
+use crate::rng::KeyedRng;
+
+/// Configuration for one 2D-FFT run.
+#[derive(Clone, Copy, Debug)]
+pub struct Fft2dConfig {
+    /// Image dimension (N×N complex floats). The paper uses 1024.
+    pub n: usize,
+    /// RNG seed for the input image.
+    pub seed: u64,
+}
+
+impl Default for Fft2dConfig {
+    fn default() -> Self {
+        Self { n: 1024, seed: 0x2DFF7 }
+    }
+}
+
+/// Result of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct Fft2dResult {
+    /// Engine-native wall/virtual time of the timed region, ns.
+    pub elapsed_ns: f64,
+    /// Checksum of the output spectrum (sum of |X|^2 over PE 0's view).
+    pub checksum: f64,
+}
+
+/// Approximate flop count of one radix-2 complex FFT of length `n`
+/// (10 flops per butterfly, n/2 log2(n) butterflies).
+pub fn fft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two.
+pub fn fft1d(data: &mut [Complex32], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0f32 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex32::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex32::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f32;
+        for d in data {
+            d.re *= inv;
+            d.im *= inv;
+        }
+    }
+}
+
+/// Deterministic N×N input image.
+pub fn generate_image(n: usize, seed: u64) -> Vec<Complex32> {
+    let mut out = Vec::with_capacity(n * n);
+    for row in 0..n {
+        let mut rng = KeyedRng::new(seed, row as u64);
+        for _ in 0..n {
+            out.push(Complex32::new(rng.unit_f32(), 0.0));
+        }
+    }
+    out
+}
+
+/// Serial 2D FFT reference (row FFTs, transpose, column FFTs,
+/// transpose back).
+pub fn fft2d_serial(image: &mut [Complex32], n: usize) {
+    assert_eq!(image.len(), n * n);
+    for r in 0..n {
+        fft1d(&mut image[r * n..(r + 1) * n], false);
+    }
+    transpose_square(image, n);
+    for r in 0..n {
+        fft1d(&mut image[r * n..(r + 1) * n], false);
+    }
+    transpose_square(image, n);
+}
+
+fn transpose_square(m: &mut [Complex32], n: usize) {
+    for i in 0..n {
+        for j in i + 1..n {
+            m.swap(i * n + j, j * n + i);
+        }
+    }
+}
+
+/// Rows owned by PE `p` when distributing `n` rows over `npes` PEs.
+pub fn row_range(n: usize, npes: usize, p: usize) -> (usize, usize) {
+    let base = n / npes;
+    let extra = n % npes;
+    let start = p * base + p.min(extra);
+    let count = base + usize::from(p < extra);
+    (start, count)
+}
+
+/// Run the distributed 2D FFT on the SHMEM context. Every PE returns the
+/// same result struct; the checksum is computed on PE 0 and broadcast.
+///
+/// The partition must hold roughly `3 * (n/npes) * n * 8` bytes plus, on
+/// PE 0's side, the full `n*n*8`-byte gather buffer (allocated
+/// symmetrically).
+pub fn fft2d_shmem(ctx: &ShmemCtx, cfg: &Fft2dConfig) -> Fft2dResult {
+    let n = cfg.n;
+    let npes = ctx.n_pes();
+    let me = ctx.my_pe();
+    assert!(n.is_power_of_two(), "image dimension must be a power of two");
+    let (my_start, my_rows) = row_range(n, npes, me);
+    let max_rows = row_range(n, npes, 0).1;
+
+    // Symmetric buffers: local row block, transpose receive block, and
+    // the full gather/output image (used on PE 0).
+    let work = ctx.shmalloc::<Complex32>(max_rows * n);
+    let recv = ctx.shmalloc::<Complex32>(max_rows * n);
+    let full = ctx.shmalloc::<Complex32>(n * n);
+
+    // Load input rows.
+    let mut local: Vec<Complex32> = Vec::with_capacity(my_rows * n);
+    for r in 0..my_rows {
+        let mut rng = KeyedRng::new(cfg.seed, (my_start + r) as u64);
+        for _ in 0..n {
+            local.push(Complex32::new(rng.unit_f32(), 0.0));
+        }
+    }
+    ctx.local_write(&work, 0, &local);
+    ctx.barrier_all();
+
+    let t0 = ctx.time_ns();
+
+    // Stage 1: row FFTs.
+    ctx.with_local_mut(&work, |w| {
+        for r in 0..my_rows {
+            fft1d(&mut w[r * n..r * n + n], false);
+        }
+    });
+    ctx.compute_flops(my_rows as f64 * fft_flops(n));
+    ctx.quiet();
+    ctx.barrier_all();
+
+    // Stage 2: distributed transpose. For each destination PE q, pack
+    // the sub-block (my rows x q's rows-as-columns) transposed and put
+    // each of its rows into q's recv block.
+    let mut pack: Vec<Complex32> = Vec::new();
+    for q in 0..npes {
+        let (q_start, q_rows) = row_range(n, npes, q);
+        for qr in 0..q_rows {
+            // Row qr of q's post-transpose block, columns my_start..+my_rows:
+            // original elements work[j][q_start + qr] for j in my rows.
+            pack.clear();
+            ctx.with_local(&work, |w| {
+                for j in 0..my_rows {
+                    pack.push(w[j * n + (q_start + qr)]);
+                }
+            });
+            ctx.put(&recv.slice(qr * n + my_start, my_rows), 0, &pack, q);
+        }
+        // Packing cost: one pass over the sub-block.
+        ctx.compute_intops((q_rows * my_rows) as f64 * 2.0);
+    }
+    ctx.barrier_all();
+
+    // Stage 3: column FFTs (rows of the transposed distribution).
+    ctx.with_local_mut(&recv, |w| {
+        for r in 0..my_rows {
+            fft1d(&mut w[r * n..r * n + n], false);
+        }
+    });
+    ctx.compute_flops(my_rows as f64 * fft_flops(n));
+    ctx.quiet();
+    ctx.barrier_all();
+
+    // Stage 4: gather to PE 0 and serial final transpose (the paper's
+    // serialized stage).
+    ctx.put_sym(&full, my_start * n, &recv, 0, my_rows * n, 0);
+    ctx.barrier_all();
+    if me == 0 {
+        ctx.with_local_mut(&full, |m| transpose_square(m, n));
+        // The in-place transpose strides by n elements (8n bytes), so
+        // essentially every access misses the local caches and is served
+        // from the DDC — charge the per-element miss latency. This is
+        // the serialization the paper blames for the speedup plateau.
+        let miss_cycles = ctx.device().timings.mem.ddc_hit_cycles as f64;
+        ctx.compute((n * n) as f64 * miss_cycles);
+        ctx.quiet();
+    }
+    ctx.barrier_all();
+
+    let elapsed_ns = ctx.time_ns() - t0;
+
+    // Checksum on PE 0, shared via reduction.
+    let cs = ctx.shmalloc::<f64>(1);
+    let cs_out = ctx.shmalloc::<f64>(1);
+    let local_cs = if me == 0 {
+        ctx.with_local(&full, |m| m.iter().map(|c| c.norm_sq() as f64).sum())
+    } else {
+        0.0
+    };
+    ctx.local_write(&cs, 0, &[local_cs]);
+    ctx.sum_to_all(&cs_out, &cs, 1, ctx.world());
+    let checksum = ctx.local_read(&cs_out, 0, 1)[0];
+
+    ctx.shfree(cs_out);
+    ctx.shfree(cs);
+    ctx.shfree(full);
+    ctx.shfree(recv);
+    ctx.shfree(work);
+
+    Fft2dResult {
+        elapsed_ns,
+        checksum,
+    }
+}
+
+/// Serial checksum of the reference spectrum for `cfg` (for validating
+/// the distributed run).
+pub fn serial_checksum(cfg: &Fft2dConfig) -> f64 {
+    let mut img = generate_image(cfg.n, cfg.seed);
+    fft2d_serial(&mut img, cfg.n);
+    img.iter().map(|c| c.norm_sq() as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let mut data: Vec<Complex32> = (0..64)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        let orig = data.clone();
+        fft1d(&mut data, false);
+        fft1d(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex32::default(); 16];
+        data[0] = Complex32::new(1.0, 0.0);
+        fft1d(&mut data, false);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-5 && c.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex32::new(1.0, 0.0); 32];
+        fft1d(&mut data, false);
+        assert!((data[0].re - 32.0).abs() < 1e-4);
+        for c in &data[1..] {
+            assert!(c.norm_sq() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let mut data: Vec<Complex32> = (0..128)
+            .map(|i| Complex32::new((i as f32).sin(), 0.0))
+            .collect();
+        let time_energy: f32 = data.iter().map(|c| c.norm_sq()).sum();
+        fft1d(&mut data, false);
+        let freq_energy: f32 = data.iter().map(|c| c.norm_sq()).sum::<f32>() / 128.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        fft1d(&mut [Complex32::default(); 12], false);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let n = 8;
+        let mut m: Vec<Complex32> = (0..n * n)
+            .map(|i| Complex32::new(i as f32, -(i as f32)))
+            .collect();
+        let orig = m.clone();
+        transpose_square(&mut m, n);
+        // m[row 1][col 0] == orig[row 0][col 1]
+        assert_eq!(m[n].re, orig[1].re);
+        transpose_square(&mut m, n);
+        for (a, b) in m.iter().zip(&orig) {
+            assert_eq!(a.re, b.re);
+        }
+    }
+
+    #[test]
+    fn row_ranges_tile_exactly() {
+        for n in [64usize, 100, 1024] {
+            for npes in [1usize, 3, 7, 32] {
+                let mut covered = 0;
+                for p in 0..npes {
+                    let (s, c) = row_range(n, npes, p);
+                    assert_eq!(s, covered);
+                    covered += c;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn image_generation_is_deterministic() {
+        let a = generate_image(16, 9);
+        let b = generate_image(16, 9);
+        assert_eq!(a.len(), 256);
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn flop_model_scales() {
+        assert!(fft_flops(1024) > fft_flops(512) * 2.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! The TSHMEM paper's application case studies (Section V).
+//!
+//! * [`fft`] — parallel 2D fast Fourier transform over a
+//!   1024×1024-complex-float image: per-PE row FFTs, a distributed
+//!   all-to-all transpose, column FFTs, and a **serialized final
+//!   transpose** whose Amdahl bottleneck caps speedup near 5 on the
+//!   TILE-Gx (Figure 13).
+//! * [`cbir`] — content-based image retrieval: color-autocorrelogram
+//!   feature extraction (Huang et al., CVPR 1997) over a 22,000-image
+//!   synthetic database, embarrassingly parallel per image, with a
+//!   gather of the best matches (Figure 14). The paper's image corpus is
+//!   proprietary; a seeded procedural corpus exercises the identical
+//!   code path (feature extraction cost is content-independent).
+//!
+//! Both applications run unmodified on the native and timed engines;
+//! compute phases are charged through `ShmemCtx::compute_flops` /
+//! `compute_intops` so the timed engine reproduces the devices'
+//! floating-point/integer asymmetry.
+
+pub mod cbir;
+pub mod fft;
+pub mod rng;

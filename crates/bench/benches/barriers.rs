@@ -1,0 +1,46 @@
+//! Criterion: native barrier latencies for the three algorithms
+//! (the Figure 5 / Figure 8 workload on real threads).
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tshmem::prelude::*;
+
+fn measure_barrier(npes: usize, algo: BarrierAlgo, iters: u64) -> std::time::Duration {
+    let cfg = bench_config(npes).with_algos(Algorithms {
+        barrier: algo,
+        ..Default::default()
+    });
+    let out = tshmem::launch(&cfg, |ctx| {
+        ctx.barrier_all();
+        let t0 = ctx.time_ns();
+        for _ in 0..iters {
+            ctx.barrier_all();
+        }
+        ctx.time_ns() - t0
+    });
+    std::time::Duration::from_nanos(out[0] as u64)
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_barrier");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for npes in [2usize, 4, 8] {
+        for (name, algo) in [
+            ("ring", BarrierAlgo::Ring),
+            ("root_broadcast", BarrierAlgo::RootBroadcast),
+            ("tmc_spin", BarrierAlgo::TmcSpin),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, npes),
+                &npes,
+                |b, &npes| b.iter_custom(|iters| measure_barrier(npes, algo, iters)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

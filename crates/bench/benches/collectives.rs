@@ -1,0 +1,96 @@
+//! Criterion: native collective operations (Figures 9–12's workloads on
+//! real threads).
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tshmem::prelude::*;
+use tshmem::types::ReduceOp;
+
+fn run_collective(
+    npes: usize,
+    algos: Algorithms,
+    iters: u64,
+    op: impl Fn(&ShmemCtx, &Sym<u32>, &Sym<u32>, usize) + Send + Sync,
+    nelems: usize,
+) -> std::time::Duration {
+    let cfg = bench_config(npes).with_algos(algos);
+    let out = tshmem::launch(&cfg, |ctx| {
+        let src = ctx.shmalloc::<u32>(nelems);
+        let dst = ctx.shmalloc::<u32>(nelems * ctx.n_pes());
+        ctx.local_fill(&src, ctx.my_pe() as u32);
+        ctx.barrier_all();
+        let t0 = ctx.time_ns();
+        for _ in 0..iters {
+            op(ctx, &dst, &src, nelems);
+        }
+        ctx.time_ns() - t0
+    });
+    std::time::Duration::from_nanos(out[0] as u64)
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_collectives");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    let nelems = 16 << 10; // 64 kB per PE
+    let npes = 8;
+    g.throughput(Throughput::Bytes((nelems * 4) as u64));
+
+    for (name, algo) in [
+        ("broadcast_pull", BroadcastAlgo::Pull),
+        ("broadcast_push", BroadcastAlgo::Push),
+        ("broadcast_binomial", BroadcastAlgo::Binomial),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, npes), &npes, |b, &npes| {
+            b.iter_custom(|iters| {
+                run_collective(
+                    npes,
+                    Algorithms {
+                        broadcast: algo,
+                        ..Default::default()
+                    },
+                    iters,
+                    |ctx, dst, src, n| ctx.broadcast(dst, src, n, 0, ctx.world()),
+                    nelems,
+                )
+            });
+        });
+    }
+
+    for (name, algo) in [
+        ("reduce_naive", ReduceAlgo::Naive),
+        ("reduce_recursive_doubling", ReduceAlgo::RecursiveDoubling),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, npes), &npes, |b, &npes| {
+            b.iter_custom(|iters| {
+                run_collective(
+                    npes,
+                    Algorithms {
+                        reduce: algo,
+                        ..Default::default()
+                    },
+                    iters,
+                    |ctx, dst, src, n| ctx.reduce(ReduceOp::Sum, dst, src, n, ctx.world()),
+                    nelems,
+                )
+            });
+        });
+    }
+
+    g.bench_with_input(BenchmarkId::new("fcollect", npes), &npes, |b, &npes| {
+        b.iter_custom(|iters| {
+            run_collective(
+                npes,
+                Algorithms::default(),
+                iters,
+                |ctx, dst, src, n| ctx.fcollect(dst, src, n, ctx.world()),
+                nelems,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion: symmetric-heap allocator operations (the `shmalloc`
+//! engine room).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tshmem::heap::Heap;
+
+fn bench_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap");
+    g.sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    g.bench_function("alloc_free_pair", |b| {
+        let mut h = Heap::new(16 << 20);
+        b.iter(|| {
+            let off = h.alloc(4096).unwrap();
+            h.free(off).unwrap();
+        });
+    });
+
+    g.bench_function("alloc_free_fragmented", |b| {
+        b.iter_custom(|iters| {
+            let mut h = Heap::new(16 << 20);
+            // Build fragmentation: 512 live blocks with holes.
+            let offs: Vec<_> = (0..1024).map(|_| h.alloc(4096).unwrap()).collect();
+            for o in offs.iter().step_by(2) {
+                h.free(*o).unwrap();
+            }
+            let t0 = std::time::Instant::now();
+            for i in 0..iters {
+                let off = h.alloc(2048 + (i as usize % 1024)).unwrap();
+                h.free(off).unwrap();
+            }
+            t0.elapsed()
+        });
+    });
+
+    g.bench_function("realloc_grow", |b| {
+        b.iter_custom(|iters| {
+            let mut h = Heap::new(64 << 20);
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                let a = h.alloc(1024).unwrap();
+                let a2 = h.realloc(a, 8192).unwrap();
+                h.free(a2).unwrap();
+            }
+            t0.elapsed()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heap);
+criterion_main!(benches);

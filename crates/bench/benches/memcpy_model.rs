@@ -1,0 +1,27 @@
+//! Criterion: throughput of the cache-classification copy model itself
+//! (the simulator must be fast enough to sweep 64 MB copies).
+
+use cachesim::homing::Homing;
+use cachesim::memsys::{MemRef, MemorySystem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tile_arch::device::Device;
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim_classify");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for size in [64u64 << 10, 1 << 20, 16 << 20] {
+        g.throughput(Throughput::Bytes(size));
+        g.bench_with_input(BenchmarkId::new("classify_copy", size), &size, |b, &size| {
+            let mut sys = MemorySystem::new(Device::tile_gx8036(), 36);
+            let dst = MemRef::new(0x9000_0000, Homing::HashForHome);
+            let src = MemRef::new(0x1000_0000, Homing::Local(0));
+            b.iter(|| sys.classify(0, dst, src, size));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion: native-engine put/get bandwidth (the Figure 6/7 workload
+//! measured on real threads rather than the timed model).
+
+use bench::measure_native;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_putget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_putget");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("put_dyn_dyn", size), &size, |b, &size| {
+            b.iter_custom(|iters| {
+                measure_native(2, iters, |ctx, iters| {
+                    let n = size / 8;
+                    let src = ctx.shmalloc::<u64>(n);
+                    let dst = ctx.shmalloc::<u64>(n);
+                    ctx.barrier_all();
+                    let mut t = 0.0;
+                    if ctx.my_pe() == 0 {
+                        let t0 = ctx.time_ns();
+                        for _ in 0..iters {
+                            ctx.put_sym(&dst, 0, &src, 0, n, 1);
+                        }
+                        ctx.quiet();
+                        t = ctx.time_ns() - t0;
+                    }
+                    ctx.barrier_all();
+                    t
+                })
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("get_dyn_dyn", size), &size, |b, &size| {
+            b.iter_custom(|iters| {
+                measure_native(2, iters, |ctx, iters| {
+                    let n = size / 8;
+                    let src = ctx.shmalloc::<u64>(n);
+                    let dst = ctx.shmalloc::<u64>(n);
+                    ctx.barrier_all();
+                    let mut t = 0.0;
+                    if ctx.my_pe() == 0 {
+                        let t0 = ctx.time_ns();
+                        for _ in 0..iters {
+                            ctx.get_sym(&dst, 0, &src, 0, n, 1);
+                        }
+                        t = ctx.time_ns() - t0;
+                    }
+                    ctx.barrier_all();
+                    t
+                })
+            });
+        });
+    }
+    // The redirected static path (one size — it exists to quantify the
+    // service-thread overhead, not to sweep).
+    let size = 64usize << 10;
+    g.throughput(Throughput::Bytes(size as u64));
+    g.bench_with_input(BenchmarkId::new("put_static_dyn", size), &size, |b, &size| {
+        b.iter_custom(|iters| {
+            measure_native(2, iters, |ctx, iters| {
+                let n = size / 8;
+                let src = ctx.shmalloc::<u64>(n);
+                let dst = ctx.static_sym::<u64>(n);
+                ctx.barrier_all();
+                let mut t = 0.0;
+                if ctx.my_pe() == 0 {
+                    let t0 = ctx.time_ns();
+                    for _ in 0..iters {
+                        ctx.put_sym(&dst, 0, &src, 0, n, 1);
+                    }
+                    t = ctx.time_ns() - t0;
+                }
+                ctx.barrier_all();
+                t
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_putget);
+criterion_main!(benches);

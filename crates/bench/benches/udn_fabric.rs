@@ -1,0 +1,55 @@
+//! Criterion: raw UDN fabric latency (the Figure 4 / Table III workload
+//! on the functional fabric — send a 1-word packet, get a 1-word ack).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use udn::fabric::UdnFabric;
+
+fn bench_udn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("udn_fabric");
+    g.sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    for payload_words in [1usize, 16, 127] {
+        g.bench_with_input(
+            BenchmarkId::new("ping_ack", payload_words),
+            &payload_words,
+            |b, &payload_words| {
+                b.iter_custom(|iters| {
+                    let mut eps = UdnFabric::new(2);
+                    let e1 = eps.pop().unwrap();
+                    let e0 = eps.pop().unwrap();
+                    let responder = std::thread::spawn(move || loop {
+                        let p = e1.recv(0);
+                        if p.header.tag == 0xDEAD {
+                            return;
+                        }
+                        e1.send(0, 0, 1, vec![0]);
+                    });
+                    let payload = vec![7u64; payload_words];
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        e0.send(1, 0, 0, payload.clone());
+                        let _ = e0.recv(0);
+                    }
+                    let dt = t0.elapsed();
+                    e0.send(1, 0, 0xDEAD, vec![]);
+                    responder.join().unwrap();
+                    dt
+                })
+            },
+        );
+    }
+
+    g.bench_function("send_only_1word", |b| {
+        let eps = UdnFabric::new(2);
+        b.iter(|| {
+            eps[0].send(1, 1, 0, vec![42]);
+            eps[1].try_recv(1)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_udn);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Shared helpers for the benchmark harness.
+
+use tshmem::prelude::*;
+
+/// A benchmark-friendly runtime config: modest partitions, Gx model.
+pub fn bench_config(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(8 << 20)
+        .with_private_bytes(1 << 20)
+        .with_temp_bytes(64 << 10)
+}
+
+/// Run `per_pe_ns = f(ctx, iters)` on a fresh native launch and return
+/// PE 0's measured nanoseconds for `iters` repetitions of the measured
+/// region. Criterion's `iter_custom` drives this so thread-spawn costs
+/// stay out of the measurement.
+pub fn measure_native<F>(npes: usize, iters: u64, f: F) -> std::time::Duration
+where
+    F: Fn(&ShmemCtx, u64) -> f64 + Send + Sync,
+{
+    let out = tshmem::launch(&bench_config(npes), |ctx| f(ctx, iters));
+    std::time::Duration::from_nanos(out[0] as u64)
+}

@@ -1,0 +1,71 @@
+//! Memory-homing policies (paper Section III-A).
+//!
+//! Every physical page (we model at allocation granularity) is assigned a
+//! *home* that manages its coherence and holds its on-chip copy:
+//!
+//! * **Local** — homed on the accessing tile; fastest hits but the page
+//!   cannot be cached by other tiles' L2s (no DDC benefit).
+//! * **Remote** — homed on one designated tile; the producer-consumer
+//!   pattern (producer writes straight into the consumer's L2).
+//! * **Hash-for-home** — lines are hashed across all tiles' L2s,
+//!   distributing load over the whole DDC. The default for shared data,
+//!   and what TSHMEM uses for its common-memory partitions.
+
+use tile_arch::mesh::TileId;
+
+/// Homing policy for a memory region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Homing {
+    /// Homed on the tile that owns/allocated the region.
+    Local(TileId),
+    /// Homed on a specific other tile.
+    Remote(TileId),
+    /// Hashed line-by-line across all tiles (the DDC default).
+    HashForHome,
+}
+
+impl Homing {
+    /// Home tile for a given line address under this policy, with
+    /// `tiles` total tiles. Hash-for-home distributes round-robin by
+    /// line address, which is how we model Tilera's page hash.
+    pub fn home_of(&self, line_addr: u64, tiles: usize) -> TileId {
+        match *self {
+            Homing::Local(t) | Homing::Remote(t) => t,
+            Homing::HashForHome => (line_addr % tiles as u64) as TileId,
+        }
+    }
+
+    /// Whether lines of this region may live in *other* tiles' L2s
+    /// (i.e. participate in the DDC).
+    pub fn distributes(&self) -> bool {
+        matches!(self, Homing::HashForHome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_homes() {
+        assert_eq!(Homing::Local(3).home_of(999, 36), 3);
+        assert_eq!(Homing::Remote(7).home_of(0, 36), 7);
+    }
+
+    #[test]
+    fn hash_for_home_spreads_lines() {
+        let h = Homing::HashForHome;
+        let homes: Vec<_> = (0..72).map(|l| h.home_of(l, 36)).collect();
+        // Every tile is home to exactly two of 72 consecutive lines.
+        for t in 0..36 {
+            assert_eq!(homes.iter().filter(|&&x| x == t).count(), 2);
+        }
+    }
+
+    #[test]
+    fn distribution_flag() {
+        assert!(Homing::HashForHome.distributes());
+        assert!(!Homing::Local(0).distributes());
+        assert!(!Homing::Remote(1).distributes());
+    }
+}

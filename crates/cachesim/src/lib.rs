@@ -1,0 +1,31 @@
+//! Tilera memory-hierarchy simulator.
+//!
+//! Models the parts of the TILE-Gx / TILEPro memory system that the
+//! TSHMEM paper's evaluation depends on:
+//!
+//! * per-tile **L1d and L2** set-associative caches ([`cache`]);
+//! * the **Dynamic Distributed Cache** (DDC) — the "L3" formed by
+//!   aggregating remote tiles' L2 caches ([`ddc`]);
+//! * the three **memory-homing** policies — local, remote, and
+//!   hash-for-home ([`homing`]);
+//! * a line-granular **copy-cost model** calibrated to the paper's
+//!   Figure 3 plateaus ([`copymodel`]);
+//! * a **shared memory system** for the timed engine with busy-until
+//!   home-port and DRAM-controller contention ([`memsys`]).
+//!
+//! The *shape* of Figure 3 — bandwidth transitions at the L1d size, the
+//! L2 size, and the effective DDC capacity — emerges structurally from
+//! the simulated tag arrays; only plateau heights are calibrated
+//! constants (see `tile_arch::MemTimings`).
+
+pub mod cache;
+pub mod copymodel;
+pub mod ddc;
+pub mod homing;
+pub mod memsys;
+
+pub use cache::{CacheConfig, SetAssocCache};
+pub use copymodel::{CopyCostModel, Level, LevelBytes};
+pub use ddc::DdcDirectory;
+pub use homing::Homing;
+pub use memsys::{MemRef, MemorySystem};

@@ -1,0 +1,147 @@
+//! Active sets: the OpenSHMEM `(PE_start, logPE_stride, PE_size)`
+//! triplet that names the subset of PEs participating in a barrier or
+//! collective.
+
+/// A strided subset of PEs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ActiveSet {
+    /// First PE of the set.
+    pub start: usize,
+    /// Log2 of the stride between consecutive PEs.
+    pub log2_stride: u32,
+    /// Number of PEs in the set.
+    pub size: usize,
+}
+
+impl ActiveSet {
+    /// The set `{start, start + 2^log2_stride, ...}` of `size` PEs.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(start: usize, log2_stride: u32, size: usize) -> Self {
+        assert!(size > 0, "active set cannot be empty");
+        Self {
+            start,
+            log2_stride,
+            size,
+        }
+    }
+
+    /// All PEs `0..npes`.
+    pub fn all(npes: usize) -> Self {
+        Self::new(0, 0, npes)
+    }
+
+    pub fn stride(&self) -> usize {
+        1usize << self.log2_stride
+    }
+
+    /// PE id of set rank `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= size`.
+    pub fn pe_at(&self, rank: usize) -> usize {
+        assert!(rank < self.size, "rank {rank} out of set (size {})", self.size);
+        self.start + rank * self.stride()
+    }
+
+    /// Set rank of PE `pe`, if it is a member.
+    pub fn rank_of(&self, pe: usize) -> Option<usize> {
+        if pe < self.start {
+            return None;
+        }
+        let d = pe - self.start;
+        let s = self.stride();
+        if !d.is_multiple_of(s) {
+            return None;
+        }
+        let r = d / s;
+        (r < self.size).then_some(r)
+    }
+
+    pub fn contains(&self, pe: usize) -> bool {
+        self.rank_of(pe).is_some()
+    }
+
+    /// Largest PE id in the set (for bounds validation).
+    pub fn max_pe(&self) -> usize {
+        self.pe_at(self.size - 1)
+    }
+
+    /// Iterate member PE ids in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.size).map(|r| self.pe_at(r))
+    }
+
+    /// A compact identification word for barrier tokens — the paper's
+    /// "active-set identification" that keeps overlapping barrier calls
+    /// from confusing each other.
+    pub fn ident(&self) -> u64 {
+        (self.start as u64) | ((self.log2_stride as u64) << 24) | ((self.size as u64) << 32)
+    }
+
+    /// The triplet form used at the fabric boundary.
+    pub fn triplet(&self) -> (usize, u32, usize) {
+        (self.start, self.log2_stride, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_set_covers_everyone() {
+        let s = ActiveSet::all(6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(s.rank_of(3), Some(3));
+        assert_eq!(s.max_pe(), 5);
+    }
+
+    #[test]
+    fn strided_set_membership() {
+        // PEs {2, 6, 10, 14}: start 2, stride 4 (log2 = 2), size 4.
+        let s = ActiveSet::new(2, 2, 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 6, 10, 14]);
+        assert_eq!(s.rank_of(10), Some(2));
+        assert_eq!(s.rank_of(4), None); // off-stride
+        assert_eq!(s.rank_of(18), None); // past the end
+        assert_eq!(s.rank_of(1), None); // before start
+        assert!(s.contains(14));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn pe_at_and_rank_roundtrip() {
+        let s = ActiveSet::new(1, 1, 5);
+        for r in 0..s.size {
+            assert_eq!(s.rank_of(s.pe_at(r)), Some(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of set")]
+    fn pe_at_out_of_range_panics() {
+        ActiveSet::new(0, 0, 3).pe_at(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_panics() {
+        ActiveSet::new(0, 0, 0);
+    }
+
+    #[test]
+    fn idents_distinguish_sets() {
+        let a = ActiveSet::new(0, 0, 4).ident();
+        let b = ActiveSet::new(0, 1, 4).ident();
+        let c = ActiveSet::new(0, 0, 8).ident();
+        let d = ActiveSet::new(1, 0, 4).ident();
+        let all = [a, b, c, d];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The full OpenSHMEM 1.0 **typed function matrix** under its C names.
+//!
+//! OpenSHMEM specifies one function per (operation, C type) pair —
+//! `shmem_int_p`, `shmem_float_put`, `shmem_longlong_sum_to_all`, … .
+//! The idiomatic Rust API is generic, but porting C SHMEM code is far
+//! easier when the exact names exist, so this module macro-generates the
+//! whole matrix:
+//!
+//! * elemental/block/strided put & get for `short`, `int`, `long`,
+//!   `longlong`, `float`, `double` (and the fixed-width `put32/put64/
+//!   put128` byte forms);
+//! * `wait`/`wait_until` for the integer types;
+//! * the atomic family for `int`, `long`, `longlong` (plus float/double
+//!   swap);
+//! * the reduction matrix: `and/or/xor` × integer types, `min/max/sum/
+//!   prod` × all numeric types, `sum/prod` × complex types;
+//! * `broadcast32/64`, `collect32/64`, `fcollect32/64`.
+//!
+//! C-type to Rust mapping: `short = i16`, `int = i32`, `long = i64`,
+//! `longlong = i64`, `float = f32`, `double = f64` (LP64, as on the
+//! 64-bit TILE-Gx).
+
+use crate::active_set::ActiveSet;
+use crate::ctx::ShmemCtx;
+use crate::symm::{Bits, Sym};
+use crate::sync::pt2pt::Cmp;
+use crate::types::{Complex32, Complex64};
+
+/// Convert an OpenSHMEM active-set triplet to an [`ActiveSet`].
+fn set(pe_start: usize, log_pe_stride: u32, pe_size: usize) -> ActiveSet {
+    ActiveSet::new(pe_start, log_pe_stride, pe_size)
+}
+
+macro_rules! rma_family {
+    ($ty:ty, $p:ident, $g:ident, $put:ident, $get:ident, $iput:ident, $iget:ident) => {
+        #[doc = concat!("`", stringify!($p), "()`: elemental put of one `", stringify!($ty), "`.")]
+        pub fn $p(ctx: &ShmemCtx, target: &Sym<$ty>, value: $ty, pe: usize) {
+            ctx.p(target, 0, value, pe)
+        }
+
+        #[doc = concat!("`", stringify!($g), "()`: elemental get of one `", stringify!($ty), "`.")]
+        pub fn $g(ctx: &ShmemCtx, source: &Sym<$ty>, pe: usize) -> $ty {
+            ctx.g(source, 0, pe)
+        }
+
+        #[doc = concat!("`", stringify!($put), "()`: contiguous put of `", stringify!($ty), "` elements.")]
+        pub fn $put(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], pe: usize) {
+            ctx.put(target, 0, source, pe)
+        }
+
+        #[doc = concat!("`", stringify!($get), "()`: contiguous get of `", stringify!($ty), "` elements.")]
+        pub fn $get(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, pe: usize) {
+            ctx.get(dest, source, 0, pe)
+        }
+
+        #[doc = concat!("`", stringify!($iput), "()`: strided put (target stride `tst`, source stride `sst`).")]
+        pub fn $iput(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], tst: usize, sst: usize, pe: usize) {
+            ctx.iput(target, 0, tst, source, sst, pe)
+        }
+
+        #[doc = concat!("`", stringify!($iget), "()`: strided get.")]
+        pub fn $iget(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, tst: usize, sst: usize, pe: usize) {
+            ctx.iget(dest, tst, source, 0, sst, pe)
+        }
+    };
+}
+
+rma_family!(i16, shmem_short_p, shmem_short_g, shmem_short_put, shmem_short_get, shmem_short_iput, shmem_short_iget);
+rma_family!(i32, shmem_int_p, shmem_int_g, shmem_int_put, shmem_int_get, shmem_int_iput, shmem_int_iget);
+rma_family!(i64, shmem_long_p, shmem_long_g, shmem_long_put, shmem_long_get, shmem_long_iput, shmem_long_iget);
+rma_family!(f32, shmem_float_p, shmem_float_g, shmem_float_put, shmem_float_get, shmem_float_iput, shmem_float_iget);
+rma_family!(f64, shmem_double_p, shmem_double_g, shmem_double_put, shmem_double_get, shmem_double_iput, shmem_double_iget);
+
+// `long long` is i64 on LP64; OpenSHMEM still names it separately.
+rma_family!(i64, shmem_longlong_p, shmem_longlong_g, shmem_longlong_put, shmem_longlong_get, shmem_longlong_iput, shmem_longlong_iget);
+
+macro_rules! fixed_width_family {
+    ($ty:ty, $put:ident, $get:ident, $iput:ident, $iget:ident) => {
+        #[doc = concat!("`", stringify!($put), "()`: fixed-width block put.")]
+        pub fn $put(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], pe: usize) {
+            ctx.put(target, 0, source, pe)
+        }
+
+        #[doc = concat!("`", stringify!($get), "()`: fixed-width block get.")]
+        pub fn $get(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, pe: usize) {
+            ctx.get(dest, source, 0, pe)
+        }
+
+        #[doc = concat!("`", stringify!($iput), "()`: fixed-width strided put.")]
+        pub fn $iput(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], tst: usize, sst: usize, pe: usize) {
+            ctx.iput(target, 0, tst, source, sst, pe)
+        }
+
+        #[doc = concat!("`", stringify!($iget), "()`: fixed-width strided get.")]
+        pub fn $iget(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, tst: usize, sst: usize, pe: usize) {
+            ctx.iget(dest, tst, source, 0, sst, pe)
+        }
+    };
+}
+
+fixed_width_family!(u32, shmem_put32, shmem_get32, shmem_iput32, shmem_iget32);
+fixed_width_family!(u64, shmem_put64, shmem_get64, shmem_iput64, shmem_iget64);
+fixed_width_family!(Complex64, shmem_put128, shmem_get128, shmem_iput128, shmem_iget128);
+
+// --- point-to-point synchronization --------------------------------------
+
+macro_rules! wait_family {
+    ($ty:ty, $wait:ident, $wait_until:ident) => {
+        #[doc = concat!("`", stringify!($wait), "()`: block until the local variable changes from `value`.")]
+        pub fn $wait(ctx: &ShmemCtx, var: &Sym<$ty>, value: $ty) {
+            ctx.wait(var, 0, value)
+        }
+
+        #[doc = concat!("`", stringify!($wait_until), "()`: block until `var cmp value` holds.")]
+        pub fn $wait_until(ctx: &ShmemCtx, var: &Sym<$ty>, cmp: Cmp, value: $ty) {
+            ctx.wait_until(var, 0, cmp, value)
+        }
+    };
+}
+
+wait_family!(i32, shmem_int_wait, shmem_int_wait_until);
+wait_family!(i64, shmem_long_wait, shmem_long_wait_until);
+wait_family!(i64, shmem_longlong_wait, shmem_longlong_wait_until);
+
+// --- atomics ---------------------------------------------------------------
+
+macro_rules! atomic_family {
+    ($ty:ty, $swap:ident, $cswap:ident, $fadd:ident, $finc:ident, $add:ident, $inc:ident) => {
+        #[doc = concat!("`", stringify!($swap), "()`.")]
+        pub fn $swap(ctx: &ShmemCtx, target: &Sym<$ty>, value: $ty, pe: usize) -> $ty {
+            ctx.swap(target, 0, value, pe)
+        }
+
+        #[doc = concat!("`", stringify!($cswap), "()`.")]
+        pub fn $cswap(ctx: &ShmemCtx, target: &Sym<$ty>, cond: $ty, value: $ty, pe: usize) -> $ty {
+            ctx.cswap(target, 0, cond, value, pe)
+        }
+
+        #[doc = concat!("`", stringify!($fadd), "()`.")]
+        pub fn $fadd(ctx: &ShmemCtx, target: &Sym<$ty>, value: $ty, pe: usize) -> $ty {
+            ctx.fadd(target, 0, value, pe)
+        }
+
+        #[doc = concat!("`", stringify!($finc), "()`.")]
+        pub fn $finc(ctx: &ShmemCtx, target: &Sym<$ty>, pe: usize) -> $ty {
+            ctx.finc(target, 0, pe)
+        }
+
+        #[doc = concat!("`", stringify!($add), "()`.")]
+        pub fn $add(ctx: &ShmemCtx, target: &Sym<$ty>, value: $ty, pe: usize) {
+            ctx.add(target, 0, value, pe)
+        }
+
+        #[doc = concat!("`", stringify!($inc), "()`.")]
+        pub fn $inc(ctx: &ShmemCtx, target: &Sym<$ty>, pe: usize) {
+            ctx.inc(target, 0, pe)
+        }
+    };
+}
+
+atomic_family!(i32, shmem_int_swap, shmem_int_cswap, shmem_int_fadd, shmem_int_finc, shmem_int_add, shmem_int_inc);
+atomic_family!(i64, shmem_long_swap, shmem_long_cswap, shmem_long_fadd, shmem_long_finc, shmem_long_add, shmem_long_inc);
+atomic_family!(i64, shmem_longlong_swap, shmem_longlong_cswap, shmem_longlong_fadd, shmem_longlong_finc, shmem_longlong_add, shmem_longlong_inc);
+
+/// `shmem_float_swap()`.
+pub fn shmem_float_swap(ctx: &ShmemCtx, target: &Sym<f32>, value: f32, pe: usize) -> f32 {
+    ctx.swap_f32(target, 0, value, pe)
+}
+
+/// `shmem_double_swap()`.
+pub fn shmem_double_swap(ctx: &ShmemCtx, target: &Sym<f64>, value: f64, pe: usize) -> f64 {
+    ctx.swap_f64(target, 0, value, pe)
+}
+
+// --- reductions --------------------------------------------------------------
+
+macro_rules! reduce_fn {
+    ($ty:ty, $name:ident, $method:ident) => {
+        #[doc = concat!("`", stringify!($name), "()`.")]
+        pub fn $name(
+            ctx: &ShmemCtx,
+            target: &Sym<$ty>,
+            source: &Sym<$ty>,
+            nreduce: usize,
+            pe_start: usize,
+            log_pe_stride: u32,
+            pe_size: usize,
+        ) {
+            ctx.$method(target, source, nreduce, set(pe_start, log_pe_stride, pe_size))
+        }
+    };
+}
+
+macro_rules! bitwise_reductions {
+    ($ty:ty, $and:ident, $or:ident, $xor:ident) => {
+        reduce_fn!($ty, $and, and_to_all);
+        reduce_fn!($ty, $or, or_to_all);
+        reduce_fn!($ty, $xor, xor_to_all);
+    };
+}
+
+macro_rules! arith_reductions {
+    ($ty:ty, $min:ident, $max:ident, $sum:ident, $prod:ident) => {
+        reduce_fn!($ty, $min, min_to_all);
+        reduce_fn!($ty, $max, max_to_all);
+        reduce_fn!($ty, $sum, sum_to_all);
+        reduce_fn!($ty, $prod, prod_to_all);
+    };
+}
+
+bitwise_reductions!(i16, shmem_short_and_to_all, shmem_short_or_to_all, shmem_short_xor_to_all);
+bitwise_reductions!(i32, shmem_int_and_to_all, shmem_int_or_to_all, shmem_int_xor_to_all);
+bitwise_reductions!(i64, shmem_long_and_to_all, shmem_long_or_to_all, shmem_long_xor_to_all);
+bitwise_reductions!(i64, shmem_longlong_and_to_all, shmem_longlong_or_to_all, shmem_longlong_xor_to_all);
+
+arith_reductions!(i16, shmem_short_min_to_all, shmem_short_max_to_all, shmem_short_sum_to_all, shmem_short_prod_to_all);
+arith_reductions!(i32, shmem_int_min_to_all, shmem_int_max_to_all, shmem_int_sum_to_all, shmem_int_prod_to_all);
+arith_reductions!(i64, shmem_long_min_to_all, shmem_long_max_to_all, shmem_long_sum_to_all, shmem_long_prod_to_all);
+arith_reductions!(i64, shmem_longlong_min_to_all, shmem_longlong_max_to_all, shmem_longlong_sum_to_all, shmem_longlong_prod_to_all);
+arith_reductions!(f32, shmem_float_min_to_all, shmem_float_max_to_all, shmem_float_sum_to_all, shmem_float_prod_to_all);
+arith_reductions!(f64, shmem_double_min_to_all, shmem_double_max_to_all, shmem_double_sum_to_all, shmem_double_prod_to_all);
+
+reduce_fn!(Complex32, shmem_complexf_sum_to_all, sum_to_all);
+reduce_fn!(Complex32, shmem_complexf_prod_to_all, prod_to_all);
+reduce_fn!(Complex64, shmem_complexd_sum_to_all, sum_to_all);
+reduce_fn!(Complex64, shmem_complexd_prod_to_all, prod_to_all);
+
+// --- collectives ---------------------------------------------------------------
+
+macro_rules! collective_width {
+    ($ty:ty, $bcast:ident, $collect:ident, $fcollect:ident) => {
+        #[doc = concat!("`", stringify!($bcast), "()`.")]
+        #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+        pub fn $bcast(
+            ctx: &ShmemCtx,
+            target: &Sym<$ty>,
+            source: &Sym<$ty>,
+            nelems: usize,
+            pe_root: usize,
+            pe_start: usize,
+            log_pe_stride: u32,
+            pe_size: usize,
+        ) {
+            ctx.broadcast(target, source, nelems, pe_root, set(pe_start, log_pe_stride, pe_size))
+        }
+
+        #[doc = concat!("`", stringify!($collect), "()`.")]
+        pub fn $collect(
+            ctx: &ShmemCtx,
+            target: &Sym<$ty>,
+            source: &Sym<$ty>,
+            nelems: usize,
+            pe_start: usize,
+            log_pe_stride: u32,
+            pe_size: usize,
+        ) -> usize {
+            ctx.collect(target, source, nelems, set(pe_start, log_pe_stride, pe_size))
+        }
+
+        #[doc = concat!("`", stringify!($fcollect), "()`.")]
+        pub fn $fcollect(
+            ctx: &ShmemCtx,
+            target: &Sym<$ty>,
+            source: &Sym<$ty>,
+            nelems: usize,
+            pe_start: usize,
+            log_pe_stride: u32,
+            pe_size: usize,
+        ) {
+            ctx.fcollect(target, source, nelems, set(pe_start, log_pe_stride, pe_size))
+        }
+    };
+}
+
+collective_width!(u32, shmem_broadcast32, shmem_collect32, shmem_fcollect32);
+collective_width!(u64, shmem_broadcast64, shmem_collect64, shmem_fcollect64);
+
+// --- accessibility queries --------------------------------------------------
+
+/// `shmem_pe_accessible()`: whether `pe` is a valid PE of this job.
+pub fn shmem_pe_accessible(ctx: &ShmemCtx, pe: usize) -> bool {
+    pe < ctx.n_pes()
+}
+
+/// `shmem_addr_accessible()`: whether `sym` on `pe` can be addressed
+/// directly from this PE (true for dynamic symmetric objects on this
+/// shared-memory machine; false for remote statics).
+pub fn shmem_addr_accessible<T: Bits>(ctx: &ShmemCtx, sym: &Sym<T>, pe: usize) -> bool {
+    pe < ctx.n_pes() && ctx.ptr(sym, pe).is_some()
+}

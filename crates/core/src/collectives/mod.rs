@@ -1,0 +1,6 @@
+//! Group communication: broadcast, collection, and reduction
+//! (paper Section IV-D).
+
+pub mod broadcast;
+pub mod collect;
+pub mod reduce;

@@ -1,0 +1,11 @@
+//! Execution engines.
+//!
+//! * [`native`] — one real thread per PE, real shared memory, wall-clock
+//!   time. The engine a downstream application runs on.
+//! * [`timed`] — the same protocol code under the virtual-time
+//!   cooperative scheduler with calibrated Tilera costs. The engine the
+//!   paper-figure harness runs on.
+
+pub mod multichip;
+pub mod native;
+pub mod timed;

@@ -1,0 +1,507 @@
+//! Multi-device SHMEM: the paper's Section VI future work.
+//!
+//! "Finally, we plan to leverage novel architectural features of the
+//! TILE-Gx such as the mPIPE packet engine as we explore designs for
+//! expanding the shared-memory abstraction in TSHMEM across multiple
+//! many-core devices."
+//!
+//! This engine runs one SHMEM job across `chips` simulated devices. PEs
+//! are block-distributed over chips; each chip has its own cache/DDC
+//! memory system, and chip pairs are connected by full-duplex mPIPE
+//! links ([`mpipe`]). The same TSHMEM protocol code runs unmodified:
+//!
+//! * intra-chip operations cost exactly what the single-chip timed
+//!   engine charges;
+//! * cross-chip UDN messages tunnel over mPIPE (microseconds instead of
+//!   the ~21 ns on-chip wire);
+//! * cross-chip puts/gets stage through a NIC buffer: a local copy on
+//!   the owning chip, link serialization at 10 Gbps, and a copy on the
+//!   far chip.
+//!
+//! Functionally, data still moves in process (the chips are simulated);
+//! what changes is the *cost model*, which is the subject of the
+//! multi-device ablation (`microbench::ablation`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cachesim::homing::Homing;
+use cachesim::memsys::{MemRef, MemorySystem};
+use desim::coop::CoopHandle;
+use desim::time::SimTime;
+use mpipe::{MpipeLink, MpipeTimings};
+use parking_lot::Mutex;
+use tile_arch::area::TestArea;
+use tmc::common::CommonMemory;
+use udn::timing::UdnModel;
+
+use crate::fabric::{Fabric, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+
+const SIM_ARENA_BASE: u64 = 1 << 32;
+const SIM_PRIV_BASE: u64 = 1 << 40;
+const SIM_SCRATCH_BASE: u64 = 1 << 41;
+const SIM_REGION_SPAN: u64 = 1 << 28;
+const SCRATCH_WRAP: u64 = 8 * 1024 * 1024;
+
+const FLAG_RW_CYCLES: f64 = 30.0;
+const RMW_CYCLES: f64 = 60.0;
+const QUIET_CYCLES: f64 = 10.0;
+const POLL_CYCLES: f64 = 50.0;
+/// Per-call data-plane software overhead (see `engine::timed`).
+const OP_OVERHEAD_CYCLES: f64 = 60.0;
+
+/// Launch-wide state of a multi-chip timed job.
+pub struct MultiChipShared {
+    pub arena: Arc<CommonMemory>,
+    pub privates: Vec<Arc<CommonMemory>>,
+    /// One memory system per chip.
+    pub mems: Vec<Mutex<MemorySystem>>,
+    /// Links between chip pairs, keyed by (min, max).
+    pub links: Mutex<HashMap<(usize, usize), MpipeLink>>,
+    pub model: UdnModel,
+    pub link_timings: MpipeTimings,
+    pub npes: usize,
+    pub pes_per_chip: usize,
+    pub chips: usize,
+    pub partition_bytes: usize,
+}
+
+impl MultiChipShared {
+    pub fn new(
+        area: TestArea,
+        chips: usize,
+        pes_per_chip: usize,
+        partition_bytes: usize,
+        private_bytes: usize,
+        link_timings: MpipeTimings,
+    ) -> Arc<Self> {
+        assert!(chips >= 1);
+        assert!(
+            pes_per_chip <= area.tiles(),
+            "{pes_per_chip} PEs per chip exceed the {}-tile area",
+            area.tiles()
+        );
+        let npes = chips * pes_per_chip;
+        let mut links = HashMap::new();
+        for a in 0..chips {
+            for b in a + 1..chips {
+                links.insert((a, b), MpipeLink::new(link_timings));
+            }
+        }
+        Arc::new(Self {
+            arena: CommonMemory::new(npes * partition_bytes, Homing::HashForHome),
+            privates: (0..npes)
+                .map(|pe| CommonMemory::new(private_bytes, Homing::Local(pe % pes_per_chip)))
+                .collect(),
+            mems: (0..chips)
+                .map(|_| Mutex::new(MemorySystem::new(area.device, pes_per_chip)))
+                .collect(),
+            links: Mutex::new(links),
+            model: UdnModel::new(area),
+            link_timings,
+            npes,
+            pes_per_chip,
+            chips,
+            partition_bytes,
+        })
+    }
+
+    fn chip_of_pe(&self, pe: usize) -> usize {
+        pe / self.pes_per_chip
+    }
+
+    fn chip_of_offset(&self, off: usize) -> usize {
+        self.chip_of_pe((off / self.partition_bytes).min(self.npes - 1))
+    }
+
+    /// Occupy the link between two chips; returns arrival time.
+    fn link_transfer(&self, from: usize, to: usize, now: SimTime, bytes: usize) -> SimTime {
+        debug_assert_ne!(from, to);
+        let key = (from.min(to), from.max(to));
+        let dir = usize::from(from > to);
+        self.links
+            .lock()
+            .get_mut(&key)
+            .expect("link exists for chip pair")
+            .transfer(dir, now, bytes)
+    }
+}
+
+/// Per-LP fabric of a multi-chip timed job.
+pub struct MultiChipFabric {
+    shared: Arc<MultiChipShared>,
+    pe: usize,
+    coop: CoopHandle<ProtoMsg>,
+}
+
+impl MultiChipFabric {
+    pub fn for_lp(shared: Arc<MultiChipShared>, lp_id: usize, coop: CoopHandle<ProtoMsg>) -> Self {
+        let pe = lp_id % shared.npes;
+        Self { shared, pe, coop }
+    }
+
+    fn my_chip(&self) -> usize {
+        self.shared.chip_of_pe(self.pe)
+    }
+
+    /// Tile index of a PE within its chip.
+    fn tile_of(&self, pe: usize) -> usize {
+        pe % self.shared.pes_per_chip
+    }
+
+    fn clock(&self) -> tile_arch::clock::Clock {
+        self.shared.model.area.device.clock
+    }
+
+    fn advance_cycles(&self, cycles: f64) {
+        self.coop
+            .advance(SimTime::from_ps(self.clock().cycles_f64_to_ps(cycles)));
+    }
+
+    fn sim_arena(&self, off: usize) -> MemRef {
+        MemRef::new(SIM_ARENA_BASE + off as u64, Homing::HashForHome)
+    }
+
+    fn sim_priv(&self, off: usize) -> MemRef {
+        MemRef::new(
+            SIM_PRIV_BASE + self.pe as u64 * SIM_REGION_SPAN + off as u64,
+            Homing::Local(self.tile_of(self.pe)),
+        )
+    }
+
+    fn sim_scratch(&self, key: usize, len: usize) -> MemRef {
+        let off = (key as u64) % (SCRATCH_WRAP.saturating_sub(len as u64).max(1));
+        MemRef::new(
+            SIM_SCRATCH_BASE + self.pe as u64 * SIM_REGION_SPAN + off,
+            Homing::Local(self.tile_of(self.pe)),
+        )
+    }
+
+    /// Charge a copy on one chip's memory system, issued by this PE (or
+    /// its proxy tile on a remote chip).
+    fn chip_copy(&self, chip: usize, tile: usize, dst: MemRef, src: MemRef, len: usize, at: SimTime) -> SimTime {
+        if len == 0 {
+            return at;
+        }
+        self.coop
+            .with_global(|| self.shared.mems[chip].lock().copy(tile, dst, src, len as u64, at))
+    }
+
+    /// Cost a data movement between two (possibly cross-chip) simulated
+    /// regions; advances this LP's clock to completion.
+    fn charge_move(&self, dst_chip: usize, dst: MemRef, src_chip: usize, src: MemRef, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.advance_cycles(OP_OVERHEAD_CYCLES);
+        let now = self.coop.now();
+        let me = self.tile_of(self.pe);
+        let done = if dst_chip == src_chip {
+            // Both ends on one chip: a plain on-chip copy (charged to
+            // that chip; a remote chip's proxy tile does the work when
+            // it isn't ours).
+            let tile = if dst_chip == self.my_chip() { me } else { 0 };
+            self.chip_copy(dst_chip, tile, dst, src, len, now)
+        } else {
+            // mPIPE egress/ingress DMA directly from/to memory at wire
+            // speed (that is mPIPE's selling point), so the link is the
+            // bottleneck: a descriptor-setup charge, the serialization
+            // occupancy, and DMA delivery that installs the lines into
+            // the far chip's DDC for free.
+            let setup = SimTime::from_ps(2 * self.shared.link_timings.frame_overhead_ps);
+            let arrive = self
+                .coop
+                .with_global(|| self.shared.link_transfer(src_chip, dst_chip, now + setup, len));
+            self.coop.with_global(|| {
+                self.shared.mems[dst_chip].lock().install_region(dst.addr, len as u64)
+            });
+            arrive
+        };
+        self.coop.advance_to(done);
+    }
+}
+
+impl Fabric for MultiChipFabric {
+    fn pe(&self) -> usize {
+        self.pe
+    }
+
+    fn npes(&self) -> usize {
+        self.shared.npes
+    }
+
+    fn partition_bytes(&self) -> usize {
+        self.shared.partition_bytes
+    }
+
+    fn device(&self) -> tile_arch::device::Device {
+        self.shared.model.area.device
+    }
+
+    fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
+        assert!(dest < self.shared.npes, "unknown destination PE {dest}");
+        self.coop
+            .advance(SimTime::from_ps(self.shared.model.sw_overhead_ps()));
+        let (my_chip, dest_chip) = (self.my_chip(), self.shared.chip_of_pe(dest));
+        let latency = if my_chip == dest_chip {
+            SimTime::from_ps(self.shared.model.one_way_ps(
+                self.tile_of(self.pe),
+                self.tile_of(dest),
+                payload.len() + 1,
+            ))
+        } else {
+            // Tunneled over mPIPE: occupy the link for the (small)
+            // control frame and deliver at its arrival.
+            let bytes = (payload.len() + 1) * 8;
+            let now = self.coop.now();
+            let arrival = self
+                .coop
+                .with_global(|| self.shared.link_transfer(my_chip, dest_chip, now, bytes));
+            arrival.saturating_sub(now)
+        };
+        let dest_lp = if queue == Q_SERVICE {
+            self.shared.npes + dest
+        } else {
+            dest
+        };
+        self.coop.send(
+            dest_lp,
+            queue,
+            ProtoMsg {
+                src: self.pe,
+                tag,
+                payload: payload.to_vec(),
+            },
+            latency,
+        );
+    }
+
+    fn udn_recv(&self, queue: usize) -> ProtoMsg {
+        self.coop.recv(queue)
+    }
+
+    fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
+        self.coop.try_recv(queue)
+    }
+
+    fn arena_copy(&self, dst: usize, src: usize, len: usize) {
+        self.shared.arena.copy_within(dst, src, len);
+        self.charge_move(
+            self.shared.chip_of_offset(dst),
+            self.sim_arena(dst),
+            self.shared.chip_of_offset(src),
+            self.sim_arena(src),
+            len,
+        );
+    }
+
+    fn arena_write(&self, dst: usize, src: &[u8]) {
+        self.shared.arena.write_bytes(dst, src);
+        self.charge_move(
+            self.shared.chip_of_offset(dst),
+            self.sim_arena(dst),
+            self.my_chip(),
+            self.sim_scratch(dst, src.len()),
+            src.len(),
+        );
+    }
+
+    fn arena_read(&self, src: usize, dst: &mut [u8]) {
+        self.shared.arena.read_bytes(src, dst);
+        self.charge_move(
+            self.my_chip(),
+            self.sim_scratch(src, dst.len()),
+            self.shared.chip_of_offset(src),
+            self.sim_arena(src),
+            dst.len(),
+        );
+    }
+
+    fn arena_read_u64(&self, off: usize) -> u64 {
+        self.advance_cycles(FLAG_RW_CYCLES);
+        self.shared
+            .arena
+            .atomic_u64(off)
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn arena_read_u32(&self, off: usize) -> u32 {
+        self.advance_cycles(FLAG_RW_CYCLES);
+        self.shared
+            .arena
+            .atomic_u32(off)
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn arena_write_u64(&self, off: usize, v: u64) {
+        let chip = self.shared.chip_of_offset(off);
+        if chip == self.my_chip() {
+            self.advance_cycles(FLAG_RW_CYCLES);
+        } else {
+            // A remote-chip flag write is a small mPIPE message.
+            let now = self.coop.now();
+            let arrival = self
+                .coop
+                .with_global(|| self.shared.link_transfer(self.my_chip(), chip, now, 16));
+            self.coop.advance_to(arrival);
+        }
+        self.shared
+            .arena
+            .atomic_u64(off)
+            .store(v, std::sync::atomic::Ordering::Release);
+    }
+
+    fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
+        self.charge_atomic(off);
+        self.coop.with_global(|| {
+            use std::sync::atomic::Ordering::AcqRel;
+            match width {
+                RmwWidth::W64 => {
+                    let a = self.shared.arena.atomic_u64(off);
+                    match op {
+                        RmwOp::Add => a.fetch_add(operand, AcqRel),
+                        RmwOp::Swap => a.swap(operand, AcqRel),
+                        RmwOp::And => a.fetch_and(operand, AcqRel),
+                        RmwOp::Or => a.fetch_or(operand, AcqRel),
+                        RmwOp::Xor => a.fetch_xor(operand, AcqRel),
+                    }
+                }
+                RmwWidth::W32 => {
+                    let a = self.shared.arena.atomic_u32(off);
+                    let v = operand as u32;
+                    (match op {
+                        RmwOp::Add => a.fetch_add(v, AcqRel),
+                        RmwOp::Swap => a.swap(v, AcqRel),
+                        RmwOp::And => a.fetch_and(v, AcqRel),
+                        RmwOp::Or => a.fetch_or(v, AcqRel),
+                        RmwOp::Xor => a.fetch_xor(v, AcqRel),
+                    }) as u64
+                }
+            }
+        })
+    }
+
+    fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
+        self.charge_atomic(off);
+        self.coop.with_global(|| {
+            use std::sync::atomic::Ordering::{AcqRel, Acquire};
+            match width {
+                RmwWidth::W64 => match self
+                    .shared
+                    .arena
+                    .atomic_u64(off)
+                    .compare_exchange(cond, new, AcqRel, Acquire)
+                {
+                    Ok(o) | Err(o) => o,
+                },
+                RmwWidth::W32 => match self.shared.arena.atomic_u32(off).compare_exchange(
+                    cond as u32,
+                    new as u32,
+                    AcqRel,
+                    Acquire,
+                ) {
+                    Ok(o) | Err(o) => o as u64,
+                },
+            }
+        })
+    }
+
+    fn private_write(&self, off: usize, src: &[u8]) {
+        self.shared.privates[self.pe].write_bytes(off, src);
+        let c = self.my_chip();
+        self.charge_move(c, self.sim_priv(off), c, self.sim_scratch(off, src.len()), src.len());
+    }
+
+    fn private_read(&self, off: usize, dst: &mut [u8]) {
+        self.shared.privates[self.pe].read_bytes(off, dst);
+        let c = self.my_chip();
+        self.charge_move(c, self.sim_scratch(off, dst.len()), c, self.sim_priv(off), dst.len());
+    }
+
+    fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize) {
+        CommonMemory::copy_between(
+            &self.shared.arena,
+            arena_dst,
+            &self.shared.privates[self.pe],
+            priv_src,
+            len,
+        );
+        self.charge_move(
+            self.shared.chip_of_offset(arena_dst),
+            self.sim_arena(arena_dst),
+            self.my_chip(),
+            self.sim_priv(priv_src),
+            len,
+        );
+    }
+
+    fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize) {
+        CommonMemory::copy_between(
+            &self.shared.privates[self.pe],
+            priv_dst,
+            &self.shared.arena,
+            arena_src,
+            len,
+        );
+        self.charge_move(
+            self.my_chip(),
+            self.sim_priv(priv_dst),
+            self.shared.chip_of_offset(arena_src),
+            self.sim_arena(arena_src),
+            len,
+        );
+    }
+
+    fn arena_raw(&self, off: usize, len: usize) -> *mut u8 {
+        self.shared.arena.raw(off, len)
+    }
+
+    fn private_raw(&self, off: usize, len: usize) -> *mut u8 {
+        self.shared.privates[self.pe].raw(off, len)
+    }
+
+    fn tmc_spin_barrier(&self, _set: (usize, u32, usize)) {
+        panic!(
+            "the TMC spin barrier is a single-chip hardware primitive; \
+             multi-chip jobs must use the ring barrier (BarrierAlgo::Ring)"
+        );
+    }
+
+    fn quiet(&self) {
+        tmc::fence::mem_fence();
+        self.advance_cycles(QUIET_CYCLES);
+    }
+
+    fn wait_pause(&self, attempt: u32) {
+        let step = POLL_CYCLES * f64::from(1u32 << attempt.min(8));
+        self.advance_cycles(step);
+    }
+
+    fn compute(&self, cycles: f64) {
+        self.advance_cycles(cycles);
+    }
+
+    fn now_ns(&self) -> f64 {
+        self.coop.now().ns_f64()
+    }
+}
+
+impl MultiChipFabric {
+    /// Atomic on a (possibly remote-chip) word: local cost, or an mPIPE
+    /// round trip for cross-chip targets.
+    fn charge_atomic(&self, off: usize) {
+        let chip = self.shared.chip_of_offset(off);
+        if chip == self.my_chip() {
+            self.advance_cycles(RMW_CYCLES);
+        } else {
+            let now = self.coop.now();
+            let there = self
+                .coop
+                .with_global(|| self.shared.link_transfer(self.my_chip(), chip, now, 16));
+            let back = self
+                .coop
+                .with_global(|| self.shared.link_transfer(chip, self.my_chip(), there, 16));
+            self.coop.advance_to(back);
+        }
+    }
+}

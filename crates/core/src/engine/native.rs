@@ -1,0 +1,245 @@
+//! The native engine: real threads, real shared memory, wall time.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use tmc::barrier::SpinBarrier;
+use tmc::common::CommonMemory;
+use udn::fabric::UdnEndpoint;
+
+use crate::fabric::{Fabric, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+
+/// Shared, immutable state of one native launch.
+pub struct NativeShared {
+    pub arena: Arc<CommonMemory>,
+    pub privates: Vec<Arc<CommonMemory>>,
+    pub npes: usize,
+    pub partition_bytes: usize,
+    pub device: tile_arch::device::Device,
+    pub start: Instant,
+    /// Lazily-created TMC spin barriers, one per distinct active set.
+    pub spin_barriers: Mutex<HashMap<(usize, u32, usize), Arc<SpinBarrier>>>,
+    /// Set when any PE panics, so PEs blocked in protocol waits abort
+    /// instead of hanging the job (SHMEM jobs are all-or-nothing).
+    pub aborted: AtomicBool,
+}
+
+/// Per-PE native fabric. Cloning shares the same endpoint queues — the
+/// interrupt-service thread runs on a clone and consumes only
+/// [`Q_SERVICE`].
+pub struct NativeFabric {
+    pub(crate) shared: Arc<NativeShared>,
+    pub(crate) pe: usize,
+    pub(crate) udn: UdnEndpoint,
+}
+
+impl NativeFabric {
+    pub fn new(shared: Arc<NativeShared>, pe: usize, udn: UdnEndpoint) -> Self {
+        Self { shared, pe, udn }
+    }
+
+    /// A clone for the PE's interrupt-service thread.
+    pub fn service_clone(&self) -> NativeFabric {
+        NativeFabric {
+            shared: self.shared.clone(),
+            pe: self.pe,
+            udn: self.udn.clone(),
+        }
+    }
+
+    fn private(&self) -> &CommonMemory {
+        &self.shared.privates[self.pe]
+    }
+}
+
+impl Fabric for NativeFabric {
+    fn pe(&self) -> usize {
+        self.pe
+    }
+
+    fn npes(&self) -> usize {
+        self.shared.npes
+    }
+
+    fn partition_bytes(&self) -> usize {
+        self.shared.partition_bytes
+    }
+
+    fn device(&self) -> tile_arch::device::Device {
+        self.shared.device
+    }
+
+    fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
+        // Q_SERVICE is consumed by the destination's service thread; the
+        // routing is by queue, so a plain send reaches it.
+        self.udn.send(dest, queue, tag, payload.to_vec());
+    }
+
+    fn udn_recv(&self, queue: usize) -> ProtoMsg {
+        // Poll with a coarse timeout so a peer's panic aborts us instead
+        // of leaving this PE blocked forever mid-protocol.
+        loop {
+            if let Some(p) = self.udn.recv_timeout(queue, std::time::Duration::from_millis(50)) {
+                return ProtoMsg {
+                    src: p.header.src as usize,
+                    tag: p.header.tag,
+                    payload: p.payload,
+                };
+            }
+            if self.shared.aborted.load(Ordering::Acquire) {
+                panic!("PE {}: aborting — another PE panicked", self.pe);
+            }
+        }
+    }
+
+    fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
+        self.udn.try_recv(queue).map(|p| ProtoMsg {
+            src: p.header.src as usize,
+            tag: p.header.tag,
+            payload: p.payload,
+        })
+    }
+
+    fn arena_copy(&self, dst: usize, src: usize, len: usize) {
+        self.shared.arena.copy_within(dst, src, len);
+    }
+
+    fn arena_write(&self, dst: usize, src: &[u8]) {
+        self.shared.arena.write_bytes(dst, src);
+    }
+
+    fn arena_read(&self, src: usize, dst: &mut [u8]) {
+        self.shared.arena.read_bytes(src, dst);
+    }
+
+    fn arena_read_u64(&self, off: usize) -> u64 {
+        self.shared.arena.atomic_u64(off).load(Ordering::Acquire)
+    }
+
+    fn arena_read_u32(&self, off: usize) -> u32 {
+        self.shared.arena.atomic_u32(off).load(Ordering::Acquire)
+    }
+
+    fn arena_write_u64(&self, off: usize, v: u64) {
+        self.shared.arena.atomic_u64(off).store(v, Ordering::Release);
+    }
+
+    fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
+        let arena = &self.shared.arena;
+        match width {
+            RmwWidth::W64 => {
+                let a = arena.atomic_u64(off);
+                match op {
+                    RmwOp::Add => a.fetch_add(operand, Ordering::AcqRel),
+                    RmwOp::Swap => a.swap(operand, Ordering::AcqRel),
+                    RmwOp::And => a.fetch_and(operand, Ordering::AcqRel),
+                    RmwOp::Or => a.fetch_or(operand, Ordering::AcqRel),
+                    RmwOp::Xor => a.fetch_xor(operand, Ordering::AcqRel),
+                }
+            }
+            RmwWidth::W32 => {
+                let a = arena.atomic_u32(off);
+                let v = operand as u32;
+                let old = match op {
+                    RmwOp::Add => a.fetch_add(v, Ordering::AcqRel),
+                    RmwOp::Swap => a.swap(v, Ordering::AcqRel),
+                    RmwOp::And => a.fetch_and(v, Ordering::AcqRel),
+                    RmwOp::Or => a.fetch_or(v, Ordering::AcqRel),
+                    RmwOp::Xor => a.fetch_xor(v, Ordering::AcqRel),
+                };
+                old as u64
+            }
+        }
+    }
+
+    fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
+        let arena = &self.shared.arena;
+        match width {
+            RmwWidth::W64 => {
+                match arena.atomic_u64(off).compare_exchange(
+                    cond,
+                    new,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(old) | Err(old) => old,
+                }
+            }
+            RmwWidth::W32 => {
+                match arena.atomic_u32(off).compare_exchange(
+                    cond as u32,
+                    new as u32,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(old) | Err(old) => old as u64,
+                }
+            }
+        }
+    }
+
+    fn private_write(&self, off: usize, src: &[u8]) {
+        self.private().write_bytes(off, src);
+    }
+
+    fn private_read(&self, off: usize, dst: &mut [u8]) {
+        self.private().read_bytes(off, dst);
+    }
+
+    fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize) {
+        CommonMemory::copy_between(&self.shared.arena, arena_dst, self.private(), priv_src, len);
+    }
+
+    fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize) {
+        CommonMemory::copy_between(self.private(), priv_dst, &self.shared.arena, arena_src, len);
+    }
+
+    fn arena_raw(&self, off: usize, len: usize) -> *mut u8 {
+        self.shared.arena.raw(off, len)
+    }
+
+    fn private_raw(&self, off: usize, len: usize) -> *mut u8 {
+        self.private().raw(off, len)
+    }
+
+    fn tmc_spin_barrier(&self, set: (usize, u32, usize)) {
+        let b = {
+            let mut map = self.shared.spin_barriers.lock();
+            map.entry(set)
+                .or_insert_with(|| Arc::new(SpinBarrier::new(set.2)))
+                .clone()
+        };
+        b.wait();
+    }
+
+    fn quiet(&self) {
+        tmc::fence::mem_fence();
+    }
+
+    fn wait_pause(&self, attempt: u32) {
+        // Check the abort flag occasionally so polling waits can't hang
+        // a job whose peer died.
+        if attempt > 0 && attempt.is_multiple_of(65536) && self.shared.aborted.load(Ordering::Acquire) {
+            panic!("PE {}: aborting — another PE panicked", self.pe);
+        }
+        if attempt > 1024 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn compute(&self, _cycles: f64) {
+        // Native computation takes its own real time.
+    }
+
+    fn now_ns(&self) -> f64 {
+        self.shared.start.elapsed().as_nanos() as f64
+    }
+}
+
+/// Marker re-export so service code can name the queue it owns.
+pub const SERVICE_QUEUE: usize = Q_SERVICE;

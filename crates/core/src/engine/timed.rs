@@ -1,0 +1,468 @@
+//! The timed engine: the same protocol code and the same real data
+//! movement as the native engine, executed under the virtual-time
+//! cooperative scheduler with calibrated Tilera costs.
+//!
+//! Every PE (and every PE's interrupt-service context) is a logical
+//! process of `desim::coop`; clocks advance by the costs the modeled
+//! device would pay — UDN setup-and-teardown plus per-hop wormhole
+//! cycles for messages, cache-classified copy cycles for data movement,
+//! and busy-until home-port/DRAM contention for concurrent transfers.
+//! Determinism is inherited from the scheduler: a timed run is
+//! bit-reproducible.
+
+use std::sync::Arc;
+
+use cachesim::homing::Homing;
+use cachesim::memsys::{MemRef, MemorySystem};
+use desim::coop::CoopHandle;
+use desim::time::SimTime;
+use parking_lot::Mutex;
+use tile_arch::area::TestArea;
+use tmc::common::CommonMemory;
+use udn::timing::UdnModel;
+
+use crate::fabric::{Fabric, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+
+/// Simulated-address-space bases (disjoint regions for classification).
+const SIM_ARENA_BASE: u64 = 1 << 32;
+const SIM_PRIV_BASE: u64 = 1 << 40;
+const SIM_SCRATCH_BASE: u64 = 1 << 41;
+const SIM_REGION_SPAN: u64 = 1 << 28;
+/// Local scratch (stack/heap buffers) wraps so repeated transfers from
+/// "the same local buffer" stay cache-warm, as they would on hardware.
+const SCRATCH_WRAP: u64 = 8 * 1024 * 1024;
+
+/// Cycle charges for operations not covered by the copy model.
+const FLAG_RW_CYCLES: f64 = 30.0;
+const RMW_CYCLES: f64 = 60.0;
+const QUIET_CYCLES: f64 = 10.0;
+const POLL_CYCLES: f64 = 50.0;
+/// Per-call software overhead of a data-plane operation (argument
+/// checks, address classification, `memcpy` setup) — what makes small
+/// puts latency-bound in Figure 6 rather than running at the L1d
+/// plateau.
+const OP_OVERHEAD_CYCLES: f64 = 60.0;
+
+/// Launch-wide state shared by every timed fabric.
+pub struct TimedShared {
+    pub arena: Arc<CommonMemory>,
+    pub privates: Vec<Arc<CommonMemory>>,
+    pub mem: Mutex<MemorySystem>,
+    pub model: UdnModel,
+    pub npes: usize,
+    pub partition_bytes: usize,
+    /// Homing overrides for arena regions: (start, end, policy).
+    /// Regions not listed default to hash-for-home (what TSHMEM uses
+    /// for common memory).
+    pub homing_overrides: Mutex<Vec<(usize, usize, Homing)>>,
+    /// Optional operation trace (see `crate::trace`).
+    pub trace: Option<Arc<crate::trace::TraceSink>>,
+}
+
+impl TimedShared {
+    pub fn new(
+        area: TestArea,
+        npes: usize,
+        partition_bytes: usize,
+        private_bytes: usize,
+    ) -> Arc<Self> {
+        Self::new_traced(area, npes, partition_bytes, private_bytes, None)
+    }
+
+    pub fn new_traced(
+        area: TestArea,
+        npes: usize,
+        partition_bytes: usize,
+        private_bytes: usize,
+        trace: Option<Arc<crate::trace::TraceSink>>,
+    ) -> Arc<Self> {
+        assert!(
+            npes <= area.tiles(),
+            "{npes} PEs exceed the {}-tile test area",
+            area.tiles()
+        );
+        let arena = CommonMemory::new(npes * partition_bytes, Homing::HashForHome);
+        let privates = (0..npes)
+            .map(|pe| CommonMemory::new(private_bytes, Homing::Local(pe)))
+            .collect();
+        Arc::new(Self {
+            arena,
+            privates,
+            mem: Mutex::new(MemorySystem::new(area.device, npes)),
+            model: UdnModel::new(area),
+            npes,
+            partition_bytes,
+            homing_overrides: Mutex::new(Vec::new()),
+            trace,
+        })
+    }
+}
+
+/// Per-LP timed fabric. The PE's main context and its service context
+/// share `pe` but hold different coop handles.
+pub struct TimedFabric {
+    shared: Arc<TimedShared>,
+    pe: usize,
+    coop: CoopHandle<ProtoMsg>,
+}
+
+impl TimedFabric {
+    /// Fabric for LP `lp_id` of a `2 * npes`-LP cooperative run: LPs
+    /// `0..npes` are PEs, `npes..2*npes` their service contexts.
+    pub fn for_lp(shared: Arc<TimedShared>, lp_id: usize, coop: CoopHandle<ProtoMsg>) -> Self {
+        let pe = lp_id % shared.npes;
+        Self { shared, pe, coop }
+    }
+
+    fn clock(&self) -> tile_arch::clock::Clock {
+        self.shared.model.area.device.clock
+    }
+
+    fn advance_cycles(&self, cycles: f64) {
+        self.coop
+            .advance(SimTime::from_ps(self.clock().cycles_f64_to_ps(cycles)));
+    }
+
+    fn sim_arena(&self, off: usize) -> MemRef {
+        let homing = self
+            .shared
+            .homing_overrides
+            .lock()
+            .iter()
+            .find(|(s, e, _)| (*s..*e).contains(&off))
+            .map(|(_, _, h)| *h)
+            .unwrap_or(Homing::HashForHome);
+        MemRef::new(SIM_ARENA_BASE + off as u64, homing)
+    }
+
+    fn sim_priv(&self, off: usize) -> MemRef {
+        MemRef::new(
+            SIM_PRIV_BASE + self.pe as u64 * SIM_REGION_SPAN + off as u64,
+            Homing::Local(self.pe),
+        )
+    }
+
+    fn sim_scratch(&self, key: usize, len: usize) -> MemRef {
+        let off = (key as u64) % (SCRATCH_WRAP.saturating_sub(len as u64).max(1));
+        MemRef::new(
+            SIM_SCRATCH_BASE + self.pe as u64 * SIM_REGION_SPAN + off,
+            Homing::Local(self.pe),
+        )
+    }
+
+    /// Charge a costed copy and advance this LP's clock to completion.
+    fn charge_copy(&self, dst: MemRef, src: MemRef, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let t0 = self.coop.now();
+        self.advance_cycles(OP_OVERHEAD_CYCLES);
+        let now = self.coop.now();
+        let done = self
+            .coop
+            .with_global(|| self.shared.mem.lock().copy(self.pe, dst, src, len as u64, now));
+        self.coop.advance_to(done);
+        self.trace(crate::trace::TraceKind::Copy, t0, usize::MAX, len as u64);
+    }
+
+    /// Append a trace event (no-op unless tracing is enabled).
+    fn trace(&self, kind: crate::trace::TraceKind, start: SimTime, peer: usize, bytes: u64) {
+        if let Some(sink) = &self.shared.trace {
+            sink.record(crate::trace::TraceEvent {
+                pe: self.pe,
+                kind,
+                start,
+                end: self.coop.now(),
+                peer,
+                bytes,
+            });
+        }
+    }
+}
+
+impl Fabric for TimedFabric {
+    fn pe(&self) -> usize {
+        self.pe
+    }
+
+    fn npes(&self) -> usize {
+        self.shared.npes
+    }
+
+    fn partition_bytes(&self) -> usize {
+        self.shared.partition_bytes
+    }
+
+    fn device(&self) -> tile_arch::device::Device {
+        self.shared.model.area.device
+    }
+
+    fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
+        assert!(dest < self.shared.npes, "unknown destination PE {dest}");
+        let t0 = self.coop.now();
+        // Software injection overhead, then wormhole wire latency.
+        self.coop
+            .advance(SimTime::from_ps(self.shared.model.sw_overhead_ps()));
+        let wire = self.shared.model.one_way_ps(self.pe, dest, payload.len() + 1);
+        let dest_lp = if queue == Q_SERVICE {
+            self.shared.npes + dest
+        } else {
+            dest
+        };
+        self.coop.send(
+            dest_lp,
+            queue,
+            ProtoMsg {
+                src: self.pe,
+                tag,
+                payload: payload.to_vec(),
+            },
+            SimTime::from_ps(wire),
+        );
+        self.trace(
+            crate::trace::TraceKind::UdnSend,
+            t0,
+            dest,
+            ((payload.len() + 1) * self.shared.model.area.device.word_bytes) as u64,
+        );
+    }
+
+    fn udn_recv(&self, queue: usize) -> ProtoMsg {
+        let t0 = self.coop.now();
+        let msg = self.coop.recv(queue);
+        self.trace(crate::trace::TraceKind::Wait, t0, usize::MAX, 0);
+        msg
+    }
+
+    fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
+        self.coop.try_recv(queue)
+    }
+
+    fn arena_copy(&self, dst: usize, src: usize, len: usize) {
+        self.shared.arena.copy_within(dst, src, len);
+        self.charge_copy(self.sim_arena(dst), self.sim_arena(src), len);
+    }
+
+    fn arena_write(&self, dst: usize, src: &[u8]) {
+        self.shared.arena.write_bytes(dst, src);
+        self.charge_copy(self.sim_arena(dst), self.sim_scratch(dst, src.len()), src.len());
+    }
+
+    fn arena_read(&self, src: usize, dst: &mut [u8]) {
+        self.shared.arena.read_bytes(src, dst);
+        self.charge_copy(self.sim_scratch(src, dst.len()), self.sim_arena(src), dst.len());
+    }
+
+    fn arena_read_u64(&self, off: usize) -> u64 {
+        self.advance_cycles(FLAG_RW_CYCLES);
+        self.shared
+            .arena
+            .atomic_u64(off)
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn arena_read_u32(&self, off: usize) -> u32 {
+        self.advance_cycles(FLAG_RW_CYCLES);
+        self.shared
+            .arena
+            .atomic_u32(off)
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn arena_write_u64(&self, off: usize, v: u64) {
+        self.advance_cycles(FLAG_RW_CYCLES);
+        self.shared
+            .arena
+            .atomic_u64(off)
+            .store(v, std::sync::atomic::Ordering::Release);
+    }
+
+    fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
+        self.advance_cycles(RMW_CYCLES);
+        // Only one LP runs at a time, so sequenced RMW through the
+        // shared arena is atomic by construction; the atomics keep the
+        // native types shared.
+        self.coop.with_global(|| {
+            use std::sync::atomic::Ordering::AcqRel;
+            match width {
+                RmwWidth::W64 => {
+                    let a = self.shared.arena.atomic_u64(off);
+                    match op {
+                        RmwOp::Add => a.fetch_add(operand, AcqRel),
+                        RmwOp::Swap => a.swap(operand, AcqRel),
+                        RmwOp::And => a.fetch_and(operand, AcqRel),
+                        RmwOp::Or => a.fetch_or(operand, AcqRel),
+                        RmwOp::Xor => a.fetch_xor(operand, AcqRel),
+                    }
+                }
+                RmwWidth::W32 => {
+                    let a = self.shared.arena.atomic_u32(off);
+                    let v = operand as u32;
+                    (match op {
+                        RmwOp::Add => a.fetch_add(v, AcqRel),
+                        RmwOp::Swap => a.swap(v, AcqRel),
+                        RmwOp::And => a.fetch_and(v, AcqRel),
+                        RmwOp::Or => a.fetch_or(v, AcqRel),
+                        RmwOp::Xor => a.fetch_xor(v, AcqRel),
+                    }) as u64
+                }
+            }
+        })
+    }
+
+    fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
+        self.advance_cycles(RMW_CYCLES);
+        self.coop.with_global(|| {
+            use std::sync::atomic::Ordering::{AcqRel, Acquire};
+            match width {
+                RmwWidth::W64 => {
+                    match self
+                        .shared
+                        .arena
+                        .atomic_u64(off)
+                        .compare_exchange(cond, new, AcqRel, Acquire)
+                    {
+                        Ok(o) | Err(o) => o,
+                    }
+                }
+                RmwWidth::W32 => {
+                    match self.shared.arena.atomic_u32(off).compare_exchange(
+                        cond as u32,
+                        new as u32,
+                        AcqRel,
+                        Acquire,
+                    ) {
+                        Ok(o) | Err(o) => o as u64,
+                    }
+                }
+            }
+        })
+    }
+
+    fn private_write(&self, off: usize, src: &[u8]) {
+        self.shared.privates[self.pe].write_bytes(off, src);
+        self.charge_copy(self.sim_priv(off), self.sim_scratch(off, src.len()), src.len());
+    }
+
+    fn private_read(&self, off: usize, dst: &mut [u8]) {
+        self.shared.privates[self.pe].read_bytes(off, dst);
+        self.charge_copy(self.sim_scratch(off, dst.len()), self.sim_priv(off), dst.len());
+    }
+
+    fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize) {
+        CommonMemory::copy_between(
+            &self.shared.arena,
+            arena_dst,
+            &self.shared.privates[self.pe],
+            priv_src,
+            len,
+        );
+        self.charge_copy(self.sim_arena(arena_dst), self.sim_priv(priv_src), len);
+    }
+
+    fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize) {
+        CommonMemory::copy_between(
+            &self.shared.privates[self.pe],
+            priv_dst,
+            &self.shared.arena,
+            arena_src,
+            len,
+        );
+        self.charge_copy(self.sim_priv(priv_dst), self.sim_arena(arena_src), len);
+    }
+
+    fn arena_raw(&self, off: usize, len: usize) -> *mut u8 {
+        self.shared.arena.raw(off, len)
+    }
+
+    fn private_raw(&self, off: usize, len: usize) -> *mut u8 {
+        self.shared.privates[self.pe].raw(off, len)
+    }
+
+    fn tmc_spin_barrier(&self, set: (usize, u32, usize)) {
+        // Model: everyone announces arrival to the set's start PE with
+        // zero wire cost; the release is timed so all participants leave
+        // at max(arrivals) + the calibrated Figure 5 spin latency.
+        const TAG_SPIN: u16 = 0x5B;
+        let (start, log2_stride, size) = set;
+        let stride = 1usize << log2_stride;
+        let device = self.shared.model.area.device;
+        let spin = SimTime::from_ps(device.timings.barrier.spin_ps(size));
+        if size == 1 {
+            self.coop.advance(spin);
+            return;
+        }
+        if self.pe == start {
+            for _ in 1..size {
+                let m = self.coop.recv(crate::fabric::Q_BARRIER);
+                debug_assert_eq!(m.tag, TAG_SPIN);
+            }
+            let release = self.coop.now() + spin;
+            for r in 1..size {
+                let dest = start + r * stride;
+                let latency = release.saturating_sub(self.coop.now());
+                self.coop.send(
+                    dest,
+                    crate::fabric::Q_BARRIER,
+                    ProtoMsg {
+                        src: self.pe,
+                        tag: TAG_SPIN,
+                        payload: vec![],
+                    },
+                    latency,
+                );
+            }
+            self.coop.advance_to(release);
+        } else {
+            self.coop.send(
+                start,
+                crate::fabric::Q_BARRIER,
+                ProtoMsg {
+                    src: self.pe,
+                    tag: TAG_SPIN,
+                    payload: vec![],
+                },
+                SimTime::ZERO,
+            );
+            let m = self.coop.recv(crate::fabric::Q_BARRIER);
+            debug_assert_eq!(m.tag, TAG_SPIN);
+        }
+    }
+
+    fn set_region_homing(&self, global_off: usize, len: usize, homing: Homing) {
+        let mut o = self.shared.homing_overrides.lock();
+        o.retain(|(s, _, _)| *s != global_off);
+        o.push((global_off, global_off + len, homing));
+    }
+
+    fn clear_region_homing(&self, global_off: usize) {
+        self.shared
+            .homing_overrides
+            .lock()
+            .retain(|(s, _, _)| *s != global_off);
+    }
+
+    fn quiet(&self) {
+        tmc::fence::mem_fence();
+        self.advance_cycles(QUIET_CYCLES);
+    }
+
+    fn wait_pause(&self, attempt: u32) {
+        // Exponential backoff: 50 cycles doubling to a 12.8k-cycle cap
+        // (~13 us at 1 GHz). Detection latency is overestimated by at
+        // most one interval, negligible against the operations these
+        // waits pace.
+        let step = POLL_CYCLES * f64::from(1u32 << attempt.min(8));
+        self.advance_cycles(step);
+    }
+
+    fn compute(&self, cycles: f64) {
+        let t0 = self.coop.now();
+        self.advance_cycles(cycles);
+        self.trace(crate::trace::TraceKind::Compute, t0, usize::MAX, 0);
+    }
+
+    fn now_ns(&self) -> f64 {
+        self.coop.now().ns_f64()
+    }
+}

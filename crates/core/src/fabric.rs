@@ -1,0 +1,189 @@
+//! The engine abstraction: everything TSHMEM's protocol code needs from
+//! the machine underneath it.
+//!
+//! TSHMEM's algorithms — the token barrier, the four put/get address
+//! classes, the collectives — are written once against [`Fabric`] and
+//! executed by two engines:
+//!
+//! * [`crate::engine::native`] moves real bytes between real threads and
+//!   measures wall time;
+//! * [`crate::engine::timed`] moves the same real bytes under the
+//!   cooperative virtual-time scheduler, charging the calibrated Tilera
+//!   costs (UDN wire latency, cache-classified copy cycles, contention).
+//!
+//! Keeping a single protocol implementation is what makes the timed
+//! engine an honest model of the shipped library (`DESIGN.md` §6).
+
+/// UDN demux queue assignments (the hardware provides four).
+pub const Q_BARRIER: usize = 0;
+/// Collective control traffic (collect offset exchange, etc.).
+pub const Q_COLLECT: usize = 1;
+/// Completion replies for redirected (static) transfers.
+pub const Q_REPLY: usize = 2;
+/// Interrupt-service requests — the analog of Tilera UDN interrupts.
+pub const Q_SERVICE: usize = 3;
+
+/// A received protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoMsg {
+    /// Sending PE.
+    pub src: usize,
+    /// Software tag (message kind).
+    pub tag: u16,
+    /// Payload words.
+    pub payload: Vec<u64>,
+}
+
+/// Read-modify-write operations on symmetric words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwOp {
+    Add,
+    Swap,
+    And,
+    Or,
+    Xor,
+}
+
+/// Width of an atomic word operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwWidth {
+    W32,
+    W64,
+}
+
+/// Engine services available to every PE (and to its interrupt-service
+/// context).
+///
+/// Arena offsets are **global**: PE `p`'s partition occupies
+/// `[p * partition_bytes, (p+1) * partition_bytes)`. Private-segment
+/// offsets are local to the owning PE.
+pub trait Fabric: Send {
+    /// This PE's id.
+    fn pe(&self) -> usize;
+    /// Number of PEs.
+    fn npes(&self) -> usize;
+    /// Bytes per symmetric partition.
+    fn partition_bytes(&self) -> usize;
+    /// The modeled device (for compute-cost accounting and reporting).
+    fn device(&self) -> tile_arch::device::Device;
+
+    // --- control plane (UDN) ------------------------------------------
+
+    /// Send a protocol message to `dest`'s demux queue `queue`.
+    /// `Q_SERVICE` routes to the destination PE's interrupt-service
+    /// context rather than its main thread.
+    fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]);
+
+    /// Blocking receive from `queue`.
+    fn udn_recv(&self, queue: usize) -> ProtoMsg;
+
+    /// Non-blocking receive from `queue`.
+    fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg>;
+
+    // --- data plane (common memory) -----------------------------------
+
+    /// `memcpy` within the arena (global offsets; ranges may overlap).
+    fn arena_copy(&self, dst: usize, src: usize, len: usize);
+
+    /// Copy local bytes into the arena.
+    fn arena_write(&self, dst: usize, src: &[u8]);
+
+    /// Copy arena bytes into a local buffer.
+    fn arena_read(&self, src: usize, dst: &mut [u8]);
+
+    /// Atomic (acquire) load of an aligned u64 flag word.
+    fn arena_read_u64(&self, off: usize) -> u64;
+
+    /// Atomic (acquire) load of an aligned u32 word (for 32-bit waits).
+    fn arena_read_u32(&self, off: usize) -> u32;
+
+    /// Atomic (release) store of an aligned u64 flag word.
+    fn arena_write_u64(&self, off: usize, v: u64);
+
+    /// Atomic read-modify-write on an aligned word; returns the old
+    /// value (zero-extended for 32-bit widths).
+    fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64;
+
+    /// Atomic compare-and-swap on an aligned word; returns the old value.
+    fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64;
+
+    // --- private segment (the static-symmetric analog) ----------------
+
+    /// Write into *this PE's* private segment.
+    fn private_write(&self, off: usize, src: &[u8]);
+
+    /// Read from *this PE's* private segment.
+    fn private_read(&self, off: usize, dst: &mut [u8]);
+
+    /// One-`memcpy` transfer from this PE's private segment into the
+    /// arena (the service path of a redirected get).
+    fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize);
+
+    /// One-`memcpy` transfer from the arena into this PE's private
+    /// segment (the service path of a redirected put).
+    fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize);
+
+    /// Raw pointer into the arena for local compute over symmetric data
+    /// (bounds-checked; local access is uncosted in the timed engine —
+    /// application compute is charged via [`compute`](Fabric::compute)).
+    fn arena_raw(&self, off: usize, len: usize) -> *mut u8;
+
+    /// Raw pointer into this PE's private segment.
+    fn private_raw(&self, off: usize, len: usize) -> *mut u8;
+
+    /// The TMC spin barrier over an active set (Figure 5's primitive;
+    /// TSHMEM can adopt it for `barrier_all` on TILE-Gx — Section IV-E).
+    /// The triplet is `(start_pe, log2_stride, size)`.
+    fn tmc_spin_barrier(&self, set: (usize, u32, usize));
+
+    /// Register a homing policy for an arena region (the Section VI
+    /// "memory-homing strategies" extension). A no-op on the native
+    /// engine; the timed engines cost accesses to the region under the
+    /// given policy instead of the hash-for-home default.
+    fn set_region_homing(&self, global_off: usize, len: usize, homing: cachesim::homing::Homing) {
+        let _ = (global_off, len, homing);
+    }
+
+    /// Remove a homing registration (on `shfree`).
+    fn clear_region_homing(&self, global_off: usize) {
+        let _ = global_off;
+    }
+
+    // --- ordering, time, and pacing ------------------------------------
+
+    /// Block until all outstanding stores by this PE are visible
+    /// (`tmc_mem_fence` analog; implements `shmem_quiet`).
+    fn quiet(&self);
+
+    /// One backoff step of a polling wait (`shmem_wait` inner loop):
+    /// a spin hint natively, a clock advance under the timed engine so
+    /// that virtual time progresses. `attempt` is the number of failed
+    /// polls so far; the timed engine backs off exponentially with it
+    /// (capped), which keeps long waits from costing millions of
+    /// scheduler round-trips while bounding the detection-latency error.
+    fn wait_pause(&self, attempt: u32);
+
+    /// Charge application compute: a no-op natively (the computation
+    /// itself takes the time), a clock advance in the timed engine.
+    fn compute(&self, cycles: f64);
+
+    /// Engine-native current time in nanoseconds (wall time natively,
+    /// virtual time under the timed engine).
+    fn now_ns(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_assignments_are_distinct_and_in_hardware_range() {
+        let qs = [Q_BARRIER, Q_COLLECT, Q_REPLY, Q_SERVICE];
+        for (i, a) in qs.iter().enumerate() {
+            assert!(*a < udn::NUM_QUEUES);
+            for b in &qs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

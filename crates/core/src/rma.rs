@@ -1,0 +1,337 @@
+//! One-sided data transfers: elemental, bulk, and strided puts/gets,
+//! with the paper's address classification (Section IV-B).
+//!
+//! Every transfer classifies its target and source:
+//!
+//! | case (target–source) | put | get |
+//! |---|---|---|
+//! | dynamic–dynamic | direct local `memcpy` | direct local `memcpy` |
+//! | dynamic–static  | direct (read own private, write arena) | **redirected**: remote services a put into my arena |
+//! | static–dynamic  | **redirected**: remote services a get from my arena | direct (read arena, write own private) |
+//! | static–static   | **temp-assisted**: copy to shared temp, then redirect | **temp-assisted**: redirect into my temp, then copy |
+//!
+//! Redirection interrupts the remote tile over the UDN ([`crate::service`]);
+//! the temp-assisted cases pay one extra shared-memory copy — exactly the
+//! cost ladder of Figure 7.
+
+use crate::ctx::{byte_view, byte_view_mut, ShmemCtx};
+use crate::fabric::{Q_REPLY, Q_SERVICE};
+use crate::service::{encode_request, TAG_SDONE, TAG_SGET, TAG_SPUT};
+use crate::symm::{AddrClass, Bits, Sym};
+
+impl ShmemCtx {
+    // --- elemental (`shmem_T_p` / `shmem_T_g`) --------------------------
+
+    /// Write one element to `target[index]` on PE `pe`.
+    pub fn p<T: Bits>(&self, target: &Sym<T>, index: usize, value: T, pe: usize) {
+        self.put(target, index, std::slice::from_ref(&value), pe);
+    }
+
+    /// Read one element from `source[index]` on PE `pe`.
+    pub fn g<T: Bits>(&self, source: &Sym<T>, index: usize, pe: usize) -> T {
+        let mut out = [unsafe { std::mem::zeroed::<T>() }];
+        self.get(&mut out, source, index, pe);
+        out[0]
+    }
+
+    // --- bulk (`shmem_put` / `shmem_get` / `shmem_putmem`...) -----------
+
+    /// Put `src` into `target[index..]` on PE `pe` from a local buffer.
+    ///
+    /// Local buffers are private to this PE, so a static-class target
+    /// takes the temp-assisted path (a local Rust slice is the moral
+    /// equivalent of static/stack memory — the remote tile cannot read
+    /// it directly).
+    pub fn put<T: Bits>(&self, target: &Sym<T>, index: usize, src: &[T], pe: usize) {
+        self.check_pe(pe);
+        assert!(index + src.len() <= target.len(), "put out of bounds");
+        let bytes = byte_view(src);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.puts += 1;
+            s.put_bytes += bytes.len() as u64;
+        }
+        let toff = target.elem_offset(index);
+        match target.class() {
+            AddrClass::Dynamic => self.fab.arena_write(self.go(pe, toff), bytes),
+            AddrClass::Static if pe == self.my_pe() => self.fab.private_write(toff, bytes),
+            AddrClass::Static => self.put_static_via_temp(pe, toff, bytes),
+        }
+    }
+
+    /// Get `source[index..]` on PE `pe` into a local buffer.
+    pub fn get<T: Bits>(&self, dst: &mut [T], source: &Sym<T>, index: usize, pe: usize) {
+        self.check_pe(pe);
+        assert!(index + dst.len() <= source.len(), "get out of bounds");
+        let soff = source.elem_offset(index);
+        let len = std::mem::size_of_val(dst);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.gets += 1;
+            s.get_bytes += len as u64;
+        }
+        let bytes = byte_view_mut(dst);
+        match source.class() {
+            AddrClass::Dynamic => self.fab.arena_read(self.go(pe, soff), bytes),
+            AddrClass::Static if pe == self.my_pe() => self.fab.private_read(soff, bytes),
+            AddrClass::Static => self.get_static_via_temp(pe, soff, bytes),
+        }
+    }
+
+    /// Symmetric-to-symmetric put: `target[toff..toff+n]` on PE `pe`
+    /// receives `source[soff..soff+n]` from this PE. This is the form
+    /// that exercises all four Figure 7 cases.
+    pub fn put_sym<T: Bits>(
+        &self,
+        target: &Sym<T>,
+        toff: usize,
+        source: &Sym<T>,
+        soff: usize,
+        n: usize,
+        pe: usize,
+    ) {
+        self.check_pe(pe);
+        assert!(toff + n <= target.len(), "put_sym target out of bounds");
+        assert!(soff + n <= source.len(), "put_sym source out of bounds");
+        let len = n * std::mem::size_of::<T>();
+        if len == 0 {
+            return;
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.puts += 1;
+            s.put_bytes += len as u64;
+        }
+        let t = target.elem_offset(toff);
+        let s = source.elem_offset(soff);
+        let me = self.my_pe();
+        match (target.class(), source.class()) {
+            // dynamic-dynamic: plain shared-memory copy.
+            (AddrClass::Dynamic, AddrClass::Dynamic) => {
+                self.fab.arena_copy(self.go(pe, t), self.go(me, s), len);
+            }
+            // dynamic-static: the local tile can read its own private
+            // source and write the remote arena directly.
+            (AddrClass::Dynamic, AddrClass::Static) => {
+                self.bounce_private_to_arena(self.go(pe, t), s, len);
+            }
+            // static target on ourselves: direct private access.
+            (AddrClass::Static, _) if pe == me => match source.class() {
+                AddrClass::Dynamic => {
+                    self.bounce_arena_to_private(t, self.go(me, s), len);
+                }
+                AddrClass::Static => {
+                    let mut buf = vec![0u8; len];
+                    self.fab.private_read(s, &mut buf);
+                    self.fab.private_write(t, &buf);
+                }
+            },
+            // static-dynamic: redirect — the remote tile reads our arena
+            // partition into its private target.
+            (AddrClass::Static, AddrClass::Dynamic) => {
+                self.redirect(pe, TAG_SPUT, t, self.go(me, s), len);
+            }
+            // static-static: copy to the shared temp first, then
+            // redirect (the extra-copy penalty of Figure 7).
+            (AddrClass::Static, AddrClass::Static) => {
+                self.put_static_from_private(pe, t, s, len);
+            }
+        }
+    }
+
+    /// Symmetric-to-symmetric get: `target[toff..]` on this PE receives
+    /// `source[soff..]` from PE `pe`.
+    pub fn get_sym<T: Bits>(
+        &self,
+        target: &Sym<T>,
+        toff: usize,
+        source: &Sym<T>,
+        soff: usize,
+        n: usize,
+        pe: usize,
+    ) {
+        self.check_pe(pe);
+        assert!(toff + n <= target.len(), "get_sym target out of bounds");
+        assert!(soff + n <= source.len(), "get_sym source out of bounds");
+        let len = n * std::mem::size_of::<T>();
+        if len == 0 {
+            return;
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.gets += 1;
+            s.get_bytes += len as u64;
+        }
+        let t = target.elem_offset(toff);
+        let s = source.elem_offset(soff);
+        let me = self.my_pe();
+        match (target.class(), source.class()) {
+            (AddrClass::Dynamic, AddrClass::Dynamic) => {
+                self.fab.arena_copy(self.go(me, t), self.go(pe, s), len);
+            }
+            // static-dynamic get: local private target, readable arena
+            // source — direct.
+            (AddrClass::Static, AddrClass::Dynamic) => {
+                self.bounce_arena_to_private(t, self.go(pe, s), len);
+            }
+            (_, AddrClass::Static) if pe == me => match target.class() {
+                AddrClass::Dynamic => {
+                    self.bounce_private_to_arena(self.go(me, t), s, len);
+                }
+                AddrClass::Static => {
+                    let mut buf = vec![0u8; len];
+                    self.fab.private_read(s, &mut buf);
+                    self.fab.private_write(t, &buf);
+                }
+            },
+            // dynamic-static get: redirect — remote puts its private
+            // source straight into our arena target.
+            (AddrClass::Dynamic, AddrClass::Static) => {
+                self.redirect(pe, TAG_SGET, s, self.go(me, t), len);
+            }
+            // static-static get: redirect into our temp, then copy to
+            // our private target.
+            (AddrClass::Static, AddrClass::Static) => {
+                self.get_static_to_private(pe, t, s, len);
+            }
+        }
+    }
+
+    // --- strided (`shmem_T_iput` / `shmem_T_iget`) ----------------------
+
+    /// Strided put: element `i` of `src` goes to `target[tst*i + tidx]`
+    /// on PE `pe`.
+    pub fn iput<T: Bits>(
+        &self,
+        target: &Sym<T>,
+        tidx: usize,
+        tst: usize,
+        src: &[T],
+        sst: usize,
+        pe: usize,
+    ) {
+        assert!(tst >= 1 && sst >= 1, "strides must be >= 1");
+        for (i, chunk) in src.iter().step_by(sst).enumerate() {
+            self.p(target, tidx + i * tst, *chunk, pe);
+        }
+    }
+
+    /// Strided get: `dst[i]` receives `source[sst*i + sidx]` from `pe`.
+    pub fn iget<T: Bits>(
+        &self,
+        dst: &mut [T],
+        dst_stride: usize,
+        source: &Sym<T>,
+        sidx: usize,
+        sst: usize,
+        pe: usize,
+    ) {
+        assert!(dst_stride >= 1 && sst >= 1, "strides must be >= 1");
+        let n = dst.len().div_ceil(dst_stride);
+        for i in 0..n {
+            dst[i * dst_stride] = self.g(source, sidx + i * sst, pe);
+        }
+    }
+
+    // --- `shmem_ptr` ----------------------------------------------------
+
+    /// The analog of `shmem_ptr`: a raw pointer to `sym` on PE `pe` if
+    /// it is directly addressable from this PE (dynamic objects always
+    /// are on this shared-memory machine; remote static objects are not).
+    pub fn ptr<T: Bits>(&self, sym: &Sym<T>, pe: usize) -> Option<*mut T> {
+        self.check_pe(pe);
+        match sym.class() {
+            AddrClass::Dynamic => Some(
+                self.fab
+                    .arena_raw(self.go(pe, sym.offset()), sym.byte_len())
+                    .cast::<T>(),
+            ),
+            AddrClass::Static if pe == self.my_pe() => {
+                Some(self.fab.private_raw(sym.offset(), sym.byte_len()).cast::<T>())
+            }
+            AddrClass::Static => None,
+        }
+    }
+
+    // --- redirection internals -------------------------------------------
+
+    /// Send a service request and await its completion reply.
+    fn redirect(&self, pe: usize, tag: u16, priv_off: usize, arena_global: usize, len: usize) {
+        self.stats.borrow_mut().redirected += 1;
+        let token = self.next_token();
+        self.fab.quiet(); // our arena-side data must be visible first
+        self.fab
+            .udn_send(pe, Q_SERVICE, tag, &encode_request(priv_off, arena_global, len, token));
+        let reply = self.fab.udn_recv(Q_REPLY);
+        assert_eq!(reply.tag, TAG_SDONE, "unexpected reply tag {}", reply.tag);
+        assert_eq!(reply.payload[0], token, "reply token mismatch");
+    }
+
+    /// put with static target, arbitrary local bytes: chunk through the
+    /// shared temp buffer.
+    fn put_static_via_temp(&self, pe: usize, priv_dst: usize, bytes: &[u8]) {
+        let me = self.my_pe();
+        let temp = self.layout.temp_off;
+        let cap = self.layout.temp_bytes;
+        let mut done = 0;
+        while done < bytes.len() {
+            let n = (bytes.len() - done).min(cap);
+            self.fab.arena_write(self.go(me, temp), &bytes[done..done + n]);
+            self.redirect(pe, TAG_SPUT, priv_dst + done, self.go(me, temp), n);
+            done += n;
+        }
+    }
+
+    /// get with static source into arbitrary local bytes: redirect into
+    /// our temp, then read out.
+    fn get_static_via_temp(&self, pe: usize, priv_src: usize, bytes: &mut [u8]) {
+        let me = self.my_pe();
+        let temp = self.layout.temp_off;
+        let cap = self.layout.temp_bytes;
+        let mut done = 0;
+        while done < bytes.len() {
+            let n = (bytes.len() - done).min(cap);
+            self.redirect(pe, TAG_SGET, priv_src + done, self.go(me, temp), n);
+            self.fab.arena_read(self.go(me, temp), &mut bytes[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// static-static put: private source -> shared temp -> remote private.
+    fn put_static_from_private(&self, pe: usize, priv_dst: usize, priv_src: usize, len: usize) {
+        let me = self.my_pe();
+        let temp = self.layout.temp_off;
+        let cap = self.layout.temp_bytes;
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(cap);
+            self.fab.private_to_arena(self.go(me, temp), priv_src + done, n);
+            self.redirect(pe, TAG_SPUT, priv_dst + done, self.go(me, temp), n);
+            done += n;
+        }
+    }
+
+    /// static-static get: remote private -> my shared temp -> my private.
+    fn get_static_to_private(&self, pe: usize, priv_dst: usize, priv_src: usize, len: usize) {
+        let me = self.my_pe();
+        let temp = self.layout.temp_off;
+        let cap = self.layout.temp_bytes;
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(cap);
+            self.redirect(pe, TAG_SGET, priv_src + done, self.go(me, temp), n);
+            self.fab.arena_to_private(priv_dst + done, self.go(me, temp), n);
+            done += n;
+        }
+    }
+
+    /// Large private->arena transfer in one memcpy.
+    fn bounce_private_to_arena(&self, arena_dst_global: usize, priv_src: usize, len: usize) {
+        self.fab.private_to_arena(arena_dst_global, priv_src, len);
+    }
+
+    /// Large arena->private transfer in one memcpy.
+    fn bounce_arena_to_private(&self, priv_dst: usize, arena_src_global: usize, len: usize) {
+        self.fab.arena_to_private(priv_dst, arena_src_global, len);
+    }
+}

@@ -1,0 +1,337 @@
+//! Launching SHMEM jobs — the analog of TSHMEM's executable launcher
+//! plus `start_pes()` (paper Section IV-A).
+//!
+//! The launcher sets up common memory (the globally shared space),
+//! partitions it symmetrically, wires up the UDN, binds one task per
+//! tile, starts each PE's interrupt-service context, runs the
+//! application closure on every PE, and tears everything down through
+//! `shmem_finalize`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cachesim::homing::Homing;
+use desim::time::SimTime;
+use parking_lot::Mutex;
+use tile_arch::area::TestArea;
+use tile_arch::device::Device;
+use tmc::common::CommonMemory;
+use udn::fabric::UdnFabric;
+
+use crate::ctx::{Algorithms, Layout, ShmemCtx};
+use crate::engine::native::{NativeFabric, NativeShared};
+use crate::engine::timed::{TimedFabric, TimedShared};
+use crate::service::service_loop;
+
+/// Configuration of one SHMEM job.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// The modeled device (drives the timed engine's costs; the native
+    /// engine uses it only for reporting units).
+    pub device: Device,
+    /// Number of PEs (one per tile).
+    pub npes: usize,
+    /// Bytes per symmetric partition (includes TSHMEM's internal region).
+    pub partition_bytes: usize,
+    /// Bytes per PE private segment (the static-variable analog).
+    pub private_bytes: usize,
+    /// Temp-buffer bytes inside each partition (static-static transfers,
+    /// recursive-doubling exchange).
+    pub temp_bytes: usize,
+    /// Collective/barrier algorithm selection.
+    pub algos: Algorithms,
+    /// Native engine: bound each UDN demux queue to this many packets
+    /// (hardware-faithful backpressure mode — the real device queues
+    /// hold 127 words). `None` (default) = unbounded.
+    pub udn_queue_packets: Option<usize>,
+    /// Timed engine: record an operation trace (see [`crate::trace`]).
+    pub trace: bool,
+}
+
+impl RuntimeConfig {
+    /// Defaults: TILE-Gx8036 model, 4 MB partitions, 1 MB private
+    /// segments, 64 kB temp.
+    pub fn new(npes: usize) -> Self {
+        Self::for_device(Device::tile_gx8036(), npes)
+    }
+
+    /// Defaults for a specific device.
+    pub fn for_device(device: Device, npes: usize) -> Self {
+        Self {
+            device,
+            npes,
+            partition_bytes: 4 * 1024 * 1024,
+            private_bytes: 1024 * 1024,
+            temp_bytes: 64 * 1024,
+            algos: Algorithms::default(),
+            udn_queue_packets: None,
+            trace: false,
+        }
+    }
+
+    pub fn with_partition_bytes(mut self, b: usize) -> Self {
+        self.partition_bytes = b;
+        self
+    }
+
+    pub fn with_private_bytes(mut self, b: usize) -> Self {
+        self.private_bytes = b;
+        self
+    }
+
+    pub fn with_temp_bytes(mut self, b: usize) -> Self {
+        self.temp_bytes = b;
+        self
+    }
+
+    pub fn with_algos(mut self, a: Algorithms) -> Self {
+        self.algos = a;
+        self
+    }
+
+    /// Bound the native engine's UDN queues (backpressure mode).
+    pub fn with_bounded_udn(mut self, packets: usize) -> Self {
+        self.udn_queue_packets = Some(packets);
+        self
+    }
+
+    /// Record a virtual-time operation trace (timed engine only).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// The test area PEs map onto: the paper's 6×6 area when it fits
+    /// (full coverage of the TILE-Gx36, the corner of the TILEPro64),
+    /// otherwise the full chip.
+    pub fn area(&self) -> TestArea {
+        let d = self.device;
+        if self.npes <= 36 && d.grid.cols >= 6 && d.grid.rows >= 6 {
+            TestArea::paper_6x6(d)
+        } else {
+            TestArea::new(d, d.grid.cols, d.grid.rows)
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.npes >= 1, "need at least one PE");
+        assert!(
+            self.npes <= self.area().tiles(),
+            "{} PEs exceed the {}-tile device {}",
+            self.npes,
+            self.area().tiles(),
+            self.device.name
+        );
+        // Layout::new re-validates the internal region fit.
+        let _ = Layout::new(self.partition_bytes, self.npes, self.temp_bytes);
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::new(self.partition_bytes, self.npes, self.temp_bytes)
+    }
+}
+
+/// Run `f` on every PE with the **native** engine (real threads, wall
+/// time). Returns each PE's result, indexed by PE.
+///
+/// # Panics
+/// Propagates application panics (other PEs may be aborted mid-protocol).
+pub fn launch<R, F>(cfg: &RuntimeConfig, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
+{
+    cfg.validate();
+    let layout = cfg.layout();
+    let endpoints = match cfg.udn_queue_packets {
+        Some(p) => UdnFabric::new_bounded(cfg.npes, p),
+        None => UdnFabric::new(cfg.npes),
+    };
+    let shared = Arc::new(NativeShared {
+        arena: CommonMemory::new(cfg.npes * cfg.partition_bytes, Homing::HashForHome),
+        privates: (0..cfg.npes)
+            .map(|pe| CommonMemory::new(cfg.private_bytes, Homing::Local(pe)))
+            .collect(),
+        npes: cfg.npes,
+        partition_bytes: cfg.partition_bytes,
+        device: cfg.device,
+        start: Instant::now(),
+        spin_barriers: Mutex::new(std::collections::HashMap::new()),
+        aborted: std::sync::atomic::AtomicBool::new(false),
+    });
+
+    // Interrupt-service contexts: one thread per PE, consuming only
+    // Q_SERVICE of that PE's endpoint.
+    let service_threads: Vec<_> = (0..cfg.npes)
+        .map(|pe| {
+            let fab = NativeFabric::new(shared.clone(), pe, endpoints[pe].clone());
+            std::thread::Builder::new()
+                .name(format!("shmem-svc-{pe}"))
+                .spawn(move || service_loop(&fab))
+                .expect("spawn service thread")
+        })
+        .collect();
+
+    let results = tmc::task::run_on_tiles(cfg.npes, |pe| {
+        let fab = NativeFabric::new(shared.clone(), pe, endpoints[pe].clone());
+        let ctx = ShmemCtx::new(Box::new(fab), layout, cfg.algos, cfg.private_bytes);
+        // If any PE panics, flag the job so peers blocked in protocol
+        // waits abort instead of hanging (SHMEM jobs are all-or-nothing),
+        // then re-raise the original panic.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx))) {
+            Ok(r) => {
+                ctx.finalize();
+                r
+            }
+            Err(p) => {
+                shared.aborted.store(true, std::sync::atomic::Ordering::Release);
+                // Release this PE's service thread regardless.
+                endpoints[pe].send(pe, crate::fabric::Q_SERVICE, crate::service::TAG_SHUTDOWN, vec![]);
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+
+    for t in service_threads {
+        t.join().expect("service thread panicked");
+    }
+    results
+}
+
+/// Outcome of a timed launch: per-PE results and virtual clocks.
+pub struct TimedOutcome<R> {
+    /// Per-PE return values, indexed by PE.
+    pub values: Vec<R>,
+    /// Each PE's final virtual clock.
+    pub clocks: Vec<SimTime>,
+    /// The simulated makespan (max final clock over PEs).
+    pub makespan: SimTime,
+    /// Operation trace, when enabled with `RuntimeConfig::with_trace`.
+    pub trace: Option<Vec<crate::trace::TraceEvent>>,
+}
+
+/// Run `f` on every PE with the **timed** engine (virtual time,
+/// calibrated Tilera costs). Deterministic.
+pub fn launch_timed<R, F>(cfg: &RuntimeConfig, f: F) -> TimedOutcome<R>
+where
+    R: Send + 'static,
+    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
+{
+    cfg.validate();
+    let layout = cfg.layout();
+    let npes = cfg.npes;
+    let algos = cfg.algos;
+    let private_bytes = cfg.private_bytes;
+    let sink = cfg.trace.then(|| Arc::new(crate::trace::TraceSink::new()));
+    let shared = TimedShared::new_traced(
+        cfg.area(),
+        npes,
+        cfg.partition_bytes,
+        cfg.private_bytes,
+        sink.clone(),
+    );
+
+    let out = desim::coop::run(2 * npes, udn::NUM_QUEUES, move |h| {
+        let lp = h.id();
+        let fab = TimedFabric::for_lp(shared.clone(), lp, h);
+        if lp < npes {
+            let ctx = ShmemCtx::new(Box::new(fab), layout, algos, private_bytes);
+            let r = f(&ctx);
+            ctx.finalize();
+            Some(r)
+        } else {
+            service_loop(&fab);
+            None
+        }
+    });
+
+    let mut values = Vec::with_capacity(npes);
+    let mut clocks = Vec::with_capacity(npes);
+    for (i, v) in out.values.into_iter().enumerate() {
+        if i < npes {
+            values.push(v.expect("PE LP must return a value"));
+            clocks.push(out.clocks[i]);
+        }
+    }
+    let makespan = clocks.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    TimedOutcome {
+        values,
+        clocks,
+        makespan,
+        trace: sink.map(|s| s.take()),
+    }
+}
+
+/// `start_pes()`-flavored convenience: run with `npes` PEs on the
+/// default device and native engine.
+pub fn start_pes<R, F>(npes: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
+{
+    launch(&RuntimeConfig::new(npes), f)
+}
+
+/// Run `f` across `chips` simulated devices with `cfg.npes` PEs **per
+/// chip**, connected by mPIPE links — the paper's Section VI
+/// multi-device future work, on the timed engine.
+///
+/// PEs are block-distributed: chip `c` hosts PEs
+/// `[c * cfg.npes, (c+1) * cfg.npes)`. The TMC spin barrier is a
+/// single-chip primitive and must not be selected.
+pub fn launch_multichip<R, F>(cfg: &RuntimeConfig, chips: usize, f: F) -> TimedOutcome<R>
+where
+    R: Send + 'static,
+    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
+{
+    use crate::engine::multichip::{MultiChipFabric, MultiChipShared};
+    cfg.validate();
+    assert!(chips >= 1, "need at least one chip");
+    assert!(
+        cfg.algos.barrier != crate::ctx::BarrierAlgo::TmcSpin || chips == 1,
+        "the TMC spin barrier cannot span chips"
+    );
+    let pes_per_chip = cfg.npes;
+    let npes = chips * pes_per_chip;
+    let layout = Layout::new(cfg.partition_bytes, npes, cfg.temp_bytes);
+    let algos = cfg.algos;
+    let private_bytes = cfg.private_bytes;
+    let shared = MultiChipShared::new(
+        cfg.area(),
+        chips,
+        pes_per_chip,
+        cfg.partition_bytes,
+        cfg.private_bytes,
+        mpipe::MpipeTimings::xaui_10g(),
+    );
+
+    let out = desim::coop::run(2 * npes, udn::NUM_QUEUES, move |h| {
+        let lp = h.id();
+        let fab = MultiChipFabric::for_lp(shared.clone(), lp, h);
+        if lp < npes {
+            let ctx = ShmemCtx::new(Box::new(fab), layout, algos, private_bytes);
+            let r = f(&ctx);
+            ctx.finalize();
+            Some(r)
+        } else {
+            service_loop(&fab);
+            None
+        }
+    });
+
+    let mut values = Vec::with_capacity(npes);
+    let mut clocks = Vec::with_capacity(npes);
+    for (i, v) in out.values.into_iter().enumerate() {
+        if i < npes {
+            values.push(v.expect("PE LP must return a value"));
+            clocks.push(out.clocks[i]);
+        }
+    }
+    let makespan = clocks.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    TimedOutcome {
+        values,
+        clocks,
+        makespan,
+        trace: None, // the multi-chip engine does not trace (yet)
+    }
+}

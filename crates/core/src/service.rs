@@ -1,0 +1,68 @@
+//! The interrupt-service handler — the analog of Tilera UDN interrupts.
+//!
+//! Static symmetric variables live in each PE's private segment, which
+//! other PEs cannot touch directly. When a put/get needs the far side's
+//! private memory, the near side interrupts the far tile over the UDN and
+//! the far tile services the operation itself (paper Section IV-B2). Our
+//! analog is one service context per PE — a thread on the native engine,
+//! a logical process on the timed engine — that listens on
+//! [`Q_SERVICE`] and performs the copy against
+//! its own private segment.
+//!
+//! The handler also implements the orderly teardown that motivates the
+//! paper's proposed `shmem_finalize()` (Section IV-E): without a shutdown
+//! message the service context would outlive the application and, on real
+//! hardware, leave the UDN engaged.
+
+use crate::fabric::{Fabric, Q_REPLY, Q_SERVICE};
+
+/// Service-request tags on `Q_SERVICE`.
+pub const TAG_SPUT: u16 = 1;
+/// Remote get service: "copy from YOUR private segment into the arena".
+pub const TAG_SGET: u16 = 2;
+/// Completion replies on `Q_REPLY`.
+pub const TAG_SDONE: u16 = 3;
+/// Orderly teardown (see `shmem_finalize`).
+pub const TAG_SHUTDOWN: u16 = 0xFFFE;
+
+/// Run the service loop until shutdown. `fab` must be the serviced PE's
+/// fabric (a clone of it on the native engine; the dedicated service LP's
+/// fabric on the timed engine).
+pub fn service_loop(fab: &dyn Fabric) {
+    loop {
+        let msg = fab.udn_recv(Q_SERVICE);
+        match msg.tag {
+            TAG_SPUT => {
+                // payload: [priv_dst, arena_src(global), len, token]
+                let [priv_dst, arena_src, len, token] = decode4(&msg.payload);
+                fab.arena_to_private(priv_dst, arena_src, len);
+                fab.quiet();
+                fab.udn_send(msg.src, Q_REPLY, TAG_SDONE, &[token as u64]);
+            }
+            TAG_SGET => {
+                // payload: [priv_src, arena_dst(global), len, token]
+                let [priv_src, arena_dst, len, token] = decode4(&msg.payload);
+                fab.private_to_arena(arena_dst, priv_src, len);
+                fab.quiet();
+                fab.udn_send(msg.src, Q_REPLY, TAG_SDONE, &[token as u64]);
+            }
+            TAG_SHUTDOWN => return,
+            other => panic!("service context of PE {} got unknown tag {other}", fab.pe()),
+        }
+    }
+}
+
+fn decode4(payload: &[u64]) -> [usize; 4] {
+    assert_eq!(payload.len(), 4, "malformed service request");
+    [
+        payload[0] as usize,
+        payload[1] as usize,
+        payload[2] as usize,
+        payload[3] as usize,
+    ]
+}
+
+/// Encode a service request payload.
+pub fn encode_request(a: usize, b: usize, len: usize, token: u64) -> [u64; 4] {
+    [a as u64, b as u64, len as u64, token]
+}

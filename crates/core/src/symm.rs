@@ -1,0 +1,174 @@
+//! Symmetric objects: typed handles to memory that exists on every PE.
+//!
+//! SHMEM's two kinds of symmetric data (paper Section II-A):
+//!
+//! * **Dynamic** symmetric objects live in the symmetric heap — PE `p`'s
+//!   copy is in `p`'s partition of common memory, at the same
+//!   partition-relative offset on every PE (guaranteed by the collective
+//!   allocation discipline of `shmalloc`).
+//! * **Static** symmetric objects are the analog of link-time globals:
+//!   they live in each PE's *private* segment at identical offsets
+//!   (guaranteed by the identical allocation sequence, as the identical
+//!   executable guarantees on real hardware). Private segments are not
+//!   directly accessible from other PEs — remote access goes through the
+//!   UDN interrupt-service redirection of `crate::rma`.
+//!
+//! A [`Sym<T>`] is a plain value (offset + length + class); it is `Copy`
+//! and meaningful on every PE, mirroring how a C SHMEM program passes the
+//! same pointer value everywhere.
+
+use std::marker::PhantomData;
+
+pub use tmc::common::Bits;
+
+/// Which address space a symmetric object lives in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AddrClass {
+    /// Symmetric heap (common memory partition) — directly addressable
+    /// by every PE.
+    Dynamic,
+    /// Private segment (static-variable analog) — only the owning PE
+    /// (and its interrupt-service context) can touch it.
+    Static,
+}
+
+/// A typed symmetric array of `len` elements of `T`.
+#[derive(Debug)]
+pub struct Sym<T> {
+    class: AddrClass,
+    /// Partition-relative offset (dynamic) or private-segment offset
+    /// (static), in bytes.
+    offset: usize,
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+// Derive-free impls so `Sym<T>: Copy` without requiring `T: Copy`.
+impl<T> Clone for Sym<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Sym<T> {}
+impl<T> PartialEq for Sym<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.class == other.class && self.offset == other.offset && self.len == other.len
+    }
+}
+impl<T> Eq for Sym<T> {}
+
+impl<T: Bits> Sym<T> {
+    pub(crate) fn new(class: AddrClass, offset: usize, len: usize) -> Self {
+        Self {
+            class,
+            offset,
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Address class (dynamic heap vs static/private).
+    pub fn class(&self) -> AddrClass {
+        self.class
+    }
+
+    /// Byte offset within the partition (dynamic) or private segment
+    /// (static).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+
+    /// Byte offset of element `index`.
+    ///
+    /// # Panics
+    /// Panics if `index > len` (one-past-the-end is allowed for ranges).
+    pub fn elem_offset(&self, index: usize) -> usize {
+        assert!(index <= self.len, "index {index} out of bounds (len {})", self.len);
+        self.offset + index * std::mem::size_of::<T>()
+    }
+
+    /// A sub-array view `[start, start+len)`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the array.
+    pub fn slice(&self, start: usize, len: usize) -> Sym<T> {
+        assert!(
+            start.checked_add(len).is_some_and(|e| e <= self.len),
+            "slice [{start}, {start}+{len}) out of bounds (len {})",
+            self.len
+        );
+        Sym::new(self.class, self.elem_offset(start), len)
+    }
+
+    /// Reinterpret as raw bytes (for `putmem`/`getmem`-style code).
+    pub fn as_bytes(&self) -> Sym<u8> {
+        Sym::new(self.class, self.offset, self.byte_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_and_lengths() {
+        let s: Sym<u32> = Sym::new(AddrClass::Dynamic, 64, 10);
+        assert_eq!(s.byte_len(), 40);
+        assert_eq!(s.elem_offset(0), 64);
+        assert_eq!(s.elem_offset(3), 76);
+        assert_eq!(s.elem_offset(10), 104); // one past the end
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn elem_offset_past_end_panics() {
+        Sym::<u32>::new(AddrClass::Dynamic, 0, 4).elem_offset(5);
+    }
+
+    #[test]
+    fn slicing() {
+        let s: Sym<f64> = Sym::new(AddrClass::Static, 0, 8);
+        let sub = s.slice(2, 3);
+        assert_eq!(sub.offset(), 16);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.class(), AddrClass::Static);
+        let whole = s.slice(0, 8);
+        assert_eq!(whole, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_slice_panics() {
+        Sym::<u8>::new(AddrClass::Dynamic, 0, 4).slice(3, 2);
+    }
+
+    #[test]
+    fn byte_view() {
+        let s: Sym<u64> = Sym::new(AddrClass::Dynamic, 8, 4);
+        let b = s.as_bytes();
+        assert_eq!(b.len(), 32);
+        assert_eq!(b.offset(), 8);
+    }
+
+    #[test]
+    fn sym_is_copy_and_eq() {
+        let s: Sym<i32> = Sym::new(AddrClass::Dynamic, 0, 1);
+        let t = s;
+        assert_eq!(s, t);
+    }
+}

@@ -1,0 +1,23 @@
+//! Communication synchronization: `shmem_fence` and `shmem_quiet`
+//! (paper Section IV-C2).
+//!
+//! `shmem_quiet()` blocks until all outstanding puts to all PEs are
+//! complete; `shmem_fence()` only orders puts to each individual PE.
+//! TSHMEM implements quiet with `tmc_mem_fence()` and simply aliases
+//! fence to quiet, giving it the stronger semantics — we do the same.
+
+use crate::ctx::ShmemCtx;
+
+impl ShmemCtx {
+    /// `shmem_quiet`: all outstanding puts by this PE are complete and
+    /// visible.
+    pub fn quiet(&self) {
+        self.fab.quiet();
+    }
+
+    /// `shmem_fence`: ordering of puts per destination PE. Aliased to
+    /// [`quiet`](Self::quiet), exactly as in the paper's TSHMEM.
+    pub fn fence(&self) {
+        self.quiet();
+    }
+}

@@ -1,0 +1,62 @@
+//! Distributed locks: `shmem_set_lock` / `shmem_clear_lock` /
+//! `shmem_test_lock`.
+//!
+//! The lock object is a symmetric `i64`; by convention (as in common
+//! OpenSHMEM implementations) PE 0's copy is the arbiter. Acquisition is
+//! test-and-set with exponential backoff over the symmetric atomic
+//! compare-and-swap.
+
+use crate::ctx::ShmemCtx;
+use crate::fabric::RmwWidth;
+use crate::symm::{AddrClass, Sym};
+
+impl ShmemCtx {
+    fn lock_off(&self, lock: &Sym<i64>) -> usize {
+        assert_eq!(
+            lock.class(),
+            AddrClass::Dynamic,
+            "lock objects must be dynamic symmetric variables"
+        );
+        assert!(!lock.is_empty(), "lock object must have at least one element");
+        let off = self.go(0, lock.offset());
+        assert_eq!(off % 8, 0, "lock must be 8-byte aligned");
+        off
+    }
+
+    /// `shmem_set_lock`: acquire, blocking with exponential backoff.
+    pub fn set_lock(&self, lock: &Sym<i64>) {
+        let off = self.lock_off(lock);
+        let me = self.my_pe() as u64 + 1;
+        let mut attempt = 0u32;
+        loop {
+            if self.fab.arena_cswap(off, 0, me, RmwWidth::W64) == 0 {
+                return;
+            }
+            self.fab.wait_pause(attempt);
+            attempt += 1;
+        }
+    }
+
+    /// `shmem_test_lock`: one acquisition attempt; `true` if acquired.
+    pub fn test_lock(&self, lock: &Sym<i64>) -> bool {
+        let off = self.lock_off(lock);
+        let me = self.my_pe() as u64 + 1;
+        self.fab.arena_cswap(off, 0, me, RmwWidth::W64) == 0
+    }
+
+    /// `shmem_clear_lock`: release.
+    ///
+    /// # Panics
+    /// Panics if this PE does not hold the lock.
+    pub fn clear_lock(&self, lock: &Sym<i64>) {
+        let off = self.lock_off(lock);
+        let me = self.my_pe() as u64 + 1;
+        self.fab.quiet(); // critical-section stores drain first
+        let old = self.fab.arena_cswap(off, me, 0, RmwWidth::W64);
+        assert_eq!(
+            old, me,
+            "PE {} released a lock it does not hold (owner word {old})",
+            self.my_pe()
+        );
+    }
+}

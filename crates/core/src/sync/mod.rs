@@ -1,0 +1,9 @@
+//! Synchronization: barriers, fence/quiet, point-to-point waits, and
+//! distributed locks (paper Section IV-C).
+
+pub mod barrier;
+pub mod fence;
+pub mod lock;
+pub mod pt2pt;
+
+pub use pt2pt::Cmp;

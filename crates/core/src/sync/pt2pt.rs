@@ -1,0 +1,116 @@
+//! Point-to-point synchronization: `shmem_wait` / `shmem_wait_until`.
+//!
+//! A PE blocks until a local symmetric variable satisfies a comparison —
+//! the variable is updated remotely by a put or atomic from another PE.
+//! Supported on dynamic symmetric variables; waiting on static
+//! (private-segment) variables is not supported, mirroring the paper's
+//! partial static coverage (Section IV-E).
+
+use crate::ctx::ShmemCtx;
+use crate::symm::{AddrClass, Bits, Sym};
+
+/// Comparison operators for `wait_until` (OpenSHMEM `SHMEM_CMP_*`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Gt,
+    Le,
+    Lt,
+    Ge,
+}
+
+impl Cmp {
+    fn holds<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Gt => a > b,
+            Cmp::Le => a <= b,
+            Cmp::Lt => a < b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+/// Integer types `shmem_wait` can poll (loads must be single-copy
+/// atomic, so only word types qualify).
+pub trait WaitInt: Bits + PartialOrd {
+    /// Atomically load this PE's copy at the given global arena offset.
+    fn load(ctx: &ShmemCtx, global_off: usize) -> Self;
+}
+
+macro_rules! impl_wait_int {
+    ($($t:ty => $via:ident),*) => {
+        $(impl WaitInt for $t {
+            fn load(ctx: &ShmemCtx, global_off: usize) -> Self {
+                ctx.fab.$via(global_off) as $t
+            }
+        })*
+    };
+}
+
+impl_wait_int!(u32 => arena_read_u32, i32 => arena_read_u32, u64 => arena_read_u64, i64 => arena_read_u64);
+
+impl ShmemCtx {
+    /// `shmem_wait_until`: block until `var[index]` on *this* PE
+    /// satisfies `cmp value`.
+    ///
+    /// # Panics
+    /// Panics for static symmetric variables (unsupported, as in the
+    /// paper) and for unaligned elements.
+    pub fn wait_until<T: WaitInt>(&self, var: &Sym<T>, index: usize, cmp: Cmp, value: T) {
+        assert_eq!(
+            var.class(),
+            AddrClass::Dynamic,
+            "shmem_wait on static symmetric variables is not supported (see paper Section IV-E)"
+        );
+        let off = self.go(self.my_pe(), var.elem_offset(index));
+        assert_eq!(off % std::mem::size_of::<T>(), 0, "unaligned wait variable");
+        let mut attempt = 0u32;
+        while !cmp.holds(T::load(self, off), value) {
+            self.fab.wait_pause(attempt);
+            attempt += 1;
+        }
+    }
+
+    /// `shmem_wait`: block until `var[index]` is no longer `value`.
+    pub fn wait<T: WaitInt>(&self, var: &Sym<T>, index: usize, value: T) {
+        self.wait_until(var, index, Cmp::Ne, value);
+    }
+
+    // --- internal flag helpers (collective completion signals) ---------
+
+    /// Set flag slot `slot` of `flags_base` on PE `pe` to `val`.
+    pub(crate) fn flag_set(&self, pe: usize, flags_base: usize, slot: usize, val: u64) {
+        debug_assert!(slot < self.layout.npes);
+        self.fab
+            .arena_write_u64(self.go(pe, flags_base + slot * 8), val);
+    }
+
+    /// Wait until our local flag `slot` of `flags_base` reaches `val`.
+    pub(crate) fn flag_wait_ge(&self, flags_base: usize, slot: usize, val: u64) {
+        let off = self.go(self.my_pe(), flags_base + slot * 8);
+        let mut attempt = 0u32;
+        while self.fab.arena_read_u64(off) < val {
+            self.fab.wait_pause(attempt);
+            attempt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(Cmp::Eq.holds(3, 3));
+        assert!(Cmp::Ne.holds(3, 4));
+        assert!(Cmp::Gt.holds(5, 4));
+        assert!(Cmp::Le.holds(4, 4));
+        assert!(Cmp::Lt.holds(-1, 0));
+        assert!(Cmp::Ge.holds(0, 0));
+        assert!(!Cmp::Gt.holds(4, 4));
+    }
+}

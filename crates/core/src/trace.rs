@@ -1,0 +1,165 @@
+//! Operation tracing for the timed engine.
+//!
+//! When enabled ([`crate::RuntimeConfig::with_trace`]), every costed
+//! operation appends a [`TraceEvent`] with its virtual start/end times —
+//! a timeline of what each PE did, suitable for debugging protocol
+//! schedules or rendering Gantt-style charts. Tracing is deterministic
+//! (events are part of the virtual-time execution, not wall time).
+
+use desim::time::SimTime;
+use parking_lot::Mutex;
+
+/// What kind of operation an event records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// UDN protocol message sent (dest PE in `peer`).
+    UdnSend,
+    /// Data copy (bytes in `bytes`).
+    Copy,
+    /// Atomic operation.
+    Atomic,
+    /// Compute phase.
+    Compute,
+    /// Barrier/collective wait time (polling).
+    Wait,
+}
+
+impl TraceKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::UdnSend => "udn_send",
+            TraceKind::Copy => "copy",
+            TraceKind::Atomic => "atomic",
+            TraceKind::Compute => "compute",
+            TraceKind::Wait => "wait",
+        }
+    }
+}
+
+/// One traced operation.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    pub pe: usize,
+    pub kind: TraceKind,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Peer PE for sends; `usize::MAX` otherwise.
+    pub peer: usize,
+    /// Payload bytes for copies/sends; 0 otherwise.
+    pub bytes: u64,
+}
+
+/// Shared, append-only event sink.
+#[derive(Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+
+    /// Drain all events, sorted by start time (ties by PE) for a stable,
+    /// readable timeline.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        let mut v = std::mem::take(&mut *self.events.lock());
+        v.sort_by_key(|e| (e.start, e.pe, e.end));
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+/// Render a timeline as TSV (`start_ns  end_ns  pe  kind  peer  bytes`).
+pub fn to_tsv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("start_ns\tend_ns\tpe\tkind\tpeer\tbytes\n");
+    for e in events {
+        let peer = if e.peer == usize::MAX {
+            "-".to_string()
+        } else {
+            e.peer.to_string()
+        };
+        out.push_str(&format!(
+            "{:.1}\t{:.1}\t{}\t{}\t{}\t{}\n",
+            e.start.ns_f64(),
+            e.end.ns_f64(),
+            e.pe,
+            e.kind.name(),
+            peer,
+            e.bytes
+        ));
+    }
+    out
+}
+
+/// Per-PE busy-time summary by kind, in ns.
+pub fn summarize(events: &[TraceEvent], npes: usize) -> Vec<std::collections::HashMap<&'static str, f64>> {
+    let mut out = vec![std::collections::HashMap::new(); npes];
+    for e in events {
+        if e.pe < npes {
+            *out[e.pe].entry(e.kind.name()).or_insert(0.0) +=
+                e.end.ns_f64() - e.start.ns_f64();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pe: usize, kind: TraceKind, s: u64, e: u64) -> TraceEvent {
+        TraceEvent {
+            pe,
+            kind,
+            start: SimTime::from_ns(s),
+            end: SimTime::from_ns(e),
+            peer: usize::MAX,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn sink_collects_and_sorts() {
+        let sink = TraceSink::new();
+        sink.record(ev(1, TraceKind::Copy, 50, 60));
+        sink.record(ev(0, TraceKind::Compute, 10, 40));
+        sink.record(ev(0, TraceKind::Copy, 50, 55));
+        assert_eq!(sink.len(), 3);
+        let v = sink.take();
+        assert_eq!(v[0].start, SimTime::from_ns(10));
+        assert_eq!(v[1].pe, 0); // tie at 50 ns: PE 0 first
+        assert_eq!(v[2].pe, 1);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let t = to_tsv(&[ev(2, TraceKind::Wait, 100, 250)]);
+        assert!(t.contains("100.0\t250.0\t2\twait\t-\t0"));
+    }
+
+    #[test]
+    fn summary_accumulates_by_kind() {
+        let events = vec![
+            ev(0, TraceKind::Copy, 0, 10),
+            ev(0, TraceKind::Copy, 20, 50),
+            ev(1, TraceKind::Compute, 0, 100),
+        ];
+        let s = summarize(&events, 2);
+        assert_eq!(s[0]["copy"], 40.0);
+        assert_eq!(s[1]["compute"], 100.0);
+        assert!(!s[0].contains_key("compute"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Element types for reductions, including the OpenSHMEM complex types.
+
+use tmc::common::Bits;
+
+/// Reduction operators (OpenSHMEM `*_to_all` families).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    And,
+    Or,
+    Xor,
+    Min,
+    Max,
+    Sum,
+    Prod,
+}
+
+impl ReduceOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::And => "and",
+            ReduceOp::Or => "or",
+            ReduceOp::Xor => "xor",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+            ReduceOp::Sum => "sum",
+            ReduceOp::Prod => "prod",
+        }
+    }
+}
+
+/// Single-precision complex (OpenSHMEM `complexf`).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+#[repr(C)]
+pub struct Complex32 {
+    pub re: f32,
+    pub im: f32,
+}
+
+/// Double-precision complex (OpenSHMEM `complexd`).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+// SAFETY: plain pairs of floats, valid for any bit pattern.
+unsafe impl Bits for Complex32 {}
+unsafe impl Bits for Complex64 {}
+
+macro_rules! complex_ops {
+    ($t:ty, $f:ty) => {
+        // The inherent add/sub/mul stay for call-site clarity in generic
+        // reduction code; they forward to the operator impls.
+        #[allow(clippy::should_implement_trait)]
+        impl $t {
+            pub fn new(re: $f, im: $f) -> Self {
+                Self { re, im }
+            }
+
+            /// Sum (also available as the `+` operator).
+            pub fn add(self, o: Self) -> Self {
+                self + o
+            }
+
+            /// Difference (also available as the `-` operator).
+            pub fn sub(self, o: Self) -> Self {
+                self - o
+            }
+
+            /// Complex product (also available as the `*` operator).
+            pub fn mul(self, o: Self) -> Self {
+                self * o
+            }
+
+            pub fn norm_sq(self) -> $f {
+                self.re * self.re + self.im * self.im
+            }
+        }
+
+        impl std::ops::Add for $t {
+            type Output = Self;
+            fn add(self, o: Self) -> Self {
+                Self::new(self.re + o.re, self.im + o.im)
+            }
+        }
+
+        impl std::ops::Sub for $t {
+            type Output = Self;
+            fn sub(self, o: Self) -> Self {
+                Self::new(self.re - o.re, self.im - o.im)
+            }
+        }
+
+        impl std::ops::Mul for $t {
+            type Output = Self;
+            fn mul(self, o: Self) -> Self {
+                Self::new(
+                    self.re * o.re - self.im * o.im,
+                    self.re * o.im + self.im * o.re,
+                )
+            }
+        }
+    };
+}
+
+complex_ops!(Complex32, f32);
+complex_ops!(Complex64, f64);
+
+/// Types usable in reductions. `reduce` applies one operator; the two
+/// `SUPPORTS_*` flags encode the OpenSHMEM type/operator matrix (bitwise
+/// ops are integer-only; ordering ops exclude complex).
+pub trait Reducible: Bits + PartialEq + std::fmt::Debug {
+    const SUPPORTS_BITWISE: bool;
+    const SUPPORTS_ORDER: bool;
+
+    /// Apply `op`.
+    ///
+    /// # Panics
+    /// Panics on an unsupported type/operator combination (matching the
+    /// OpenSHMEM function matrix — e.g. there is no
+    /// `shmem_float_and_to_all`).
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            const SUPPORTS_BITWISE: bool = true;
+            const SUPPORTS_ORDER: bool = true;
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::And => a & b,
+                    ReduceOp::Or => a | b,
+                    ReduceOp::Xor => a ^ b,
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                }
+            }
+        }
+    )*};
+}
+
+reducible_int!(i16, i32, i64, u16, u32, u64);
+
+macro_rules! reducible_float {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            const SUPPORTS_BITWISE: bool = false;
+            const SUPPORTS_ORDER: bool = true;
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    _ => panic!("bitwise reduction on floating-point type"),
+                }
+            }
+        }
+    )*};
+}
+
+reducible_float!(f32, f64);
+
+macro_rules! reducible_complex {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            const SUPPORTS_BITWISE: bool = false;
+            const SUPPORTS_ORDER: bool = false;
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.add(b),
+                    ReduceOp::Prod => a.mul(b),
+                    _ => panic!("only sum/prod reductions exist for complex types"),
+                }
+            }
+        }
+    )*};
+}
+
+reducible_complex!(Complex32, Complex64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_reductions() {
+        assert_eq!(i32::reduce(ReduceOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(i32::reduce(ReduceOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(i32::reduce(ReduceOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(i32::reduce(ReduceOp::Min, -3, 2), -3);
+        assert_eq!(i32::reduce(ReduceOp::Max, -3, 2), 2);
+        assert_eq!(i32::reduce(ReduceOp::Sum, 3, 4), 7);
+        assert_eq!(i32::reduce(ReduceOp::Prod, 3, 4), 12);
+        // Wrapping semantics (C unsigned-style overflow).
+        assert_eq!(i32::reduce(ReduceOp::Sum, i32::MAX, 1), i32::MIN);
+    }
+
+    #[test]
+    fn float_reductions() {
+        assert_eq!(f64::reduce(ReduceOp::Sum, 1.5, 2.5), 4.0);
+        assert_eq!(f64::reduce(ReduceOp::Prod, 1.5, 2.0), 3.0);
+        assert_eq!(f32::reduce(ReduceOp::Min, -1.0, 1.0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise")]
+    fn float_bitwise_panics() {
+        f32::reduce(ReduceOp::Xor, 1.0, 2.0);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        assert_eq!(a.add(b), Complex32::new(4.0, 1.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a.mul(b), Complex32::new(5.0, 5.0));
+        assert_eq!(a.norm_sq(), 5.0);
+        assert_eq!(Complex64::new(1.0, 1.0).sub(Complex64::new(0.5, 2.0)), Complex64::new(0.5, -1.0));
+    }
+
+    #[test]
+    fn complex_reductions() {
+        let s = Complex64::reduce(ReduceOp::Sum, Complex64::new(1.0, 1.0), Complex64::new(2.0, 3.0));
+        assert_eq!(s, Complex64::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "complex")]
+    fn complex_min_panics() {
+        Complex32::reduce(ReduceOp::Min, Complex32::default(), Complex32::default());
+    }
+
+    #[test]
+    fn op_names() {
+        assert_eq!(ReduceOp::Sum.name(), "sum");
+        assert_eq!(ReduceOp::Xor.name(), "xor");
+    }
+}

@@ -1,0 +1,57 @@
+//! A panicking PE must abort the whole job (with the original panic
+//! surfacing) rather than leaving peers blocked in protocol waits.
+
+use tshmem::prelude::*;
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes).with_partition_bytes(1 << 20)
+}
+
+#[test]
+#[should_panic]
+fn peer_panic_aborts_pes_blocked_in_barrier() {
+    tshmem::launch(&cfg(4), |ctx| {
+        if ctx.my_pe() == 2 {
+            panic!("PE 2 exploded mid-protocol");
+        }
+        // Everyone else blocks in a barrier PE 2 will never join; the
+        // abort flag must get them out.
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+#[should_panic]
+fn peer_panic_aborts_pes_blocked_in_wait() {
+    tshmem::launch(&cfg(2), |ctx| {
+        let flag = ctx.shmalloc::<i64>(1);
+        ctx.local_write(&flag, 0, &[0i64]);
+        ctx.barrier_all();
+        if ctx.my_pe() == 0 {
+            panic!("PE 0 exploded before signaling");
+        }
+        // PE 1 waits for a signal that will never come.
+        ctx.wait(&flag, 0, 0i64);
+    });
+}
+
+#[test]
+fn jobs_after_an_aborted_job_still_work() {
+    let r = std::panic::catch_unwind(|| {
+        tshmem::launch(&cfg(3), |ctx| {
+            if ctx.my_pe() == 1 {
+                panic!("boom");
+            }
+            ctx.barrier_all();
+        });
+    });
+    assert!(r.is_err(), "the aborted job must report the panic");
+    // A fresh job in the same process is unaffected.
+    let out = tshmem::launch(&cfg(3), |ctx| {
+        let v = ctx.shmalloc::<u32>(1);
+        ctx.p(&v, 0, 5u32, (ctx.my_pe() + 1) % 3);
+        ctx.barrier_all();
+        ctx.g(&v, 0, ctx.my_pe())
+    });
+    assert_eq!(out, vec![5, 5, 5]);
+}

@@ -1,0 +1,149 @@
+//! Misuse must fail loudly: bounds, membership, and unsupported-feature
+//! panics (the library's guard rails).
+
+use tshmem::prelude::*;
+use tshmem::runtime::launch;
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 14)
+        .with_temp_bytes(1 << 12)
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn put_past_end_panics() {
+    launch(&cfg(1), |ctx| {
+        let v = ctx.shmalloc::<u32>(4);
+        ctx.put(&v, 2, &[1, 2, 3], 0);
+    });
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn put_to_unknown_pe_panics() {
+    launch(&cfg(2), |ctx| {
+        let v = ctx.shmalloc::<u32>(4);
+        ctx.p(&v, 0, 1, 7);
+    });
+}
+
+#[test]
+#[should_panic(expected = "not in active set")]
+fn barrier_from_non_member_panics() {
+    launch(&cfg(2), |ctx| {
+        // Every PE names the singleton set of the *other* PE, so all
+        // PEs fail membership (keeping the panic symmetric — a lone
+        // surviving PE would otherwise block in finalize).
+        let other = 1 - ctx.my_pe();
+        ctx.barrier(ActiveSet::new(other, 0, 1));
+    });
+}
+
+#[test]
+#[should_panic(expected = "exceeds job")]
+fn oversized_active_set_panics() {
+    launch(&cfg(2), |ctx| {
+        ctx.barrier(ActiveSet::new(0, 0, 5));
+    });
+}
+
+#[test]
+#[should_panic(expected = "shmem_wait on static symmetric variables is not supported")]
+fn wait_on_static_panics_like_the_paper_says() {
+    launch(&cfg(1), |ctx| {
+        let s = ctx.static_sym::<i64>(1);
+        ctx.wait(&s, 0, 0i64);
+    });
+}
+
+#[test]
+#[should_panic(expected = "atomics on static symmetric variables")]
+fn atomic_on_static_panics() {
+    launch(&cfg(1), |ctx| {
+        let s = ctx.static_sym::<i64>(1);
+        ctx.fadd(&s, 0, 1i64, 0);
+    });
+}
+
+#[test]
+#[should_panic(expected = "shfree")]
+fn double_free_panics() {
+    launch(&cfg(1), |ctx| {
+        let v = ctx.shmalloc::<u8>(16);
+        ctx.shfree(v);
+        ctx.shfree(v);
+    });
+}
+
+#[test]
+#[should_panic(expected = "shfree of a static object")]
+fn freeing_a_static_panics() {
+    launch(&cfg(1), |ctx| {
+        let s = ctx.static_sym::<u8>(16);
+        ctx.shfree(s);
+    });
+}
+
+#[test]
+#[should_panic(expected = "symmetric heap exhausted")]
+fn heap_exhaustion_panics_with_context() {
+    launch(&cfg(1), |ctx| {
+        let _ = ctx.shmalloc::<u8>(64 << 20);
+    });
+}
+
+#[test]
+fn try_shmalloc_reports_oom_without_panicking() {
+    launch(&cfg(1), |ctx| {
+        assert!(ctx.try_shmalloc::<u8>(64 << 20).is_err());
+        // Heap still usable afterwards.
+        let v = ctx.try_shmalloc::<u8>(64).unwrap();
+        ctx.shfree(v);
+    });
+}
+
+#[test]
+#[should_panic(expected = "private segment exhausted")]
+fn static_segment_exhaustion_panics() {
+    launch(&cfg(1), |ctx| {
+        let _ = ctx.static_sym::<u8>(1 << 20);
+    });
+}
+
+#[test]
+#[should_panic(expected = "released a lock it does not hold")]
+fn clearing_unowned_lock_panics() {
+    launch(&cfg(1), |ctx| {
+        let lock = ctx.shmalloc::<i64>(1);
+        ctx.local_write(&lock, 0, &[0i64]);
+        ctx.clear_lock(&lock); // never acquired
+    });
+}
+
+#[test]
+fn finalize_is_idempotent_and_ops_after_it_still_local() {
+    launch(&cfg(2), |ctx| {
+        let v = ctx.shmalloc::<u64>(4);
+        ctx.finalize();
+        ctx.finalize(); // second call is a no-op
+        assert!(ctx.is_finalized());
+        // Purely local access still fine after finalize.
+        ctx.local_write(&v, 0, &[1, 2, 3, 4]);
+        assert_eq!(ctx.local_read(&v, 0, 4), vec![1, 2, 3, 4]);
+    });
+}
+
+#[test]
+fn zero_length_transfers_are_noops() {
+    launch(&cfg(2), |ctx| {
+        let v = ctx.shmalloc::<u32>(4);
+        let empty: [u32; 0] = [];
+        ctx.put(&v, 0, &empty, 1);
+        let mut out: [u32; 0] = [];
+        ctx.get(&mut out, &v, 4, 1); // offset == len is allowed for 0 elems
+        ctx.put_sym(&v, 0, &v, 0, 0, 1);
+        ctx.barrier_all();
+    });
+}

@@ -1,0 +1,173 @@
+//! Multi-chip engine tests: correctness is identical to single-chip;
+//! costs change exactly at the chip boundary.
+
+use tshmem::prelude::*;
+use tshmem::runtime::{launch_multichip, launch_timed};
+use tshmem::types::ReduceOp;
+
+fn cfg(pes_per_chip: usize) -> RuntimeConfig {
+    RuntimeConfig::new(pes_per_chip)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 14)
+        .with_temp_bytes(1 << 12)
+}
+
+#[test]
+fn multichip_results_match_single_chip() {
+    fn workload(ctx: &ShmemCtx) -> Vec<i64> {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        let v = ctx.shmalloc::<i64>(32);
+        let d = ctx.shmalloc::<i64>(32);
+        let g = ctx.shmalloc::<i64>(32 * n);
+        ctx.local_write(&v, 0, &vec![(me as i64 + 1) * 3; 32]);
+        ctx.barrier_all();
+        ctx.put_sym(&v, 16, &v, 0, 16, (me + 1) % n);
+        ctx.barrier_all();
+        ctx.reduce(ReduceOp::Sum, &d, &v, 32, ctx.world());
+        ctx.fcollect(&g, &v, 32, ctx.world());
+        let mut out = ctx.local_read(&d, 0, 4);
+        out.extend(ctx.local_read(&g, 0, 32 * n));
+        out
+    }
+    // 2 chips x 3 PEs vs one 6-PE chip: identical answers.
+    let multi = launch_multichip(&cfg(3), 2, workload);
+    let single = launch_timed(&cfg(6), workload);
+    assert_eq!(multi.values, single.values);
+}
+
+#[test]
+fn cross_chip_put_much_slower_than_intra_chip() {
+    let out = launch_multichip(&cfg(2), 2, |ctx| {
+        // PEs 0,1 on chip 0; PEs 2,3 on chip 1.
+        let v = ctx.shmalloc::<u64>(8192);
+        ctx.barrier_all();
+        let mut bulk = (0.0, 0.0);
+        let mut tiny = (0.0, 0.0);
+        if ctx.my_pe() == 0 {
+            let measure = |n: usize| {
+                ctx.put_sym(&v, 0, &v, 0, n, 1); // warm
+                ctx.put_sym(&v, 0, &v, 0, n, 2);
+                let t0 = ctx.time_ns();
+                ctx.put_sym(&v, 0, &v, 0, n, 1); // same chip
+                let intra = ctx.time_ns() - t0;
+                let t1 = ctx.time_ns();
+                ctx.put_sym(&v, 0, &v, 0, n, 2); // cross chip
+                (intra, ctx.time_ns() - t1)
+            };
+            bulk = measure(8192);
+            tiny = measure(1);
+        }
+        ctx.barrier_all();
+        (bulk, tiny)
+    });
+    let (bulk, tiny) = out.values[0];
+    // Bulk transfers: the 10 Gbps link is slower than on-chip copies.
+    assert!(
+        bulk.1 > 1.5 * bulk.0,
+        "64 kB cross-chip put must be slower: {bulk:?}"
+    );
+    // Tiny transfers: microsecond mPIPE latency vs nanosecond memcpy.
+    assert!(
+        tiny.1 > 20.0 * tiny.0,
+        "8 B cross-chip put is latency-dominated: {tiny:?}"
+    );
+}
+
+#[test]
+fn cross_chip_bandwidth_capped_by_link_rate() {
+    let big = cfg(1).with_partition_bytes(10 << 20);
+    let out = launch_multichip(&big, 2, |ctx| {
+        let n = 1 << 20; // 8 MB of u64
+        let v = ctx.shmalloc::<u64>(n);
+        ctx.barrier_all();
+        let mut bw = 0.0;
+        if ctx.my_pe() == 0 {
+            ctx.put_sym(&v, 0, &v, 0, n, 1); // warm
+            let t0 = ctx.time_ns();
+            ctx.put_sym(&v, 0, &v, 0, n, 1);
+            let dt = ctx.time_ns() - t0;
+            bw = (n * 8) as f64 / dt * 1000.0; // MB/s
+        }
+        ctx.barrier_all();
+        bw
+    });
+    let bw = out.values[0];
+    // 10 Gbps line rate is 1250 MB/s; staging copies cost extra.
+    assert!(
+        (200.0..1250.0).contains(&bw),
+        "cross-chip bandwidth {bw} MB/s should be link-bound"
+    );
+}
+
+#[test]
+fn cross_chip_barrier_in_microseconds() {
+    let single = launch_timed(&cfg(8), |ctx| {
+        ctx.barrier_all();
+        let t0 = ctx.time_ns();
+        ctx.barrier_all();
+        ctx.time_ns() - t0
+    });
+    let multi = launch_multichip(&cfg(4), 2, |ctx| {
+        ctx.barrier_all();
+        let t0 = ctx.time_ns();
+        ctx.barrier_all();
+        ctx.time_ns() - t0
+    });
+    let s = single.values[0] / 1e3;
+    let m = multi.values[0] / 1e3;
+    // Two mPIPE crossings per ring phase: tens of microseconds.
+    assert!(m > 3.0 * s, "multichip barrier {m} us vs single {s} us");
+    assert!(m < 100.0, "but still bounded: {m} us");
+}
+
+#[test]
+fn cross_chip_atomics_pay_round_trip() {
+    let out = launch_multichip(&cfg(1), 2, |ctx| {
+        let c = ctx.shmalloc::<u64>(1);
+        ctx.local_write(&c, 0, &[0u64]);
+        ctx.barrier_all();
+        let mut local_ns = 0.0;
+        let mut remote_ns = 0.0;
+        if ctx.my_pe() == 1 {
+            let t0 = ctx.time_ns();
+            ctx.fadd(&c, 0, 1u64, 1); // own chip
+            local_ns = ctx.time_ns() - t0;
+            let t1 = ctx.time_ns();
+            ctx.fadd(&c, 0, 1u64, 0); // other chip
+            remote_ns = ctx.time_ns() - t1;
+        }
+        ctx.barrier_all();
+        assert_eq!(ctx.g(&c, 0, 0), 1);
+        (local_ns, remote_ns)
+    });
+    let (l, r) = out.values[1];
+    assert!(r > 20.0 * l, "cross-chip atomic round trip: {r} ns vs {l} ns");
+}
+
+#[test]
+fn multichip_is_deterministic() {
+    let run = || {
+        let out = launch_multichip(&cfg(2), 3, |ctx| {
+            let v = ctx.shmalloc::<i64>(16);
+            let d = ctx.shmalloc::<i64>(16);
+            ctx.local_write(&v, 0, &[ctx.my_pe() as i64; 16]);
+            ctx.sum_to_all(&d, &v, 16, ctx.world());
+            (ctx.local_read(&d, 0, 1)[0], ctx.time_ns() as u64)
+        });
+        out.values
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn one_chip_multichip_degenerates_to_timed() {
+    // chips = 1 must behave like launch_timed semantically.
+    let multi = launch_multichip(&cfg(4), 1, |ctx| {
+        let v = ctx.shmalloc::<u32>(4);
+        ctx.p(&v, 0, 7u32, (ctx.my_pe() + 1) % ctx.n_pes());
+        ctx.barrier_all();
+        ctx.g(&v, 0, ctx.my_pe())
+    });
+    assert_eq!(multi.values, vec![7, 7, 7, 7]);
+}

@@ -1,0 +1,489 @@
+//! Native-engine tests for barriers, collectives, atomics, locks, and
+//! point-to-point synchronization.
+
+use tshmem::prelude::*;
+use tshmem::runtime::launch;
+use tshmem::types::ReduceOp;
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 16)
+        .with_temp_bytes(1 << 12)
+}
+
+fn cfg_algos(npes: usize, algos: Algorithms) -> RuntimeConfig {
+    cfg(npes).with_algos(algos)
+}
+
+// --- barriers -----------------------------------------------------------
+
+fn barrier_phase_check(cfg: &RuntimeConfig) {
+    let npes = cfg.npes;
+    let out = launch(cfg, |ctx| {
+        let counter = ctx.shmalloc::<u64>(1);
+        ctx.local_write(&counter, 0, &[0u64]);
+        ctx.barrier_all();
+        let mut seen = Vec::new();
+        for _round in 1..=5u64 {
+            // Everyone bumps PE 0's counter, then barriers; after the
+            // barrier all PEs must see exactly round * npes.
+            ctx.add(&counter, 0, 1u64, 0);
+            ctx.barrier_all();
+            seen.push(ctx.g(&counter, 0, 0));
+            ctx.barrier_all();
+        }
+        seen
+    });
+    for per_pe in out {
+        assert_eq!(
+            per_pe,
+            (1..=5u64).map(|r| r * npes as u64).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn ring_barrier_synchronizes() {
+    barrier_phase_check(&cfg(6));
+}
+
+#[test]
+fn root_broadcast_barrier_synchronizes() {
+    barrier_phase_check(&cfg_algos(
+        6,
+        Algorithms {
+            barrier: BarrierAlgo::RootBroadcast,
+            ..Default::default()
+        },
+    ));
+}
+
+#[test]
+fn tmc_spin_barrier_synchronizes() {
+    barrier_phase_check(&cfg_algos(
+        6,
+        Algorithms {
+            barrier: BarrierAlgo::TmcSpin,
+            ..Default::default()
+        },
+    ));
+}
+
+#[test]
+fn dissemination_barrier_synchronizes() {
+    barrier_phase_check(&cfg_algos(
+        7, // deliberately not a power of two
+        Algorithms {
+            barrier: BarrierAlgo::Dissemination,
+            ..Default::default()
+        },
+    ));
+}
+
+#[test]
+fn dissemination_barrier_on_strided_subset() {
+    launch(&cfg_algos(
+        8,
+        Algorithms {
+            barrier: BarrierAlgo::Dissemination,
+            ..Default::default()
+        },
+    ), |ctx| {
+        let me = ctx.my_pe();
+        let odds = ActiveSet::new(1, 1, 4); // PEs 1,3,5,7
+        for _ in 0..10 {
+            if odds.contains(me) {
+                ctx.barrier(odds);
+            }
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn subset_barrier_with_stride() {
+    launch(&cfg(8), |ctx| {
+        let me = ctx.my_pe();
+        let evens = ActiveSet::new(0, 1, 4); // PEs 0,2,4,6
+        let flag = ctx.shmalloc::<u64>(1);
+        ctx.local_write(&flag, 0, &[0u64]);
+        ctx.barrier_all();
+        if evens.contains(me) {
+            ctx.p(&flag, 0, 1u64, me);
+            ctx.barrier(evens);
+            // All even PEs have set their flags.
+            for pe in evens.iter() {
+                assert_eq!(ctx.g(&flag, 0, pe), 1, "pe {pe} flag");
+            }
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn overlapping_barrier_sets_do_not_cross() {
+    launch(&cfg(8), |ctx| {
+        let me = ctx.my_pe();
+        let evens = ActiveSet::new(0, 1, 4);
+        let odds = ActiveSet::new(1, 1, 4);
+        for _ in 0..20 {
+            if evens.contains(me) {
+                ctx.barrier(evens);
+            } else {
+                ctx.barrier(odds);
+            }
+        }
+        ctx.barrier_all();
+    });
+}
+
+// --- broadcast ----------------------------------------------------------
+
+fn broadcast_check(algos: Algorithms) {
+    launch(&cfg_algos(6, algos), |ctx| {
+        let me = ctx.my_pe();
+        let n = 512;
+        let src = ctx.shmalloc::<u32>(n);
+        let dst = ctx.shmalloc::<u32>(n);
+        for root_rank in [0usize, 3] {
+            let pat: Vec<u32> = (0..n as u32).map(|i| i * 7 + root_rank as u32).collect();
+            if me == root_rank {
+                ctx.local_write(&src, 0, &pat);
+            }
+            ctx.local_fill(&dst, 0);
+            ctx.broadcast(&dst, &src, n, root_rank, ctx.world());
+            if me != root_rank {
+                assert_eq!(ctx.local_read(&dst, 0, n), pat, "root {root_rank}");
+            } else {
+                // Spec: the root's dest is untouched.
+                assert_eq!(ctx.local_read(&dst, 0, n), vec![0; n]);
+            }
+        }
+    });
+}
+
+#[test]
+fn broadcast_pull_correct() {
+    broadcast_check(Algorithms::default());
+}
+
+#[test]
+fn broadcast_push_correct() {
+    broadcast_check(Algorithms {
+        broadcast: BroadcastAlgo::Push,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn broadcast_binomial_correct() {
+    broadcast_check(Algorithms {
+        broadcast: BroadcastAlgo::Binomial,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn broadcast_on_subset() {
+    launch(&cfg(8), |ctx| {
+        let me = ctx.my_pe();
+        let set = ActiveSet::new(1, 1, 3); // PEs 1,3,5
+        let src = ctx.shmalloc::<u64>(8);
+        let dst = ctx.shmalloc::<u64>(8);
+        ctx.local_fill(&dst, 0);
+        if me == 3 {
+            ctx.local_write(&src, 0, &[10, 20, 30, 40, 50, 60, 70, 80]);
+        }
+        ctx.barrier_all();
+        if set.contains(me) {
+            ctx.broadcast(&dst, &src, 8, 1, set); // root rank 1 = PE 3
+            if me != 3 {
+                assert_eq!(ctx.local_read(&dst, 0, 8)[3], 40);
+            }
+        }
+        ctx.barrier_all();
+        if !set.contains(me) {
+            assert_eq!(ctx.local_read(&dst, 0, 8), vec![0; 8], "bystander untouched");
+        }
+    });
+}
+
+// --- collect ------------------------------------------------------------
+
+#[test]
+fn fcollect_concatenates_in_rank_order() {
+    launch(&cfg(5), |ctx| {
+        let me = ctx.my_pe();
+        let n = 16;
+        let src = ctx.shmalloc::<u32>(n);
+        let dst = ctx.shmalloc::<u32>(n * ctx.n_pes());
+        let pat: Vec<u32> = (0..n as u32).map(|i| me as u32 * 1000 + i).collect();
+        ctx.local_write(&src, 0, &pat);
+        ctx.fcollect(&dst, &src, n, ctx.world());
+        let all = ctx.local_read(&dst, 0, n * ctx.n_pes());
+        for pe in 0..ctx.n_pes() {
+            for i in 0..n {
+                assert_eq!(all[pe * n + i], pe as u32 * 1000 + i as u32);
+            }
+        }
+    });
+}
+
+#[test]
+fn collect_variable_sizes() {
+    launch(&cfg(4), |ctx| {
+        let me = ctx.my_pe();
+        // PE i contributes i+1 elements.
+        let mine = me + 1;
+        let src = ctx.shmalloc::<u64>(8);
+        let dst = ctx.shmalloc::<u64>(64);
+        let pat: Vec<u64> = (0..mine as u64).map(|i| (me as u64 + 1) * 100 + i).collect();
+        ctx.local_write(&src, 0, &pat);
+        let total = ctx.collect(&dst, &src, mine, ctx.world());
+        assert_eq!(total, 1 + 2 + 3 + 4);
+        let all = ctx.local_read(&dst, 0, total);
+        assert_eq!(all[0], 100); // PE0's single element
+        assert_eq!(&all[1..3], &[200, 201]); // PE1
+        assert_eq!(&all[3..6], &[300, 301, 302]); // PE2
+        assert_eq!(&all[6..10], &[400, 401, 402, 403]); // PE3
+    });
+}
+
+// --- reductions ---------------------------------------------------------
+
+fn reduce_check(algos: Algorithms, npes: usize) {
+    launch(&cfg_algos(npes, algos), |ctx| {
+        let me = ctx.my_pe() as i64;
+        let n = 64;
+        let src = ctx.shmalloc::<i64>(n);
+        let dst = ctx.shmalloc::<i64>(n);
+        let pat: Vec<i64> = (0..n as i64).map(|i| me + i).collect();
+        ctx.local_write(&src, 0, &pat);
+        ctx.sum_to_all(&dst, &src, n, ctx.world());
+        let npes = ctx.n_pes() as i64;
+        let base: i64 = (0..npes).sum();
+        let got = ctx.local_read(&dst, 0, n);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, base + npes * i as i64, "elem {i}");
+        }
+        // min / max
+        ctx.min_to_all(&dst, &src, n, ctx.world());
+        assert_eq!(ctx.local_read(&dst, 0, 1)[0], 0);
+        ctx.max_to_all(&dst, &src, n, ctx.world());
+        assert_eq!(ctx.local_read(&dst, 0, 1)[0], npes - 1);
+    });
+}
+
+#[test]
+fn reduce_naive_sum_min_max() {
+    reduce_check(Algorithms::default(), 5);
+}
+
+#[test]
+fn reduce_recursive_doubling_power_of_two() {
+    reduce_check(
+        Algorithms {
+            reduce: ReduceAlgo::RecursiveDoubling,
+            ..Default::default()
+        },
+        8,
+    );
+}
+
+#[test]
+fn reduce_recursive_doubling_non_power_of_two() {
+    reduce_check(
+        Algorithms {
+            reduce: ReduceAlgo::RecursiveDoubling,
+            ..Default::default()
+        },
+        6,
+    );
+}
+
+#[test]
+fn reduce_bitwise_ops() {
+    launch(&cfg(4), |ctx| {
+        let me = ctx.my_pe();
+        let src = ctx.shmalloc::<u32>(1);
+        let dst = ctx.shmalloc::<u32>(1);
+        ctx.local_write(&src, 0, &[1u32 << me]);
+        ctx.or_to_all(&dst, &src, 1, ctx.world());
+        assert_eq!(ctx.local_read(&dst, 0, 1)[0], 0b1111);
+        ctx.xor_to_all(&dst, &src, 1, ctx.world());
+        assert_eq!(ctx.local_read(&dst, 0, 1)[0], 0b1111);
+        ctx.and_to_all(&dst, &src, 1, ctx.world());
+        assert_eq!(ctx.local_read(&dst, 0, 1)[0], 0);
+    });
+}
+
+#[test]
+fn reduce_float_and_complex() {
+    launch(&cfg(3), |ctx| {
+        let me = ctx.my_pe();
+        let fsrc = ctx.shmalloc::<f64>(4);
+        let fdst = ctx.shmalloc::<f64>(4);
+        ctx.local_write(&fsrc, 0, &[me as f64 + 1.0; 4]);
+        ctx.prod_to_all(&fdst, &fsrc, 4, ctx.world());
+        assert_eq!(ctx.local_read(&fdst, 0, 1)[0], 6.0); // 1*2*3
+
+        let csrc = ctx.shmalloc::<Complex64>(2);
+        let cdst = ctx.shmalloc::<Complex64>(2);
+        ctx.local_write(&csrc, 0, &[Complex64::new(1.0, me as f64); 2]);
+        ctx.reduce(ReduceOp::Sum, &cdst, &csrc, 2, ctx.world());
+        assert_eq!(ctx.local_read(&cdst, 0, 1)[0], Complex64::new(3.0, 3.0));
+    });
+}
+
+#[test]
+fn reduce_on_subset_leaves_bystanders_alone() {
+    launch(&cfg(6), |ctx| {
+        let me = ctx.my_pe();
+        let set = ActiveSet::new(0, 1, 3); // PEs 0,2,4
+        let src = ctx.shmalloc::<i32>(1);
+        let dst = ctx.shmalloc::<i32>(1);
+        ctx.local_write(&src, 0, &[10 + me as i32]);
+        ctx.local_write(&dst, 0, &[-1]);
+        ctx.barrier_all();
+        if set.contains(me) {
+            ctx.sum_to_all(&dst, &src, 1, set);
+            assert_eq!(ctx.local_read(&dst, 0, 1)[0], 10 + 12 + 14);
+        }
+        ctx.barrier_all();
+        if !set.contains(me) {
+            assert_eq!(ctx.local_read(&dst, 0, 1)[0], -1);
+        }
+    });
+}
+
+// --- atomics, locks, wait ------------------------------------------------
+
+#[test]
+fn atomic_fadd_counts_exactly() {
+    let npes = 8;
+    launch(&cfg(npes), |ctx| {
+        let counter = ctx.shmalloc::<u64>(1);
+        ctx.local_write(&counter, 0, &[0u64]);
+        ctx.barrier_all();
+        let mut olds = Vec::new();
+        for _ in 0..100 {
+            olds.push(ctx.fadd(&counter, 0, 1u64, 0));
+        }
+        ctx.barrier_all();
+        assert_eq!(ctx.g(&counter, 0, 0), (npes * 100) as u64);
+        // Fetched values are unique per increment.
+        olds.dedup();
+        assert_eq!(olds.len(), 100);
+    });
+}
+
+#[test]
+fn atomic_swap_and_cswap() {
+    launch(&cfg(2), |ctx| {
+        let v = ctx.shmalloc::<i64>(2);
+        ctx.local_write(&v, 0, &[7, 0]);
+        ctx.barrier_all();
+        if ctx.my_pe() == 1 {
+            assert_eq!(ctx.swap(&v, 0, 99i64, 0), 7);
+            assert_eq!(ctx.cswap(&v, 0, 99i64, 11, 0), 99); // succeeds
+            assert_eq!(ctx.cswap(&v, 0, 99i64, 22, 0), 11); // fails, returns current
+        }
+        ctx.barrier_all();
+        if ctx.my_pe() == 0 {
+            assert_eq!(ctx.local_read(&v, 0, 1)[0], 11);
+        }
+        // Float swap.
+        let f = ctx.shmalloc::<f32>(1);
+        ctx.local_write(&f, 0, &[1.5f32]);
+        ctx.barrier_all();
+        if ctx.my_pe() == 1 {
+            assert_eq!(ctx.swap_f32(&f, 0, 2.5, 0), 1.5);
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn lock_provides_mutual_exclusion() {
+    let npes = 6;
+    let out = launch(&cfg(npes), |ctx| {
+        let lock = ctx.shmalloc::<i64>(1);
+        let shared = ctx.shmalloc::<u64>(2); // non-atomic counter + scratch
+        ctx.local_write(&lock, 0, &[0i64]);
+        ctx.local_write(&shared, 0, &[0u64, 0]);
+        ctx.barrier_all();
+        for _ in 0..50 {
+            ctx.set_lock(&lock);
+            // Deliberately racy read-modify-write, protected by the lock.
+            let v = ctx.g(&shared, 0, 0);
+            ctx.p(&shared, 0, v + 1, 0);
+            ctx.quiet();
+            ctx.clear_lock(&lock);
+        }
+        ctx.barrier_all();
+        ctx.g(&shared, 0, 0)
+    });
+    assert!(out.iter().all(|v| *v == (6 * 50) as u64));
+}
+
+#[test]
+fn test_lock_nonblocking() {
+    launch(&cfg(2), |ctx| {
+        let lock = ctx.shmalloc::<i64>(1);
+        ctx.local_write(&lock, 0, &[0i64]);
+        ctx.barrier_all();
+        if ctx.my_pe() == 0 {
+            assert!(ctx.test_lock(&lock));
+            ctx.barrier_all(); // PE 1 tries while held
+            ctx.barrier_all();
+            ctx.clear_lock(&lock);
+        } else {
+            ctx.barrier_all();
+            assert!(!ctx.test_lock(&lock), "lock is held by PE 0");
+            ctx.barrier_all();
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn wait_until_unblocks_on_remote_put() {
+    launch(&cfg(2), |ctx| {
+        let flag = ctx.shmalloc::<i64>(1);
+        let data = ctx.shmalloc::<u64>(128);
+        ctx.local_write(&flag, 0, &[0i64]);
+        ctx.barrier_all();
+        if ctx.my_pe() == 0 {
+            let payload = vec![0xABu64; 128];
+            ctx.put(&data, 0, &payload, 1);
+            ctx.quiet();
+            ctx.p(&flag, 0, 1i64, 1);
+        } else {
+            ctx.wait_until(&flag, 0, Cmp::Eq, 1i64);
+            // Quiet + flag ordering: the data must be visible.
+            assert_eq!(ctx.local_read(&data, 0, 128), vec![0xABu64; 128]);
+            ctx.wait(&flag, 0, 0i64); // already != 0: returns immediately
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn c_style_api_shim() {
+    use tshmem::api;
+    launch(&cfg(3), |ctx| {
+        assert_eq!(api::my_pe(ctx), ctx.my_pe());
+        assert_eq!(api::num_pes(ctx), 3);
+        let v = api::shmalloc::<i32>(ctx, 8);
+        api::shmem_p(ctx, &v, 5, (ctx.my_pe() + 1) % 3);
+        api::shmem_barrier_all(ctx);
+        assert_eq!(api::shmem_g(ctx, &v, ctx.my_pe()), 5);
+        let dst = api::shmalloc::<i32>(ctx, 8);
+        api::shmem_sum_to_all(ctx, &dst, &v, 1, 0, 0, 3);
+        assert_eq!(ctx.local_read(&dst, 0, 1)[0], 15);
+        api::shmem_barrier(ctx, 0, 0, 3);
+        api::shfree(ctx, dst);
+        api::shmem_finalize(ctx);
+    });
+}

@@ -1,0 +1,228 @@
+//! Timed-engine tests: the same protocols under virtual time —
+//! correctness, determinism, and latency sanity against the paper's
+//! measured scales.
+
+use tshmem::prelude::*;
+use tshmem::runtime::launch_timed;
+use tile_arch::device::Device;
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 16)
+        .with_temp_bytes(1 << 12)
+}
+
+#[test]
+fn timed_ring_put_is_correct_and_timed() {
+    let out = launch_timed(&cfg(4), |ctx| {
+        let me = ctx.my_pe();
+        let buf = ctx.shmalloc::<u64>(64);
+        let next = (me + 1) % ctx.n_pes();
+        let pat = vec![me as u64; 64];
+        ctx.put(&buf, 0, &pat, next);
+        ctx.barrier_all();
+        let prev = (me + ctx.n_pes() - 1) % ctx.n_pes();
+        assert_eq!(ctx.local_read(&buf, 0, 64), vec![prev as u64; 64]);
+        ctx.time_ns()
+    });
+    // Virtual clocks advanced and are positive.
+    assert!(out.makespan.ns_f64() > 0.0);
+    for v in &out.values {
+        assert!(*v > 0.0);
+    }
+}
+
+#[test]
+fn timed_runs_are_deterministic() {
+    let run = || {
+        let out = launch_timed(&cfg(6), |ctx| {
+            let v = ctx.shmalloc::<i64>(32);
+            let d = ctx.shmalloc::<i64>(32);
+            ctx.local_write(&v, 0, &vec![ctx.my_pe() as i64; 32]);
+            ctx.sum_to_all(&d, &v, 32, ctx.world());
+            ctx.barrier_all();
+            ctx.local_read(&d, 0, 1)[0]
+        });
+        (
+            out.values.clone(),
+            out.clocks.iter().map(|c| c.ps()).collect::<Vec<_>>(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1, "virtual clocks must be bit-identical across runs");
+    assert_eq!(a.0[0], 15); // 0+1+..+5
+}
+
+#[test]
+fn timed_barrier_latency_in_paper_scale() {
+    // TSHMEM ring barrier at 36 tiles: the paper reports ~3 us on the
+    // TILEPro64 and better-than-Pro on the Gx36. Sanity: microseconds,
+    // not nanoseconds or milliseconds.
+    for (device, lo_us, hi_us) in [
+        (Device::tile_gx8036(), 0.5, 10.0),
+        (Device::tilepro64(), 0.5, 12.0),
+    ] {
+        let cfg = RuntimeConfig::for_device(device, 36)
+            .with_partition_bytes(1 << 20)
+            .with_private_bytes(1 << 14)
+            .with_temp_bytes(1 << 12);
+        let out = launch_timed(&cfg, |ctx| {
+            ctx.barrier_all(); // warm
+            let t0 = ctx.time_ns();
+            for _ in 0..8 {
+                ctx.barrier_all();
+            }
+            (ctx.time_ns() - t0) / 8.0
+        });
+        let us = out.values[0] / 1000.0;
+        assert!(
+            (lo_us..hi_us).contains(&us),
+            "{}: barrier {us} us outside [{lo_us}, {hi_us}]",
+            device.name
+        );
+    }
+}
+
+#[test]
+fn timed_gx_barrier_faster_than_pro() {
+    let barrier_us = |device: Device| {
+        let cfg = RuntimeConfig::for_device(device, 16)
+            .with_partition_bytes(1 << 20)
+            .with_private_bytes(1 << 14)
+            .with_temp_bytes(1 << 12);
+        let out = launch_timed(&cfg, |ctx| {
+            ctx.barrier_all();
+            let t0 = ctx.time_ns();
+            for _ in 0..4 {
+                ctx.barrier_all();
+            }
+            (ctx.time_ns() - t0) / 4.0
+        });
+        out.values[0]
+    };
+    let gx = barrier_us(Device::tile_gx8036());
+    let pro = barrier_us(Device::tilepro64());
+    assert!(gx < pro, "paper: Gx TSHMEM barrier outperforms Pro ({gx} !< {pro})");
+}
+
+#[test]
+fn timed_redirected_put_slower_than_direct() {
+    let out = launch_timed(&cfg(2), |ctx| {
+        let me = ctx.my_pe();
+        let n = 2048usize;
+        let dynv = ctx.shmalloc::<u64>(n);
+        let statv = ctx.static_sym::<u64>(n);
+        let src = ctx.shmalloc::<u64>(n);
+        ctx.barrier_all();
+        let mut dd = 0.0;
+        let mut sd = 0.0;
+        if me == 0 {
+            // Warm both paths so cache state is comparable.
+            ctx.put_sym(&dynv, 0, &src, 0, n, 1);
+            ctx.put_sym(&statv, 0, &src, 0, n, 1);
+            let t0 = ctx.time_ns();
+            ctx.put_sym(&dynv, 0, &src, 0, n, 1);
+            dd = ctx.time_ns() - t0;
+            let t1 = ctx.time_ns();
+            ctx.put_sym(&statv, 0, &src, 0, n, 1); // redirected
+            sd = ctx.time_ns() - t1;
+        }
+        ctx.barrier_all();
+        (dd, sd)
+    });
+    let (dd, sd) = out.values[0];
+    assert!(sd > dd, "redirected static put must cost more: {sd} !> {dd}");
+}
+
+#[test]
+fn timed_static_static_slowest() {
+    let out = launch_timed(&cfg(2), |ctx| {
+        let me = ctx.my_pe();
+        let n = 512usize; // fits the 4 kB temp
+        let s1 = ctx.static_sym::<u64>(n);
+        let dynsrc = ctx.shmalloc::<u64>(n);
+        let s2 = ctx.static_sym::<u64>(n);
+        ctx.barrier_all();
+        let mut sd = 0.0;
+        let mut ss = 0.0;
+        if me == 0 {
+            let t0 = ctx.time_ns();
+            ctx.put_sym(&s1, 0, &dynsrc, 0, n, 1); // static-dynamic
+            sd = ctx.time_ns() - t0;
+            let t1 = ctx.time_ns();
+            ctx.put_sym(&s2, 0, &s1, 0, n, 1); // static-static
+            ss = ctx.time_ns() - t1;
+        }
+        ctx.barrier_all();
+        (sd, ss)
+    });
+    let (sd, ss) = out.values[0];
+    assert!(
+        ss > sd,
+        "static-static (extra copy) must cost more than static-dynamic: {ss} !> {sd}"
+    );
+}
+
+#[test]
+fn timed_collectives_correct_under_virtual_time() {
+    let out = launch_timed(&cfg(8), |ctx| {
+        let me = ctx.my_pe();
+        let n = 128;
+        let src = ctx.shmalloc::<u32>(n);
+        let dst = ctx.shmalloc::<u32>(n * ctx.n_pes());
+        ctx.local_write(&src, 0, &vec![me as u32; n]);
+        ctx.fcollect(&dst, &src, n, ctx.world());
+        let all = ctx.local_read(&dst, 0, n * ctx.n_pes());
+        for pe in 0..ctx.n_pes() {
+            assert!(all[pe * n..(pe + 1) * n].iter().all(|v| *v == pe as u32));
+        }
+        true
+    });
+    assert!(out.values.iter().all(|v| *v));
+}
+
+#[test]
+fn timed_atomics_and_locks() {
+    let out = launch_timed(&cfg(4), |ctx| {
+        let counter = ctx.shmalloc::<u64>(1);
+        let lock = ctx.shmalloc::<i64>(1);
+        ctx.local_write(&counter, 0, &[0u64]);
+        ctx.local_write(&lock, 0, &[0i64]);
+        ctx.barrier_all();
+        for _ in 0..10 {
+            ctx.set_lock(&lock);
+            let v = ctx.g(&counter, 0, 0);
+            ctx.p(&counter, 0, v + 1, 0);
+            ctx.quiet();
+            ctx.clear_lock(&lock);
+        }
+        ctx.fadd(&counter, 0, 1u64, 0);
+        ctx.barrier_all();
+        ctx.g(&counter, 0, 0)
+    });
+    assert!(out.values.iter().all(|v| *v == 44)); // 4*10 + 4
+}
+
+#[test]
+fn timed_spin_barrier_matches_calibration() {
+    let cfg36 = RuntimeConfig::new(36)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 14)
+        .with_temp_bytes(1 << 12)
+        .with_algos(Algorithms {
+            barrier: BarrierAlgo::TmcSpin,
+            ..Default::default()
+        });
+    let out = launch_timed(&cfg36, |ctx| {
+        ctx.barrier_all();
+        let t0 = ctx.time_ns();
+        ctx.barrier_all();
+        ctx.time_ns() - t0
+    });
+    // Fig 5 calibration: TMC spin at 36 tiles on the Gx is ~1.5 us.
+    let us = out.values[0] / 1000.0;
+    assert!((1.0..2.5).contains(&us), "spin barrier {us} us");
+}

@@ -1,0 +1,682 @@
+//! Virtual-time cooperative scheduler.
+//!
+//! Each simulated processing element (LP — *logical process*) runs as a
+//! real OS thread with its own virtual clock, but **exactly one LP
+//! executes at any instant** and the scheduler always hands control to
+//! the LP with the smallest *effective clock*:
+//!
+//! * a runnable LP's effective clock is its own clock;
+//! * an LP blocked on `recv` becomes runnable when its mailbox is
+//!   non-empty, with effective clock `max(own clock, earliest arrival)`;
+//! * finished LPs never run again.
+//!
+//! Because the minimum-clock LP runs first and message latencies are
+//! non-negative, no future send can ever arrive before the effective
+//! clock of the LP being resumed — the classic conservative-simulation
+//! argument — so blocking protocol code (token barriers, collectives,
+//! request/reply) executes under simulated time with *sequential,
+//! deterministic* semantics while being written in ordinary blocking
+//! style.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::{coop, SimTime};
+//!
+//! // Two PEs play ping-pong with a 21 ns one-way wire latency.
+//! let out = coop::run(2, 1, |h| {
+//!     let wire = SimTime::from_ns(21);
+//!     if h.id() == 0 {
+//!         h.send(1, 0, 42u64, wire);
+//!         let _ = h.recv(0);
+//!         h.now()
+//!     } else {
+//!         let v = h.recv(0);
+//!         h.send(0, 0, v + 1, wire);
+//!         h.now()
+//!     }
+//! });
+//! // PE0 observes the round trip: 42 ns.
+//! assert_eq!(out.values[0], SimTime::from_ns(42));
+//! ```
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::SimTime;
+
+/// Per-LP status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Runnable (or currently running).
+    Ready,
+    /// Blocked in `recv` on the given channel.
+    BlockedRecv(usize),
+    /// Function returned.
+    Done,
+}
+
+struct Mailbox<M> {
+    /// (arrival, seq, message) — popped by minimum (arrival, seq).
+    msgs: Vec<(u64, u64, M)>,
+}
+
+impl<M> Mailbox<M> {
+    fn new() -> Self {
+        Self { msgs: Vec::new() }
+    }
+
+    fn min_arrival(&self) -> Option<u64> {
+        self.msgs.iter().map(|(a, _, _)| *a).min()
+    }
+
+    fn pop_min(&mut self) -> Option<(u64, M)> {
+        if self.msgs.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.msgs.len() {
+            let (a, s, _) = &self.msgs[i];
+            let (ba, bs, _) = &self.msgs[best];
+            if (*a, *s) < (*ba, *bs) {
+                best = i;
+            }
+        }
+        let (a, _, m) = self.msgs.swap_remove(best);
+        Some((a, m))
+    }
+}
+
+struct LpState<M> {
+    clock: u64,
+    status: Status,
+    boxes: Vec<Mailbox<M>>,
+}
+
+struct SchedState<M> {
+    lps: Vec<LpState<M>>,
+    /// LP currently holding the execution token.
+    running: usize,
+    finished: usize,
+    seq: u64,
+    /// Set when an LP panicked or a deadlock was detected.
+    poisoned: Option<String>,
+}
+
+impl<M> SchedState<M> {
+    fn effective(&self, id: usize) -> Option<u64> {
+        let lp = &self.lps[id];
+        match lp.status {
+            Status::Ready => Some(lp.clock),
+            Status::BlockedRecv(ch) => lp.boxes[ch]
+                .min_arrival()
+                .map(|a| a.max(lp.clock)),
+            Status::Done => None,
+        }
+    }
+
+    /// LP with the minimum effective clock (ties to the smallest id).
+    fn pick(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for id in 0..self.lps.len() {
+            if let Some(e) = self.effective(id) {
+                if best.is_none_or(|(be, bid)| (e, id) < (be, bid)) {
+                    best = Some((e, id));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+struct Shared<M> {
+    state: Mutex<SchedState<M>>,
+    cvs: Vec<Condvar>,
+}
+
+impl<M> Shared<M> {
+    /// Hand the token to the next LP (which may be `self_id` again).
+    /// Must be called with the lock held; returns holding the lock, with
+    /// the token back at `self_id`.
+    fn reschedule<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, SchedState<M>>,
+        self_id: usize,
+    ) -> parking_lot::MutexGuard<'a, SchedState<M>> {
+        loop {
+            if let Some(msg) = &guard.poisoned {
+                let msg = msg.clone();
+                drop(guard);
+                panic!("coop scheduler poisoned: {msg}");
+            }
+            match guard.pick() {
+                Some(next) if next == self_id => {
+                    guard.running = self_id;
+                    return guard;
+                }
+                Some(next) => {
+                    guard.running = next;
+                    self.cvs[next].notify_one();
+                    self.cvs[self_id].wait(&mut guard);
+                    // Woken: either we hold the token or we were poisoned.
+                    if guard.running == self_id && guard.poisoned.is_none() {
+                        return guard;
+                    }
+                    // Re-check (spurious wake or poison).
+                    if guard.poisoned.is_some() {
+                        continue;
+                    }
+                    if guard.running != self_id {
+                        // Spurious wakeup — wait again.
+                        continue;
+                    }
+                }
+                None => {
+                    if guard.finished == guard.lps.len() {
+                        // Everyone done; nothing to schedule. We only get
+                        // here from a finished LP's final yield.
+                        guard.running = usize::MAX;
+                        return guard;
+                    }
+                    let blocked: Vec<usize> = (0..guard.lps.len())
+                        .filter(|&i| matches!(guard.lps[i].status, Status::BlockedRecv(_)))
+                        .collect();
+                    guard.poisoned = Some(format!(
+                        "deadlock: no runnable LP; blocked LPs: {blocked:?}"
+                    ));
+                    for cv in &self.cvs {
+                        cv.notify_all();
+                    }
+                    let msg = guard.poisoned.clone().unwrap();
+                    drop(guard);
+                    panic!("coop scheduler poisoned: {msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Handle held by each LP; all simulated-time operations go through it.
+pub struct CoopHandle<M> {
+    id: usize,
+    n: usize,
+    channels: usize,
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: Send + 'static> CoopHandle<M> {
+    /// This LP's id (0-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of LPs in the simulation.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of channels per LP.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// This LP's current virtual clock.
+    pub fn now(&self) -> SimTime {
+        let g = self.shared.state.lock();
+        SimTime::from_ps(g.lps[self.id].clock)
+    }
+
+    /// Advance this LP's clock by `dt` and yield to the scheduler.
+    pub fn advance(&self, dt: SimTime) {
+        let mut g = self.shared.state.lock();
+        g.lps[self.id].clock += dt.ps();
+        let g = self.shared.reschedule(g, self.id);
+        drop(g);
+    }
+
+    /// Advance this LP's clock to at least `t` and yield.
+    pub fn advance_to(&self, t: SimTime) {
+        let mut g = self.shared.state.lock();
+        let c = &mut g.lps[self.id].clock;
+        *c = (*c).max(t.ps());
+        let g = self.shared.reschedule(g, self.id);
+        drop(g);
+    }
+
+    /// Yield without advancing time (lets equal-clock LPs with smaller
+    /// ids run).
+    pub fn yield_now(&self) {
+        let g = self.shared.state.lock();
+        let g = self.shared.reschedule(g, self.id);
+        drop(g);
+    }
+
+    /// Send `msg` to LP `dest` on `channel`; it arrives at
+    /// `now + latency`. Sending never blocks and does not advance the
+    /// sender's clock (charge any software overhead with [`advance`]
+    /// separately).
+    ///
+    /// [`advance`]: CoopHandle::advance
+    pub fn send(&self, dest: usize, channel: usize, msg: M, latency: SimTime) {
+        let mut g = self.shared.state.lock();
+        assert!(dest < g.lps.len(), "send to unknown LP {dest}");
+        assert!(channel < self.channels, "send on unknown channel {channel}");
+        let arrival = g.lps[self.id].clock + latency.ps();
+        let seq = g.seq;
+        g.seq += 1;
+        g.lps[dest].boxes[channel].msgs.push((arrival, seq, msg));
+        // The sender keeps the token: its effective clock is still the
+        // minimum (arrival >= our clock for latency >= 0).
+    }
+
+    /// Blocking receive on `channel`: returns the earliest-arriving
+    /// message, advancing this LP's clock to the arrival time if it is
+    /// in the future.
+    pub fn recv(&self, channel: usize) -> M {
+        assert!(channel < self.channels, "recv on unknown channel {channel}");
+        let mut g = self.shared.state.lock();
+        g.lps[self.id].status = Status::BlockedRecv(channel);
+        let mut g = self.shared.reschedule(g, self.id);
+        // We were resumed: the scheduler guarantees the mailbox is
+        // non-empty (effective clock required an arrival).
+        let (arrival, msg) = g.lps[self.id].boxes[channel]
+            .pop_min()
+            .expect("scheduler resumed recv with empty mailbox");
+        let lp = &mut g.lps[self.id];
+        lp.clock = lp.clock.max(arrival);
+        lp.status = Status::Ready;
+        drop(g);
+        msg
+    }
+
+    /// Non-blocking receive: a message whose arrival time is ≤ now, if
+    /// any. (Messages "in flight" with future arrivals are not visible.)
+    pub fn try_recv(&self, channel: usize) -> Option<M> {
+        let mut g = self.shared.state.lock();
+        let now = g.lps[self.id].clock;
+        let mb = &mut g.lps[self.id].boxes[channel];
+        match mb.min_arrival() {
+            Some(a) if a <= now => mb.pop_min().map(|(_, m)| m),
+            _ => None,
+        }
+    }
+
+    /// Whether a message is available right now (arrival ≤ now).
+    pub fn poll(&self, channel: usize) -> bool {
+        let g = self.shared.state.lock();
+        let now = g.lps[self.id].clock;
+        g.lps[self.id].boxes[channel]
+            .min_arrival()
+            .is_some_and(|a| a <= now)
+    }
+
+    /// Run `f` with the scheduler lock held — used by engines to mutate
+    /// simulation-global state (resource banks, shared memory models)
+    /// deterministically. Since only one LP ever runs at a time, the lock
+    /// is uncontended; this is about atomicity with respect to scheduling,
+    /// not mutual exclusion between LPs.
+    pub fn with_global<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _g = self.shared.state.lock();
+        f()
+    }
+}
+
+/// Result of a cooperative run.
+pub struct CoopResult<R> {
+    /// Per-LP return values, indexed by LP id.
+    pub values: Vec<R>,
+    /// Per-LP final clocks.
+    pub clocks: Vec<SimTime>,
+    /// The maximum final clock (the simulated makespan).
+    pub makespan: SimTime,
+}
+
+/// Run `n` LPs, each executing `f(handle)`, under virtual time.
+///
+/// `channels` is the number of mailbox channels per LP. Returns each LP's
+/// result and final clock.
+///
+/// # Panics
+/// Panics if any LP panics or if the simulation deadlocks (every
+/// unfinished LP blocked on an empty mailbox).
+pub fn run<M, R, F>(n: usize, channels: usize, f: F) -> CoopResult<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: Fn(CoopHandle<M>) -> R + Send + Sync + 'static,
+{
+    assert!(n > 0, "need at least one LP");
+    assert!(channels > 0, "need at least one channel");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(SchedState {
+            lps: (0..n)
+                .map(|_| LpState {
+                    clock: 0,
+                    status: Status::Ready,
+                    boxes: (0..channels).map(|_| Mailbox::new()).collect(),
+                })
+                .collect(),
+            running: 0,
+            finished: 0,
+            seq: 0,
+            poisoned: None,
+        }),
+        cvs: (0..n).map(|_| Condvar::new()).collect(),
+    });
+    let f = Arc::new(f);
+
+    let handles: Vec<_> = (0..n)
+        .map(|id| {
+            let shared = shared.clone();
+            let f = f.clone();
+            std::thread::Builder::new()
+                .name(format!("coop-lp-{id}"))
+                .spawn(move || lp_main(id, n, channels, shared, f))
+                .expect("spawn LP thread")
+        })
+        .collect();
+
+    let mut values: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut clocks = vec![SimTime::ZERO; n];
+    let mut original_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut secondary_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for (id, h) in handles.into_iter().enumerate() {
+        match h.join().expect("LP thread itself must not die") {
+            Ok((r, clk)) => {
+                values[id] = Some(r);
+                clocks[id] = clk;
+            }
+            Err((p, original)) => {
+                let slot = if original {
+                    &mut original_panic
+                } else {
+                    &mut secondary_panic
+                };
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+        }
+    }
+    // Prefer the panic that started the collapse over the induced
+    // "scheduler poisoned" panics of bystander LPs.
+    if let Some(p) = original_panic.or(secondary_panic) {
+        panic::resume_unwind(p);
+    }
+    let makespan = clocks.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    CoopResult {
+        values: values.into_iter().map(|v| v.unwrap()).collect(),
+        clocks,
+        makespan,
+    }
+}
+
+/// Error side carries `(payload, was_original_panic)` — bystander LPs die
+/// with an induced "poisoned" panic that should not mask the real one.
+type LpOutcome<R> = Result<(R, SimTime), (Box<dyn std::any::Any + Send>, bool)>;
+
+fn lp_main<M, R, F>(
+    id: usize,
+    n: usize,
+    channels: usize,
+    shared: Arc<Shared<M>>,
+    f: Arc<F>,
+) -> LpOutcome<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: Fn(CoopHandle<M>) -> R + Send + Sync + 'static,
+{
+    // Wait for the token before starting (LP 0 starts holding it by
+    // construction: pick() with all clocks 0 chooses id 0).
+    {
+        let mut g = shared.state.lock();
+        while g.running != id {
+            if g.poisoned.is_some() {
+                return Err((Box::new("poisoned before start"), false));
+            }
+            shared.cvs[id].wait(&mut g);
+        }
+    }
+
+    let handle = CoopHandle {
+        id,
+        n,
+        channels,
+        shared: shared.clone(),
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(handle)));
+
+    let mut g = shared.state.lock();
+    let clk = SimTime::from_ps(g.lps[id].clock);
+    g.lps[id].status = Status::Done;
+    g.finished += 1;
+    match result {
+        Ok(r) => {
+            // Hand the token onward.
+            match g.pick() {
+                Some(next) => {
+                    g.running = next;
+                    shared.cvs[next].notify_one();
+                }
+                None if g.finished < g.lps.len() => {
+                    g.poisoned = Some("deadlock after LP finish".into());
+                    for cv in &shared.cvs {
+                        cv.notify_all();
+                    }
+                }
+                None => {}
+            }
+            drop(g);
+            Ok((r, clk))
+        }
+        Err(p) => {
+            let original = g.poisoned.is_none();
+            if original {
+                g.poisoned = Some(format!("LP {id} panicked"));
+            }
+            for cv in &shared.cvs {
+                cv.notify_all();
+            }
+            drop(g);
+            Err((p, original))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lp_advances_time() {
+        let out = run::<u64, _, _>(1, 1, |h| {
+            h.advance(SimTime::from_ns(100));
+            h.advance(SimTime::from_ns(50));
+            h.now()
+        });
+        assert_eq!(out.values[0], SimTime::from_ns(150));
+        assert_eq!(out.makespan, SimTime::from_ns(150));
+    }
+
+    #[test]
+    fn ping_pong_latency_accumulates() {
+        let out = run::<u64, _, _>(2, 1, |h| {
+            let wire = SimTime::from_ns(21);
+            if h.id() == 0 {
+                h.send(1, 0, 1, wire);
+                let _ = h.recv(0);
+                h.now()
+            } else {
+                let v = h.recv(0);
+                h.send(0, 0, v, wire);
+                h.now()
+            }
+        });
+        assert_eq!(out.values[0], SimTime::from_ns(42));
+        assert_eq!(out.values[1], SimTime::from_ns(21));
+    }
+
+    #[test]
+    fn min_clock_lp_runs_first() {
+        // LP1 computes for 1 us then sends; LP0 computes 10 ns and sends.
+        // LP2 must receive LP0's message first even though LP1 has a
+        // smaller id among senders... ordering is by arrival time.
+        let out = run::<(usize, u64), _, _>(3, 1, |h| match h.id() {
+            0 => {
+                h.advance(SimTime::from_ns(10));
+                h.send(2, 0, (0, h.now().ps()), SimTime::from_ns(5));
+                0
+            }
+            1 => {
+                h.advance(SimTime::from_us(1));
+                h.send(2, 0, (1, h.now().ps()), SimTime::from_ns(5));
+                0
+            }
+            _ => {
+                let (first, _) = h.recv(0);
+                let (second, _) = h.recv(0);
+                assert_eq!(first, 0);
+                assert_eq!(second, 1);
+                h.now().ps() as usize
+            }
+        });
+        // LP2 finishes at LP1's send arrival: 1 us + 5 ns.
+        assert_eq!(out.values[2], 1_005_000);
+    }
+
+    #[test]
+    fn arrival_order_not_send_order() {
+        // A sends early with huge latency; B sends later with tiny
+        // latency. Receiver must see B's message first.
+        let out = run::<char, _, _>(3, 1, |h| match h.id() {
+            0 => {
+                h.send(2, 0, 'a', SimTime::from_ns(1000));
+                ' '
+            }
+            1 => {
+                h.advance(SimTime::from_ns(50));
+                h.send(2, 0, 'b', SimTime::from_ns(1));
+                ' '
+            }
+            _ => {
+                let first = h.recv(0);
+                let second = h.recv(0);
+                assert_eq!(h.now(), SimTime::from_ns(1000));
+                assert_eq!((first, second), ('b', 'a'));
+                'k'
+            }
+        });
+        drop(out);
+    }
+
+    #[test]
+    fn try_recv_sees_only_arrived_messages() {
+        let out = run::<u8, _, _>(2, 1, |h| {
+            if h.id() == 0 {
+                h.send(1, 0, 7, SimTime::from_ns(100));
+                0
+            } else {
+                // Let LP0 run and send.
+                h.advance(SimTime::from_ns(10));
+                assert!(h.try_recv(0).is_none(), "message still in flight");
+                assert!(!h.poll(0));
+                h.advance(SimTime::from_ns(100));
+                assert!(h.poll(0));
+                h.try_recv(0).unwrap()
+            }
+        });
+        assert_eq!(out.values[1], 7);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let out = run::<u32, _, _>(2, 2, |h| {
+            if h.id() == 0 {
+                h.send(1, 1, 11, SimTime::ZERO);
+                h.send(1, 0, 22, SimTime::ZERO);
+                0
+            } else {
+                let a = h.recv(0);
+                let b = h.recv(1);
+                a * 100 + b
+            }
+        });
+        assert_eq!(out.values[1], 2211);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            run::<u64, _, _>(4, 1, |h| {
+                let next = (h.id() + 1) % h.n();
+                for round in 0..8u64 {
+                    if h.id() == 0 {
+                        h.send(next, 0, round, SimTime::from_ns(3));
+                        let _ = h.recv(0);
+                    } else {
+                        let v = h.recv(0);
+                        h.advance(SimTime::from_ns(1 + h.id() as u64));
+                        h.send(next, 0, v, SimTime::from_ns(3));
+                    }
+                }
+                h.now().ps()
+            })
+            .values
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn send_to_self_arrives_in_future() {
+        let out = run::<u8, _, _>(1, 1, |h| {
+            h.send(0, 0, 9, SimTime::from_ns(40));
+            let v = h.recv(0);
+            assert_eq!(h.now(), SimTime::from_ns(40));
+            v
+        });
+        assert_eq!(out.values[0], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detected() {
+        run::<u8, _, _>(2, 1, |h| {
+            let _ = h.recv(0); // both block forever
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn lp_panic_propagates() {
+        run::<u8, _, _>(2, 1, |h| {
+            if h.id() == 1 {
+                panic!("boom");
+            }
+            // LP0 blocks; must be woken by the poison, not hang.
+            let _ = h.recv(0);
+        });
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let out = run::<u8, _, _>(3, 1, |h| {
+            h.advance(SimTime::from_ns(10 * (h.id() as u64 + 1)));
+        });
+        assert_eq!(out.makespan, SimTime::from_ns(30));
+        assert_eq!(out.clocks[0], SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn with_global_runs_closure() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counter = Arc::new(AtomicU32::new(0));
+        let c2 = counter.clone();
+        run::<u8, _, _>(2, 1, move |h| {
+            h.with_global(|| c2.fetch_add(1, Ordering::Relaxed));
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! A classic closure-driven event queue.
+//!
+//! Used by open-loop models (e.g. cache warm-up sweeps and unit tests of
+//! the resource servers). Closed-loop protocol simulation uses the
+//! cooperative scheduler in [`crate::coop`] instead.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type Event<'a> = Box<dyn FnOnce(&mut Sim<'a>) + 'a>;
+
+/// Sequential discrete-event simulator with a closure per event.
+///
+/// Events scheduled for the same instant fire in insertion order, which
+/// keeps runs deterministic.
+pub struct Sim<'a> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    slots: Vec<Option<Event<'a>>>,
+    executed: u64,
+}
+
+impl<'a> Default for Sim<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Sim<'a> {
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<'a>) + 'a) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.slots.push(Some(Box::new(f)));
+        self.queue.push(Reverse((at, seq)));
+    }
+
+    /// Schedule `f` to run `after` from now.
+    pub fn schedule_in(&mut self, after: SimTime, f: impl FnOnce(&mut Sim<'a>) + 'a) {
+        self.schedule_at(self.now + after, f);
+    }
+
+    /// Run until the queue drains; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run events with time ≤ `until` (events beyond stay queued).
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        while let Some(Reverse((t, _))) = self.queue.peek() {
+            if *t > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+        self.now
+    }
+
+    /// Execute the next event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((t, seq))) = self.queue.pop() else {
+            return false;
+        };
+        self.now = t;
+        let f = self.slots[seq as usize].take().expect("event fired twice");
+        self.executed += 1;
+        f(self);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for (t, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_ns(t), move |s| {
+                log.borrow_mut().push((s.now().ps(), tag));
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![(10_000, 'a'), (20_000, 'b'), (30_000, 'c')]
+        );
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for tag in ['x', 'y', 'z'] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_ns(5), move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut sim = Sim::new();
+        fn tick(s: &mut Sim<'_>, hits: Rc<RefCell<u32>>, left: u32) {
+            *hits.borrow_mut() += 1;
+            if left > 0 {
+                s.schedule_in(SimTime::from_ns(1), move |s| tick(s, hits, left - 1));
+            }
+        }
+        let h = hits.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tick(s, h, 9));
+        let end = sim.run();
+        assert_eq!(*hits.borrow(), 10);
+        assert_eq!(end, SimTime::from_ns(9));
+        assert_eq!(sim.executed(), 10);
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for t in [5u64, 15, 25] {
+            let fired = fired.clone();
+            sim.schedule_at(SimTime::from_ns(t), move |_| fired.borrow_mut().push(t));
+        }
+        sim.run_until(SimTime::from_ns(16));
+        assert_eq!(*fired.borrow(), vec![5, 15]);
+        assert_eq!(sim.now(), SimTime::from_ns(16));
+        sim.run();
+        assert_eq!(*fired.borrow(), vec![5, 15, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule_at(SimTime::from_ns(10), |s| {
+            s.schedule_at(SimTime::from_ns(5), |_| {});
+        });
+        sim.run();
+    }
+}

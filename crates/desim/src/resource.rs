@@ -1,0 +1,175 @@
+//! Busy-until FIFO servers for modeling contended hardware.
+//!
+//! A [`Resource`] models a serial server (a home tile's cache port, a DDR
+//! controller): each request occupies the server for a service duration,
+//! and requests queue in arrival order. Because the cooperative scheduler
+//! always runs the minimum-clock process, requests are issued in
+//! nondecreasing time order, so a simple `free_at` watermark implements an
+//! exact FIFO queue.
+
+use crate::time::SimTime;
+
+/// A single-server FIFO resource.
+#[derive(Clone, Debug, Default)]
+pub struct Resource {
+    free_at: SimTime,
+    busy: SimTime,
+    served: u64,
+}
+
+impl Resource {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `service` time starting no earlier than `now`.
+    ///
+    /// Returns the completion time: `max(now, free_at) + service`.
+    pub fn acquire(&mut self, now: SimTime, service: SimTime) -> SimTime {
+        let start = now.max(self.free_at);
+        let done = start + service;
+        self.free_at = done;
+        self.busy += service;
+        self.served += 1;
+        done
+    }
+
+    /// Earliest time a new request could start service.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over the interval `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.ps() as f64 / horizon.ps() as f64
+    }
+}
+
+/// A bank of resources indexed by id (e.g. one per home tile).
+#[derive(Clone, Debug)]
+pub struct ResourceBank {
+    servers: Vec<Resource>,
+}
+
+impl ResourceBank {
+    pub fn new(n: usize) -> Self {
+        Self {
+            servers: vec![Resource::new(); n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> &Resource {
+        &self.servers[i]
+    }
+
+    /// Acquire on server `i`.
+    pub fn acquire(&mut self, i: usize, now: SimTime, service: SimTime) -> SimTime {
+        self.servers[i].acquire(now, service)
+    }
+
+    /// Spread a total service demand across all servers (hash-for-home
+    /// style): each server receives `total / n`, and the completion time
+    /// is the max across servers. Remainder picoseconds go to server 0.
+    pub fn acquire_spread(&mut self, now: SimTime, total: SimTime) -> SimTime {
+        let n = self.servers.len() as u64;
+        assert!(n > 0);
+        let share = SimTime::from_ps(total.ps() / n);
+        let rem = SimTime::from_ps(total.ps() % n);
+        let mut done = SimTime::ZERO;
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            let svc = if i == 0 { share + rem } else { share };
+            done = done.max(s.acquire(now, svc));
+        }
+        done
+    }
+
+    /// Reset all servers to idle.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            *s = Resource::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut r = Resource::new();
+        let done = r.acquire(SimTime::from_ns(10), SimTime::from_ns(5));
+        assert_eq!(done, SimTime::from_ns(15));
+        assert_eq!(r.free_at(), SimTime::from_ns(15));
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut r = Resource::new();
+        r.acquire(SimTime::ZERO, SimTime::from_ns(10));
+        // Second request arrives at 3 but starts at 10.
+        let done = r.acquire(SimTime::from_ns(3), SimTime::from_ns(4));
+        assert_eq!(done, SimTime::from_ns(14));
+        assert_eq!(r.served(), 2);
+        assert_eq!(r.busy_time(), SimTime::from_ns(14));
+    }
+
+    #[test]
+    fn utilization() {
+        let mut r = Resource::new();
+        r.acquire(SimTime::ZERO, SimTime::from_ns(25));
+        assert!((r.utilization(SimTime::from_ns(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn bank_spread_balances_demand() {
+        let mut b = ResourceBank::new(4);
+        // 40 ns of demand over 4 servers = 10 ns each.
+        let done = b.acquire_spread(SimTime::ZERO, SimTime::from_ns(40));
+        assert_eq!(done, SimTime::from_ns(10));
+        // A second spread queues behind the first.
+        let done2 = b.acquire_spread(SimTime::ZERO, SimTime::from_ns(40));
+        assert_eq!(done2, SimTime::from_ns(20));
+    }
+
+    #[test]
+    fn bank_spread_remainder_goes_to_server_zero() {
+        let mut b = ResourceBank::new(3);
+        let done = b.acquire_spread(SimTime::ZERO, SimTime::from_ps(10));
+        // 10 / 3 = 3 with remainder 1: server 0 serves 4 ps.
+        assert_eq!(done, SimTime::from_ps(4));
+        assert_eq!(b.get(0).busy_time(), SimTime::from_ps(4));
+        assert_eq!(b.get(1).busy_time(), SimTime::from_ps(3));
+    }
+
+    #[test]
+    fn bank_reset() {
+        let mut b = ResourceBank::new(2);
+        b.acquire(0, SimTime::ZERO, SimTime::from_ns(5));
+        b.reset();
+        assert_eq!(b.get(0).free_at(), SimTime::ZERO);
+        assert_eq!(b.get(0).served(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulated time as integer picoseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+///
+/// Picoseconds keep both modeled clock grids exact: one TILE-Gx cycle is
+/// 1000 ps and one TILEPro cycle is 1429 ps (rounded once, consistently,
+/// in `tile-arch`), so repeated additions never accumulate float error
+/// and runs are bit-for-bit reproducible.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    pub const fn ps(self) -> u64 {
+        self.0
+    }
+
+    pub fn ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    pub fn us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn s_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Saturating difference (durations can't be negative).
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000_000 {
+            write!(f, "{:.6}s", self.s_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.us_f64())
+        } else {
+            write!(f, "{:.3}ns", self.ns_f64())
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(SimTime::from_ns(3).ps(), 3_000);
+        assert_eq!(SimTime::from_us(2).ps(), 2_000_000);
+        assert_eq!(SimTime::from_ps(1500).ns_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(4);
+        assert_eq!((a + b).ps(), 14_000);
+        assert_eq!((a - b).ps(), 6_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.ps(), 14_000);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_ps(500)), "0.500ns");
+        assert_eq!(format!("{}", SimTime::from_us(3)), "3.000us");
+        assert_eq!(format!("{}", SimTime::from_ps(2_500_000_000_000)), "2.500000s");
+    }
+}

@@ -1,0 +1,173 @@
+//! Figure 3: effective bandwidth of shared-memory copy operations.
+//!
+//! Reproduces the TMC common-memory microbenchmark: repeated `memcpy`
+//! between private heap memory and shared segments, swept from 8 B to
+//! 64 MB. The three bandwidth transitions — at the L1d size, the L2
+//! size, and the effective DDC capacity — emerge from the simulated tag
+//! arrays (`cachesim`); plateau heights come from the calibrated
+//! per-level throughputs.
+
+use cachesim::homing::Homing;
+use cachesim::memsys::{MemRef, MemorySystem};
+use tile_arch::clock::bandwidth_mbps;
+use tile_arch::device::Device;
+
+use crate::series::{Figure, Series};
+
+/// Copy directions measured in the paper's Figure 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyKind {
+    PrivateToShared,
+    SharedToPrivate,
+    SharedToShared,
+}
+
+impl CopyKind {
+    pub const ALL: [CopyKind; 3] = [
+        CopyKind::PrivateToShared,
+        CopyKind::SharedToPrivate,
+        CopyKind::SharedToShared,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CopyKind::PrivateToShared => "private-to-shared",
+            CopyKind::SharedToPrivate => "shared-to-private",
+            CopyKind::SharedToShared => "shared-to-shared",
+        }
+    }
+}
+
+const PRIV: u64 = 0x1000_0000;
+const SHARED_A: u64 = 0x9000_0000;
+const SHARED_B: u64 = 0xD000_0000;
+
+/// Effective bandwidth (MB/s) of a warm repeated copy of `size` bytes.
+pub fn copy_bandwidth(device: &Device, kind: CopyKind, size: u64) -> f64 {
+    let mut sys = MemorySystem::new(*device, device.grid.tiles().min(36));
+    let (dst, src) = match kind {
+        CopyKind::PrivateToShared => (
+            MemRef::new(SHARED_A, Homing::HashForHome),
+            MemRef::new(PRIV, Homing::Local(0)),
+        ),
+        CopyKind::SharedToPrivate => (
+            MemRef::new(PRIV, Homing::Local(0)),
+            MemRef::new(SHARED_A, Homing::HashForHome),
+        ),
+        CopyKind::SharedToShared => (
+            MemRef::new(SHARED_B, Homing::HashForHome),
+            MemRef::new(SHARED_A, Homing::HashForHome),
+        ),
+    };
+    // Warm-up sweep, then the measured sweep (the benchmark loop).
+    let _ = sys.classify(0, dst, src, size);
+    let lv = sys.classify(0, dst, src, size);
+    let ps = sys.cost_model().ps(&lv);
+    bandwidth_mbps(size, ps)
+}
+
+/// Sweep sizes: powers of two from 8 B to `max` bytes.
+pub fn size_sweep(max: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 8u64;
+    while s <= max {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Figure 3 for one device (`max_bytes` lets tests shrink the sweep;
+/// the paper goes to 64 MB).
+pub fn fig3_device(device: &Device, max_bytes: u64) -> Figure {
+    let mut fig = Figure::new(
+        "fig3",
+        format!("Effective shared-memory copy bandwidth ({})", device.name),
+        "bytes",
+        "MB/s",
+    );
+    for kind in CopyKind::ALL {
+        let mut s = Series::new(format!("{} {}", device.name, kind.label()));
+        for size in size_sweep(max_bytes) {
+            s.push(size as f64, copy_bandwidth(device, kind, size));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// The full Figure 3: both devices, 8 B – 64 MB.
+pub fn fig3() -> Figure {
+    let mut fig = Figure::new(
+        "fig3",
+        "Effective bandwidth for shared-memory copy operations",
+        "bytes",
+        "MB/s",
+    );
+    for device in [Device::tile_gx8036(), Device::tilepro64()] {
+        fig.series
+            .extend(fig3_device(&device, 64 * 1024 * 1024).series);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        let s = size_sweep(1024);
+        assert_eq!(s.first(), Some(&8));
+        assert_eq!(s.last(), Some(&1024));
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn gx_plateaus_match_paper() {
+        let gx = Device::tile_gx8036();
+        // L1d plateau ~3100 MB/s at 8 kB.
+        let bw = copy_bandwidth(&gx, CopyKind::PrivateToShared, 8 * 1024);
+        assert!((2900.0..3300.0).contains(&bw), "L1d {bw}");
+        // L2 plateau 1900-2700 MB/s at 128 kB.
+        let bw = copy_bandwidth(&gx, CopyKind::PrivateToShared, 128 * 1024);
+        assert!((1900.0..2700.0).contains(&bw), "L2 {bw}");
+        // Memory-to-memory convergence ~320 MB/s at 32 MB.
+        let bw = copy_bandwidth(&gx, CopyKind::PrivateToShared, 32 * 1024 * 1024);
+        assert!((300.0..360.0).contains(&bw), "converged {bw}");
+    }
+
+    #[test]
+    fn pro_stable_through_caches_then_degrades() {
+        let pro = Device::tilepro64();
+        let small = copy_bandwidth(&pro, CopyKind::PrivateToShared, 4 * 1024);
+        assert!((450.0..550.0).contains(&small), "cache plateau {small}");
+        let big = copy_bandwidth(&pro, CopyKind::PrivateToShared, 16 * 1024 * 1024);
+        assert!((350.0..420.0).contains(&big), "mem-mem {big}");
+    }
+
+    #[test]
+    fn crossover_pro_beats_gx_at_memory_scale() {
+        // Paper: memory-to-memory on the Pro64 is *faster* than Gx36,
+        // while Gx dominates below ~2 MB.
+        let gx = Device::tile_gx8036();
+        let pro = Device::tilepro64();
+        let size = 64 * 1024 * 1024;
+        let g = copy_bandwidth(&gx, CopyKind::PrivateToShared, size);
+        let p = copy_bandwidth(&pro, CopyKind::PrivateToShared, size);
+        assert!(p > g, "pro {p} must beat gx {g} at memory scale");
+        let small = 256 * 1024;
+        let g2 = copy_bandwidth(&gx, CopyKind::PrivateToShared, small);
+        let p2 = copy_bandwidth(&pro, CopyKind::PrivateToShared, small);
+        assert!(g2 > 2.0 * p2, "gx {g2} must dominate pro {p2} under 2 MB");
+    }
+
+    #[test]
+    fn fig3_has_six_series() {
+        let fig = fig3_device(&Device::tile_gx8036(), 64 * 1024);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert!(!s.points.is_empty());
+        }
+    }
+}

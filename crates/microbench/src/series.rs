@@ -1,0 +1,154 @@
+//! Figure data structures and TSV rendering.
+
+/// One labeled curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Peak y value.
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// x at the peak y.
+    pub fn argmax_x(&self) -> f64 {
+        self.points
+            .iter()
+            .fold((f64::NAN, f64::NEG_INFINITY), |acc, p| {
+                if p.1 > acc.1 {
+                    (p.0, p.1)
+                } else {
+                    acc
+                }
+            })
+            .0
+    }
+
+    /// y at the largest x (the "converged" value of a sweep).
+    pub fn last_y(&self) -> f64 {
+        self.points.last().map(|p| p.1).unwrap_or(f64::NAN)
+    }
+
+    /// Linear interpolation of y at `x` (points must be x-sorted).
+    pub fn y_at(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return f64::NAN;
+        }
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            if x <= w[1].0 {
+                let t = (x - w[0].0) / (w[1].0 - w[0].0);
+                return w[0].1 + t * (w[1].1 - w[0].1);
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+}
+
+/// One reproduced figure (or table rendered as curves).
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Paper artifact id, e.g. `"fig3"`.
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render as TSV: a header comment, then `x<TAB>label<TAB>y` rows.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {}: {}\n# x: {}  y: {}\n",
+            self.id, self.title, self.x_label, self.y_label
+        ));
+        out.push_str(&format!("{}\tseries\t{}\n", self.x_label, self.y_label));
+        for s in &self.series {
+            for (x, y) in &s.points {
+                out.push_str(&format!("{x}\t{}\t{y:.4}\n", s.label));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Series {
+        let mut s = Series::new("demo");
+        s.push(1.0, 10.0);
+        s.push(2.0, 30.0);
+        s.push(4.0, 20.0);
+        s
+    }
+
+    #[test]
+    fn summaries() {
+        let s = demo();
+        assert_eq!(s.max_y(), 30.0);
+        assert_eq!(s.argmax_x(), 2.0);
+        assert_eq!(s.last_y(), 20.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = demo();
+        assert_eq!(s.y_at(1.0), 10.0);
+        assert_eq!(s.y_at(1.5), 20.0);
+        assert_eq!(s.y_at(3.0), 25.0);
+        assert_eq!(s.y_at(99.0), 20.0);
+        assert_eq!(s.y_at(0.0), 10.0);
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let mut f = Figure::new("figX", "Demo", "size", "MB/s");
+        f.series.push(demo());
+        let tsv = f.to_tsv();
+        assert!(tsv.contains("# figX: Demo"));
+        assert!(tsv.contains("1\tdemo\t10.0000"));
+        assert!(f.series("demo").is_some());
+        assert!(f.series("nope").is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure 4 and Table III: UDN one-way latencies on the 6×6 test area.
+
+use tile_arch::area::TestArea;
+use tile_arch::device::Device;
+use udn::timing::UdnModel;
+
+use crate::series::{Figure, Series};
+
+/// The paper's transfer cases: (label, sender, receiver) in virtual CPU
+/// numbers on the 6×6 area (Table III rows).
+pub fn table3_cases() -> Vec<(&'static str, &'static str, usize, usize)> {
+    vec![
+        ("Neighbors", "left", 14, 13),
+        ("Neighbors", "right", 14, 15),
+        ("Neighbors", "up", 14, 8),
+        ("Neighbors", "down", 14, 20),
+        ("Neighbors", "left", 28, 27),
+        ("Neighbors", "right", 28, 29),
+        ("Neighbors", "up", 28, 22),
+        ("Neighbors", "down", 28, 34),
+        ("Side-to-Side", "right", 6, 11),
+        ("Side-to-Side", "left", 11, 6),
+        ("Side-to-Side", "down", 1, 31),
+        ("Side-to-Side", "up", 31, 1),
+        ("Side-to-Side", "right", 23, 18),
+        ("Side-to-Side", "left", 18, 23),
+        ("Side-to-Side", "down", 33, 3),
+        ("Side-to-Side", "up", 3, 33),
+        ("Corners", "down-right", 0, 35),
+        ("Corners", "up-left", 35, 0),
+        ("Corners", "down-left", 5, 30),
+        ("Corners", "up-right", 30, 5),
+    ]
+}
+
+/// One Table III row as reproduced.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    pub case: &'static str,
+    pub direction: &'static str,
+    pub sender: usize,
+    pub receiver: usize,
+    pub gx_ns: f64,
+    pub pro_ns: f64,
+}
+
+/// Reproduce Table III (halved ping-ack latencies, ns, both devices).
+pub fn table3() -> Vec<Table3Row> {
+    let gx = UdnModel::new(TestArea::paper_6x6(Device::tile_gx8036()));
+    let pro = UdnModel::new(TestArea::paper_6x6(Device::tilepro64()));
+    table3_cases()
+        .into_iter()
+        .map(|(case, direction, s, r)| Table3Row {
+            case,
+            direction,
+            sender: s,
+            receiver: r,
+            gx_ns: gx.ping_ack_half_ns(s, r),
+            pro_ns: pro.ping_ack_half_ns(s, r),
+        })
+        .collect()
+}
+
+/// Render Table III as text.
+pub fn table3_text() -> String {
+    let mut out =
+        String::from("# Table III: one-way latencies on UDN (6x6 area)\ncase\tdir\tsender\treceiver\tGx36_ns\tPro64_ns\n");
+    for r in table3() {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{:.1}\t{:.1}\n",
+            r.case, r.direction, r.sender, r.receiver, r.gx_ns, r.pro_ns
+        ));
+    }
+    out
+}
+
+/// Figure 4: average one-way latency per distance case, both devices.
+pub fn fig4() -> Figure {
+    let mut fig = Figure::new(
+        "fig4",
+        "Average one-way UDN latencies (neighbors / side-to-side / corners)",
+        "hops",
+        "ns",
+    );
+    let rows = table3();
+    for (device_label, pick) in [("TILE-Gx36", 0usize), ("TILEPro64", 1usize)] {
+        let mut s = Series::new(device_label);
+        for (case, hops) in [("Neighbors", 1.0), ("Side-to-Side", 5.0), ("Corners", 10.0)] {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.case == case)
+                .map(|r| if pick == 0 { r.gx_ns } else { r.pro_ns })
+                .collect();
+            let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+            s.push(hops, avg);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Effective 1-word data throughput per case (paper Section III-C's
+/// 2900/2500/2000 vs 1700/1300/980 Mbps comparison).
+pub fn effective_throughput() -> Figure {
+    let mut fig = Figure::new(
+        "fig4b",
+        "Effective UDN data throughput of 1-word transfers",
+        "hops",
+        "Mbps",
+    );
+    for device in [Device::tile_gx8036(), Device::tilepro64()] {
+        let m = UdnModel::new(TestArea::paper_6x6(device));
+        let mut s = Series::new(device.name);
+        for (a, b, hops) in [(14usize, 13usize, 1.0), (6, 11, 5.0), (0, 35, 10.0)] {
+            s.push(hops, m.effective_throughput_mbps(a, b));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_20_rows_present_with_sane_values() {
+        let rows = table3();
+        assert_eq!(rows.len(), 20);
+        for r in &rows {
+            assert!((15.0..36.0).contains(&r.gx_ns), "{r:?}");
+            assert!((15.0..36.0).contains(&r.pro_ns), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn per_case_bands_match_table3() {
+        for r in table3() {
+            let (gx_band, pro_band) = match r.case {
+                "Neighbors" => ((20.5, 22.5), (17.5, 19.5)),
+                "Side-to-Side" => ((24.5, 26.5), (23.5, 25.7)),
+                _ => ((30.5, 32.5), (32.0, 34.0)),
+            };
+            assert!((gx_band.0..=gx_band.1).contains(&r.gx_ns), "{r:?}");
+            assert!((pro_band.0..=pro_band.1).contains(&r.pro_ns), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig4_shows_crossover() {
+        // Pro wins at 1 hop, Gx wins at 10 hops (Fig 4's story).
+        let fig = fig4();
+        let gx = fig.series("TILE-Gx36").unwrap();
+        let pro = fig.series("TILEPro64").unwrap();
+        assert!(pro.y_at(1.0) < gx.y_at(1.0));
+        assert!(pro.y_at(10.0) > gx.y_at(10.0));
+    }
+
+    #[test]
+    fn throughput_matches_paper_scale() {
+        // Paper: 2900/2500/2000 Mbps on Gx, 1700/1300/980 on Pro.
+        let fig = effective_throughput();
+        let gx = fig.series("TILE-Gx8036").unwrap();
+        let pro = fig.series("TILEPro64").unwrap();
+        assert!((gx.y_at(1.0) - 2900.0).abs() < 200.0, "{}", gx.y_at(1.0));
+        assert!((gx.y_at(10.0) - 2000.0).abs() < 150.0, "{}", gx.y_at(10.0));
+        assert!((pro.y_at(1.0) - 1700.0).abs() < 100.0, "{}", pro.y_at(1.0));
+        assert!((pro.y_at(10.0) - 980.0).abs() < 80.0, "{}", pro.y_at(10.0));
+    }
+
+    #[test]
+    fn table3_text_renders() {
+        let t = table3_text();
+        assert!(t.contains("Corners"));
+        assert_eq!(t.lines().count(), 22);
+    }
+}

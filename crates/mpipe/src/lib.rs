@@ -1,0 +1,182 @@
+//! Model of the TILE-Gx **mPIPE** (multicore Programmable Intelligent
+//! Packet Engine) used as an inter-chip transport.
+//!
+//! The TSHMEM paper closes with the plan to "leverage novel
+//! architectural features of the TILE-Gx such as the mPIPE packet
+//! engine as we explore designs for expanding the shared-memory
+//! abstraction in TSHMEM across multiple many-core devices"
+//! (Section VI). This crate provides the transport model that the
+//! multi-chip engine (`tshmem::engine::multichip`) charges:
+//!
+//! * **Frame math** — payloads segment into MTU-sized Ethernet frames,
+//!   each paying per-frame engine + wire overhead; mPIPE's hardware
+//!   classification makes per-frame software cost tiny (that is its
+//!   selling point — wire-speed classification and distribution).
+//! * **Link model** — full-duplex point-to-point links (XAUI, 10 Gbps
+//!   per direction) with busy-until FIFO bandwidth accounting per
+//!   direction.
+//!
+//! The functional data path of a multi-chip job stays in process (the
+//! chips are simulated); what this crate supplies is the *cost* of
+//! crossing a chip boundary, which is 100× the on-chip UDN latency and
+//! bandwidth-limited at 1.25 GB/s per direction — exactly the regime
+//! change the future-work experiments quantify.
+
+use desim::resource::Resource;
+use desim::time::SimTime;
+
+/// Timing model of one mPIPE-to-mPIPE link.
+#[derive(Clone, Copy, Debug)]
+pub struct MpipeTimings {
+    /// Maximum payload bytes per frame (jumbo Ethernet).
+    pub mtu_bytes: usize,
+    /// Fixed cost per frame: mPIPE ingress/egress processing plus NIC
+    /// and wire latency, ps.
+    pub frame_overhead_ps: u64,
+    /// Serialization cost per payload byte, ps (10 Gbps = 0.8 ns/byte).
+    pub per_byte_ps: u64,
+    /// One-way propagation between adjacent chips, ps.
+    pub propagation_ps: u64,
+}
+
+impl MpipeTimings {
+    /// A 10 Gbps XAUI-class link between neighboring boards.
+    pub const fn xaui_10g() -> Self {
+        Self {
+            mtu_bytes: 9000,
+            // ~1.5 us of engine + descriptor handling per frame.
+            frame_overhead_ps: 1_500_000,
+            per_byte_ps: 800, // 0.8 ns/byte = 10 Gbps
+            propagation_ps: 500_000,
+        }
+    }
+
+    /// Number of frames a payload needs.
+    pub fn frames(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            1 // a bare header/doorbell still crosses the wire
+        } else {
+            bytes.div_ceil(self.mtu_bytes)
+        }
+    }
+
+    /// Wire occupancy (serialization) time for a payload, ps — the time
+    /// the link direction is busy.
+    pub fn serialization_ps(&self, bytes: usize) -> u64 {
+        self.frames(bytes) as u64 * self.frame_overhead_ps + bytes as u64 * self.per_byte_ps
+    }
+
+    /// One-way latency of the *first* byte group: overhead + propagation
+    /// plus the first frame's serialization.
+    pub fn first_frame_latency_ps(&self, bytes: usize) -> u64 {
+        let first = bytes.min(self.mtu_bytes);
+        self.frame_overhead_ps + self.propagation_ps + first as u64 * self.per_byte_ps
+    }
+
+    /// Effective bandwidth of a `bytes`-sized transfer, MB/s.
+    pub fn effective_mbps(&self, bytes: usize) -> f64 {
+        let total_ps = self.serialization_ps(bytes) + self.propagation_ps;
+        tile_arch::clock::bandwidth_mbps(bytes as u64, total_ps)
+    }
+}
+
+/// A full-duplex link between two chips, with FIFO bandwidth accounting
+/// per direction.
+#[derive(Clone, Debug)]
+pub struct MpipeLink {
+    pub timings: MpipeTimings,
+    /// Busy-until state per direction: `[a->b, b->a]`.
+    dirs: [Resource; 2],
+}
+
+impl MpipeLink {
+    pub fn new(timings: MpipeTimings) -> Self {
+        Self {
+            timings,
+            dirs: [Resource::new(), Resource::new()],
+        }
+    }
+
+    /// Occupy direction `dir` (0 = a→b, 1 = b→a) for a `bytes` payload
+    /// starting no earlier than `now`; returns the arrival time of the
+    /// last byte at the far side.
+    pub fn transfer(&mut self, dir: usize, now: SimTime, bytes: usize) -> SimTime {
+        let ser = SimTime::from_ps(self.timings.serialization_ps(bytes));
+        let done = self.dirs[dir].acquire(now, ser);
+        done + SimTime::from_ps(self.timings.propagation_ps)
+    }
+
+    /// Total bytes-time served on a direction (for utilization reports).
+    pub fn busy(&self, dir: usize) -> SimTime {
+        self.dirs[dir].busy_time()
+    }
+
+    pub fn reset(&mut self) {
+        self.dirs = [Resource::new(), Resource::new()];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> MpipeTimings {
+        MpipeTimings::xaui_10g()
+    }
+
+    #[test]
+    fn frame_counts() {
+        let m = t();
+        assert_eq!(m.frames(0), 1);
+        assert_eq!(m.frames(1), 1);
+        assert_eq!(m.frames(9000), 1);
+        assert_eq!(m.frames(9001), 2);
+        assert_eq!(m.frames(90_000), 10);
+    }
+
+    #[test]
+    fn bandwidth_asymptote_near_10gbps() {
+        let m = t();
+        // Large transfers approach the line rate (1250 MB/s), minus
+        // per-frame overhead (~17%).
+        let bw = m.effective_mbps(64 << 20);
+        assert!((950.0..1250.0).contains(&bw), "{bw}");
+        // Small transfers are latency-dominated.
+        let small = m.effective_mbps(64);
+        assert!(small < 50.0, "{small}");
+    }
+
+    #[test]
+    fn cross_chip_latency_is_microseconds() {
+        // The regime change vs the ~21 ns on-chip UDN.
+        let m = t();
+        let ns = m.first_frame_latency_ps(8) as f64 / 1e3;
+        assert!((1_000.0..5_000.0).contains(&ns), "{ns} ns");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = MpipeLink::new(t());
+        let now = SimTime::ZERO;
+        let a = l.transfer(0, now, 9000);
+        let b = l.transfer(1, now, 9000);
+        assert_eq!(a, b, "directions must not contend");
+        // Same direction serializes.
+        let c = l.transfer(0, now, 9000);
+        assert!(c > a);
+    }
+
+    #[test]
+    fn fifo_backlog_accumulates() {
+        let mut l = MpipeLink::new(t());
+        let mut done = SimTime::ZERO;
+        for _ in 0..10 {
+            done = l.transfer(0, SimTime::ZERO, 9000);
+        }
+        let ser = l.timings.serialization_ps(9000);
+        assert_eq!(done.ps(), 10 * ser + l.timings.propagation_ps);
+        assert_eq!(l.busy(0).ps(), 10 * ser);
+        l.reset();
+        assert_eq!(l.busy(0), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,153 @@
+//! Rectangular test areas with virtual CPU numbering.
+//!
+//! The paper's microbenchmarks run on a 6×6 *test area*: the whole chip
+//! on TILE-Gx36, but only a corner of the 8×8 TILEPro64. Tiles inside the
+//! area are addressed with **virtual CPU numbers** (row-major within the
+//! area), which map to physical tile ids on the full chip. On the Pro64,
+//! "virtual tile 6 is physical tile 8" — exactly what [`TestArea::physical`]
+//! computes.
+
+use crate::device::Device;
+use crate::mesh::{Mesh, TileCoord, TileId};
+
+/// A rectangular region of a device's grid with its own row-major
+/// (virtual) tile numbering.
+#[derive(Clone, Copy, Debug)]
+pub struct TestArea {
+    pub device: Device,
+    /// Top-left corner of the area on the physical grid.
+    pub origin: TileCoord,
+    /// Area dimensions.
+    pub area: Mesh,
+}
+
+impl TestArea {
+    /// An area anchored at the chip's top-left corner.
+    ///
+    /// # Panics
+    /// Panics if the area does not fit on the device grid.
+    pub fn new(device: Device, cols: u16, rows: u16) -> Self {
+        Self::at(device, TileCoord::new(0, 0), cols, rows)
+    }
+
+    /// An area anchored at `origin`.
+    ///
+    /// # Panics
+    /// Panics if the area does not fit on the device grid.
+    pub fn at(device: Device, origin: TileCoord, cols: u16, rows: u16) -> Self {
+        assert!(
+            origin.x + cols <= device.grid.cols && origin.y + rows <= device.grid.rows,
+            "{cols}x{rows} area at {origin:?} does not fit on {}",
+            device.name
+        );
+        Self {
+            device,
+            origin,
+            area: Mesh::new(cols, rows),
+        }
+    }
+
+    /// The paper's 6×6 effective test area for a device (full coverage of
+    /// the TILE-Gx36, a subset of the TILEPro64).
+    pub fn paper_6x6(device: Device) -> Self {
+        Self::new(device, 6, 6)
+    }
+
+    /// Number of tiles in the area.
+    pub fn tiles(&self) -> usize {
+        self.area.tiles()
+    }
+
+    /// Physical coordinate of a virtual CPU number.
+    ///
+    /// # Panics
+    /// Panics if `virt` is outside the area.
+    pub fn coord(&self, virt: TileId) -> TileCoord {
+        let c = self.area.coord_of(virt);
+        TileCoord::new(self.origin.x + c.x, self.origin.y + c.y)
+    }
+
+    /// Physical tile id (on the full device grid) of a virtual CPU number.
+    pub fn physical(&self, virt: TileId) -> TileId {
+        self.device.grid.id_of(self.coord(virt))
+    }
+
+    /// Virtual CPU number of a physical tile id, if inside the area.
+    pub fn virtual_of(&self, phys: TileId) -> Option<TileId> {
+        let c = self.device.grid.coord_of(phys);
+        if c.x < self.origin.x || c.y < self.origin.y {
+            return None;
+        }
+        let local = TileCoord::new(c.x - self.origin.x, c.y - self.origin.y);
+        self.area.contains(local).then(|| self.area.id_of(local))
+    }
+
+    /// Hop count between two virtual CPU numbers.
+    pub fn hops(&self, a: TileId, b: TileId) -> u32 {
+        self.device.grid.hops(self.coord(a), self.coord(b))
+    }
+
+    /// UDN one-way latency between two virtual CPU numbers, ps.
+    pub fn udn_one_way_ps(&self, a: TileId, b: TileId, payload_words: usize) -> u64 {
+        self.device.udn_one_way_ps(self.coord(a), self.coord(b), payload_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gx36_virtual_equals_physical() {
+        // Chip dimensions equal the test area on the Gx36, so virtual and
+        // physical CPU numbers coincide (paper Section III-C).
+        let a = TestArea::paper_6x6(Device::tile_gx8036());
+        for v in 0..a.tiles() {
+            assert_eq!(a.physical(v), v);
+            assert_eq!(a.virtual_of(v), Some(v));
+        }
+    }
+
+    #[test]
+    fn pro64_virtual_mapping_matches_paper() {
+        // "virtual tile 6 is physical tile 8" on the 8x8 TILEPro64.
+        let a = TestArea::paper_6x6(Device::tilepro64());
+        assert_eq!(a.physical(6), 8);
+        assert_eq!(a.physical(0), 0);
+        assert_eq!(a.physical(35), 5 * 8 + 5);
+        assert_eq!(a.virtual_of(8), Some(6));
+        // Physical tiles outside the 6x6 corner have no virtual number.
+        assert_eq!(a.virtual_of(6), None); // row 0, col 6
+        assert_eq!(a.virtual_of(63), None);
+    }
+
+    #[test]
+    fn hops_within_area() {
+        let a = TestArea::paper_6x6(Device::tilepro64());
+        assert_eq!(a.hops(0, 35), 10);
+        assert_eq!(a.hops(14, 13), 1);
+        assert_eq!(a.hops(6, 11), 5);
+    }
+
+    #[test]
+    fn offset_area() {
+        let a = TestArea::at(Device::tilepro64(), TileCoord::new(2, 2), 4, 4);
+        assert_eq!(a.physical(0), 2 * 8 + 2);
+        assert_eq!(a.virtual_of(2 * 8 + 2), Some(0));
+        assert_eq!(a.virtual_of(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_area_panics() {
+        TestArea::new(Device::tile_gx8036(), 7, 6);
+    }
+
+    #[test]
+    fn udn_latency_through_area() {
+        let a = TestArea::paper_6x6(Device::tile_gx8036());
+        // Neighbor latency ~21-22 ns.
+        let ns = a.udn_one_way_ps(14, 15, 1) as f64 / 1e3;
+        assert!((20.5..=22.5).contains(&ns));
+    }
+}

@@ -1,0 +1,124 @@
+//! Clock-rate conversions between cycles and simulated time.
+//!
+//! All simulated time in the workspace is kept in integer **picoseconds**
+//! so that both modeled devices (1 GHz and 700 MHz — a 10/7 ratio) convert
+//! exactly and deterministically.
+
+/// A fixed clock rate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Clock {
+    hz: u64,
+}
+
+impl Clock {
+    pub const fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0);
+        Self { hz }
+    }
+
+    pub const fn hz(&self) -> u64 {
+        self.hz
+    }
+
+    /// Duration of one cycle in picoseconds, rounded to nearest.
+    pub const fn cycle_ps(&self) -> u64 {
+        (1_000_000_000_000 + self.hz / 2) / self.hz
+    }
+
+    /// Convert a cycle count to picoseconds (rounded to nearest).
+    pub fn cycles_to_ps(&self, cycles: u64) -> u64 {
+        // Split to avoid overflow for large cycle counts.
+        let whole_seconds = cycles / self.hz;
+        let rem = cycles % self.hz;
+        whole_seconds * 1_000_000_000_000 + (rem * 1_000_000 + self.hz / 2_000_000) / (self.hz / 1_000_000)
+    }
+
+    /// Convert fractional cycles to picoseconds.
+    pub fn cycles_f64_to_ps(&self, cycles: f64) -> u64 {
+        (cycles * 1e12 / self.hz as f64).round().max(0.0) as u64
+    }
+
+    /// Convert picoseconds to (fractional) cycles.
+    pub fn ps_to_cycles_f64(&self, ps: u64) -> f64 {
+        ps as f64 * self.hz as f64 / 1e12
+    }
+
+    /// Nanoseconds for a cycle count, as a float (for reporting).
+    pub fn cycles_to_ns_f64(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e9 / self.hz as f64
+    }
+}
+
+/// Convert picoseconds to nanoseconds for reporting.
+pub fn ps_to_ns(ps: u64) -> f64 {
+    ps as f64 / 1e3
+}
+
+/// Convert picoseconds to microseconds for reporting.
+pub fn ps_to_us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+/// Convert picoseconds to seconds for reporting.
+pub fn ps_to_s(ps: u64) -> f64 {
+    ps as f64 / 1e12
+}
+
+/// Effective bandwidth in MB/s given bytes moved over a ps interval.
+pub fn bandwidth_mbps(bytes: u64, ps: u64) -> f64 {
+    if ps == 0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / (ps as f64 / 1e12) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_ps_exact_for_modeled_devices() {
+        assert_eq!(Clock::from_hz(1_000_000_000).cycle_ps(), 1000);
+        assert_eq!(Clock::from_hz(700_000_000).cycle_ps(), 1429);
+    }
+
+    #[test]
+    fn cycles_to_ps_roundtrip() {
+        let c = Clock::from_hz(1_000_000_000);
+        assert_eq!(c.cycles_to_ps(5), 5_000);
+        assert_eq!(c.cycles_to_ps(1_000_000_000), 1_000_000_000_000);
+        let p = Clock::from_hz(700_000_000);
+        // 700 cycles at 700 MHz is exactly 1 us.
+        assert_eq!(p.cycles_to_ps(700), 1_000_000);
+    }
+
+    #[test]
+    fn large_cycle_counts_do_not_overflow() {
+        let c = Clock::from_hz(1_000_000_000);
+        // 10^13 cycles = 10^4 seconds.
+        let ps = c.cycles_to_ps(10_000_000_000_000);
+        assert_eq!(ps, 10_000 * 1_000_000_000_000);
+    }
+
+    #[test]
+    fn fractional_conversions() {
+        let c = Clock::from_hz(1_000_000_000);
+        assert_eq!(c.cycles_f64_to_ps(2.5), 2500);
+        assert!((c.ps_to_cycles_f64(2500) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_helper() {
+        // 1 MB in 1 ms = 1000 MB/s.
+        let mbps = bandwidth_mbps(1_000_000, 1_000_000_000);
+        assert!((mbps - 1000.0).abs() < 1e-6);
+        assert!(bandwidth_mbps(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn reporting_units() {
+        assert_eq!(ps_to_ns(1500), 1.5);
+        assert_eq!(ps_to_us(2_500_000), 2.5);
+        assert_eq!(ps_to_s(3_000_000_000_000), 3.0);
+    }
+}

@@ -1,0 +1,474 @@
+//! Device descriptors for Tilera many-core processors.
+//!
+//! Two kinds of parameter live here:
+//!
+//! * **Published architecture** (grid, word width, clock, cache sizes,
+//!   controllers) — straight from the paper's Table II and the Tilera
+//!   product briefs it cites.
+//! * **Calibrated timings** ([`DeviceTimings`]) — per-level copy
+//!   throughputs, UDN setup/per-hop costs, and TMC barrier coefficients.
+//!   Each constant is derived from a measurement the paper reports in
+//!   Section III (the derivations are spelled out field by field below and
+//!   in `EXPERIMENTS.md`). The simulator produces the paper's *shapes*
+//!   (cache-size transitions, crossovers, who-wins) structurally; these
+//!   constants only pin the plateau heights to the published values.
+
+use crate::clock::Clock;
+use crate::mesh::{Direction, Mesh};
+
+/// Processor generation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceFamily {
+    /// 64-bit TILE-Gx family (Gx16, Gx36).
+    Gx,
+    /// 32-bit TILEPro family (Pro36, Pro64).
+    Pro,
+}
+
+/// UDN (User Dynamic Network) timing model.
+///
+/// Section III-C decomposes a one-way transfer into *setup-and-teardown*
+/// plus *network traversal* at one word per hop per cycle. Fitting the
+/// paper's Table III (1/5/10-hop latencies) gives the slope and intercept
+/// used here; the per-direction deltas reproduce the ±1 ns directional
+/// spread the paper observed.
+#[derive(Clone, Copy, Debug)]
+pub struct UdnTimings {
+    /// Software + hardware setup-and-teardown, in picoseconds.
+    pub setup_ps: u64,
+    /// Effective cost per hop (switch cycle plus router overhead), ps.
+    pub per_hop_ps: u64,
+    /// Extra cost per additional payload word (pipelined wormhole), ps.
+    pub per_word_ps: u64,
+    /// Deterministic per-direction delta (left, right, up, down), ps.
+    /// Signed; reproduces Table III's directional spread.
+    pub dir_delta_ps: [i64; 4],
+    /// Additional software overhead per two-sided TMC helper send/recv
+    /// pair, in cycles — charged by TSHMEM protocol code on top of wire
+    /// latency (derived from the gap between Fig 4 and Fig 8).
+    pub sw_overhead_cycles: u64,
+    /// Demultiplexing queues per tile.
+    pub demux_queues: usize,
+    /// Maximum payload per packet, in words.
+    pub max_payload_words: usize,
+}
+
+impl UdnTimings {
+    /// Delta for a dominant direction, ps (0 for self-sends).
+    pub fn dir_delta(&self, d: Direction) -> i64 {
+        match d {
+            Direction::Left => self.dir_delta_ps[0],
+            Direction::Right => self.dir_delta_ps[1],
+            Direction::Up => self.dir_delta_ps[2],
+            Direction::Down => self.dir_delta_ps[3],
+        }
+    }
+
+    /// One-way latency for `payload_words` over `hops` hops, ps.
+    pub fn one_way_ps(&self, hops: u32, payload_words: usize) -> u64 {
+        let words_extra = payload_words.saturating_sub(1) as u64;
+        self.setup_ps + self.per_hop_ps * hops as u64 + self.per_word_ps * words_extra
+    }
+}
+
+/// Memory-system timing model: per-level effective copy throughput in
+/// bytes per cycle, plus per-level access latencies for the line-grain
+/// cache simulator.
+///
+/// Throughputs are calibrated to the Figure 3 plateaus: on TILE-Gx36 the
+/// L1d plateau tops out near 3100 MB/s at 1 GHz (3.1 B/cycle), L2 between
+/// 1900 and 2700 MB/s, the L3 DDC near 1000 MB/s, and memory-to-memory
+/// converges at 320 MB/s; TILEPro64 sits near 500 MB/s through L1/L2 and
+/// 370 MB/s to memory at 700 MHz.
+#[derive(Clone, Copy, Debug)]
+pub struct MemTimings {
+    /// Copy throughput when the working set fits in L1d, bytes/cycle.
+    pub l1d_bytes_per_cycle: f64,
+    /// Copy throughput out of the local L2, bytes/cycle.
+    pub l2_bytes_per_cycle: f64,
+    /// Copy throughput served from remote L2s via the DDC, bytes/cycle.
+    pub ddc_bytes_per_cycle: f64,
+    /// Memory-to-memory copy throughput, bytes/cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Effective DDC capacity visible to one streaming tile, bytes —
+    /// the paper attributes the third Fig 3 transition to transfers
+    /// "exceeding the L2 caches of nearby tiles" starting near 1 MB of
+    /// buffer (2 MB of copy working set) on the Gx36.
+    pub ddc_effective_bytes: usize,
+    /// L1d hit latency, cycles.
+    pub l1d_hit_cycles: u64,
+    /// Local L2 hit latency, cycles.
+    pub l2_hit_cycles: u64,
+    /// Remote-L2 (DDC) base hit latency, cycles (plus per-hop cost).
+    pub ddc_hit_cycles: u64,
+    /// DRAM access latency, cycles.
+    pub dram_cycles: u64,
+}
+
+/// TMC barrier latency coefficients (Figure 5).
+///
+/// The spin barrier is a shared-counter barrier whose arrival cost is one
+/// coherence miss per participant (linear in tiles); the sync barrier adds
+/// a scheduler wake per participant. Coefficients are fitted to the
+/// 36-tile values the paper quotes: spin 1.5 µs (Gx36) / 47.2 µs (Pro64),
+/// sync 321 µs / 786 µs.
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierTimings {
+    pub spin_base_ps: u64,
+    pub spin_per_tile_ps: u64,
+    pub sync_base_ps: u64,
+    pub sync_per_tile_ps: u64,
+}
+
+impl BarrierTimings {
+    /// Modeled TMC spin-barrier latency at `tiles` participants, ps.
+    pub fn spin_ps(&self, tiles: usize) -> u64 {
+        self.spin_base_ps + self.spin_per_tile_ps * tiles.saturating_sub(1) as u64
+    }
+
+    /// Modeled TMC sync-barrier latency at `tiles` participants, ps.
+    pub fn sync_ps(&self, tiles: usize) -> u64 {
+        self.sync_base_ps + self.sync_per_tile_ps * tiles.saturating_sub(1) as u64
+    }
+}
+
+/// Compute-throughput model for the application case studies
+/// (Figures 13–14): cycles per single-precision floating-point operation
+/// and per integer operation. TILEPro lacks hardware floating point, which
+/// is why the paper sees roughly an order of magnitude between the devices
+/// on the 2D-FFT but near parity on integer-dominated CBIR.
+#[derive(Clone, Copy, Debug)]
+pub struct ComputeTimings {
+    pub cycles_per_flop: f64,
+    pub cycles_per_intop: f64,
+}
+
+/// Aggregated calibrated timings for one device.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceTimings {
+    pub udn: UdnTimings,
+    pub mem: MemTimings,
+    pub barrier: BarrierTimings,
+    pub compute: ComputeTimings,
+}
+
+/// A Tilera many-core device: published architecture plus calibrated
+/// timing model.
+#[derive(Clone, Copy, Debug)]
+pub struct Device {
+    pub name: &'static str,
+    pub family: DeviceFamily,
+    /// Tile grid (full chip).
+    pub grid: Mesh,
+    /// Word width of the switching fabric, bytes (8 on Gx, 4 on Pro).
+    pub word_bytes: usize,
+    pub clock: Clock,
+    pub l1i_bytes: usize,
+    pub l1d_bytes: usize,
+    pub l2_bytes: usize,
+    pub cache_line_bytes: usize,
+    pub ddr_controllers: usize,
+    /// Number of dynamic networks in the iMesh.
+    pub dynamic_networks: usize,
+    /// Peak on-chip mesh bisection figure from Table II, Tbps.
+    pub mesh_tbps: f64,
+    pub timings: DeviceTimings,
+}
+
+impl Device {
+    /// TILE-Gx8036 ("TILE-Gx36"): 36 tiles of 64-bit VLIW cores at 1 GHz.
+    pub const fn tile_gx8036() -> Device {
+        Device {
+            name: "TILE-Gx8036",
+            family: DeviceFamily::Gx,
+            grid: Mesh::new(6, 6),
+            word_bytes: 8,
+            clock: Clock::from_hz(1_000_000_000),
+            l1i_bytes: 32 * 1024,
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            cache_line_bytes: 64,
+            ddr_controllers: 2,
+            dynamic_networks: 5,
+            mesh_tbps: 60.0,
+            timings: DeviceTimings {
+                udn: UdnTimings {
+                    // Fit of Table III Gx column: 21.5 ns at 1 hop,
+                    // 26 ns at 5 hops, 31.5 ns at 10 hops.
+                    setup_ps: 20_400,
+                    per_hop_ps: 1_111,
+                    per_word_ps: 1_000, // 1 word/cycle at 1 GHz
+                    dir_delta_ps: [-500, 300, 300, 300],
+                    sw_overhead_cycles: 25,
+                    demux_queues: 4,
+                    max_payload_words: 127,
+                },
+                mem: MemTimings {
+                    l1d_bytes_per_cycle: 3.1,
+                    l2_bytes_per_cycle: 2.3,
+                    ddc_bytes_per_cycle: 1.0,
+                    dram_bytes_per_cycle: 0.32,
+                    ddc_effective_bytes: 2 * 1024 * 1024,
+                    l1d_hit_cycles: 2,
+                    l2_hit_cycles: 11,
+                    ddc_hit_cycles: 41,
+                    dram_cycles: 85,
+                },
+                barrier: BarrierTimings {
+                    // 1.5 us at 36 tiles.
+                    spin_base_ps: 80_000,
+                    spin_per_tile_ps: 40_500,
+                    // 321 us at 36 tiles.
+                    sync_base_ps: 12_000_000,
+                    sync_per_tile_ps: 8_830_000,
+                },
+                compute: ComputeTimings {
+                    cycles_per_flop: 2.0,
+                    cycles_per_intop: 1.1,
+                },
+            },
+        }
+    }
+
+    /// TILEPro64: 64 tiles of 32-bit VLIW cores at 700 MHz.
+    pub const fn tilepro64() -> Device {
+        Device {
+            name: "TILEPro64",
+            family: DeviceFamily::Pro,
+            grid: Mesh::new(8, 8),
+            word_bytes: 4,
+            clock: Clock::from_hz(700_000_000),
+            l1i_bytes: 16 * 1024,
+            l1d_bytes: 8 * 1024,
+            l2_bytes: 64 * 1024,
+            cache_line_bytes: 64,
+            ddr_controllers: 4,
+            dynamic_networks: 5, // four dynamic + one static
+            mesh_tbps: 37.0,
+            timings: DeviceTimings {
+                udn: UdnTimings {
+                    // Fit of Table III Pro column: 18.5 ns at 1 hop,
+                    // 25 ns at 5 hops, 33 ns at 10 hops.
+                    setup_ps: 16_900,
+                    per_hop_ps: 1_611,
+                    per_word_ps: 1_429, // 1 word/cycle at 700 MHz
+                    dir_delta_ps: [400, 400, -400, -400],
+                    sw_overhead_cycles: 25,
+                    demux_queues: 4,
+                    max_payload_words: 127,
+                },
+                mem: MemTimings {
+                    l1d_bytes_per_cycle: 0.714,
+                    l2_bytes_per_cycle: 0.714,
+                    ddc_bytes_per_cycle: 0.64,
+                    dram_bytes_per_cycle: 0.529,
+                    ddc_effective_bytes: 512 * 1024,
+                    l1d_hit_cycles: 2,
+                    l2_hit_cycles: 8,
+                    ddc_hit_cycles: 35,
+                    dram_cycles: 70,
+                },
+                barrier: BarrierTimings {
+                    // 47.2 us at 36 tiles.
+                    spin_base_ps: 200_000,
+                    spin_per_tile_ps: 1_342_000,
+                    // 786 us at 36 tiles.
+                    sync_base_ps: 30_000_000,
+                    sync_per_tile_ps: 21_600_000,
+                },
+                compute: ComputeTimings {
+                    // Software floating point: roughly an order of
+                    // magnitude behind Gx per Figure 13's discussion.
+                    cycles_per_flop: 14.0,
+                    cycles_per_intop: 1.0,
+                },
+            },
+        }
+    }
+
+    /// TILE-Gx8016: 16-tile sibling of the Gx36 (same tile architecture).
+    pub const fn tile_gx8016() -> Device {
+        let mut d = Device::tile_gx8036();
+        d.name = "TILE-Gx8016";
+        d.grid = Mesh::new(4, 4);
+        d
+    }
+
+    /// TILEPro36: 36-tile sibling of the Pro64.
+    pub const fn tilepro36() -> Device {
+        let mut d = Device::tilepro64();
+        d.name = "TILEPro36";
+        d.grid = Mesh::new(6, 6);
+        d
+    }
+
+    /// All devices modeled by this workspace.
+    pub fn all() -> [Device; 4] {
+        [
+            Device::tile_gx8036(),
+            Device::tilepro64(),
+            Device::tile_gx8016(),
+            Device::tilepro36(),
+        ]
+    }
+
+    /// Word width of the switching fabric, in bits.
+    pub const fn word_bits(&self) -> usize {
+        self.word_bytes * 8
+    }
+
+    /// UDN one-way latency between two tiles of this device's grid, ps,
+    /// including the deterministic directional delta.
+    pub fn udn_one_way_ps(
+        &self,
+        from: crate::mesh::TileCoord,
+        to: crate::mesh::TileCoord,
+        payload_words: usize,
+    ) -> u64 {
+        let hops = self.grid.hops(from, to);
+        let base = self.timings.udn.one_way_ps(hops, payload_words);
+        let label_dir = dominant_direction(from, to);
+        match label_dir {
+            Some(d) => {
+                let delta = self.timings.udn.dir_delta(d);
+                (base as i64 + delta).max(0) as u64
+            }
+            None => base,
+        }
+    }
+}
+
+/// The first direction of the XY route (the paper labels each transfer by
+/// its dominant direction); `None` for a self-send.
+pub fn dominant_direction(
+    from: crate::mesh::TileCoord,
+    to: crate::mesh::TileCoord,
+) -> Option<Direction> {
+    if to.x < from.x {
+        Some(Direction::Left)
+    } else if to.x > from.x {
+        Some(Direction::Right)
+    } else if to.y < from.y {
+        Some(Direction::Up)
+    } else if to.y > from.y {
+        Some(Direction::Down)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::TileCoord;
+
+    #[test]
+    fn table2_architecture_constants() {
+        let gx = Device::tile_gx8036();
+        let pro = Device::tilepro64();
+        assert_eq!(gx.grid.tiles(), 36);
+        assert_eq!(pro.grid.tiles(), 64);
+        assert_eq!(gx.word_bits(), 64);
+        assert_eq!(pro.word_bits(), 32);
+        assert_eq!(gx.l1d_bytes, 32 * 1024);
+        assert_eq!(gx.l2_bytes, 256 * 1024);
+        assert_eq!(pro.l1d_bytes, 8 * 1024);
+        assert_eq!(pro.l2_bytes, 64 * 1024);
+        assert_eq!(gx.ddr_controllers, 2);
+        assert_eq!(pro.ddr_controllers, 4);
+        assert_eq!(gx.clock.hz(), 1_000_000_000);
+        assert_eq!(pro.clock.hz(), 700_000_000);
+    }
+
+    #[test]
+    fn udn_neighbor_latency_matches_table3() {
+        // Gx: ~21-22 ns for neighbors; Pro: ~18-19 ns.
+        let gx = Device::tile_gx8036();
+        let pro = Device::tilepro64();
+        let c = TileCoord::new(2, 2);
+        let left = TileCoord::new(1, 2);
+        let gx_ns = gx.udn_one_way_ps(c, left, 1) as f64 / 1000.0;
+        assert!((20.5..=21.5).contains(&gx_ns), "gx neighbor {gx_ns}");
+        let pro_ns = pro.udn_one_way_ps(c, left, 1) as f64 / 1000.0;
+        assert!((18.0..=19.5).contains(&pro_ns), "pro neighbor {pro_ns}");
+    }
+
+    #[test]
+    fn udn_corner_latency_matches_table3() {
+        // 10 hops: Gx ~31-32 ns, Pro ~33 ns — Pro is *slower* at corners
+        // despite faster setup, because its per-hop time is 1.43 ns.
+        let gx = Device::tile_gx8036();
+        let pro = Device::tilepro64();
+        let a = TileCoord::new(0, 0);
+        let b = TileCoord::new(5, 5);
+        let gx_ns = gx.udn_one_way_ps(a, b, 1) as f64 / 1000.0;
+        let pro_ns = pro.udn_one_way_ps(a, b, 1) as f64 / 1000.0;
+        assert!((31.0..=32.5).contains(&gx_ns), "gx corner {gx_ns}");
+        assert!((32.0..=34.0).contains(&pro_ns), "pro corner {pro_ns}");
+        assert!(pro_ns > gx_ns, "crossover: Pro slower at long distances");
+    }
+
+    #[test]
+    fn udn_crossover_neighbors_favor_pro() {
+        // At 1 hop the Pro's shorter setup wins (paper Fig 4).
+        let gx = Device::tile_gx8036();
+        let pro = Device::tilepro64();
+        let c = TileCoord::new(2, 2);
+        let r = TileCoord::new(3, 2);
+        assert!(pro.udn_one_way_ps(c, r, 1) < gx.udn_one_way_ps(c, r, 1));
+    }
+
+    #[test]
+    fn spin_barrier_calibration() {
+        let gx = Device::tile_gx8036().timings.barrier;
+        let pro = Device::tilepro64().timings.barrier;
+        let gx_us = gx.spin_ps(36) as f64 / 1e6;
+        let pro_us = pro.spin_ps(36) as f64 / 1e6;
+        assert!((1.3..=1.7).contains(&gx_us), "gx spin {gx_us}");
+        assert!((45.0..=50.0).contains(&pro_us), "pro spin {pro_us}");
+        let gx_sync_us = gx.sync_ps(36) as f64 / 1e6;
+        let pro_sync_us = pro.sync_ps(36) as f64 / 1e6;
+        assert!((300.0..=340.0).contains(&gx_sync_us), "gx sync {gx_sync_us}");
+        assert!((750.0..=820.0).contains(&pro_sync_us), "pro sync {pro_sync_us}");
+    }
+
+    #[test]
+    fn mem_plateaus_match_fig3() {
+        let gx = Device::tile_gx8036();
+        let mbps = |bpc: f64, d: &Device| bpc * d.clock.hz() as f64 / 1e6;
+        assert!((mbps(gx.timings.mem.l1d_bytes_per_cycle, &gx) - 3100.0).abs() < 50.0);
+        assert!((mbps(gx.timings.mem.dram_bytes_per_cycle, &gx) - 320.0).abs() < 10.0);
+        let pro = Device::tilepro64();
+        assert!((mbps(pro.timings.mem.l1d_bytes_per_cycle, &pro) - 500.0).abs() < 10.0);
+        assert!((mbps(pro.timings.mem.dram_bytes_per_cycle, &pro) - 370.0).abs() < 10.0);
+        // Memory-to-memory on Pro is *faster* than Gx (paper Section III-B).
+        assert!(
+            mbps(pro.timings.mem.dram_bytes_per_cycle, &pro)
+                > mbps(gx.timings.mem.dram_bytes_per_cycle, &gx)
+        );
+    }
+
+    #[test]
+    fn payload_words_pipeline() {
+        let udn = Device::tile_gx8036().timings.udn;
+        let one = udn.one_way_ps(5, 1);
+        let many = udn.one_way_ps(5, 127);
+        // Wormhole pipelining: +1 cycle per extra word, not per word per hop.
+        assert_eq!(many - one, 126 * udn.per_word_ps);
+    }
+
+    #[test]
+    fn derived_devices() {
+        assert_eq!(Device::tile_gx8016().grid.tiles(), 16);
+        assert_eq!(Device::tilepro36().grid.tiles(), 36);
+        assert_eq!(Device::all().len(), 4);
+    }
+
+    #[test]
+    fn dominant_direction_cases() {
+        let a = TileCoord::new(2, 2);
+        assert_eq!(dominant_direction(a, TileCoord::new(0, 4)), Some(Direction::Left));
+        assert_eq!(dominant_direction(a, TileCoord::new(2, 0)), Some(Direction::Up));
+        assert_eq!(dominant_direction(a, a), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! Architectural models of Tilera TILE-Gx and TILE*Pro* many-core processors.
+//!
+//! This crate is the single source of truth for every architectural
+//! parameter used by the rest of the workspace: chip grids, cache
+//! geometries, clock rates, mesh characteristics, and the device timing
+//! constants published in the TSHMEM paper (Lam, George, Lam — IPDPS
+//! Workshops 2013, Table II and Section III).
+//!
+//! Both the functional (native-thread) engine and the timed
+//! (discrete-event) engine route over the same [`Mesh`] with the same
+//! dimension-order algorithm, so hop counts — and therefore every latency
+//! that depends on them — are identical between the two.
+//!
+//! # Example
+//!
+//! ```
+//! use tile_arch::{Device, TileCoord};
+//!
+//! let gx = Device::tile_gx8036();
+//! assert_eq!(gx.grid.tiles(), 36);
+//! // Corner-to-corner on the 6x6 mesh is 10 hops under XY routing.
+//! let hops = gx.grid.hops(TileCoord::new(0, 0), TileCoord::new(5, 5));
+//! assert_eq!(hops, 10);
+//! ```
+
+pub mod area;
+pub mod clock;
+pub mod device;
+pub mod mesh;
+pub mod route;
+
+pub use area::TestArea;
+pub use clock::Clock;
+pub use device::{Device, DeviceFamily, DeviceTimings, MemTimings, UdnTimings};
+pub use mesh::{Direction, Mesh, TileCoord, TileId};
+pub use route::{route_xy, RouteIter};

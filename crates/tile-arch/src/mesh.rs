@@ -1,0 +1,247 @@
+//! 2D mesh geometry: tile coordinates, linear tile ids, and hop distances.
+//!
+//! Tilera chips arrange tiles in a rectangular grid addressed row-major
+//! from the top-left corner, which matches the "virtual CPU numbers" used
+//! in the paper's Table III (e.g. on a 6-column area, tile 14 sits at
+//! row 2, column 2, and its "up" neighbor is tile 8).
+
+use std::fmt;
+
+/// Linear tile identifier (row-major within a [`Mesh`]).
+pub type TileId = usize;
+
+/// Position of a tile in the 2D grid: `x` is the column, `y` the row.
+///
+/// Row 0 is the top of the chip; moving "up" decreases `y`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    pub x: u16,
+    pub y: u16,
+}
+
+impl TileCoord {
+    pub const fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to `other` — the hop count of any minimal
+    /// dimension-order route.
+    pub fn manhattan(self, other: TileCoord) -> u32 {
+        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
+        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        dx + dy
+    }
+}
+
+impl fmt::Debug for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Cardinal direction of a single mesh hop.
+///
+/// `Up` is toward row 0 (smaller `y`), matching the paper's orientation
+/// where tile 14's "up" neighbor on a 6-wide area is tile 8.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    Left,
+    Right,
+    Up,
+    Down,
+}
+
+impl Direction {
+    /// All four directions, in the order the paper's Table III lists them.
+    pub const ALL: [Direction; 4] = [
+        Direction::Left,
+        Direction::Right,
+        Direction::Up,
+        Direction::Down,
+    ];
+
+    /// Human-readable lowercase name, as printed in Table III.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Left => "left",
+            Direction::Right => "right",
+            Direction::Up => "up",
+            Direction::Down => "down",
+        }
+    }
+
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Left => Direction::Right,
+            Direction::Right => Direction::Left,
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+}
+
+/// A rectangular grid of tiles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mesh {
+    pub cols: u16,
+    pub rows: u16,
+}
+
+impl Mesh {
+    pub const fn new(cols: u16, rows: u16) -> Self {
+        Self { cols, rows }
+    }
+
+    /// Total number of tiles in the grid.
+    pub const fn tiles(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// Whether `c` lies within the grid.
+    pub fn contains(&self, c: TileCoord) -> bool {
+        c.x < self.cols && c.y < self.rows
+    }
+
+    /// Row-major linear id of `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is outside the grid.
+    pub fn id_of(&self, c: TileCoord) -> TileId {
+        assert!(self.contains(c), "tile {c:?} outside {self:?}");
+        c.y as usize * self.cols as usize + c.x as usize
+    }
+
+    /// Coordinate of linear id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= self.tiles()`.
+    pub fn coord_of(&self, id: TileId) -> TileCoord {
+        assert!(id < self.tiles(), "tile id {id} outside {self:?}");
+        TileCoord::new((id % self.cols as usize) as u16, (id / self.cols as usize) as u16)
+    }
+
+    /// Hop count of the minimal XY route between two tiles.
+    pub fn hops(&self, a: TileCoord, b: TileCoord) -> u32 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        a.manhattan(b)
+    }
+
+    /// Hop count between two linear ids.
+    pub fn hops_id(&self, a: TileId, b: TileId) -> u32 {
+        self.hops(self.coord_of(a), self.coord_of(b))
+    }
+
+    /// Neighbor of `c` in direction `d`, if it exists on the grid.
+    pub fn neighbor(&self, c: TileCoord, d: Direction) -> Option<TileCoord> {
+        let (x, y) = (c.x as i32, c.y as i32);
+        let (nx, ny) = match d {
+            Direction::Left => (x - 1, y),
+            Direction::Right => (x + 1, y),
+            Direction::Up => (x, y - 1),
+            Direction::Down => (x, y + 1),
+        };
+        if nx < 0 || ny < 0 {
+            return None;
+        }
+        let n = TileCoord::new(nx as u16, ny as u16);
+        self.contains(n).then_some(n)
+    }
+
+    /// Iterator over all tile coordinates, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = TileCoord> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |y| (0..cols).map(move |x| TileCoord::new(x, y)))
+    }
+
+    /// The maximum hop count on this grid (corner to corner).
+    pub fn diameter(&self) -> u32 {
+        (self.cols as u32 - 1) + (self.rows as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_ids_match_paper_table3() {
+        // Table III uses a 6x6 area: tile 14 is at row 2, col 2; its
+        // neighbors are 13 (left), 15 (right), 8 (up), 20 (down).
+        let m = Mesh::new(6, 6);
+        let c = m.coord_of(14);
+        assert_eq!(c, TileCoord::new(2, 2));
+        assert_eq!(m.id_of(m.neighbor(c, Direction::Left).unwrap()), 13);
+        assert_eq!(m.id_of(m.neighbor(c, Direction::Right).unwrap()), 15);
+        assert_eq!(m.id_of(m.neighbor(c, Direction::Up).unwrap()), 8);
+        assert_eq!(m.id_of(m.neighbor(c, Direction::Down).unwrap()), 20);
+    }
+
+    #[test]
+    fn paper_hop_counts() {
+        // Section III-C: 1, 5, and 10 hops for neighbor, side-to-side,
+        // and corner-to-corner on the 6x6 area.
+        let m = Mesh::new(6, 6);
+        assert_eq!(m.hops_id(14, 13), 1);
+        assert_eq!(m.hops_id(6, 11), 5); // side-to-side right
+        assert_eq!(m.hops_id(1, 31), 5); // side-to-side down
+        assert_eq!(m.hops_id(0, 35), 10); // corners
+        assert_eq!(m.diameter(), 10);
+    }
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let m = Mesh::new(8, 8);
+        for id in 0..m.tiles() {
+            assert_eq!(m.id_of(m.coord_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn neighbors_at_edges() {
+        let m = Mesh::new(6, 6);
+        assert_eq!(m.neighbor(TileCoord::new(0, 0), Direction::Left), None);
+        assert_eq!(m.neighbor(TileCoord::new(0, 0), Direction::Up), None);
+        assert_eq!(m.neighbor(TileCoord::new(5, 5), Direction::Right), None);
+        assert_eq!(m.neighbor(TileCoord::new(5, 5), Direction::Down), None);
+        assert_eq!(
+            m.neighbor(TileCoord::new(0, 0), Direction::Right),
+            Some(TileCoord::new(1, 0))
+        );
+    }
+
+    #[test]
+    fn iter_covers_grid_row_major() {
+        let m = Mesh::new(3, 2);
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], TileCoord::new(0, 0));
+        assert_eq!(v[2], TileCoord::new(2, 0));
+        assert_eq!(v[3], TileCoord::new(0, 1));
+        for (id, c) in v.iter().enumerate() {
+            assert_eq!(m.id_of(*c), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn id_of_out_of_bounds_panics() {
+        Mesh::new(2, 2).id_of(TileCoord::new(2, 0));
+    }
+
+    #[test]
+    fn direction_names_and_opposites() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+        assert_eq!(Direction::Up.name(), "up");
+    }
+
+    #[test]
+    fn manhattan_symmetry() {
+        let a = TileCoord::new(1, 4);
+        let b = TileCoord::new(5, 0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 8);
+        assert_eq!(a.manhattan(a), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dimension-order (XY) routing over the iMesh.
+//!
+//! Tilera's dynamic networks are dimension-order routed: a packet first
+//! travels along the X dimension to the destination column, then along Y
+//! to the destination row. The route is therefore deterministic, which
+//! both engines rely on — the timed engine charges per-hop wormhole
+//! cycles along exactly this path, and the functional engine uses the hop
+//! count for its latency annotations.
+
+use crate::mesh::{Direction, Mesh, TileCoord};
+
+/// Iterator over the tiles visited by the XY route from `from` to `to`,
+/// excluding `from` itself and including `to`.
+#[derive(Clone, Debug)]
+pub struct RouteIter {
+    cur: TileCoord,
+    dst: TileCoord,
+}
+
+impl Iterator for RouteIter {
+    type Item = (Direction, TileCoord);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == self.dst {
+            return None;
+        }
+        // X first, then Y.
+        let dir = if self.cur.x < self.dst.x {
+            Direction::Right
+        } else if self.cur.x > self.dst.x {
+            Direction::Left
+        } else if self.cur.y < self.dst.y {
+            Direction::Down
+        } else {
+            Direction::Up
+        };
+        self.cur = match dir {
+            Direction::Left => TileCoord::new(self.cur.x - 1, self.cur.y),
+            Direction::Right => TileCoord::new(self.cur.x + 1, self.cur.y),
+            Direction::Up => TileCoord::new(self.cur.x, self.cur.y - 1),
+            Direction::Down => TileCoord::new(self.cur.x, self.cur.y + 1),
+        };
+        Some((dir, self.cur))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {
+    fn len(&self) -> usize {
+        self.cur.manhattan(self.dst) as usize
+    }
+}
+
+/// XY route from `from` to `to` on `mesh`.
+///
+/// # Panics
+/// Panics (in debug builds) if either endpoint is outside the mesh.
+pub fn route_xy(mesh: &Mesh, from: TileCoord, to: TileCoord) -> RouteIter {
+    debug_assert!(mesh.contains(from) && mesh.contains(to));
+    RouteIter { cur: from, dst: to }
+}
+
+/// The dominant direction of the route, as the paper's Table III labels
+/// each transfer ("left", "down-right", ...). Pure X or Y routes return a
+/// single direction name; diagonal routes return e.g. `"down-right"`.
+pub fn route_label(from: TileCoord, to: TileCoord) -> String {
+    let mut parts: Vec<&str> = Vec::with_capacity(2);
+    if to.y < from.y {
+        parts.push("up");
+    } else if to.y > from.y {
+        parts.push("down");
+    }
+    if to.x < from.x {
+        parts.push("left");
+    } else if to.x > from.x {
+        parts.push("right");
+    }
+    if parts.is_empty() {
+        "self".to_string()
+    } else {
+        parts.join("-")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_x_then_y() {
+        let m = Mesh::new(6, 6);
+        let hops: Vec<_> = route_xy(&m, TileCoord::new(0, 0), TileCoord::new(2, 2)).collect();
+        assert_eq!(
+            hops.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![
+                Direction::Right,
+                Direction::Right,
+                Direction::Down,
+                Direction::Down
+            ]
+        );
+        assert_eq!(hops.last().unwrap().1, TileCoord::new(2, 2));
+    }
+
+    #[test]
+    fn route_len_matches_manhattan() {
+        let m = Mesh::new(8, 8);
+        for a in m.iter() {
+            for b in m.iter() {
+                let r = route_xy(&m, a, b);
+                assert_eq!(r.len(), a.manhattan(b) as usize);
+                assert_eq!(r.count(), a.manhattan(b) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn route_stays_on_mesh() {
+        let m = Mesh::new(6, 6);
+        for (_, c) in route_xy(&m, TileCoord::new(5, 5), TileCoord::new(0, 0)) {
+            assert!(m.contains(c));
+        }
+    }
+
+    #[test]
+    fn empty_route_for_self() {
+        let m = Mesh::new(6, 6);
+        assert_eq!(route_xy(&m, TileCoord::new(3, 3), TileCoord::new(3, 3)).count(), 0);
+    }
+
+    #[test]
+    fn labels_match_table3_style() {
+        assert_eq!(route_label(TileCoord::new(2, 2), TileCoord::new(1, 2)), "left");
+        assert_eq!(route_label(TileCoord::new(2, 2), TileCoord::new(2, 1)), "up");
+        assert_eq!(
+            route_label(TileCoord::new(0, 0), TileCoord::new(5, 5)),
+            "down-right"
+        );
+        assert_eq!(
+            route_label(TileCoord::new(5, 5), TileCoord::new(0, 0)),
+            "up-left"
+        );
+        assert_eq!(route_label(TileCoord::new(1, 1), TileCoord::new(1, 1)), "self");
+    }
+}

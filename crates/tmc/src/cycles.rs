@@ -1,0 +1,68 @@
+//! Cycle counters — the analog of Tilera's `get_cycle_count()`.
+//!
+//! The native engine measures wall time and reports it in the modeled
+//! device's cycle domain so that native measurements and timed-engine
+//! results share units.
+
+use std::time::Instant;
+
+use tile_arch::clock::Clock;
+
+/// A monotonic clock that reports elapsed time as device cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleClock {
+    start: Instant,
+    clock: Clock,
+}
+
+impl CycleClock {
+    /// Start a cycle clock in `clock`'s domain.
+    pub fn start(clock: Clock) -> Self {
+        Self {
+            start: Instant::now(),
+            clock,
+        }
+    }
+
+    /// Elapsed device cycles since `start`.
+    pub fn cycles(&self) -> u64 {
+        let ns = self.start.elapsed().as_nanos() as f64;
+        (ns * self.clock.hz() as f64 / 1e9) as u64
+    }
+
+    /// Elapsed wall nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Elapsed wall seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_track_wall_time() {
+        let c = CycleClock::start(Clock::from_hz(1_000_000_000));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let cy = c.cycles();
+        // 5 ms at 1 GHz = 5M cycles; allow generous slack for CI noise.
+        assert!(cy >= 4_000_000, "got {cy}");
+        assert!(c.elapsed_ns() >= 4_000_000);
+        assert!(c.elapsed_s() > 0.0);
+    }
+
+    #[test]
+    fn cycles_scale_with_clock_rate() {
+        let fast = CycleClock::start(Clock::from_hz(1_000_000_000));
+        let slow = CycleClock::start(Clock::from_hz(700_000_000));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let (f, s) = (fast.cycles(), slow.cycles());
+        let ratio = f as f64 / s as f64;
+        assert!((1.2..1.7).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Memory fences — the analog of `tmc_mem_fence()`.
+//!
+//! TSHMEM implements `shmem_quiet()` with `tmc_mem_fence()`, a fence that
+//! blocks until all of the issuing tile's stores are visible, and aliases
+//! `shmem_fence()` to it (paper Section IV-C2). On this substrate the
+//! equivalent visibility guarantee is a sequentially-consistent atomic
+//! fence.
+
+use std::sync::atomic::{fence, Ordering};
+
+/// Block until all prior stores by this thread are visible to all other
+/// threads (the `tmc_mem_fence()` analog).
+#[inline]
+pub fn mem_fence() {
+    fence(Ordering::SeqCst);
+}
+
+/// A release fence: prior stores are ordered before any subsequent store
+/// that another thread acquires on. Used internally where full SC is not
+/// required.
+#[inline]
+pub fn release_fence() {
+    fence(Ordering::Release);
+}
+
+/// An acquire fence: subsequent loads observe data written before a
+/// release the thread has synchronized with.
+#[inline]
+pub fn acquire_fence() {
+    fence(Ordering::Acquire);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fence_publishes_plain_stores() {
+        // Message-passing litmus: data written before the fence+flag must
+        // be visible after observing the flag.
+        for _ in 0..200 {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = std::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                mem_fence();
+                f2.store(true, Ordering::Relaxed);
+            });
+            while !flag.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            acquire_fence();
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fences_do_not_deadlock_or_panic() {
+        mem_fence();
+        release_fence();
+        acquire_fence();
+    }
+}

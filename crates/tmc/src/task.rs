@@ -1,0 +1,69 @@
+//! Task-to-tile binding: one task per tile, the configuration TSHMEM
+//! requires for its spin-barrier and UDN usage.
+//!
+//! The real launcher forks one process per tile and binds it; our analog
+//! spawns one named thread per PE. (Hard CPU affinity is not portable
+//! from std; the binding here is logical — each PE owns exactly one tile
+//! id for the lifetime of the run, which is the property the protocols
+//! rely on.)
+
+/// Run `f(tile)` on `n` logical tiles, one thread each; returns results
+/// indexed by tile.
+///
+/// # Panics
+/// Propagates the first panicking tile's panic.
+pub fn run_on_tiles<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    assert!(n > 0, "need at least one tile");
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|tile| {
+                let f = &f;
+                std::thread::Builder::new()
+                    .name(format!("tile-{tile}"))
+                    .spawn_scoped(s, move || f(tile))
+                    .expect("spawn tile thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_indexed_by_tile() {
+        let out = run_on_tiles(8, |t| t * t);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn threads_are_named() {
+        let names = run_on_tiles(3, |_| std::thread::current().name().map(String::from));
+        assert_eq!(names[2].as_deref(), Some("tile-2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile 4 exploded")]
+    fn tile_panic_propagates() {
+        run_on_tiles(6, |t| {
+            if t == 4 {
+                panic!("tile 4 exploded");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_tiles_panics() {
+        run_on_tiles(0, |_| ());
+    }
+}

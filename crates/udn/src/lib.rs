@@ -1,0 +1,27 @@
+//! User Dynamic Network (UDN) model.
+//!
+//! The UDN is Tilera's low-latency, user-accessible dynamic network:
+//! software attaches a one-word header to a payload of up to 127 words
+//! and the packet is wormhole-routed (dimension-order, one word per hop
+//! per cycle) into one of four demultiplexing queues at the destination
+//! tile (paper Section III-C).
+//!
+//! Two faces:
+//!
+//! * [`fabric`] — a **functional** fabric for the native engine: per-tile
+//!   demux queues over MPMC channels, preserving the four-queue structure
+//!   and payload limits while moving real data between threads.
+//! * [`timing`] — the **latency model** for the timed engine, fitted to
+//!   the paper's Table III (setup-and-teardown plus per-hop traversal).
+//!
+//! Both faces share [`packet::Packet`] and validate the same hardware
+//! limits, so protocol code cannot accidentally exceed what the real
+//! device would carry.
+
+pub mod fabric;
+pub mod packet;
+pub mod timing;
+
+pub use fabric::{UdnEndpoint, UdnFabric};
+pub use packet::{Header, Packet, MAX_PAYLOAD_WORDS, NUM_QUEUES};
+pub use timing::UdnModel;

@@ -1,0 +1,144 @@
+//! UDN packet format.
+//!
+//! A packet is one header word plus up to [`MAX_PAYLOAD_WORDS`] payload
+//! words. The header encodes the destination tile, the demux queue, and a
+//! small software tag (TSHMEM uses the tag to multiplex protocol message
+//! kinds over one queue). Words are 64-bit on TILE-Gx and 32-bit on
+//! TILEPro; we model payloads as `u64` words and let the timed engine
+//! charge the device's actual word width.
+
+/// Hardware limit: 127 payload words per receiving demux queue slot.
+pub const MAX_PAYLOAD_WORDS: usize = 127;
+
+/// Each tile has four demultiplexing queues.
+pub const NUM_QUEUES: usize = 4;
+
+/// Decoded header word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Header {
+    /// Destination tile (virtual CPU number within the active area).
+    pub dest: u16,
+    /// Source tile.
+    pub src: u16,
+    /// Demux queue at the destination (0..4).
+    pub queue: u8,
+    /// Software tag (message kind), 16 bits.
+    pub tag: u16,
+}
+
+impl Header {
+    /// Encode into a single 64-bit header word.
+    pub fn encode(self) -> u64 {
+        assert!((self.queue as usize) < NUM_QUEUES, "queue out of range");
+        (self.dest as u64) | ((self.src as u64) << 16) | ((self.queue as u64) << 32) | ((self.tag as u64) << 40)
+    }
+
+    /// Decode from a header word.
+    pub fn decode(word: u64) -> Self {
+        Self {
+            dest: (word & 0xffff) as u16,
+            src: ((word >> 16) & 0xffff) as u16,
+            queue: ((word >> 32) & 0xff) as u8,
+            tag: ((word >> 40) & 0xffff) as u16,
+        }
+    }
+}
+
+/// A UDN packet: header plus payload words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    pub header: Header,
+    pub payload: Vec<u64>,
+}
+
+impl Packet {
+    /// Build a packet, validating the hardware payload limit.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`MAX_PAYLOAD_WORDS`].
+    pub fn new(header: Header, payload: Vec<u64>) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD_WORDS,
+            "UDN payload of {} words exceeds the {MAX_PAYLOAD_WORDS}-word demux queue limit",
+            payload.len()
+        );
+        Self { header, payload }
+    }
+
+    /// Total words on the wire (header + payload).
+    pub fn wire_words(&self) -> usize {
+        1 + self.payload.len()
+    }
+}
+
+/// Split an arbitrary word buffer into maximum-size packet payloads.
+/// TSHMEM's protocol messages always fit one packet, but helpers like
+/// bulk static-variable redirection chunk through this.
+pub fn chunk_words(words: &[u64]) -> impl Iterator<Item = &[u64]> {
+    words.chunks(MAX_PAYLOAD_WORDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            dest: 35,
+            src: 14,
+            queue: 3,
+            tag: 0xBEEF,
+        };
+        assert_eq!(Header::decode(h.encode()), h);
+    }
+
+    #[test]
+    fn header_roundtrip_extremes() {
+        for (dest, src, queue, tag) in [(0, 0, 0, 0), (0xffff, 0xffff, 3, 0xffff)] {
+            let h = Header { dest, src, queue, tag };
+            assert_eq!(Header::decode(h.encode()), h);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queue out of range")]
+    fn bad_queue_panics() {
+        Header {
+            dest: 0,
+            src: 0,
+            queue: 4,
+            tag: 0,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn max_payload_accepted() {
+        let p = Packet::new(
+            Header { dest: 1, src: 0, queue: 0, tag: 0 },
+            vec![0; MAX_PAYLOAD_WORDS],
+        );
+        assert_eq!(p.wire_words(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_panics() {
+        Packet::new(
+            Header { dest: 1, src: 0, queue: 0, tag: 0 },
+            vec![0; MAX_PAYLOAD_WORDS + 1],
+        );
+    }
+
+    #[test]
+    fn chunking_covers_everything() {
+        let words: Vec<u64> = (0..300).collect();
+        let chunks: Vec<_> = chunk_words(&words).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 127);
+        assert_eq!(chunks[2].len(), 300 - 254);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 300);
+    }
+}

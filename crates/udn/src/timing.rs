@@ -1,0 +1,128 @@
+//! UDN latency model (paper Table III / Figure 4).
+//!
+//! One-way latency decomposes into *setup-and-teardown* and *network
+//! traversal*; the traversal rate is one word per hop per cycle. The fit
+//! lives in `tile_arch::UdnTimings`; this module packages it per test
+//! area and adds the derived quantities the paper reports: halved
+//! ping-ack averages and effective data throughput (doubled on TILE-Gx by
+//! the 64-bit fabric).
+
+use tile_arch::area::TestArea;
+use tile_arch::mesh::TileId;
+
+/// UDN latency model over a test area (virtual CPU numbering).
+#[derive(Clone, Copy, Debug)]
+pub struct UdnModel {
+    pub area: TestArea,
+}
+
+impl UdnModel {
+    pub fn new(area: TestArea) -> Self {
+        Self { area }
+    }
+
+    /// One-way latency between two virtual tiles, ps.
+    pub fn one_way_ps(&self, from: TileId, to: TileId, payload_words: usize) -> u64 {
+        self.area.udn_one_way_ps(from, to, payload_words)
+    }
+
+    /// The paper's measurement: half of a (1-word send, 1-word ack)
+    /// round trip, ns.
+    pub fn ping_ack_half_ns(&self, from: TileId, to: TileId) -> f64 {
+        let rt = self.one_way_ps(from, to, 1) + self.one_way_ps(to, from, 1);
+        rt as f64 / 2.0 / 1e3
+    }
+
+    /// Effective data throughput of 1-word transfers in Mbps: one fabric
+    /// word (8 bytes on Gx, 4 on Pro) per one-way latency.
+    pub fn effective_throughput_mbps(&self, from: TileId, to: TileId) -> f64 {
+        let bits = (self.area.device.word_bytes * 8) as f64;
+        let ps = self.one_way_ps(from, to, 1) as f64;
+        bits / (ps / 1e12) / 1e6
+    }
+
+    /// Per-protocol-message software overhead (send + matching receive),
+    /// ps — charged by the timed engine's TSHMEM protocol paths on top of
+    /// wire latency.
+    pub fn sw_overhead_ps(&self) -> u64 {
+        self.area
+            .device
+            .clock
+            .cycles_to_ps(self.area.device.timings.udn.sw_overhead_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tile_arch::device::Device;
+
+    fn gx() -> UdnModel {
+        UdnModel::new(TestArea::paper_6x6(Device::tile_gx8036()))
+    }
+
+    fn pro() -> UdnModel {
+        UdnModel::new(TestArea::paper_6x6(Device::tilepro64()))
+    }
+
+    #[test]
+    fn table3_neighbor_averages() {
+        // Table III neighbors: Gx 21-22 ns, Pro 18-19 ns.
+        for (m, lo, hi) in [(gx(), 20.5, 22.5), (pro(), 17.5, 19.5)] {
+            for (a, b) in [(14, 13), (14, 15), (14, 8), (14, 20)] {
+                let ns = m.ping_ack_half_ns(a, b);
+                assert!((lo..=hi).contains(&ns), "{}: {a}->{b} = {ns}", m.area.device.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_side_to_side_averages() {
+        // Gx ~25-26 ns, Pro ~24-25 ns at 5 hops.
+        for (m, lo, hi) in [(gx(), 24.5, 26.5), (pro(), 23.5, 25.7)] {
+            for (a, b) in [(6, 11), (11, 6), (1, 31), (31, 1)] {
+                let ns = m.ping_ack_half_ns(a, b);
+                assert!((lo..=hi).contains(&ns), "{}: {a}->{b} = {ns}", m.area.device.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_corner_averages() {
+        // Gx ~31-32 ns, Pro ~33 ns at 10 hops: the Gx/Pro order flips.
+        for (a, b) in [(0, 35), (35, 0), (5, 30), (30, 5)] {
+            let g = gx().ping_ack_half_ns(a, b);
+            let p = pro().ping_ack_half_ns(a, b);
+            assert!((30.5..=32.5).contains(&g), "gx corner {g}");
+            assert!((32.0..=34.0).contains(&p), "pro corner {p}");
+            assert!(p > g);
+        }
+    }
+
+    #[test]
+    fn effective_throughput_ordering_matches_paper() {
+        // Paper: 2900/2500/2000 Mbps on Gx and 1700/1300/980 on Pro for
+        // neighbor / side-to-side / corner. The 64-bit fabric doubles
+        // the Gx's effective data per packet.
+        let g = gx();
+        let p = pro();
+        let gn = g.effective_throughput_mbps(14, 13);
+        let gs = g.effective_throughput_mbps(6, 11);
+        let gc = g.effective_throughput_mbps(0, 35);
+        assert!(gn > gs && gs > gc, "distance degrades throughput: {gn} {gs} {gc}");
+        assert!((2700.0..3200.0).contains(&gn), "gx neighbor {gn}");
+        assert!((1900.0..2200.0).contains(&gc), "gx corner {gc}");
+        let pn = p.effective_throughput_mbps(14, 13);
+        let pc = p.effective_throughput_mbps(0, 35);
+        assert!((1600.0..1800.0).contains(&pn), "pro neighbor {pn}");
+        assert!((900.0..1050.0).contains(&pc), "pro corner {pc}");
+        // Gx beats Pro everywhere on effective throughput.
+        assert!(gn > pn && gc > pc);
+    }
+
+    #[test]
+    fn sw_overhead_scales_with_clock() {
+        assert_eq!(gx().sw_overhead_ps(), 25_000); // 25 cycles @ 1 GHz
+        assert!(pro().sw_overhead_ps() > gx().sw_overhead_ps());
+    }
+}

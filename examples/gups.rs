@@ -1,0 +1,89 @@
+//! GUPS (RandomAccess): the classic HPCC irregular-update benchmark on
+//! SHMEM atomics. A table of 64-bit words is block-distributed; every
+//! PE fires xor-updates at random global locations with
+//! `shmem_longlong_fadd`-style remote atomics, then the table is
+//! verified by re-applying the same stream.
+//!
+//! ```text
+//! cargo run --release --example gups -- [log2_table] [updates_per_pe] [npes]
+//! ```
+
+use tshmem::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let log2_table: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let updates: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let npes: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let table_size = 1usize << log2_table;
+    assert!(table_size.is_multiple_of(npes), "table must divide over PEs");
+    let per_pe = table_size / npes;
+
+    let cfg = RuntimeConfig::new(npes).with_partition_bytes((per_pe * 8 + (1 << 20)).max(1 << 21));
+    let rates = tshmem::launch(&cfg, move |ctx| {
+        let me = ctx.my_pe();
+        let table = ctx.shmalloc::<u64>(per_pe);
+        // Initialize: global index as content.
+        ctx.with_local_mut(&table, |t| {
+            for (i, v) in t.iter_mut().enumerate() {
+                *v = (me * per_pe + i) as u64;
+            }
+        });
+        ctx.barrier_all();
+
+        // The HPCC LCG-ish random stream, seeded per PE.
+        let mut x = 0x0123_4567_89AB_CDEFu64 ^ ((me as u64 + 1) << 48);
+        let t0 = ctx.time_ns();
+        for _ in 0..updates {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let gi = (x >> 8) as usize % (per_pe * ctx.n_pes());
+            let (pe, idx) = (gi / per_pe, gi % per_pe);
+            // SHMEM GUPS uses remote atomic xor; build it from the
+            // atomic compare-and-swap.
+            loop {
+                let cur = ctx.g(&table, idx, pe);
+                let new = cur ^ x;
+                if ctx.cswap(&table, idx, cur, new, pe) == cur {
+                    break;
+                }
+            }
+        }
+        ctx.quiet();
+        let dt = ctx.time_ns() - t0;
+        ctx.barrier_all();
+
+        // Verification: xor is an involution, so replaying every PE's
+        // stream restores the initial table. PE 0 replays all streams.
+        if me == 0 {
+            for src in 0..ctx.n_pes() {
+                let mut y = 0x0123_4567_89AB_CDEFu64 ^ ((src as u64 + 1) << 48);
+                for _ in 0..updates {
+                    y = y.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let gi = (y >> 8) as usize % (per_pe * ctx.n_pes());
+                    let (pe, idx) = (gi / per_pe, gi % per_pe);
+                    loop {
+                        let cur = ctx.g(&table, idx, pe);
+                        let new = cur ^ y;
+                        if ctx.cswap(&table, idx, cur, new, pe) == cur {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ctx.barrier_all();
+        // Table must be back to its initial contents.
+        ctx.with_local(&table, |t| {
+            for (i, v) in t.iter().enumerate() {
+                assert_eq!(*v, (me * per_pe + i) as u64, "slot {i} corrupted");
+            }
+        });
+        updates as f64 / (dt / 1e9) / 1e6 // MUPS per PE
+    });
+
+    let total: f64 = rates.iter().sum();
+    println!(
+        "GUPS: table 2^{log2_table} words, {updates} updates/PE on {npes} PEs -> {total:.2} MUPS aggregate"
+    );
+    println!("gups OK (table verified by involution replay)");
+}

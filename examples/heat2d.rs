@@ -1,0 +1,129 @@
+//! 2D heat diffusion with halo exchange — a classic PGAS stencil
+//! workload exercising puts, point-to-point synchronization, and
+//! reductions (a domain-specific example beyond the paper's two case
+//! studies).
+//!
+//! The grid is row-block distributed; each iteration PEs exchange halo
+//! rows with one-sided puts + flag signals, apply a 5-point stencil, and
+//! every few steps a max-reduction computes the global residual.
+//!
+//! ```text
+//! cargo run --release --example heat2d -- [grid] [npes] [steps]
+//! ```
+
+use tshmem::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let npes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let steps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let cfg = RuntimeConfig::new(npes).with_partition_bytes((6 * n * n / npes + (1 << 20)) * 8);
+    let residuals = tshmem::launch(&cfg, move |ctx| run(ctx, n, steps));
+    let (first, last) = residuals[0];
+    println!(
+        "heat2d: {n}x{n} grid, {npes} PEs, {steps} steps -> residual {first:.3e} -> {last:.3e}"
+    );
+    assert!(residuals.iter().all(|r| (r.1 - last).abs() < 1e-12));
+    assert!(last < first, "diffusion must be converging toward steady state");
+}
+
+fn run(ctx: &ShmemCtx, n: usize, steps: usize) -> (f64, f64) {
+    let me = ctx.my_pe();
+    let npes = ctx.n_pes();
+    let rows = n / npes + usize::from(me < n % npes);
+    let max_rows = n / npes + 1;
+
+    // Local block with two halo rows; double-buffered.
+    let cur = ctx.shmalloc::<f64>((max_rows + 2) * n);
+    let next = ctx.shmalloc::<f64>((max_rows + 2) * n);
+    // Halo-ready flags: [step parity][from: 0 = above, 1 = below].
+    let flags = ctx.shmalloc::<i64>(4);
+
+    // Initial condition: a hot stripe on PE 0's top boundary.
+    ctx.with_local_mut(&cur, |b| {
+        b.fill(0.0);
+        if me == 0 {
+            for c in 0..n {
+                b[n + c] = 100.0; // first interior row
+            }
+        }
+    });
+    ctx.local_fill(&next, 0.0);
+    ctx.local_fill(&flags, 0i64);
+    ctx.barrier_all();
+
+    let up = (me > 0).then(|| me - 1);
+    let down = (me + 1 < npes).then(|| me + 1);
+    let mut first_residual = None;
+    let mut residual = f64::INFINITY;
+
+    for step in 0..steps {
+        let (src, dst) = if step % 2 == 0 { (&cur, &next) } else { (&next, &cur) };
+        // Monotonic per-step flag value: reuse-safe across iterations.
+        let stamp = step as i64 + 1;
+
+        // Send halo rows: my first interior row to the PE above (as its
+        // bottom halo), my last interior row to the PE below (as its top
+        // halo).
+        if let Some(up) = up {
+            let u_rows = n / npes + usize::from(up < n % npes);
+            let row = ctx.local_read(src, n, n);
+            ctx.put(&src.slice((u_rows + 1) * n, n), 0, &row, up);
+            ctx.quiet();
+            ctx.p(&flags, 1, stamp, up); // "from below" flag
+        }
+        if let Some(down) = down {
+            let row = ctx.local_read(src, rows * n, n);
+            ctx.put(&src.slice(0, n), 0, &row, down);
+            ctx.quiet();
+            ctx.p(&flags, 0, stamp, down); // "from above" flag
+        }
+        // Await halos.
+        if up.is_some() {
+            ctx.wait_until(&flags, 0, Cmp::Ge, stamp);
+        }
+        if down.is_some() {
+            ctx.wait_until(&flags, 1, Cmp::Ge, stamp);
+        }
+
+        // 5-point stencil over interior rows.
+        let mut local_res: f64 = 0.0;
+        ctx.with_local_mut(dst, |d| {
+            ctx.with_local(src, |s| {
+                for r in 1..=rows {
+                    for c in 0..n {
+                        let left = if c > 0 { s[r * n + c - 1] } else { s[r * n + c] };
+                        let right = if c + 1 < n { s[r * n + c + 1] } else { s[r * n + c] };
+                        // Global boundary rows are fixed at 0 except the
+                        // hot stripe, which we re-pin below.
+                        let v = 0.25 * (s[(r - 1) * n + c] + s[(r + 1) * n + c] + left + right);
+                        local_res = local_res.max((v - s[r * n + c]).abs());
+                        d[r * n + c] = v;
+                    }
+                }
+                if me == 0 {
+                    for c in 0..n {
+                        d[n + c] = 100.0; // pin the hot stripe
+                    }
+                }
+            });
+        });
+        ctx.compute_flops((rows * n) as f64 * 5.0);
+
+        // Global residual every 50 steps.
+        if step % 50 == 49 {
+            let src_r = ctx.shmalloc::<f64>(1);
+            let dst_r = ctx.shmalloc::<f64>(1);
+            ctx.local_write(&src_r, 0, &[local_res]);
+            ctx.max_to_all(&dst_r, &src_r, 1, ctx.world());
+            residual = ctx.local_read(&dst_r, 0, 1)[0];
+            first_residual.get_or_insert(residual);
+            ctx.shfree(dst_r);
+            ctx.shfree(src_r);
+        }
+        ctx.barrier_all();
+    }
+    (first_residual.unwrap_or(residual), residual)
+}

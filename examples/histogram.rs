@@ -1,0 +1,65 @@
+//! Distributed histogram with SHMEM atomics — exercises `shmem_fadd`
+//! under real contention, plus a lock-guarded summary stage.
+//!
+//! Every PE classifies a slab of synthetic samples into a histogram that
+//! lives on PE 0, updating bins with remote atomic adds; a distributed
+//! lock then serializes the pretty-printing.
+//!
+//! ```text
+//! cargo run --release --example histogram -- [samples_per_pe] [npes]
+//! ```
+
+use tshmem::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let per_pe: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let npes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    const BINS: usize = 16;
+
+    let cfg = RuntimeConfig::new(npes).with_partition_bytes(1 << 20);
+    let totals = tshmem::launch(&cfg, move |ctx| {
+        let me = ctx.my_pe();
+        let hist = ctx.shmalloc::<u64>(BINS);
+        let lock = ctx.shmalloc::<i64>(1);
+        ctx.local_fill(&hist, 0u64);
+        ctx.local_write(&lock, 0, &[0i64]);
+        ctx.barrier_all();
+
+        // Classify our samples into PE 0's histogram with atomic adds.
+        let mut state = 0x9E3779B97F4A7C15u64 ^ (me as u64) << 32;
+        let mut local = [0u64; BINS];
+        for _ in 0..per_pe {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            local[(state % BINS as u64) as usize] += 1;
+        }
+        // Batch per-bin counts into remote atomics (one fadd per bin).
+        for (bin, count) in local.iter().enumerate() {
+            if *count > 0 {
+                ctx.fadd(&hist, bin, *count, 0);
+            }
+        }
+        ctx.barrier_all();
+
+        // Lock-serialized reporting.
+        ctx.set_lock(&lock);
+        if me == 0 {
+            println!("histogram on PE 0 (from PE {me}'s view):");
+            for (b, v) in ctx.local_read(&hist, 0, BINS).iter().enumerate() {
+                println!("  bin {b:2}: {v}");
+            }
+        }
+        ctx.clear_lock(&lock);
+        ctx.barrier_all();
+
+        // Verify total count.
+        let total: u64 = (0..BINS).map(|b| ctx.g(&hist, b, 0)).sum();
+        total
+    });
+
+    let expect = (per_pe * npes) as u64;
+    assert!(totals.iter().all(|t| *t == expect));
+    println!("histogram OK: {expect} samples counted exactly once each");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the SHMEM programming model in one page.
+//!
+//! Launches 4 PEs, passes a token around a ring with one-sided puts,
+//! then computes a global sum with a reduction — the canonical first
+//! SHMEM program.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tshmem::prelude::*;
+
+fn main() {
+    let npes = 4;
+    let cfg = RuntimeConfig::new(npes).with_partition_bytes(1 << 20);
+
+    let results = tshmem::launch(&cfg, |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        println!("PE {me}/{n} up on {}", ctx.device().name);
+
+        // A symmetric variable exists on every PE at the same offset.
+        let token = ctx.shmalloc::<u64>(1);
+        let flag = ctx.shmalloc::<i64>(1);
+        ctx.local_write(&token, 0, &[0u64]);
+        ctx.local_write(&flag, 0, &[0i64]);
+        ctx.barrier_all();
+
+        // Pass a token around the ring: PE 0 starts, each PE adds its id
+        // and forwards with a put + flag.
+        if me == 0 {
+            ctx.p(&token, 0, 1000u64, 1 % n);
+            ctx.quiet();
+            ctx.p(&flag, 0, 1i64, 1 % n);
+            ctx.wait(&flag, 0, 0i64); // until the token comes back
+            let v = ctx.local_read(&token, 0, 1)[0];
+            println!("PE 0: token returned with value {v}");
+            assert_eq!(v, 1000 + (1..n as u64).sum::<u64>());
+        } else {
+            ctx.wait(&flag, 0, 0i64);
+            let v = ctx.local_read(&token, 0, 1)[0] + me as u64;
+            let next = (me + 1) % n;
+            ctx.p(&token, 0, v, next);
+            ctx.quiet();
+            ctx.p(&flag, 0, 1i64, next);
+        }
+        ctx.barrier_all();
+
+        // Collective: every PE contributes (me+1)^2; everyone learns the sum.
+        let src = ctx.shmalloc::<i64>(1);
+        let dst = ctx.shmalloc::<i64>(1);
+        ctx.local_write(&src, 0, &[((me + 1) * (me + 1)) as i64]);
+        ctx.sum_to_all(&dst, &src, 1, ctx.world());
+        let sum = ctx.local_read(&dst, 0, 1)[0];
+        println!("PE {me}: sum of squares = {sum}");
+        sum
+    });
+
+    assert!(results.iter().all(|r| *r == 1 + 4 + 9 + 16));
+    println!("quickstart OK: all {} PEs agree, sum = {}", npes, results[0]);
+}

@@ -1,0 +1,124 @@
+//! Parallel sample sort — the classic PGAS sorting algorithm:
+//! local sort, splitter selection via `fcollect`, all-to-all bucket
+//! exchange with one-sided puts, and a final local merge. Exercises
+//! collectives, variable-size data movement, and `wait_until`-free
+//! flag synchronization through atomics.
+//!
+//! ```text
+//! cargo run --release --example samplesort -- [keys_per_pe] [npes]
+//! ```
+
+use tshmem::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let per_pe: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let npes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let oversample = 8;
+
+    let cfg = RuntimeConfig::new(npes)
+        .with_partition_bytes((4 * per_pe * npes / npes.max(1) * 8 + (8 << 20)).max(16 << 20));
+    let results = tshmem::launch(&cfg, move |ctx| run(ctx, per_pe, oversample));
+
+    let total: usize = results.iter().map(|r| r.kept).sum();
+    assert_eq!(total, per_pe * npes, "no key lost or duplicated");
+    // Global order: each PE's max <= next PE's min.
+    for w in results.windows(2) {
+        if w[0].kept > 0 && w[1].kept > 0 {
+            assert!(w[0].max <= w[1].min, "bucket boundaries out of order");
+        }
+    }
+    println!(
+        "samplesort: {} keys over {npes} PEs -> globally sorted ({} buckets verified)",
+        per_pe * npes,
+        results.len()
+    );
+}
+
+struct BucketResult {
+    kept: usize,
+    min: u64,
+    max: u64,
+}
+
+fn run(ctx: &ShmemCtx, per_pe: usize, oversample: usize) -> BucketResult {
+    let me = ctx.my_pe();
+    let n = ctx.n_pes();
+
+    // 1. Generate and locally sort.
+    let mut keys: Vec<u64> = {
+        let mut x = 0xDEAD_BEEF_u64 ^ ((me as u64 + 1) << 40);
+        (0..per_pe)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    };
+    keys.sort_unstable();
+
+    // 2. Sample splitters: each PE contributes `oversample` samples;
+    //    fcollect gathers them everywhere; everyone picks the same
+    //    n-1 splitters.
+    let samples_sym = ctx.shmalloc::<u64>(oversample);
+    let all_samples = ctx.shmalloc::<u64>(oversample * n);
+    let samples: Vec<u64> = (0..oversample)
+        .map(|i| keys[(i + 1) * per_pe / (oversample + 1)])
+        .collect();
+    ctx.local_write(&samples_sym, 0, &samples);
+    ctx.fcollect(&all_samples, &samples_sym, oversample, ctx.world());
+    let mut pool = ctx.local_read(&all_samples, 0, oversample * n);
+    pool.sort_unstable();
+    let splitters: Vec<u64> = (1..n).map(|i| pool[i * oversample]).collect();
+
+    // 3. Bucket exchange: each PE owns incoming space of 4x the average
+    //    (xorshift keys are near-uniform) plus a fill counter bumped
+    //    with remote atomics.
+    let cap = 4 * per_pe;
+    let inbox = ctx.shmalloc::<u64>(cap);
+    let fill = ctx.shmalloc::<u64>(1);
+    ctx.local_write(&fill, 0, &[0u64]);
+    ctx.barrier_all();
+
+    let mut start = 0usize;
+    #[allow(clippy::needless_range_loop)] // bucket is a PE id, not just an index
+    for bucket in 0..n {
+        let end = if bucket + 1 < n {
+            keys.partition_point(|k| *k < splitters[bucket])
+        } else {
+            keys.len()
+        };
+        let chunk = &keys[start..end];
+        if !chunk.is_empty() {
+            // Reserve space in the destination inbox atomically, then
+            // put the chunk there.
+            let off = ctx.fadd(&fill, 0, chunk.len() as u64, bucket) as usize;
+            assert!(off + chunk.len() <= cap, "inbox overflow on PE {bucket}");
+            ctx.put(&inbox, off, chunk, bucket);
+        }
+        start = end;
+    }
+    ctx.quiet();
+    ctx.barrier_all();
+
+    // 4. Final local sort of the received bucket.
+    let kept = ctx.local_read(&fill, 0, 1)[0] as usize;
+    let mut bucket = ctx.local_read(&inbox, 0, kept);
+    bucket.sort_unstable();
+    // Everything in my bucket respects my splitter range.
+    if me > 0 {
+        assert!(bucket.first().is_none_or(|k| *k >= splitters[me - 1]));
+    }
+    if me + 1 < n {
+        assert!(bucket.last().is_none_or(|k| *k < splitters[me]));
+    }
+    ctx.barrier_all();
+
+    BucketResult {
+        kept,
+        min: bucket.first().copied().unwrap_or(u64::MAX),
+        max: bucket.last().copied().unwrap_or(0),
+    }
+}

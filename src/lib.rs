@@ -1,0 +1,16 @@
+//! Umbrella crate for the TSHMEM reproduction workspace.
+//!
+//! This crate re-exports the workspace members so integration tests and
+//! examples can reach every layer of the stack through one dependency.
+//! See `DESIGN.md` at the repository root for the system inventory and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub use cachesim;
+pub use desim;
+pub use microbench;
+pub use mpipe;
+pub use tile_arch;
+pub use tmc;
+pub use tshmem;
+pub use tshmem_apps as apps;
+pub use udn;

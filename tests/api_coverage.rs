@@ -1,0 +1,123 @@
+//! Table I coverage: every function of the paper's basic OpenSHMEM
+//! subset exists and works through the C-flavored shim.
+
+use tshmem::api;
+use tshmem::prelude::*;
+
+#[test]
+fn table1_basic_subset_is_callable() {
+    let cfg = RuntimeConfig::new(4).with_partition_bytes(1 << 20);
+    // start_pes() analog:
+    tshmem::launch(&cfg, |ctx| {
+        // Environment query.
+        let me = api::my_pe(ctx);
+        let n = api::num_pes(ctx);
+        assert!(me < n && n == 4);
+
+        // Memory allocation.
+        let v: Sym<i32> = api::shmalloc(ctx, 64);
+        let v64: Sym<i64> = api::shmalloc(ctx, 64);
+        let vb: Sym<u8> = api::shmalloc(ctx, 256);
+
+        // Elemental put/get (shmem_int_p / shmem_int_g).
+        api::shmem_p(ctx, &v, 7 + me as i32, (me + 1) % n);
+        api::shmem_barrier_all(ctx);
+        let prev = (me + n - 1) % n;
+        assert_eq!(api::shmem_g(ctx, &v, me), 7 + prev as i32);
+
+        // Block put/get (shmem_putmem / shmem_getmem).
+        let bytes: Vec<u8> = (0..=255).collect();
+        api::shmem_putmem(ctx, &vb, &bytes, (me + 1) % n);
+        api::shmem_quiet(ctx);
+        api::shmem_barrier_all(ctx);
+        let mut back = vec![0u8; 256];
+        api::shmem_getmem(ctx, &mut back, &vb, me);
+        assert_eq!(back, bytes);
+
+        // Typed block put/get.
+        api::shmem_put(ctx, &v, &[1, 2, 3, 4], me);
+        let mut out = [0i32; 4];
+        api::shmem_get(ctx, &mut out, &v, me);
+        assert_eq!(out, [1, 2, 3, 4]);
+
+        // Strided put/get (shmem_int_iput / shmem_int_iget).
+        api::shmem_barrier_all(ctx);
+        api::shmem_iput(ctx, &v, &[10, 20, 30], 4, 1, me);
+        let mut strided = [0i32; 3];
+        api::shmem_iget(ctx, &mut strided, &v, 1, 4, me);
+        assert_eq!(strided, [10, 20, 30]);
+
+        // Barrier over a subset triplet.
+        if me.is_multiple_of(2) {
+            api::shmem_barrier(ctx, 0, 1, n / 2);
+        }
+        api::shmem_barrier_all(ctx);
+
+        // Fence/quiet.
+        api::shmem_fence(ctx);
+        api::shmem_quiet(ctx);
+
+        // Point-to-point sync (shmem_wait / shmem_wait_until).
+        let flag: Sym<i64> = api::shmalloc(ctx, 1);
+        ctx.local_write(&flag, 0, &[0i64]);
+        api::shmem_barrier_all(ctx);
+        if me == 0 {
+            for pe in 1..n {
+                api::shmem_p(ctx, &flag, 5i64, pe);
+            }
+        } else {
+            api::shmem_wait(ctx, &flag, 0i64);
+            api::shmem_wait_until(ctx, &flag, Cmp::Ge, 5i64);
+        }
+        api::shmem_barrier_all(ctx);
+
+        // Broadcast (shmem_broadcast32-style).
+        let bsrc: Sym<u32> = api::shmalloc(ctx, 16);
+        let bdst: Sym<u32> = api::shmalloc(ctx, 16);
+        if me == 0 {
+            ctx.local_write(&bsrc, 0, &[9u32; 16]);
+        }
+        api::shmem_broadcast(ctx, &bdst, &bsrc, 16, 0, 0, 0, n);
+        if me != 0 {
+            assert_eq!(ctx.local_read(&bdst, 0, 16), vec![9u32; 16]);
+        }
+
+        // Collection (shmem_collect32 / shmem_fcollect32).
+        let csrc: Sym<u32> = api::shmalloc(ctx, 4);
+        let cdst: Sym<u32> = api::shmalloc(ctx, 4 * n);
+        ctx.local_write(&csrc, 0, &[me as u32; 4]);
+        api::shmem_fcollect(ctx, &cdst, &csrc, 4, 0, 0, n);
+        assert_eq!(ctx.local_read(&cdst, 0, 1)[0], 0);
+        let total = api::shmem_collect(ctx, &cdst, &csrc, 4, 0, 0, n);
+        assert_eq!(total, 4 * n);
+
+        // Reduction (shmem_int_sum_to_all / shmem_long_prod_to_all).
+        let rdst: Sym<i32> = api::shmalloc(ctx, 4);
+        ctx.local_write(&v, 0, &[me as i32 + 1; 64]);
+        api::shmem_sum_to_all(ctx, &rdst, &v, 4, 0, 0, n);
+        assert_eq!(ctx.local_read(&rdst, 0, 1)[0], (1..=n as i32).sum());
+        let pdst: Sym<i64> = api::shmalloc(ctx, 1);
+        ctx.local_write(&v64, 0, &[me as i64 + 1; 64]);
+        api::shmem_prod_to_all(ctx, &pdst, &v64, 1, 0, 0, n);
+        assert_eq!(ctx.local_read(&pdst, 0, 1)[0], (1..=n as i64).product());
+
+        // Atomic swap (shmem_swap).
+        let a: Sym<i64> = api::shmalloc(ctx, 1);
+        ctx.local_write(&a, 0, &[me as i64]);
+        api::shmem_barrier_all(ctx);
+        let old = api::shmem_swap(ctx, &a, 100 + me as i64, (me + 1) % n);
+        assert_eq!(old as usize, (me + 1) % n);
+
+        // shmem_ptr.
+        assert!(api::shmem_ptr(ctx, &a, (me + 1) % n).is_some());
+
+        // Memory management: realloc, align, free.
+        let big: Sym<i32> = api::shrealloc(ctx, v, 128);
+        api::shfree(ctx, big);
+        let aligned: Sym<f64> = api::shmemalign(ctx, 64, 8);
+        api::shfree(ctx, aligned);
+
+        // shmem_finalize (the paper's proposed extension).
+        api::shmem_finalize(ctx);
+    });
+}

@@ -1,0 +1,153 @@
+//! Edge cases of the collective operations: singleton sets, zero-length
+//! payloads, maximum roots, repeated reuse, and mixed algorithms within
+//! one job family.
+
+use tshmem::prelude::*;
+use tshmem::types::ReduceOp;
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 14)
+        .with_temp_bytes(1 << 12)
+}
+
+#[test]
+fn singleton_set_collectives_are_local() {
+    tshmem::launch(&cfg(3), |ctx| {
+        let me = ctx.my_pe();
+        let just_me = ActiveSet::new(me, 0, 1);
+        let src = ctx.shmalloc::<i32>(8);
+        let dst = ctx.shmalloc::<i32>(8);
+        ctx.local_write(&src, 0, &[me as i32; 8]);
+        // A broadcast within {me}: root's dest untouched per spec.
+        ctx.local_fill(&dst, -1);
+        ctx.broadcast(&dst, &src, 8, 0, just_me);
+        assert_eq!(ctx.local_read(&dst, 0, 8), vec![-1; 8]);
+        // Reduce of one PE: identity.
+        ctx.sum_to_all(&dst, &src, 8, just_me);
+        assert_eq!(ctx.local_read(&dst, 0, 8), vec![me as i32; 8]);
+        // fcollect of one PE: copy.
+        ctx.local_fill(&dst, -1);
+        ctx.fcollect(&dst, &src, 8, just_me);
+        assert_eq!(ctx.local_read(&dst, 0, 8), vec![me as i32; 8]);
+        // collect of one PE.
+        let total = ctx.collect(&dst, &src, 3, just_me);
+        assert_eq!(total, 3);
+        ctx.barrier(just_me);
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn zero_element_collectives() {
+    tshmem::launch(&cfg(4), |ctx| {
+        let src = ctx.shmalloc::<u32>(4);
+        let dst = ctx.shmalloc::<u32>(16);
+        ctx.broadcast(&dst, &src, 0, 0, ctx.world());
+        ctx.fcollect(&dst, &src, 0, ctx.world());
+        let total = ctx.collect(&dst, &src, 0, ctx.world());
+        assert_eq!(total, 0);
+        ctx.reduce(ReduceOp::Sum, &dst, &src, 0, ctx.world());
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn collect_with_some_pes_contributing_nothing() {
+    tshmem::launch(&cfg(4), |ctx| {
+        let me = ctx.my_pe();
+        let src = ctx.shmalloc::<u64>(4);
+        let dst = ctx.shmalloc::<u64>(16);
+        // Only odd PEs contribute.
+        let mine = if me % 2 == 1 { 2 } else { 0 };
+        ctx.local_write(&src, 0, &[me as u64 * 10, me as u64 * 10 + 1, 0, 0]);
+        let total = ctx.collect(&dst, &src, mine, ctx.world());
+        assert_eq!(total, 4);
+        let all = ctx.local_read(&dst, 0, 4);
+        assert_eq!(all, vec![10, 11, 30, 31]);
+    });
+}
+
+#[test]
+fn broadcast_from_last_rank_of_strided_set() {
+    tshmem::launch(&cfg(8), |ctx| {
+        let me = ctx.my_pe();
+        let set = ActiveSet::new(0, 1, 4); // PEs 0,2,4,6
+        let src = ctx.shmalloc::<u32>(4);
+        let dst = ctx.shmalloc::<u32>(4);
+        if me == 6 {
+            ctx.local_write(&src, 0, &[6, 6, 6, 6]);
+        }
+        ctx.barrier_all();
+        if set.contains(me) {
+            ctx.broadcast(&dst, &src, 4, 3, set); // root rank 3 = PE 6
+            if me != 6 {
+                assert_eq!(ctx.local_read(&dst, 0, 4), vec![6; 4]);
+            }
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn reductions_reusable_hundreds_of_times() {
+    tshmem::launch(&cfg(4), |ctx| {
+        let src = ctx.shmalloc::<i64>(4);
+        let dst = ctx.shmalloc::<i64>(4);
+        for round in 0..200i64 {
+            ctx.local_write(&src, 0, &[round + ctx.my_pe() as i64; 4]);
+            ctx.sum_to_all(&dst, &src, 4, ctx.world());
+            let expect = 4 * round + 6; // sum over pe of (round + pe)
+            assert_eq!(ctx.local_read(&dst, 0, 1)[0], expect, "round {round}");
+        }
+    });
+}
+
+#[test]
+fn different_sets_with_same_root_interleave() {
+    tshmem::launch(&cfg(6), |ctx| {
+        let me = ctx.my_pe();
+        let evens = ActiveSet::new(0, 1, 3); // 0,2,4
+        let all = ctx.world();
+        let src = ctx.shmalloc::<i32>(2);
+        let dst = ctx.shmalloc::<i32>(2);
+        ctx.local_write(&src, 0, &[me as i32, me as i32]);
+        for _ in 0..10 {
+            if evens.contains(me) {
+                ctx.sum_to_all(&dst, &src, 2, evens);
+                assert_eq!(ctx.local_read(&dst, 0, 1)[0], 6); // PEs 0+2+4
+            }
+            ctx.barrier_all();
+            ctx.sum_to_all(&dst, &src, 2, all);
+            assert_eq!(ctx.local_read(&dst, 0, 1)[0], 15);
+        }
+    });
+}
+
+#[test]
+fn fcollect_with_recursive_doubling_reduce_configured() {
+    // Collectives must not interfere even when reduce uses the temp
+    // slots (shared internal resources).
+    let cfg = cfg(6).with_algos(Algorithms {
+        reduce: ReduceAlgo::RecursiveDoubling,
+        broadcast: BroadcastAlgo::Binomial,
+        barrier: BarrierAlgo::Dissemination,
+    });
+    tshmem::launch(&cfg, |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        let src = ctx.shmalloc::<u32>(300); // > one temp slot per sender
+        let dst = ctx.shmalloc::<u32>(300 * n);
+        ctx.local_write(&src, 0, &vec![me as u32; 300]);
+        for _ in 0..5 {
+            ctx.fcollect(&dst, &src, 300, ctx.world());
+            ctx.reduce(ReduceOp::Max, &dst, &src, 300, ctx.world());
+            assert_eq!(ctx.local_read(&dst, 0, 1)[0], (n - 1) as u32);
+            ctx.broadcast(&dst, &src, 300, n - 1, ctx.world());
+            if me != n - 1 {
+                assert_eq!(ctx.local_read(&dst, 0, 1)[0], (n - 1) as u32);
+            }
+        }
+    });
+}

@@ -1,0 +1,108 @@
+//! Property tests of the virtual-time cooperative scheduler: causality
+//! and determinism under randomized communication patterns.
+
+use proptest::prelude::*;
+use desim::{coop, SimTime};
+
+/// A randomized step one LP takes each round.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Compute for this many ns.
+    Advance(u16),
+    /// Send to (self.id + hop) % n with this latency.
+    Send { hop: u8, latency: u16 },
+    /// Receive one message (only issued if the plan guarantees one).
+    Recv,
+}
+
+fn plan_strategy(n: usize, rounds: usize) -> impl Strategy<Value = Vec<Vec<Step>>> {
+    // Build per-LP plans where every round is either all-advance or a
+    // synchronized shift pattern (everyone sends to id+hop, everyone
+    // receives once) — guaranteeing no deadlock by construction.
+    let round = prop_oneof![
+        prop::collection::vec((1u16..5000).prop_map(Step::Advance), n..=n),
+        ((1u8..4), prop::collection::vec(0u16..2000, n..=n)).prop_map(move |(hop, lats)| {
+            let mut steps: Vec<Step> = lats
+                .into_iter()
+                .map(|latency| Step::Send { hop, latency })
+                .collect();
+            // Every LP also receives exactly once this round.
+            for s in &mut steps {
+                let _ = s;
+            }
+            steps.push(Step::Recv); // marker appended per-LP below
+            steps
+        }),
+    ];
+    prop::collection::vec(round, 1..rounds).prop_map(move |rounds| {
+        // Transpose to per-LP plans.
+        let mut per_lp: Vec<Vec<Step>> = vec![Vec::new(); n];
+        for round in rounds {
+            let has_recv = round.len() > n;
+            for (lp, plan) in per_lp.iter_mut().enumerate() {
+                plan.push(round[lp]);
+                if has_recv {
+                    plan.push(Step::Recv);
+                }
+            }
+        }
+        per_lp
+    })
+}
+
+fn run_plan(plans: &[Vec<Step>]) -> (Vec<u64>, Vec<u64>) {
+    let n = plans.len();
+    let plans = plans.to_vec();
+    let out = coop::run::<u64, _, _>(n, 1, move |h| {
+        let id = h.id();
+        let mut received_sum = 0u64;
+        for step in &plans[id] {
+            match *step {
+                Step::Advance(ns) => h.advance(SimTime::from_ns(ns as u64)),
+                Step::Send { hop, latency } => {
+                    let dest = (id + hop as usize) % h.n();
+                    h.send(dest, 0, h.now().ps(), SimTime::from_ns(latency as u64));
+                }
+                Step::Recv => {
+                    let sent_at = h.recv(0);
+                    // Causality: a message cannot be received before it
+                    // was sent.
+                    assert!(h.now().ps() >= sent_at, "{} < {sent_at}", h.now().ps());
+                    received_sum = received_sum.wrapping_add(sent_at);
+                }
+            }
+        }
+        received_sum
+    });
+    (out.values, out.clocks.iter().map(|c| c.ps()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn randomized_traffic_is_deterministic_and_causal(
+        plans in (2usize..6).prop_flat_map(|n| plan_strategy(n, 12))
+    ) {
+        let a = run_plan(&plans);
+        let b = run_plan(&plans);
+        prop_assert_eq!(a.0, b.0, "received values must match across runs");
+        prop_assert_eq!(a.1, b.1, "virtual clocks must be bit-identical");
+    }
+
+    #[test]
+    fn clocks_never_decrease(
+        advances in prop::collection::vec(0u16..1000, 1..50)
+    ) {
+        let advances2 = advances.clone();
+        coop::run::<u64, _, _>(1, 1, move |h| {
+            let mut last = h.now();
+            for a in &advances2 {
+                h.advance(SimTime::from_ns(*a as u64));
+                let now = h.now();
+                assert!(now >= last);
+                last = now;
+            }
+        });
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the symmetric-heap allocator: invariants
+//! hold under arbitrary alloc/free/realloc sequences, allocations never
+//! overlap, and replicas stay symmetric.
+
+use proptest::prelude::*;
+use tshmem::heap::{Heap, HeapError};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(usize),
+    AllocAligned(usize, u8),
+    Free(usize),    // index into live list (modulo)
+    Realloc(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..5000).prop_map(Op::Alloc),
+        ((0usize..2000), (0u8..7)).prop_map(|(s, a)| Op::AllocAligned(s, a)),
+        (0usize..64).prop_map(Op::Free),
+        ((0usize..64), (0usize..5000)).prop_map(|(i, s)| Op::Realloc(i, s)),
+    ]
+}
+
+/// Apply a sequence of ops; returns the trace of resulting offsets.
+fn run_ops(heap_size: usize, ops: &[Op]) -> Vec<isize> {
+    let mut h = Heap::new(heap_size);
+    let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, len)
+    let mut trace = Vec::new();
+    for op in ops {
+        match op {
+            Op::Alloc(len) => match h.alloc(*len) {
+                Ok(off) => {
+                    live.push((off, (*len).max(1)));
+                    trace.push(off as isize);
+                }
+                Err(HeapError::OutOfMemory { .. }) => trace.push(-1),
+                Err(e) => panic!("unexpected error {e}"),
+            },
+            Op::AllocAligned(len, apow) => {
+                let align = 1usize << apow;
+                match h.alloc_aligned(*len, align) {
+                    Ok(off) => {
+                        assert_eq!(off % align, 0, "misaligned allocation");
+                        live.push((off, (*len).max(1)));
+                        trace.push(off as isize);
+                    }
+                    Err(HeapError::OutOfMemory { .. }) => trace.push(-1),
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            Op::Free(i) => {
+                if live.is_empty() {
+                    trace.push(-2);
+                    continue;
+                }
+                let idx = i % live.len();
+                let (off, _) = live.swap_remove(idx);
+                h.free(off).expect("freeing a live allocation must work");
+                trace.push(off as isize);
+            }
+            Op::Realloc(i, new_len) => {
+                if live.is_empty() {
+                    trace.push(-2);
+                    continue;
+                }
+                let idx = i % live.len();
+                let (off, _) = live[idx];
+                match h.realloc(off, *new_len) {
+                    Ok(new_off) => {
+                        live[idx] = (new_off, (*new_len).max(1));
+                        trace.push(new_off as isize);
+                    }
+                    Err(HeapError::OutOfMemory { .. }) => trace.push(-1),
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+        }
+        h.check_invariants();
+        // Live allocations never overlap.
+        let mut sorted = live.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+    }
+    // Free everything: the heap must coalesce back to one block.
+    for (off, _) in live {
+        h.free(off).unwrap();
+        h.check_invariants();
+    }
+    assert_eq!(h.allocated(), 0);
+    assert_eq!(h.alloc(heap_size - 16).map(|_| ()), Ok(()));
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        run_ops(64 * 1024, &ops);
+    }
+
+    #[test]
+    fn replicas_stay_symmetric(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        // The symmetry property shmalloc relies on: identical op
+        // sequences yield identical offsets on every "PE".
+        let a = run_ops(32 * 1024, &ops);
+        let b = run_ops(32 * 1024, &ops);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allocations_fit_within_heap(sizes in prop::collection::vec(1usize..4096, 1..40)) {
+        let heap_size = 64 * 1024;
+        let mut h = Heap::new(heap_size);
+        for s in sizes {
+            if let Ok(off) = h.alloc(s) {
+                prop_assert!(off + s <= heap_size);
+            }
+        }
+        h.check_invariants();
+    }
+}

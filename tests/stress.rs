@@ -1,0 +1,155 @@
+//! Stress tests: randomized RMA traffic, mixed collectives, and
+//! repeated launches.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tshmem::prelude::*;
+use tshmem::types::ReduceOp;
+
+#[test]
+fn randomized_put_get_traffic_is_consistent() {
+    // Each PE owns a slab; every PE writes disjoint slots of every other
+    // PE's slab with seeded patterns, then everyone verifies everything.
+    let npes = 6;
+    let slots_per_writer = 64usize;
+    let cfg = RuntimeConfig::new(npes).with_partition_bytes(1 << 20);
+    tshmem::launch(&cfg, move |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        let slab = ctx.shmalloc::<u64>(n * slots_per_writer);
+        ctx.local_fill(&slab, 0u64);
+        ctx.barrier_all();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(9000 + me as u64);
+        // Writer `me` owns slots [me*spw, (me+1)*spw) on every PE.
+        let mut sent: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for pe in 0..n {
+            let vals: Vec<u64> = (0..slots_per_writer).map(|_| rng.gen()).collect();
+            ctx.put(&slab, me * slots_per_writer, &vals, pe);
+            sent.push(vals);
+        }
+        ctx.quiet();
+        ctx.barrier_all();
+
+        // Verify my copy has every writer's deterministic pattern.
+        for writer in 0..n {
+            let mut wrng = ChaCha8Rng::seed_from_u64(9000 + writer as u64);
+            for pe in 0..n {
+                let vals: Vec<u64> = (0..slots_per_writer).map(|_| wrng.gen()).collect();
+                if pe == me {
+                    let got = ctx.local_read(&slab, writer * slots_per_writer, slots_per_writer);
+                    assert_eq!(got, vals, "writer {writer} on PE {me}");
+                }
+            }
+        }
+        // And verify a remote copy via gets.
+        let target = (me + 1) % n;
+        for writer in 0..n {
+            let mut got = vec![0u64; slots_per_writer];
+            ctx.get(&mut got, &slab, writer * slots_per_writer, target);
+            let mut wrng = ChaCha8Rng::seed_from_u64(9000 + writer as u64);
+            for pe in 0..n {
+                let vals: Vec<u64> = (0..slots_per_writer).map(|_| wrng.gen()).collect();
+                if pe == target {
+                    assert_eq!(got, vals, "get: writer {writer} on PE {target}");
+                }
+            }
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn interleaved_collectives_many_rounds() {
+    let npes = 8;
+    let cfg = RuntimeConfig::new(npes).with_partition_bytes(1 << 20);
+    tshmem::launch(&cfg, move |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        let src = ctx.shmalloc::<i64>(32);
+        let dst = ctx.shmalloc::<i64>(32 * n);
+        for round in 0..25i64 {
+            ctx.local_write(&src, 0, &[(me as i64) * 100 + round; 32]);
+            match round % 3 {
+                0 => {
+                    let root = (round as usize) % n;
+                    ctx.broadcast(&dst, &src, 32, root, ctx.world());
+                    if me != ctx.world().pe_at(root) {
+                        let expect = (root as i64) * 100 + round;
+                        assert_eq!(ctx.local_read(&dst, 0, 1)[0], expect, "round {round}");
+                    }
+                }
+                1 => {
+                    ctx.reduce(ReduceOp::Sum, &dst, &src, 32, ctx.world());
+                    let expect: i64 = (0..n as i64).map(|p| p * 100 + round).sum();
+                    assert_eq!(ctx.local_read(&dst, 0, 1)[0], expect, "round {round}");
+                }
+                _ => {
+                    ctx.fcollect(&dst, &src, 32, ctx.world());
+                    for pe in 0..n {
+                        let expect = (pe as i64) * 100 + round;
+                        assert_eq!(ctx.local_read(&dst, pe * 32, 1)[0], expect, "round {round}");
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn repeated_launches_are_independent() {
+    // Back-to-back jobs must not leak state into one another (service
+    // threads shut down, arenas dropped).
+    for round in 0..5u64 {
+        let cfg = RuntimeConfig::new(3).with_partition_bytes(1 << 18);
+        let out = tshmem::launch(&cfg, move |ctx| {
+            let v = ctx.shmalloc::<u64>(8);
+            ctx.local_fill(&v, round);
+            ctx.barrier_all();
+            ctx.g(&v, 0, (ctx.my_pe() + 1) % ctx.n_pes())
+        });
+        assert!(out.iter().all(|v| *v == round));
+    }
+}
+
+#[test]
+fn concurrent_redirected_statics_from_all_pes() {
+    // All PEs hammer each other's static segments simultaneously; the
+    // service contexts must handle interleaved requests.
+    let npes = 5;
+    let cfg = RuntimeConfig::new(npes)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 16)
+        .with_temp_bytes(1 << 10); // small temp to force chunking
+    tshmem::launch(&cfg, move |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        let statv = ctx.static_sym::<u64>(n * 64);
+        // Everyone seeds their own static slab.
+        let seed: Vec<u64> = (0..n * 64).map(|i| (me as u64) << 32 | i as u64).collect();
+        ctx.local_write(&statv, 0, &seed);
+        ctx.barrier_all();
+        // Writer `me` puts its signature into slot `me` of everyone.
+        let sig = vec![0xAB00 + me as u64; 64];
+        for pe in 0..n {
+            if pe != me {
+                ctx.put(&statv.slice(me * 64, 64), 0, &sig, pe);
+            }
+        }
+        ctx.barrier_all();
+        // Everyone verifies all foreign slots via redirected gets.
+        for writer in 0..n {
+            if writer == me {
+                continue;
+            }
+            let mut got = vec![0u64; 64];
+            let target = (me + 1) % n;
+            ctx.get(&mut got, &statv.slice(writer * 64, 64), 0, target);
+            if writer != target {
+                assert_eq!(got, vec![0xAB00 + writer as u64; 64]);
+            }
+        }
+        ctx.barrier_all();
+        assert!(ctx.stats().redirected > 0);
+    });
+}

@@ -1,0 +1,196 @@
+//! Exercising the OpenSHMEM typed function matrix (`api_typed`) — every
+//! family is hit at least once with values that verify data movement.
+
+use tshmem::api_typed as t;
+use tshmem::prelude::*;
+use tshmem::types::{Complex32, Complex64};
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes).with_partition_bytes(1 << 20)
+}
+
+#[test]
+fn typed_rma_families() {
+    tshmem::launch(&cfg(2), |ctx| {
+        let me = ctx.my_pe();
+        let other = 1 - me;
+
+        let vs = ctx.shmalloc::<i16>(8);
+        let vi = ctx.shmalloc::<i32>(8);
+        let vl = ctx.shmalloc::<i64>(8);
+        let vf = ctx.shmalloc::<f32>(8);
+        let vd = ctx.shmalloc::<f64>(8);
+
+        t::shmem_short_p(ctx, &vs, -7, other);
+        t::shmem_int_p(ctx, &vi, 42, other);
+        t::shmem_long_p(ctx, &vl, 1 << 40, other);
+        t::shmem_float_p(ctx, &vf, 1.5, other);
+        t::shmem_double_p(ctx, &vd, -2.25, other);
+        ctx.barrier_all();
+        assert_eq!(t::shmem_short_g(ctx, &vs, me), -7);
+        assert_eq!(t::shmem_int_g(ctx, &vi, me), 42);
+        assert_eq!(t::shmem_long_g(ctx, &vl, me), 1 << 40);
+        assert_eq!(t::shmem_float_g(ctx, &vf, me), 1.5);
+        assert_eq!(t::shmem_double_g(ctx, &vd, me), -2.25);
+        // Everyone must finish reading before the next wave of puts
+        // lands (one-sided semantics!).
+        ctx.barrier_all();
+
+        t::shmem_int_put(ctx, &vi, &[1, 2, 3, 4], other);
+        ctx.barrier_all();
+        let mut got = [0i32; 4];
+        t::shmem_int_get(ctx, &mut got, &vi, me);
+        assert_eq!(got, [1, 2, 3, 4]);
+
+        t::shmem_double_iput(ctx, &vd, &[9.0, 8.0], 3, 1, me);
+        let mut sgot = [0.0f64; 2];
+        t::shmem_double_iget(ctx, &mut sgot, &vd, 1, 3, me);
+        assert_eq!(sgot, [9.0, 8.0]);
+
+        // longlong aliases work on i64 data.
+        t::shmem_longlong_p(ctx, &vl, 99, me);
+        assert_eq!(t::shmem_longlong_g(ctx, &vl, me), 99);
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn fixed_width_and_128bit_forms() {
+    tshmem::launch(&cfg(2), |ctx| {
+        let me = ctx.my_pe();
+        let v32 = ctx.shmalloc::<u32>(8);
+        let v64 = ctx.shmalloc::<u64>(8);
+        let v128 = ctx.shmalloc::<Complex64>(4);
+
+        t::shmem_put32(ctx, &v32, &[0xAABB_CCDD; 4], 1 - me);
+        t::shmem_put64(ctx, &v64, &[u64::MAX - 1; 4], 1 - me);
+        t::shmem_put128(ctx, &v128, &[Complex64::new(1.0, -1.0); 2], 1 - me);
+        ctx.barrier_all();
+        let mut a = [0u32; 4];
+        t::shmem_get32(ctx, &mut a, &v32, me);
+        assert_eq!(a, [0xAABB_CCDD; 4]);
+        let mut b = [0u64; 4];
+        t::shmem_get64(ctx, &mut b, &v64, me);
+        assert_eq!(b, [u64::MAX - 1; 4]);
+        let mut c = [Complex64::default(); 2];
+        t::shmem_get128(ctx, &mut c, &v128, me);
+        assert_eq!(c, [Complex64::new(1.0, -1.0); 2]);
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn typed_waits_and_atomics() {
+    tshmem::launch(&cfg(2), |ctx| {
+        let me = ctx.my_pe();
+        let flag = ctx.shmalloc::<i64>(1);
+        let counter = ctx.shmalloc::<i32>(1);
+        ctx.local_write(&flag, 0, &[0i64]);
+        ctx.local_write(&counter, 0, &[0i32]);
+        ctx.barrier_all();
+        if me == 0 {
+            assert_eq!(t::shmem_int_finc(ctx, &counter, 1), 0);
+            t::shmem_int_add(ctx, &counter, 10, 1);
+            t::shmem_int_inc(ctx, &counter, 1);
+            assert_eq!(t::shmem_int_fadd(ctx, &counter, 5, 1), 12);
+            assert_eq!(t::shmem_int_swap(ctx, &counter, 100, 1), 17);
+            assert_eq!(t::shmem_int_cswap(ctx, &counter, 100, 7, 1), 100);
+            t::shmem_long_p(ctx, &flag, 1, 1);
+        } else {
+            t::shmem_long_wait(ctx, &flag, 0);
+            t::shmem_long_wait_until(ctx, &flag, Cmp::Ge, 1);
+            assert_eq!(ctx.local_read(&counter, 0, 1)[0], 7);
+        }
+        ctx.barrier_all();
+        // Float swaps.
+        let f = ctx.shmalloc::<f32>(1);
+        let d = ctx.shmalloc::<f64>(1);
+        ctx.local_write(&f, 0, &[3.5f32]);
+        ctx.local_write(&d, 0, &[-0.5f64]);
+        ctx.barrier_all();
+        if me == 1 {
+            assert_eq!(t::shmem_float_swap(ctx, &f, 9.0, 0), 3.5);
+            assert_eq!(t::shmem_double_swap(ctx, &d, 2.0, 0), -0.5);
+            assert_eq!(t::shmem_longlong_fadd(ctx, &flag, 1, 0), 0);
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn typed_reduction_matrix_samples() {
+    tshmem::launch(&cfg(3), |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+
+        macro_rules! red {
+            ($ty:ty, $f:ident, $seed:expr, $expect:expr) => {{
+                let src = ctx.shmalloc::<$ty>(2);
+                let dst = ctx.shmalloc::<$ty>(2);
+                ctx.local_write(&src, 0, &[$seed; 2]);
+                t::$f(ctx, &dst, &src, 2, 0, 0, n);
+                assert_eq!(ctx.local_read(&dst, 0, 1)[0], $expect, stringify!($f));
+            }};
+        }
+
+        red!(i16, shmem_short_sum_to_all, me as i16 + 1, 6);
+        red!(i16, shmem_short_xor_to_all, 1i16 << me, 0b111);
+        red!(i32, shmem_int_min_to_all, me as i32 - 1, -1);
+        red!(i32, shmem_int_and_to_all, 0b110 | me as i32, 0b110);
+        red!(i64, shmem_long_prod_to_all, me as i64 + 2, 2 * 3 * 4);
+        red!(i64, shmem_longlong_max_to_all, (me as i64) * 100, 200);
+        red!(f32, shmem_float_sum_to_all, me as f32 + 0.5, 4.5);
+        red!(f64, shmem_double_max_to_all, -(me as f64), 0.0);
+        red!(
+            Complex32,
+            shmem_complexf_sum_to_all,
+            Complex32::new(1.0, me as f32),
+            Complex32::new(3.0, 3.0)
+        );
+        red!(
+            Complex64,
+            shmem_complexd_prod_to_all,
+            Complex64::new(0.0, 1.0),
+            // i^3 = -i
+            Complex64::new(0.0, -1.0)
+        );
+    });
+}
+
+#[test]
+fn typed_collectives_and_accessibility() {
+    tshmem::launch(&cfg(4), |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        let src32 = ctx.shmalloc::<u32>(4);
+        let dst32 = ctx.shmalloc::<u32>(4 * n);
+        let src64 = ctx.shmalloc::<u64>(4);
+        let dst64 = ctx.shmalloc::<u64>(4 * n);
+
+        ctx.local_write(&src32, 0, &[me as u32; 4]);
+        ctx.local_write(&src64, 0, &[me as u64 + 100; 4]);
+
+        t::shmem_broadcast32(ctx, &dst32, &src32, 4, 2, 0, 0, n);
+        if me != 2 {
+            assert_eq!(ctx.local_read(&dst32, 0, 1)[0], 2);
+        }
+        t::shmem_fcollect64(ctx, &dst64, &src64, 4, 0, 0, n);
+        for pe in 0..n {
+            assert_eq!(ctx.local_read(&dst64, pe * 4, 1)[0], pe as u64 + 100);
+        }
+        let total = t::shmem_collect32(ctx, &dst32, &src32, 4, 0, 0, n);
+        assert_eq!(total, 4 * n);
+        t::shmem_broadcast64(ctx, &dst64, &src64, 4, 0, 0, 0, n);
+        t::shmem_fcollect32(ctx, &dst32, &src32, 4, 0, 0, n);
+        let _ = t::shmem_collect64(ctx, &dst64, &src64, 4, 0, 0, n);
+
+        // Accessibility queries.
+        assert!(t::shmem_pe_accessible(ctx, n - 1));
+        assert!(!t::shmem_pe_accessible(ctx, n));
+        assert!(t::shmem_addr_accessible(ctx, &src32, (me + 1) % n));
+        let stat = ctx.static_sym::<u32>(1);
+        assert!(t::shmem_addr_accessible(ctx, &stat, me));
+        assert!(!t::shmem_addr_accessible(ctx, &stat, (me + 1) % n));
+        ctx.barrier_all();
+    });
+}
