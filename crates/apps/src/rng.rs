@@ -1,89 +1,11 @@
-//! Tiny deterministic RNG (SplitMix64) for procedural test data.
+//! Deterministic RNG for procedural test data.
 //!
-//! Both case studies need reproducible synthetic inputs on every PE
-//! without coordinating state; SplitMix64 keyed by (seed, index) gives
-//! position-independent streams.
+//! The SplitMix64 [`KeyedRng`] originated here (both case studies need
+//! reproducible synthetic inputs on every PE without coordinating
+//! state) and has been promoted to [`substrate::rng`] so the whole
+//! workspace shares one implementation; this module re-exports it to
+//! keep the apps-local paths working. The promoted version fixes the
+//! modulo bias `below` used to have: bounds are now drawn by rejection
+//! sampling.
 
-/// SplitMix64 step.
-#[inline]
-pub fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A keyed stream: deterministic function of `(seed, key)`.
-pub struct KeyedRng {
-    state: u64,
-}
-
-impl KeyedRng {
-    pub fn new(seed: u64, key: u64) -> Self {
-        let mut state = seed ^ key.wrapping_mul(0xA24B_AED4_963E_E407);
-        // Warm up to decorrelate nearby keys.
-        splitmix64(&mut state);
-        splitmix64(&mut state);
-        Self { state }
-    }
-
-    pub fn next_u64(&mut self) -> u64 {
-        splitmix64(&mut self.state)
-    }
-
-    /// Uniform in `[0, n)`.
-    pub fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub fn unit_f32(&mut self) -> f32 {
-        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_per_key() {
-        let a: Vec<u64> = {
-            let mut r = KeyedRng::new(7, 3);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        let b: Vec<u64> = {
-            let mut r = KeyedRng::new(7, 3);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        assert_eq!(a, b);
-        let c: Vec<u64> = {
-            let mut r = KeyedRng::new(7, 4);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn below_in_range_and_unit_in_range() {
-        let mut r = KeyedRng::new(1, 1);
-        for _ in 0..1000 {
-            assert!(r.below(17) < 17);
-            let u = r.unit_f32();
-            assert!((0.0..1.0).contains(&u));
-        }
-    }
-
-    #[test]
-    fn rough_uniformity() {
-        let mut r = KeyedRng::new(42, 0);
-        let mut counts = [0u32; 8];
-        for _ in 0..8000 {
-            counts[r.below(8) as usize] += 1;
-        }
-        for c in counts {
-            assert!((700..1300).contains(&c), "bucket count {c}");
-        }
-    }
-}
+pub use substrate::rng::{splitmix64, KeyedRng, Rng};

@@ -5,7 +5,7 @@
 //! real OpenSHMEM installation's OSU numbers.
 //!
 //! ```text
-//! cargo run --release -p bench --bin osu [-- latency|bw|bibw|mr|barrier|all]
+//! cd crates/bench && cargo run --release --bin osu [-- latency|bw|bibw|mr|barrier|all]
 //! ```
 
 use tile_arch::device::Device;

@@ -30,7 +30,7 @@ use cachesim::memsys::{MemRef, MemorySystem};
 use desim::coop::CoopHandle;
 use desim::time::SimTime;
 use mpipe::{MpipeLink, MpipeTimings};
-use parking_lot::Mutex;
+use substrate::sync::Mutex;
 use tile_arch::area::TestArea;
 use tmc::common::CommonMemory;
 use udn::timing::UdnModel;

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use substrate::sync::Mutex;
 use tmc::barrier::SpinBarrier;
 use tmc::common::CommonMemory;
 use udn::fabric::UdnEndpoint;
@@ -76,6 +76,10 @@ impl Fabric for NativeFabric {
         // Q_SERVICE is consumed by the destination's service thread; the
         // routing is by queue, so a plain send reaches it.
         self.udn.send(dest, queue, tag, payload.to_vec());
+    }
+
+    fn udn_try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
+        self.udn.try_send(dest, queue, tag, payload.to_vec())
     }
 
     fn udn_recv(&self, queue: usize) -> ProtoMsg {

@@ -74,6 +74,17 @@ pub trait Fabric: Send {
     /// context rather than its main thread.
     fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]);
 
+    /// Non-blocking send: `false` when the destination queue is full
+    /// (finite-buffer engines only). Protocol loops that must not stall
+    /// while their own queue backs up retry this between drains of their
+    /// own demux queue — see `ShmemCtx::send_draining`. Engines without
+    /// send-side backpressure (virtual-time models, unbounded fabrics)
+    /// keep this default, which completes the send immediately.
+    fn udn_try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
+        self.udn_send(dest, queue, tag, payload);
+        true
+    }
+
     /// Blocking receive from `queue`.
     fn udn_recv(&self, queue: usize) -> ProtoMsg;
 

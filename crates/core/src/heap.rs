@@ -10,8 +10,8 @@
 //!
 //! The allocator itself is single-threaded per PE (each PE manages its
 //! own partition); determinism across PEs is what makes offsets
-//! symmetric, and is checked by tests and the proptest in
-//! `tests/heap_props.rs`.
+//! symmetric, and is checked by tests and the `substrate::proptest_mini`
+//! property suite in `tests/heap_props.rs`.
 
 const NONE: usize = usize::MAX;
 

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use cachesim::homing::Homing;
 use desim::time::SimTime;
-use parking_lot::Mutex;
+use substrate::sync::Mutex;
 use tile_arch::area::TestArea;
 use tile_arch::device::Device;
 use tmc::common::CommonMemory;

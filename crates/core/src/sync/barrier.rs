@@ -89,8 +89,7 @@ impl ShmemCtx {
         let mut round = 0u64;
         while dist < n {
             let to = set.pe_at((rank + dist) % n);
-            self.fab
-                .udn_send(to, Q_BARRIER, TAG_BAR_DISS, &[id, round]);
+            self.send_draining(to, Q_BARRIER, TAG_BAR_DISS, &[id, round]);
             self.recv_matching(Q_BARRIER, |m: &ProtoMsg| {
                 m.tag == TAG_BAR_DISS && m.payload.first() == Some(&id) && m.payload.get(1) == Some(&round)
             });
@@ -106,16 +105,16 @@ impl ShmemCtx {
         if rank == 0 {
             // Wait phase: send the token around; its return means every
             // member reached the barrier.
-            self.fab.udn_send(next, Q_BARRIER, TAG_BAR_WAIT, &[id]);
+            self.send_draining(next, Q_BARRIER, TAG_BAR_WAIT, &[id]);
             self.recv_matching(Q_BARRIER, m(TAG_BAR_WAIT));
             // Release phase.
-            self.fab.udn_send(next, Q_BARRIER, TAG_BAR_RELEASE, &[id]);
+            self.send_draining(next, Q_BARRIER, TAG_BAR_RELEASE, &[id]);
             self.recv_matching(Q_BARRIER, m(TAG_BAR_RELEASE));
         } else {
             self.recv_matching(Q_BARRIER, m(TAG_BAR_WAIT));
-            self.fab.udn_send(next, Q_BARRIER, TAG_BAR_WAIT, &[id]);
+            self.send_draining(next, Q_BARRIER, TAG_BAR_WAIT, &[id]);
             self.recv_matching(Q_BARRIER, m(TAG_BAR_RELEASE));
-            self.fab.udn_send(next, Q_BARRIER, TAG_BAR_RELEASE, &[id]);
+            self.send_draining(next, Q_BARRIER, TAG_BAR_RELEASE, &[id]);
         }
     }
 
@@ -129,14 +128,33 @@ impl ShmemCtx {
                 });
             }
             for r in 1..set.size {
-                self.fab
-                    .udn_send(set.pe_at(r), Q_BARRIER, TAG_BAR_RELEASE, &[id]);
+                self.send_draining(set.pe_at(r), Q_BARRIER, TAG_BAR_RELEASE, &[id]);
             }
         } else {
-            self.fab.udn_send(root, Q_BARRIER, TAG_BAR_ARRIVE, &[id]);
+            self.send_draining(root, Q_BARRIER, TAG_BAR_ARRIVE, &[id]);
             self.recv_matching(Q_BARRIER, |m: &ProtoMsg| {
                 m.tag == TAG_BAR_RELEASE && m.payload.first() == Some(&id)
             });
+        }
+    }
+
+    /// Send a protocol token without stalling our own demux queue: while
+    /// the destination queue is full, drain arrivals on our `queue` into
+    /// the stash instead of blocking. A PE blocked in a plain send cannot
+    /// consume, so on finite-buffer fabrics a cycle of full-queue senders
+    /// deadlocks (e.g. overlapping dissemination-barrier rounds with
+    /// 2-packet queues); draining while stalled breaks every such cycle —
+    /// the software analog of Tilera's UDN interrupt handler running
+    /// while a send spins on wormhole flow control.
+    pub(crate) fn send_draining(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
+        let mut attempt = 0u32;
+        while !self.fab.udn_try_send(dest, queue, tag, payload) {
+            if let Some(m) = self.fab.udn_try_recv(queue) {
+                self.stash.borrow_mut().push(m);
+            } else {
+                self.fab.wait_pause(attempt);
+                attempt = attempt.wrapping_add(1);
+            }
         }
     }
 

@@ -7,7 +7,7 @@
 //! (events are part of the virtual-time execution, not wall time).
 
 use desim::time::SimTime;
-use parking_lot::Mutex;
+use substrate::sync::Mutex;
 
 /// What kind of operation an event records.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -43,7 +43,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use substrate::sync::{Condvar, Mutex};
 
 use crate::time::SimTime;
 
@@ -142,9 +142,9 @@ impl<M> Shared<M> {
     /// the token back at `self_id`.
     fn reschedule<'a>(
         &'a self,
-        mut guard: parking_lot::MutexGuard<'a, SchedState<M>>,
+        mut guard: substrate::sync::MutexGuard<'a, SchedState<M>>,
         self_id: usize,
-    ) -> parking_lot::MutexGuard<'a, SchedState<M>> {
+    ) -> substrate::sync::MutexGuard<'a, SchedState<M>> {
         loop {
             if let Some(msg) = &guard.poisoned {
                 let msg = msg.clone();

@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::{Condvar, Mutex};
+use substrate::sync::{Condvar, Mutex};
 
 /// Sense-reversing spin barrier for a fixed number of participants.
 #[derive(Debug)]

@@ -6,7 +6,7 @@
 //! the same payload limits as the hardware so that protocol code tested
 //! here would also fit the real device.
 
-use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use substrate::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::time::Duration;
 
 use crate::packet::{Header, Packet, MAX_PAYLOAD_WORDS, NUM_QUEUES};
@@ -58,6 +58,34 @@ impl UdnEndpoint {
         self.tx[dest][queue]
             .send(pkt)
             .expect("UDN destination endpoint dropped");
+    }
+
+    /// Non-blocking send: `false` when `dest`'s queue is full instead of
+    /// stalling on flow control. Protocol code that must stay live while
+    /// the destination backs up (e.g. barrier tokens on bounded queues)
+    /// retries this while draining its own demux queues — the software
+    /// analog of the UDN interrupt handler running during a stalled send.
+    ///
+    /// # Panics
+    /// Same validation as [`send`](Self::send); also panics if the
+    /// destination endpoint was dropped.
+    pub fn try_send(&self, dest: usize, queue: usize, tag: u16, payload: Vec<u64>) -> bool {
+        assert!(queue < NUM_QUEUES, "queue {queue} out of range");
+        assert!(dest < self.tx.len(), "unknown destination tile {dest}");
+        let pkt = Packet::new(
+            Header {
+                dest: dest as u16,
+                src: self.tile as u16,
+                queue: queue as u8,
+                tag,
+            },
+            payload,
+        );
+        match self.tx[dest][queue].try_send(pkt) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => false,
+            Err(TrySendError::Disconnected(_)) => panic!("UDN destination endpoint dropped"),
+        }
     }
 
     /// Send a buffer larger than one packet by chunking (keeps per-packet
@@ -335,6 +363,16 @@ mod tests {
         }
         sender.join().unwrap();
         assert_eq!(got, 500);
+    }
+
+    #[test]
+    fn try_send_reports_full_queue_without_blocking() {
+        let eps = UdnFabric::new_bounded(2, 2);
+        assert!(eps[0].try_send(1, 0, 0, vec![1]));
+        assert!(eps[0].try_send(1, 0, 0, vec![2]));
+        assert!(!eps[0].try_send(1, 0, 0, vec![3])); // full, returns instead of stalling
+        assert_eq!(eps[1].recv(0).payload, vec![1]);
+        assert!(eps[0].try_send(1, 0, 0, vec![3])); // slot freed
     }
 
     #[test]

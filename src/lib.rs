@@ -9,6 +9,7 @@ pub use cachesim;
 pub use desim;
 pub use microbench;
 pub use mpipe;
+pub use substrate;
 pub use tile_arch;
 pub use tmc;
 pub use tshmem;

@@ -1,8 +1,11 @@
 //! Property tests of the virtual-time cooperative scheduler: causality
-//! and determinism under randomized communication patterns.
+//! and determinism under randomized communication patterns. Runs on
+//! `substrate::proptest_mini` with fixed seeds, so tier-1 is
+//! deterministic and offline.
 
-use proptest::prelude::*;
 use desim::{coop, SimTime};
+use substrate::proptest_mini as pt;
+use substrate::proptest_mini::Strategy;
 
 /// A randomized step one LP takes each round.
 #[derive(Clone, Copy, Debug)]
@@ -19,22 +22,21 @@ fn plan_strategy(n: usize, rounds: usize) -> impl Strategy<Value = Vec<Vec<Step>
     // Build per-LP plans where every round is either all-advance or a
     // synchronized shift pattern (everyone sends to id+hop, everyone
     // receives once) — guaranteeing no deadlock by construction.
-    let round = prop_oneof![
-        prop::collection::vec((1u16..5000).prop_map(Step::Advance), n..=n),
-        ((1u8..4), prop::collection::vec(0u16..2000, n..=n)).prop_map(move |(hop, lats)| {
-            let mut steps: Vec<Step> = lats
-                .into_iter()
-                .map(|latency| Step::Send { hop, latency })
-                .collect();
-            // Every LP also receives exactly once this round.
-            for s in &mut steps {
-                let _ = s;
-            }
-            steps.push(Step::Recv); // marker appended per-LP below
-            steps
-        }),
-    ];
-    prop::collection::vec(round, 1..rounds).prop_map(move |rounds| {
+    let round = pt::one_of(vec![
+        pt::vec((1u16..5000).prop_map(Step::Advance), n..n + 1).boxed(),
+        ((1u8..4), pt::vec(0u16..2000, n..n + 1))
+            .prop_map(move |(hop, lats)| {
+                let mut steps: Vec<Step> = lats
+                    .into_iter()
+                    .map(|latency| Step::Send { hop, latency })
+                    .collect();
+                // Every LP also receives exactly once this round.
+                steps.push(Step::Recv); // marker appended per-LP below
+                steps
+            })
+            .boxed(),
+    ]);
+    pt::vec(round, 1..rounds).prop_map(move |rounds| {
         // Transpose to per-LP plans.
         let mut per_lp: Vec<Vec<Step>> = vec![Vec::new(); n];
         for round in rounds {
@@ -77,32 +79,35 @@ fn run_plan(plans: &[Vec<Step>]) -> (Vec<u64>, Vec<u64>) {
     (out.values, out.clocks.iter().map(|c| c.ps()).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn randomized_traffic_is_deterministic_and_causal() {
+    pt::check(
+        pt::Config::with_cases(24),
+        (2usize..6).prop_flat_map(|n| plan_strategy(n, 12)),
+        |plans| {
+            let a = run_plan(&plans);
+            let b = run_plan(&plans);
+            assert_eq!(a.0, b.0, "received values must match across runs");
+            assert_eq!(a.1, b.1, "virtual clocks must be bit-identical");
+        },
+    );
+}
 
-    #[test]
-    fn randomized_traffic_is_deterministic_and_causal(
-        plans in (2usize..6).prop_flat_map(|n| plan_strategy(n, 12))
-    ) {
-        let a = run_plan(&plans);
-        let b = run_plan(&plans);
-        prop_assert_eq!(a.0, b.0, "received values must match across runs");
-        prop_assert_eq!(a.1, b.1, "virtual clocks must be bit-identical");
-    }
-
-    #[test]
-    fn clocks_never_decrease(
-        advances in prop::collection::vec(0u16..1000, 1..50)
-    ) {
-        let advances2 = advances.clone();
-        coop::run::<u64, _, _>(1, 1, move |h| {
-            let mut last = h.now();
-            for a in &advances2 {
-                h.advance(SimTime::from_ns(*a as u64));
-                let now = h.now();
-                assert!(now >= last);
-                last = now;
-            }
-        });
-    }
+#[test]
+fn clocks_never_decrease() {
+    pt::check(
+        pt::Config::with_cases(24),
+        pt::vec(0u16..1000, 1..50),
+        |advances| {
+            coop::run::<u64, _, _>(1, 1, move |h| {
+                let mut last = h.now();
+                for a in &advances {
+                    h.advance(SimTime::from_ns(*a as u64));
+                    let now = h.now();
+                    assert!(now >= last);
+                    last = now;
+                }
+            });
+        },
+    );
 }

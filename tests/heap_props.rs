@@ -1,25 +1,34 @@
 //! Property-based tests of the symmetric-heap allocator: invariants
 //! hold under arbitrary alloc/free/realloc sequences, allocations never
-//! overlap, and replicas stay symmetric.
+//! overlap, and replicas stay symmetric. Runs on
+//! `substrate::proptest_mini` with fixed seeds, so tier-1 is
+//! deterministic and offline.
 
-use proptest::prelude::*;
+use substrate::proptest_mini as pt;
+use substrate::proptest_mini::Strategy;
 use tshmem::heap::{Heap, HeapError};
+
+const CASES: u32 = 64;
 
 #[derive(Clone, Debug)]
 enum Op {
     Alloc(usize),
     AllocAligned(usize, u8),
-    Free(usize),    // index into live list (modulo)
+    Free(usize), // index into live list (modulo)
     Realloc(usize, usize),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..5000).prop_map(Op::Alloc),
-        ((0usize..2000), (0u8..7)).prop_map(|(s, a)| Op::AllocAligned(s, a)),
-        (0usize..64).prop_map(Op::Free),
-        ((0usize..64), (0usize..5000)).prop_map(|(i, s)| Op::Realloc(i, s)),
-    ]
+    pt::one_of(vec![
+        (0usize..5000).prop_map(Op::Alloc).boxed(),
+        ((0usize..2000), (0u8..7))
+            .prop_map(|(s, a)| Op::AllocAligned(s, a))
+            .boxed(),
+        (0usize..64).prop_map(Op::Free).boxed(),
+        ((0usize..64), (0usize..5000))
+            .prop_map(|(i, s)| Op::Realloc(i, s))
+            .boxed(),
+    ])
 }
 
 /// Apply a sequence of ops; returns the trace of resulting offsets.
@@ -94,32 +103,46 @@ fn run_ops(heap_size: usize, ops: &[Op]) -> Vec<isize> {
     trace
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn invariants_hold_under_arbitrary_ops() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        pt::vec(op_strategy(), 1..120),
+        |ops| {
+            run_ops(64 * 1024, &ops);
+        },
+    );
+}
 
-    #[test]
-    fn invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        run_ops(64 * 1024, &ops);
-    }
+#[test]
+fn replicas_stay_symmetric() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        pt::vec(op_strategy(), 1..80),
+        |ops| {
+            // The symmetry property shmalloc relies on: identical op
+            // sequences yield identical offsets on every "PE".
+            let a = run_ops(32 * 1024, &ops);
+            let b = run_ops(32 * 1024, &ops);
+            assert_eq!(a, b);
+        },
+    );
+}
 
-    #[test]
-    fn replicas_stay_symmetric(ops in prop::collection::vec(op_strategy(), 1..80)) {
-        // The symmetry property shmalloc relies on: identical op
-        // sequences yield identical offsets on every "PE".
-        let a = run_ops(32 * 1024, &ops);
-        let b = run_ops(32 * 1024, &ops);
-        prop_assert_eq!(a, b);
-    }
-
-    #[test]
-    fn allocations_fit_within_heap(sizes in prop::collection::vec(1usize..4096, 1..40)) {
-        let heap_size = 64 * 1024;
-        let mut h = Heap::new(heap_size);
-        for s in sizes {
-            if let Ok(off) = h.alloc(s) {
-                prop_assert!(off + s <= heap_size);
+#[test]
+fn allocations_fit_within_heap() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        pt::vec(1usize..4096, 1..40),
+        |sizes| {
+            let heap_size = 64 * 1024;
+            let mut h = Heap::new(heap_size);
+            for s in sizes {
+                if let Ok(off) = h.alloc(s) {
+                    assert!(off + s <= heap_size);
+                }
             }
-        }
-        h.check_invariants();
-    }
+            h.check_invariants();
+        },
+    );
 }

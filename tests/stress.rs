@@ -1,8 +1,7 @@
 //! Stress tests: randomized RMA traffic, mixed collectives, and
 //! repeated launches.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use substrate::rng::KeyedRng;
 use tshmem::prelude::*;
 use tshmem::types::ReduceOp;
 
@@ -20,11 +19,11 @@ fn randomized_put_get_traffic_is_consistent() {
         ctx.local_fill(&slab, 0u64);
         ctx.barrier_all();
 
-        let mut rng = ChaCha8Rng::seed_from_u64(9000 + me as u64);
+        let mut rng = KeyedRng::seed_from_u64(9000 + me as u64);
         // Writer `me` owns slots [me*spw, (me+1)*spw) on every PE.
         let mut sent: Vec<Vec<u64>> = Vec::with_capacity(n);
         for pe in 0..n {
-            let vals: Vec<u64> = (0..slots_per_writer).map(|_| rng.gen()).collect();
+            let vals: Vec<u64> = (0..slots_per_writer).map(|_| rng.next_u64()).collect();
             ctx.put(&slab, me * slots_per_writer, &vals, pe);
             sent.push(vals);
         }
@@ -33,9 +32,9 @@ fn randomized_put_get_traffic_is_consistent() {
 
         // Verify my copy has every writer's deterministic pattern.
         for writer in 0..n {
-            let mut wrng = ChaCha8Rng::seed_from_u64(9000 + writer as u64);
+            let mut wrng = KeyedRng::seed_from_u64(9000 + writer as u64);
             for pe in 0..n {
-                let vals: Vec<u64> = (0..slots_per_writer).map(|_| wrng.gen()).collect();
+                let vals: Vec<u64> = (0..slots_per_writer).map(|_| wrng.next_u64()).collect();
                 if pe == me {
                     let got = ctx.local_read(&slab, writer * slots_per_writer, slots_per_writer);
                     assert_eq!(got, vals, "writer {writer} on PE {me}");
@@ -47,9 +46,9 @@ fn randomized_put_get_traffic_is_consistent() {
         for writer in 0..n {
             let mut got = vec![0u64; slots_per_writer];
             ctx.get(&mut got, &slab, writer * slots_per_writer, target);
-            let mut wrng = ChaCha8Rng::seed_from_u64(9000 + writer as u64);
+            let mut wrng = KeyedRng::seed_from_u64(9000 + writer as u64);
             for pe in 0..n {
-                let vals: Vec<u64> = (0..slots_per_writer).map(|_| wrng.gen()).collect();
+                let vals: Vec<u64> = (0..slots_per_writer).map(|_| wrng.next_u64()).collect();
                 if pe == target {
                     assert_eq!(got, vals, "get: writer {writer} on PE {target}");
                 }

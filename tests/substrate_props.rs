@@ -1,119 +1,160 @@
 //! Property-based tests on the substrate crates: mesh routing, UDN
-//! packets, caches, and the simulation kernel.
+//! packets, caches, and the simulation kernel. Runs on
+//! `substrate::proptest_mini` with fixed seeds, so tier-1 is
+//! deterministic and offline.
 
-use proptest::prelude::*;
+use substrate::proptest_mini as pt;
 use tile_arch::device::Device;
 use tile_arch::mesh::{Mesh, TileCoord};
 use tile_arch::route::route_xy;
 use udn::packet::{Header, Packet, MAX_PAYLOAD_WORDS};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u32 = 128;
 
-    #[test]
-    fn xy_route_length_equals_manhattan(
-        ax in 0u16..8, ay in 0u16..8, bx in 0u16..8, by in 0u16..8
-    ) {
-        let m = Mesh::new(8, 8);
-        let a = TileCoord::new(ax, ay);
-        let b = TileCoord::new(bx, by);
-        let hops: Vec<_> = route_xy(&m, a, b).collect();
-        prop_assert_eq!(hops.len() as u32, a.manhattan(b));
-        // Each step moves exactly one hop and ends at the destination.
-        if let Some((_, last)) = hops.last() {
-            prop_assert_eq!(*last, b);
-        }
-        let mut prev = a;
-        for (_, c) in hops {
-            prop_assert_eq!(prev.manhattan(c), 1);
-            prev = c;
-        }
-    }
-
-    #[test]
-    fn udn_latency_monotonic_in_distance(
-        ax in 0u16..6, ay in 0u16..6, bx in 0u16..6, by in 0u16..6
-    ) {
-        // More hops never means lower wire latency (per device).
-        let d = Device::tile_gx8036();
-        let a = TileCoord::new(ax, ay);
-        let b = TileCoord::new(bx, by);
-        let h = d.grid.hops(a, b);
-        let lat = d.timings.udn.one_way_ps(h, 1);
-        let lat_further = d.timings.udn.one_way_ps(h + 1, 1);
-        prop_assert!(lat_further > lat);
-    }
-
-    #[test]
-    fn header_roundtrip(dest in 0u16..1024, src in 0u16..1024, queue in 0u8..4, tag: u16) {
-        let h = Header { dest, src, queue, tag };
-        prop_assert_eq!(Header::decode(h.encode()), h);
-    }
-
-    #[test]
-    fn packets_respect_wire_size(words in prop::collection::vec(any::<u64>(), 0..=MAX_PAYLOAD_WORDS)) {
-        let p = Packet::new(Header { dest: 0, src: 0, queue: 0, tag: 0 }, words.clone());
-        prop_assert_eq!(p.wire_words(), words.len() + 1);
-    }
-
-    #[test]
-    fn cache_hit_iff_resident(lines in prop::collection::vec(0u64..64, 1..200)) {
-        use cachesim::cache::{CacheConfig, SetAssocCache};
-        use std::collections::HashSet;
-        let mut c = SetAssocCache::new(CacheConfig::new(1024, 64, 2));
-        // Shadow model: the cache may evict, so a hit implies shadow
-        // residency (no phantom hits), and resident() matches reality.
-        let mut shadow: HashSet<u64> = HashSet::new();
-        for l in lines {
-            let (hit, evicted) = c.access(l);
-            if hit {
-                prop_assert!(shadow.contains(&l), "phantom hit on {l}");
+#[test]
+fn xy_route_length_equals_manhattan() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        (0u16..8, 0u16..8, 0u16..8, 0u16..8),
+        |(ax, ay, bx, by)| {
+            let m = Mesh::new(8, 8);
+            let a = TileCoord::new(ax, ay);
+            let b = TileCoord::new(bx, by);
+            let hops: Vec<_> = route_xy(&m, a, b).collect();
+            assert_eq!(hops.len() as u32, a.manhattan(b));
+            // Each step moves exactly one hop and ends at the destination.
+            if let Some((_, last)) = hops.last() {
+                assert_eq!(*last, b);
             }
-            shadow.insert(l);
-            if let Some(e) = evicted {
-                shadow.remove(&e);
+            let mut prev = a;
+            for (_, c) in hops {
+                assert_eq!(prev.manhattan(c), 1);
+                prev = c;
             }
-            prop_assert_eq!(c.resident(), shadow.len());
-            for s in &shadow {
-                prop_assert!(c.probe(*s), "shadow line {s} missing");
+        },
+    );
+}
+
+#[test]
+fn udn_latency_monotonic_in_distance() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        (0u16..6, 0u16..6, 0u16..6, 0u16..6),
+        |(ax, ay, bx, by)| {
+            // More hops never means lower wire latency (per device).
+            let d = Device::tile_gx8036();
+            let a = TileCoord::new(ax, ay);
+            let b = TileCoord::new(bx, by);
+            let h = d.grid.hops(a, b);
+            let lat = d.timings.udn.one_way_ps(h, 1);
+            let lat_further = d.timings.udn.one_way_ps(h + 1, 1);
+            assert!(lat_further > lat);
+        },
+    );
+}
+
+#[test]
+fn header_roundtrip() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        (0u16..1024, 0u16..1024, 0u8..4, pt::any::<u16>()),
+        |(dest, src, queue, tag)| {
+            let h = Header { dest, src, queue, tag };
+            assert_eq!(Header::decode(h.encode()), h);
+        },
+    );
+}
+
+#[test]
+fn packets_respect_wire_size() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        pt::vec(pt::any::<u64>(), 0..MAX_PAYLOAD_WORDS + 1),
+        |words| {
+            let p = Packet::new(Header { dest: 0, src: 0, queue: 0, tag: 0 }, words.clone());
+            assert_eq!(p.wire_words(), words.len() + 1);
+        },
+    );
+}
+
+#[test]
+fn cache_hit_iff_resident() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        pt::vec(0u64..64, 1..200),
+        |lines| {
+            use cachesim::cache::{CacheConfig, SetAssocCache};
+            use std::collections::HashSet;
+            let mut c = SetAssocCache::new(CacheConfig::new(1024, 64, 2));
+            // Shadow model: the cache may evict, so a hit implies shadow
+            // residency (no phantom hits), and resident() matches reality.
+            let mut shadow: HashSet<u64> = HashSet::new();
+            for l in lines {
+                let (hit, evicted) = c.access(l);
+                if hit {
+                    assert!(shadow.contains(&l), "phantom hit on {l}");
+                }
+                shadow.insert(l);
+                if let Some(e) = evicted {
+                    shadow.remove(&e);
+                }
+                assert_eq!(c.resident(), shadow.len());
+                for s in &shadow {
+                    assert!(c.probe(*s), "shadow line {s} missing");
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn sim_time_ordering_preserved(times in prop::collection::vec(0u64..1_000_000, 1..50)) {
-        use desim::{Sim, SimTime};
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let fired = Rc::new(RefCell::new(Vec::new()));
-        let mut sim = Sim::new();
-        for t in &times {
-            let fired = fired.clone();
-            let t = *t;
-            sim.schedule_at(SimTime::from_ps(t), move |_| fired.borrow_mut().push(t));
-        }
-        sim.run();
-        let f = fired.borrow();
-        let mut sorted = times.clone();
-        sorted.sort();
-        prop_assert_eq!(&*f, &sorted);
-    }
+#[test]
+fn sim_time_ordering_preserved() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        pt::vec(0u64..1_000_000, 1..50),
+        |times| {
+            use desim::{Sim, SimTime};
+            use std::cell::RefCell;
+            use std::rc::Rc;
+            let fired = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Sim::new();
+            for t in &times {
+                let fired = fired.clone();
+                let t = *t;
+                sim.schedule_at(SimTime::from_ps(t), move |_| fired.borrow_mut().push(t));
+            }
+            sim.run();
+            let f = fired.borrow();
+            let mut sorted = times.clone();
+            sorted.sort();
+            assert_eq!(&*f, &sorted);
+        },
+    );
+}
 
-    #[test]
-    fn resource_completions_monotone(reqs in prop::collection::vec((0u64..1000, 1u64..100), 1..40)) {
-        use desim::resource::Resource;
-        use desim::SimTime;
-        // Requests issued in nondecreasing time order complete in FIFO
-        // order with no idle gaps while backlogged.
-        let mut r = Resource::new();
-        let mut sorted = reqs.clone();
-        sorted.sort();
-        let mut last_done = SimTime::ZERO;
-        for (at, dur) in sorted {
-            let done = r.acquire(SimTime::from_ps(at), SimTime::from_ps(dur));
-            prop_assert!(done >= last_done + SimTime::from_ps(dur) || done == SimTime::from_ps(at + dur));
-            prop_assert!(done >= SimTime::from_ps(at + dur));
-            last_done = done;
-        }
-    }
+#[test]
+fn resource_completions_monotone() {
+    pt::check(
+        pt::Config::with_cases(CASES),
+        pt::vec((0u64..1000, 1u64..100), 1..40),
+        |reqs| {
+            use desim::resource::Resource;
+            use desim::SimTime;
+            // Requests issued in nondecreasing time order complete in FIFO
+            // order with no idle gaps while backlogged.
+            let mut r = Resource::new();
+            let mut sorted = reqs.clone();
+            sorted.sort();
+            let mut last_done = SimTime::ZERO;
+            for (at, dur) in sorted {
+                let done = r.acquire(SimTime::from_ps(at), SimTime::from_ps(dur));
+                assert!(
+                    done >= last_done + SimTime::from_ps(dur)
+                        || done == SimTime::from_ps(at + dur)
+                );
+                assert!(done >= SimTime::from_ps(at + dur));
+                last_done = done;
+            }
+        },
+    );
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Verify the workspace builds and tests hermetically — no network, no
+# external crates — and that no source file outside crates/bench imports
+# an external dependency.
+#
+# The seed of this repo failed to build offline because workspace crates
+# pulled parking_lot / crossbeam_channel / rand / proptest / criterion
+# from a registry that is empty in the build environment. Everything now
+# runs on the in-tree `substrate` crate; this script is the regression
+# gate for that property. Run it from the repo root:
+#
+#   tools/check_hermetic.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== hermetic build (offline, release) =="
+cargo build --release --offline
+
+echo "== hermetic tests (offline) =="
+cargo test -q --offline
+
+echo "== external-import scan (everything outside crates/bench) =="
+# crates/bench is excluded from the workspace and holds the only
+# permitted external dependency (criterion, behind --features
+# bench-external); every other source tree must be std + substrate only.
+pattern='use (parking_lot|crossbeam|rand|proptest|criterion)'
+scan_dirs=()
+for d in crates src tests examples; do
+    [ -d "$d" ] && scan_dirs+=("$d")
+done
+hits=$(grep -rnE "$pattern" "${scan_dirs[@]}" --include='*.rs' | grep -v '^crates/bench/' || true)
+if [ -n "$hits" ]; then
+    echo "FAIL: external dependency imports outside crates/bench:" >&2
+    echo "$hits" >&2
+    exit 1
+fi
+echo "OK: no external imports outside crates/bench"
+
+echo "hermetic check passed"
