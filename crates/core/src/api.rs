@@ -73,28 +73,32 @@ pub fn shmem_get<T: Bits>(ctx: &ShmemCtx, dest: &mut [T], source: &Sym<T>, pe: u
     ctx.get(dest, source, 0, pe)
 }
 
-/// `shmem_int_iput()`-style strided put.
+/// `shmem_int_iput()`-style strided put of `nelems` elements.
+#[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
 pub fn shmem_iput<T: Bits>(
     ctx: &ShmemCtx,
     target: &Sym<T>,
     source: &[T],
     tst: usize,
     sst: usize,
+    nelems: usize,
     pe: usize,
 ) {
-    ctx.iput(target, 0, tst, source, sst, pe)
+    ctx.iput(target, 0, tst, source, sst, nelems, pe)
 }
 
-/// `shmem_int_iget()`-style strided get.
+/// `shmem_int_iget()`-style strided get of `nelems` elements.
+#[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
 pub fn shmem_iget<T: Bits>(
     ctx: &ShmemCtx,
     dest: &mut [T],
     source: &Sym<T>,
     tst: usize,
     sst: usize,
+    nelems: usize,
     pe: usize,
 ) {
-    ctx.iget(dest, tst, source, 0, sst, pe)
+    ctx.iget(dest, tst, source, 0, sst, nelems, pe)
 }
 
 /// `shmem_barrier_all()`.

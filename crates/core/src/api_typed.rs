@@ -53,14 +53,16 @@ macro_rules! rma_family {
             ctx.get(dest, source, 0, pe)
         }
 
-        #[doc = concat!("`", stringify!($iput), "()`: strided put (target stride `tst`, source stride `sst`).")]
-        pub fn $iput(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], tst: usize, sst: usize, pe: usize) {
-            ctx.iput(target, 0, tst, source, sst, pe)
+        #[doc = concat!("`", stringify!($iput), "()`: strided put of `nelems` elements (target stride `tst`, source stride `sst`).")]
+        #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+        pub fn $iput(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], tst: usize, sst: usize, nelems: usize, pe: usize) {
+            ctx.iput(target, 0, tst, source, sst, nelems, pe)
         }
 
-        #[doc = concat!("`", stringify!($iget), "()`: strided get.")]
-        pub fn $iget(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, tst: usize, sst: usize, pe: usize) {
-            ctx.iget(dest, tst, source, 0, sst, pe)
+        #[doc = concat!("`", stringify!($iget), "()`: strided get of `nelems` elements.")]
+        #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+        pub fn $iget(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, tst: usize, sst: usize, nelems: usize, pe: usize) {
+            ctx.iget(dest, tst, source, 0, sst, nelems, pe)
         }
     };
 }
@@ -86,14 +88,16 @@ macro_rules! fixed_width_family {
             ctx.get(dest, source, 0, pe)
         }
 
-        #[doc = concat!("`", stringify!($iput), "()`: fixed-width strided put.")]
-        pub fn $iput(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], tst: usize, sst: usize, pe: usize) {
-            ctx.iput(target, 0, tst, source, sst, pe)
+        #[doc = concat!("`", stringify!($iput), "()`: fixed-width strided put of `nelems` elements.")]
+        #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+        pub fn $iput(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], tst: usize, sst: usize, nelems: usize, pe: usize) {
+            ctx.iput(target, 0, tst, source, sst, nelems, pe)
         }
 
-        #[doc = concat!("`", stringify!($iget), "()`: fixed-width strided get.")]
-        pub fn $iget(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, tst: usize, sst: usize, pe: usize) {
-            ctx.iget(dest, tst, source, 0, sst, pe)
+        #[doc = concat!("`", stringify!($iget), "()`: fixed-width strided get of `nelems` elements.")]
+        #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+        pub fn $iget(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, tst: usize, sst: usize, nelems: usize, pe: usize) {
+            ctx.iget(dest, tst, source, 0, sst, nelems, pe)
         }
     };
 }

@@ -11,7 +11,7 @@
 //! exactly the effect Figure 11 shows.
 
 use crate::active_set::ActiveSet;
-use crate::ctx::{ShmemCtx, SEQ_BCAST, SEQ_GATHER};
+use crate::ctx::{ShmemCtx, SEQ_BCAST, SEQ_COLLECT_OFF, SEQ_COLLECT_TOTAL, SEQ_GATHER};
 use crate::fabric::{ProtoMsg, Q_COLLECT};
 use crate::symm::{Bits, Sym};
 
@@ -19,6 +19,15 @@ use crate::symm::{Bits, Sym};
 pub const TAG_COLLECT_OFF: u16 = 20;
 /// Total-size distribution for variable-size collect.
 pub const TAG_COLLECT_TOTAL: u16 = 21;
+
+// `collect` messages carry `[set.ident(), pairwise_seq, value]`.
+// Filtering by ident alone is not collision-free: `ident()` packs
+// (start, stride, size), so back-to-back or concurrent collects on the
+// *same* set — or distinct sets on fabrics where stale messages linger in
+// a stash — could consume each other's OFF/TOTAL tokens. The per-pair,
+// per-namespace sequence number makes every (set, invocation, edge)
+// token unique, so a matcher only accepts the message addressed to this
+// exact invocation.
 
 impl ShmemCtx {
     /// `shmem_fcollect`: concatenate `nelems` elements from every set
@@ -55,27 +64,31 @@ impl ShmemCtx {
 
         // Exclusive scan of contribution sizes, passed linearly.
         let id = set.ident();
+        let me = self.my_pe();
         let my_off = if set.size == 1 {
             0
         } else if rank == 0 {
-            self.fab.udn_send(
-                set.pe_at(1),
-                Q_COLLECT,
-                TAG_COLLECT_OFF,
-                &[id, my_nelems as u64],
-            );
+            let next = set.pe_at(1);
+            let seq = self.next_seq(SEQ_COLLECT_OFF, me, next);
+            self.send_draining(next, Q_COLLECT, TAG_COLLECT_OFF, &[id, seq, my_nelems as u64]);
             0
         } else {
+            let prev = set.pe_at(rank - 1);
+            let seq = self.next_seq(SEQ_COLLECT_OFF, me, prev);
             let m = self.recv_matching(Q_COLLECT, |m: &ProtoMsg| {
-                m.tag == TAG_COLLECT_OFF && m.payload.first() == Some(&id)
+                m.tag == TAG_COLLECT_OFF
+                    && m.payload.first() == Some(&id)
+                    && m.payload.get(1) == Some(&seq)
             });
-            let off = m.payload[1] as usize;
+            let off = m.payload[2] as usize;
             if rank + 1 < set.size {
-                self.fab.udn_send(
-                    set.pe_at(rank + 1),
+                let next = set.pe_at(rank + 1);
+                let nseq = self.next_seq(SEQ_COLLECT_OFF, me, next);
+                self.send_draining(
+                    next,
                     Q_COLLECT,
                     TAG_COLLECT_OFF,
-                    &[id, (off + my_nelems) as u64],
+                    &[id, nseq, (off + my_nelems) as u64],
                 );
             }
             off
@@ -83,24 +96,30 @@ impl ShmemCtx {
 
         // Total: the last rank knows it; distribute through the root.
         let root_pe = set.pe_at(0);
+        let last = set.pe_at(set.size - 1);
         let total = if set.size == 1 {
             my_nelems
         } else if rank == set.size - 1 {
             let total = my_off + my_nelems;
             for r in 0..set.size - 1 {
-                self.fab.udn_send(
-                    set.pe_at(r),
+                let member = set.pe_at(r);
+                let seq = self.next_seq(SEQ_COLLECT_TOTAL, me, member);
+                self.send_draining(
+                    member,
                     Q_COLLECT,
                     TAG_COLLECT_TOTAL,
-                    &[id, total as u64],
+                    &[id, seq, total as u64],
                 );
             }
             total
         } else {
+            let seq = self.next_seq(SEQ_COLLECT_TOTAL, me, last);
             let m = self.recv_matching(Q_COLLECT, |m: &ProtoMsg| {
-                m.tag == TAG_COLLECT_TOTAL && m.payload.first() == Some(&id)
+                m.tag == TAG_COLLECT_TOTAL
+                    && m.payload.first() == Some(&id)
+                    && m.payload.get(1) == Some(&seq)
             });
-            m.payload[1] as usize
+            m.payload[2] as usize
         };
         assert!(total <= dest.len(), "collect dest too small for {total} elements");
         let _ = root_pe;

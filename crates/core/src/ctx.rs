@@ -139,6 +139,13 @@ pub struct Stats {
 pub(crate) const SEQ_BCAST: u8 = 0;
 pub(crate) const SEQ_GATHER: u8 = 1;
 pub(crate) const SEQ_PT2PT: u8 = 2;
+/// `collect`'s exclusive-scan (offset) exchange. Distinct from
+/// [`SEQ_COLLECT_TOTAL`]: on a 2-member set both exchanges involve the
+/// same unordered pair, and a shared counter would let a stale TOTAL
+/// message satisfy the next collect's OFF matcher.
+pub(crate) const SEQ_COLLECT_OFF: u8 = 3;
+/// `collect`'s total-size broadcast exchange.
+pub(crate) const SEQ_COLLECT_TOTAL: u8 = 4;
 
 /// The per-PE SHMEM context.
 pub struct ShmemCtx {
@@ -451,6 +458,20 @@ impl ShmemCtx {
         debug_assert!(pe < self.layout.npes, "PE {pe} out of range");
         debug_assert!(local <= self.layout.partition_bytes);
         pe * self.layout.partition_bytes + local
+    }
+
+    /// Mirror the stash's (tag, src) shape into this PE's probe so a
+    /// stall watchdog can dump which parked messages a wedged PE holds.
+    pub(crate) fn mirror_stash(&self) {
+        if let Some(p) = self.fab.probe() {
+            let shape = self
+                .stash
+                .borrow()
+                .iter()
+                .map(|m| (m.tag, m.src))
+                .collect();
+            p.set_stash(shape);
+        }
     }
 
     /// Next reply token for redirected transfers.

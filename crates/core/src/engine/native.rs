@@ -10,7 +10,8 @@ use tmc::barrier::SpinBarrier;
 use tmc::common::CommonMemory;
 use udn::fabric::UdnEndpoint;
 
-use crate::fabric::{Fabric, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+use crate::fabric::{BlockedOn, Fabric, PeProbe, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
 
 /// Shared, immutable state of one native launch.
 pub struct NativeShared {
@@ -25,6 +26,10 @@ pub struct NativeShared {
     /// Set when any PE panics, so PEs blocked in protocol waits abort
     /// instead of hanging the job (SHMEM jobs are all-or-nothing).
     pub aborted: AtomicBool,
+    /// Per-PE progress/blocked-state probes (watchdog introspection).
+    pub probes: Vec<Arc<PeProbe>>,
+    /// Wall-clock operation trace, when enabled.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 /// Per-PE native fabric. Cloning shares the same endpoint queues — the
@@ -34,24 +39,75 @@ pub struct NativeFabric {
     pub(crate) shared: Arc<NativeShared>,
     pub(crate) pe: usize,
     pub(crate) udn: UdnEndpoint,
+    /// Present only on the PE's main-thread fabric: the service clone
+    /// must not overwrite the main thread's blocked state.
+    probe: Option<Arc<PeProbe>>,
 }
 
 impl NativeFabric {
     pub fn new(shared: Arc<NativeShared>, pe: usize, udn: UdnEndpoint) -> Self {
-        Self { shared, pe, udn }
+        Self {
+            shared,
+            pe,
+            udn,
+            probe: None,
+        }
     }
 
-    /// A clone for the PE's interrupt-service thread.
+    /// A fabric for the PE's **main thread**, carrying the PE's probe so
+    /// blocking waits publish their state to the watchdog.
+    pub fn new_probed(shared: Arc<NativeShared>, pe: usize, udn: UdnEndpoint) -> Self {
+        let probe = Some(shared.probes[pe].clone());
+        Self {
+            shared,
+            pe,
+            udn,
+            probe,
+        }
+    }
+
+    /// A clone for the PE's interrupt-service thread (no probe: the
+    /// service thread's own waits are its idle state, not the PE's).
     pub fn service_clone(&self) -> NativeFabric {
         NativeFabric {
             shared: self.shared.clone(),
             pe: self.pe,
             udn: self.udn.clone(),
+            probe: None,
         }
     }
 
     fn private(&self) -> &CommonMemory {
         &self.shared.privates[self.pe]
+    }
+
+    /// Count one completed fabric operation toward the stall watchdog.
+    #[inline]
+    fn progress(&self) {
+        if let Some(p) = &self.probe {
+            p.bump();
+        }
+    }
+
+    fn set_blocked(&self, state: BlockedOn) {
+        if let Some(p) = &self.probe {
+            p.set_blocked(state);
+        }
+    }
+
+    /// Record an instantaneous wall-clock trace event.
+    fn trace(&self, kind: TraceKind, peer: usize, bytes: u64) {
+        if let Some(sink) = &self.shared.trace {
+            let now = desim::time::SimTime::from_ns(self.shared.start.elapsed().as_nanos() as u64);
+            sink.record(TraceEvent {
+                pe: self.pe,
+                kind,
+                start: now,
+                end: now,
+                peer,
+                bytes,
+            });
+        }
     }
 }
 
@@ -76,17 +132,27 @@ impl Fabric for NativeFabric {
         // Q_SERVICE is consumed by the destination's service thread; the
         // routing is by queue, so a plain send reaches it.
         self.udn.send(dest, queue, tag, payload.to_vec());
+        self.trace(TraceKind::UdnSend, dest, 8 * payload.len() as u64);
+        self.progress();
     }
 
     fn udn_try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
-        self.udn.try_send(dest, queue, tag, payload.to_vec())
+        let sent = self.udn.try_send(dest, queue, tag, payload.to_vec());
+        if sent {
+            self.trace(TraceKind::UdnSend, dest, 8 * payload.len() as u64);
+            self.progress();
+        }
+        sent
     }
 
     fn udn_recv(&self, queue: usize) -> ProtoMsg {
         // Poll with a coarse timeout so a peer's panic aborts us instead
         // of leaving this PE blocked forever mid-protocol.
+        self.set_blocked(BlockedOn::Recv { queue });
         loop {
             if let Some(p) = self.udn.recv_timeout(queue, std::time::Duration::from_millis(50)) {
+                self.set_blocked(BlockedOn::Running);
+                self.progress();
                 return ProtoMsg {
                     src: p.header.src as usize,
                     tag: p.header.tag,
@@ -100,23 +166,33 @@ impl Fabric for NativeFabric {
     }
 
     fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
-        self.udn.try_recv(queue).map(|p| ProtoMsg {
+        let got = self.udn.try_recv(queue).map(|p| ProtoMsg {
             src: p.header.src as usize,
             tag: p.header.tag,
             payload: p.payload,
-        })
+        });
+        if got.is_some() {
+            self.progress();
+        }
+        got
     }
 
     fn arena_copy(&self, dst: usize, src: usize, len: usize) {
         self.shared.arena.copy_within(dst, src, len);
+        self.trace(TraceKind::Copy, usize::MAX, len as u64);
+        self.progress();
     }
 
     fn arena_write(&self, dst: usize, src: &[u8]) {
         self.shared.arena.write_bytes(dst, src);
+        self.trace(TraceKind::Copy, usize::MAX, src.len() as u64);
+        self.progress();
     }
 
     fn arena_read(&self, src: usize, dst: &mut [u8]) {
         self.shared.arena.read_bytes(src, dst);
+        self.trace(TraceKind::Copy, usize::MAX, dst.len() as u64);
+        self.progress();
     }
 
     fn arena_read_u64(&self, off: usize) -> u64 {
@@ -132,6 +208,8 @@ impl Fabric for NativeFabric {
     }
 
     fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
+        self.trace(TraceKind::Atomic, usize::MAX, width.bytes() as u64);
+        self.progress();
         let arena = &self.shared.arena;
         match width {
             RmwWidth::W64 => {
@@ -160,6 +238,8 @@ impl Fabric for NativeFabric {
     }
 
     fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
+        self.trace(TraceKind::Atomic, usize::MAX, width.bytes() as u64);
+        self.progress();
         let arena = &self.shared.arena;
         match width {
             RmwWidth::W64 => {
@@ -187,18 +267,24 @@ impl Fabric for NativeFabric {
 
     fn private_write(&self, off: usize, src: &[u8]) {
         self.private().write_bytes(off, src);
+        self.progress();
     }
 
     fn private_read(&self, off: usize, dst: &mut [u8]) {
         self.private().read_bytes(off, dst);
+        self.progress();
     }
 
     fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize) {
         CommonMemory::copy_between(&self.shared.arena, arena_dst, self.private(), priv_src, len);
+        self.trace(TraceKind::Copy, usize::MAX, len as u64);
+        self.progress();
     }
 
     fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize) {
         CommonMemory::copy_between(self.private(), priv_dst, &self.shared.arena, arena_src, len);
+        self.trace(TraceKind::Copy, usize::MAX, len as u64);
+        self.progress();
     }
 
     fn arena_raw(&self, off: usize, len: usize) -> *mut u8 {
@@ -217,6 +303,11 @@ impl Fabric for NativeFabric {
                 .clone()
         };
         b.wait();
+        self.progress();
+    }
+
+    fn probe(&self) -> Option<&PeProbe> {
+        self.probe.as_deref()
     }
 
     fn quiet(&self) {

@@ -14,6 +14,10 @@
 //! Keeping a single protocol implementation is what makes the timed
 //! engine an honest model of the shipped library (`DESIGN.md` §6).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use substrate::sync::Mutex;
+
 /// UDN demux queue assignments (the hardware provides four).
 pub const Q_BARRIER: usize = 0;
 /// Collective control traffic (collect offset exchange, etc.).
@@ -49,6 +53,130 @@ pub enum RmwOp {
 pub enum RmwWidth {
     W32,
     W64,
+}
+
+impl RmwWidth {
+    /// Operand size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            RmwWidth::W32 => 4,
+            RmwWidth::W64 => 8,
+        }
+    }
+}
+
+/// What a PE's main thread is currently blocked on — the blocked-state
+/// introspection a stall watchdog reads to diagnose a wedged job.
+///
+/// States are advisory snapshots: a PE updates its own [`PeProbe`] just
+/// before entering a blocking wait and resets it to `Running` on exit,
+/// so a watchdog observing a stable non-`Running` state across its stall
+/// window knows *which* protocol wait each PE is parked in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Not in a blocking protocol wait.
+    Running,
+    /// Blocking receive on a demux queue.
+    Recv { queue: usize },
+    /// Retrying a send into a full destination queue.
+    SendFull { dest: usize, queue: usize },
+    /// Polling a completion-flag word (global arena byte offset).
+    FlagWait { offset: usize },
+    /// Spinning on a lock word (global arena byte offset).
+    LockWait { offset: usize },
+}
+
+impl BlockedOn {
+    /// Pack into one word for lock-free publication (tag in the top
+    /// byte, operands below — offsets fit easily in 48 bits here).
+    fn encode(self) -> u64 {
+        match self {
+            BlockedOn::Running => 0,
+            BlockedOn::Recv { queue } => (1 << 56) | queue as u64,
+            BlockedOn::SendFull { dest, queue } => {
+                (2 << 56) | ((dest as u64) << 8) | queue as u64
+            }
+            BlockedOn::FlagWait { offset } => (3 << 56) | offset as u64,
+            BlockedOn::LockWait { offset } => (4 << 56) | offset as u64,
+        }
+    }
+
+    fn decode(w: u64) -> Self {
+        let lo = w & ((1 << 56) - 1);
+        match w >> 56 {
+            1 => BlockedOn::Recv { queue: lo as usize },
+            2 => BlockedOn::SendFull {
+                dest: (lo >> 8) as usize,
+                queue: (lo & 0xff) as usize,
+            },
+            3 => BlockedOn::FlagWait { offset: lo as usize },
+            4 => BlockedOn::LockWait { offset: lo as usize },
+            _ => BlockedOn::Running,
+        }
+    }
+}
+
+impl std::fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockedOn::Running => write!(f, "running"),
+            BlockedOn::Recv { queue } => write!(f, "recv(q{queue})"),
+            BlockedOn::SendFull { dest, queue } => write!(f, "send->PE{dest}(q{queue}) [full]"),
+            BlockedOn::FlagWait { offset } => write!(f, "flag-wait@{offset:#x}"),
+            BlockedOn::LockWait { offset } => write!(f, "lock-wait@{offset:#x}"),
+        }
+    }
+}
+
+/// Per-PE progress/blocked-state probe, shared with a watchdog.
+///
+/// `ops` is a monotonic count of completed fabric operations; a stalled
+/// job shows a flat total across the watchdog's window. `blocked` and
+/// `stash` snapshot what the PE is waiting on and which out-of-order
+/// protocol messages it has parked.
+#[derive(Default)]
+pub struct PeProbe {
+    ops: AtomicU64,
+    blocked: AtomicU64,
+    /// `(tag, src)` of every stashed protocol message.
+    stash: Mutex<Vec<(u16, usize)>>,
+}
+
+impl PeProbe {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one completed fabric operation.
+    #[inline]
+    pub fn bump(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed-operation count.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Publish the current blocked state.
+    pub fn set_blocked(&self, state: BlockedOn) {
+        self.blocked.store(state.encode(), Ordering::Release);
+    }
+
+    /// Read the last published blocked state.
+    pub fn blocked(&self) -> BlockedOn {
+        BlockedOn::decode(self.blocked.load(Ordering::Acquire))
+    }
+
+    /// Replace the stash snapshot.
+    pub fn set_stash(&self, entries: Vec<(u16, usize)>) {
+        *self.stash.lock() = entries;
+    }
+
+    /// Read the stash snapshot.
+    pub fn stash(&self) -> Vec<(u16, usize)> {
+        self.stash.lock().clone()
+    }
 }
 
 /// Engine services available to every PE (and to its interrupt-service
@@ -181,11 +309,42 @@ pub trait Fabric: Send {
     /// Engine-native current time in nanoseconds (wall time natively,
     /// virtual time under the timed engine).
     fn now_ns(&self) -> f64;
+
+    // --- introspection --------------------------------------------------
+
+    /// This PE's progress/blocked-state probe, when the engine supports
+    /// watchdog introspection (the native engine's main-thread fabrics
+    /// do; service clones and the virtual-time engines do not).
+    fn probe(&self) -> Option<&PeProbe> {
+        None
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn blocked_state_roundtrips_through_the_probe() {
+        let states = [
+            BlockedOn::Running,
+            BlockedOn::Recv { queue: 3 },
+            BlockedOn::SendFull { dest: 35, queue: 1 },
+            BlockedOn::FlagWait { offset: 0x3f_fff8 },
+            BlockedOn::LockWait { offset: 8 },
+        ];
+        let probe = PeProbe::new();
+        for s in states {
+            probe.set_blocked(s);
+            assert_eq!(probe.blocked(), s);
+        }
+        assert_eq!(probe.ops(), 0);
+        probe.bump();
+        probe.bump();
+        assert_eq!(probe.ops(), 2);
+        probe.set_stash(vec![(13, 2), (20, 5)]);
+        assert_eq!(probe.stash(), vec![(13, 2), (20, 5)]);
+    }
 
     #[test]
     fn queue_assignments_are_distinct_and_in_hardware_range() {

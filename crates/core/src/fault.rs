@@ -1,0 +1,31 @@
+//! Runtime fault injection for watchdog validation.
+//!
+//! PR 1 fixed a real dissemination-barrier deadlock: a PE blocked in a
+//! plain full-queue send cannot drain its own demux queue, so a cycle of
+//! blocked senders hangs on finite-buffer fabrics. The stress harness's
+//! watchdog exists to catch exactly that bug class, and its detection
+//! power is proven by *reintroducing* the bug on demand: with
+//! [`set_blocking_protocol_sends`] enabled, `send_draining` degrades to
+//! the pre-fix plain blocking send.
+//!
+//! The switch is a process-wide atomic (protocol code has no test-only
+//! configuration channel, and a cargo feature would leak through
+//! workspace feature unification into every build). Tests that flip it
+//! must live in their own test binary so the process-global state cannot
+//! poison unrelated concurrently-running tests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static BLOCKING_PROTOCOL_SENDS: AtomicBool = AtomicBool::new(false);
+
+/// Degrade every `send_draining` to a plain blocking send (the PR-1
+/// barrier bug) while `on` is true. **Fault injection for watchdog
+/// tests only** — never enable in normal operation.
+pub fn set_blocking_protocol_sends(on: bool) {
+    BLOCKING_PROTOCOL_SENDS.store(on, Ordering::Release);
+}
+
+/// Whether protocol sends are currently degraded.
+pub fn blocking_protocol_sends() -> bool {
+    BLOCKING_PROTOCOL_SENDS.load(Ordering::Acquire)
+}

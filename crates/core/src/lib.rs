@@ -61,6 +61,7 @@ pub mod collectives;
 pub mod ctx;
 pub mod engine;
 pub mod fabric;
+pub mod fault;
 pub mod heap;
 pub mod rma;
 pub mod runtime;
@@ -69,10 +70,15 @@ pub mod symm;
 pub mod sync;
 pub mod trace;
 pub mod types;
+pub mod watch;
 
 pub use active_set::ActiveSet;
 pub use ctx::{Algorithms, BarrierAlgo, BroadcastAlgo, HomingHint, ReduceAlgo, ShmemCtx, Stats};
-pub use runtime::{launch, launch_multichip, launch_timed, start_pes, RuntimeConfig, TimedOutcome};
+pub use fabric::{BlockedOn, PeProbe};
+pub use runtime::{
+    launch, launch_multichip, launch_timed, launch_watched, start_pes, RuntimeConfig, TimedOutcome,
+};
+pub use watch::JobWatch;
 pub use symm::{AddrClass, Bits, Sym};
 pub use sync::pt2pt::Cmp;
 pub use types::{Complex32, Complex64, Reducible, ReduceOp};

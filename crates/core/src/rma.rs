@@ -16,7 +16,9 @@
 
 use crate::ctx::{byte_view, byte_view_mut, ShmemCtx};
 use crate::fabric::{Q_REPLY, Q_SERVICE};
-use crate::service::{encode_request, TAG_SDONE, TAG_SGET, TAG_SPUT};
+use crate::service::{
+    encode_request, encode_strided_request, TAG_SDONE, TAG_SGET, TAG_SGETS, TAG_SPUT, TAG_SPUTS,
+};
 use crate::symm::{AddrClass, Bits, Sym};
 
 impl ShmemCtx {
@@ -199,8 +201,19 @@ impl ShmemCtx {
 
     // --- strided (`shmem_T_iput` / `shmem_T_iget`) ----------------------
 
-    /// Strided put: element `i` of `src` goes to `target[tst*i + tidx]`
-    /// on PE `pe`.
+    /// Strided put: for `i` in `0..nelems`, `src[sst*i]` goes to
+    /// `target[tst*i + tidx]` on PE `pe` — the OpenSHMEM `iput` shape,
+    /// with the element count explicit on both sides (the count is never
+    /// derived from a buffer length, so iput and iget agree).
+    ///
+    /// Counted as **one** logical put of `nelems` elements. Static-class
+    /// targets are serviced in temp-buffer-sized batches: the strided
+    /// elements are gathered locally, staged contiguously in the shared
+    /// temp, and scattered by the remote service handler — one redirect
+    /// round-trip per `temp_bytes / size_of::<T>()` elements instead of
+    /// one per element.
+    // Mirrors the C `shmem_iput` signature.
+    #[allow(clippy::too_many_arguments)]
     pub fn iput<T: Bits>(
         &self,
         target: &Sym<T>,
@@ -208,15 +221,67 @@ impl ShmemCtx {
         tst: usize,
         src: &[T],
         sst: usize,
+        nelems: usize,
         pe: usize,
     ) {
+        self.check_pe(pe);
         assert!(tst >= 1 && sst >= 1, "strides must be >= 1");
-        for (i, chunk) in src.iter().step_by(sst).enumerate() {
-            self.p(target, tidx + i * tst, *chunk, pe);
+        if nelems == 0 {
+            return;
+        }
+        assert!(
+            (nelems - 1) * sst < src.len(),
+            "iput source too small: need element {} of {}",
+            (nelems - 1) * sst,
+            src.len()
+        );
+        assert!(
+            tidx + (nelems - 1) * tst < target.len(),
+            "iput target out of bounds"
+        );
+        let esize = std::mem::size_of::<T>();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.puts += 1;
+            s.put_bytes += (nelems * esize) as u64;
+        }
+        // Gather the strided source once; every downstream path wants it
+        // contiguous.
+        let gathered: Vec<T> = (0..nelems).map(|i| src[i * sst]).collect();
+        let me = self.my_pe();
+        match target.class() {
+            AddrClass::Dynamic if tst == 1 => {
+                self.fab
+                    .arena_write(self.go(pe, target.elem_offset(tidx)), byte_view(&gathered));
+            }
+            AddrClass::Dynamic => {
+                for (i, v) in gathered.iter().enumerate() {
+                    self.fab.arena_write(
+                        self.go(pe, target.elem_offset(tidx + i * tst)),
+                        byte_view(std::slice::from_ref(v)),
+                    );
+                }
+            }
+            AddrClass::Static if pe == me => {
+                for (i, v) in gathered.iter().enumerate() {
+                    self.fab.private_write(
+                        target.elem_offset(tidx + i * tst),
+                        byte_view(std::slice::from_ref(v)),
+                    );
+                }
+            }
+            AddrClass::Static => {
+                self.iput_static_via_temp(pe, target, tidx, tst, &gathered);
+            }
         }
     }
 
-    /// Strided get: `dst[i]` receives `source[sst*i + sidx]` from `pe`.
+    /// Strided get: for `i` in `0..nelems`, `dst[dst_stride*i]` receives
+    /// `source[sst*i + sidx]` from PE `pe`. Counted as **one** logical
+    /// get of `nelems` elements; static-class sources batch through the
+    /// temp buffer like [`ShmemCtx::iput`].
+    // Mirrors the C `shmem_iget` signature.
+    #[allow(clippy::too_many_arguments)]
     pub fn iget<T: Bits>(
         &self,
         dst: &mut [T],
@@ -224,12 +289,55 @@ impl ShmemCtx {
         source: &Sym<T>,
         sidx: usize,
         sst: usize,
+        nelems: usize,
         pe: usize,
     ) {
+        self.check_pe(pe);
         assert!(dst_stride >= 1 && sst >= 1, "strides must be >= 1");
-        let n = dst.len().div_ceil(dst_stride);
-        for i in 0..n {
-            dst[i * dst_stride] = self.g(source, sidx + i * sst, pe);
+        if nelems == 0 {
+            return;
+        }
+        assert!(
+            (nelems - 1) * dst_stride < dst.len(),
+            "iget destination too small: need element {} of {}",
+            (nelems - 1) * dst_stride,
+            dst.len()
+        );
+        assert!(
+            sidx + (nelems - 1) * sst < source.len(),
+            "iget source out of bounds"
+        );
+        let esize = std::mem::size_of::<T>();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.gets += 1;
+            s.get_bytes += (nelems * esize) as u64;
+        }
+        let me = self.my_pe();
+        match source.class() {
+            AddrClass::Dynamic => {
+                for i in 0..nelems {
+                    let mut tmp = [unsafe { std::mem::zeroed::<T>() }];
+                    self.fab.arena_read(
+                        self.go(pe, source.elem_offset(sidx + i * sst)),
+                        byte_view_mut(&mut tmp),
+                    );
+                    dst[i * dst_stride] = tmp[0];
+                }
+            }
+            AddrClass::Static if pe == me => {
+                for i in 0..nelems {
+                    let mut tmp = [unsafe { std::mem::zeroed::<T>() }];
+                    self.fab.private_read(
+                        source.elem_offset(sidx + i * sst),
+                        byte_view_mut(&mut tmp),
+                    );
+                    dst[i * dst_stride] = tmp[0];
+                }
+            }
+            AddrClass::Static => {
+                self.iget_static_via_temp(dst, dst_stride, source, sidx, sst, nelems, pe);
+            }
         }
     }
 
@@ -265,6 +373,103 @@ impl ShmemCtx {
         let reply = self.fab.udn_recv(Q_REPLY);
         assert_eq!(reply.tag, TAG_SDONE, "unexpected reply tag {}", reply.tag);
         assert_eq!(reply.payload[0], token, "reply token mismatch");
+    }
+
+    /// Send a **strided** service request (one interrupt covers a whole
+    /// temp-staged batch) and await its completion reply.
+    #[allow(clippy::too_many_arguments)]
+    fn redirect_strided(
+        &self,
+        pe: usize,
+        tag: u16,
+        priv_base: usize,
+        stride_bytes: usize,
+        esize: usize,
+        count: usize,
+        arena_global: usize,
+    ) {
+        self.stats.borrow_mut().redirected += 1;
+        let token = self.next_token();
+        self.fab.quiet(); // our arena-side data must be visible first
+        self.fab.udn_send(
+            pe,
+            Q_SERVICE,
+            tag,
+            &encode_strided_request(priv_base, stride_bytes, esize, count, arena_global, token),
+        );
+        let reply = self.fab.udn_recv(Q_REPLY);
+        assert_eq!(reply.tag, TAG_SDONE, "unexpected reply tag {}", reply.tag);
+        assert_eq!(reply.payload[0], token, "reply token mismatch");
+    }
+
+    /// Strided put to a remote static target: stage gathered elements in
+    /// the shared temp, then let the remote scatter each batch.
+    fn iput_static_via_temp<T: Bits>(
+        &self,
+        pe: usize,
+        target: &Sym<T>,
+        tidx: usize,
+        tst: usize,
+        gathered: &[T],
+    ) {
+        let me = self.my_pe();
+        let esize = std::mem::size_of::<T>();
+        let temp = self.go(me, self.layout.temp_off);
+        let batch = (self.layout.temp_bytes / esize).max(1);
+        let mut done = 0;
+        while done < gathered.len() {
+            let n = (gathered.len() - done).min(batch);
+            self.fab
+                .arena_write(temp, byte_view(&gathered[done..done + n]));
+            self.redirect_strided(
+                pe,
+                TAG_SPUTS,
+                target.elem_offset(tidx + done * tst),
+                tst * esize,
+                esize,
+                n,
+                temp,
+            );
+            done += n;
+        }
+    }
+
+    /// Strided get from a remote static source: the remote gathers each
+    /// batch into our shared temp, which we scatter into `dst`.
+    #[allow(clippy::too_many_arguments)]
+    fn iget_static_via_temp<T: Bits>(
+        &self,
+        dst: &mut [T],
+        dst_stride: usize,
+        source: &Sym<T>,
+        sidx: usize,
+        sst: usize,
+        nelems: usize,
+        pe: usize,
+    ) {
+        let me = self.my_pe();
+        let esize = std::mem::size_of::<T>();
+        let temp = self.go(me, self.layout.temp_off);
+        let batch = (self.layout.temp_bytes / esize).max(1);
+        let mut staged = vec![unsafe { std::mem::zeroed::<T>() }; batch.min(nelems)];
+        let mut done = 0;
+        while done < nelems {
+            let n = (nelems - done).min(batch);
+            self.redirect_strided(
+                pe,
+                TAG_SGETS,
+                source.elem_offset(sidx + done * sst),
+                sst * esize,
+                esize,
+                n,
+                temp,
+            );
+            self.fab.arena_read(temp, byte_view_mut(&mut staged[..n]));
+            for i in 0..n {
+                dst[(done + i) * dst_stride] = staged[i];
+            }
+            done += n;
+        }
     }
 
     /// put with static target, arbitrary local bytes: chunk through the

@@ -21,7 +21,9 @@ use udn::fabric::UdnFabric;
 use crate::ctx::{Algorithms, Layout, ShmemCtx};
 use crate::engine::native::{NativeFabric, NativeShared};
 use crate::engine::timed::{TimedFabric, TimedShared};
+use crate::fabric::PeProbe;
 use crate::service::service_loop;
+use crate::watch::JobWatch;
 
 /// Configuration of one SHMEM job.
 #[derive(Clone, Copy, Debug)]
@@ -141,12 +143,35 @@ where
     R: Send,
     F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
+    launch_inner(cfg, None, f)
+}
+
+/// Like [`launch`], but attaches a [`JobWatch`] before any PE starts, so
+/// an external watchdog thread can observe per-PE progress counters,
+/// blocked states, and queue occupancy while the job runs — and abort it
+/// if it stalls. The native engine records trace events into the watch's
+/// sink (for "last event per PE" stall dumps) even when `cfg.trace` is
+/// off.
+pub fn launch_watched<R, F>(cfg: &RuntimeConfig, watch: &JobWatch, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
+{
+    launch_inner(cfg, Some(watch), f)
+}
+
+fn launch_inner<R, F>(cfg: &RuntimeConfig, watch: Option<&JobWatch>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
+{
     cfg.validate();
     let layout = cfg.layout();
     let endpoints = match cfg.udn_queue_packets {
         Some(p) => UdnFabric::new_bounded(cfg.npes, p),
         None => UdnFabric::new(cfg.npes),
     };
+    let sink = (cfg.trace || watch.is_some()).then(|| Arc::new(crate::trace::TraceSink::new()));
     let shared = Arc::new(NativeShared {
         arena: CommonMemory::new(cfg.npes * cfg.partition_bytes, Homing::HashForHome),
         privates: (0..cfg.npes)
@@ -158,7 +183,12 @@ where
         start: Instant::now(),
         spin_barriers: Mutex::new(std::collections::HashMap::new()),
         aborted: std::sync::atomic::AtomicBool::new(false),
+        probes: (0..cfg.npes).map(|_| Arc::new(PeProbe::new())).collect(),
+        trace: sink,
     });
+    if let Some(w) = watch {
+        w.attach(shared.clone(), endpoints.clone());
+    }
 
     // Interrupt-service contexts: one thread per PE, consuming only
     // Q_SERVICE of that PE's endpoint.
@@ -173,7 +203,7 @@ where
         .collect();
 
     let results = tmc::task::run_on_tiles(cfg.npes, |pe| {
-        let fab = NativeFabric::new(shared.clone(), pe, endpoints[pe].clone());
+        let fab = NativeFabric::new_probed(shared.clone(), pe, endpoints[pe].clone());
         let ctx = ShmemCtx::new(Box::new(fab), layout, cfg.algos, cfg.private_bytes);
         // If any PE panics, flag the job so peers blocked in protocol
         // waits abort instead of hanging (SHMEM jobs are all-or-nothing),

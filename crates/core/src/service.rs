@@ -22,6 +22,13 @@ pub const TAG_SPUT: u16 = 1;
 pub const TAG_SGET: u16 = 2;
 /// Completion replies on `Q_REPLY`.
 pub const TAG_SDONE: u16 = 3;
+/// Strided put service: scatter a contiguous arena staging run into
+/// YOUR private segment with a byte stride — one interrupt per staged
+/// chunk instead of one per element.
+pub const TAG_SPUTS: u16 = 4;
+/// Strided get service: gather from YOUR private segment (byte stride)
+/// into a contiguous arena staging run.
+pub const TAG_SGETS: u16 = 5;
 /// Orderly teardown (see `shmem_finalize`).
 pub const TAG_SHUTDOWN: u16 = 0xFFFE;
 
@@ -46,6 +53,32 @@ pub fn service_loop(fab: &dyn Fabric) {
                 fab.quiet();
                 fab.udn_send(msg.src, Q_REPLY, TAG_SDONE, &[token as u64]);
             }
+            TAG_SPUTS => {
+                // payload: [priv_base, stride_bytes, esize, count, arena_src(global), token]
+                let [priv_base, stride, esize, count, arena_src, token] = decode6(&msg.payload);
+                if stride == esize {
+                    fab.arena_to_private(priv_base, arena_src, count * esize);
+                } else {
+                    for i in 0..count {
+                        fab.arena_to_private(priv_base + i * stride, arena_src + i * esize, esize);
+                    }
+                }
+                fab.quiet();
+                fab.udn_send(msg.src, Q_REPLY, TAG_SDONE, &[token as u64]);
+            }
+            TAG_SGETS => {
+                // payload: [priv_base, stride_bytes, esize, count, arena_dst(global), token]
+                let [priv_base, stride, esize, count, arena_dst, token] = decode6(&msg.payload);
+                if stride == esize {
+                    fab.private_to_arena(arena_dst, priv_base, count * esize);
+                } else {
+                    for i in 0..count {
+                        fab.private_to_arena(arena_dst + i * esize, priv_base + i * stride, esize);
+                    }
+                }
+                fab.quiet();
+                fab.udn_send(msg.src, Q_REPLY, TAG_SDONE, &[token as u64]);
+            }
             TAG_SHUTDOWN => return,
             other => panic!("service context of PE {} got unknown tag {other}", fab.pe()),
         }
@@ -62,7 +95,31 @@ fn decode4(payload: &[u64]) -> [usize; 4] {
     ]
 }
 
+fn decode6(payload: &[u64]) -> [usize; 6] {
+    assert_eq!(payload.len(), 6, "malformed strided service request");
+    std::array::from_fn(|i| payload[i] as usize)
+}
+
 /// Encode a service request payload.
 pub fn encode_request(a: usize, b: usize, len: usize, token: u64) -> [u64; 4] {
     [a as u64, b as u64, len as u64, token]
+}
+
+/// Encode a strided service request payload.
+pub fn encode_strided_request(
+    priv_base: usize,
+    stride_bytes: usize,
+    esize: usize,
+    count: usize,
+    arena_global: usize,
+    token: u64,
+) -> [u64; 6] {
+    [
+        priv_base as u64,
+        stride_bytes as u64,
+        esize as u64,
+        count as u64,
+        arena_global as u64,
+        token,
+    ]
 }

@@ -10,7 +10,7 @@
 
 use crate::active_set::ActiveSet;
 use crate::ctx::{BarrierAlgo, ShmemCtx};
-use crate::fabric::{ProtoMsg, Q_BARRIER};
+use crate::fabric::{BlockedOn, ProtoMsg, Q_BARRIER};
 
 /// Ring token carrying a *wait* signal.
 pub const TAG_BAR_WAIT: u16 = 10;
@@ -147,13 +147,40 @@ impl ShmemCtx {
     /// the software analog of Tilera's UDN interrupt handler running
     /// while a send spins on wormhole flow control.
     pub(crate) fn send_draining(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
+        if crate::fault::blocking_protocol_sends() {
+            // Fault injection (watchdog canary): the pre-fix plain
+            // blocking send, which reintroduces the deadlock above.
+            if let Some(p) = self.fab.probe() {
+                p.set_blocked(BlockedOn::SendFull { dest, queue });
+            }
+            self.fab.udn_send(dest, queue, tag, payload);
+            if let Some(p) = self.fab.probe() {
+                p.set_blocked(BlockedOn::Running);
+            }
+            return;
+        }
         let mut attempt = 0u32;
+        let mut published = false;
         while !self.fab.udn_try_send(dest, queue, tag, payload) {
+            if !published {
+                // First refusal: publish where we're wedged so a stall
+                // watchdog can name the full destination queue.
+                if let Some(p) = self.fab.probe() {
+                    p.set_blocked(BlockedOn::SendFull { dest, queue });
+                }
+                published = true;
+            }
             if let Some(m) = self.fab.udn_try_recv(queue) {
                 self.stash.borrow_mut().push(m);
+                self.mirror_stash();
             } else {
                 self.fab.wait_pause(attempt);
                 attempt = attempt.wrapping_add(1);
+            }
+        }
+        if published {
+            if let Some(p) = self.fab.probe() {
+                p.set_blocked(BlockedOn::Running);
             }
         }
     }
@@ -164,7 +191,10 @@ impl ShmemCtx {
         {
             let mut stash = self.stash.borrow_mut();
             if let Some(i) = stash.iter().position(&pred) {
-                return stash.swap_remove(i);
+                let m = stash.swap_remove(i);
+                drop(stash);
+                self.mirror_stash();
+                return m;
             }
         }
         loop {
@@ -173,6 +203,7 @@ impl ShmemCtx {
                 return msg;
             }
             self.stash.borrow_mut().push(msg);
+            self.mirror_stash();
         }
     }
 }

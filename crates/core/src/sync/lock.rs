@@ -27,14 +27,16 @@ impl ShmemCtx {
     pub fn set_lock(&self, lock: &Sym<i64>) {
         let off = self.lock_off(lock);
         let me = self.my_pe() as u64 + 1;
-        let mut attempt = 0u32;
-        loop {
-            if self.fab.arena_cswap(off, 0, me, RmwWidth::W64) == 0 {
-                return;
+        self.blocked_while(crate::fabric::BlockedOn::LockWait { offset: off }, || {
+            let mut attempt = 0u32;
+            loop {
+                if self.fab.arena_cswap(off, 0, me, RmwWidth::W64) == 0 {
+                    return;
+                }
+                self.fab.wait_pause(attempt);
+                attempt += 1;
             }
-            self.fab.wait_pause(attempt);
-            attempt += 1;
-        }
+        });
     }
 
     /// `shmem_test_lock`: one acquisition attempt; `true` if acquired.

@@ -67,11 +67,13 @@ impl ShmemCtx {
         );
         let off = self.go(self.my_pe(), var.elem_offset(index));
         assert_eq!(off % std::mem::size_of::<T>(), 0, "unaligned wait variable");
-        let mut attempt = 0u32;
-        while !cmp.holds(T::load(self, off), value) {
-            self.fab.wait_pause(attempt);
-            attempt += 1;
-        }
+        self.blocked_while(crate::fabric::BlockedOn::FlagWait { offset: off }, || {
+            let mut attempt = 0u32;
+            while !cmp.holds(T::load(self, off), value) {
+                self.fab.wait_pause(attempt);
+                attempt += 1;
+            }
+        });
     }
 
     /// `shmem_wait`: block until `var[index]` is no longer `value`.
@@ -91,10 +93,26 @@ impl ShmemCtx {
     /// Wait until our local flag `slot` of `flags_base` reaches `val`.
     pub(crate) fn flag_wait_ge(&self, flags_base: usize, slot: usize, val: u64) {
         let off = self.go(self.my_pe(), flags_base + slot * 8);
-        let mut attempt = 0u32;
-        while self.fab.arena_read_u64(off) < val {
-            self.fab.wait_pause(attempt);
-            attempt += 1;
+        self.blocked_while(crate::fabric::BlockedOn::FlagWait { offset: off }, || {
+            let mut attempt = 0u32;
+            while self.fab.arena_read_u64(off) < val {
+                self.fab.wait_pause(attempt);
+                attempt += 1;
+            }
+        });
+    }
+
+    /// Run `f` with this PE's probe (if any) publishing `state`, resetting
+    /// to `Running` afterwards — the watchdog sees *where* a spin wait is
+    /// parked.
+    pub(crate) fn blocked_while<R>(&self, state: crate::fabric::BlockedOn, f: impl FnOnce() -> R) -> R {
+        if let Some(p) = self.fab.probe() {
+            p.set_blocked(state);
+            let r = f();
+            p.set_blocked(crate::fabric::BlockedOn::Running);
+            r
+        } else {
+            f()
         }
     }
 }

@@ -79,6 +79,21 @@ impl TraceSink {
     pub fn is_empty(&self) -> bool {
         self.events.lock().is_empty()
     }
+
+    /// Last recorded event per PE, **without draining** — insertion
+    /// order, not start time, defines "last", so on the native engine
+    /// (where clocks are wall time and records race) this is each PE's
+    /// most recently appended event. PEs ≥ `npes` are ignored here: the
+    /// caller asked for a fixed-width dump.
+    pub fn last_per_pe(&self, npes: usize) -> Vec<Option<TraceEvent>> {
+        let mut out = vec![None; npes];
+        for e in self.events.lock().iter() {
+            if e.pe < npes {
+                out[e.pe] = Some(*e);
+            }
+        }
+        out
+    }
 }
 
 /// Render a timeline as TSV (`start_ns  end_ns  pe  kind  peer  bytes`).
@@ -104,13 +119,25 @@ pub fn to_tsv(events: &[TraceEvent]) -> String {
 }
 
 /// Per-PE busy-time summary by kind, in ns.
+///
+/// The result covers every PE present in `events` even when one exceeds
+/// the caller's `npes` (the caller's count being stale must not silently
+/// drop busy time); a debug build flags the inconsistency loudly.
 pub fn summarize(events: &[TraceEvent], npes: usize) -> Vec<std::collections::HashMap<&'static str, f64>> {
-    let mut out = vec![std::collections::HashMap::new(); npes];
+    let width = events
+        .iter()
+        .map(|e| e.pe + 1)
+        .fold(npes, usize::max);
+    debug_assert_eq!(
+        width, npes,
+        "summarize: events mention PE {} but caller claimed {} PEs",
+        width - 1,
+        npes
+    );
+    let mut out = vec![std::collections::HashMap::new(); width];
     for e in events {
-        if e.pe < npes {
-            *out[e.pe].entry(e.kind.name()).or_insert(0.0) +=
-                e.end.ns_f64() - e.start.ns_f64();
-        }
+        *out[e.pe].entry(e.kind.name()).or_insert(0.0) +=
+            e.end.ns_f64() - e.start.ns_f64();
     }
     out
 }
@@ -161,5 +188,29 @@ mod tests {
         assert_eq!(s[0]["copy"], 40.0);
         assert_eq!(s[1]["compute"], 100.0);
         assert!(!s[0].contains_key("compute"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "events mention PE 5"))]
+    fn summary_never_silently_drops_out_of_range_pes() {
+        let events = vec![ev(5, TraceKind::Copy, 0, 10)];
+        // Debug builds flag the stale PE count loudly; release builds
+        // widen the output instead of dropping the event.
+        let s = summarize(&events, 2);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[5]["copy"], 10.0);
+    }
+
+    #[test]
+    fn last_per_pe_keeps_insertion_order_per_pe() {
+        let sink = TraceSink::new();
+        sink.record(ev(0, TraceKind::Copy, 10, 20));
+        sink.record(ev(1, TraceKind::Compute, 0, 5));
+        sink.record(ev(0, TraceKind::Atomic, 3, 4)); // earlier start, later insert
+        let last = sink.last_per_pe(3);
+        assert_eq!(last[0].unwrap().kind, TraceKind::Atomic);
+        assert_eq!(last[1].unwrap().kind, TraceKind::Compute);
+        assert!(last[2].is_none());
+        assert_eq!(sink.len(), 3, "last_per_pe must not drain");
     }
 }

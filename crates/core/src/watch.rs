@@ -1,0 +1,134 @@
+//! Job-level watchdog hooks for the native engine.
+//!
+//! A [`JobWatch`] is handed to [`crate::runtime::launch_watched`] and is
+//! populated with the launch's shared state before any PE starts. An
+//! external watchdog thread can then poll [`JobWatch::total_ops`] for
+//! forward progress and, when the count stops moving, call
+//! [`JobWatch::diagnose`] to capture what every PE was doing — which
+//! protocol wait it is parked in, how full its demux queues are, what
+//! its stash holds, and the last trace event it recorded — before
+//! calling [`JobWatch::abort`] to tear the job down.
+//!
+//! All reads are racy snapshots by design: the watchdog fires only after
+//! a multi-second stall window, at which point the states are stable.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use substrate::sync::Mutex;
+use udn::fabric::UdnEndpoint;
+use udn::NUM_QUEUES;
+
+use crate::engine::native::NativeShared;
+use crate::trace::TraceEvent;
+
+struct Watched {
+    shared: Arc<NativeShared>,
+    endpoints: Vec<UdnEndpoint>,
+}
+
+/// Observation handle over one native launch (see module docs).
+///
+/// Create it empty, pass it to `launch_watched`, and poll from another
+/// thread; before attachment every accessor reports "no progress yet".
+#[derive(Default)]
+pub struct JobWatch {
+    inner: Mutex<Option<Watched>>,
+}
+
+impl JobWatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn attach(&self, shared: Arc<NativeShared>, endpoints: Vec<UdnEndpoint>) {
+        *self.inner.lock() = Some(Watched { shared, endpoints });
+    }
+
+    /// Whether a launch has attached itself yet.
+    pub fn attached(&self) -> bool {
+        self.inner.lock().is_some()
+    }
+
+    /// Sum of completed fabric operations across all PEs — the
+    /// watchdog's forward-progress signal. Monotone while the job runs.
+    pub fn total_ops(&self) -> u64 {
+        match self.inner.lock().as_ref() {
+            Some(w) => w.shared.probes.iter().map(|p| p.ops()).sum(),
+            None => 0,
+        }
+    }
+
+    /// Flag the job aborted: every PE parked in a protocol wait panics
+    /// at its next abort check instead of hanging forever.
+    pub fn abort(&self) {
+        if let Some(w) = self.inner.lock().as_ref() {
+            w.shared.aborted.store(true, Ordering::Release);
+        }
+    }
+
+    /// Last recorded trace event per PE (`None` where a PE recorded
+    /// nothing), for the stall dump.
+    pub fn last_events(&self) -> Vec<Option<TraceEvent>> {
+        match self.inner.lock().as_ref() {
+            Some(w) => match &w.shared.trace {
+                Some(sink) => sink.last_per_pe(w.shared.npes),
+                None => vec![None; w.shared.npes],
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Render a per-PE stall diagnosis: blocked state, progress count,
+    /// demux queue occupancy, stash contents, and last trace event.
+    pub fn diagnose(&self) -> String {
+        use std::fmt::Write as _;
+        let guard = self.inner.lock();
+        let Some(w) = guard.as_ref() else {
+            return "watchdog: job not attached yet".to_string();
+        };
+        let last = match &w.shared.trace {
+            Some(sink) => sink.last_per_pe(w.shared.npes),
+            None => vec![None; w.shared.npes],
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "per-PE stall diagnosis ({} PEs):", w.shared.npes);
+        for (pe, last_ev) in last.iter().enumerate() {
+            let probe = &w.shared.probes[pe];
+            let occ: Vec<usize> = (0..NUM_QUEUES)
+                .map(|q| w.endpoints[pe].queue_len(q))
+                .collect();
+            let _ = write!(
+                out,
+                "  PE {pe}: {} | ops={} | queue occupancy {:?}",
+                probe.blocked(),
+                probe.ops(),
+                occ
+            );
+            let stash = probe.stash();
+            if stash.is_empty() {
+                let _ = write!(out, " | stash empty");
+            } else {
+                let _ = write!(out, " | stash ");
+                for (i, (tag, src)) in stash.iter().enumerate() {
+                    let sep = if i == 0 { "" } else { ", " };
+                    let _ = write!(out, "{sep}(tag {tag:#x} from PE {src})");
+                }
+            }
+            match last_ev {
+                Some(e) => {
+                    let _ = writeln!(
+                        out,
+                        " | last event {} @{:.0}ns",
+                        e.kind.name(),
+                        e.start.ns_f64()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, " | no events recorded");
+                }
+            }
+        }
+        out
+    }
+}

@@ -74,7 +74,7 @@ fn strided_iput_iget() {
         ctx.barrier_all();
         if ctx.my_pe() == 0 {
             // Write 1,2,3,4 to indices 0,3,6,9 on PE 1.
-            ctx.iput(&v, 0, 3, &[1, 2, 3, 4], 1, 1);
+            ctx.iput(&v, 0, 3, &[1, 2, 3, 4], 1, 4, 1);
             ctx.quiet();
         }
         ctx.barrier_all();
@@ -89,7 +89,7 @@ fn strided_iput_iget() {
         ctx.barrier_all();
         if ctx.my_pe() == 0 {
             let mut out = [0u32; 4];
-            ctx.iget(&mut out, 1, &v, 0, 3, 1);
+            ctx.iget(&mut out, 1, &v, 0, 3, 4, 1);
             assert_eq!(out, [1, 2, 3, 4]);
         }
     });
@@ -241,6 +241,107 @@ fn stats_count_operations() {
         assert_eq!(st.gets, 1);
         assert_eq!(st.put_bytes, 8);
         assert!(st.barriers >= 2); // shmalloc + explicit
+    });
+}
+
+#[test]
+fn strided_ops_count_once_and_share_nelems_convention() {
+    // Pins the iput/iget contract: `nelems` is the number of *logical*
+    // elements transferred (shared by both sides; extra source capacity
+    // beyond `(nelems-1)*stride` is ignored), and each strided call is
+    // exactly one logical put/get in the stats regardless of element
+    // count or stride.
+    launch(&cfg(2), |ctx| {
+        let me = ctx.my_pe();
+        let v = ctx.shmalloc::<u64>(32);
+        ctx.local_fill(&v, 0u64);
+        ctx.barrier_all();
+        if me == 0 {
+            let before = ctx.stats();
+            // Source has 16 elements but nelems=5 with sst=2 only reads
+            // indices 0,2,4,6,8 of it.
+            let src: Vec<u64> = (0..16).map(|i| 100 + i as u64).collect();
+            ctx.iput(&v, 1, 3, &src, 2, 5, 1);
+            ctx.quiet();
+            let after = ctx.stats();
+            assert_eq!(after.puts - before.puts, 1, "one logical put");
+            assert_eq!(after.put_bytes - before.put_bytes, 5 * 8, "nelems bytes");
+        }
+        ctx.barrier_all();
+        if me == 1 {
+            let all = ctx.local_read(&v, 0, 32);
+            for (k, want) in [(1, 100), (4, 102), (7, 104), (10, 106), (13, 108)] {
+                assert_eq!(all[k], want, "target index {k}");
+            }
+            assert_eq!(all[0], 0);
+            assert_eq!(all[2], 0);
+            assert_eq!(all[16], 0, "nothing past nelems elements");
+        }
+        ctx.barrier_all();
+        if me == 0 {
+            let before = ctx.stats();
+            // Destination has room for 16, but nelems=5 with
+            // dst_stride=2 only writes indices 0,2,4,6,8.
+            let mut out = [u64::MAX; 16];
+            ctx.iget(&mut out, 2, &v, 1, 3, 5, 1);
+            let after = ctx.stats();
+            assert_eq!(after.gets - before.gets, 1, "one logical get");
+            assert_eq!(after.get_bytes - before.get_bytes, 5 * 8);
+            assert_eq!(out[0], 100);
+            assert_eq!(out[8], 108);
+            assert_eq!(out[1], u64::MAX, "stride gaps untouched");
+            assert_eq!(out[10], u64::MAX, "nothing past nelems elements");
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn strided_static_transfers_batch_through_temp() {
+    // The acceptance check for the iput batching fix: a strided put to a
+    // remote *static* target must stage whole temp-sized batches per
+    // service interrupt, not one redirect per element. With a 512-byte
+    // temp, a 256-element u64 transfer fits 64 elements per batch, so
+    // exactly 4 redirects (it was 256 before the fix).
+    let small_temp = RuntimeConfig::new(2)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 18)
+        .with_temp_bytes(512);
+    launch(&small_temp, |ctx| {
+        let me = ctx.my_pe();
+        let n = 256usize;
+        let statv = ctx.static_sym::<u64>(2 * n);
+        ctx.local_fill(&statv, 0u64);
+        ctx.barrier_all();
+        if me == 0 {
+            let src: Vec<u64> = (0..n as u64).map(|i| 0xABC0_0000 + i).collect();
+            let before = ctx.stats();
+            ctx.iput(&statv, 0, 2, &src, 1, n, 1);
+            ctx.quiet();
+            let after = ctx.stats();
+            assert_eq!(after.puts - before.puts, 1);
+            assert_eq!(after.redirected - before.redirected, 4, "4 temp batches, not 256");
+        }
+        ctx.barrier_all();
+        if me == 1 {
+            let all = ctx.local_read(&statv, 0, 2 * n);
+            for i in 0..n {
+                assert_eq!(all[2 * i], 0xABC0_0000 + i as u64, "element {i}");
+                assert_eq!(all[2 * i + 1], 0, "stride gap {i}");
+            }
+        }
+        ctx.barrier_all();
+        if me == 0 {
+            let before = ctx.stats();
+            let mut out = vec![0u64; n];
+            ctx.iget(&mut out, 1, &statv, 0, 2, n, 1);
+            let after = ctx.stats();
+            assert_eq!(after.gets - before.gets, 1);
+            assert_eq!(after.redirected - before.redirected, 4, "iget batches too");
+            assert_eq!(out[0], 0xABC0_0000);
+            assert_eq!(out[n - 1], 0xABC0_0000 + n as u64 - 1);
+        }
+        ctx.barrier_all();
     });
 }
 

@@ -1,0 +1,88 @@
+//! Recursive-doubling reduce on non-power-of-two sets with the temp
+//! buffer sized so every fold crosses multiple chunk handshakes.
+//!
+//! With `temp_bytes = 512` and 6 PEs, each sender's per-PE temp slot is
+//! `(512 / 6) & !7 = 80` bytes — 10 u64s — so a 64-element reduce takes
+//! 7 data/ack round trips per fold. A set size of 6 exercises all three
+//! legs of the non-power-of-two path: excess ranks folding into the
+//! power-of-two core, the pairwise exchange rounds, and the result
+//! push-back to the excess ranks.
+
+use tshmem::prelude::*;
+
+const NREDUCE: usize = 64;
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(1 << 20)
+        .with_temp_bytes(512)
+        .with_algos(Algorithms { reduce: ReduceAlgo::RecursiveDoubling, ..Default::default() })
+}
+
+fn src_val(pe: usize, i: usize) -> u64 {
+    (pe as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)
+}
+
+#[test]
+fn recursive_doubling_world_of_six_multi_chunk() {
+    let npes = 6;
+    tshmem::launch(&cfg(npes), |ctx| {
+        let me = ctx.my_pe();
+        let src = ctx.shmalloc::<u64>(NREDUCE);
+        let dst = ctx.shmalloc::<u64>(NREDUCE);
+        let vals: Vec<u64> = (0..NREDUCE).map(|i| src_val(me, i)).collect();
+        ctx.local_write(&src, 0, &vals);
+        ctx.local_fill(&dst, 0u64);
+        ctx.barrier_all();
+
+        ctx.reduce(ReduceOp::Sum, &dst, &src, NREDUCE, ctx.world());
+        let got = ctx.local_read(&dst, 0, NREDUCE);
+        for (i, g) in got.iter().enumerate() {
+            let want = (0..npes).fold(0u64, |a, pe| a.wrapping_add(src_val(pe, i)));
+            assert_eq!(*g, want, "PE {me} sum elem {i}");
+        }
+        ctx.barrier_all();
+
+        // Second invocation on the same buffers with a different op: the
+        // per-partner chunk sequence numbers must carry across calls.
+        ctx.reduce(ReduceOp::Max, &dst, &src, NREDUCE, ctx.world());
+        let got = ctx.local_read(&dst, 0, NREDUCE);
+        for (i, g) in got.iter().enumerate() {
+            let want = (0..npes).map(|pe| src_val(pe, i)).max().unwrap();
+            assert_eq!(*g, want, "PE {me} max elem {i}");
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+fn recursive_doubling_strided_subset_of_five_multi_chunk() {
+    // 8-PE job, but only PEs 1..=5 reduce (size 5, non-power-of-two,
+    // stride 1 offset start). Per-slot temp is (512 / 8) & !7 = 64 B =
+    // 8 u64s, so 64 elements need 8 chunk handshakes per fold. The
+    // non-members run concurrent barriers to keep the demux queues busy.
+    let npes = 8;
+    tshmem::launch(&cfg(npes), |ctx| {
+        let me = ctx.my_pe();
+        let set = ActiveSet::new(1, 0, 5); // PEs 1,2,3,4,5
+        let src = ctx.shmalloc::<u64>(NREDUCE);
+        let dst = ctx.shmalloc::<u64>(NREDUCE);
+        let vals: Vec<u64> = (0..NREDUCE).map(|i| src_val(me, i)).collect();
+        ctx.local_write(&src, 0, &vals);
+        ctx.local_fill(&dst, 0u64);
+        ctx.barrier_all();
+
+        if let Some(_rank) = set.rank_of(me) {
+            ctx.reduce(ReduceOp::Xor, &dst, &src, NREDUCE, set);
+            let got = ctx.local_read(&dst, 0, NREDUCE);
+            for (i, g) in got.iter().enumerate() {
+                let want = set.iter().fold(0u64, |a, pe| a ^ src_val(pe, i));
+                assert_eq!(*g, want, "PE {me} xor elem {i}");
+            }
+        } else {
+            // Untouched on non-members.
+            assert_eq!(ctx.local_read(&dst, 0, NREDUCE), vec![0u64; NREDUCE]);
+        }
+        ctx.barrier_all();
+    });
+}

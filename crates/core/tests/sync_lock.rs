@@ -1,0 +1,103 @@
+//! Distributed lock tests: multi-PE contention (mutual exclusion and
+//! eventual acquisition) and misuse detection.
+
+use tshmem::prelude::*;
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes).with_partition_bytes(1 << 20)
+}
+
+#[test]
+fn contended_lock_is_mutually_exclusive_and_fair_enough() {
+    let npes = 6;
+    let rounds = 25u64;
+    let out = tshmem::launch(&cfg(npes), |ctx| {
+        let me = ctx.my_pe();
+        let lock = ctx.shmalloc::<i64>(1);
+        // state[0] = counter, state[1] = in-critical-section marker.
+        let state = ctx.shmalloc::<u64>(2);
+        ctx.local_fill(&lock, 0i64);
+        ctx.local_fill(&state, 0u64);
+        ctx.barrier_all();
+        for _ in 0..rounds {
+            ctx.set_lock(&lock);
+            // If any other PE were inside the critical section, the
+            // marker would be nonzero.
+            let marker = ctx.g(&state, 1, 0);
+            assert_eq!(marker, 0, "PE {me} entered while PE {} held the lock", marker - 1);
+            ctx.p(&state, 1, me as u64 + 1, 0);
+            let c = ctx.g(&state, 0, 0);
+            ctx.p(&state, 0, c + 1, 0);
+            ctx.p(&state, 1, 0u64, 0);
+            ctx.clear_lock(&lock);
+        }
+        ctx.barrier_all();
+        // Every PE acquired the lock `rounds` times (eventual
+        // acquisition under contention), so every increment survived.
+        let total = ctx.g(&state, 0, 0);
+        assert_eq!(total, rounds * npes as u64);
+        total
+    });
+    assert_eq!(out.len(), npes);
+}
+
+#[test]
+fn test_lock_backs_off_while_held() {
+    tshmem::launch(&cfg(2), |ctx| {
+        let lock = ctx.shmalloc::<i64>(1);
+        let flag = ctx.shmalloc::<i64>(1);
+        ctx.local_fill(&lock, 0i64);
+        ctx.local_fill(&flag, 0i64);
+        ctx.barrier_all();
+        if ctx.my_pe() == 0 {
+            ctx.set_lock(&lock);
+            ctx.p(&flag, 0, 1i64, 1);
+            // Hold until PE 1 confirms its test_lock failed.
+            ctx.wait_until(&flag, 0, Cmp::Ge, 2);
+            ctx.clear_lock(&lock);
+        } else {
+            ctx.wait_until(&flag, 0, Cmp::Ge, 1);
+            assert!(!ctx.test_lock(&lock), "test_lock must fail while PE 0 holds it");
+            ctx.p(&flag, 0, 2i64, 0);
+            // Once released, acquisition must succeed eventually.
+            ctx.set_lock(&lock);
+            ctx.clear_lock(&lock);
+        }
+        ctx.barrier_all();
+    });
+}
+
+#[test]
+#[should_panic(expected = "released a lock it does not hold")]
+fn clearing_an_unheld_lock_panics() {
+    tshmem::launch(&cfg(1), |ctx| {
+        let lock = ctx.shmalloc::<i64>(1);
+        ctx.local_fill(&lock, 0i64);
+        ctx.clear_lock(&lock);
+    });
+}
+
+#[test]
+#[should_panic(expected = "released a lock it does not hold")]
+fn clearing_a_peer_held_lock_panics() {
+    tshmem::launch(&cfg(2), |ctx| {
+        let lock = ctx.shmalloc::<i64>(1);
+        let flag = ctx.shmalloc::<i64>(1);
+        ctx.local_fill(&lock, 0i64);
+        ctx.local_fill(&flag, 0i64);
+        ctx.barrier_all();
+        // PE 0 must be the violator: the launcher joins tiles in order,
+        // so PE 0's panic is the one that propagates.
+        if ctx.my_pe() == 1 {
+            ctx.set_lock(&lock);
+            ctx.p(&flag, 0, 1i64, 0);
+            // Keep the job alive until PE 0's illegal clear panics.
+            ctx.barrier_all();
+        } else {
+            ctx.wait_until(&flag, 0, Cmp::Ge, 1);
+            // Not the owner: must panic, which aborts PE 1 out of its
+            // barrier.
+            ctx.clear_lock(&lock);
+        }
+    });
+}

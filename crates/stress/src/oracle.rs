@@ -1,0 +1,175 @@
+//! Sequential oracle: predicts the exact final state of a [`Program`].
+//!
+//! Because RMA phases obey the stripe-ownership discipline (PE `p` only
+//! touches stripe `p` slots, on any copy), replaying each PE's op list
+//! in program order — PEs in any order — produces the same state as any
+//! real thread interleaving. Counters are folded commutatively, and
+//! collectives are evaluated by their OpenSHMEM semantics.
+
+use crate::program::{
+    coll_base, coll_len, collect_nelems, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
+    SLOTS_PER_PE, STAT_SLOTS_PER_PE,
+};
+
+/// Predicted end-state, plus every value each PE's gets must observe (in
+/// that PE's issue order).
+pub struct Model {
+    /// `heap[pe][slot]`: each PE's copy of the `data` array.
+    pub heap: Vec<Vec<u64>>,
+    /// `stat[pe][slot]`: each PE's static stripe array.
+    pub stat: Vec<Vec<u64>>,
+    /// `coll[pe][elem]`: each PE's copy of the collective scratch array.
+    pub coll: Vec<Vec<u64>>,
+    /// Final counter values (PE 0's copy).
+    pub ctrs: Vec<u64>,
+    /// Final lock-protected counter value.
+    pub lock_ctr: u64,
+    /// `gets[pe]`: expected results of PE `pe`'s recorded gets, in issue
+    /// order.
+    pub gets: Vec<Vec<u64>>,
+}
+
+fn reduce_fold(op: u8, a: u64, b: u64) -> u64 {
+    match op {
+        0 => a.wrapping_add(b),
+        1 => a.min(b),
+        2 => a.max(b),
+        3 => a | b,
+        _ => a ^ b,
+    }
+}
+
+pub fn oracle(prog: &Program) -> Model {
+    let n = prog.npes;
+    let mut m = Model {
+        heap: vec![vec![0u64; n * SLOTS_PER_PE]; n],
+        stat: vec![vec![0u64; n * STAT_SLOTS_PER_PE]; n],
+        coll: vec![vec![0u64; coll_len(prog)]; n],
+        ctrs: vec![0u64; NCTRS],
+        lock_ctr: 0,
+        gets: vec![Vec::new(); n],
+    };
+    for step in &prog.steps {
+        match step {
+            Step::Rma { ops, .. } => {
+                for (me, list) in ops.iter().enumerate() {
+                    let hs = me * SLOTS_PER_PE; // heap stripe base
+                    let ss = me * STAT_SLOTS_PER_PE; // static stripe base
+                    for op in list {
+                        match op {
+                            RmaOp::PutHeapElem { to, slot, val } => {
+                                m.heap[*to][hs + slot] = *val;
+                            }
+                            RmaOp::PutHeapBulk { to, slot, vals } => {
+                                m.heap[*to][hs + slot..hs + slot + vals.len()]
+                                    .copy_from_slice(vals);
+                            }
+                            RmaOp::IputHeap { to, slot, tst, vals } => {
+                                for (i, v) in vals.iter().enumerate() {
+                                    m.heap[*to][hs + slot + i * tst] = *v;
+                                }
+                            }
+                            RmaOp::GetHeapElem { from, slot } => {
+                                let v = m.heap[*from][hs + slot];
+                                m.gets[me].push(v);
+                            }
+                            RmaOp::GetHeapBulk { from, slot, n } => {
+                                for i in 0..*n {
+                                    let v = m.heap[*from][hs + slot + i];
+                                    m.gets[me].push(v);
+                                }
+                            }
+                            RmaOp::PutStatic { to, slot, vals } => {
+                                m.stat[*to][ss + slot..ss + slot + vals.len()]
+                                    .copy_from_slice(vals);
+                            }
+                            RmaOp::IputStatic { to, slot, tst, vals } => {
+                                for (i, v) in vals.iter().enumerate() {
+                                    m.stat[*to][ss + slot + i * tst] = *v;
+                                }
+                            }
+                            RmaOp::GetStatic { from, slot, n } => {
+                                for i in 0..*n {
+                                    let v = m.stat[*from][ss + slot + i];
+                                    m.gets[me].push(v);
+                                }
+                            }
+                            RmaOp::IgetStatic { from, slot, sst, n } => {
+                                for i in 0..*n {
+                                    let v = m.stat[*from][ss + slot + i * sst];
+                                    m.gets[me].push(v);
+                                }
+                            }
+                            RmaOp::PutSymDynToStatic { to, slot, dslot, n } => {
+                                for i in 0..*n {
+                                    m.stat[*to][ss + slot + i] = m.heap[me][hs + dslot + i];
+                                }
+                            }
+                            RmaOp::GetSymStaticToDyn { from, slot, dslot, n } => {
+                                for i in 0..*n {
+                                    m.heap[me][hs + dslot + i] = m.stat[*from][ss + slot + i];
+                                }
+                            }
+                            RmaOp::CtrAdd { ctr, amount } => {
+                                m.ctrs[*ctr] = m.ctrs[*ctr].wrapping_add(*amount);
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Coll { kind, set, idx, vals } => {
+                let set = tshmem::ActiveSet::new(set.0, set.1, set.2);
+                let base = coll_base(prog, *idx);
+                let dest = base + COLL_L;
+                // Every member publishes its contribution in its own
+                // copy's src slots.
+                for (rank, pe) in set.iter().enumerate() {
+                    m.coll[pe][base..base + COLL_L].copy_from_slice(&vals[rank]);
+                }
+                match kind {
+                    CollKind::Bcast { root_rank } => {
+                        // Per OpenSHMEM, the root's dest is not written.
+                        for (rank, pe) in set.iter().enumerate() {
+                            if rank != *root_rank {
+                                m.coll[pe][dest..dest + COLL_L]
+                                    .copy_from_slice(&vals[*root_rank]);
+                            }
+                        }
+                    }
+                    CollKind::Reduce { op } => {
+                        let mut acc = vals[0].clone();
+                        for v in &vals[1..] {
+                            for (a, b) in acc.iter_mut().zip(v) {
+                                *a = reduce_fold(*op, *a, *b);
+                            }
+                        }
+                        for pe in set.iter() {
+                            m.coll[pe][dest..dest + COLL_L].copy_from_slice(&acc);
+                        }
+                    }
+                    CollKind::Fcollect => {
+                        for pe in set.iter() {
+                            for (rank, v) in vals.iter().enumerate() {
+                                m.coll[pe][dest + rank * COLL_L..dest + (rank + 1) * COLL_L]
+                                    .copy_from_slice(v);
+                            }
+                        }
+                    }
+                    CollKind::Collect => {
+                        let mut cat = Vec::new();
+                        for (rank, v) in vals.iter().enumerate() {
+                            cat.extend_from_slice(&v[..collect_nelems(rank, *idx)]);
+                        }
+                        for pe in set.iter() {
+                            m.coll[pe][dest..dest + cat.len()].copy_from_slice(&cat);
+                        }
+                    }
+                }
+            }
+            Step::Lock { rounds } => {
+                m.lock_ctr += *rounds as u64 * n as u64;
+            }
+        }
+    }
+    m
+}

@@ -1,0 +1,300 @@
+//! Random SHMEM program model and its seeded generator.
+//!
+//! A [`Program`] is a fully-determined description of a parallel run:
+//! every PE's operation list, every collective's active set and payload,
+//! the algorithm variants to configure, and the temp-buffer size that
+//! controls static-segment chunking. Determinism comes from an ownership
+//! discipline — during an [`Step::Rma`] phase, PE `p` only touches slots
+//! inside its own *stripe* of the shared arrays (on any PE's copy), so
+//! any thread interleaving yields the same final state, and a sequential
+//! oracle ([`crate::oracle`]) can predict it exactly. Counters are the
+//! one exception: they are updated with commutative atomics only, so
+//! their *final* value is deterministic even though intermediate values
+//! are not.
+//!
+//! Generation draws through the [`Draw`] trait so the same byte-for-byte
+//! program can come from either a [`substrate::proptest_mini::Source`]
+//! (inside `pt::check`, which shrinks failures) or a bare
+//! [`substrate::rng::KeyedRng`] (the `cargo run -p stress -- --seed N`
+//! replay binary). Both use the same `next_u64() % n` reduction on the
+//! same SplitMix64 stream, so `(seed, case)` reported by a failing
+//! property identifies the program exactly.
+
+use substrate::proptest_mini as pt;
+use substrate::rng::KeyedRng;
+
+/// Heap data slots owned by each PE (its stripe of the `data` array).
+pub const SLOTS_PER_PE: usize = 16;
+/// Static-segment slots owned by each PE (stripe of the `statv` array).
+pub const STAT_SLOTS_PER_PE: usize = 8;
+/// Commutative atomic counters (all live on PE 0's copy).
+pub const NCTRS: usize = 4;
+/// Elements each collective member contributes.
+pub const COLL_L: usize = 8;
+
+/// One randomized SHMEM run, replayable from its generation seed.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub npes: usize,
+    /// Temp-buffer bytes: small values force multi-chunk static
+    /// redirections (the Figure 7 temp-assisted path).
+    pub temp_bytes: usize,
+    /// `(barrier, broadcast, reduce)` algorithm selectors, in the order
+    /// the variants are declared in `tshmem::ctx`.
+    pub algos: (u8, u8, u8),
+    pub steps: Vec<Step>,
+}
+
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Concurrent per-PE RMA/atomic traffic, closed by a barrier.
+    /// `barrier`: 0 = `barrier_all` (configured algo), 1 = ring,
+    /// 2 = root-broadcast, 3 = dissemination (explicit variants).
+    Rma { ops: Vec<Vec<RmaOp>>, barrier: u8 },
+    /// A collective over `set = (start, log2_stride, size)`. `idx` is
+    /// this step's slot region in the shared `coll` array; `vals[rank]`
+    /// is member `rank`'s contribution (always `COLL_L` words).
+    Coll { kind: CollKind, set: (usize, u32, usize), idx: usize, vals: Vec<Vec<u64>> },
+    /// Every PE loops `rounds` times through a `set_lock`-protected
+    /// critical section incrementing a shared counter.
+    Lock { rounds: u32 },
+}
+
+#[derive(Clone, Debug)]
+pub enum CollKind {
+    Bcast { root_rank: usize },
+    /// `op`: 0 Sum, 1 Min, 2 Max, 3 Or, 4 Xor (wrapping/bitwise on u64).
+    Reduce { op: u8 },
+    Fcollect,
+    /// Variable contributions: rank `r` sends `1 + (r + idx) % COLL_L`
+    /// elements.
+    Collect,
+}
+
+/// One operation issued by PE `me`. All slot fields are *stripe-local*
+/// (the executor adds `me * SLOTS_PER_PE` / `me * STAT_SLOTS_PER_PE`),
+/// which is what keeps concurrent phases race-free.
+#[derive(Clone, Debug)]
+pub enum RmaOp {
+    /// `p()` one value into `data[stripe(me) + slot]` on PE `to`.
+    PutHeapElem { to: usize, slot: usize, val: u64 },
+    /// Contiguous `put()` into the heap stripe on PE `to`.
+    PutHeapBulk { to: usize, slot: usize, vals: Vec<u64> },
+    /// Strided `iput()` (target stride `tst`) into the heap stripe.
+    IputHeap { to: usize, slot: usize, tst: usize, vals: Vec<u64> },
+    /// `g()` one value back from PE `from`; result is recorded and
+    /// checked against the oracle.
+    GetHeapElem { from: usize, slot: usize },
+    /// Contiguous `get()` of `n` values from PE `from` (recorded).
+    GetHeapBulk { from: usize, slot: usize, n: usize },
+    /// Contiguous `put()` into the *static* stripe on PE `to`
+    /// (temp-assisted redirection when `to != me`).
+    PutStatic { to: usize, slot: usize, vals: Vec<u64> },
+    /// Strided `iput()` into the static stripe (strided redirection).
+    IputStatic { to: usize, slot: usize, tst: usize, vals: Vec<u64> },
+    /// Contiguous `get()` from the static stripe on PE `from` (recorded).
+    GetStatic { from: usize, slot: usize, n: usize },
+    /// Strided `iget()` from the static stripe on PE `from` (recorded).
+    IgetStatic { from: usize, slot: usize, sst: usize, n: usize },
+    /// `put_sym` our own heap-stripe data into the static stripe on PE
+    /// `to` — the Figure 7 static-target/dynamic-source case.
+    PutSymDynToStatic { to: usize, slot: usize, dslot: usize, n: usize },
+    /// `get_sym` the static stripe on PE `from` into our own heap-stripe
+    /// copy — the dynamic-target/static-source (redirected) case.
+    GetSymStaticToDyn { from: usize, slot: usize, dslot: usize, n: usize },
+    /// Commutative atomic add to counter `ctr` on PE 0.
+    CtrAdd { ctr: usize, amount: u64 },
+}
+
+/// A bounded-draw source of randomness. `below(n)` must reduce the
+/// underlying `u64` stream with `% n` so that property-harness sources
+/// and raw replay RNGs produce identical programs.
+pub trait Draw {
+    fn below(&mut self, n: u64) -> u64;
+}
+
+/// Replay-side draws: the same `(seed, case)` stream `pt::check` uses.
+///
+/// Note this deliberately bypasses [`KeyedRng::below`], whose rejection
+/// sampling consumes a data-dependent number of words and would diverge
+/// from [`pt::Source::below`]'s `% n`.
+pub struct RngDraw(KeyedRng);
+
+impl RngDraw {
+    pub fn new(seed: u64, case: u64) -> Self {
+        Self(KeyedRng::new(seed, case))
+    }
+}
+
+impl Draw for RngDraw {
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.next_u64() % n
+    }
+}
+
+/// Harness-side draws, recorded on the shrinkable tape.
+pub struct SourceDraw<'a>(pub &'a mut pt::Source);
+
+impl Draw for SourceDraw<'_> {
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.below(n)
+    }
+}
+
+/// `pt::Strategy` adapter so programs shrink like any other input.
+pub struct ProgramStrategy {
+    pub npes: usize,
+}
+
+impl pt::Strategy for ProgramStrategy {
+    type Value = Program;
+
+    fn generate(&self, src: &mut pt::Source) -> Program {
+        gen_program(&mut SourceDraw(src), self.npes)
+    }
+}
+
+fn word(d: &mut impl Draw) -> u64 {
+    d.below(u64::MAX)
+}
+
+/// Draw a random active set `(start, log2_stride, size)` fitting `npes`.
+fn gen_set(d: &mut impl Draw, npes: usize) -> (usize, u32, usize) {
+    let size = 1 + d.below(npes as u64) as usize;
+    let mut max_log = 0u32;
+    while size > 1 && (size - 1) << (max_log + 1) < npes {
+        max_log += 1;
+    }
+    let log2_stride = d.below(max_log as u64 + 1) as u32;
+    let span = (size - 1) << log2_stride;
+    let start = d.below((npes - span) as u64) as usize;
+    (start, log2_stride, size)
+}
+
+fn gen_rma_op(d: &mut impl Draw, npes: usize) -> RmaOp {
+    let pe = d.below(npes as u64) as usize;
+    match d.below(12) {
+        0 => {
+            let slot = d.below(SLOTS_PER_PE as u64) as usize;
+            RmaOp::PutHeapElem { to: pe, slot, val: word(d) }
+        }
+        1 => {
+            let slot = d.below(SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((SLOTS_PER_PE - slot) as u64) as usize;
+            RmaOp::PutHeapBulk { to: pe, slot, vals: (0..n).map(|_| word(d)).collect() }
+        }
+        2 => {
+            let slot = d.below(SLOTS_PER_PE as u64) as usize;
+            let tst = 1 + d.below(3) as usize;
+            let maxn = (SLOTS_PER_PE - 1 - slot) / tst + 1;
+            let n = 1 + d.below(maxn as u64) as usize;
+            RmaOp::IputHeap { to: pe, slot, tst, vals: (0..n).map(|_| word(d)).collect() }
+        }
+        3 => RmaOp::GetHeapElem { from: pe, slot: d.below(SLOTS_PER_PE as u64) as usize },
+        4 => {
+            let slot = d.below(SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((SLOTS_PER_PE - slot) as u64) as usize;
+            RmaOp::GetHeapBulk { from: pe, slot, n }
+        }
+        5 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((STAT_SLOTS_PER_PE - slot) as u64) as usize;
+            RmaOp::PutStatic { to: pe, slot, vals: (0..n).map(|_| word(d)).collect() }
+        }
+        6 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let tst = 1 + d.below(3) as usize;
+            let maxn = (STAT_SLOTS_PER_PE - 1 - slot) / tst + 1;
+            let n = 1 + d.below(maxn as u64) as usize;
+            RmaOp::IputStatic { to: pe, slot, tst, vals: (0..n).map(|_| word(d)).collect() }
+        }
+        7 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((STAT_SLOTS_PER_PE - slot) as u64) as usize;
+            RmaOp::GetStatic { from: pe, slot, n }
+        }
+        8 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let sst = 1 + d.below(3) as usize;
+            let maxn = (STAT_SLOTS_PER_PE - 1 - slot) / sst + 1;
+            let n = 1 + d.below(maxn as u64) as usize;
+            RmaOp::IgetStatic { from: pe, slot, sst, n }
+        }
+        9 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let dslot = d.below(SLOTS_PER_PE as u64) as usize;
+            let lim = (STAT_SLOTS_PER_PE - slot).min(SLOTS_PER_PE - dslot);
+            let n = 1 + d.below(lim as u64) as usize;
+            RmaOp::PutSymDynToStatic { to: pe, slot, dslot, n }
+        }
+        10 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let dslot = d.below(SLOTS_PER_PE as u64) as usize;
+            let lim = (STAT_SLOTS_PER_PE - slot).min(SLOTS_PER_PE - dslot);
+            let n = 1 + d.below(lim as u64) as usize;
+            RmaOp::GetSymStaticToDyn { from: pe, slot, dslot, n }
+        }
+        _ => RmaOp::CtrAdd { ctr: d.below(NCTRS as u64) as usize, amount: d.below(1000) },
+    }
+}
+
+/// Generate one program for `npes` PEs from the draw stream.
+pub fn gen_program(d: &mut impl Draw, npes: usize) -> Program {
+    assert!(npes >= 1);
+    // 64 B temp = 8 u64 per chunk: bulk static traffic and strided
+    // redirections routinely span several temp round-trips.
+    let temp_bytes = [64usize, 512][d.below(2) as usize];
+    let algos = (d.below(4) as u8, d.below(3) as u8, d.below(2) as u8);
+    let nsteps = 2 + d.below(5) as usize;
+    let mut steps = Vec::with_capacity(nsteps);
+    let mut coll_idx = 0usize;
+    for _ in 0..nsteps {
+        match d.below(6) {
+            0 | 1 => {
+                let ops = (0..npes)
+                    .map(|_| {
+                        let nops = d.below(5) as usize;
+                        (0..nops).map(|_| gen_rma_op(d, npes)).collect()
+                    })
+                    .collect();
+                steps.push(Step::Rma { ops, barrier: d.below(4) as u8 });
+            }
+            2..=4 => {
+                let set = gen_set(d, npes);
+                let kind = match d.below(4) {
+                    0 => CollKind::Bcast { root_rank: d.below(set.2 as u64) as usize },
+                    1 => CollKind::Reduce { op: d.below(5) as u8 },
+                    2 => CollKind::Fcollect,
+                    _ => CollKind::Collect,
+                };
+                let vals = (0..set.2).map(|_| (0..COLL_L).map(|_| word(d)).collect()).collect();
+                steps.push(Step::Coll { kind, set, idx: coll_idx, vals });
+                coll_idx += 1;
+            }
+            _ => steps.push(Step::Lock { rounds: 1 + d.below(2) as u32 }),
+        }
+    }
+    Program { npes, temp_bytes, algos, steps }
+}
+
+/// Number of `Coll` steps (each owns one region of the shared `coll`
+/// array).
+pub fn coll_steps(prog: &Program) -> usize {
+    prog.steps.iter().filter(|s| matches!(s, Step::Coll { .. })).count()
+}
+
+/// Elements of the shared `coll` array: one `[src | dest]` region per
+/// collective step.
+pub fn coll_len(prog: &Program) -> usize {
+    coll_steps(prog).max(1) * (prog.npes + 1) * COLL_L
+}
+
+/// Byte offset of collective step `idx`'s region, in elements.
+pub fn coll_base(prog: &Program, idx: usize) -> usize {
+    idx * (prog.npes + 1) * COLL_L
+}
+
+/// Per-rank contribution size for `CollKind::Collect`.
+pub fn collect_nelems(rank: usize, idx: usize) -> usize {
+    1 + (rank + idx) % COLL_L
+}

@@ -1,0 +1,287 @@
+//! Program execution, oracle verification, and the stall watchdog.
+//!
+//! [`run_on_ctx`] executes a [`Program`] on one PE and asserts its view
+//! of the final state against [`crate::oracle::oracle`]. [`run_watched`]
+//! wraps a launch in a wall-clock watchdog: the job runs on a detached
+//! thread under [`tshmem::launch_watched`], the watchdog polls the
+//! fabric progress counter, and if it stops moving for the stall window
+//! the watchdog captures a per-PE diagnosis (blocked state, queue
+//! occupancy, stash, last trace event), aborts the job, and returns
+//! [`Outcome::Stalled`] with the report and a replay hint.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use substrate::channel::{self, RecvTimeoutError};
+use tshmem::prelude::*;
+use tshmem::runtime::launch_watched;
+use tshmem::JobWatch;
+
+use crate::oracle::oracle;
+use crate::program::{
+    coll_base, coll_len, collect_nelems, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
+    SLOTS_PER_PE, STAT_SLOTS_PER_PE,
+};
+
+/// Result of a watched run. Verification failures (oracle mismatches,
+/// internal asserts) propagate as panics so `pt::check` can shrink them;
+/// only watchdog-detected stalls are reified.
+#[derive(Debug)]
+pub enum Outcome {
+    Completed,
+    /// The job stopped making progress; the payload is the full per-PE
+    /// stall diagnosis plus the replay hint.
+    Stalled(String),
+}
+
+fn algos_of(prog: &Program) -> Algorithms {
+    Algorithms {
+        barrier: match prog.algos.0 {
+            0 => BarrierAlgo::Ring,
+            1 => BarrierAlgo::RootBroadcast,
+            2 => BarrierAlgo::TmcSpin,
+            _ => BarrierAlgo::Dissemination,
+        },
+        broadcast: match prog.algos.1 {
+            0 => BroadcastAlgo::Pull,
+            1 => BroadcastAlgo::Push,
+            _ => BroadcastAlgo::Binomial,
+        },
+        reduce: match prog.algos.2 {
+            0 => ReduceAlgo::Naive,
+            _ => ReduceAlgo::RecursiveDoubling,
+        },
+    }
+}
+
+/// Runtime config for a program at the given UDN queue depth
+/// (`None` = unbounded queues).
+pub fn build_cfg(prog: &Program, depth: Option<usize>) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::new(prog.npes)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 16)
+        .with_temp_bytes(prog.temp_bytes)
+        .with_algos(algos_of(prog));
+    if let Some(d) = depth {
+        cfg = cfg.with_bounded_udn(d);
+    }
+    cfg
+}
+
+/// Execute `prog` on this PE and verify its final view of every shared
+/// array against the sequential oracle.
+pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
+    let me = ctx.my_pe();
+    let npes = ctx.n_pes();
+    assert_eq!(npes, prog.npes);
+    let hs = me * SLOTS_PER_PE;
+    let ss = me * STAT_SLOTS_PER_PE;
+
+    let data = ctx.shmalloc::<u64>(npes * SLOTS_PER_PE);
+    let coll = ctx.shmalloc::<u64>(coll_len(prog));
+    let ctrs = ctx.shmalloc::<u64>(NCTRS);
+    // lockctr[0] = protected counter, lockctr[1] = mutual-exclusion
+    // marker (must read 0 inside the critical section).
+    let lockctr = ctx.shmalloc::<u64>(2);
+    let lock = ctx.shmalloc::<i64>(1);
+    let statv = ctx.static_sym::<u64>(npes * STAT_SLOTS_PER_PE);
+    ctx.local_fill(&data, 0u64);
+    ctx.local_fill(&coll, 0u64);
+    ctx.local_fill(&ctrs, 0u64);
+    ctx.local_fill(&lockctr, 0u64);
+    ctx.local_fill(&lock, 0i64);
+    ctx.local_fill(&statv, 0u64);
+    ctx.barrier_all();
+
+    let mut gets: Vec<u64> = Vec::new();
+    for step in &prog.steps {
+        match step {
+            Step::Rma { ops, barrier } => {
+                for op in &ops[me] {
+                    match op {
+                        RmaOp::PutHeapElem { to, slot, val } => ctx.p(&data, hs + slot, *val, *to),
+                        RmaOp::PutHeapBulk { to, slot, vals } => ctx.put(&data, hs + slot, vals, *to),
+                        RmaOp::IputHeap { to, slot, tst, vals } => {
+                            ctx.iput(&data, hs + slot, *tst, vals, 1, vals.len(), *to)
+                        }
+                        RmaOp::GetHeapElem { from, slot } => gets.push(ctx.g(&data, hs + slot, *from)),
+                        RmaOp::GetHeapBulk { from, slot, n } => {
+                            let mut buf = vec![0u64; *n];
+                            ctx.get(&mut buf, &data, hs + slot, *from);
+                            gets.extend_from_slice(&buf);
+                        }
+                        RmaOp::PutStatic { to, slot, vals } => ctx.put(&statv, ss + slot, vals, *to),
+                        RmaOp::IputStatic { to, slot, tst, vals } => {
+                            ctx.iput(&statv, ss + slot, *tst, vals, 1, vals.len(), *to)
+                        }
+                        RmaOp::GetStatic { from, slot, n } => {
+                            let mut buf = vec![0u64; *n];
+                            ctx.get(&mut buf, &statv, ss + slot, *from);
+                            gets.extend_from_slice(&buf);
+                        }
+                        RmaOp::IgetStatic { from, slot, sst, n } => {
+                            let mut buf = vec![0u64; *n];
+                            ctx.iget(&mut buf, 1, &statv, ss + slot, *sst, *n, *from);
+                            gets.extend_from_slice(&buf);
+                        }
+                        RmaOp::PutSymDynToStatic { to, slot, dslot, n } => {
+                            ctx.put_sym(&statv, ss + slot, &data, hs + dslot, *n, *to)
+                        }
+                        RmaOp::GetSymStaticToDyn { from, slot, dslot, n } => {
+                            ctx.get_sym(&data, hs + dslot, &statv, ss + slot, *n, *from)
+                        }
+                        RmaOp::CtrAdd { ctr, amount } => ctx.add(&ctrs, *ctr, *amount, 0),
+                    }
+                }
+                ctx.quiet();
+                let world = ctx.world();
+                match barrier {
+                    0 => ctx.barrier_all(),
+                    1 => ctx.barrier_ring_explicit(world),
+                    2 => ctx.barrier_root_broadcast_explicit(world),
+                    _ => ctx.barrier_dissemination_explicit(world),
+                }
+            }
+            Step::Coll { kind, set, idx, vals } => {
+                let set = ActiveSet::new(set.0, set.1, set.2);
+                let Some(rank) = set.rank_of(me) else { continue };
+                let base = coll_base(prog, *idx);
+                let src = coll.slice(base, COLL_L);
+                let dest = coll.slice(base + COLL_L, npes * COLL_L);
+                ctx.local_write(&src, 0, &vals[rank]);
+                match kind {
+                    CollKind::Bcast { root_rank } => {
+                        ctx.broadcast(&dest, &src, COLL_L, *root_rank, set)
+                    }
+                    CollKind::Reduce { op } => {
+                        let rop = match op {
+                            0 => ReduceOp::Sum,
+                            1 => ReduceOp::Min,
+                            2 => ReduceOp::Max,
+                            3 => ReduceOp::Or,
+                            _ => ReduceOp::Xor,
+                        };
+                        ctx.reduce(rop, &dest, &src, COLL_L, set);
+                    }
+                    CollKind::Fcollect => ctx.fcollect(&dest, &src, COLL_L, set),
+                    CollKind::Collect => {
+                        let mine = collect_nelems(rank, *idx);
+                        let expected: usize =
+                            (0..set.size).map(|r| collect_nelems(r, *idx)).sum();
+                        let total = ctx.collect(&dest, &src, mine, set);
+                        assert_eq!(total, expected, "collect total mismatch");
+                    }
+                }
+            }
+            Step::Lock { rounds } => {
+                for _ in 0..*rounds {
+                    ctx.set_lock(&lock);
+                    let marker = ctx.g(&lockctr, 1, 0);
+                    assert_eq!(marker, 0, "mutual exclusion violated: PE {} saw marker {marker}", me);
+                    ctx.p(&lockctr, 1, me as u64 + 1, 0);
+                    let c = ctx.g(&lockctr, 0, 0);
+                    ctx.p(&lockctr, 0, c + 1, 0);
+                    ctx.p(&lockctr, 1, 0u64, 0);
+                    ctx.clear_lock(&lock);
+                }
+            }
+        }
+    }
+
+    ctx.quiet();
+    ctx.barrier_all();
+
+    // Verify this PE's entire view against the oracle.
+    let model = oracle(prog);
+    let got_heap = ctx.local_read(&data, 0, data.len());
+    assert_eq!(got_heap, model.heap[me], "PE {me}: heap copy diverged from oracle");
+    let got_stat = ctx.local_read(&statv, 0, statv.len());
+    assert_eq!(got_stat, model.stat[me], "PE {me}: static segment diverged from oracle");
+    let got_coll = ctx.local_read(&coll, 0, coll.len());
+    assert_eq!(got_coll, model.coll[me], "PE {me}: collective scratch diverged from oracle");
+    assert_eq!(gets, model.gets[me], "PE {me}: recorded get results diverged from oracle");
+    if me == 0 {
+        let got_ctrs = ctx.local_read(&ctrs, 0, NCTRS);
+        assert_eq!(got_ctrs, model.ctrs, "atomic counters diverged from oracle");
+        assert_eq!(ctx.local_read(&lockctr, 0, 1)[0], model.lock_ctr, "lock-protected counter diverged");
+        assert_eq!(ctx.local_read(&lockctr, 1, 1)[0], 0, "lock marker left set");
+    }
+    ctx.barrier_all();
+}
+
+/// Run `prog` without a watchdog (panics surface directly).
+pub fn run_plain(prog: &Program, depth: Option<usize>) {
+    let cfg = build_cfg(prog, depth);
+    tshmem::launch(&cfg, |ctx| run_on_ctx(prog, ctx));
+}
+
+/// How often the watchdog samples the progress counter.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Run `prog` under the stall watchdog.
+///
+/// `stall` is the wall-clock window with zero fabric progress after
+/// which the job is declared wedged. `replay_hint` is appended to the
+/// stall report so the failure names its own reproducer.
+pub fn run_watched(
+    prog: &Program,
+    depth: Option<usize>,
+    stall: Duration,
+    replay_hint: &str,
+) -> Outcome {
+    let watch = Arc::new(JobWatch::new());
+    let prog = Arc::new(prog.clone());
+    let cfg = build_cfg(&prog, depth);
+    let (tx, rx) = channel::bounded::<std::thread::Result<()>>(1);
+    let w = Arc::clone(&watch);
+    let p = Arc::clone(&prog);
+    // Detached on purpose: if the job truly deadlocks, its PE threads
+    // can never be joined. `abort()` unwedges every PE parked in a
+    // fabric wait; threads stuck in plain (fault-injected) channel
+    // sends leak until process exit, which is why the canary lives in
+    // its own test binary.
+    std::thread::Builder::new()
+        .name("stress-job".into())
+        .spawn(move || {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                launch_watched(&cfg, &w, move |ctx| run_on_ctx(&p, ctx));
+            }));
+            let _ = tx.try_send(r.map(|_| ()));
+        })
+        .expect("spawn stress job thread");
+
+    let mut last_ops = 0u64;
+    let mut last_change = Instant::now();
+    loop {
+        match rx.recv_timeout(POLL) {
+            Ok(Ok(())) => return Outcome::Completed,
+            // A verification failure inside the job: re-raise it here so
+            // the property harness sees (and shrinks) it.
+            Ok(Err(payload)) => resume_unwind(payload),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("stress job thread exited without reporting")
+            }
+        }
+        let ops = watch.total_ops();
+        if ops != last_ops {
+            last_ops = ops;
+            last_change = Instant::now();
+        } else if last_change.elapsed() >= stall {
+            // Diagnose BEFORE aborting: abort unparks the blocked PEs
+            // and would destroy the evidence.
+            let mut report = format!(
+                "stress watchdog: no fabric progress for {:.1}s (total ops {ops})\n{}",
+                stall.as_secs_f64(),
+                watch.diagnose()
+            );
+            report.push_str(&format!("replay: {replay_hint}\n"));
+            watch.abort();
+            // Grace period for the abort panic to unwind the job; a job
+            // wedged outside any abort checkpoint just leaks.
+            let _ = rx.recv_timeout(Duration::from_secs(2));
+            return Outcome::Stalled(report);
+        }
+    }
+}

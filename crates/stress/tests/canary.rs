@@ -1,0 +1,79 @@
+//! Watchdog canary: temporarily reintroduce the PR-1 dissemination-
+//! barrier deadlock through the `tshmem::fault` hook and assert the
+//! watchdog detects it, diagnoses every PE, and names the reproducing
+//! seed.
+//!
+//! This lives in its own test binary: the fault flag is process-global,
+//! and a genuinely deadlocked job leaks its PE threads (they are parked
+//! in pre-fix blocking sends that no abort flag can reach) until the
+//! process exits.
+
+use std::time::Duration;
+
+use stress::program::{gen_program, RngDraw};
+use stress::run::{run_watched, Outcome};
+
+/// Seeds whose generated programs chain enough dissemination barriers
+/// that overlapping rounds form a cycle of full-queue senders once
+/// sends stop draining (each verified 5/5 on an idle machine). The
+/// deadlock needs genuinely concurrent PEs, so on a heavily loaded
+/// machine any single attempt can slip through serialized — hence the
+/// retry loop below.
+const CANARY_SEEDS: [u64; 3] = [0x1, 0x3, 0x7];
+const ATTEMPTS: usize = 4;
+
+fn hint_for(seed: u64) -> String {
+    format!("cargo run -p stress -- --seed {seed:#x} --pes 8 --depth 1 --canary")
+}
+
+#[test]
+fn watchdog_catches_reintroduced_barrier_deadlock() {
+    tshmem::fault::set_blocking_protocol_sends(true);
+    let mut caught = None;
+    'hunt: for _ in 0..ATTEMPTS {
+        for seed in CANARY_SEEDS {
+            let prog = gen_program(&mut RngDraw::new(seed, 0), 8);
+            match run_watched(&prog, Some(1), Duration::from_secs(2), &hint_for(seed)) {
+                Outcome::Stalled(report) => {
+                    caught = Some((seed, report));
+                    break 'hunt;
+                }
+                Outcome::Completed => continue,
+            }
+        }
+    }
+    tshmem::fault::set_blocking_protocol_sends(false);
+
+    let Some((seed, report)) = caught else {
+        panic!(
+            "fault-injected dissemination barriers at queue depth 1 never deadlocked \
+             across {ATTEMPTS} attempts × {} seeds; the reintroduced PR-1 bug was not caught",
+            CANARY_SEEDS.len()
+        );
+    };
+
+    // The diagnosis must name every PE and what it is blocked on.
+    assert!(report.contains("per-PE stall diagnosis (8 PEs)"), "missing header:\n{report}");
+    for pe in 0..8 {
+        assert!(report.contains(&format!("PE {pe}:")), "missing PE {pe}:\n{report}");
+    }
+    // A send-cycle deadlock: at least one PE parked in a full-queue
+    // send, with the barrier queue (q0) implicated.
+    assert!(report.contains("(q0) [full]"), "no full-queue send in:\n{report}");
+    // Queue occupancy and last-event columns rendered.
+    assert!(report.contains("queue occupancy ["), "no occupancy in:\n{report}");
+    assert!(report.contains("last event"), "no trace events in:\n{report}");
+    // And it must name its own reproducer.
+    assert!(report.contains("--canary"), "no replay hint in:\n{report}");
+    assert!(report.contains(&format!("--seed {seed:#x}")), "no seed in:\n{report}");
+
+    // With the fault flag restored, the same program completes and
+    // verifies — proving the deadlock came from the injected fault, not
+    // the program. (Same #[test] on purpose: the flag is process-global,
+    // so a parallel test could otherwise observe it mid-canary.)
+    let prog = gen_program(&mut RngDraw::new(seed, 0), 8);
+    match run_watched(&prog, Some(1), Duration::from_secs(10), "n/a") {
+        Outcome::Completed => {}
+        Outcome::Stalled(report) => panic!("unexpected stall without fault:\n{report}"),
+    }
+}

@@ -102,6 +102,8 @@ impl Source {
     }
 
     /// Draw the next `u64`.
+    // Not an Iterator: draws are infinite and tape-recorded.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let v = if self.pos < self.tape_in.len() {
             self.tape_in[self.pos]

@@ -119,6 +119,12 @@ impl UdnEndpoint {
         self.rx[queue].try_recv().ok()
     }
 
+    /// Current occupancy (packets) of this endpoint's demux queue —
+    /// observability for stall diagnosis; the value is a racy snapshot.
+    pub fn queue_len(&self, queue: usize) -> usize {
+        self.rx[queue].len()
+    }
+
     /// Clone of the receiver for `queue` — TSHMEM hands queue 3's
     /// receiver to its interrupt-service thread (the analog of Tilera's
     /// UDN interrupts).

@@ -9,6 +9,7 @@ pub use cachesim;
 pub use desim;
 pub use microbench;
 pub use mpipe;
+pub use stress;
 pub use substrate;
 pub use tile_arch;
 pub use tmc;

@@ -42,9 +42,9 @@ fn table1_basic_subset_is_callable() {
 
         // Strided put/get (shmem_int_iput / shmem_int_iget).
         api::shmem_barrier_all(ctx);
-        api::shmem_iput(ctx, &v, &[10, 20, 30], 4, 1, me);
+        api::shmem_iput(ctx, &v, &[10, 20, 30], 4, 1, 3, me);
         let mut strided = [0i32; 3];
-        api::shmem_iget(ctx, &mut strided, &v, 1, 4, me);
+        api::shmem_iget(ctx, &mut strided, &v, 1, 4, 3, me);
         assert_eq!(strided, [10, 20, 30]);
 
         // Barrier over a subset triplet.

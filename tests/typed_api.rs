@@ -42,9 +42,9 @@ fn typed_rma_families() {
         t::shmem_int_get(ctx, &mut got, &vi, me);
         assert_eq!(got, [1, 2, 3, 4]);
 
-        t::shmem_double_iput(ctx, &vd, &[9.0, 8.0], 3, 1, me);
+        t::shmem_double_iput(ctx, &vd, &[9.0, 8.0], 3, 1, 2, me);
         let mut sgot = [0.0f64; 2];
-        t::shmem_double_iget(ctx, &mut sgot, &vd, 1, 3, me);
+        t::shmem_double_iget(ctx, &mut sgot, &vd, 1, 3, 2, me);
         assert_eq!(sgot, [9.0, 8.0]);
 
         // longlong aliases work on i64 data.

@@ -1,0 +1,39 @@
+//! Tier-1 watchdog canary: reintroduce the PR-1 dissemination-barrier
+//! deadlock via the `tshmem::fault` hook and assert the stress
+//! harness's watchdog detects it and names a replayable reproducer.
+//!
+//! Own test binary on purpose: the fault flag is process-global, and a
+//! genuinely deadlocked job leaks threads parked in pre-fix blocking
+//! sends until the process exits.
+
+use std::time::Duration;
+
+use stress::program::{gen_program, RngDraw};
+use stress::run::{run_watched, Outcome};
+
+/// Stall-prone seeds at 8 PEs / depth 1 under the fault (see
+/// `crates/stress/tests/canary.rs`); retried because the deadlock needs
+/// concurrent PEs and a loaded machine can serialize them past it.
+const CANARY_SEEDS: [u64; 3] = [0x1, 0x3, 0x7];
+
+#[test]
+fn watchdog_reports_seeded_deadlock() {
+    tshmem::fault::set_blocking_protocol_sends(true);
+    let mut caught = None;
+    'hunt: for _ in 0..4 {
+        for seed in CANARY_SEEDS {
+            let prog = gen_program(&mut RngDraw::new(seed, 0), 8);
+            let hint = format!("cargo run -p stress -- --seed {seed:#x} --pes 8 --depth 1 --canary");
+            if let Outcome::Stalled(report) = run_watched(&prog, Some(1), Duration::from_secs(2), &hint) {
+                caught = Some((seed, report));
+                break 'hunt;
+            }
+        }
+    }
+    tshmem::fault::set_blocking_protocol_sends(false);
+
+    let (seed, report) = caught.expect("reintroduced barrier bug was never caught");
+    assert!(report.contains("per-PE stall diagnosis (8 PEs)"), "bad report:\n{report}");
+    assert!(report.contains("[full]"), "no blocked sender in:\n{report}");
+    assert!(report.contains(&format!("--seed {seed:#x}")), "no reproducer in:\n{report}");
+}

@@ -17,8 +17,17 @@ cd "$(dirname "$0")/.."
 echo "== hermetic build (offline, release) =="
 cargo build --release --offline
 
-echo "== hermetic tests (offline) =="
+echo "== clippy (offline, warnings are errors) =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "== hermetic tests (offline, tier-1 root package) =="
 cargo test -q --offline
+
+echo "== hermetic tests (offline, full workspace incl. stress suites) =="
+cargo test -q --offline --workspace
+
+echo "== stress harness replay demo (seeded, watchdog armed) =="
+cargo run -q --offline -p stress -- --seed 0x2 --pes 4 --depth 2
 
 echo "== external-import scan (everything outside crates/bench) =="
 # crates/bench is excluded from the workspace and holds the only
