@@ -28,6 +28,10 @@ pub struct NativeShared {
     pub aborted: AtomicBool,
     /// Per-PE progress/blocked-state probes (watchdog introspection).
     pub probes: Vec<Arc<PeProbe>>,
+    /// Per-PE probes for the interrupt-service threads, so a stall
+    /// inside a redirected-RMA handler is attributed to the handler
+    /// rather than showing up only as its clients' reply waits.
+    pub service_probes: Vec<Arc<PeProbe>>,
     /// Wall-clock operation trace, when enabled.
     pub trace: Option<Arc<TraceSink>>,
 }
@@ -66,14 +70,27 @@ impl NativeFabric {
         }
     }
 
-    /// A clone for the PE's interrupt-service thread (no probe: the
-    /// service thread's own waits are its idle state, not the PE's).
+    /// A fabric for the PE's **interrupt-service thread**, carrying the
+    /// PE's *service* probe (distinct from the main-thread probe, which
+    /// the service context must not overwrite).
+    pub fn new_service(shared: Arc<NativeShared>, pe: usize, udn: UdnEndpoint) -> Self {
+        let probe = Some(shared.service_probes[pe].clone());
+        Self {
+            shared,
+            pe,
+            udn,
+            probe,
+        }
+    }
+
+    /// A clone for the PE's interrupt-service thread, carrying the
+    /// service probe.
     pub fn service_clone(&self) -> NativeFabric {
         NativeFabric {
             shared: self.shared.clone(),
             pe: self.pe,
             udn: self.udn.clone(),
-            probe: None,
+            probe: Some(self.shared.service_probes[self.pe].clone()),
         }
     }
 
@@ -81,11 +98,40 @@ impl NativeFabric {
         &self.shared.privates[self.pe]
     }
 
-    /// Count one completed fabric operation toward the stall watchdog.
+    /// Count one completed (state-changing) fabric operation toward the
+    /// stall watchdog, tick the fault plane's op clock, and serve any
+    /// `SlowPe` fault targeting this PE.
     #[inline]
     fn progress(&self) {
         if let Some(p) = &self.probe {
             p.bump();
+        }
+        crate::fault::note_op();
+        if let Some(us) = crate::fault::slow_pe_delay_us(self.pe) {
+            self.sleep_checking_abort(us);
+        }
+    }
+
+    /// Count one spin retry (a poll/CAS that changed no state).
+    #[inline]
+    fn spin_retry(&self) {
+        if let Some(p) = &self.probe {
+            p.spin();
+        }
+    }
+
+    /// Sleep `micros` µs in abort-checking chunks so an injected stall
+    /// cannot outlive a job teardown: if a peer panics mid-stall, this
+    /// context aborts within one chunk instead of holding the job open.
+    fn sleep_checking_abort(&self, micros: u64) {
+        let mut left = std::time::Duration::from_micros(micros);
+        while !left.is_zero() {
+            let step = left.min(std::time::Duration::from_millis(50));
+            std::thread::sleep(step);
+            left -= step;
+            if self.shared.aborted.load(Ordering::Acquire) {
+                panic!("PE {}: aborting — another PE panicked", self.pe);
+            }
         }
     }
 
@@ -129,6 +175,9 @@ impl Fabric for NativeFabric {
     }
 
     fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
+        if let Some(us) = crate::fault::protocol_send_delay_us() {
+            self.sleep_checking_abort(us);
+        }
         // Q_SERVICE is consumed by the destination's service thread; the
         // routing is by queue, so a plain send reaches it.
         self.udn.send(dest, queue, tag, payload.to_vec());
@@ -137,10 +186,23 @@ impl Fabric for NativeFabric {
     }
 
     fn udn_try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
+        // A `ClampQueueDepth` fault squeezes the *effective* queue depth
+        // below the fabric's real bound, forcing the draining-send
+        // backpressure path mid-run.
+        if let Some(depth) = crate::fault::clamp_queue_depth() {
+            if self.udn.dest_queue_len(dest, queue) >= depth {
+                return false;
+            }
+        }
         let sent = self.udn.try_send(dest, queue, tag, payload.to_vec());
         if sent {
+            if let Some(us) = crate::fault::protocol_send_delay_us() {
+                self.sleep_checking_abort(us);
+            }
             self.trace(TraceKind::UdnSend, dest, 8 * payload.len() as u64);
             self.progress();
+        } else {
+            self.spin_retry();
         }
         sent
     }
@@ -205,6 +267,9 @@ impl Fabric for NativeFabric {
 
     fn arena_write_u64(&self, off: usize, v: u64) {
         self.shared.arena.atomic_u64(off).store(v, Ordering::Release);
+        // A flag store is a state change (useful work); atomic *loads*
+        // stay uncounted so polling can never masquerade as progress.
+        self.progress();
     }
 
     fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
@@ -238,10 +303,11 @@ impl Fabric for NativeFabric {
     }
 
     fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
-        self.trace(TraceKind::Atomic, usize::MAX, width.bytes() as u64);
-        self.progress();
+        // Only a *successful* exchange is useful work (and worth a trace
+        // event); a failed retry is a spin, or a livelocked CAS loop
+        // would look live to the watchdog while flooding the trace sink.
         let arena = &self.shared.arena;
-        match width {
+        let (old, swapped) = match width {
             RmwWidth::W64 => {
                 match arena.atomic_u64(off).compare_exchange(
                     cond,
@@ -249,7 +315,8 @@ impl Fabric for NativeFabric {
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 ) {
-                    Ok(old) | Err(old) => old,
+                    Ok(old) => (old, true),
+                    Err(old) => (old, false),
                 }
             }
             RmwWidth::W32 => {
@@ -259,10 +326,18 @@ impl Fabric for NativeFabric {
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 ) {
-                    Ok(old) | Err(old) => old as u64,
+                    Ok(old) => (old as u64, true),
+                    Err(old) => (old as u64, false),
                 }
             }
+        };
+        if swapped {
+            self.trace(TraceKind::Atomic, usize::MAX, width.bytes() as u64);
+            self.progress();
+        } else {
+            self.spin_retry();
         }
+        old
     }
 
     fn private_write(&self, off: usize, src: &[u8]) {
@@ -315,6 +390,7 @@ impl Fabric for NativeFabric {
     }
 
     fn wait_pause(&self, attempt: u32) {
+        self.spin_retry();
         // Check the abort flag occasionally so polling waits can't hang
         // a job whose peer died.
         if attempt > 0 && attempt.is_multiple_of(65536) && self.shared.aborted.load(Ordering::Acquire) {
@@ -333,6 +409,10 @@ impl Fabric for NativeFabric {
 
     fn now_ns(&self) -> f64 {
         self.shared.start.elapsed().as_nanos() as f64
+    }
+
+    fn inject_delay_us(&self, micros: u64) {
+        self.sleep_checking_abort(micros);
     }
 }
 

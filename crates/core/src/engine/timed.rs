@@ -21,7 +21,38 @@ use tile_arch::area::TestArea;
 use tmc::common::CommonMemory;
 use udn::timing::UdnModel;
 
-use crate::fabric::{Fabric, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+use crate::fabric::{BlockedOn, Fabric, PeProbe, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+
+/// Extra coop channel carrying queue-space credits: a sender blocked on
+/// a full modeled UDN queue parks in `recv(CH_CREDIT)` and is granted a
+/// zero-latency credit when the destination drains a packet. Parking on
+/// a real coop channel makes a cycle of full-queue senders a *genuine*
+/// desim deadlock — exactly what the timed watchdog detects.
+pub const CH_CREDIT: usize = udn::NUM_QUEUES;
+/// Extra coop channel for `tmc_spin_barrier` traffic, so spin-barrier
+/// tokens can never interleave with protocol messages on `Q_BARRIER`
+/// when a program mixes barrier algorithms.
+pub const CH_SPIN: usize = udn::NUM_QUEUES + 1;
+/// Channels per LP a timed cooperative run must be launched with.
+pub const TIMED_CHANNELS: usize = udn::NUM_QUEUES + 2;
+
+/// Failed-poll budget per single wait (`wait_pause` attempts): a wait
+/// that polls this many times without its condition changing has spun
+/// for tens of virtual seconds — a livelock that would otherwise burn
+/// real CPU forever, since virtual time advances keep every poller
+/// runnable. Panic instead so the test runner can never hang.
+const SPIN_BUDGET: u32 = 2_000_000;
+
+/// Per-destination modeled UDN queue occupancy and the senders parked
+/// waiting for space.
+struct QueueState {
+    /// `occ[dest_lp][queue]`: packets sent but not yet received.
+    occ: Vec<[usize; udn::NUM_QUEUES]>,
+    /// `(dest_lp, queue, sender_lp)` for every parked sender.
+    waiters: Vec<(usize, usize, usize)>,
+}
+
+const TAG_CREDIT: u16 = 0x5C;
 
 /// Simulated-address-space bases (disjoint regions for classification).
 const SIM_ARENA_BASE: u64 = 1 << 32;
@@ -57,6 +88,13 @@ pub struct TimedShared {
     pub homing_overrides: Mutex<Vec<(usize, usize, Homing)>>,
     /// Optional operation trace (see `crate::trace`).
     pub trace: Option<Arc<crate::trace::TraceSink>>,
+    /// Per-LP probes (`0..npes` the PEs, `npes..2*npes` their service
+    /// contexts) — the same introspection the native engine gives the
+    /// watchdog, read by `TimedWatch` at deadlock-detection time.
+    pub probes: Vec<Arc<PeProbe>>,
+    /// Modeled UDN queue depth (packets); `None` = unbounded.
+    pub queue_cap: Option<usize>,
+    qstate: Mutex<QueueState>,
 }
 
 impl TimedShared {
@@ -76,11 +114,26 @@ impl TimedShared {
         private_bytes: usize,
         trace: Option<Arc<crate::trace::TraceSink>>,
     ) -> Arc<Self> {
+        Self::new_full(area, npes, partition_bytes, private_bytes, trace, None)
+    }
+
+    /// Full constructor: `queue_cap` bounds the modeled UDN demux
+    /// queues (packets per queue), giving the timed engine the same
+    /// finite-buffer backpressure semantics as a bounded native fabric.
+    pub fn new_full(
+        area: TestArea,
+        npes: usize,
+        partition_bytes: usize,
+        private_bytes: usize,
+        trace: Option<Arc<crate::trace::TraceSink>>,
+        queue_cap: Option<usize>,
+    ) -> Arc<Self> {
         assert!(
             npes <= area.tiles(),
             "{npes} PEs exceed the {}-tile test area",
             area.tiles()
         );
+        assert!(queue_cap != Some(0), "queue_cap must be at least 1 packet");
         let arena = CommonMemory::new(npes * partition_bytes, Homing::HashForHome);
         let privates = (0..npes)
             .map(|pe| CommonMemory::new(private_bytes, Homing::Local(pe)))
@@ -94,15 +147,28 @@ impl TimedShared {
             partition_bytes,
             homing_overrides: Mutex::new(Vec::new()),
             trace,
+            probes: (0..2 * npes).map(|_| Arc::new(PeProbe::new())).collect(),
+            queue_cap,
+            qstate: Mutex::new(QueueState {
+                occ: vec![[0; udn::NUM_QUEUES]; 2 * npes],
+                waiters: Vec::new(),
+            }),
         })
+    }
+
+    /// Snapshot of the modeled demux-queue occupancy of LP `lp`.
+    pub fn queue_occupancy(&self, lp: usize) -> [usize; udn::NUM_QUEUES] {
+        self.qstate.lock().occ[lp]
     }
 }
 
 /// Per-LP timed fabric. The PE's main context and its service context
-/// share `pe` but hold different coop handles.
+/// share `pe` but hold different coop handles (and distinct probes).
 pub struct TimedFabric {
     shared: Arc<TimedShared>,
     pe: usize,
+    lp: usize,
+    probe: Arc<PeProbe>,
     coop: CoopHandle<ProtoMsg>,
 }
 
@@ -111,11 +177,124 @@ impl TimedFabric {
     /// `0..npes` are PEs, `npes..2*npes` their service contexts.
     pub fn for_lp(shared: Arc<TimedShared>, lp_id: usize, coop: CoopHandle<ProtoMsg>) -> Self {
         let pe = lp_id % shared.npes;
-        Self { shared, pe, coop }
+        let probe = shared.probes[lp_id].clone();
+        Self {
+            shared,
+            pe,
+            lp: lp_id,
+            probe,
+            coop,
+        }
     }
 
     fn clock(&self) -> tile_arch::clock::Clock {
         self.shared.model.area.device.clock
+    }
+
+    /// Count one completed (state-changing) op, tick the fault plane's
+    /// op clock, and serve any `SlowPe` fault by advancing virtual time.
+    fn progress(&self) {
+        self.probe.bump();
+        crate::fault::note_op();
+        if let Some(us) = crate::fault::slow_pe_delay_us(self.pe) {
+            self.coop.advance(SimTime::from_ns(us * 1000));
+        }
+    }
+
+    /// Effective modeled queue depth: the configured cap, tightened by
+    /// any active `ClampQueueDepth` fault.
+    fn effective_cap(&self) -> Option<usize> {
+        let clamp = crate::fault::clamp_queue_depth();
+        match (self.shared.queue_cap, clamp) {
+            (Some(b), Some(c)) => Some(b.min(c)),
+            (Some(b), None) => Some(b),
+            (None, c) => c,
+        }
+    }
+
+    /// Reserve one slot in `dest_lp`'s modeled demux queue `queue`.
+    /// Occupancy is tracked unconditionally (it feeds the stall
+    /// diagnosis); the depth bound only gates when a cap is in effect.
+    /// Returns `false` if non-blocking and the queue is full. A
+    /// blocking reservation parks this LP on [`CH_CREDIT`] until the
+    /// destination drains a packet — so a cycle of full-queue blocking
+    /// senders is a real desim deadlock.
+    fn reserve_slot(&self, dest_lp: usize, queue: usize, dest_pe: usize, blocking: bool) -> bool {
+        loop {
+            let cap = self.effective_cap();
+            {
+                let mut q = self.shared.qstate.lock();
+                if cap.is_none_or(|c| q.occ[dest_lp][queue] < c) {
+                    q.occ[dest_lp][queue] += 1;
+                    return true;
+                }
+                if !blocking {
+                    return false;
+                }
+                q.waiters.push((dest_lp, queue, self.lp));
+            }
+            self.probe.set_blocked(BlockedOn::SendFull { dest: dest_pe, queue });
+            self.probe.spin();
+            let credit = self.coop.recv(CH_CREDIT);
+            debug_assert_eq!(credit.tag, TAG_CREDIT);
+            self.probe.set_blocked(BlockedOn::Running);
+            // Re-check: another sender may have taken the freed slot.
+        }
+    }
+
+    /// Release the slot a just-received packet held in this LP's
+    /// modeled queue and grant one credit to a parked sender, if any.
+    fn release_slot(&self, queue: usize) {
+        let woken = {
+            let mut q = self.shared.qstate.lock();
+            let occ = &mut q.occ[self.lp][queue];
+            *occ = occ.saturating_sub(1);
+            q.waiters
+                .iter()
+                .position(|&(d, qu, _)| d == self.lp && qu == queue)
+                .map(|i| q.waiters.remove(i).2)
+        };
+        if let Some(sender_lp) = woken {
+            self.coop.send(
+                sender_lp,
+                CH_CREDIT,
+                ProtoMsg {
+                    src: self.pe,
+                    tag: TAG_CREDIT,
+                    payload: vec![],
+                },
+                SimTime::ZERO,
+            );
+        }
+    }
+
+    /// The wire-and-overhead half of a UDN send, after slot reservation.
+    fn send_inner(&self, dest_lp: usize, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
+        let t0 = self.coop.now();
+        if let Some(us) = crate::fault::protocol_send_delay_us() {
+            self.coop.advance(SimTime::from_ns(us * 1000));
+        }
+        // Software injection overhead, then wormhole wire latency.
+        self.coop
+            .advance(SimTime::from_ps(self.shared.model.sw_overhead_ps()));
+        let wire = self.shared.model.one_way_ps(self.pe, dest, payload.len() + 1);
+        self.coop.send(
+            dest_lp,
+            queue,
+            ProtoMsg {
+                src: self.pe,
+                tag,
+                payload: payload.to_vec(),
+            },
+            SimTime::from_ps(wire),
+        );
+        self.trace(
+            crate::trace::TraceKind::UdnSend,
+            t0,
+            dest,
+            ((payload.len() + 1) * self.shared.model.area.device.word_bytes) as u64,
+        );
+        self.progress();
     }
 
     fn advance_cycles(&self, cycles: f64) {
@@ -199,58 +378,66 @@ impl Fabric for TimedFabric {
 
     fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
         assert!(dest < self.shared.npes, "unknown destination PE {dest}");
-        let t0 = self.coop.now();
-        // Software injection overhead, then wormhole wire latency.
-        self.coop
-            .advance(SimTime::from_ps(self.shared.model.sw_overhead_ps()));
-        let wire = self.shared.model.one_way_ps(self.pe, dest, payload.len() + 1);
         let dest_lp = if queue == Q_SERVICE {
             self.shared.npes + dest
         } else {
             dest
         };
-        self.coop.send(
-            dest_lp,
-            queue,
-            ProtoMsg {
-                src: self.pe,
-                tag,
-                payload: payload.to_vec(),
-            },
-            SimTime::from_ps(wire),
-        );
-        self.trace(
-            crate::trace::TraceKind::UdnSend,
-            t0,
-            dest,
-            ((payload.len() + 1) * self.shared.model.area.device.word_bytes) as u64,
-        );
+        self.reserve_slot(dest_lp, queue, dest, true);
+        self.send_inner(dest_lp, dest, queue, tag, payload);
+    }
+
+    fn udn_try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
+        assert!(dest < self.shared.npes, "unknown destination PE {dest}");
+        let dest_lp = if queue == Q_SERVICE {
+            self.shared.npes + dest
+        } else {
+            dest
+        };
+        if !self.reserve_slot(dest_lp, queue, dest, false) {
+            self.probe.spin();
+            return false;
+        }
+        self.send_inner(dest_lp, dest, queue, tag, payload);
+        true
     }
 
     fn udn_recv(&self, queue: usize) -> ProtoMsg {
         let t0 = self.coop.now();
+        self.probe.set_blocked(BlockedOn::Recv { queue });
         let msg = self.coop.recv(queue);
+        self.probe.set_blocked(BlockedOn::Running);
+        self.release_slot(queue);
         self.trace(crate::trace::TraceKind::Wait, t0, usize::MAX, 0);
+        self.progress();
         msg
     }
 
     fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
-        self.coop.try_recv(queue)
+        let got = self.coop.try_recv(queue);
+        if got.is_some() {
+            self.release_slot(queue);
+            self.progress();
+        }
+        got
     }
 
     fn arena_copy(&self, dst: usize, src: usize, len: usize) {
         self.shared.arena.copy_within(dst, src, len);
         self.charge_copy(self.sim_arena(dst), self.sim_arena(src), len);
+        self.progress();
     }
 
     fn arena_write(&self, dst: usize, src: &[u8]) {
         self.shared.arena.write_bytes(dst, src);
         self.charge_copy(self.sim_arena(dst), self.sim_scratch(dst, src.len()), src.len());
+        self.progress();
     }
 
     fn arena_read(&self, src: usize, dst: &mut [u8]) {
         self.shared.arena.read_bytes(src, dst);
         self.charge_copy(self.sim_scratch(src, dst.len()), self.sim_arena(src), dst.len());
+        self.progress();
     }
 
     fn arena_read_u64(&self, off: usize) -> u64 {
@@ -275,10 +462,13 @@ impl Fabric for TimedFabric {
             .arena
             .atomic_u64(off)
             .store(v, std::sync::atomic::Ordering::Release);
+        // A flag store is useful work; atomic loads stay uncounted.
+        self.progress();
     }
 
     fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
         self.advance_cycles(RMW_CYCLES);
+        self.progress();
         // Only one LP runs at a time, so sequenced RMW through the
         // shared arena is atomic by construction; the atomics keep the
         // native types shared.
@@ -312,7 +502,7 @@ impl Fabric for TimedFabric {
 
     fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
         self.advance_cycles(RMW_CYCLES);
-        self.coop.with_global(|| {
+        let old = self.coop.with_global(|| {
             use std::sync::atomic::Ordering::{AcqRel, Acquire};
             match width {
                 RmwWidth::W64 => {
@@ -336,17 +526,26 @@ impl Fabric for TimedFabric {
                     }
                 }
             }
-        })
+        });
+        // Same useful-vs-spin split as the native engine.
+        if old == cond {
+            self.progress();
+        } else {
+            self.probe.spin();
+        }
+        old
     }
 
     fn private_write(&self, off: usize, src: &[u8]) {
         self.shared.privates[self.pe].write_bytes(off, src);
         self.charge_copy(self.sim_priv(off), self.sim_scratch(off, src.len()), src.len());
+        self.progress();
     }
 
     fn private_read(&self, off: usize, dst: &mut [u8]) {
         self.shared.privates[self.pe].read_bytes(off, dst);
         self.charge_copy(self.sim_scratch(off, dst.len()), self.sim_priv(off), dst.len());
+        self.progress();
     }
 
     fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize) {
@@ -358,6 +557,7 @@ impl Fabric for TimedFabric {
             len,
         );
         self.charge_copy(self.sim_arena(arena_dst), self.sim_priv(priv_src), len);
+        self.progress();
     }
 
     fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize) {
@@ -369,6 +569,7 @@ impl Fabric for TimedFabric {
             len,
         );
         self.charge_copy(self.sim_priv(priv_dst), self.sim_arena(arena_src), len);
+        self.progress();
     }
 
     fn arena_raw(&self, off: usize, len: usize) -> *mut u8 {
@@ -383,6 +584,8 @@ impl Fabric for TimedFabric {
         // Model: everyone announces arrival to the set's start PE with
         // zero wire cost; the release is timed so all participants leave
         // at max(arrivals) + the calibrated Figure 5 spin latency.
+        // Tokens ride the dedicated CH_SPIN coop channel so they can
+        // never interleave with protocol traffic on Q_BARRIER.
         const TAG_SPIN: u16 = 0x5B;
         let (start, log2_stride, size) = set;
         let stride = 1usize << log2_stride;
@@ -390,20 +593,23 @@ impl Fabric for TimedFabric {
         let spin = SimTime::from_ps(device.timings.barrier.spin_ps(size));
         if size == 1 {
             self.coop.advance(spin);
+            self.progress();
             return;
         }
         if self.pe == start {
+            self.probe.set_blocked(BlockedOn::Recv { queue: crate::fabric::Q_BARRIER });
             for _ in 1..size {
-                let m = self.coop.recv(crate::fabric::Q_BARRIER);
+                let m = self.coop.recv(CH_SPIN);
                 debug_assert_eq!(m.tag, TAG_SPIN);
             }
+            self.probe.set_blocked(BlockedOn::Running);
             let release = self.coop.now() + spin;
             for r in 1..size {
                 let dest = start + r * stride;
                 let latency = release.saturating_sub(self.coop.now());
                 self.coop.send(
                     dest,
-                    crate::fabric::Q_BARRIER,
+                    CH_SPIN,
                     ProtoMsg {
                         src: self.pe,
                         tag: TAG_SPIN,
@@ -416,7 +622,7 @@ impl Fabric for TimedFabric {
         } else {
             self.coop.send(
                 start,
-                crate::fabric::Q_BARRIER,
+                CH_SPIN,
                 ProtoMsg {
                     src: self.pe,
                     tag: TAG_SPIN,
@@ -424,9 +630,12 @@ impl Fabric for TimedFabric {
                 },
                 SimTime::ZERO,
             );
-            let m = self.coop.recv(crate::fabric::Q_BARRIER);
+            self.probe.set_blocked(BlockedOn::Recv { queue: crate::fabric::Q_BARRIER });
+            let m = self.coop.recv(CH_SPIN);
             debug_assert_eq!(m.tag, TAG_SPIN);
+            self.probe.set_blocked(BlockedOn::Running);
         }
+        self.progress();
     }
 
     fn set_region_homing(&self, global_off: usize, len: usize, homing: Homing) {
@@ -448,6 +657,22 @@ impl Fabric for TimedFabric {
     }
 
     fn wait_pause(&self, attempt: u32) {
+        self.probe.spin();
+        // Under virtual time every poller stays runnable (each poll
+        // advances its clock), so a livelock would spin real CPU
+        // forever without the desim deadlock detector ever firing.
+        // Bound each wait instead: panicking beats hanging the runner.
+        if attempt >= SPIN_BUDGET {
+            panic!(
+                "PE {} (LP {}): virtual-time livelock guard — {attempt} failed polls in one \
+                 wait while {}; useful ops {} spins {}",
+                self.pe,
+                self.lp,
+                self.probe.blocked(),
+                self.probe.ops(),
+                self.probe.spins(),
+            );
+        }
         // Exponential backoff: 50 cycles doubling to a 12.8k-cycle cap
         // (~13 us at 1 GHz). Detection latency is overestimated by at
         // most one interval, negligible against the operations these
@@ -464,5 +689,13 @@ impl Fabric for TimedFabric {
 
     fn now_ns(&self) -> f64 {
         self.coop.now().ns_f64()
+    }
+
+    fn inject_delay_us(&self, micros: u64) {
+        self.coop.advance(SimTime::from_ns(micros * 1000));
+    }
+
+    fn probe(&self) -> Option<&PeProbe> {
+        Some(&self.probe)
     }
 }

@@ -84,6 +84,11 @@ pub enum BlockedOn {
     FlagWait { offset: usize },
     /// Spinning on a lock word (global arena byte offset).
     LockWait { offset: usize },
+    /// A service context executing a redirected-RMA request (`tag` is
+    /// the protocol tag, `src` the requesting PE). Published by
+    /// `service_loop` for the duration of the handler so a stall inside
+    /// the handler is attributed to the handler, not its clients.
+    Handler { tag: u16, src: usize },
 }
 
 impl BlockedOn {
@@ -98,6 +103,7 @@ impl BlockedOn {
             }
             BlockedOn::FlagWait { offset } => (3 << 56) | offset as u64,
             BlockedOn::LockWait { offset } => (4 << 56) | offset as u64,
+            BlockedOn::Handler { tag, src } => (5 << 56) | ((tag as u64) << 24) | src as u64,
         }
     }
 
@@ -111,6 +117,10 @@ impl BlockedOn {
             },
             3 => BlockedOn::FlagWait { offset: lo as usize },
             4 => BlockedOn::LockWait { offset: lo as usize },
+            5 => BlockedOn::Handler {
+                tag: ((lo >> 24) & 0xffff) as u16,
+                src: (lo & 0xff_ffff) as usize,
+            },
             _ => BlockedOn::Running,
         }
     }
@@ -124,19 +134,28 @@ impl std::fmt::Display for BlockedOn {
             BlockedOn::SendFull { dest, queue } => write!(f, "send->PE{dest}(q{queue}) [full]"),
             BlockedOn::FlagWait { offset } => write!(f, "flag-wait@{offset:#x}"),
             BlockedOn::LockWait { offset } => write!(f, "lock-wait@{offset:#x}"),
+            BlockedOn::Handler { tag, src } => {
+                write!(f, "handler({} from PE {src})", crate::service::tag_name(*tag))
+            }
         }
     }
 }
 
 /// Per-PE progress/blocked-state probe, shared with a watchdog.
 ///
-/// `ops` is a monotonic count of completed fabric operations; a stalled
-/// job shows a flat total across the watchdog's window. `blocked` and
-/// `stash` snapshot what the PE is waiting on and which out-of-order
-/// protocol messages it has parked.
+/// `ops` is a monotonic count of completed *state-changing* fabric
+/// operations (useful work); `spins` counts retries that changed
+/// nothing — failed `cswap` attempts, `wait_until`/`flag_wait_ge`
+/// polls, lock-acquisition backoff steps. A deadlocked job shows both
+/// totals flat across the watchdog's window; a **livelocked** job shows
+/// `spins` climbing while `ops` stays flat — the distinction
+/// `JobWatch::diagnose_delta` reports. `blocked` and `stash` snapshot
+/// what the PE is waiting on and which out-of-order protocol messages
+/// it has parked.
 #[derive(Default)]
 pub struct PeProbe {
     ops: AtomicU64,
+    spins: AtomicU64,
     blocked: AtomicU64,
     /// `(tag, src)` of every stashed protocol message.
     stash: Mutex<Vec<(u16, usize)>>,
@@ -147,15 +166,27 @@ impl PeProbe {
         Self::default()
     }
 
-    /// Count one completed fabric operation.
+    /// Count one completed (state-changing) fabric operation.
     #[inline]
     pub fn bump(&self) {
         self.ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one spin retry (a poll or CAS attempt that changed no
+    /// state).
+    #[inline]
+    pub fn spin(&self) {
+        self.spins.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Completed-operation count.
     pub fn ops(&self) -> u64 {
         self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Spin-retry count.
+    pub fn spins(&self) -> u64 {
+        self.spins.load(Ordering::Relaxed)
     }
 
     /// Publish the current blocked state.
@@ -310,11 +341,21 @@ pub trait Fabric: Send {
     /// virtual time under the timed engine).
     fn now_ns(&self) -> f64;
 
+    /// Stall this context for `micros` engine-native microseconds — the
+    /// fault-injection plane's delay primitive (`crate::fault`). The
+    /// native engine sleeps in abort-checking chunks so an injected
+    /// stall cannot outlive a job teardown; the timed engine advances
+    /// virtual time. Engines without fault support keep this no-op.
+    fn inject_delay_us(&self, micros: u64) {
+        let _ = micros;
+    }
+
     // --- introspection --------------------------------------------------
 
     /// This PE's progress/blocked-state probe, when the engine supports
-    /// watchdog introspection (the native engine's main-thread fabrics
-    /// do; service clones and the virtual-time engines do not).
+    /// watchdog introspection (the native and timed engines' fabrics
+    /// do, including their service contexts; the multichip engine does
+    /// not).
     fn probe(&self) -> Option<&PeProbe> {
         None
     }
@@ -332,6 +373,8 @@ mod tests {
             BlockedOn::SendFull { dest: 35, queue: 1 },
             BlockedOn::FlagWait { offset: 0x3f_fff8 },
             BlockedOn::LockWait { offset: 8 },
+            BlockedOn::Handler { tag: 0xfffe, src: 255 },
+            BlockedOn::Handler { tag: 1, src: 0 },
         ];
         let probe = PeProbe::new();
         for s in states {
@@ -342,6 +385,10 @@ mod tests {
         probe.bump();
         probe.bump();
         assert_eq!(probe.ops(), 2);
+        assert_eq!(probe.spins(), 0);
+        probe.spin();
+        assert_eq!(probe.spins(), 1);
+        assert_eq!(probe.ops(), 2, "spins must not count as useful work");
         probe.set_stash(vec![(13, 2), (20, 5)]);
         assert_eq!(probe.stash(), vec![(13, 2), (20, 5)]);
     }

@@ -1,20 +1,33 @@
-//! Runtime fault injection for watchdog validation.
+//! The fault-injection plane: seeded, replayable liveness faults.
 //!
 //! PR 1 fixed a real dissemination-barrier deadlock: a PE blocked in a
 //! plain full-queue send cannot drain its own demux queue, so a cycle of
 //! blocked senders hangs on finite-buffer fabrics. The stress harness's
 //! watchdog exists to catch exactly that bug class, and its detection
-//! power is proven by *reintroducing* the bug on demand: with
-//! [`set_blocking_protocol_sends`] enabled, `send_draining` degrades to
-//! the pre-fix plain blocking send.
+//! power is proven by *reintroducing* faults on demand. PR 2 added the
+//! single [`set_blocking_protocol_sends`] hook; this module grows it
+//! into a plane of five fault kinds, drawn from a seed by substrate's
+//! `KeyedRng` so any fault schedule is replayable byte-identically
+//! (`cargo run -p stress -- --fault-plan SEED`).
 //!
-//! The switch is a process-wide atomic (protocol code has no test-only
+//! Every fault is a *liveness* fault, never a correctness fault: an
+//! injected delay, clamp, or stall may slow a run or wedge it outright,
+//! but it never corrupts data. A faulted run therefore either still
+//! converges to the stress oracle (the fault was tolerated) or is
+//! caught by a watchdog whose diagnosis names the faulted component —
+//! it must never hang the test runner.
+//!
+//! All state is process-wide (protocol code has no test-only
 //! configuration channel, and a cargo feature would leak through
-//! workspace feature unification into every build). Tests that flip it
-//! must live in their own test binary so the process-global state cannot
-//! poison unrelated concurrently-running tests.
+//! workspace feature unification into every build). Tests that install
+//! a plan or flip the legacy switch must live in their own test binary
+//! so the process-global state cannot poison unrelated
+//! concurrently-running tests.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use substrate::rng::KeyedRng;
+use substrate::sync::Mutex;
 
 static BLOCKING_PROTOCOL_SENDS: AtomicBool = AtomicBool::new(false);
 
@@ -25,7 +38,307 @@ pub fn set_blocking_protocol_sends(on: bool) {
     BLOCKING_PROTOCOL_SENDS.store(on, Ordering::Release);
 }
 
-/// Whether protocol sends are currently degraded.
+/// Whether protocol sends are currently degraded, either by the legacy
+/// switch or by an installed [`FaultPlan`] containing
+/// [`Fault::BlockingProtocolSends`].
 pub fn blocking_protocol_sends() -> bool {
-    BLOCKING_PROTOCOL_SENDS.load(Ordering::Acquire)
+    BLOCKING_PROTOCOL_SENDS.load(Ordering::Acquire) || PLAN_BLOCKING.load(Ordering::Acquire)
+}
+
+/// One injectable liveness fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Degrade `send_draining` to a plain blocking send (the PR-1
+    /// deadlock). Canary-grade: deliberately *not* drawn by
+    /// [`FaultPlan::from_seed`], whose plans must stay in the
+    /// tolerated class.
+    BlockingProtocolSends,
+    /// Stall every `every`-th protocol send for `micros` µs before it
+    /// enters the fabric (reordering/latency pressure on the token
+    /// protocols).
+    DelayProtocolSends { every: u64, micros: u64 },
+    /// Once the global op counter passes `after_ops`, clamp the
+    /// *effective* UDN queue depth to `depth` packets — a mid-run
+    /// buffer squeeze that forces the draining-send backpressure path.
+    ClampQueueDepth { after_ops: u64, depth: usize },
+    /// Stall PE `pe`'s service handler for `micros` µs on each of its
+    /// next `requests` redirected-RMA requests.
+    StallServiceHandler { pe: usize, requests: u64, micros: u64 },
+    /// Slow PE `pe` down: stall `micros` µs after every `every`-th of
+    /// its completed fabric ops (an overloaded-tile model).
+    SlowPe { pe: usize, every: u64, micros: u64 },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::BlockingProtocolSends => write!(f, "BlockingProtocolSends"),
+            Fault::DelayProtocolSends { every, micros } => {
+                write!(f, "DelayProtocolSends(every {every}th send +{micros}us)")
+            }
+            Fault::ClampQueueDepth { after_ops, depth } => {
+                write!(f, "ClampQueueDepth(depth {depth} after {after_ops} ops)")
+            }
+            Fault::StallServiceHandler { pe, requests, micros } => {
+                write!(f, "StallServiceHandler(PE {pe}, first {requests} requests +{micros}us)")
+            }
+            Fault::SlowPe { pe, every, micros } => {
+                write!(f, "SlowPe(PE {pe}, every {every}th op +{micros}us)")
+            }
+        }
+    }
+}
+
+/// A seeded, replayable schedule of liveness faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The generating seed (0 for hand-built plans).
+    pub seed: u64,
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Draw a plan from a seed. Magnitudes are kept inside the
+    /// *tolerated* envelope — delays of at most a few hundred µs,
+    /// clamps no tighter than one packet, handler stalls bounded in
+    /// count and duration — so a seeded plan exercises backpressure and
+    /// slow paths without wedging a correct protocol. The same seed and
+    /// PE count always yield the same plan.
+    pub fn from_seed(seed: u64, npes: usize) -> Self {
+        let mut rng = KeyedRng::new(seed, 0xFAB7);
+        let nfaults = 1 + rng.below(3);
+        let mut faults = Vec::new();
+        for _ in 0..nfaults {
+            faults.push(match rng.below(4) {
+                0 => Fault::DelayProtocolSends {
+                    every: 1 + rng.below(4),
+                    micros: 20 + rng.below(200),
+                },
+                1 => Fault::ClampQueueDepth {
+                    after_ops: rng.below(2000),
+                    depth: (1 + rng.below(2)) as usize,
+                },
+                2 => Fault::StallServiceHandler {
+                    pe: rng.below(npes as u64) as usize,
+                    requests: 1 + rng.below(8),
+                    micros: 100 + rng.below(1200),
+                },
+                _ => Fault::SlowPe {
+                    pe: rng.below(npes as u64) as usize,
+                    every: 1 + rng.below(8),
+                    micros: 10 + rng.below(150),
+                },
+            });
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// One-line human description, for watchdog reports and logs.
+    pub fn describe(&self) -> String {
+        let list: Vec<String> = self.faults.iter().map(|f| f.to_string()).collect();
+        format!("fault plan seed {:#x}: [{}]", self.seed, list.join(", "))
+    }
+}
+
+struct ActivePlan {
+    plan: FaultPlan,
+    /// Remaining stall budget per fault (parallel to `plan.faults`;
+    /// only `StallServiceHandler` entries consume theirs).
+    budgets: Vec<AtomicU64>,
+}
+
+/// Fast-path gate: hooks bail immediately unless a plan is installed.
+static PLAN_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Cached "plan contains BlockingProtocolSends" bit.
+static PLAN_BLOCKING: AtomicBool = AtomicBool::new(false);
+/// Global state-changing-op counter while a plan is active (drives
+/// `ClampQueueDepth::after_ops` and `SlowPe::every`).
+static PLAN_OPS: AtomicU64 = AtomicU64::new(0);
+/// Global protocol-send counter while a plan is active.
+static PLAN_SENDS: AtomicU64 = AtomicU64::new(0);
+static PLAN: Mutex<Option<ActivePlan>> = Mutex::new(None);
+
+/// Install a fault plan process-wide, replacing any previous plan and
+/// resetting the fault counters. See the module docs for the
+/// own-test-binary rule.
+pub fn install(plan: FaultPlan) {
+    let blocking = plan.faults.contains(&Fault::BlockingProtocolSends);
+    let budgets = plan
+        .faults
+        .iter()
+        .map(|f| match f {
+            Fault::StallServiceHandler { requests, .. } => AtomicU64::new(*requests),
+            _ => AtomicU64::new(0),
+        })
+        .collect();
+    *PLAN.lock() = Some(ActivePlan { plan, budgets });
+    PLAN_OPS.store(0, Ordering::Relaxed);
+    PLAN_SENDS.store(0, Ordering::Relaxed);
+    PLAN_BLOCKING.store(blocking, Ordering::Release);
+    PLAN_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Remove the installed plan (tests must clear before exiting so later
+/// runs in the same process start clean).
+pub fn clear() {
+    PLAN_ACTIVE.store(false, Ordering::Release);
+    PLAN_BLOCKING.store(false, Ordering::Release);
+    *PLAN.lock() = None;
+}
+
+/// Description of the active plan, for watchdog reports.
+pub fn describe_active() -> Option<String> {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    PLAN.lock().as_ref().map(|a| a.plan.describe())
+}
+
+/// Engines call this on every completed state-changing op so mid-run
+/// triggers (`ClampQueueDepth::after_ops`, `SlowPe::every`) have a
+/// clock to key off. No-op unless a plan is active.
+#[inline]
+pub(crate) fn note_op() {
+    if PLAN_ACTIVE.load(Ordering::Relaxed) {
+        PLAN_OPS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Delay (µs) to inject before the current protocol send, if any.
+pub(crate) fn protocol_send_delay_us() -> Option<u64> {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let n = PLAN_SENDS.fetch_add(1, Ordering::Relaxed) + 1;
+    let guard = PLAN.lock();
+    let active = guard.as_ref()?;
+    for f in &active.plan.faults {
+        if let Fault::DelayProtocolSends { every, micros } = f {
+            if n.is_multiple_of(*every) {
+                return Some(*micros);
+            }
+        }
+    }
+    None
+}
+
+/// Effective queue-depth clamp, once its op threshold has passed.
+pub(crate) fn clamp_queue_depth() -> Option<usize> {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let ops = PLAN_OPS.load(Ordering::Relaxed);
+    let guard = PLAN.lock();
+    let active = guard.as_ref()?;
+    let mut clamp: Option<usize> = None;
+    for f in &active.plan.faults {
+        if let Fault::ClampQueueDepth { after_ops, depth } = f {
+            if ops >= *after_ops {
+                clamp = Some(clamp.map_or(*depth, |c| c.min(*depth)));
+            }
+        }
+    }
+    clamp
+}
+
+/// Stall (µs) the service handler on PE `pe` should inject for the
+/// request it just received, consuming one unit of that fault's budget.
+pub(crate) fn service_stall_us(pe: usize) -> Option<u64> {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let guard = PLAN.lock();
+    let active = guard.as_ref()?;
+    for (i, f) in active.plan.faults.iter().enumerate() {
+        if let Fault::StallServiceHandler { pe: fpe, micros, .. } = f {
+            if *fpe == pe {
+                let budget = &active.budgets[i];
+                let mut left = budget.load(Ordering::Relaxed);
+                while left > 0 {
+                    match budget.compare_exchange(
+                        left,
+                        left - 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Some(*micros),
+                        Err(cur) => left = cur,
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Delay (µs) to inject into PE `pe`'s op stream right now, if it is a
+/// `SlowPe` target on an `every`-th op.
+pub(crate) fn slow_pe_delay_us(pe: usize) -> Option<u64> {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let ops = PLAN_OPS.load(Ordering::Relaxed);
+    let guard = PLAN.lock();
+    let active = guard.as_ref()?;
+    for f in &active.plan.faults {
+        if let Fault::SlowPe { pe: fpe, every, micros } = f {
+            if *fpe == pe && ops.is_multiple_of(*every) {
+                return Some(*micros);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_replay_byte_identically() {
+        let a = FaultPlan::from_seed(0xDEAD_BEEF, 8);
+        let b = FaultPlan::from_seed(0xDEAD_BEEF, 8);
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty());
+        // Seeded plans stay in the tolerated class.
+        assert!(!a.faults.contains(&Fault::BlockingProtocolSends));
+        let c = FaultPlan::from_seed(0xDEAD_BEF0, 8);
+        assert_ne!(a, c, "distinct seeds should draw distinct plans");
+    }
+
+    #[test]
+    fn seeded_plan_magnitudes_stay_in_the_tolerated_envelope() {
+        for seed in 0..64u64 {
+            for f in FaultPlan::from_seed(seed, 4).faults {
+                match f {
+                    Fault::BlockingProtocolSends => panic!("canary-only fault drawn from seed"),
+                    Fault::DelayProtocolSends { every, micros } => {
+                        assert!(every >= 1 && micros < 1000);
+                    }
+                    Fault::ClampQueueDepth { depth, .. } => assert!(depth >= 1),
+                    Fault::StallServiceHandler { pe, requests, micros } => {
+                        assert!(pe < 4 && requests <= 16 && micros < 10_000);
+                    }
+                    Fault::SlowPe { pe, every, micros } => {
+                        assert!(pe < 4 && every >= 1 && micros < 1000);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn describe_names_every_fault() {
+        let plan = FaultPlan {
+            seed: 0x42,
+            faults: vec![
+                Fault::StallServiceHandler { pe: 3, requests: 2, micros: 500 },
+                Fault::SlowPe { pe: 1, every: 4, micros: 50 },
+            ],
+        };
+        let d = plan.describe();
+        assert!(d.contains("0x42"));
+        assert!(d.contains("StallServiceHandler(PE 3"));
+        assert!(d.contains("SlowPe(PE 1"));
+    }
 }

@@ -75,10 +75,12 @@ pub mod watch;
 pub use active_set::ActiveSet;
 pub use ctx::{Algorithms, BarrierAlgo, BroadcastAlgo, HomingHint, ReduceAlgo, ShmemCtx, Stats};
 pub use fabric::{BlockedOn, PeProbe};
+pub use fault::{Fault, FaultPlan};
 pub use runtime::{
-    launch, launch_multichip, launch_timed, launch_watched, start_pes, RuntimeConfig, TimedOutcome,
+    launch, launch_multichip, launch_timed, launch_timed_watched, launch_watched, start_pes,
+    RuntimeConfig, TimedOutcome,
 };
-pub use watch::JobWatch;
+pub use watch::{JobWatch, PeCounters, TimedWatch};
 pub use symm::{AddrClass, Bits, Sym};
 pub use sync::pt2pt::Cmp;
 pub use types::{Complex32, Complex64, Reducible, ReduceOp};

@@ -20,10 +20,10 @@ use udn::fabric::UdnFabric;
 
 use crate::ctx::{Algorithms, Layout, ShmemCtx};
 use crate::engine::native::{NativeFabric, NativeShared};
-use crate::engine::timed::{TimedFabric, TimedShared};
+use crate::engine::timed::{TimedFabric, TimedShared, TIMED_CHANNELS};
 use crate::fabric::PeProbe;
 use crate::service::service_loop;
-use crate::watch::JobWatch;
+use crate::watch::{JobWatch, TimedWatch};
 
 /// Configuration of one SHMEM job.
 #[derive(Clone, Copy, Debug)]
@@ -42,9 +42,12 @@ pub struct RuntimeConfig {
     pub temp_bytes: usize,
     /// Collective/barrier algorithm selection.
     pub algos: Algorithms,
-    /// Native engine: bound each UDN demux queue to this many packets
+    /// Bound each UDN demux queue to this many packets
     /// (hardware-faithful backpressure mode — the real device queues
-    /// hold 127 words). `None` (default) = unbounded.
+    /// hold 127 words). `None` (default) = unbounded. The native engine
+    /// bounds its real channels; the timed engine models the bound with
+    /// credit-blocked sends, so finite-buffer deadlocks reproduce under
+    /// virtual time too.
     pub udn_queue_packets: Option<usize>,
     /// Timed engine: record an operation trace (see [`crate::trace`]).
     pub trace: bool,
@@ -184,6 +187,7 @@ where
         spin_barriers: Mutex::new(std::collections::HashMap::new()),
         aborted: std::sync::atomic::AtomicBool::new(false),
         probes: (0..cfg.npes).map(|_| Arc::new(PeProbe::new())).collect(),
+        service_probes: (0..cfg.npes).map(|_| Arc::new(PeProbe::new())).collect(),
         trace: sink,
     });
     if let Some(w) = watch {
@@ -191,10 +195,11 @@ where
     }
 
     // Interrupt-service contexts: one thread per PE, consuming only
-    // Q_SERVICE of that PE's endpoint.
+    // Q_SERVICE of that PE's endpoint. Each carries the PE's *service*
+    // probe so a stall inside a handler is attributed to the handler.
     let service_threads: Vec<_> = (0..cfg.npes)
         .map(|pe| {
-            let fab = NativeFabric::new(shared.clone(), pe, endpoints[pe].clone());
+            let fab = NativeFabric::new_service(shared.clone(), pe, endpoints[pe].clone());
             std::thread::Builder::new()
                 .name(format!("shmem-svc-{pe}"))
                 .spawn(move || service_loop(&fab))
@@ -247,21 +252,67 @@ where
     R: Send + 'static,
     F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
 {
+    launch_timed_inner(cfg, None, f)
+}
+
+/// [`launch_timed`] with a [`TimedWatch`] deadlock watchdog attached.
+///
+/// A wedged job under virtual time does not stall any wall clock; the
+/// desim scheduler detects the instant no LP can ever run again. With a
+/// watch attached, that detection is returned as `Err(diagnosis)` — the
+/// same per-PE stall format as the native [`JobWatch`] — instead of
+/// surfacing as a raw scheduler panic. Panics that are *not* scheduler
+/// deadlocks (application asserts, poisoned PEs) still propagate.
+pub fn launch_timed_watched<R, F>(
+    cfg: &RuntimeConfig,
+    watch: &Arc<TimedWatch>,
+    f: F,
+) -> Result<TimedOutcome<R>, String>
+where
+    R: Send + 'static,
+    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
+{
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        launch_timed_inner(cfg, Some(watch.clone()), f)
+    }));
+    match result {
+        Ok(out) => Ok(out),
+        Err(payload) => match watch.stall_report() {
+            Some(report) => Err(report),
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+fn launch_timed_inner<R, F>(
+    cfg: &RuntimeConfig,
+    watch: Option<Arc<TimedWatch>>,
+    f: F,
+) -> TimedOutcome<R>
+where
+    R: Send + 'static,
+    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
+{
     cfg.validate();
     let layout = cfg.layout();
     let npes = cfg.npes;
     let algos = cfg.algos;
     let private_bytes = cfg.private_bytes;
     let sink = cfg.trace.then(|| Arc::new(crate::trace::TraceSink::new()));
-    let shared = TimedShared::new_traced(
+    let shared = TimedShared::new_full(
         cfg.area(),
         npes,
         cfg.partition_bytes,
         cfg.private_bytes,
         sink.clone(),
+        cfg.udn_queue_packets,
     );
+    let observer: Option<Arc<dyn desim::coop::CoopObserver>> = watch.map(|w| {
+        w.attach(shared.clone());
+        w as Arc<dyn desim::coop::CoopObserver>
+    });
 
-    let out = desim::coop::run(2 * npes, udn::NUM_QUEUES, move |h| {
+    let out = desim::coop::run_observed(2 * npes, TIMED_CHANNELS, observer, move |h| {
         let lp = h.id();
         let fab = TimedFabric::for_lp(shared.clone(), lp, h);
         if lp < npes {

@@ -14,7 +14,7 @@
 //! message the service context would outlive the application and, on real
 //! hardware, leave the UDN engaged.
 
-use crate::fabric::{Fabric, Q_REPLY, Q_SERVICE};
+use crate::fabric::{BlockedOn, Fabric, Q_REPLY, Q_SERVICE};
 
 /// Service-request tags on `Q_SERVICE`.
 pub const TAG_SPUT: u16 = 1;
@@ -32,12 +32,40 @@ pub const TAG_SGETS: u16 = 5;
 /// Orderly teardown (see `shmem_finalize`).
 pub const TAG_SHUTDOWN: u16 = 0xFFFE;
 
+/// Human name of a service-protocol tag, for watchdog diagnoses
+/// (`BlockedOn::Handler` display).
+pub fn tag_name(tag: u16) -> &'static str {
+    match tag {
+        TAG_SPUT => "sput",
+        TAG_SGET => "sget",
+        TAG_SDONE => "sdone",
+        TAG_SPUTS => "sputs",
+        TAG_SGETS => "sgets",
+        TAG_SHUTDOWN => "shutdown",
+        _ => "?",
+    }
+}
+
 /// Run the service loop until shutdown. `fab` must be the serviced PE's
 /// fabric (a clone of it on the native engine; the dedicated service LP's
 /// fabric on the timed engine).
+///
+/// While a request executes, the service probe (when present) publishes
+/// [`BlockedOn::Handler`] naming the request's tag and source — so a
+/// stall *inside* the handler (e.g. an injected `StallServiceHandler`
+/// fault, or a real bug in the copy path) is attributed to this
+/// handler, not to the clients parked in their reply waits.
 pub fn service_loop(fab: &dyn Fabric) {
     loop {
         let msg = fab.udn_recv(Q_SERVICE);
+        if msg.tag != TAG_SHUTDOWN {
+            if let Some(p) = fab.probe() {
+                p.set_blocked(BlockedOn::Handler { tag: msg.tag, src: msg.src });
+            }
+            if let Some(us) = crate::fault::service_stall_us(fab.pe()) {
+                fab.inject_delay_us(us);
+            }
+        }
         match msg.tag {
             TAG_SPUT => {
                 // payload: [priv_dst, arena_src(global), len, token]
@@ -81,6 +109,9 @@ pub fn service_loop(fab: &dyn Fabric) {
             }
             TAG_SHUTDOWN => return,
             other => panic!("service context of PE {} got unknown tag {other}", fab.pe()),
+        }
+        if let Some(p) = fab.probe() {
+            p.set_blocked(BlockedOn::Running);
         }
     }
 }

@@ -1,16 +1,30 @@
-//! Job-level watchdog hooks for the native engine.
+//! Job-level watchdog hooks for both engines.
 //!
 //! A [`JobWatch`] is handed to [`crate::runtime::launch_watched`] and is
 //! populated with the launch's shared state before any PE starts. An
-//! external watchdog thread can then poll [`JobWatch::total_ops`] for
-//! forward progress and, when the count stops moving, call
-//! [`JobWatch::diagnose`] to capture what every PE was doing — which
-//! protocol wait it is parked in, how full its demux queues are, what
-//! its stash holds, and the last trace event it recorded — before
-//! calling [`JobWatch::abort`] to tear the job down.
+//! external watchdog thread can then poll [`JobWatch::counters`] for
+//! forward progress and, when *useful* work stops moving, call
+//! [`JobWatch::diagnose_delta`] to capture what every PE (and every
+//! service thread) was doing — which protocol wait it is parked in, how
+//! full its demux queues are, what its stash holds, and the last trace
+//! event it recorded — before calling [`JobWatch::abort`] to tear the
+//! job down.
 //!
-//! All reads are racy snapshots by design: the watchdog fires only after
-//! a multi-second stall window, at which point the states are stable.
+//! Useful work and spinning are split: a probe's `ops` counts
+//! state-changing operations only, while failed `cswap` retries and
+//! polling waits count as `spins`. That split is what distinguishes a
+//! **deadlock** (both flat) from a **livelock** (spins climbing, ops
+//! flat) — the latter looked like progress to the PR-2 watchdog.
+//!
+//! The timed engine gets [`TimedWatch`] instead: there is no wall-clock
+//! stall under virtual time, so the watchdog is the desim scheduler's
+//! own deadlock detector (`desim::coop::CoopObserver`) — it fires the
+//! instant the virtual event queue drains while LPs are parked, and
+//! renders the same per-PE diagnosis format.
+//!
+//! All reads are racy snapshots by design: the native watchdog fires
+//! only after a multi-second stall window, at which point the states
+//! are stable; the timed observer runs with the scheduler lock held.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -20,7 +34,23 @@ use udn::fabric::UdnEndpoint;
 use udn::NUM_QUEUES;
 
 use crate::engine::native::NativeShared;
+use crate::engine::timed::TimedShared;
+use crate::fabric::PeProbe;
 use crate::trace::TraceEvent;
+
+/// One probe's counter snapshot (useful ops vs spin retries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeCounters {
+    pub ops: u64,
+    pub spins: u64,
+}
+
+fn snapshot(probe: &PeProbe) -> PeCounters {
+    PeCounters {
+        ops: probe.ops(),
+        spins: probe.spins(),
+    }
+}
 
 struct Watched {
     shared: Arc<NativeShared>,
@@ -50,12 +80,47 @@ impl JobWatch {
         self.inner.lock().is_some()
     }
 
-    /// Sum of completed fabric operations across all PEs — the
-    /// watchdog's forward-progress signal. Monotone while the job runs.
+    /// Sum of completed *useful* fabric operations across all PEs and
+    /// their service threads — the watchdog's forward-progress signal.
+    /// Monotone while the job runs; spins do not move it.
     pub fn total_ops(&self) -> u64 {
         match self.inner.lock().as_ref() {
-            Some(w) => w.shared.probes.iter().map(|p| p.ops()).sum(),
+            Some(w) => {
+                let main: u64 = w.shared.probes.iter().map(|p| p.ops()).sum();
+                let svc: u64 = w.shared.service_probes.iter().map(|p| p.ops()).sum();
+                main + svc
+            }
             None => 0,
+        }
+    }
+
+    /// Sum of spin retries across all PEs and service threads.
+    pub fn total_spins(&self) -> u64 {
+        match self.inner.lock().as_ref() {
+            Some(w) => {
+                let main: u64 = w.shared.probes.iter().map(|p| p.spins()).sum();
+                let svc: u64 = w.shared.service_probes.iter().map(|p| p.spins()).sum();
+                main + svc
+            }
+            None => 0,
+        }
+    }
+
+    /// Per-probe counter snapshot: indices `0..npes` are the PE main
+    /// threads, `npes..2*npes` their service threads. Empty before
+    /// attachment. Feed a saved snapshot back to
+    /// [`diagnose_delta`](Self::diagnose_delta) to name the probes that
+    /// spun without useful work across the window.
+    pub fn counters(&self) -> Vec<PeCounters> {
+        match self.inner.lock().as_ref() {
+            Some(w) => w
+                .shared
+                .probes
+                .iter()
+                .chain(w.shared.service_probes.iter())
+                .map(|p| snapshot(p))
+                .collect(),
+            None => Vec::new(),
         }
     }
 
@@ -79,9 +144,19 @@ impl JobWatch {
         }
     }
 
-    /// Render a per-PE stall diagnosis: blocked state, progress count,
-    /// demux queue occupancy, stash contents, and last trace event.
+    /// Render a per-PE stall diagnosis: blocked state, useful/spin
+    /// counters, demux queue occupancy, stash contents, service-thread
+    /// state, and last trace event.
     pub fn diagnose(&self) -> String {
+        self.diagnose_delta(None)
+    }
+
+    /// [`diagnose`](Self::diagnose), additionally classifying against a
+    /// counter `baseline` captured at the start of the stall window:
+    /// each line shows the in-window deltas, and probes that spun
+    /// without completing any useful work are called out as livelock
+    /// suspects.
+    pub fn diagnose_delta(&self, baseline: Option<&[PeCounters]>) -> String {
         use std::fmt::Write as _;
         let guard = self.inner.lock();
         let Some(w) = guard.as_ref() else {
@@ -91,20 +166,32 @@ impl JobWatch {
             Some(sink) => sink.last_per_pe(w.shared.npes),
             None => vec![None; w.shared.npes],
         };
+        let npes = w.shared.npes;
         let mut out = String::new();
-        let _ = writeln!(out, "per-PE stall diagnosis ({} PEs):", w.shared.npes);
+        let mut suspects: Vec<String> = Vec::new();
+        let _ = writeln!(out, "per-PE stall diagnosis ({npes} PEs):");
         for (pe, last_ev) in last.iter().enumerate() {
             let probe = &w.shared.probes[pe];
+            let now = snapshot(probe);
             let occ: Vec<usize> = (0..NUM_QUEUES)
                 .map(|q| w.endpoints[pe].queue_len(q))
                 .collect();
             let _ = write!(
                 out,
-                "  PE {pe}: {} | ops={} | queue occupancy {:?}",
+                "  PE {pe}: {} | useful={} spins={}",
                 probe.blocked(),
-                probe.ops(),
-                occ
+                now.ops,
+                now.spins
             );
+            if let Some(base) = baseline.and_then(|b| b.get(pe)) {
+                let du = now.ops.saturating_sub(base.ops);
+                let ds = now.spins.saturating_sub(base.spins);
+                let _ = write!(out, " (+{du} useful / +{ds} spins in window)");
+                if du == 0 && ds > 0 {
+                    suspects.push(format!("PE {pe} ({})", probe.blocked()));
+                }
+            }
+            let _ = write!(out, " | queue occupancy {occ:?}");
             let stash = probe.stash();
             if stash.is_empty() {
                 let _ = write!(out, " | stash empty");
@@ -128,7 +215,121 @@ impl JobWatch {
                     let _ = writeln!(out, " | no events recorded");
                 }
             }
+            // The PE's interrupt-service thread, attributed separately.
+            let svc = &w.shared.service_probes[pe];
+            let snow = snapshot(svc);
+            let _ = write!(
+                out,
+                "  PE {pe} svc: {} | useful={} spins={}",
+                svc.blocked(),
+                snow.ops,
+                snow.spins
+            );
+            if let Some(base) = baseline.and_then(|b| b.get(npes + pe)) {
+                let du = snow.ops.saturating_sub(base.ops);
+                let ds = snow.spins.saturating_sub(base.spins);
+                let _ = write!(out, " (+{du} useful / +{ds} spins in window)");
+                if du == 0 && ds > 0 {
+                    suspects.push(format!("PE {pe} svc ({})", svc.blocked()));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        if !suspects.is_empty() {
+            let _ = writeln!(
+                out,
+                "livelock suspects (spinning, no useful work in window): {}",
+                suspects.join(", ")
+            );
         }
         out
+    }
+}
+
+/// Deadlock watchdog for the timed engine.
+///
+/// Hand one to [`crate::runtime::launch_timed_watched`]. Under virtual
+/// time a wedged job does not stall a wall clock — the desim scheduler
+/// itself detects the moment no LP can ever run again — so this watch
+/// implements [`desim::coop::CoopObserver`]: when the scheduler's
+/// deadlock detector fires, it renders the same per-PE diagnosis as the
+/// native [`JobWatch`] (blocked state, useful/spin counters, modeled
+/// queue occupancy, virtual clocks) and stores it for the launch
+/// wrapper to return as an error instead of a raw panic.
+#[derive(Default)]
+pub struct TimedWatch {
+    shared: Mutex<Option<Arc<TimedShared>>>,
+    report: Mutex<Option<String>>,
+}
+
+impl TimedWatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn attach(&self, shared: Arc<TimedShared>) {
+        *self.shared.lock() = Some(shared);
+    }
+
+    /// The stored deadlock diagnosis, once the observer has fired.
+    pub fn stall_report(&self) -> Option<String> {
+        self.report.lock().clone()
+    }
+
+    fn render(&self, lps: &[desim::coop::LpStall]) -> String {
+        use std::fmt::Write as _;
+        let guard = self.shared.lock();
+        let Some(shared) = guard.as_ref() else {
+            return "timed watchdog: job not attached yet".to_string();
+        };
+        let npes = shared.npes;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timed watchdog: virtual event queue drained with unfinished LPs parked"
+        );
+        let _ = writeln!(out, "per-PE stall diagnosis ({npes} PEs):");
+        for pe in 0..npes {
+            for (lp, label) in [(pe, ""), (npes + pe, " svc")] {
+                let probe = &shared.probes[lp];
+                let now = snapshot(probe);
+                let occ = shared.queue_occupancy(lp);
+                let _ = write!(
+                    out,
+                    "  PE {pe}{label}: {} | useful={} spins={} | queue occupancy {:?}",
+                    probe.blocked(),
+                    now.ops,
+                    now.spins,
+                    occ.to_vec()
+                );
+                match lps.get(lp) {
+                    Some(s) if s.done => {
+                        let _ = writeln!(out, " | finished @{:.0}ns", s.clock.ns_f64());
+                    }
+                    Some(s) => {
+                        let parked = match s.blocked_on {
+                            Some(ch) => format!("parked on ch{ch}"),
+                            None => "runnable".to_string(),
+                        };
+                        let _ = writeln!(out, " | {} @{:.0}ns", parked, s.clock.ns_f64());
+                    }
+                    None => {
+                        let _ = writeln!(out);
+                    }
+                }
+            }
+        }
+        if let Some(desc) = crate::fault::describe_active() {
+            let _ = writeln!(out, "active {desc}");
+        }
+        out
+    }
+}
+
+impl desim::coop::CoopObserver for TimedWatch {
+    fn on_deadlock(&self, lps: &[desim::coop::LpStall]) -> Option<String> {
+        let report = self.render(lps);
+        *self.report.lock() = Some(report.clone());
+        Some(report)
     }
 }

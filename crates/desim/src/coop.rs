@@ -105,6 +105,35 @@ struct SchedState<M> {
     poisoned: Option<String>,
 }
 
+/// Snapshot of one LP's scheduling state at deadlock-detection time,
+/// handed to a [`CoopObserver`] so an engine-level watchdog can render
+/// a diagnosis in its own vocabulary.
+#[derive(Clone, Debug)]
+pub struct LpStall {
+    /// LP id.
+    pub id: usize,
+    /// Whether the LP's function has already returned.
+    pub done: bool,
+    /// The channel the LP is parked in `recv` on, if any.
+    pub blocked_on: Option<usize>,
+    /// The LP's virtual clock at detection time.
+    pub clock: SimTime,
+    /// Per-channel counts of queued (possibly future-arrival) messages.
+    pub queued: Vec<usize>,
+}
+
+/// Deadlock observer: invoked exactly once when the scheduler detects
+/// that no LP can ever run again (the virtual event queue drained while
+/// unfinished LPs are parked). Any returned text is appended to the
+/// scheduler's poison/panic message.
+///
+/// Called with the scheduler lock held — implementations must not call
+/// back into the scheduler (no `CoopHandle` methods) and should only
+/// format a report from the snapshot plus their own state.
+pub trait CoopObserver: Send + Sync {
+    fn on_deadlock(&self, lps: &[LpStall]) -> Option<String>;
+}
+
 impl<M> SchedState<M> {
     fn effective(&self, id: usize) -> Option<u64> {
         let lp = &self.lps[id];
@@ -129,11 +158,30 @@ impl<M> SchedState<M> {
         }
         best.map(|(_, id)| id)
     }
+
+    /// Per-LP stall snapshot for the deadlock observer.
+    fn stalls(&self) -> Vec<LpStall> {
+        self.lps
+            .iter()
+            .enumerate()
+            .map(|(id, lp)| LpStall {
+                id,
+                done: matches!(lp.status, Status::Done),
+                blocked_on: match lp.status {
+                    Status::BlockedRecv(ch) => Some(ch),
+                    _ => None,
+                },
+                clock: SimTime::from_ps(lp.clock),
+                queued: lp.boxes.iter().map(|b| b.msgs.len()).collect(),
+            })
+            .collect()
+    }
 }
 
 struct Shared<M> {
     state: Mutex<SchedState<M>>,
     cvs: Vec<Condvar>,
+    observer: Option<Arc<dyn CoopObserver>>,
 }
 
 impl<M> Shared<M> {
@@ -183,9 +231,15 @@ impl<M> Shared<M> {
                     let blocked: Vec<usize> = (0..guard.lps.len())
                         .filter(|&i| matches!(guard.lps[i].status, Status::BlockedRecv(_)))
                         .collect();
-                    guard.poisoned = Some(format!(
-                        "deadlock: no runnable LP; blocked LPs: {blocked:?}"
-                    ));
+                    let mut msg =
+                        format!("deadlock: no runnable LP; blocked LPs: {blocked:?}");
+                    if let Some(obs) = &self.observer {
+                        if let Some(extra) = obs.on_deadlock(&guard.stalls()) {
+                            msg.push('\n');
+                            msg.push_str(&extra);
+                        }
+                    }
+                    guard.poisoned = Some(msg);
                     for cv in &self.cvs {
                         cv.notify_all();
                     }
@@ -324,6 +378,7 @@ impl<M: Send + 'static> CoopHandle<M> {
 }
 
 /// Result of a cooperative run.
+#[derive(Debug)]
 pub struct CoopResult<R> {
     /// Per-LP return values, indexed by LP id.
     pub values: Vec<R>,
@@ -347,6 +402,24 @@ where
     R: Send + 'static,
     F: Fn(CoopHandle<M>) -> R + Send + Sync + 'static,
 {
+    run_observed(n, channels, None, f)
+}
+
+/// [`run`] with a deadlock observer: when the simulation deadlocks,
+/// `observer.on_deadlock` is invoked once with a per-LP stall snapshot
+/// and any text it returns is appended to the poison/panic message —
+/// the hook `launch_timed_watched` uses to render a per-PE diagnosis.
+pub fn run_observed<M, R, F>(
+    n: usize,
+    channels: usize,
+    observer: Option<Arc<dyn CoopObserver>>,
+    f: F,
+) -> CoopResult<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: Fn(CoopHandle<M>) -> R + Send + Sync + 'static,
+{
     assert!(n > 0, "need at least one LP");
     assert!(channels > 0, "need at least one channel");
     let shared = Arc::new(Shared {
@@ -364,6 +437,7 @@ where
             poisoned: None,
         }),
         cvs: (0..n).map(|_| Condvar::new()).collect(),
+        observer,
     });
     let f = Arc::new(f);
 
@@ -462,7 +536,14 @@ where
                     shared.cvs[next].notify_one();
                 }
                 None if g.finished < g.lps.len() => {
-                    g.poisoned = Some("deadlock after LP finish".into());
+                    let mut msg = String::from("deadlock after LP finish");
+                    if let Some(obs) = &shared.observer {
+                        if let Some(extra) = obs.on_deadlock(&g.stalls()) {
+                            msg.push('\n');
+                            msg.push_str(&extra);
+                        }
+                    }
+                    g.poisoned = Some(msg);
                     for cv in &shared.cvs {
                         cv.notify_all();
                     }
@@ -646,6 +727,38 @@ mod tests {
         run::<u8, _, _>(2, 1, |h| {
             let _ = h.recv(0); // both block forever
         });
+    }
+
+    #[test]
+    fn deadlock_observer_sees_stalls_and_extends_the_message() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        struct Obs {
+            fired: AtomicBool,
+        }
+        impl CoopObserver for Obs {
+            fn on_deadlock(&self, lps: &[LpStall]) -> Option<String> {
+                self.fired.store(true, Ordering::Release);
+                assert_eq!(lps.len(), 2);
+                assert!(lps[0].done, "LP0 returned before the deadlock");
+                assert_eq!(lps[1].blocked_on, Some(0));
+                Some(format!("observer: {} LPs parked", lps.len()))
+            }
+        }
+        let obs = Arc::new(Obs { fired: AtomicBool::new(false) });
+        let obs2 = obs.clone();
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_observed::<u8, _, _>(2, 1, Some(obs2), |h| {
+                if h.id() == 1 {
+                    let _ = h.recv(0); // blocks forever
+                }
+            })
+        }));
+        let p = r.expect_err("deadlock must panic");
+        let msg = p.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("deadlock"), "kept the deadlock marker: {msg}");
+        assert!(msg.contains("observer: 2 LPs parked"), "observer text appended: {msg}");
+        assert!(obs.fired.load(Ordering::Acquire));
     }
 
     #[test]

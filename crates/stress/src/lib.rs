@@ -24,5 +24,10 @@ pub mod program;
 pub mod run;
 
 pub use oracle::{oracle, Model};
-pub use program::{gen_program, Draw, Program, ProgramStrategy, RngDraw};
-pub use run::{build_cfg, run_on_ctx, run_plain, run_watched, Outcome};
+pub use program::{
+    gen_program, gen_program_v, Draw, Program, ProgramStrategy, RngDraw, GEN_LATEST, GEN_V1,
+    GEN_V2,
+};
+pub use run::{
+    build_cfg, run_on_ctx, run_plain, run_timed, run_watched, watch_closure, Outcome,
+};

@@ -24,6 +24,10 @@ pub struct Model {
     pub ctrs: Vec<u64>,
     /// Final lock-protected counter value.
     pub lock_ctr: u64,
+    /// Final value of the `sig` token-ring cell (every PE's copy).
+    pub sig: u64,
+    /// Final value of the `ring` cswap cell (PE 0's copy).
+    pub ring: u64,
     /// `gets[pe]`: expected results of PE `pe`'s recorded gets, in issue
     /// order.
     pub gets: Vec<Vec<u64>>,
@@ -47,6 +51,8 @@ pub fn oracle(prog: &Program) -> Model {
         coll: vec![vec![0u64; coll_len(prog)]; n],
         ctrs: vec![0u64; NCTRS],
         lock_ctr: 0,
+        sig: 0,
+        ring: 0,
         gets: vec![Vec::new(); n],
     };
     for step in &prog.steps {
@@ -113,6 +119,13 @@ pub fn oracle(prog: &Program) -> Model {
                             RmaOp::CtrAdd { ctr, amount } => {
                                 m.ctrs[*ctr] = m.ctrs[*ctr].wrapping_add(*amount);
                             }
+                            RmaOp::PtrPut { to, slot, val } => {
+                                m.heap[*to][hs + slot] = *val;
+                            }
+                            RmaOp::PtrGet { from, slot } => {
+                                let v = m.heap[*from][hs + slot];
+                                m.gets[me].push(v);
+                            }
                         }
                     }
                 }
@@ -168,6 +181,16 @@ pub fn oracle(prog: &Program) -> Model {
             }
             Step::Lock { rounds } => {
                 m.lock_ctr += *rounds as u64 * n as u64;
+            }
+            Step::SignalRing { rounds } => {
+                // Each round passes the token once around the ring, so
+                // every copy's cell ends at the cumulative round count.
+                m.sig += *rounds as u64;
+            }
+            Step::CswapRing { rounds } => {
+                // Every PE claims `rounds` tokens in rank order; the
+                // cell advances once per claim.
+                m.ring += *rounds as u64 * n as u64;
             }
         }
     }

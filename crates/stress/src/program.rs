@@ -23,6 +23,17 @@
 use substrate::proptest_mini as pt;
 use substrate::rng::KeyedRng;
 
+/// Generator vocabulary versions. The draw stream behind a version is
+/// **frozen**: seeds pinned in tests (`--gen 1` canaries) must keep
+/// generating byte-identical programs forever, so new op kinds extend
+/// the vocabulary only under a new version tag.
+pub const GEN_V1: u32 = 1;
+/// V2 adds `shmem_ptr` direct-pointer traffic ([`RmaOp::PtrPut`],
+/// [`RmaOp::PtrGet`]) and the `wait_until`/`cswap` step mixes
+/// ([`Step::SignalRing`], [`Step::CswapRing`]).
+pub const GEN_V2: u32 = 2;
+pub const GEN_LATEST: u32 = GEN_V2;
+
 /// Heap data slots owned by each PE (its stripe of the `data` array).
 pub const SLOTS_PER_PE: usize = 16;
 /// Static-segment slots owned by each PE (stripe of the `statv` array).
@@ -58,6 +69,18 @@ pub enum Step {
     /// Every PE loops `rounds` times through a `set_lock`-protected
     /// critical section incrementing a shared counter.
     Lock { rounds: u32 },
+    /// A token ring over `p()` + `wait_until(Ge)` on the shared `sig`
+    /// cell: each round, PE 0 signals PE 1, each PE forwards on arrival,
+    /// and PE 0 waits for the wrap-around. Exercises flag waits (spin
+    /// accounting) and put→flag ordering. Final `sig` on every copy =
+    /// cumulative rounds. (V2+)
+    SignalRing { rounds: u32 },
+    /// Rank-ordered claims on the single shared `ring` cell via failing
+    /// `cswap` retries: in round `r`, PE `me` spins until it can swap
+    /// token `base + r*npes + me` for its successor. Exercises the
+    /// useful-vs-spin split under heavy cswap contention. Final cell =
+    /// cumulative `rounds * npes`. (V2+)
+    CswapRing { rounds: u32 },
 }
 
 #[derive(Clone, Debug)]
@@ -104,6 +127,13 @@ pub enum RmaOp {
     GetSymStaticToDyn { from: usize, slot: usize, dslot: usize, n: usize },
     /// Commutative atomic add to counter `ctr` on PE 0.
     CtrAdd { ctr: usize, amount: u64 },
+    /// `shmem_ptr` direct store: write `data[stripe(me) + slot]` on PE
+    /// `to` through the raw pointer. Race-free by the stripe discipline
+    /// (only PE `me` ever touches its stripe on any copy). (V2+)
+    PtrPut { to: usize, slot: usize, val: u64 },
+    /// `shmem_ptr` direct load from `data[stripe(me) + slot]` on PE
+    /// `from` (recorded and checked against the oracle). (V2+)
+    PtrGet { from: usize, slot: usize },
 }
 
 /// A bounded-draw source of randomness. `below(n)` must reduce the
@@ -144,13 +174,15 @@ impl Draw for SourceDraw<'_> {
 /// `pt::Strategy` adapter so programs shrink like any other input.
 pub struct ProgramStrategy {
     pub npes: usize,
+    /// Generator vocabulary version ([`GEN_V1`] / [`GEN_V2`]).
+    pub version: u32,
 }
 
 impl pt::Strategy for ProgramStrategy {
     type Value = Program;
 
     fn generate(&self, src: &mut pt::Source) -> Program {
-        gen_program(&mut SourceDraw(src), self.npes)
+        gen_program_v(&mut SourceDraw(src), self.npes, self.version)
     }
 }
 
@@ -171,9 +203,10 @@ fn gen_set(d: &mut impl Draw, npes: usize) -> (usize, u32, usize) {
     (start, log2_stride, size)
 }
 
-fn gen_rma_op(d: &mut impl Draw, npes: usize) -> RmaOp {
+fn gen_rma_op(d: &mut impl Draw, npes: usize, version: u32) -> RmaOp {
     let pe = d.below(npes as u64) as usize;
-    match d.below(12) {
+    let kinds = if version >= GEN_V2 { 14 } else { 12 };
+    match d.below(kinds) {
         0 => {
             let slot = d.below(SLOTS_PER_PE as u64) as usize;
             RmaOp::PutHeapElem { to: pe, slot, val: word(d) }
@@ -234,13 +267,27 @@ fn gen_rma_op(d: &mut impl Draw, npes: usize) -> RmaOp {
             let n = 1 + d.below(lim as u64) as usize;
             RmaOp::GetSymStaticToDyn { from: pe, slot, dslot, n }
         }
-        _ => RmaOp::CtrAdd { ctr: d.below(NCTRS as u64) as usize, amount: d.below(1000) },
+        11 => RmaOp::CtrAdd { ctr: d.below(NCTRS as u64) as usize, amount: d.below(1000) },
+        12 => {
+            let slot = d.below(SLOTS_PER_PE as u64) as usize;
+            RmaOp::PtrPut { to: pe, slot, val: word(d) }
+        }
+        _ => RmaOp::PtrGet { from: pe, slot: d.below(SLOTS_PER_PE as u64) as usize },
     }
 }
 
-/// Generate one program for `npes` PEs from the draw stream.
+/// Generate one program for `npes` PEs from the draw stream, using the
+/// [`GEN_V1`] vocabulary (the frozen stream pinned canary seeds replay).
 pub fn gen_program(d: &mut impl Draw, npes: usize) -> Program {
+    gen_program_v(d, npes, GEN_V1)
+}
+
+/// Generate one program from the draw stream under the given generator
+/// `version`. The stream behind each version is frozen: a `(seed, case,
+/// version)` triple identifies a program byte-for-byte forever.
+pub fn gen_program_v(d: &mut impl Draw, npes: usize, version: u32) -> Program {
     assert!(npes >= 1);
+    assert!((GEN_V1..=GEN_LATEST).contains(&version), "unknown generator version {version}");
     // 64 B temp = 8 u64 per chunk: bulk static traffic and strided
     // redirections routinely span several temp round-trips.
     let temp_bytes = [64usize, 512][d.below(2) as usize];
@@ -248,13 +295,14 @@ pub fn gen_program(d: &mut impl Draw, npes: usize) -> Program {
     let nsteps = 2 + d.below(5) as usize;
     let mut steps = Vec::with_capacity(nsteps);
     let mut coll_idx = 0usize;
+    let step_kinds = if version >= GEN_V2 { 8 } else { 6 };
     for _ in 0..nsteps {
-        match d.below(6) {
+        match d.below(step_kinds) {
             0 | 1 => {
                 let ops = (0..npes)
                     .map(|_| {
                         let nops = d.below(5) as usize;
-                        (0..nops).map(|_| gen_rma_op(d, npes)).collect()
+                        (0..nops).map(|_| gen_rma_op(d, npes, version)).collect()
                     })
                     .collect();
                 steps.push(Step::Rma { ops, barrier: d.below(4) as u8 });
@@ -271,7 +319,9 @@ pub fn gen_program(d: &mut impl Draw, npes: usize) -> Program {
                 steps.push(Step::Coll { kind, set, idx: coll_idx, vals });
                 coll_idx += 1;
             }
-            _ => steps.push(Step::Lock { rounds: 1 + d.below(2) as u32 }),
+            5 => steps.push(Step::Lock { rounds: 1 + d.below(2) as u32 }),
+            6 => steps.push(Step::SignalRing { rounds: 1 + d.below(2) as u32 }),
+            _ => steps.push(Step::CswapRing { rounds: 1 + d.below(2) as u32 }),
         }
     }
     Program { npes, temp_bytes, algos, steps }

@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use substrate::channel::{self, RecvTimeoutError};
 use tshmem::prelude::*;
-use tshmem::runtime::launch_watched;
-use tshmem::JobWatch;
+use tshmem::runtime::{launch_timed_watched, launch_watched};
+use tshmem::{JobWatch, TimedWatch};
 
 use crate::oracle::oracle;
 use crate::program::{
@@ -85,16 +85,25 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
     // marker (must read 0 inside the critical section).
     let lockctr = ctx.shmalloc::<u64>(2);
     let lock = ctx.shmalloc::<i64>(1);
+    // Token cells for the V2 liveness mixes: `sig` is the signal-ring
+    // flag (every copy written), `ring` the single contended cswap cell
+    // (PE 0's copy only).
+    let sig = ctx.shmalloc::<u64>(1);
+    let ring = ctx.shmalloc::<u64>(1);
     let statv = ctx.static_sym::<u64>(npes * STAT_SLOTS_PER_PE);
     ctx.local_fill(&data, 0u64);
     ctx.local_fill(&coll, 0u64);
     ctx.local_fill(&ctrs, 0u64);
     ctx.local_fill(&lockctr, 0u64);
     ctx.local_fill(&lock, 0i64);
+    ctx.local_fill(&sig, 0u64);
+    ctx.local_fill(&ring, 0u64);
     ctx.local_fill(&statv, 0u64);
     ctx.barrier_all();
 
     let mut gets: Vec<u64> = Vec::new();
+    let mut sig_base = 0u64;
+    let mut ring_base = 0u64;
     for step in &prog.steps {
         match step {
             Step::Rma { ops, barrier } => {
@@ -132,6 +141,18 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
                             ctx.get_sym(&data, hs + dslot, &statv, ss + slot, *n, *from)
                         }
                         RmaOp::CtrAdd { ctr, amount } => ctx.add(&ctrs, *ctr, *amount, 0),
+                        RmaOp::PtrPut { to, slot, val } => {
+                            let p = ctx
+                                .ptr(&data, *to)
+                                .expect("heap symmetric objects are always directly addressable");
+                            unsafe { p.add(hs + slot).write_volatile(*val) }
+                        }
+                        RmaOp::PtrGet { from, slot } => {
+                            let p = ctx
+                                .ptr(&data, *from)
+                                .expect("heap symmetric objects are always directly addressable");
+                            gets.push(unsafe { p.add(hs + slot).read_volatile() })
+                        }
                     }
                 }
                 ctx.quiet();
@@ -186,6 +207,37 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
                     ctx.clear_lock(&lock);
                 }
             }
+            Step::SignalRing { rounds } => {
+                // Pass a token once around the ring per round: PE 0
+                // seeds it, everyone else forwards on arrival, PE 0
+                // absorbs the wrap-around. Each PE leaves the step with
+                // its own copy already at the final value.
+                let next = (me + 1) % npes;
+                for r in 0..*rounds {
+                    let target = sig_base + r as u64 + 1;
+                    if me == 0 {
+                        ctx.p(&sig, 0, target, next);
+                        ctx.wait_until(&sig, 0, Cmp::Ge, target);
+                    } else {
+                        ctx.wait_until(&sig, 0, Cmp::Ge, target);
+                        ctx.p(&sig, 0, target, next);
+                    }
+                }
+                sig_base += *rounds as u64;
+            }
+            Step::CswapRing { rounds } => {
+                // Rank-ordered claims: PE `me`'s round-`r` claim only
+                // succeeds once the cell reaches its token, so every
+                // other PE's attempt fails (and counts a spin retry)
+                // until then. `arena_cswap` charges cycles even on
+                // failure, which keeps the timed engine's conservative
+                // scheduler advancing through the contention.
+                for r in 0..*rounds {
+                    let t = ring_base + r as u64 * npes as u64 + me as u64;
+                    while ctx.cswap(&ring, 0, t, t + 1, 0) != t {}
+                }
+                ring_base += *rounds as u64 * npes as u64;
+            }
         }
     }
 
@@ -201,11 +253,17 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
     let got_coll = ctx.local_read(&coll, 0, coll.len());
     assert_eq!(got_coll, model.coll[me], "PE {me}: collective scratch diverged from oracle");
     assert_eq!(gets, model.gets[me], "PE {me}: recorded get results diverged from oracle");
+    assert_eq!(
+        ctx.local_read(&sig, 0, 1)[0],
+        model.sig,
+        "PE {me}: signal-ring cell diverged from oracle"
+    );
     if me == 0 {
         let got_ctrs = ctx.local_read(&ctrs, 0, NCTRS);
         assert_eq!(got_ctrs, model.ctrs, "atomic counters diverged from oracle");
         assert_eq!(ctx.local_read(&lockctr, 0, 1)[0], model.lock_ctr, "lock-protected counter diverged");
         assert_eq!(ctx.local_read(&lockctr, 1, 1)[0], 0, "lock marker left set");
+        assert_eq!(ctx.local_read(&ring, 0, 1)[0], model.ring, "cswap-ring cell diverged from oracle");
     }
     ctx.barrier_all();
 }
@@ -221,21 +279,56 @@ const POLL: Duration = Duration::from_millis(50);
 
 /// Run `prog` under the stall watchdog.
 ///
-/// `stall` is the wall-clock window with zero fabric progress after
-/// which the job is declared wedged. `replay_hint` is appended to the
-/// stall report so the failure names its own reproducer.
+/// `stall` is the wall-clock window with zero *useful* fabric progress
+/// (spin retries do not count) after which the job is declared wedged.
+/// `replay_hint` is appended to the stall report so the failure names
+/// its own reproducer.
 pub fn run_watched(
     prog: &Program,
     depth: Option<usize>,
     stall: Duration,
     replay_hint: &str,
 ) -> Outcome {
-    let watch = Arc::new(JobWatch::new());
     let prog = Arc::new(prog.clone());
     let cfg = build_cfg(&prog, depth);
+    let p = Arc::clone(&prog);
+    watch_native(cfg, stall, format!("replay: {replay_hint}\n"), move |ctx| run_on_ctx(&p, ctx))
+}
+
+/// Run an arbitrary per-PE closure under the same native stall
+/// watchdog as [`run_watched`] — for hand-built liveness canaries that
+/// are not expressible as a [`Program`].
+pub fn watch_closure<F>(cfg: &RuntimeConfig, stall: Duration, label: &str, f: F) -> Outcome
+where
+    F: Fn(&ShmemCtx) + Send + Sync + 'static,
+{
+    watch_native(*cfg, stall, format!("scenario: {label}\n"), f)
+}
+
+/// Run `prog` on the **timed** engine under its deadlock watchdog.
+///
+/// There is no wall-clock stall window: the desim scheduler detects the
+/// instant the virtual event queue drains with LPs still parked, and
+/// the attached [`TimedWatch`] renders the per-PE diagnosis. Oracle
+/// mismatches still propagate as panics.
+pub fn run_timed(prog: &Program, depth: Option<usize>, replay_hint: &str) -> Outcome {
+    let prog = Arc::new(prog.clone());
+    let cfg = build_cfg(&prog, depth);
+    let watch = Arc::new(TimedWatch::new());
+    let p = Arc::clone(&prog);
+    match launch_timed_watched(&cfg, &watch, move |ctx| run_on_ctx(&p, ctx)) {
+        Ok(_) => Outcome::Completed,
+        Err(report) => Outcome::Stalled(format!("{report}replay: {replay_hint}\n")),
+    }
+}
+
+fn watch_native<F>(cfg: RuntimeConfig, stall: Duration, trailer: String, f: F) -> Outcome
+where
+    F: Fn(&ShmemCtx) + Send + Sync + 'static,
+{
+    let watch = Arc::new(JobWatch::new());
     let (tx, rx) = channel::bounded::<std::thread::Result<()>>(1);
     let w = Arc::clone(&watch);
-    let p = Arc::clone(&prog);
     // Detached on purpose: if the job truly deadlocks, its PE threads
     // can never be joined. `abort()` unwedges every PE parked in a
     // fabric wait; threads stuck in plain (fault-injected) channel
@@ -245,13 +338,17 @@ pub fn run_watched(
         .name("stress-job".into())
         .spawn(move || {
             let r = catch_unwind(AssertUnwindSafe(|| {
-                launch_watched(&cfg, &w, move |ctx| run_on_ctx(&p, ctx));
+                launch_watched(&cfg, &w, f);
             }));
             let _ = tx.try_send(r.map(|_| ()));
         })
         .expect("spawn stress job thread");
 
     let mut last_ops = 0u64;
+    // Counter snapshot from the last moment useful work moved — the
+    // baseline the stall window's deltas (and the livelock-vs-deadlock
+    // call) are measured against.
+    let mut baseline = watch.counters();
     let mut last_change = Instant::now();
     loop {
         match rx.recv_timeout(POLL) {
@@ -265,18 +362,43 @@ pub fn run_watched(
             }
         }
         let ops = watch.total_ops();
-        if ops != last_ops {
+        if ops != last_ops || baseline.is_empty() {
             last_ops = ops;
+            baseline = watch.counters();
             last_change = Instant::now();
         } else if last_change.elapsed() >= stall {
             // Diagnose BEFORE aborting: abort unparks the blocked PEs
             // and would destroy the evidence.
+            let now = watch.counters();
+            let npes = now.len() / 2;
+            let mut spun = 0u64;
+            let mut frozen = false;
+            for (i, n) in now.iter().enumerate().take(npes) {
+                let b = baseline.get(i).copied().unwrap_or_default();
+                let ds = n.spins.saturating_sub(b.spins);
+                spun += ds;
+                if n.ops.saturating_sub(b.ops) == 0 && ds == 0 {
+                    frozen = true;
+                }
+            }
+            let class = if spun > 0 && !frozen {
+                "livelock (every stalled PE is spinning without completing useful work)"
+            } else if spun > 0 {
+                "deadlock (at least one PE frozen; others spin without useful work)"
+            } else {
+                "deadlock (no useful work and no spin retries anywhere)"
+            };
             let mut report = format!(
-                "stress watchdog: no fabric progress for {:.1}s (total ops {ops})\n{}",
+                "stress watchdog: no useful fabric progress for {:.1}s \
+                 (useful ops {ops}, spin retries {})\nclassification: {class}\n{}",
                 stall.as_secs_f64(),
-                watch.diagnose()
+                watch.total_spins(),
+                watch.diagnose_delta(Some(&baseline))
             );
-            report.push_str(&format!("replay: {replay_hint}\n"));
+            if let Some(desc) = tshmem::fault::describe_active() {
+                report.push_str(&format!("active {desc}\n"));
+            }
+            report.push_str(&trailer);
             watch.abort();
             // Grace period for the abort panic to unwind the job; a job
             // wedged outside any abort checkpoint just leaks.

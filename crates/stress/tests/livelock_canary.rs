@@ -1,0 +1,60 @@
+//! Livelock canary: poison a lock word so every PE's `set_lock` cswap
+//! fails forever, and assert the watchdog's useful-work accounting
+//! classifies the stall as a **livelock** and names the spinning PEs.
+//!
+//! This is exactly the failure mode the PR-2 watchdog was blind to: the
+//! spinning PEs issue fabric operations continuously (failed cswaps,
+//! `wait_pause` polls), so an "any fabric op = progress" signal never
+//! fires. The useful/spin counter split makes the stall visible — ops
+//! flat, spins climbing.
+//!
+//! Own test binary: the watchdog abort tears the job down by panicking
+//! every PE at its next abort checkpoint, which is noisy enough to keep
+//! isolated from the verification sweeps.
+
+use std::time::Duration;
+
+use stress::run::{watch_closure, Outcome};
+use tshmem::prelude::*;
+
+#[test]
+fn useful_work_watchdog_classifies_lock_pingpong_as_livelock() {
+    let cfg = RuntimeConfig::new(4)
+        .with_partition_bytes(1 << 20)
+        .with_private_bytes(1 << 16);
+    let outcome = watch_closure(&cfg, Duration::from_secs(2), "poisoned-lock livelock", |ctx| {
+        let lock = ctx.shmalloc::<i64>(1);
+        ctx.local_fill(&lock, 0i64);
+        ctx.barrier_all();
+        // Deliberate bug: PE 0 scribbles a garbage owner word into the
+        // lock, so no PE's cswap(0 -> me+1) can ever succeed.
+        if ctx.my_pe() == 0 {
+            ctx.p(&lock, 0, i64::MAX, 0);
+        }
+        ctx.barrier_all();
+        ctx.set_lock(&lock);
+        ctx.clear_lock(&lock);
+    });
+
+    let Outcome::Stalled(report) = outcome else {
+        panic!("poisoned lock did not stall the job");
+    };
+    // The useful/spin split must call this a livelock, not a deadlock:
+    // every PE keeps issuing (failing) fabric ops.
+    assert!(report.contains("classification: livelock"), "not classified livelock:\n{report}");
+    // Every PE is parked in the lock acquisition spin and named.
+    assert!(report.contains("per-PE stall diagnosis (4 PEs)"), "missing header:\n{report}");
+    assert!(report.contains("lock-wait@"), "no lock-wait state in:\n{report}");
+    assert!(
+        report.contains("livelock suspects (spinning, no useful work in window):"),
+        "no suspects line in:\n{report}"
+    );
+    for pe in 0..4 {
+        assert!(
+            report.contains(&format!("PE {pe} (lock-wait@")),
+            "PE {pe} not named a suspect in:\n{report}"
+        );
+    }
+    // In-window deltas rendered: zero useful work, nonzero spins.
+    assert!(report.contains("(+0 useful / +"), "no window deltas in:\n{report}");
+}

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use stress::program::{CollKind, Program, Step, COLL_L};
-use stress::run::{run_watched, Outcome};
+use stress::run::{run_timed, run_watched, Outcome};
 
 fn vals_for(size: usize, salt: u64) -> Vec<Vec<u64>> {
     (0..size)
@@ -75,5 +75,61 @@ fn overlapping_set_collectives() {
     match run_watched(&prog, Some(1), Duration::from_secs(10), "scenario: overlapping collects") {
         Outcome::Completed => {}
         Outcome::Stalled(report) => panic!("{report}"),
+    }
+}
+
+/// Cross-engine fence stress for collect's gather stage. The gather
+/// publishes each member's contribution with a `put_sym` of the data
+/// followed by a flag store; a receiver that observes the flag must also
+/// observe the data (the fence between them is the contract). The two
+/// engines order those stores completely differently — native issues
+/// real stores through the demux threads and relies on the fabric fence,
+/// the timed engine serializes them in virtual time — so the same
+/// collect train must verify on both. The per-PE result check inside
+/// `run_on_ctx` is the oracle: a flag outrunning its data scatters stale
+/// bytes and fails verification.
+#[test]
+fn collect_gather_fence_holds_on_both_engines() {
+    let npes = 8;
+    let world = (0usize, 0u32, 8usize);
+    let evens = (0usize, 1u32, 4usize);
+    let mut steps = Vec::new();
+    let mut idx = 0;
+    // A dense train of back-to-back gathers with no intervening barrier:
+    // each round alternates Collect (offset-scan then gather) and
+    // Fcollect (gather only) on world and on a subset, so flag/data
+    // pairs from adjacent invocations are in flight simultaneously.
+    for round in 0..4u64 {
+        steps.push(Step::Coll {
+            kind: if round % 2 == 0 { CollKind::Collect } else { CollKind::Fcollect },
+            set: world,
+            idx,
+            vals: vals_for(world.2, round * 2),
+        });
+        idx += 1;
+        steps.push(Step::Coll {
+            kind: if round % 2 == 0 { CollKind::Fcollect } else { CollKind::Collect },
+            set: evens,
+            idx,
+            vals: vals_for(evens.2, round * 2 + 1),
+        });
+        idx += 1;
+    }
+    let prog = Program { npes, temp_bytes: 64, algos: (3, 2, 1), steps };
+
+    // Native engine: both a depth-1 bottleneck (every gather message
+    // waits for credit, maximizing reordering windows) and a deep queue.
+    for depth in [1usize, 8] {
+        match run_watched(&prog, Some(depth), Duration::from_secs(10), "scenario: collect fence") {
+            Outcome::Completed => {}
+            Outcome::Stalled(report) => panic!("native depth {depth}:\n{report}"),
+        }
+    }
+    // Timed engine: bounded and unbounded virtual-time schedules.
+    for depth in [Some(1usize), None] {
+        match run_timed(&prog, depth, "scenario: collect fence (timed)") {
+            Outcome::Completed => {}
+            Outcome::Stalled(report) => panic!("timed depth {depth:?}:\n{report}"),
+        }
     }
 }

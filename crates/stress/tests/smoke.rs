@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use stress::program::{gen_program, ProgramStrategy, RngDraw};
+use stress::program::{gen_program_v, ProgramStrategy, RngDraw, GEN_LATEST, GEN_V1};
 use stress::run::{run_watched, Outcome};
 use substrate::proptest_mini as pt;
 
@@ -18,10 +18,10 @@ fn sweep(npes: usize) {
         // so keep the shrink budget modest.
         let cfg = pt::Config { max_shrink_iters: 48, ..pt::Config::with_cases(6) };
         let seed = cfg.seed;
-        pt::check(cfg, ProgramStrategy { npes }, |prog| {
+        pt::check(cfg, ProgramStrategy { npes, version: GEN_LATEST }, |prog| {
             let hint = format!(
                 "cargo run -p stress -- --seed {seed:#x} --case <case reported above> \
-                 --pes {npes} --depth {depth}"
+                 --pes {npes} --depth {depth} --gen {GEN_LATEST}"
             );
             match run_watched(&prog, Some(depth), Duration::from_secs(10), &hint) {
                 Outcome::Completed => {}
@@ -52,30 +52,40 @@ fn sweep_8_pes() {
 }
 
 /// The property harness's `(seed, case)` stream and the replay binary's
-/// `RngDraw` stream must generate byte-identical programs, or the
-/// replay hint printed on failure would reproduce a different run.
+/// `RngDraw` stream must generate byte-identical programs — under every
+/// generator version — or the replay hint printed on failure would
+/// reproduce a different run.
 #[test]
 fn replay_draws_match_harness_draws() {
-    for npes in [2usize, 5, 8] {
-        for case in 0..4u64 {
-            let seed = 0xDEAD_BEEF_0042_1337u64;
-            let via_harness = {
-                use std::cell::RefCell;
-                let captured = RefCell::new(String::new());
-                pt::check(
-                    pt::Config { cases: 1, seed: seed.wrapping_add(case), max_shrink_iters: 0 },
-                    ProgramStrategy { npes },
-                    |prog| {
-                        *captured.borrow_mut() = format!("{prog:?}");
-                    },
+    for version in [GEN_V1, GEN_LATEST] {
+        for npes in [2usize, 5, 8] {
+            for case in 0..4u64 {
+                let seed = 0xDEAD_BEEF_0042_1337u64;
+                let via_harness = {
+                    use std::cell::RefCell;
+                    let captured = RefCell::new(String::new());
+                    pt::check(
+                        pt::Config { cases: 1, seed: seed.wrapping_add(case), max_shrink_iters: 0 },
+                        ProgramStrategy { npes, version },
+                        |prog| {
+                            *captured.borrow_mut() = format!("{prog:?}");
+                        },
+                    );
+                    captured.into_inner()
+                };
+                let via_replay = {
+                    let prog = gen_program_v(
+                        &mut RngDraw::new(seed.wrapping_add(case), 0),
+                        npes,
+                        version,
+                    );
+                    format!("{prog:?}")
+                };
+                assert_eq!(
+                    via_harness, via_replay,
+                    "draw streams diverged (npes {npes}, gen {version})"
                 );
-                captured.into_inner()
-            };
-            let via_replay = {
-                let prog = gen_program(&mut RngDraw::new(seed.wrapping_add(case), 0), npes);
-                format!("{prog:?}")
-            };
-            assert_eq!(via_harness, via_replay, "draw streams diverged (npes {npes})");
+            }
         }
     }
 }

@@ -125,6 +125,14 @@ impl UdnEndpoint {
         self.rx[queue].len()
     }
 
+    /// Current occupancy of a *destination* tile's demux queue, as seen
+    /// from this endpoint's send side — a racy snapshot used by the
+    /// fault plane to clamp effective queue depth below the fabric's
+    /// real bound.
+    pub fn dest_queue_len(&self, dest: usize, queue: usize) -> usize {
+        self.tx[dest][queue].len()
+    }
+
     /// Clone of the receiver for `queue` — TSHMEM hands queue 3's
     /// receiver to its interrupt-service thread (the analog of Tilera's
     /// UDN interrupts).

@@ -23,7 +23,8 @@ fn watchdog_reports_seeded_deadlock() {
     'hunt: for _ in 0..4 {
         for seed in CANARY_SEEDS {
             let prog = gen_program(&mut RngDraw::new(seed, 0), 8);
-            let hint = format!("cargo run -p stress -- --seed {seed:#x} --pes 8 --depth 1 --canary");
+            let hint =
+                format!("cargo run -p stress -- --seed {seed:#x} --pes 8 --depth 1 --gen 1 --canary");
             if let Outcome::Stalled(report) = run_watched(&prog, Some(1), Duration::from_secs(2), &hint) {
                 caught = Some((seed, report));
                 break 'hunt;
