@@ -5,7 +5,15 @@
 //! * [`timed`] — the same protocol code under the virtual-time
 //!   cooperative scheduler with calibrated Tilera costs. The engine the
 //!   paper-figure harness runs on.
+//! * [`multichip`] — the timed engine spanning several simulated chips
+//!   connected by mPIPE links (the paper's Section VI future work).
+//!
+//! All three are instantiations of one contract: [`backend`] defines
+//! [`backend::EngineBackend`], consumed by the generic
+//! [`Launcher`](crate::runtime::Launcher), so liveness watchdogs, the
+//! fault plane, per-PE probes, and trace collection apply uniformly.
 
+pub mod backend;
 pub mod multichip;
 pub mod native;
 pub mod timed;

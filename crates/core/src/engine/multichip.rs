@@ -21,6 +21,15 @@
 //! Functionally, data still moves in process (the chips are simulated);
 //! what changes is the *cost model*, which is the subject of the
 //! multi-device ablation (`microbench::ablation`).
+//!
+//! Like the timed engine, every PE and service context is a coop LP
+//! built on [`super::backend`]'s [`CoopCore`]/[`CoopLp`] — so probes,
+//! the credit-tracked UDN queue model, trace collection, the fault
+//! plane, and the drained-queue watchdog all apply here too. Every
+//! cross-chip transfer additionally passes the mPIPE frame-integrity
+//! layer ([`mpipe::FrameFault`]): injected corruption/replay panics
+//! with a diagnosis naming the link, and injected drops wedge the
+//! receiver for the watchdog to attribute.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -35,20 +44,13 @@ use tile_arch::area::TestArea;
 use tmc::common::CommonMemory;
 use udn::timing::UdnModel;
 
-use crate::fabric::{Fabric, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
-
-const SIM_ARENA_BASE: u64 = 1 << 32;
-const SIM_PRIV_BASE: u64 = 1 << 40;
-const SIM_SCRATCH_BASE: u64 = 1 << 41;
-const SIM_REGION_SPAN: u64 = 1 << 28;
-const SCRATCH_WRAP: u64 = 8 * 1024 * 1024;
-
-const FLAG_RW_CYCLES: f64 = 30.0;
-const RMW_CYCLES: f64 = 60.0;
-const QUIET_CYCLES: f64 = 10.0;
-const POLL_CYCLES: f64 = 50.0;
-/// Per-call data-plane software overhead (see `engine::timed`).
-const OP_OVERHEAD_CYCLES: f64 = 60.0;
+use super::backend::{CoopCore, CoopLp};
+use super::timed::{
+    FLAG_RW_CYCLES, OP_OVERHEAD_CYCLES, QUIET_CYCLES, RMW_CYCLES, SCRATCH_WRAP, SIM_ARENA_BASE,
+    SIM_PRIV_BASE, SIM_REGION_SPAN, SIM_SCRATCH_BASE,
+};
+use crate::fabric::{Fabric, PeProbe, ProtoMsg, RmwOp, RmwWidth};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
 
 /// Launch-wide state of a multi-chip timed job.
 pub struct MultiChipShared {
@@ -64,6 +66,10 @@ pub struct MultiChipShared {
     pub pes_per_chip: usize,
     pub chips: usize,
     pub partition_bytes: usize,
+    /// The observability core shared with the watchdog (see
+    /// [`CoopCore`]); `core.chips > 1` drives the per-chip labels in
+    /// stall reports.
+    pub core: Arc<CoopCore>,
 }
 
 impl MultiChipShared {
@@ -75,6 +81,33 @@ impl MultiChipShared {
         private_bytes: usize,
         link_timings: MpipeTimings,
     ) -> Arc<Self> {
+        Self::new_full(
+            area,
+            chips,
+            pes_per_chip,
+            partition_bytes,
+            private_bytes,
+            link_timings,
+            None,
+            None,
+        )
+    }
+
+    /// Full constructor: `trace` enables operation tracing (cross-chip
+    /// transfers appear as [`TraceKind::Link`] events) and `queue_cap`
+    /// bounds the modeled UDN demux queues, exactly as on the timed
+    /// engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_full(
+        area: TestArea,
+        chips: usize,
+        pes_per_chip: usize,
+        partition_bytes: usize,
+        private_bytes: usize,
+        link_timings: MpipeTimings,
+        trace: Option<Arc<TraceSink>>,
+        queue_cap: Option<usize>,
+    ) -> Arc<Self> {
         assert!(chips >= 1);
         assert!(
             pes_per_chip <= area.tiles(),
@@ -85,7 +118,7 @@ impl MultiChipShared {
         let mut links = HashMap::new();
         for a in 0..chips {
             for b in a + 1..chips {
-                links.insert((a, b), MpipeLink::new(link_timings));
+                links.insert((a, b), MpipeLink::between(link_timings, a, b));
             }
         }
         Arc::new(Self {
@@ -103,6 +136,7 @@ impl MultiChipShared {
             pes_per_chip,
             chips,
             partition_bytes,
+            core: CoopCore::new(npes, chips, trace, queue_cap),
         })
     }
 
@@ -114,8 +148,16 @@ impl MultiChipShared {
         self.chip_of_pe((off / self.partition_bytes).min(self.npes - 1))
     }
 
-    /// Occupy the link between two chips; returns arrival time.
-    fn link_transfer(&self, from: usize, to: usize, now: SimTime, bytes: usize) -> SimTime {
+    /// Occupy the link between two chips through the frame-integrity
+    /// layer. `None` means the frame was dropped in flight by `fault`.
+    fn link_transfer_checked(
+        &self,
+        from: usize,
+        to: usize,
+        now: SimTime,
+        bytes: usize,
+        fault: Option<mpipe::FrameFault>,
+    ) -> Option<SimTime> {
         debug_assert_ne!(from, to);
         let key = (from.min(to), from.max(to));
         let dir = usize::from(from > to);
@@ -123,39 +165,36 @@ impl MultiChipShared {
             .lock()
             .get_mut(&key)
             .expect("link exists for chip pair")
-            .transfer(dir, now, bytes)
+            .transfer_checked(dir, now, bytes, fault)
     }
 }
 
 /// Per-LP fabric of a multi-chip timed job.
 pub struct MultiChipFabric {
     shared: Arc<MultiChipShared>,
-    pe: usize,
-    coop: CoopHandle<ProtoMsg>,
+    lp: CoopLp,
 }
 
 impl MultiChipFabric {
+    /// Fabric for LP `lp_id` of a `2 * npes`-LP cooperative run: LPs
+    /// `0..npes` are PEs, `npes..2*npes` their service contexts.
     pub fn for_lp(shared: Arc<MultiChipShared>, lp_id: usize, coop: CoopHandle<ProtoMsg>) -> Self {
-        let pe = lp_id % shared.npes;
-        Self { shared, pe, coop }
+        let clock = shared.model.area.device.clock;
+        let lp = CoopLp::new(shared.core.clone(), lp_id, coop, clock);
+        Self { shared, lp }
+    }
+
+    fn pe_id(&self) -> usize {
+        self.lp.pe
     }
 
     fn my_chip(&self) -> usize {
-        self.shared.chip_of_pe(self.pe)
+        self.shared.chip_of_pe(self.pe_id())
     }
 
     /// Tile index of a PE within its chip.
     fn tile_of(&self, pe: usize) -> usize {
         pe % self.shared.pes_per_chip
-    }
-
-    fn clock(&self) -> tile_arch::clock::Clock {
-        self.shared.model.area.device.clock
-    }
-
-    fn advance_cycles(&self, cycles: f64) {
-        self.coop
-            .advance(SimTime::from_ps(self.clock().cycles_f64_to_ps(cycles)));
     }
 
     fn sim_arena(&self, off: usize) -> MemRef {
@@ -164,17 +203,41 @@ impl MultiChipFabric {
 
     fn sim_priv(&self, off: usize) -> MemRef {
         MemRef::new(
-            SIM_PRIV_BASE + self.pe as u64 * SIM_REGION_SPAN + off as u64,
-            Homing::Local(self.tile_of(self.pe)),
+            SIM_PRIV_BASE + self.pe_id() as u64 * SIM_REGION_SPAN + off as u64,
+            Homing::Local(self.tile_of(self.pe_id())),
         )
     }
 
     fn sim_scratch(&self, key: usize, len: usize) -> MemRef {
         let off = (key as u64) % (SCRATCH_WRAP.saturating_sub(len as u64).max(1));
         MemRef::new(
-            SIM_SCRATCH_BASE + self.pe as u64 * SIM_REGION_SPAN + off,
-            Homing::Local(self.tile_of(self.pe)),
+            SIM_SCRATCH_BASE + self.pe_id() as u64 * SIM_REGION_SPAN + off,
+            Homing::Local(self.tile_of(self.pe_id())),
         )
+    }
+
+    /// One cross-chip link occupancy: draws the next fault-plane frame
+    /// fault, runs the transfer through the integrity layer, and traces
+    /// it as a [`TraceKind::Link`] event (far chip in `peer`). Returns
+    /// `None` when the frame was dropped in flight — the caller decides
+    /// what "nothing arrived" means for its operation.
+    fn link_checked(&self, from: usize, to: usize, now: SimTime, bytes: usize) -> Option<SimTime> {
+        let fault = crate::fault::link_fault();
+        let arrival = self
+            .lp
+            .coop
+            .with_global(|| self.shared.link_transfer_checked(from, to, now, bytes, fault));
+        if let Some(sink) = &self.shared.core.trace {
+            sink.record(TraceEvent {
+                pe: self.pe_id(),
+                kind: TraceKind::Link,
+                start: now,
+                end: arrival.unwrap_or(now),
+                peer: to,
+                bytes: bytes as u64,
+            });
+        }
+        arrival
     }
 
     /// Charge a copy on one chip's memory system, issued by this PE (or
@@ -183,7 +246,8 @@ impl MultiChipFabric {
         if len == 0 {
             return at;
         }
-        self.coop
+        self.lp
+            .coop
             .with_global(|| self.shared.mems[chip].lock().copy(tile, dst, src, len as u64, at))
     }
 
@@ -193,9 +257,10 @@ impl MultiChipFabric {
         if len == 0 {
             return;
         }
-        self.advance_cycles(OP_OVERHEAD_CYCLES);
-        let now = self.coop.now();
-        let me = self.tile_of(self.pe);
+        let t0 = self.lp.coop.now();
+        self.lp.advance_cycles(OP_OVERHEAD_CYCLES);
+        let now = self.lp.coop.now();
+        let me = self.tile_of(self.pe_id());
         let done = if dst_chip == src_chip {
             // Both ends on one chip: a plain on-chip copy (charged to
             // that chip; a remote chip's proxy tile does the work when
@@ -207,23 +272,40 @@ impl MultiChipFabric {
             // speed (that is mPIPE's selling point), so the link is the
             // bottleneck: a descriptor-setup charge, the serialization
             // occupancy, and DMA delivery that installs the lines into
-            // the far chip's DDC for free.
+            // the far chip's DDC for free. An injected frame drop still
+            // spends the wire time; the loss surfaces at the next
+            // frame's sequence check (or as a receiver wedge).
             let setup = SimTime::from_ps(2 * self.shared.link_timings.frame_overhead_ps);
             let arrive = self
-                .coop
-                .with_global(|| self.shared.link_transfer(src_chip, dst_chip, now + setup, len));
-            self.coop.with_global(|| {
+                .link_checked(src_chip, dst_chip, now + setup, len)
+                .unwrap_or(now + setup);
+            self.lp.coop.with_global(|| {
                 self.shared.mems[dst_chip].lock().install_region(dst.addr, len as u64)
             });
             arrive
         };
-        self.coop.advance_to(done);
+        self.lp.coop.advance_to(done);
+        self.lp.trace(TraceKind::Copy, t0, usize::MAX, len as u64);
+    }
+
+    /// Atomic on a (possibly remote-chip) word: local cost, or an mPIPE
+    /// round trip for cross-chip targets.
+    fn charge_atomic(&self, off: usize) {
+        let chip = self.shared.chip_of_offset(off);
+        if chip == self.my_chip() {
+            self.lp.advance_cycles(RMW_CYCLES);
+        } else {
+            let now = self.lp.coop.now();
+            let there = self.link_checked(self.my_chip(), chip, now, 16).unwrap_or(now);
+            let back = self.link_checked(chip, self.my_chip(), there, 16).unwrap_or(there);
+            self.lp.coop.advance_to(back);
+        }
     }
 }
 
 impl Fabric for MultiChipFabric {
     fn pe(&self) -> usize {
-        self.pe
+        self.pe_id()
     }
 
     fn npes(&self) -> usize {
@@ -240,48 +322,20 @@ impl Fabric for MultiChipFabric {
 
     fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
         assert!(dest < self.shared.npes, "unknown destination PE {dest}");
-        self.coop
-            .advance(SimTime::from_ps(self.shared.model.sw_overhead_ps()));
-        let (my_chip, dest_chip) = (self.my_chip(), self.shared.chip_of_pe(dest));
-        let latency = if my_chip == dest_chip {
-            SimTime::from_ps(self.shared.model.one_way_ps(
-                self.tile_of(self.pe),
-                self.tile_of(dest),
-                payload.len() + 1,
-            ))
-        } else {
-            // Tunneled over mPIPE: occupy the link for the (small)
-            // control frame and deliver at its arrival.
-            let bytes = (payload.len() + 1) * 8;
-            let now = self.coop.now();
-            let arrival = self
-                .coop
-                .with_global(|| self.shared.link_transfer(my_chip, dest_chip, now, bytes));
-            arrival.saturating_sub(now)
-        };
-        let dest_lp = if queue == Q_SERVICE {
-            self.shared.npes + dest
-        } else {
-            dest
-        };
-        self.coop.send(
-            dest_lp,
-            queue,
-            ProtoMsg {
-                src: self.pe,
-                tag,
-                payload: payload.to_vec(),
-            },
-            latency,
-        );
+        self.send_impl(dest, queue, tag, payload, true);
+    }
+
+    fn udn_try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
+        assert!(dest < self.shared.npes, "unknown destination PE {dest}");
+        self.send_impl(dest, queue, tag, payload, false)
     }
 
     fn udn_recv(&self, queue: usize) -> ProtoMsg {
-        self.coop.recv(queue)
+        self.lp.recv_tracked(queue)
     }
 
     fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
-        self.coop.try_recv(queue)
+        self.lp.try_recv_tracked(queue)
     }
 
     fn arena_copy(&self, dst: usize, src: usize, len: usize) {
@@ -293,6 +347,7 @@ impl Fabric for MultiChipFabric {
             self.sim_arena(src),
             len,
         );
+        self.lp.progress();
     }
 
     fn arena_write(&self, dst: usize, src: &[u8]) {
@@ -304,6 +359,7 @@ impl Fabric for MultiChipFabric {
             self.sim_scratch(dst, src.len()),
             src.len(),
         );
+        self.lp.progress();
     }
 
     fn arena_read(&self, src: usize, dst: &mut [u8]) {
@@ -315,10 +371,11 @@ impl Fabric for MultiChipFabric {
             self.sim_arena(src),
             dst.len(),
         );
+        self.lp.progress();
     }
 
     fn arena_read_u64(&self, off: usize) -> u64 {
-        self.advance_cycles(FLAG_RW_CYCLES);
+        self.lp.advance_cycles(FLAG_RW_CYCLES);
         self.shared
             .arena
             .atomic_u64(off)
@@ -326,7 +383,7 @@ impl Fabric for MultiChipFabric {
     }
 
     fn arena_read_u32(&self, off: usize) -> u32 {
-        self.advance_cycles(FLAG_RW_CYCLES);
+        self.lp.advance_cycles(FLAG_RW_CYCLES);
         self.shared
             .arena
             .atomic_u32(off)
@@ -336,24 +393,26 @@ impl Fabric for MultiChipFabric {
     fn arena_write_u64(&self, off: usize, v: u64) {
         let chip = self.shared.chip_of_offset(off);
         if chip == self.my_chip() {
-            self.advance_cycles(FLAG_RW_CYCLES);
+            self.lp.advance_cycles(FLAG_RW_CYCLES);
         } else {
-            // A remote-chip flag write is a small mPIPE message.
-            let now = self.coop.now();
-            let arrival = self
-                .coop
-                .with_global(|| self.shared.link_transfer(self.my_chip(), chip, now, 16));
-            self.coop.advance_to(arrival);
+            // A remote-chip flag write is a small mPIPE message. A
+            // dropped frame costs nothing extra here; the loss surfaces
+            // at the link's next sequence check.
+            let now = self.lp.coop.now();
+            let arrival = self.link_checked(self.my_chip(), chip, now, 16).unwrap_or(now);
+            self.lp.coop.advance_to(arrival);
         }
         self.shared
             .arena
             .atomic_u64(off)
             .store(v, std::sync::atomic::Ordering::Release);
+        self.lp.progress();
     }
 
     fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
         self.charge_atomic(off);
-        self.coop.with_global(|| {
+        self.lp.progress();
+        self.lp.coop.with_global(|| {
             use std::sync::atomic::Ordering::AcqRel;
             match width {
                 RmwWidth::W64 => {
@@ -383,7 +442,7 @@ impl Fabric for MultiChipFabric {
 
     fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
         self.charge_atomic(off);
-        self.coop.with_global(|| {
+        let old = self.lp.coop.with_global(|| {
             use std::sync::atomic::Ordering::{AcqRel, Acquire};
             match width {
                 RmwWidth::W64 => match self
@@ -403,26 +462,35 @@ impl Fabric for MultiChipFabric {
                     Ok(o) | Err(o) => o as u64,
                 },
             }
-        })
+        });
+        // Same useful-vs-spin split as the other engines.
+        if old == cond {
+            self.lp.progress();
+        } else {
+            self.lp.probe.spin();
+        }
+        old
     }
 
     fn private_write(&self, off: usize, src: &[u8]) {
-        self.shared.privates[self.pe].write_bytes(off, src);
+        self.shared.privates[self.pe_id()].write_bytes(off, src);
         let c = self.my_chip();
         self.charge_move(c, self.sim_priv(off), c, self.sim_scratch(off, src.len()), src.len());
+        self.lp.progress();
     }
 
     fn private_read(&self, off: usize, dst: &mut [u8]) {
-        self.shared.privates[self.pe].read_bytes(off, dst);
+        self.shared.privates[self.pe_id()].read_bytes(off, dst);
         let c = self.my_chip();
         self.charge_move(c, self.sim_scratch(off, dst.len()), c, self.sim_priv(off), dst.len());
+        self.lp.progress();
     }
 
     fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize) {
         CommonMemory::copy_between(
             &self.shared.arena,
             arena_dst,
-            &self.shared.privates[self.pe],
+            &self.shared.privates[self.pe_id()],
             priv_src,
             len,
         );
@@ -433,11 +501,12 @@ impl Fabric for MultiChipFabric {
             self.sim_priv(priv_src),
             len,
         );
+        self.lp.progress();
     }
 
     fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize) {
         CommonMemory::copy_between(
-            &self.shared.privates[self.pe],
+            &self.shared.privates[self.pe_id()],
             priv_dst,
             &self.shared.arena,
             arena_src,
@@ -450,6 +519,7 @@ impl Fabric for MultiChipFabric {
             self.sim_arena(arena_src),
             len,
         );
+        self.lp.progress();
     }
 
     fn arena_raw(&self, off: usize, len: usize) -> *mut u8 {
@@ -457,7 +527,7 @@ impl Fabric for MultiChipFabric {
     }
 
     fn private_raw(&self, off: usize, len: usize) -> *mut u8 {
-        self.shared.privates[self.pe].raw(off, len)
+        self.shared.privates[self.pe_id()].raw(off, len)
     }
 
     fn tmc_spin_barrier(&self, _set: (usize, u32, usize)) {
@@ -469,39 +539,64 @@ impl Fabric for MultiChipFabric {
 
     fn quiet(&self) {
         tmc::fence::mem_fence();
-        self.advance_cycles(QUIET_CYCLES);
+        self.lp.advance_cycles(QUIET_CYCLES);
     }
 
     fn wait_pause(&self, attempt: u32) {
-        let step = POLL_CYCLES * f64::from(1u32 << attempt.min(8));
-        self.advance_cycles(step);
+        self.lp.wait_pause(attempt);
     }
 
     fn compute(&self, cycles: f64) {
-        self.advance_cycles(cycles);
+        let t0 = self.lp.coop.now();
+        self.lp.advance_cycles(cycles);
+        self.lp.trace(TraceKind::Compute, t0, usize::MAX, 0);
     }
 
     fn now_ns(&self) -> f64 {
-        self.coop.now().ns_f64()
+        self.lp.coop.now().ns_f64()
+    }
+
+    fn inject_delay_us(&self, micros: u64) {
+        self.lp.coop.advance(SimTime::from_ns(micros * 1000));
+    }
+
+    fn probe(&self) -> Option<&PeProbe> {
+        Some(&self.lp.probe)
     }
 }
 
 impl MultiChipFabric {
-    /// Atomic on a (possibly remote-chip) word: local cost, or an mPIPE
-    /// round trip for cross-chip targets.
-    fn charge_atomic(&self, off: usize) {
-        let chip = self.shared.chip_of_offset(off);
-        if chip == self.my_chip() {
-            self.advance_cycles(RMW_CYCLES);
-        } else {
-            let now = self.coop.now();
-            let there = self
-                .coop
-                .with_global(|| self.shared.link_transfer(self.my_chip(), chip, now, 16));
-            let back = self
-                .coop
-                .with_global(|| self.shared.link_transfer(chip, self.my_chip(), there, 16));
-            self.coop.advance_to(back);
-        }
+    /// Shared body of `udn_send`/`udn_try_send`: the tracked send with
+    /// this engine's wire model — on-chip wormhole latency within a
+    /// chip, an mPIPE frame (through the integrity layer) across chips.
+    fn send_impl(&self, dest: usize, queue: usize, tag: u16, payload: &[u64], blocking: bool) -> bool {
+        let bytes = ((payload.len() + 1) * self.shared.model.area.device.word_bytes) as u64;
+        let (my_chip, dest_chip) = (self.my_chip(), self.shared.chip_of_pe(dest));
+        self.lp.send_tracked(
+            dest,
+            queue,
+            tag,
+            payload,
+            blocking,
+            self.shared.model.sw_overhead_ps(),
+            (TraceKind::UdnSend, bytes),
+            || {
+                if my_chip == dest_chip {
+                    Some(SimTime::from_ps(self.shared.model.one_way_ps(
+                        self.tile_of(self.pe_id()),
+                        self.tile_of(dest),
+                        payload.len() + 1,
+                    )))
+                } else {
+                    // Tunneled over mPIPE: occupy the link for the
+                    // (small) control frame and deliver at its arrival.
+                    // A dropped frame delivers nothing — the receiver's
+                    // wedge is the watchdog's to diagnose.
+                    let now = self.lp.coop.now();
+                    self.link_checked(my_chip, dest_chip, now, (payload.len() + 1) * 8)
+                        .map(|arrival| arrival.saturating_sub(now))
+                }
+            },
+        )
     }
 }

@@ -9,6 +9,12 @@
 //! and busy-until home-port/DRAM contention for concurrent transfers.
 //! Determinism is inherited from the scheduler: a timed run is
 //! bit-reproducible.
+//!
+//! The tracked UDN queue model (credit-parked backpressure), per-LP
+//! probes, trace plumbing, and the virtual-time livelock guard live in
+//! [`super::backend`]'s [`CoopCore`]/[`CoopLp`], shared with the
+//! multichip engine — this module supplies only the single-chip wire
+//! and memory cost model.
 
 use std::sync::Arc;
 
@@ -21,58 +27,29 @@ use tile_arch::area::TestArea;
 use tmc::common::CommonMemory;
 use udn::timing::UdnModel;
 
-use crate::fabric::{BlockedOn, Fabric, PeProbe, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+use super::backend::{CoopCore, CoopLp};
+use crate::fabric::{BlockedOn, Fabric, PeProbe, ProtoMsg, RmwOp, RmwWidth};
 
-/// Extra coop channel carrying queue-space credits: a sender blocked on
-/// a full modeled UDN queue parks in `recv(CH_CREDIT)` and is granted a
-/// zero-latency credit when the destination drains a packet. Parking on
-/// a real coop channel makes a cycle of full-queue senders a *genuine*
-/// desim deadlock — exactly what the timed watchdog detects.
-pub const CH_CREDIT: usize = udn::NUM_QUEUES;
-/// Extra coop channel for `tmc_spin_barrier` traffic, so spin-barrier
-/// tokens can never interleave with protocol messages on `Q_BARRIER`
-/// when a program mixes barrier algorithms.
-pub const CH_SPIN: usize = udn::NUM_QUEUES + 1;
-/// Channels per LP a timed cooperative run must be launched with.
-pub const TIMED_CHANNELS: usize = udn::NUM_QUEUES + 2;
-
-/// Failed-poll budget per single wait (`wait_pause` attempts): a wait
-/// that polls this many times without its condition changing has spun
-/// for tens of virtual seconds — a livelock that would otherwise burn
-/// real CPU forever, since virtual time advances keep every poller
-/// runnable. Panic instead so the test runner can never hang.
-const SPIN_BUDGET: u32 = 2_000_000;
-
-/// Per-destination modeled UDN queue occupancy and the senders parked
-/// waiting for space.
-struct QueueState {
-    /// `occ[dest_lp][queue]`: packets sent but not yet received.
-    occ: Vec<[usize; udn::NUM_QUEUES]>,
-    /// `(dest_lp, queue, sender_lp)` for every parked sender.
-    waiters: Vec<(usize, usize, usize)>,
-}
-
-const TAG_CREDIT: u16 = 0x5C;
+pub use super::backend::{CH_CREDIT, CH_SPIN, TIMED_CHANNELS};
 
 /// Simulated-address-space bases (disjoint regions for classification).
-const SIM_ARENA_BASE: u64 = 1 << 32;
-const SIM_PRIV_BASE: u64 = 1 << 40;
-const SIM_SCRATCH_BASE: u64 = 1 << 41;
-const SIM_REGION_SPAN: u64 = 1 << 28;
+pub(crate) const SIM_ARENA_BASE: u64 = 1 << 32;
+pub(crate) const SIM_PRIV_BASE: u64 = 1 << 40;
+pub(crate) const SIM_SCRATCH_BASE: u64 = 1 << 41;
+pub(crate) const SIM_REGION_SPAN: u64 = 1 << 28;
 /// Local scratch (stack/heap buffers) wraps so repeated transfers from
 /// "the same local buffer" stay cache-warm, as they would on hardware.
-const SCRATCH_WRAP: u64 = 8 * 1024 * 1024;
+pub(crate) const SCRATCH_WRAP: u64 = 8 * 1024 * 1024;
 
 /// Cycle charges for operations not covered by the copy model.
-const FLAG_RW_CYCLES: f64 = 30.0;
-const RMW_CYCLES: f64 = 60.0;
-const QUIET_CYCLES: f64 = 10.0;
-const POLL_CYCLES: f64 = 50.0;
+pub(crate) const FLAG_RW_CYCLES: f64 = 30.0;
+pub(crate) const RMW_CYCLES: f64 = 60.0;
+pub(crate) const QUIET_CYCLES: f64 = 10.0;
 /// Per-call software overhead of a data-plane operation (argument
 /// checks, address classification, `memcpy` setup) — what makes small
 /// puts latency-bound in Figure 6 rather than running at the L1d
 /// plateau.
-const OP_OVERHEAD_CYCLES: f64 = 60.0;
+pub(crate) const OP_OVERHEAD_CYCLES: f64 = 60.0;
 
 /// Launch-wide state shared by every timed fabric.
 pub struct TimedShared {
@@ -86,15 +63,9 @@ pub struct TimedShared {
     /// Regions not listed default to hash-for-home (what TSHMEM uses
     /// for common memory).
     pub homing_overrides: Mutex<Vec<(usize, usize, Homing)>>,
-    /// Optional operation trace (see `crate::trace`).
-    pub trace: Option<Arc<crate::trace::TraceSink>>,
-    /// Per-LP probes (`0..npes` the PEs, `npes..2*npes` their service
-    /// contexts) — the same introspection the native engine gives the
-    /// watchdog, read by `TimedWatch` at deadlock-detection time.
-    pub probes: Vec<Arc<PeProbe>>,
-    /// Modeled UDN queue depth (packets); `None` = unbounded.
-    pub queue_cap: Option<usize>,
-    qstate: Mutex<QueueState>,
+    /// The observability core shared with the watchdog: probes, trace
+    /// sink, and the modeled UDN queue state (see [`CoopCore`]).
+    pub core: Arc<CoopCore>,
 }
 
 impl TimedShared {
@@ -133,7 +104,6 @@ impl TimedShared {
             "{npes} PEs exceed the {}-tile test area",
             area.tiles()
         );
-        assert!(queue_cap != Some(0), "queue_cap must be at least 1 packet");
         let arena = CommonMemory::new(npes * partition_bytes, Homing::HashForHome);
         let privates = (0..npes)
             .map(|pe| CommonMemory::new(private_bytes, Homing::Local(pe)))
@@ -146,19 +116,13 @@ impl TimedShared {
             npes,
             partition_bytes,
             homing_overrides: Mutex::new(Vec::new()),
-            trace,
-            probes: (0..2 * npes).map(|_| Arc::new(PeProbe::new())).collect(),
-            queue_cap,
-            qstate: Mutex::new(QueueState {
-                occ: vec![[0; udn::NUM_QUEUES]; 2 * npes],
-                waiters: Vec::new(),
-            }),
+            core: CoopCore::new(npes, 1, trace, queue_cap),
         })
     }
 
     /// Snapshot of the modeled demux-queue occupancy of LP `lp`.
     pub fn queue_occupancy(&self, lp: usize) -> [usize; udn::NUM_QUEUES] {
-        self.qstate.lock().occ[lp]
+        self.core.queue_occupancy(lp)
     }
 }
 
@@ -166,140 +130,20 @@ impl TimedShared {
 /// share `pe` but hold different coop handles (and distinct probes).
 pub struct TimedFabric {
     shared: Arc<TimedShared>,
-    pe: usize,
-    lp: usize,
-    probe: Arc<PeProbe>,
-    coop: CoopHandle<ProtoMsg>,
+    lp: CoopLp,
 }
 
 impl TimedFabric {
     /// Fabric for LP `lp_id` of a `2 * npes`-LP cooperative run: LPs
     /// `0..npes` are PEs, `npes..2*npes` their service contexts.
     pub fn for_lp(shared: Arc<TimedShared>, lp_id: usize, coop: CoopHandle<ProtoMsg>) -> Self {
-        let pe = lp_id % shared.npes;
-        let probe = shared.probes[lp_id].clone();
-        Self {
-            shared,
-            pe,
-            lp: lp_id,
-            probe,
-            coop,
-        }
+        let clock = shared.model.area.device.clock;
+        let lp = CoopLp::new(shared.core.clone(), lp_id, coop, clock);
+        Self { shared, lp }
     }
 
-    fn clock(&self) -> tile_arch::clock::Clock {
-        self.shared.model.area.device.clock
-    }
-
-    /// Count one completed (state-changing) op, tick the fault plane's
-    /// op clock, and serve any `SlowPe` fault by advancing virtual time.
-    fn progress(&self) {
-        self.probe.bump();
-        crate::fault::note_op();
-        if let Some(us) = crate::fault::slow_pe_delay_us(self.pe) {
-            self.coop.advance(SimTime::from_ns(us * 1000));
-        }
-    }
-
-    /// Effective modeled queue depth: the configured cap, tightened by
-    /// any active `ClampQueueDepth` fault.
-    fn effective_cap(&self) -> Option<usize> {
-        let clamp = crate::fault::clamp_queue_depth();
-        match (self.shared.queue_cap, clamp) {
-            (Some(b), Some(c)) => Some(b.min(c)),
-            (Some(b), None) => Some(b),
-            (None, c) => c,
-        }
-    }
-
-    /// Reserve one slot in `dest_lp`'s modeled demux queue `queue`.
-    /// Occupancy is tracked unconditionally (it feeds the stall
-    /// diagnosis); the depth bound only gates when a cap is in effect.
-    /// Returns `false` if non-blocking and the queue is full. A
-    /// blocking reservation parks this LP on [`CH_CREDIT`] until the
-    /// destination drains a packet — so a cycle of full-queue blocking
-    /// senders is a real desim deadlock.
-    fn reserve_slot(&self, dest_lp: usize, queue: usize, dest_pe: usize, blocking: bool) -> bool {
-        loop {
-            let cap = self.effective_cap();
-            {
-                let mut q = self.shared.qstate.lock();
-                if cap.is_none_or(|c| q.occ[dest_lp][queue] < c) {
-                    q.occ[dest_lp][queue] += 1;
-                    return true;
-                }
-                if !blocking {
-                    return false;
-                }
-                q.waiters.push((dest_lp, queue, self.lp));
-            }
-            self.probe.set_blocked(BlockedOn::SendFull { dest: dest_pe, queue });
-            self.probe.spin();
-            let credit = self.coop.recv(CH_CREDIT);
-            debug_assert_eq!(credit.tag, TAG_CREDIT);
-            self.probe.set_blocked(BlockedOn::Running);
-            // Re-check: another sender may have taken the freed slot.
-        }
-    }
-
-    /// Release the slot a just-received packet held in this LP's
-    /// modeled queue and grant one credit to a parked sender, if any.
-    fn release_slot(&self, queue: usize) {
-        let woken = {
-            let mut q = self.shared.qstate.lock();
-            let occ = &mut q.occ[self.lp][queue];
-            *occ = occ.saturating_sub(1);
-            q.waiters
-                .iter()
-                .position(|&(d, qu, _)| d == self.lp && qu == queue)
-                .map(|i| q.waiters.remove(i).2)
-        };
-        if let Some(sender_lp) = woken {
-            self.coop.send(
-                sender_lp,
-                CH_CREDIT,
-                ProtoMsg {
-                    src: self.pe,
-                    tag: TAG_CREDIT,
-                    payload: vec![],
-                },
-                SimTime::ZERO,
-            );
-        }
-    }
-
-    /// The wire-and-overhead half of a UDN send, after slot reservation.
-    fn send_inner(&self, dest_lp: usize, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
-        let t0 = self.coop.now();
-        if let Some(us) = crate::fault::protocol_send_delay_us() {
-            self.coop.advance(SimTime::from_ns(us * 1000));
-        }
-        // Software injection overhead, then wormhole wire latency.
-        self.coop
-            .advance(SimTime::from_ps(self.shared.model.sw_overhead_ps()));
-        let wire = self.shared.model.one_way_ps(self.pe, dest, payload.len() + 1);
-        self.coop.send(
-            dest_lp,
-            queue,
-            ProtoMsg {
-                src: self.pe,
-                tag,
-                payload: payload.to_vec(),
-            },
-            SimTime::from_ps(wire),
-        );
-        self.trace(
-            crate::trace::TraceKind::UdnSend,
-            t0,
-            dest,
-            ((payload.len() + 1) * self.shared.model.area.device.word_bytes) as u64,
-        );
-        self.progress();
-    }
-
-    fn advance_cycles(&self, cycles: f64) {
-        self.coop
-            .advance(SimTime::from_ps(self.clock().cycles_f64_to_ps(cycles)));
+    fn pe_id(&self) -> usize {
+        self.lp.pe
     }
 
     fn sim_arena(&self, off: usize) -> MemRef {
@@ -316,16 +160,16 @@ impl TimedFabric {
 
     fn sim_priv(&self, off: usize) -> MemRef {
         MemRef::new(
-            SIM_PRIV_BASE + self.pe as u64 * SIM_REGION_SPAN + off as u64,
-            Homing::Local(self.pe),
+            SIM_PRIV_BASE + self.pe_id() as u64 * SIM_REGION_SPAN + off as u64,
+            Homing::Local(self.pe_id()),
         )
     }
 
     fn sim_scratch(&self, key: usize, len: usize) -> MemRef {
         let off = (key as u64) % (SCRATCH_WRAP.saturating_sub(len as u64).max(1));
         MemRef::new(
-            SIM_SCRATCH_BASE + self.pe as u64 * SIM_REGION_SPAN + off,
-            Homing::Local(self.pe),
+            SIM_SCRATCH_BASE + self.pe_id() as u64 * SIM_REGION_SPAN + off,
+            Homing::Local(self.pe_id()),
         )
     }
 
@@ -334,34 +178,20 @@ impl TimedFabric {
         if len == 0 {
             return;
         }
-        let t0 = self.coop.now();
-        self.advance_cycles(OP_OVERHEAD_CYCLES);
-        let now = self.coop.now();
-        let done = self
-            .coop
-            .with_global(|| self.shared.mem.lock().copy(self.pe, dst, src, len as u64, now));
-        self.coop.advance_to(done);
-        self.trace(crate::trace::TraceKind::Copy, t0, usize::MAX, len as u64);
-    }
-
-    /// Append a trace event (no-op unless tracing is enabled).
-    fn trace(&self, kind: crate::trace::TraceKind, start: SimTime, peer: usize, bytes: u64) {
-        if let Some(sink) = &self.shared.trace {
-            sink.record(crate::trace::TraceEvent {
-                pe: self.pe,
-                kind,
-                start,
-                end: self.coop.now(),
-                peer,
-                bytes,
-            });
-        }
+        let t0 = self.lp.coop.now();
+        self.lp.advance_cycles(OP_OVERHEAD_CYCLES);
+        let now = self.lp.coop.now();
+        let done = self.lp.coop.with_global(|| {
+            self.shared.mem.lock().copy(self.pe_id(), dst, src, len as u64, now)
+        });
+        self.lp.coop.advance_to(done);
+        self.lp.trace(crate::trace::TraceKind::Copy, t0, usize::MAX, len as u64);
     }
 }
 
 impl Fabric for TimedFabric {
     fn pe(&self) -> usize {
-        self.pe
+        self.pe_id()
     }
 
     fn npes(&self) -> usize {
@@ -378,70 +208,64 @@ impl Fabric for TimedFabric {
 
     fn udn_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
         assert!(dest < self.shared.npes, "unknown destination PE {dest}");
-        let dest_lp = if queue == Q_SERVICE {
-            self.shared.npes + dest
-        } else {
-            dest
-        };
-        self.reserve_slot(dest_lp, queue, dest, true);
-        self.send_inner(dest_lp, dest, queue, tag, payload);
+        let bytes = ((payload.len() + 1) * self.shared.model.area.device.word_bytes) as u64;
+        let wire = self.shared.model.one_way_ps(self.pe_id(), dest, payload.len() + 1);
+        self.lp.send_tracked(
+            dest,
+            queue,
+            tag,
+            payload,
+            true,
+            self.shared.model.sw_overhead_ps(),
+            (crate::trace::TraceKind::UdnSend, bytes),
+            || Some(SimTime::from_ps(wire)),
+        );
     }
 
     fn udn_try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
         assert!(dest < self.shared.npes, "unknown destination PE {dest}");
-        let dest_lp = if queue == Q_SERVICE {
-            self.shared.npes + dest
-        } else {
-            dest
-        };
-        if !self.reserve_slot(dest_lp, queue, dest, false) {
-            self.probe.spin();
-            return false;
-        }
-        self.send_inner(dest_lp, dest, queue, tag, payload);
-        true
+        let bytes = ((payload.len() + 1) * self.shared.model.area.device.word_bytes) as u64;
+        let wire = self.shared.model.one_way_ps(self.pe_id(), dest, payload.len() + 1);
+        self.lp.send_tracked(
+            dest,
+            queue,
+            tag,
+            payload,
+            false,
+            self.shared.model.sw_overhead_ps(),
+            (crate::trace::TraceKind::UdnSend, bytes),
+            || Some(SimTime::from_ps(wire)),
+        )
     }
 
     fn udn_recv(&self, queue: usize) -> ProtoMsg {
-        let t0 = self.coop.now();
-        self.probe.set_blocked(BlockedOn::Recv { queue });
-        let msg = self.coop.recv(queue);
-        self.probe.set_blocked(BlockedOn::Running);
-        self.release_slot(queue);
-        self.trace(crate::trace::TraceKind::Wait, t0, usize::MAX, 0);
-        self.progress();
-        msg
+        self.lp.recv_tracked(queue)
     }
 
     fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
-        let got = self.coop.try_recv(queue);
-        if got.is_some() {
-            self.release_slot(queue);
-            self.progress();
-        }
-        got
+        self.lp.try_recv_tracked(queue)
     }
 
     fn arena_copy(&self, dst: usize, src: usize, len: usize) {
         self.shared.arena.copy_within(dst, src, len);
         self.charge_copy(self.sim_arena(dst), self.sim_arena(src), len);
-        self.progress();
+        self.lp.progress();
     }
 
     fn arena_write(&self, dst: usize, src: &[u8]) {
         self.shared.arena.write_bytes(dst, src);
         self.charge_copy(self.sim_arena(dst), self.sim_scratch(dst, src.len()), src.len());
-        self.progress();
+        self.lp.progress();
     }
 
     fn arena_read(&self, src: usize, dst: &mut [u8]) {
         self.shared.arena.read_bytes(src, dst);
         self.charge_copy(self.sim_scratch(src, dst.len()), self.sim_arena(src), dst.len());
-        self.progress();
+        self.lp.progress();
     }
 
     fn arena_read_u64(&self, off: usize) -> u64 {
-        self.advance_cycles(FLAG_RW_CYCLES);
+        self.lp.advance_cycles(FLAG_RW_CYCLES);
         self.shared
             .arena
             .atomic_u64(off)
@@ -449,7 +273,7 @@ impl Fabric for TimedFabric {
     }
 
     fn arena_read_u32(&self, off: usize) -> u32 {
-        self.advance_cycles(FLAG_RW_CYCLES);
+        self.lp.advance_cycles(FLAG_RW_CYCLES);
         self.shared
             .arena
             .atomic_u32(off)
@@ -457,22 +281,22 @@ impl Fabric for TimedFabric {
     }
 
     fn arena_write_u64(&self, off: usize, v: u64) {
-        self.advance_cycles(FLAG_RW_CYCLES);
+        self.lp.advance_cycles(FLAG_RW_CYCLES);
         self.shared
             .arena
             .atomic_u64(off)
             .store(v, std::sync::atomic::Ordering::Release);
         // A flag store is useful work; atomic loads stay uncounted.
-        self.progress();
+        self.lp.progress();
     }
 
     fn arena_rmw(&self, off: usize, op: RmwOp, operand: u64, width: RmwWidth) -> u64 {
-        self.advance_cycles(RMW_CYCLES);
-        self.progress();
+        self.lp.advance_cycles(RMW_CYCLES);
+        self.lp.progress();
         // Only one LP runs at a time, so sequenced RMW through the
         // shared arena is atomic by construction; the atomics keep the
         // native types shared.
-        self.coop.with_global(|| {
+        self.lp.coop.with_global(|| {
             use std::sync::atomic::Ordering::AcqRel;
             match width {
                 RmwWidth::W64 => {
@@ -501,8 +325,8 @@ impl Fabric for TimedFabric {
     }
 
     fn arena_cswap(&self, off: usize, cond: u64, new: u64, width: RmwWidth) -> u64 {
-        self.advance_cycles(RMW_CYCLES);
-        let old = self.coop.with_global(|| {
+        self.lp.advance_cycles(RMW_CYCLES);
+        let old = self.lp.coop.with_global(|| {
             use std::sync::atomic::Ordering::{AcqRel, Acquire};
             match width {
                 RmwWidth::W64 => {
@@ -529,47 +353,47 @@ impl Fabric for TimedFabric {
         });
         // Same useful-vs-spin split as the native engine.
         if old == cond {
-            self.progress();
+            self.lp.progress();
         } else {
-            self.probe.spin();
+            self.lp.probe.spin();
         }
         old
     }
 
     fn private_write(&self, off: usize, src: &[u8]) {
-        self.shared.privates[self.pe].write_bytes(off, src);
+        self.shared.privates[self.pe_id()].write_bytes(off, src);
         self.charge_copy(self.sim_priv(off), self.sim_scratch(off, src.len()), src.len());
-        self.progress();
+        self.lp.progress();
     }
 
     fn private_read(&self, off: usize, dst: &mut [u8]) {
-        self.shared.privates[self.pe].read_bytes(off, dst);
+        self.shared.privates[self.pe_id()].read_bytes(off, dst);
         self.charge_copy(self.sim_scratch(off, dst.len()), self.sim_priv(off), dst.len());
-        self.progress();
+        self.lp.progress();
     }
 
     fn private_to_arena(&self, arena_dst: usize, priv_src: usize, len: usize) {
         CommonMemory::copy_between(
             &self.shared.arena,
             arena_dst,
-            &self.shared.privates[self.pe],
+            &self.shared.privates[self.pe_id()],
             priv_src,
             len,
         );
         self.charge_copy(self.sim_arena(arena_dst), self.sim_priv(priv_src), len);
-        self.progress();
+        self.lp.progress();
     }
 
     fn arena_to_private(&self, priv_dst: usize, arena_src: usize, len: usize) {
         CommonMemory::copy_between(
-            &self.shared.privates[self.pe],
+            &self.shared.privates[self.pe_id()],
             priv_dst,
             &self.shared.arena,
             arena_src,
             len,
         );
         self.charge_copy(self.sim_priv(priv_dst), self.sim_arena(arena_src), len);
-        self.progress();
+        self.lp.progress();
     }
 
     fn arena_raw(&self, off: usize, len: usize) -> *mut u8 {
@@ -577,7 +401,7 @@ impl Fabric for TimedFabric {
     }
 
     fn private_raw(&self, off: usize, len: usize) -> *mut u8 {
-        self.shared.privates[self.pe].raw(off, len)
+        self.shared.privates[self.pe_id()].raw(off, len)
     }
 
     fn tmc_spin_barrier(&self, set: (usize, u32, usize)) {
@@ -591,51 +415,44 @@ impl Fabric for TimedFabric {
         let stride = 1usize << log2_stride;
         let device = self.shared.model.area.device;
         let spin = SimTime::from_ps(device.timings.barrier.spin_ps(size));
+        let me = self.pe_id();
         if size == 1 {
-            self.coop.advance(spin);
-            self.progress();
+            self.lp.coop.advance(spin);
+            self.lp.progress();
             return;
         }
-        if self.pe == start {
-            self.probe.set_blocked(BlockedOn::Recv { queue: crate::fabric::Q_BARRIER });
+        if me == start {
+            self.lp.probe.set_blocked(BlockedOn::Recv { queue: crate::fabric::Q_BARRIER });
             for _ in 1..size {
-                let m = self.coop.recv(CH_SPIN);
+                let m = self.lp.coop.recv(CH_SPIN);
                 debug_assert_eq!(m.tag, TAG_SPIN);
             }
-            self.probe.set_blocked(BlockedOn::Running);
-            let release = self.coop.now() + spin;
+            self.lp.probe.set_blocked(BlockedOn::Running);
+            let release = self.lp.coop.now() + spin;
             for r in 1..size {
                 let dest = start + r * stride;
-                let latency = release.saturating_sub(self.coop.now());
-                self.coop.send(
+                let latency = release.saturating_sub(self.lp.coop.now());
+                self.lp.coop.send(
                     dest,
                     CH_SPIN,
-                    ProtoMsg {
-                        src: self.pe,
-                        tag: TAG_SPIN,
-                        payload: vec![],
-                    },
+                    ProtoMsg { src: me, tag: TAG_SPIN, payload: vec![] },
                     latency,
                 );
             }
-            self.coop.advance_to(release);
+            self.lp.coop.advance_to(release);
         } else {
-            self.coop.send(
+            self.lp.coop.send(
                 start,
                 CH_SPIN,
-                ProtoMsg {
-                    src: self.pe,
-                    tag: TAG_SPIN,
-                    payload: vec![],
-                },
+                ProtoMsg { src: me, tag: TAG_SPIN, payload: vec![] },
                 SimTime::ZERO,
             );
-            self.probe.set_blocked(BlockedOn::Recv { queue: crate::fabric::Q_BARRIER });
-            let m = self.coop.recv(CH_SPIN);
+            self.lp.probe.set_blocked(BlockedOn::Recv { queue: crate::fabric::Q_BARRIER });
+            let m = self.lp.coop.recv(CH_SPIN);
             debug_assert_eq!(m.tag, TAG_SPIN);
-            self.probe.set_blocked(BlockedOn::Running);
+            self.lp.probe.set_blocked(BlockedOn::Running);
         }
-        self.progress();
+        self.lp.progress();
     }
 
     fn set_region_homing(&self, global_off: usize, len: usize, homing: Homing) {
@@ -653,49 +470,28 @@ impl Fabric for TimedFabric {
 
     fn quiet(&self) {
         tmc::fence::mem_fence();
-        self.advance_cycles(QUIET_CYCLES);
+        self.lp.advance_cycles(QUIET_CYCLES);
     }
 
     fn wait_pause(&self, attempt: u32) {
-        self.probe.spin();
-        // Under virtual time every poller stays runnable (each poll
-        // advances its clock), so a livelock would spin real CPU
-        // forever without the desim deadlock detector ever firing.
-        // Bound each wait instead: panicking beats hanging the runner.
-        if attempt >= SPIN_BUDGET {
-            panic!(
-                "PE {} (LP {}): virtual-time livelock guard — {attempt} failed polls in one \
-                 wait while {}; useful ops {} spins {}",
-                self.pe,
-                self.lp,
-                self.probe.blocked(),
-                self.probe.ops(),
-                self.probe.spins(),
-            );
-        }
-        // Exponential backoff: 50 cycles doubling to a 12.8k-cycle cap
-        // (~13 us at 1 GHz). Detection latency is overestimated by at
-        // most one interval, negligible against the operations these
-        // waits pace.
-        let step = POLL_CYCLES * f64::from(1u32 << attempt.min(8));
-        self.advance_cycles(step);
+        self.lp.wait_pause(attempt);
     }
 
     fn compute(&self, cycles: f64) {
-        let t0 = self.coop.now();
-        self.advance_cycles(cycles);
-        self.trace(crate::trace::TraceKind::Compute, t0, usize::MAX, 0);
+        let t0 = self.lp.coop.now();
+        self.lp.advance_cycles(cycles);
+        self.lp.trace(crate::trace::TraceKind::Compute, t0, usize::MAX, 0);
     }
 
     fn now_ns(&self) -> f64 {
-        self.coop.now().ns_f64()
+        self.lp.coop.now().ns_f64()
     }
 
     fn inject_delay_us(&self, micros: u64) {
-        self.coop.advance(SimTime::from_ns(micros * 1000));
+        self.lp.coop.advance(SimTime::from_ns(micros * 1000));
     }
 
     fn probe(&self) -> Option<&PeProbe> {
-        Some(&self.probe)
+        Some(&self.lp.probe)
     }
 }

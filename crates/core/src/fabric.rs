@@ -353,9 +353,8 @@ pub trait Fabric: Send {
     // --- introspection --------------------------------------------------
 
     /// This PE's progress/blocked-state probe, when the engine supports
-    /// watchdog introspection (the native and timed engines' fabrics
-    /// do, including their service contexts; the multichip engine does
-    /// not).
+    /// watchdog introspection (all three engines' fabrics do, including
+    /// their service contexts).
     fn probe(&self) -> Option<&PeProbe> {
         None
     }

@@ -67,6 +67,18 @@ pub enum Fault {
     /// Slow PE `pe` down: stall `micros` µs after every `every`-th of
     /// its completed fabric ops (an overloaded-tile model).
     SlowPe { pe: usize, every: u64, micros: u64 },
+    /// Corrupt the `nth` cross-chip mPIPE frame in flight. Caught-class
+    /// (like [`Fault::BlockingProtocolSends`], never drawn from a
+    /// seed): the receiving mPIPE's CRC check panics naming the link.
+    CorruptLinkPacket { nth: u64 },
+    /// Drop the `nth` cross-chip mPIPE frame. Caught-class: the next
+    /// frame's sequence check reports the gap naming the link, or — if
+    /// the link goes quiet — the receiver's wedged wait is reported by
+    /// the multichip drained-queue watchdog.
+    DropLinkPacket { nth: u64 },
+    /// Deliver the `nth` cross-chip mPIPE frame twice. Caught-class:
+    /// the replay trips the sequence check, naming the link.
+    DuplicateLinkPacket { nth: u64 },
 }
 
 impl std::fmt::Display for Fault {
@@ -84,6 +96,13 @@ impl std::fmt::Display for Fault {
             }
             Fault::SlowPe { pe, every, micros } => {
                 write!(f, "SlowPe(PE {pe}, every {every}th op +{micros}us)")
+            }
+            Fault::CorruptLinkPacket { nth } => {
+                write!(f, "CorruptLinkPacket(frame {nth})")
+            }
+            Fault::DropLinkPacket { nth } => write!(f, "DropLinkPacket(frame {nth})"),
+            Fault::DuplicateLinkPacket { nth } => {
+                write!(f, "DuplicateLinkPacket(frame {nth})")
             }
         }
     }
@@ -156,6 +175,9 @@ static PLAN_BLOCKING: AtomicBool = AtomicBool::new(false);
 static PLAN_OPS: AtomicU64 = AtomicU64::new(0);
 /// Global protocol-send counter while a plan is active.
 static PLAN_SENDS: AtomicU64 = AtomicU64::new(0);
+/// Global cross-chip mPIPE frame counter while a plan is active (drives
+/// the `nth`-frame link faults).
+static PLAN_LINK_FRAMES: AtomicU64 = AtomicU64::new(0);
 static PLAN: Mutex<Option<ActivePlan>> = Mutex::new(None);
 
 /// Install a fault plan process-wide, replacing any previous plan and
@@ -174,6 +196,7 @@ pub fn install(plan: FaultPlan) {
     *PLAN.lock() = Some(ActivePlan { plan, budgets });
     PLAN_OPS.store(0, Ordering::Relaxed);
     PLAN_SENDS.store(0, Ordering::Relaxed);
+    PLAN_LINK_FRAMES.store(0, Ordering::Relaxed);
     PLAN_BLOCKING.store(blocking, Ordering::Release);
     PLAN_ACTIVE.store(true, Ordering::Release);
 }
@@ -271,6 +294,32 @@ pub(crate) fn service_stall_us(pe: usize) -> Option<u64> {
     None
 }
 
+/// Fault to apply to the cross-chip mPIPE frame being sent right now,
+/// if the active plan targets this frame. Counts frames while a plan is
+/// active; the multichip engine calls this once per cross-chip
+/// transfer.
+pub(crate) fn link_fault() -> Option<mpipe::FrameFault> {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let n = PLAN_LINK_FRAMES.fetch_add(1, Ordering::Relaxed) + 1;
+    let guard = PLAN.lock();
+    let active = guard.as_ref()?;
+    for f in &active.plan.faults {
+        match f {
+            Fault::CorruptLinkPacket { nth } if *nth == n => {
+                return Some(mpipe::FrameFault::Corrupt)
+            }
+            Fault::DropLinkPacket { nth } if *nth == n => return Some(mpipe::FrameFault::Drop),
+            Fault::DuplicateLinkPacket { nth } if *nth == n => {
+                return Some(mpipe::FrameFault::Duplicate)
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Delay (µs) to inject into PE `pe`'s op stream right now, if it is a
 /// `SlowPe` target on an `every`-th op.
 pub(crate) fn slow_pe_delay_us(pe: usize) -> Option<u64> {
@@ -322,6 +371,11 @@ mod tests {
                     Fault::SlowPe { pe, every, micros } => {
                         assert!(pe < 4 && every >= 1 && micros < 1000);
                     }
+                    Fault::CorruptLinkPacket { .. }
+                    | Fault::DropLinkPacket { .. }
+                    | Fault::DuplicateLinkPacket { .. } => {
+                        panic!("canary-only link fault drawn from seed")
+                    }
                 }
             }
         }
@@ -334,11 +388,17 @@ mod tests {
             faults: vec![
                 Fault::StallServiceHandler { pe: 3, requests: 2, micros: 500 },
                 Fault::SlowPe { pe: 1, every: 4, micros: 50 },
+                Fault::CorruptLinkPacket { nth: 7 },
+                Fault::DropLinkPacket { nth: 2 },
+                Fault::DuplicateLinkPacket { nth: 9 },
             ],
         };
         let d = plan.describe();
         assert!(d.contains("0x42"));
         assert!(d.contains("StallServiceHandler(PE 3"));
         assert!(d.contains("SlowPe(PE 1"));
+        assert!(d.contains("CorruptLinkPacket(frame 7)"));
+        assert!(d.contains("DropLinkPacket(frame 2)"));
+        assert!(d.contains("DuplicateLinkPacket(frame 9)"));
     }
 }

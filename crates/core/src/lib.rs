@@ -49,9 +49,14 @@
 //! | **OpenSHMEM library (this crate)** | `tshmem` |
 //!
 //! Protocol code is written once against [`fabric::Fabric`] and runs on
-//! two engines: [`runtime::launch`] (native threads, wall time) and
-//! [`runtime::launch_timed`] (virtual time with calibrated Tilera costs,
-//! used to regenerate the paper's figures).
+//! three engines behind one [`runtime::Launcher`]: native
+//! ([`runtime::launch`] — real threads, wall time), timed
+//! ([`runtime::launch_timed`] — virtual time with calibrated Tilera
+//! costs, used to regenerate the paper's figures), and multichip
+//! ([`runtime::launch_multichip`] — several simulated chips over mPIPE
+//! links). Liveness watchdogs, the seeded fault plane, per-PE probes,
+//! and trace collection compose uniformly over any engine (see
+//! [`engine::backend`]).
 
 pub mod active_set;
 pub mod api;
@@ -74,11 +79,14 @@ pub mod watch;
 
 pub use active_set::ActiveSet;
 pub use ctx::{Algorithms, BarrierAlgo, BroadcastAlgo, HomingHint, ReduceAlgo, ShmemCtx, Stats};
+pub use engine::backend::{
+    EngineBackend, EngineOutcome, MultiChipBackend, NativeBackend, TimedBackend, WatchPlane,
+};
 pub use fabric::{BlockedOn, PeProbe};
 pub use fault::{Fault, FaultPlan};
 pub use runtime::{
-    launch, launch_multichip, launch_timed, launch_timed_watched, launch_watched, start_pes,
-    RuntimeConfig, TimedOutcome,
+    launch, launch_multichip, launch_multichip_watched, launch_timed, launch_timed_watched,
+    launch_watched, start_pes, Launcher, RuntimeConfig, TimedOutcome,
 };
 pub use watch::{JobWatch, PeCounters, TimedWatch};
 pub use symm::{AddrClass, Bits, Sym};

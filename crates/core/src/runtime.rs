@@ -6,23 +6,24 @@
 //! tile, starts each PE's interrupt-service context, runs the
 //! application closure on every PE, and tears everything down through
 //! `shmem_finalize`.
+//!
+//! One generic [`Launcher`] drives every engine: pick an
+//! [`EngineBackend`] (native, timed, multichip — see
+//! [`crate::engine::backend`]), optionally compose in a liveness plane
+//! ([`WatchPlane`]), and `run`. The five historical `launch*` free
+//! functions remain as thin shims over the launcher; prefer the
+//! launcher in new code.
 
 use std::sync::Arc;
-use std::time::Instant;
 
-use cachesim::homing::Homing;
 use desim::time::SimTime;
-use substrate::sync::Mutex;
 use tile_arch::area::TestArea;
 use tile_arch::device::Device;
-use tmc::common::CommonMemory;
-use udn::fabric::UdnFabric;
 
 use crate::ctx::{Algorithms, Layout, ShmemCtx};
-use crate::engine::native::{NativeFabric, NativeShared};
-use crate::engine::timed::{TimedFabric, TimedShared, TIMED_CHANNELS};
-use crate::fabric::PeProbe;
-use crate::service::service_loop;
+use crate::engine::backend::{
+    EngineBackend, EngineOutcome, MultiChipBackend, NativeBackend, TimedBackend, WatchPlane,
+};
 use crate::watch::{JobWatch, TimedWatch};
 
 /// Configuration of one SHMEM job.
@@ -45,11 +46,12 @@ pub struct RuntimeConfig {
     /// Bound each UDN demux queue to this many packets
     /// (hardware-faithful backpressure mode — the real device queues
     /// hold 127 words). `None` (default) = unbounded. The native engine
-    /// bounds its real channels; the timed engine models the bound with
-    /// credit-blocked sends, so finite-buffer deadlocks reproduce under
-    /// virtual time too.
+    /// bounds its real channels; the virtual-time engines model the
+    /// bound with credit-blocked sends, so finite-buffer deadlocks
+    /// reproduce under virtual time too.
     pub udn_queue_packets: Option<usize>,
-    /// Timed engine: record an operation trace (see [`crate::trace`]).
+    /// Virtual-time engines: record an operation trace (see
+    /// [`crate::trace`]).
     pub trace: bool,
 }
 
@@ -94,13 +96,13 @@ impl RuntimeConfig {
         self
     }
 
-    /// Bound the native engine's UDN queues (backpressure mode).
+    /// Bound the UDN demux queues (backpressure mode).
     pub fn with_bounded_udn(mut self, packets: usize) -> Self {
         self.udn_queue_packets = Some(packets);
         self
     }
 
-    /// Record a virtual-time operation trace (timed engine only).
+    /// Record a virtual-time operation trace (timed/multichip engines).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
         self
@@ -118,7 +120,7 @@ impl RuntimeConfig {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.npes >= 1, "need at least one PE");
         assert!(
             self.npes <= self.area().tiles(),
@@ -131,13 +133,105 @@ impl RuntimeConfig {
         let _ = Layout::new(self.partition_bytes, self.npes, self.temp_bytes);
     }
 
-    fn layout(&self) -> Layout {
+    pub(crate) fn layout(&self) -> Layout {
         Layout::new(self.partition_bytes, self.npes, self.temp_bytes)
+    }
+}
+
+/// The one launcher behind every engine: a config, a backend, and an
+/// optional liveness plane.
+///
+/// ```ignore
+/// let out = Launcher::new(&cfg, TimedBackend)
+///     .with_watch(WatchPlane::Coop(watch.clone()))
+///     .run_watched(|ctx| ...)?;
+/// ```
+///
+/// The launcher owns the engine-independent steps — config validation,
+/// backend validation, watch composition, panic-vs-stall-report
+/// classification — while the backend owns the spawn model and fabric
+/// wiring (see [`EngineBackend`]). Cross-cutting planes compose here
+/// uniformly: the fault plane (`crate::fault::FaultPlan::install`)
+/// applies to whatever backend runs next, `cfg.trace` flows to every
+/// backend's sink, and the watch plane is checked against the backend's
+/// clock domain.
+pub struct Launcher<'w, B: EngineBackend> {
+    cfg: RuntimeConfig,
+    backend: B,
+    watch: WatchPlane<'w>,
+}
+
+impl<'w, B: EngineBackend> Launcher<'w, B> {
+    pub fn new(cfg: &RuntimeConfig, backend: B) -> Self {
+        Self {
+            cfg: *cfg,
+            backend,
+            watch: WatchPlane::None,
+        }
+    }
+
+    /// Compose in a liveness plane. The plane must match the backend's
+    /// clock domain ([`JobWatch`] for wall-clock engines,
+    /// [`TimedWatch`] for virtual-time engines); a mismatch panics at
+    /// `run` with a message naming the right watch.
+    pub fn with_watch(mut self, watch: WatchPlane<'w>) -> Self {
+        self.watch = watch;
+        self
+    }
+
+    /// Total PEs the configured job will run (the backend may multiply
+    /// `cfg.npes` — multichip runs `cfg.npes` per chip).
+    pub fn total_pes(&self) -> usize {
+        self.backend.total_pes(&self.cfg)
+    }
+
+    /// Validate and execute: run `f` on every PE.
+    ///
+    /// # Panics
+    /// Propagates application panics; with a coop watch attached, a
+    /// detected deadlock also surfaces as a panic carrying the stall
+    /// report (use [`run_watched`](Self::run_watched) to get it as
+    /// `Err` instead).
+    pub fn run<R, F>(&self, f: F) -> EngineOutcome<R>
+    where
+        R: Send,
+        F: Fn(&ShmemCtx) -> R + Send + Sync,
+    {
+        self.cfg.validate();
+        self.backend.validate(&self.cfg);
+        self.backend.execute(&self.cfg, &self.watch, f)
+    }
+
+    /// [`run`](Self::run), converting a watch-diagnosed stall into
+    /// `Err(report)`: when the attached [`TimedWatch`] fired (the desim
+    /// scheduler proved no LP can ever run again), the per-PE diagnosis
+    /// is returned instead of the panic. Panics that are *not* detected
+    /// stalls (application asserts, poisoned PEs) still propagate.
+    pub fn run_watched<R, F>(&self, f: F) -> Result<EngineOutcome<R>, String>
+    where
+        R: Send,
+        F: Fn(&ShmemCtx) -> R + Send + Sync,
+    {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(f)));
+        match result {
+            Ok(out) => Ok(out),
+            Err(payload) => {
+                if let WatchPlane::Coop(w) = &self.watch {
+                    if let Some(report) = w.stall_report() {
+                        return Err(report);
+                    }
+                }
+                std::panic::resume_unwind(payload)
+            }
+        }
     }
 }
 
 /// Run `f` on every PE with the **native** engine (real threads, wall
 /// time). Returns each PE's result, indexed by PE.
+///
+/// Thin shim over [`Launcher`] with [`NativeBackend`], kept for the
+/// historical API; prefer the launcher in new code.
 ///
 /// # Panics
 /// Propagates application panics (other PEs may be aborted mid-protocol).
@@ -146,7 +240,7 @@ where
     R: Send,
     F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
-    launch_inner(cfg, None, f)
+    Launcher::new(cfg, NativeBackend).run(f).values
 }
 
 /// Like [`launch`], but attaches a [`JobWatch`] before any PE starts, so
@@ -155,85 +249,24 @@ where
 /// if it stalls. The native engine records trace events into the watch's
 /// sink (for "last event per PE" stall dumps) even when `cfg.trace` is
 /// off.
+///
+/// Thin shim over [`Launcher`] with `WatchPlane::Native`.
 pub fn launch_watched<R, F>(cfg: &RuntimeConfig, watch: &JobWatch, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
-    launch_inner(cfg, Some(watch), f)
+    Launcher::new(cfg, NativeBackend)
+        .with_watch(WatchPlane::Native(watch))
+        .run(f)
+        .values
 }
 
-fn launch_inner<R, F>(cfg: &RuntimeConfig, watch: Option<&JobWatch>, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&ShmemCtx) -> R + Send + Sync,
-{
-    cfg.validate();
-    let layout = cfg.layout();
-    let endpoints = match cfg.udn_queue_packets {
-        Some(p) => UdnFabric::new_bounded(cfg.npes, p),
-        None => UdnFabric::new(cfg.npes),
-    };
-    let sink = (cfg.trace || watch.is_some()).then(|| Arc::new(crate::trace::TraceSink::new()));
-    let shared = Arc::new(NativeShared {
-        arena: CommonMemory::new(cfg.npes * cfg.partition_bytes, Homing::HashForHome),
-        privates: (0..cfg.npes)
-            .map(|pe| CommonMemory::new(cfg.private_bytes, Homing::Local(pe)))
-            .collect(),
-        npes: cfg.npes,
-        partition_bytes: cfg.partition_bytes,
-        device: cfg.device,
-        start: Instant::now(),
-        spin_barriers: Mutex::new(std::collections::HashMap::new()),
-        aborted: std::sync::atomic::AtomicBool::new(false),
-        probes: (0..cfg.npes).map(|_| Arc::new(PeProbe::new())).collect(),
-        service_probes: (0..cfg.npes).map(|_| Arc::new(PeProbe::new())).collect(),
-        trace: sink,
-    });
-    if let Some(w) = watch {
-        w.attach(shared.clone(), endpoints.clone());
-    }
-
-    // Interrupt-service contexts: one thread per PE, consuming only
-    // Q_SERVICE of that PE's endpoint. Each carries the PE's *service*
-    // probe so a stall inside a handler is attributed to the handler.
-    let service_threads: Vec<_> = (0..cfg.npes)
-        .map(|pe| {
-            let fab = NativeFabric::new_service(shared.clone(), pe, endpoints[pe].clone());
-            std::thread::Builder::new()
-                .name(format!("shmem-svc-{pe}"))
-                .spawn(move || service_loop(&fab))
-                .expect("spawn service thread")
-        })
-        .collect();
-
-    let results = tmc::task::run_on_tiles(cfg.npes, |pe| {
-        let fab = NativeFabric::new_probed(shared.clone(), pe, endpoints[pe].clone());
-        let ctx = ShmemCtx::new(Box::new(fab), layout, cfg.algos, cfg.private_bytes);
-        // If any PE panics, flag the job so peers blocked in protocol
-        // waits abort instead of hanging (SHMEM jobs are all-or-nothing),
-        // then re-raise the original panic.
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx))) {
-            Ok(r) => {
-                ctx.finalize();
-                r
-            }
-            Err(p) => {
-                shared.aborted.store(true, std::sync::atomic::Ordering::Release);
-                // Release this PE's service thread regardless.
-                endpoints[pe].send(pe, crate::fabric::Q_SERVICE, crate::service::TAG_SHUTDOWN, vec![]);
-                std::panic::resume_unwind(p);
-            }
-        }
-    });
-
-    for t in service_threads {
-        t.join().expect("service thread panicked");
-    }
-    results
-}
-
-/// Outcome of a timed launch: per-PE results and virtual clocks.
+/// Outcome of a virtual-time launch: per-PE results and virtual clocks.
+///
+/// The historical name of [`EngineOutcome`] for the timed/multichip
+/// shims; the two convert losslessly.
+#[derive(Debug)]
 pub struct TimedOutcome<R> {
     /// Per-PE return values, indexed by PE.
     pub values: Vec<R>,
@@ -245,14 +278,27 @@ pub struct TimedOutcome<R> {
     pub trace: Option<Vec<crate::trace::TraceEvent>>,
 }
 
+impl<R> From<EngineOutcome<R>> for TimedOutcome<R> {
+    fn from(o: EngineOutcome<R>) -> Self {
+        Self {
+            values: o.values,
+            clocks: o.clocks,
+            makespan: o.makespan,
+            trace: o.trace,
+        }
+    }
+}
+
 /// Run `f` on every PE with the **timed** engine (virtual time,
 /// calibrated Tilera costs). Deterministic.
+///
+/// Thin shim over [`Launcher`] with [`TimedBackend`].
 pub fn launch_timed<R, F>(cfg: &RuntimeConfig, f: F) -> TimedOutcome<R>
 where
-    R: Send + 'static,
-    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
-    launch_timed_inner(cfg, None, f)
+    Launcher::new(cfg, TimedBackend).run(f).into()
 }
 
 /// [`launch_timed`] with a [`TimedWatch`] deadlock watchdog attached.
@@ -263,84 +309,21 @@ where
 /// same per-PE stall format as the native [`JobWatch`] — instead of
 /// surfacing as a raw scheduler panic. Panics that are *not* scheduler
 /// deadlocks (application asserts, poisoned PEs) still propagate.
+///
+/// Thin shim over [`Launcher::run_watched`].
 pub fn launch_timed_watched<R, F>(
     cfg: &RuntimeConfig,
     watch: &Arc<TimedWatch>,
     f: F,
 ) -> Result<TimedOutcome<R>, String>
 where
-    R: Send + 'static,
-    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        launch_timed_inner(cfg, Some(watch.clone()), f)
-    }));
-    match result {
-        Ok(out) => Ok(out),
-        Err(payload) => match watch.stall_report() {
-            Some(report) => Err(report),
-            None => std::panic::resume_unwind(payload),
-        },
-    }
-}
-
-fn launch_timed_inner<R, F>(
-    cfg: &RuntimeConfig,
-    watch: Option<Arc<TimedWatch>>,
-    f: F,
-) -> TimedOutcome<R>
-where
-    R: Send + 'static,
-    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
-{
-    cfg.validate();
-    let layout = cfg.layout();
-    let npes = cfg.npes;
-    let algos = cfg.algos;
-    let private_bytes = cfg.private_bytes;
-    let sink = cfg.trace.then(|| Arc::new(crate::trace::TraceSink::new()));
-    let shared = TimedShared::new_full(
-        cfg.area(),
-        npes,
-        cfg.partition_bytes,
-        cfg.private_bytes,
-        sink.clone(),
-        cfg.udn_queue_packets,
-    );
-    let observer: Option<Arc<dyn desim::coop::CoopObserver>> = watch.map(|w| {
-        w.attach(shared.clone());
-        w as Arc<dyn desim::coop::CoopObserver>
-    });
-
-    let out = desim::coop::run_observed(2 * npes, TIMED_CHANNELS, observer, move |h| {
-        let lp = h.id();
-        let fab = TimedFabric::for_lp(shared.clone(), lp, h);
-        if lp < npes {
-            let ctx = ShmemCtx::new(Box::new(fab), layout, algos, private_bytes);
-            let r = f(&ctx);
-            ctx.finalize();
-            Some(r)
-        } else {
-            service_loop(&fab);
-            None
-        }
-    });
-
-    let mut values = Vec::with_capacity(npes);
-    let mut clocks = Vec::with_capacity(npes);
-    for (i, v) in out.values.into_iter().enumerate() {
-        if i < npes {
-            values.push(v.expect("PE LP must return a value"));
-            clocks.push(out.clocks[i]);
-        }
-    }
-    let makespan = clocks.iter().copied().fold(SimTime::ZERO, SimTime::max);
-    TimedOutcome {
-        values,
-        clocks,
-        makespan,
-        trace: sink.map(|s| s.take()),
-    }
+    Launcher::new(cfg, TimedBackend)
+        .with_watch(WatchPlane::Coop(watch.clone()))
+        .run_watched(f)
+        .map(Into::into)
 }
 
 /// `start_pes()`-flavored convenience: run with `npes` PEs on the
@@ -355,64 +338,38 @@ where
 
 /// Run `f` across `chips` simulated devices with `cfg.npes` PEs **per
 /// chip**, connected by mPIPE links — the paper's Section VI
-/// multi-device future work, on the timed engine.
+/// multi-device future work, on the virtual-time scheduler.
 ///
 /// PEs are block-distributed: chip `c` hosts PEs
 /// `[c * cfg.npes, (c+1) * cfg.npes)`. The TMC spin barrier is a
 /// single-chip primitive and must not be selected.
+///
+/// Thin shim over [`Launcher`] with [`MultiChipBackend`].
 pub fn launch_multichip<R, F>(cfg: &RuntimeConfig, chips: usize, f: F) -> TimedOutcome<R>
 where
-    R: Send + 'static,
-    F: Fn(&ShmemCtx) -> R + Send + Sync + 'static,
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
-    use crate::engine::multichip::{MultiChipFabric, MultiChipShared};
-    cfg.validate();
-    assert!(chips >= 1, "need at least one chip");
-    assert!(
-        cfg.algos.barrier != crate::ctx::BarrierAlgo::TmcSpin || chips == 1,
-        "the TMC spin barrier cannot span chips"
-    );
-    let pes_per_chip = cfg.npes;
-    let npes = chips * pes_per_chip;
-    let layout = Layout::new(cfg.partition_bytes, npes, cfg.temp_bytes);
-    let algos = cfg.algos;
-    let private_bytes = cfg.private_bytes;
-    let shared = MultiChipShared::new(
-        cfg.area(),
-        chips,
-        pes_per_chip,
-        cfg.partition_bytes,
-        cfg.private_bytes,
-        mpipe::MpipeTimings::xaui_10g(),
-    );
+    Launcher::new(cfg, MultiChipBackend { chips }).run(f).into()
+}
 
-    let out = desim::coop::run(2 * npes, udn::NUM_QUEUES, move |h| {
-        let lp = h.id();
-        let fab = MultiChipFabric::for_lp(shared.clone(), lp, h);
-        if lp < npes {
-            let ctx = ShmemCtx::new(Box::new(fab), layout, algos, private_bytes);
-            let r = f(&ctx);
-            ctx.finalize();
-            Some(r)
-        } else {
-            service_loop(&fab);
-            None
-        }
-    });
-
-    let mut values = Vec::with_capacity(npes);
-    let mut clocks = Vec::with_capacity(npes);
-    for (i, v) in out.values.into_iter().enumerate() {
-        if i < npes {
-            values.push(v.expect("PE LP must return a value"));
-            clocks.push(out.clocks[i]);
-        }
-    }
-    let makespan = clocks.iter().copied().fold(SimTime::ZERO, SimTime::max);
-    TimedOutcome {
-        values,
-        clocks,
-        makespan,
-        trace: None, // the multi-chip engine does not trace (yet)
-    }
+/// [`launch_multichip`] with the [`TimedWatch`] deadlock watchdog —
+/// the multichip engine runs under the same desim scheduler, so a
+/// wedged cross-chip job is detected the instant the virtual event
+/// queue drains and returned as `Err(diagnosis)` with per-PE, per-chip
+/// stall lines.
+pub fn launch_multichip_watched<R, F>(
+    cfg: &RuntimeConfig,
+    chips: usize,
+    watch: &Arc<TimedWatch>,
+    f: F,
+) -> Result<TimedOutcome<R>, String>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
+{
+    Launcher::new(cfg, MultiChipBackend { chips })
+        .with_watch(WatchPlane::Coop(watch.clone()))
+        .run_watched(f)
+        .map(Into::into)
 }

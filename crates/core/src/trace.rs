@@ -22,6 +22,9 @@ pub enum TraceKind {
     Compute,
     /// Barrier/collective wait time (polling).
     Wait,
+    /// Cross-chip mPIPE link transfer (far chip in `peer`, frame bytes
+    /// in `bytes`) — multichip engine only.
+    Link,
 }
 
 impl TraceKind {
@@ -32,6 +35,7 @@ impl TraceKind {
             TraceKind::Atomic => "atomic",
             TraceKind::Compute => "compute",
             TraceKind::Wait => "wait",
+            TraceKind::Link => "link",
         }
     }
 }

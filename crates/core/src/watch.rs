@@ -33,8 +33,8 @@ use substrate::sync::Mutex;
 use udn::fabric::UdnEndpoint;
 use udn::NUM_QUEUES;
 
+use crate::engine::backend::CoopCore;
 use crate::engine::native::NativeShared;
-use crate::engine::timed::TimedShared;
 use crate::fabric::PeProbe;
 use crate::trace::TraceEvent;
 
@@ -246,19 +246,22 @@ impl JobWatch {
     }
 }
 
-/// Deadlock watchdog for the timed engine.
+/// Deadlock watchdog for both cooperative engines (timed and
+/// multichip).
 ///
-/// Hand one to [`crate::runtime::launch_timed_watched`]. Under virtual
-/// time a wedged job does not stall a wall clock — the desim scheduler
-/// itself detects the moment no LP can ever run again — so this watch
+/// Hand one to [`crate::runtime::launch_timed_watched`] or
+/// [`crate::runtime::launch_multichip_watched`]. Under virtual time a
+/// wedged job does not stall a wall clock — the desim scheduler itself
+/// detects the moment no LP can ever run again — so this watch
 /// implements [`desim::coop::CoopObserver`]: when the scheduler's
 /// deadlock detector fires, it renders the same per-PE diagnosis as the
 /// native [`JobWatch`] (blocked state, useful/spin counters, modeled
-/// queue occupancy, virtual clocks) and stores it for the launch
-/// wrapper to return as an error instead of a raw panic.
+/// queue occupancy, virtual clocks; on a multi-chip job each PE is also
+/// labeled with its chip) and stores it for the launch wrapper to
+/// return as an error instead of a raw panic.
 #[derive(Default)]
 pub struct TimedWatch {
-    shared: Mutex<Option<Arc<TimedShared>>>,
+    core: Mutex<Option<Arc<CoopCore>>>,
     report: Mutex<Option<String>>,
 }
 
@@ -267,8 +270,8 @@ impl TimedWatch {
         Self::default()
     }
 
-    pub(crate) fn attach(&self, shared: Arc<TimedShared>) {
-        *self.shared.lock() = Some(shared);
+    pub(crate) fn attach(&self, core: Arc<CoopCore>) {
+        *self.core.lock() = Some(core);
     }
 
     /// The stored deadlock diagnosis, once the observer has fired.
@@ -278,11 +281,11 @@ impl TimedWatch {
 
     fn render(&self, lps: &[desim::coop::LpStall]) -> String {
         use std::fmt::Write as _;
-        let guard = self.shared.lock();
-        let Some(shared) = guard.as_ref() else {
+        let guard = self.core.lock();
+        let Some(core) = guard.as_ref() else {
             return "timed watchdog: job not attached yet".to_string();
         };
-        let npes = shared.npes;
+        let npes = core.npes;
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -290,13 +293,17 @@ impl TimedWatch {
         );
         let _ = writeln!(out, "per-PE stall diagnosis ({npes} PEs):");
         for pe in 0..npes {
+            let chip = match core.chip_of(pe) {
+                Some(c) => format!(" (chip {c})"),
+                None => String::new(),
+            };
             for (lp, label) in [(pe, ""), (npes + pe, " svc")] {
-                let probe = &shared.probes[lp];
+                let probe = &core.probes[lp];
                 let now = snapshot(probe);
-                let occ = shared.queue_occupancy(lp);
+                let occ = core.queue_occupancy(lp);
                 let _ = write!(
                     out,
-                    "  PE {pe}{label}: {} | useful={} spins={} | queue occupancy {:?}",
+                    "  PE {pe}{chip}{label}: {} | useful={} spins={} | queue occupancy {:?}",
                     probe.blocked(),
                     now.ops,
                     now.spins,

@@ -2,8 +2,9 @@
 //! costs change exactly at the chip boundary.
 
 use tshmem::prelude::*;
-use tshmem::runtime::{launch_multichip, launch_timed};
+use tshmem::runtime::{launch_multichip, launch_multichip_watched, launch_timed};
 use tshmem::types::ReduceOp;
+use tshmem::TimedWatch;
 
 fn cfg(pes_per_chip: usize) -> RuntimeConfig {
     RuntimeConfig::new(pes_per_chip)
@@ -158,6 +159,77 @@ fn multichip_is_deterministic() {
         out.values
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn multichip_records_a_trace_with_link_events() {
+    let out = launch_multichip(&cfg(2).with_trace(), 2, |ctx| {
+        let v = ctx.shmalloc::<u64>(64);
+        ctx.barrier_all();
+        if ctx.my_pe() == 0 {
+            ctx.put_sym(&v, 0, &v, 0, 64, 2); // cross-chip put
+        }
+        ctx.barrier_all();
+    });
+    let trace = out.trace.expect("with_trace() must yield a trace");
+    assert!(!trace.is_empty(), "multichip trace must not be empty");
+    use tshmem::trace::TraceKind;
+    let kinds: Vec<_> = trace.iter().map(|e| e.kind).collect();
+    assert!(
+        kinds.contains(&TraceKind::Link),
+        "cross-chip traffic must appear as Link events: {kinds:?}"
+    );
+    assert!(kinds.contains(&TraceKind::UdnSend), "protocol sends traced");
+    assert!(kinds.contains(&TraceKind::Copy), "data movement traced");
+    // Link events name the far chip, which exists.
+    assert!(trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::Link)
+        .all(|e| e.peer < 2 && e.bytes > 0));
+}
+
+#[test]
+fn multichip_watched_completes_clean_jobs() {
+    let watch = std::sync::Arc::new(TimedWatch::new());
+    let out = launch_multichip_watched(&cfg(2), 2, &watch, |ctx| {
+        let v = ctx.shmalloc::<i64>(8);
+        ctx.local_write(&v, 0, &[ctx.my_pe() as i64; 8]);
+        ctx.barrier_all();
+        ctx.g(&v, 0, (ctx.my_pe() + 1) % ctx.n_pes())
+    })
+    .expect("clean job must not trip the watchdog");
+    assert_eq!(out.values.len(), 4);
+    assert!(watch.stall_report().is_none());
+}
+
+#[test]
+fn multichip_watched_diagnoses_mismatched_barrier() {
+    // PE 3 (on chip 1) skips the second barrier: the job can never
+    // finish, the coop scheduler's drained-queue detector fires, and
+    // the report labels each PE with its chip.
+    let watch = std::sync::Arc::new(TimedWatch::new());
+    let err = match launch_multichip_watched(&cfg(2), 2, &watch, |ctx| {
+        ctx.barrier_all();
+        if ctx.my_pe() != 3 {
+            ctx.barrier_all(); // PE 3 bails out instead
+        }
+    }) {
+        Ok(_) => panic!("mismatched barrier must be caught"),
+        Err(report) => report,
+    };
+    assert!(
+        err.contains("virtual event queue drained"),
+        "watchdog header missing: {err}"
+    );
+    assert!(
+        err.contains("per-PE stall diagnosis (4 PEs):"),
+        "per-PE section missing: {err}"
+    );
+    assert!(
+        err.contains("PE 0 (chip 0)") && err.contains("PE 3 (chip 1)"),
+        "chip labels missing: {err}"
+    );
+    assert!(err.contains("finished"), "PE 3 finished early: {err}");
 }
 
 #[test]

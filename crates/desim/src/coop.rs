@@ -260,7 +260,7 @@ pub struct CoopHandle<M> {
     shared: Arc<Shared<M>>,
 }
 
-impl<M: Send + 'static> CoopHandle<M> {
+impl<M: Send> CoopHandle<M> {
     /// This LP's id (0-based).
     pub fn id(&self) -> usize {
         self.id
@@ -398,9 +398,9 @@ pub struct CoopResult<R> {
 /// unfinished LP blocked on an empty mailbox).
 pub fn run<M, R, F>(n: usize, channels: usize, f: F) -> CoopResult<R>
 where
-    M: Send + 'static,
-    R: Send + 'static,
-    F: Fn(CoopHandle<M>) -> R + Send + Sync + 'static,
+    M: Send,
+    R: Send,
+    F: Fn(CoopHandle<M>) -> R + Send + Sync,
 {
     run_observed(n, channels, None, f)
 }
@@ -416,9 +416,9 @@ pub fn run_observed<M, R, F>(
     f: F,
 ) -> CoopResult<R>
 where
-    M: Send + 'static,
-    R: Send + 'static,
-    F: Fn(CoopHandle<M>) -> R + Send + Sync + 'static,
+    M: Send,
+    R: Send,
+    F: Fn(CoopHandle<M>) -> R + Send + Sync,
 {
     assert!(n > 0, "need at least one LP");
     assert!(channels > 0, "need at least one channel");
@@ -439,25 +439,34 @@ where
         cvs: (0..n).map(|_| Condvar::new()).collect(),
         observer,
     });
-    let f = Arc::new(f);
+    let f = &f;
 
-    let handles: Vec<_> = (0..n)
-        .map(|id| {
-            let shared = shared.clone();
-            let f = f.clone();
-            std::thread::Builder::new()
-                .name(format!("coop-lp-{id}"))
-                .spawn(move || lp_main(id, n, channels, shared, f))
-                .expect("spawn LP thread")
-        })
-        .collect();
+    // Scoped threads: all LPs are joined before `scope` returns, so `f`
+    // and any state it borrows only need to outlive the scope — callers
+    // can pass closures capturing stack references (the generic
+    // `Launcher` relies on this to give every engine one bound set).
+    let outcomes: Vec<LpOutcome<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|id| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("coop-lp-{id}"))
+                    .spawn_scoped(scope, move || lp_main(id, n, channels, shared, f))
+                    .expect("spawn LP thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("LP thread itself must not die"))
+            .collect()
+    });
 
     let mut values: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let mut clocks = vec![SimTime::ZERO; n];
     let mut original_panic: Option<Box<dyn std::any::Any + Send>> = None;
     let mut secondary_panic: Option<Box<dyn std::any::Any + Send>> = None;
-    for (id, h) in handles.into_iter().enumerate() {
-        match h.join().expect("LP thread itself must not die") {
+    for (id, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
             Ok((r, clk)) => {
                 values[id] = Some(r);
                 clocks[id] = clk;
@@ -496,12 +505,12 @@ fn lp_main<M, R, F>(
     n: usize,
     channels: usize,
     shared: Arc<Shared<M>>,
-    f: Arc<F>,
+    f: &F,
 ) -> LpOutcome<R>
 where
-    M: Send + 'static,
-    R: Send + 'static,
-    F: Fn(CoopHandle<M>) -> R + Send + Sync + 'static,
+    M: Send,
+    R: Send,
+    F: Fn(CoopHandle<M>) -> R + Send + Sync,
 {
     // Wait for the token before starting (LP 0 starts holding it by
     // construction: pick() with all clocks 0 chooses id 0).

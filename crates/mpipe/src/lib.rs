@@ -80,6 +80,48 @@ impl MpipeTimings {
     }
 }
 
+/// A fault injected into one wire frame (the multichip engine's fault
+/// plane selects which frame). All three are **caught-class**: the
+/// receiving mPIPE's CRC/sequence check detects them and panics with a
+/// diagnosis naming the link — they never corrupt delivered data
+/// silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Flip bits in flight: the ingress CRC check fails.
+    Corrupt,
+    /// Lose the frame: the *next* frame's sequence check reports a gap
+    /// (or, with no further traffic, the receiver's wait wedges and the
+    /// drained-queue watchdog reports the stall).
+    Drop,
+    /// Deliver the frame twice: the replay trips the sequence check.
+    Duplicate,
+}
+
+/// CRC-64-ECMA over a simulated frame header (sequence number + length).
+/// The modeled chips share an address space, so the "frame" we checksum
+/// is the header a real mPIPE egress descriptor would carry.
+pub fn frame_crc(seq: u64, bytes: u64) -> u64 {
+    const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+    let mut crc = !0u64;
+    for word in [seq, bytes] {
+        for byte in word.to_le_bytes() {
+            crc ^= (byte as u64) << 56;
+            for _ in 0..8 {
+                crc = if crc & (1 << 63) != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+            }
+        }
+    }
+    !crc
+}
+
+/// Per-direction frame-integrity state: the next sequence number the
+/// egress side will stamp and the next one ingress expects.
+#[derive(Clone, Copy, Debug, Default)]
+struct DirIntegrity {
+    next_tx: u64,
+    next_rx: u64,
+}
+
 /// A full-duplex link between two chips, with FIFO bandwidth accounting
 /// per direction.
 #[derive(Clone, Debug)]
@@ -87,14 +129,31 @@ pub struct MpipeLink {
     pub timings: MpipeTimings,
     /// Busy-until state per direction: `[a->b, b->a]`.
     dirs: [Resource; 2],
+    /// Frame CRC/sequence state per direction.
+    integ: [DirIntegrity; 2],
+    /// Chip ids `(a, b)` at the link ends, for diagnostics.
+    ends: (usize, usize),
 }
 
 impl MpipeLink {
     pub fn new(timings: MpipeTimings) -> Self {
+        Self::between(timings, 0, 1)
+    }
+
+    /// A link whose integrity diagnostics name the chips it connects
+    /// (direction 0 is `a` → `b`).
+    pub fn between(timings: MpipeTimings, a: usize, b: usize) -> Self {
         Self {
             timings,
             dirs: [Resource::new(), Resource::new()],
+            integ: [DirIntegrity::default(); 2],
+            ends: (a, b),
         }
+    }
+
+    fn end_names(&self, dir: usize) -> (usize, usize) {
+        let (a, b) = self.ends;
+        if dir == 0 { (a, b) } else { (b, a) }
     }
 
     /// Occupy direction `dir` (0 = a→b, 1 = b→a) for a `bytes` payload
@@ -106,6 +165,66 @@ impl MpipeLink {
         done + SimTime::from_ps(self.timings.propagation_ps)
     }
 
+    /// [`transfer`](Self::transfer) with the frame-integrity layer: the
+    /// egress side stamps sequence numbers and a CRC, `fault` (if any)
+    /// mangles the frame in flight, and the ingress check verifies —
+    /// panicking with a diagnosis that **names the link** on a CRC
+    /// mismatch, a sequence gap (lost frames), or a replay.
+    ///
+    /// Returns `None` when the frame was dropped in flight: the wire
+    /// time was spent but nothing arrived, so the caller must not
+    /// deliver — detection happens at the next frame's sequence check.
+    pub fn transfer_checked(
+        &mut self,
+        dir: usize,
+        now: SimTime,
+        bytes: usize,
+        fault: Option<FrameFault>,
+    ) -> Option<SimTime> {
+        let nframes = self.timings.frames(bytes) as u64;
+        let seq = self.integ[dir].next_tx;
+        self.integ[dir].next_tx += nframes;
+        let crc = frame_crc(seq, bytes as u64);
+        // The wire is occupied whatever happens to the frame afterwards.
+        let arrival = self.transfer(dir, now, bytes);
+        match fault {
+            Some(FrameFault::Drop) => return None,
+            Some(FrameFault::Corrupt) => {
+                self.ingress_check(dir, seq, nframes, bytes, crc ^ (1 << 17));
+            }
+            Some(FrameFault::Duplicate) => {
+                self.ingress_check(dir, seq, nframes, bytes, crc);
+                self.ingress_check(dir, seq, nframes, bytes, crc);
+            }
+            None => self.ingress_check(dir, seq, nframes, bytes, crc),
+        }
+        Some(arrival)
+    }
+
+    /// The receiving mPIPE's classification step: verify CRC, then the
+    /// sequence window.
+    fn ingress_check(&mut self, dir: usize, seq: u64, nframes: u64, bytes: usize, crc: u64) {
+        let (from, to) = self.end_names(dir);
+        let expected = frame_crc(seq, bytes as u64);
+        assert!(
+            crc == expected,
+            "mPIPE link chip{from}->chip{to}: CRC mismatch on frame {seq} \
+             ({bytes}-byte payload): got {crc:#018x}, expected {expected:#018x}"
+        );
+        let rx = &mut self.integ[dir].next_rx;
+        assert!(
+            seq >= *rx,
+            "mPIPE link chip{from}->chip{to}: replayed frame {seq} (duplicate delivery; \
+             expected sequence {rx})"
+        );
+        assert!(
+            seq == *rx,
+            "mPIPE link chip{from}->chip{to}: sequence gap at frame {seq}: {} frame(s) lost",
+            seq - *rx
+        );
+        *rx = seq + nframes;
+    }
+
     /// Total bytes-time served on a direction (for utilization reports).
     pub fn busy(&self, dir: usize) -> SimTime {
         self.dirs[dir].busy_time()
@@ -113,6 +232,7 @@ impl MpipeLink {
 
     pub fn reset(&mut self) {
         self.dirs = [Resource::new(), Resource::new()];
+        self.integ = [DirIntegrity::default(); 2];
     }
 }
 
@@ -164,6 +284,43 @@ mod tests {
         // Same direction serializes.
         let c = l.transfer(0, now, 9000);
         assert!(c > a);
+    }
+
+    #[test]
+    fn checked_transfer_matches_unchecked_cost_and_tracks_sequence() {
+        let mut plain = MpipeLink::new(t());
+        let mut checked = MpipeLink::between(t(), 0, 1);
+        for bytes in [8, 9000, 40_000] {
+            let a = plain.transfer(0, SimTime::ZERO, bytes);
+            let b = checked
+                .transfer_checked(0, SimTime::ZERO, bytes, None)
+                .expect("healthy frame arrives");
+            assert_eq!(a, b, "integrity layer must not change the cost model");
+        }
+        // Directions keep independent sequence state.
+        checked.transfer_checked(1, SimTime::ZERO, 8, None).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "mPIPE link chip2->chip5: CRC mismatch on frame 0")]
+    fn corrupted_frame_is_caught_and_names_the_link() {
+        let mut l = MpipeLink::between(t(), 2, 5);
+        l.transfer_checked(0, SimTime::ZERO, 64, Some(FrameFault::Corrupt));
+    }
+
+    #[test]
+    #[should_panic(expected = "mPIPE link chip0->chip1: sequence gap at frame 1: 1 frame(s) lost")]
+    fn dropped_frame_is_caught_at_the_next_frame() {
+        let mut l = MpipeLink::between(t(), 0, 1);
+        assert!(l.transfer_checked(0, SimTime::ZERO, 64, Some(FrameFault::Drop)).is_none());
+        l.transfer_checked(0, SimTime::ZERO, 64, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mPIPE link chip1->chip0: replayed frame 0")]
+    fn duplicated_frame_is_caught_as_replay() {
+        let mut l = MpipeLink::between(t(), 0, 1);
+        l.transfer_checked(1, SimTime::ZERO, 64, Some(FrameFault::Duplicate));
     }
 
     #[test]

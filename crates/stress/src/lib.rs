@@ -25,9 +25,10 @@ pub mod run;
 
 pub use oracle::{oracle, Model};
 pub use program::{
-    gen_program, gen_program_v, Draw, Program, ProgramStrategy, RngDraw, GEN_LATEST, GEN_V1,
-    GEN_V2,
+    gen_program, gen_program_v, AuxOp, Draw, Program, ProgramStrategy, RngDraw, GEN_LATEST,
+    GEN_V1, GEN_V2, GEN_V3,
 };
 pub use run::{
-    build_cfg, run_on_ctx, run_plain, run_timed, run_watched, watch_closure, Outcome,
+    build_cfg, run_multichip, run_on_ctx, run_plain, run_timed, run_watched, watch_closure,
+    Outcome,
 };

@@ -7,7 +7,7 @@
 //! collectives are evaluated by their OpenSHMEM semantics.
 
 use crate::program::{
-    coll_base, coll_len, collect_nelems, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
+    coll_base, coll_len, collect_nelems, AuxOp, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
     SLOTS_PER_PE, STAT_SLOTS_PER_PE,
 };
 
@@ -191,6 +191,47 @@ pub fn oracle(prog: &Program) -> Model {
                 // Every PE claims `rounds` tokens in rank order; the
                 // cell advances once per claim.
                 m.ring += *rounds as u64 * n as u64;
+            }
+            Step::HeapChurn { slots, refresh, round1, round2, .. } => {
+                // The scratch array lives only within this step: model
+                // each copy, replay both rounds (barrier-separated in
+                // the executor, so sequential replay is exact), and
+                // account for the churn between them.
+                let total = n * slots;
+                let mut aux = vec![vec![0u64; total]; n];
+                let mut apply = |aux: &mut Vec<Vec<u64>>, round: &Vec<Vec<AuxOp>>| {
+                    for (me, list) in round.iter().enumerate() {
+                        let base = me * slots;
+                        for op in list {
+                            match op {
+                                AuxOp::Put { to, slot, val } => aux[*to][base + slot] = *val,
+                                AuxOp::PutBulk { to, slot, vals } => aux[*to]
+                                    [base + slot..base + slot + vals.len()]
+                                    .copy_from_slice(vals),
+                                AuxOp::Get { from, slot } => {
+                                    let v = aux[*from][base + slot];
+                                    m.gets[me].push(v);
+                                }
+                            }
+                        }
+                    }
+                };
+                apply(&mut aux, round1);
+                if *refresh {
+                    // shfree + shmalloc + explicit re-zero.
+                    aux = vec![vec![0u64; total]; n];
+                } else {
+                    // shrealloc grow: prefix preserved, tail zeroed.
+                    for copy in &mut aux {
+                        copy.resize(total + n, 0);
+                    }
+                }
+                apply(&mut aux, round2);
+                // The executor dumps each PE's full local copy into its
+                // recorded gets before freeing.
+                for (pe, copy) in aux.iter().enumerate() {
+                    m.gets[pe].extend_from_slice(copy);
+                }
             }
         }
     }

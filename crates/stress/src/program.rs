@@ -32,7 +32,12 @@ pub const GEN_V1: u32 = 1;
 /// [`RmaOp::PtrGet`]) and the `wait_until`/`cswap` step mixes
 /// ([`Step::SignalRing`], [`Step::CswapRing`]).
 pub const GEN_V2: u32 = 2;
-pub const GEN_LATEST: u32 = GEN_V2;
+/// V3 adds symmetric-heap churn under concurrent RMA
+/// ([`Step::HeapChurn`]): collective `shmalloc`/`shrealloc`/`shfree`
+/// cycles interleaved with striped put/get traffic on the churned
+/// array.
+pub const GEN_V3: u32 = 3;
+pub const GEN_LATEST: u32 = GEN_V3;
 
 /// Heap data slots owned by each PE (its stripe of the `data` array).
 pub const SLOTS_PER_PE: usize = 16;
@@ -81,6 +86,24 @@ pub enum Step {
     /// useful-vs-spin split under heavy cswap contention. Final cell =
     /// cumulative `rounds * npes`. (V2+)
     CswapRing { rounds: u32 },
+    /// Symmetric-heap churn under concurrent RMA (V3+). All PEs
+    /// collectively `shmalloc` a scratch array of `npes * slots` words
+    /// (zeroed), run a striped round of [`AuxOp`] traffic over it, then
+    /// churn the allocation — `refresh = true` frees it and allocates a
+    /// same-sized replacement; `refresh = false` `shrealloc`s it one
+    /// slot-per-PE larger (the heap block may move, exercising the
+    /// preserve-copy + region-rehoming path; the grown tail is zeroed
+    /// explicitly because `shrealloc` preserves only the old prefix).
+    /// A second round of traffic follows, every PE dumps its full local
+    /// copy into the recorded gets, and the array is `shfree`d. Closed
+    /// by barrier variant `barrier` (same encoding as [`Step::Rma`]).
+    HeapChurn {
+        slots: usize,
+        refresh: bool,
+        round1: Vec<Vec<AuxOp>>,
+        round2: Vec<Vec<AuxOp>>,
+        barrier: u8,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -134,6 +157,20 @@ pub enum RmaOp {
     /// `shmem_ptr` direct load from `data[stripe(me) + slot]` on PE
     /// `from` (recorded and checked against the oracle). (V2+)
     PtrGet { from: usize, slot: usize },
+}
+
+/// One operation on the churned scratch array of a [`Step::HeapChurn`]
+/// phase. Slot fields are stripe-local exactly like [`RmaOp`]: PE `me`
+/// only touches `aux[me * slots + slot]` on any PE's copy. (V3+)
+#[derive(Clone, Debug)]
+pub enum AuxOp {
+    /// `p()` one value into our stripe on PE `to`'s copy.
+    Put { to: usize, slot: usize, val: u64 },
+    /// Contiguous `put()` into our stripe on PE `to`'s copy.
+    PutBulk { to: usize, slot: usize, vals: Vec<u64> },
+    /// `g()` one value back from our stripe on PE `from`'s copy
+    /// (recorded and checked against the oracle).
+    Get { from: usize, slot: usize },
 }
 
 /// A bounded-draw source of randomness. `below(n)` must reduce the
@@ -276,6 +313,28 @@ fn gen_rma_op(d: &mut impl Draw, npes: usize, version: u32) -> RmaOp {
     }
 }
 
+fn gen_aux_op(d: &mut impl Draw, npes: usize, slots: usize) -> AuxOp {
+    let pe = d.below(npes as u64) as usize;
+    match d.below(3) {
+        0 => AuxOp::Put { to: pe, slot: d.below(slots as u64) as usize, val: word(d) },
+        1 => {
+            let slot = d.below(slots as u64) as usize;
+            let n = 1 + d.below((slots - slot) as u64) as usize;
+            AuxOp::PutBulk { to: pe, slot, vals: (0..n).map(|_| word(d)).collect() }
+        }
+        _ => AuxOp::Get { from: pe, slot: d.below(slots as u64) as usize },
+    }
+}
+
+fn gen_aux_round(d: &mut impl Draw, npes: usize, slots: usize) -> Vec<Vec<AuxOp>> {
+    (0..npes)
+        .map(|_| {
+            let nops = d.below(4) as usize;
+            (0..nops).map(|_| gen_aux_op(d, npes, slots)).collect()
+        })
+        .collect()
+}
+
 /// Generate one program for `npes` PEs from the draw stream, using the
 /// [`GEN_V1`] vocabulary (the frozen stream pinned canary seeds replay).
 pub fn gen_program(d: &mut impl Draw, npes: usize) -> Program {
@@ -295,7 +354,11 @@ pub fn gen_program_v(d: &mut impl Draw, npes: usize, version: u32) -> Program {
     let nsteps = 2 + d.below(5) as usize;
     let mut steps = Vec::with_capacity(nsteps);
     let mut coll_idx = 0usize;
-    let step_kinds = if version >= GEN_V2 { 8 } else { 6 };
+    let step_kinds = match version {
+        GEN_V1 => 6,
+        GEN_V2 => 8,
+        _ => 9,
+    };
     for _ in 0..nsteps {
         match d.below(step_kinds) {
             0 | 1 => {
@@ -321,7 +384,22 @@ pub fn gen_program_v(d: &mut impl Draw, npes: usize, version: u32) -> Program {
             }
             5 => steps.push(Step::Lock { rounds: 1 + d.below(2) as u32 }),
             6 => steps.push(Step::SignalRing { rounds: 1 + d.below(2) as u32 }),
-            _ => steps.push(Step::CswapRing { rounds: 1 + d.below(2) as u32 }),
+            7 => steps.push(Step::CswapRing { rounds: 1 + d.below(2) as u32 }),
+            _ => {
+                // HeapChurn (V3+): only reachable when step_kinds == 9,
+                // so the V1/V2 draw streams stay frozen byte-for-byte.
+                let slots = 4 + d.below(5) as usize;
+                let refresh = d.below(2) == 1;
+                let round1 = gen_aux_round(d, npes, slots);
+                let round2 = gen_aux_round(d, npes, slots);
+                steps.push(Step::HeapChurn {
+                    slots,
+                    refresh,
+                    round1,
+                    round2,
+                    barrier: d.below(4) as u8,
+                });
+            }
         }
     }
     Program { npes, temp_bytes, algos, steps }

@@ -15,12 +15,12 @@ use std::time::{Duration, Instant};
 
 use substrate::channel::{self, RecvTimeoutError};
 use tshmem::prelude::*;
-use tshmem::runtime::{launch_timed_watched, launch_watched};
+use tshmem::runtime::{launch_multichip_watched, launch_timed_watched, launch_watched};
 use tshmem::{JobWatch, TimedWatch};
 
 use crate::oracle::oracle;
 use crate::program::{
-    coll_base, coll_len, collect_nelems, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
+    coll_base, coll_len, collect_nelems, AuxOp, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
     SLOTS_PER_PE, STAT_SLOTS_PER_PE,
 };
 
@@ -238,6 +238,63 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
                 }
                 ring_base += *rounds as u64 * npes as u64;
             }
+            Step::HeapChurn { slots, refresh, round1, round2, barrier } => {
+                // Collective scratch array, zeroed on every copy before
+                // traffic starts (remote puts must not race the fill).
+                let slots = *slots;
+                let total = npes * slots;
+                let base = me * slots;
+                let mut aux = ctx.shmalloc::<u64>(total);
+                ctx.local_fill(&aux, 0u64);
+                ctx.barrier_all();
+                for (round, ops) in [round1, round2].into_iter().enumerate() {
+                    for op in &ops[me] {
+                        match op {
+                            AuxOp::Put { to, slot, val } => ctx.p(&aux, base + slot, *val, *to),
+                            AuxOp::PutBulk { to, slot, vals } => {
+                                ctx.put(&aux, base + slot, vals, *to)
+                            }
+                            AuxOp::Get { from, slot } => {
+                                gets.push(ctx.g(&aux, base + slot, *from))
+                            }
+                        }
+                    }
+                    ctx.quiet();
+                    let world = ctx.world();
+                    match barrier {
+                        0 => ctx.barrier_all(),
+                        1 => ctx.barrier_ring_explicit(world),
+                        2 => ctx.barrier_root_broadcast_explicit(world),
+                        _ => ctx.barrier_dissemination_explicit(world),
+                    }
+                    if round == 0 {
+                        if *refresh {
+                            // Free-then-reallocate: the replacement block
+                            // may land at a different offset and starts
+                            // with stale contents, so every PE re-zeroes
+                            // its copy before traffic resumes.
+                            ctx.shfree(aux);
+                            aux = ctx.shmalloc::<u64>(total);
+                            ctx.local_fill(&aux, 0u64);
+                        } else {
+                            // Grow one slot per PE. `shrealloc` preserves
+                            // only the old prefix — the grown tail holds
+                            // whatever the heap block held before, so it
+                            // is zeroed explicitly. The tail is never
+                            // written remotely, which keeps the local
+                            // fill race-free.
+                            aux = ctx.shrealloc(aux, total + npes);
+                            ctx.local_fill(&aux.slice(total, npes), 0u64);
+                        }
+                        ctx.barrier_all();
+                    }
+                }
+                // Dump the full local copy into the recorded stream —
+                // this is how the refreshed contents and the grown tail
+                // get oracle-checked — then complete the churn cycle.
+                gets.extend(ctx.local_read(&aux, 0, aux.len()));
+                ctx.shfree(aux);
+            }
         }
     }
 
@@ -317,6 +374,38 @@ pub fn run_timed(prog: &Program, depth: Option<usize>, replay_hint: &str) -> Out
     let watch = Arc::new(TimedWatch::new());
     let p = Arc::clone(&prog);
     match launch_timed_watched(&cfg, &watch, move |ctx| run_on_ctx(&p, ctx)) {
+        Ok(_) => Outcome::Completed,
+        Err(report) => Outcome::Stalled(format!("{report}replay: {replay_hint}\n")),
+    }
+}
+
+/// Run `prog` on the **multichip** engine — two simulated chips joined
+/// by an mPIPE link, half the PEs on each — under the same desim
+/// drained-queue deadlock watchdog as [`run_timed`].
+///
+/// `npes` must be even. A configured `TmcSpin` barrier is remapped to
+/// `Dissemination` (with a note on stderr): the TMC spin barrier is a
+/// single-chip hardware primitive and the multichip backend rejects it.
+pub fn run_multichip(prog: &Program, depth: Option<usize>, replay_hint: &str) -> Outcome {
+    assert!(
+        prog.npes.is_multiple_of(2),
+        "multichip stress runs split PEs across 2 chips; need an even PE count (got {})",
+        prog.npes
+    );
+    let prog = Arc::new(prog.clone());
+    let mut cfg = build_cfg(&prog, depth);
+    // launch_multichip interprets cfg.npes as PEs *per chip*.
+    cfg.npes = prog.npes / 2;
+    if cfg.algos.barrier == BarrierAlgo::TmcSpin {
+        eprintln!(
+            "note: program drew the TmcSpin barrier, which cannot span chips; \
+             running with Dissemination instead"
+        );
+        cfg.algos.barrier = BarrierAlgo::Dissemination;
+    }
+    let watch = Arc::new(TimedWatch::new());
+    let p = Arc::clone(&prog);
+    match launch_multichip_watched(&cfg, 2, &watch, move |ctx| run_on_ctx(&p, ctx)) {
         Ok(_) => Outcome::Completed,
         Err(report) => Outcome::Stalled(format!("{report}replay: {replay_hint}\n")),
     }

@@ -51,6 +51,52 @@ fn sweep_8_pes() {
     sweep(8);
 }
 
+/// Both churn modes of the V3 [`Step::HeapChurn`] vocabulary —
+/// shfree+shmalloc refresh and shrealloc grow — must run under
+/// concurrent RMA and verify against the oracle on the native *and*
+/// timed engines. The seeds are found by scanning the frozen V3 stream,
+/// so the programs are stable without pinning magic numbers here.
+#[test]
+fn heap_churn_both_modes_verified_on_both_engines() {
+    use stress::program::Step;
+    use stress::run::run_timed;
+    let mut need_refresh = true;
+    let mut need_grow = true;
+    let mut seed = 0u64;
+    while need_refresh || need_grow {
+        seed += 1;
+        assert!(seed < 10_000, "no HeapChurn programs in the first 10k seeds");
+        let prog = gen_program_v(&mut RngDraw::new(seed, 0), 4, GEN_LATEST);
+        let (mut has_refresh, mut has_grow) = (false, false);
+        for s in &prog.steps {
+            if let Step::HeapChurn { refresh, .. } = s {
+                if *refresh {
+                    has_refresh = true;
+                } else {
+                    has_grow = true;
+                }
+            }
+        }
+        if !((has_refresh && need_refresh) || (has_grow && need_grow)) {
+            continue;
+        }
+        need_refresh &= !has_refresh;
+        need_grow &= !has_grow;
+        let hint = format!(
+            "cargo run -p stress -- --seed {seed:#x} --case 0 --pes 4 --depth 2 \
+             --gen {GEN_LATEST}"
+        );
+        match run_watched(&prog, Some(2), Duration::from_secs(10), &hint) {
+            Outcome::Completed => {}
+            Outcome::Stalled(report) => panic!("{report}"),
+        }
+        match run_timed(&prog, Some(2), &hint) {
+            Outcome::Completed => {}
+            Outcome::Stalled(report) => panic!("{report}"),
+        }
+    }
+}
+
 /// The property harness's `(seed, case)` stream and the replay binary's
 /// `RngDraw` stream must generate byte-identical programs — under every
 /// generator version — or the replay hint printed on failure would

@@ -29,12 +29,12 @@ cargo test -q --offline --workspace
 echo "== stress harness replay demo (seeded, watchdog armed) =="
 cargo run -q --offline -p stress -- --seed 0x2 --pes 4 --depth 2
 
-echo "== fault matrix (3 canned plans x both engines, watchdog armed) =="
+echo "== fault matrix (3 canned plans x three engines, watchdog armed) =="
 # Every seeded fault plan must either be tolerated (exit 0: the run
 # converges to the oracle) or be caught by the watchdog with a diagnosis
 # (exit 2). Any other exit — especially a hang — fails the gate.
 for plan in 0x11 0x21 0x31; do
-    for engine in native timed; do
+    for engine in native timed multichip; do
         echo "-- fault plan $plan on $engine --"
         rc=0
         cargo run -q --offline -p stress -- \
