@@ -122,7 +122,7 @@ impl Layout {
 }
 
 /// Operation counters (cheap observability for tests and examples).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     pub puts: u64,
     pub gets: u64,
@@ -164,12 +164,27 @@ pub struct ShmemCtx {
     pub(crate) seqs: RefCell<HashMap<(u8, usize, usize), u64>>,
     reply_token: Cell<u64>,
     pub(crate) stats: RefCell<Stats>,
+    /// Reused bounce buffer for transfers that need a local staging copy
+    /// (local static-static copies, strided-get scatter). Grows to the
+    /// high-water mark once instead of allocating per call.
+    pub(crate) scratch: RefCell<Vec<u8>>,
     finalized: Cell<bool>,
 }
 
 impl ShmemCtx {
     /// Build a context over a fabric. Called by the runtime launcher; the
     /// equivalent of what `start_pes()` finishes.
+    /// Run `f` over the per-context scratch buffer sized to `len` bytes
+    /// (contents unspecified on entry). `f` must not re-enter any context
+    /// method that also stages through scratch.
+    pub(crate) fn with_scratch<R>(&self, len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut buf = self.scratch.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0);
+        }
+        f(&mut buf[..len])
+    }
+
     pub fn new(fab: Box<dyn Fabric>, layout: Layout, algos: Algorithms, private_bytes: usize) -> Self {
         let heap = Heap::new(layout.heap_bytes);
         Self {
@@ -183,6 +198,7 @@ impl ShmemCtx {
             seqs: RefCell::new(HashMap::new()),
             reply_token: Cell::new(0),
             stats: RefCell::new(Stats::default()),
+            scratch: RefCell::new(Vec::new()),
             finalized: Cell::new(false),
         }
     }
@@ -464,13 +480,13 @@ impl ShmemCtx {
     /// stall watchdog can dump which parked messages a wedged PE holds.
     pub(crate) fn mirror_stash(&self) {
         if let Some(p) = self.fab.probe() {
-            let shape = self
-                .stash
-                .borrow()
+            let stash = self.stash.borrow();
+            let shape = stash
                 .iter()
+                .take(crate::fabric::STASH_SNAPSHOT_CAP)
                 .map(|m| (m.tag, m.src))
                 .collect();
-            p.set_stash(shape);
+            p.set_stash(shape, stash.len());
         }
     }
 

@@ -38,6 +38,7 @@ use substrate::sync::Mutex;
 
 use crate::ctx::ShmemCtx;
 use crate::fabric::{BlockedOn, Fabric, PeProbe, ProtoMsg, Q_SERVICE};
+use udn::packet::PayloadVec;
 use crate::runtime::RuntimeConfig;
 use crate::service::service_loop;
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
@@ -240,7 +241,7 @@ impl CoopLp {
             self.coop.send(
                 sender_lp,
                 CH_CREDIT,
-                ProtoMsg { src: self.pe, tag: TAG_CREDIT, payload: vec![] },
+                ProtoMsg { src: self.pe, tag: TAG_CREDIT, payload: PayloadVec::new() },
                 SimTime::ZERO,
             );
         }
@@ -279,7 +280,7 @@ impl CoopLp {
                 self.coop.send(
                     dest_lp,
                     queue,
-                    ProtoMsg { src: self.pe, tag, payload: payload.to_vec() },
+                    ProtoMsg { src: self.pe, tag, payload: payload.into() },
                     latency,
                 );
             }
@@ -352,14 +353,19 @@ impl CoopLp {
     /// Append a trace event (no-op unless tracing is enabled).
     pub fn trace(&self, kind: TraceKind, start: SimTime, peer: usize, bytes: u64) {
         if let Some(sink) = &self.core.trace {
-            sink.record(TraceEvent {
-                pe: self.pe,
-                kind,
-                start,
-                end: self.coop.now(),
-                peer,
-                bytes,
-            });
+            // Lane = LP index: each LP is one execution context, so it
+            // is the lane's only writer.
+            sink.record_lane(
+                self.lp,
+                TraceEvent {
+                    pe: self.pe,
+                    kind,
+                    start,
+                    end: self.coop.now(),
+                    peer,
+                    bytes,
+                },
+            );
         }
     }
 }
@@ -519,8 +525,11 @@ impl EngineBackend for NativeBackend {
         };
         // The watch needs a sink for "last event per PE" stall dumps
         // even when the caller did not ask for a trace.
+        // One lock-free lane per PE main thread plus one per interrupt-
+        // service thread; writers never contend.
         let sink = (cfg.trace || native_watch.is_some())
-            .then(|| Arc::new(crate::trace::TraceSink::new()));
+            .then(|| Arc::new(crate::trace::TraceSink::with_lanes(2 * cfg.npes)));
+        let waker = endpoints[0].sender();
         let shared = Arc::new(NativeShared {
             arena: CommonMemory::new(cfg.npes * cfg.partition_bytes, Homing::HashForHome),
             privates: (0..cfg.npes)
@@ -529,9 +538,10 @@ impl EngineBackend for NativeBackend {
             npes: cfg.npes,
             partition_bytes: cfg.partition_bytes,
             device: cfg.device,
-            start: std::time::Instant::now(),
+            start: crate::engine::native::FastClock::new(),
             spin_barriers: Mutex::new(std::collections::HashMap::new()),
             aborted: std::sync::atomic::AtomicBool::new(false),
+            waker,
             probes: (0..cfg.npes).map(|_| Arc::new(PeProbe::new())).collect(),
             service_probes: (0..cfg.npes).map(|_| Arc::new(PeProbe::new())).collect(),
             trace: sink.clone(),
@@ -566,14 +576,10 @@ impl EngineBackend for NativeBackend {
                     r
                 }
                 Err(p) => {
-                    shared.aborted.store(true, std::sync::atomic::Ordering::Release);
-                    // Release this PE's service thread regardless.
-                    endpoints[pe].send(
-                        pe,
-                        crate::fabric::Q_SERVICE,
-                        crate::service::TAG_SHUTDOWN,
-                        vec![],
-                    );
+                    // Flag the job and wake everything parked in a
+                    // blocking receive — peers and service threads
+                    // alike (SHMEM jobs are all-or-nothing).
+                    shared.abort();
                     std::panic::resume_unwind(p);
                 }
             }
@@ -608,7 +614,7 @@ impl EngineBackend for TimedBackend {
         F: Fn(&ShmemCtx) -> R + Send + Sync,
     {
         use crate::engine::timed::{TimedFabric, TimedShared};
-        let sink = cfg.trace.then(|| Arc::new(TraceSink::new()));
+        let sink = cfg.trace.then(|| Arc::new(TraceSink::with_lanes(cfg.npes)));
         let shared = TimedShared::new_full(
             cfg.area(),
             cfg.npes,
@@ -663,7 +669,7 @@ impl EngineBackend for MultiChipBackend {
         use crate::engine::multichip::{MultiChipFabric, MultiChipShared};
         let npes = self.total_pes(cfg);
         let layout = crate::ctx::Layout::new(cfg.partition_bytes, npes, cfg.temp_bytes);
-        let sink = cfg.trace.then(|| Arc::new(TraceSink::new()));
+        let sink = cfg.trace.then(|| Arc::new(TraceSink::with_lanes(npes)));
         let shared = MultiChipShared::new_full(
             cfg.area(),
             self.chips,

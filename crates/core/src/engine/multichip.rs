@@ -228,14 +228,17 @@ impl MultiChipFabric {
             .coop
             .with_global(|| self.shared.link_transfer_checked(from, to, now, bytes, fault));
         if let Some(sink) = &self.shared.core.trace {
-            sink.record(TraceEvent {
-                pe: self.pe_id(),
-                kind: TraceKind::Link,
-                start: now,
-                end: arrival.unwrap_or(now),
-                peer: to,
-                bytes: bytes as u64,
-            });
+            sink.record_lane(
+                self.lp.lp,
+                TraceEvent {
+                    pe: self.pe_id(),
+                    kind: TraceKind::Link,
+                    start: now,
+                    end: arrival.unwrap_or(now),
+                    peer: to,
+                    bytes: bytes as u64,
+                },
+            );
         }
         arrival
     }

@@ -11,7 +11,75 @@ use tmc::common::CommonMemory;
 use udn::fabric::UdnEndpoint;
 
 use crate::fabric::{BlockedOn, Fabric, PeProbe, ProtoMsg, RmwOp, RmwWidth, Q_SERVICE};
+use crate::service::TAG_ABORT;
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
+
+/// Cheap wall-clock for trace timestamps: the invariant TSC scaled to
+/// nanoseconds (one `rdtsc` is ~2x cheaper than `clock_gettime` here,
+/// and trace records are the native data plane's hottest timestamp
+/// consumer). The TSC rate is calibrated once per process against the
+/// monotonic clock; non-x86 builds fall back to `Instant`.
+pub struct FastClock {
+    base: Instant,
+    #[cfg(target_arch = "x86_64")]
+    base_tsc: u64,
+    #[cfg(target_arch = "x86_64")]
+    ns_per_tick: f64,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn tsc_ns_per_tick() -> f64 {
+    use std::sync::OnceLock;
+    static RATE: OnceLock<f64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        // Calibrate over ~200 us of busy-waiting; the invariant TSC is
+        // stable enough that this once-per-process sample holds.
+        let t0 = Instant::now();
+        let c0 = unsafe { core::arch::x86_64::_rdtsc() };
+        while t0.elapsed() < std::time::Duration::from_micros(200) {
+            std::hint::spin_loop();
+        }
+        let dt = t0.elapsed().as_nanos() as f64;
+        let dc = (unsafe { core::arch::x86_64::_rdtsc() } - c0) as f64;
+        if dc > 0.0 {
+            dt / dc
+        } else {
+            0.0 // non-monotonic TSC: treat every tick as zero ns and
+                // let `max(ns)` degrade to coarse Instant readings
+        }
+    })
+}
+
+impl FastClock {
+    pub fn new() -> Self {
+        Self {
+            base: Instant::now(),
+            #[cfg(target_arch = "x86_64")]
+            base_tsc: unsafe { core::arch::x86_64::_rdtsc() },
+            #[cfg(target_arch = "x86_64")]
+            ns_per_tick: tsc_ns_per_tick(),
+        }
+    }
+
+    /// Nanoseconds since the clock was created.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.ns_per_tick > 0.0 {
+                let dc = unsafe { core::arch::x86_64::_rdtsc() }.wrapping_sub(self.base_tsc);
+                return (dc as f64 * self.ns_per_tick) as u64;
+            }
+        }
+        self.base.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for FastClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Shared, immutable state of one native launch.
 pub struct NativeShared {
@@ -20,7 +88,7 @@ pub struct NativeShared {
     pub npes: usize,
     pub partition_bytes: usize,
     pub device: tile_arch::device::Device,
-    pub start: Instant,
+    pub start: FastClock,
     /// Lazily-created TMC spin barriers, one per distinct active set.
     pub spin_barriers: Mutex<HashMap<(usize, u32, usize), Arc<SpinBarrier>>>,
     /// Set when any PE panics, so PEs blocked in protocol waits abort
@@ -34,6 +102,25 @@ pub struct NativeShared {
     pub service_probes: Vec<Arc<PeProbe>>,
     /// Wall-clock operation trace, when enabled.
     pub trace: Option<Arc<TraceSink>>,
+    /// Send-side fabric handle for abort wakeups (can reach every tile).
+    pub waker: udn::fabric::UdnSender,
+}
+
+impl NativeShared {
+    /// Flag the job aborted and wake every context parked in a blocking
+    /// protocol receive: one zero-payload [`TAG_ABORT`] packet per tile
+    /// per queue. `try_send` keeps the aborter itself from stalling on
+    /// a backed-up bounded queue — such a queue's receiver is not
+    /// parked on empty, and the receive path's coarse fallback timeout
+    /// covers the remaining race.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        for tile in 0..self.npes {
+            for q in 0..udn::packet::NUM_QUEUES {
+                let _ = self.waker.try_send(tile, q, TAG_ABORT, &[]);
+            }
+        }
+    }
 }
 
 /// Per-PE native fabric. Cloning shares the same endpoint queues — the
@@ -46,6 +133,9 @@ pub struct NativeFabric {
     /// Present only on the PE's main-thread fabric: the service clone
     /// must not overwrite the main thread's blocked state.
     probe: Option<Arc<PeProbe>>,
+    /// Trace-sink lane this context owns exclusively: `pe` for the main
+    /// thread, `npes + pe` for the interrupt-service thread.
+    lane: usize,
 }
 
 impl NativeFabric {
@@ -55,6 +145,7 @@ impl NativeFabric {
             pe,
             udn,
             probe: None,
+            lane: pe,
         }
     }
 
@@ -67,6 +158,7 @@ impl NativeFabric {
             pe,
             udn,
             probe,
+            lane: pe,
         }
     }
 
@@ -75,11 +167,13 @@ impl NativeFabric {
     /// the service context must not overwrite).
     pub fn new_service(shared: Arc<NativeShared>, pe: usize, udn: UdnEndpoint) -> Self {
         let probe = Some(shared.service_probes[pe].clone());
+        let lane = shared.npes + pe;
         Self {
             shared,
             pe,
             udn,
             probe,
+            lane,
         }
     }
 
@@ -91,6 +185,7 @@ impl NativeFabric {
             pe: self.pe,
             udn: self.udn.clone(),
             probe: Some(self.shared.service_probes[self.pe].clone()),
+            lane: self.shared.npes + self.pe,
         }
     }
 
@@ -144,15 +239,32 @@ impl NativeFabric {
     /// Record an instantaneous wall-clock trace event.
     fn trace(&self, kind: TraceKind, peer: usize, bytes: u64) {
         if let Some(sink) = &self.shared.trace {
-            let now = desim::time::SimTime::from_ns(self.shared.start.elapsed().as_nanos() as u64);
-            sink.record(TraceEvent {
-                pe: self.pe,
-                kind,
-                start: now,
-                end: now,
-                peer,
-                bytes,
-            });
+            let now = desim::time::SimTime::from_ns(self.shared.start.now_ns());
+            sink.record_lane(
+                self.lane,
+                TraceEvent {
+                    pe: self.pe,
+                    kind,
+                    start: now,
+                    end: now,
+                    peer,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// Turn a received packet into a protocol message, intercepting the
+    /// job-abort wakeup so [`TAG_ABORT`] never reaches protocol code.
+    fn accept(&self, p: udn::packet::Packet) -> ProtoMsg {
+        if p.header.tag == TAG_ABORT {
+            panic!("PE {}: aborting — another PE panicked", self.pe);
+        }
+        self.progress();
+        ProtoMsg {
+            src: p.header.src as usize,
+            tag: p.header.tag,
+            payload: p.payload,
         }
     }
 }
@@ -180,7 +292,7 @@ impl Fabric for NativeFabric {
         }
         // Q_SERVICE is consumed by the destination's service thread; the
         // routing is by queue, so a plain send reaches it.
-        self.udn.send(dest, queue, tag, payload.to_vec());
+        self.udn.send(dest, queue, tag, payload);
         self.trace(TraceKind::UdnSend, dest, 8 * payload.len() as u64);
         self.progress();
     }
@@ -194,7 +306,7 @@ impl Fabric for NativeFabric {
                 return false;
             }
         }
-        let sent = self.udn.try_send(dest, queue, tag, payload.to_vec());
+        let sent = self.udn.try_send(dest, queue, tag, payload);
         if sent {
             if let Some(us) = crate::fault::protocol_send_delay_us() {
                 self.sleep_checking_abort(us);
@@ -208,18 +320,26 @@ impl Fabric for NativeFabric {
     }
 
     fn udn_recv(&self, queue: usize) -> ProtoMsg {
-        // Poll with a coarse timeout so a peer's panic aborts us instead
-        // of leaving this PE blocked forever mid-protocol.
+        // Opportunistic poll before parking: in a protocol round-trip
+        // the reply is usually queued already or arrives within a
+        // scheduler quantum, and a yield is cheaper than a condvar park
+        // plus futex wake — especially when PEs outnumber cores.
+        for _ in 0..4 {
+            if let Some(p) = self.udn.try_recv(queue) {
+                return self.accept(p);
+            }
+            std::thread::yield_now();
+        }
         self.set_blocked(BlockedOn::Recv { queue });
         loop {
-            if let Some(p) = self.udn.recv_timeout(queue, std::time::Duration::from_millis(50)) {
+            // Park on the queue's condvar; a peer's send (or the abort
+            // broadcast's TAG_ABORT packet) wakes us immediately. The
+            // coarse timeout is only an abort-race fallback — a full
+            // bounded queue can swallow the abort packet — never the
+            // normal wake path.
+            if let Some(p) = self.udn.recv_timeout(queue, std::time::Duration::from_millis(250)) {
                 self.set_blocked(BlockedOn::Running);
-                self.progress();
-                return ProtoMsg {
-                    src: p.header.src as usize,
-                    tag: p.header.tag,
-                    payload: p.payload,
-                };
+                return self.accept(p);
             }
             if self.shared.aborted.load(Ordering::Acquire) {
                 panic!("PE {}: aborting — another PE panicked", self.pe);
@@ -228,15 +348,7 @@ impl Fabric for NativeFabric {
     }
 
     fn udn_try_recv(&self, queue: usize) -> Option<ProtoMsg> {
-        let got = self.udn.try_recv(queue).map(|p| ProtoMsg {
-            src: p.header.src as usize,
-            tag: p.header.tag,
-            payload: p.payload,
-        });
-        if got.is_some() {
-            self.progress();
-        }
-        got
+        self.udn.try_recv(queue).map(|p| self.accept(p))
     }
 
     fn arena_copy(&self, dst: usize, src: usize, len: usize) {
@@ -408,7 +520,7 @@ impl Fabric for NativeFabric {
     }
 
     fn now_ns(&self) -> f64 {
-        self.shared.start.elapsed().as_nanos() as f64
+        self.shared.start.now_ns() as f64
     }
 
     fn inject_delay_us(&self, micros: u64) {

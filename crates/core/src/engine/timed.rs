@@ -25,6 +25,7 @@ use desim::time::SimTime;
 use substrate::sync::Mutex;
 use tile_arch::area::TestArea;
 use tmc::common::CommonMemory;
+use udn::packet::PayloadVec;
 use udn::timing::UdnModel;
 
 use super::backend::{CoopCore, CoopLp};
@@ -435,7 +436,7 @@ impl Fabric for TimedFabric {
                 self.lp.coop.send(
                     dest,
                     CH_SPIN,
-                    ProtoMsg { src: me, tag: TAG_SPIN, payload: vec![] },
+                    ProtoMsg { src: me, tag: TAG_SPIN, payload: PayloadVec::new() },
                     latency,
                 );
             }
@@ -444,7 +445,7 @@ impl Fabric for TimedFabric {
             self.lp.coop.send(
                 start,
                 CH_SPIN,
-                ProtoMsg { src: me, tag: TAG_SPIN, payload: vec![] },
+                ProtoMsg { src: me, tag: TAG_SPIN, payload: PayloadVec::new() },
                 SimTime::ZERO,
             );
             self.lp.probe.set_blocked(BlockedOn::Recv { queue: crate::fabric::Q_BARRIER });

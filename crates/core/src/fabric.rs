@@ -14,7 +14,7 @@
 //! Keeping a single protocol implementation is what makes the timed
 //! engine an honest model of the shipped library (`DESIGN.md` §6).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use substrate::sync::Mutex;
 
@@ -34,8 +34,10 @@ pub struct ProtoMsg {
     pub src: usize,
     /// Software tag (message kind).
     pub tag: u16,
-    /// Payload words.
-    pub payload: Vec<u64>,
+    /// Payload words — protocol-sized payloads (≤ 6 words) stay inline,
+    /// so cloning or stashing a barrier/collective token never
+    /// allocates.
+    pub payload: udn::packet::PayloadVec,
 }
 
 /// Read-modify-write operations on symmetric words.
@@ -152,13 +154,24 @@ impl std::fmt::Display for BlockedOn {
 /// `JobWatch::diagnose_delta` reports. `blocked` and `stash` snapshot
 /// what the PE is waiting on and which out-of-order protocol messages
 /// it has parked.
+/// Cap on the per-PE stash snapshot mirrored into [`PeProbe`]: a stall
+/// dump only needs the leading entries to name the wedged exchange, and
+/// an uncapped mirror would clone an arbitrarily deep stash on every
+/// push/pop.
+pub const STASH_SNAPSHOT_CAP: usize = 16;
+
 #[derive(Default)]
 pub struct PeProbe {
     ops: AtomicU64,
     spins: AtomicU64,
     blocked: AtomicU64,
-    /// `(tag, src)` of every stashed protocol message.
+    /// `(tag, src)` of the first [`STASH_SNAPSHOT_CAP`] stashed
+    /// protocol messages (diagnostics only — see `stash_total` for the
+    /// real depth).
     stash: Mutex<Vec<(u16, usize)>>,
+    /// Total stash depth at the last snapshot, including entries beyond
+    /// the snapshot cap.
+    stash_total: AtomicUsize,
 }
 
 impl PeProbe {
@@ -199,14 +212,23 @@ impl PeProbe {
         BlockedOn::decode(self.blocked.load(Ordering::Acquire))
     }
 
-    /// Replace the stash snapshot.
-    pub fn set_stash(&self, entries: Vec<(u16, usize)>) {
+    /// Replace the stash snapshot. `entries` is capped at
+    /// [`STASH_SNAPSHOT_CAP`] by the caller; `total` is the real stash
+    /// depth so diagnostics can report what the cap hid.
+    pub fn set_stash(&self, entries: Vec<(u16, usize)>, total: usize) {
+        debug_assert!(entries.len() <= STASH_SNAPSHOT_CAP);
+        self.stash_total.store(total, Ordering::Relaxed);
         *self.stash.lock() = entries;
     }
 
-    /// Read the stash snapshot.
+    /// Read the stash snapshot (at most [`STASH_SNAPSHOT_CAP`] entries).
     pub fn stash(&self) -> Vec<(u16, usize)> {
         self.stash.lock().clone()
+    }
+
+    /// Total stash depth at the last snapshot.
+    pub fn stash_total(&self) -> usize {
+        self.stash_total.load(Ordering::Relaxed)
     }
 }
 
@@ -388,8 +410,9 @@ mod tests {
         probe.spin();
         assert_eq!(probe.spins(), 1);
         assert_eq!(probe.ops(), 2, "spins must not count as useful work");
-        probe.set_stash(vec![(13, 2), (20, 5)]);
+        probe.set_stash(vec![(13, 2), (20, 5)], 2);
         assert_eq!(probe.stash(), vec![(13, 2), (20, 5)]);
+        assert_eq!(probe.stash_total(), 2);
     }
 
     #[test]

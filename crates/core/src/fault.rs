@@ -45,6 +45,24 @@ pub fn blocking_protocol_sends() -> bool {
     BLOCKING_PROTOCOL_SENDS.load(Ordering::Acquire) || PLAN_BLOCKING.load(Ordering::Acquire)
 }
 
+static RMA_FAST_PATHS_OFF: AtomicBool = AtomicBool::new(false);
+
+/// Disable the RMA batched fast paths (unit-stride `iput`/`iget` runs,
+/// contiguous-source borrows) so every strided transfer takes the
+/// general per-element path. **Equivalence testing only**: the fast and
+/// general paths must produce identical memory state and identical
+/// `Stats`, and the suite proves it by running the same seeded program
+/// both ways.
+pub fn set_rma_fast_paths(on: bool) {
+    RMA_FAST_PATHS_OFF.store(!on, Ordering::Release);
+}
+
+/// Whether the RMA fast paths are enabled (the default).
+#[inline]
+pub fn rma_fast_paths() -> bool {
+    !RMA_FAST_PATHS_OFF.load(Ordering::Relaxed)
+}
+
 /// One injectable liveness fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Fault {

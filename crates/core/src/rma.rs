@@ -123,9 +123,10 @@ impl ShmemCtx {
                     self.bounce_arena_to_private(t, self.go(me, s), len);
                 }
                 AddrClass::Static => {
-                    let mut buf = vec![0u8; len];
-                    self.fab.private_read(s, &mut buf);
-                    self.fab.private_write(t, &buf);
+                    self.with_scratch(len, |buf| {
+                        self.fab.private_read(s, buf);
+                        self.fab.private_write(t, buf);
+                    });
                 }
             },
             // static-dynamic: redirect — the remote tile reads our arena
@@ -181,9 +182,10 @@ impl ShmemCtx {
                     self.bounce_private_to_arena(self.go(me, t), s, len);
                 }
                 AddrClass::Static => {
-                    let mut buf = vec![0u8; len];
-                    self.fab.private_read(s, &mut buf);
-                    self.fab.private_write(t, &buf);
+                    self.with_scratch(len, |buf| {
+                        self.fab.private_read(s, buf);
+                        self.fab.private_write(t, buf);
+                    });
                 }
             },
             // dynamic-static get: redirect — remote puts its private
@@ -245,14 +247,24 @@ impl ShmemCtx {
             s.puts += 1;
             s.put_bytes += (nelems * esize) as u64;
         }
-        // Gather the strided source once; every downstream path wants it
-        // contiguous.
-        let gathered: Vec<T> = (0..nelems).map(|i| src[i * sst]).collect();
+        // Every downstream path wants the source contiguous. A unit-
+        // stride source already is — borrow it; only a genuinely strided
+        // source pays a gather.
+        // cold: allocation only on the strided-source path; unit-stride
+        // borrows `src` directly.
+        let owned: Vec<T>;
+        let gathered: &[T] = if sst == 1 && crate::fault::rma_fast_paths() {
+            &src[..nelems]
+        } else {
+            owned = (0..nelems).map(|i| src[i * sst]).collect();
+            &owned
+        };
         let me = self.my_pe();
         match target.class() {
-            AddrClass::Dynamic if tst == 1 => {
+            // Unit-stride target: the whole run is one contiguous write.
+            AddrClass::Dynamic if tst == 1 && crate::fault::rma_fast_paths() => {
                 self.fab
-                    .arena_write(self.go(pe, target.elem_offset(tidx)), byte_view(&gathered));
+                    .arena_write(self.go(pe, target.elem_offset(tidx)), byte_view(gathered));
             }
             AddrClass::Dynamic => {
                 for (i, v) in gathered.iter().enumerate() {
@@ -261,6 +273,10 @@ impl ShmemCtx {
                         byte_view(std::slice::from_ref(v)),
                     );
                 }
+            }
+            AddrClass::Static if pe == me && tst == 1 && crate::fault::rma_fast_paths() => {
+                self.fab
+                    .private_write(target.elem_offset(tidx), byte_view(gathered));
             }
             AddrClass::Static if pe == me => {
                 for (i, v) in gathered.iter().enumerate() {
@@ -271,7 +287,7 @@ impl ShmemCtx {
                 }
             }
             AddrClass::Static => {
-                self.iput_static_via_temp(pe, target, tidx, tst, &gathered);
+                self.iput_static_via_temp(pe, target, tidx, tst, gathered);
             }
         }
     }
@@ -315,6 +331,25 @@ impl ShmemCtx {
         }
         let me = self.my_pe();
         match source.class() {
+            // Unit stride on both sides: one contiguous read, straight
+            // into the caller's buffer — one copy, one trace event.
+            AddrClass::Dynamic if sst == 1 && dst_stride == 1 && crate::fault::rma_fast_paths() => {
+                self.fab.arena_read(
+                    self.go(pe, source.elem_offset(sidx)),
+                    byte_view_mut(&mut dst[..nelems]),
+                );
+            }
+            // Contiguous source, strided destination: still one read (to
+            // scratch), then a local scatter.
+            AddrClass::Dynamic if sst == 1 && crate::fault::rma_fast_paths() => {
+                self.with_scratch(nelems * esize, |buf| {
+                    self.fab.arena_read(self.go(pe, source.elem_offset(sidx)), buf);
+                    for i in 0..nelems {
+                        byte_view_mut(std::slice::from_mut(&mut dst[i * dst_stride]))
+                            .copy_from_slice(&buf[i * esize..(i + 1) * esize]);
+                    }
+                });
+            }
             AddrClass::Dynamic => {
                 for i in 0..nelems {
                     let mut tmp = [unsafe { std::mem::zeroed::<T>() }];
@@ -324,6 +359,12 @@ impl ShmemCtx {
                     );
                     dst[i * dst_stride] = tmp[0];
                 }
+            }
+            AddrClass::Static if pe == me && sst == 1 && dst_stride == 1 && crate::fault::rma_fast_paths() => {
+                self.fab.private_read(
+                    source.elem_offset(sidx),
+                    byte_view_mut(&mut dst[..nelems]),
+                );
             }
             AddrClass::Static if pe == me => {
                 for i in 0..nelems {
@@ -451,7 +492,6 @@ impl ShmemCtx {
         let esize = std::mem::size_of::<T>();
         let temp = self.go(me, self.layout.temp_off);
         let batch = (self.layout.temp_bytes / esize).max(1);
-        let mut staged = vec![unsafe { std::mem::zeroed::<T>() }; batch.min(nelems)];
         let mut done = 0;
         while done < nelems {
             let n = (nelems - done).min(batch);
@@ -464,9 +504,19 @@ impl ShmemCtx {
                 n,
                 temp,
             );
-            self.fab.arena_read(temp, byte_view_mut(&mut staged[..n]));
-            for i in 0..n {
-                dst[(done + i) * dst_stride] = staged[i];
+            if dst_stride == 1 && crate::fault::rma_fast_paths() {
+                // Contiguous destination: drain the temp straight into
+                // the caller's buffer, no staging copy.
+                self.fab
+                    .arena_read(temp, byte_view_mut(&mut dst[done..done + n]));
+            } else {
+                self.with_scratch(n * esize, |buf| {
+                    self.fab.arena_read(temp, buf);
+                    for i in 0..n {
+                        byte_view_mut(std::slice::from_mut(&mut dst[(done + i) * dst_stride]))
+                            .copy_from_slice(&buf[i * esize..(i + 1) * esize]);
+                    }
+                });
             }
             done += n;
         }

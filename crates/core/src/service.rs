@@ -31,6 +31,11 @@ pub const TAG_SPUTS: u16 = 4;
 pub const TAG_SGETS: u16 = 5;
 /// Orderly teardown (see `shmem_finalize`).
 pub const TAG_SHUTDOWN: u16 = 0xFFFE;
+/// Job-abort wakeup: broadcast to every tile's queues when a PE panics
+/// or a watchdog kills the job, so contexts parked in a blocking
+/// protocol receive wake immediately instead of timing out. Never
+/// reaches protocol code — the native receive path panics on it.
+pub const TAG_ABORT: u16 = 0xFFFD;
 
 /// Human name of a service-protocol tag, for watchdog diagnoses
 /// (`BlockedOn::Handler` display).
@@ -42,6 +47,7 @@ pub fn tag_name(tag: u16) -> &'static str {
         TAG_SPUTS => "sputs",
         TAG_SGETS => "sgets",
         TAG_SHUTDOWN => "shutdown",
+        TAG_ABORT => "abort",
         _ => "?",
     }
 }

@@ -26,7 +26,6 @@
 //! only after a multi-second stall window, at which point the states
 //! are stable; the timed observer runs with the scheduler lock held.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use substrate::sync::Mutex;
@@ -128,7 +127,7 @@ impl JobWatch {
     /// at its next abort check instead of hanging forever.
     pub fn abort(&self) {
         if let Some(w) = self.inner.lock().as_ref() {
-            w.shared.aborted.store(true, Ordering::Release);
+            w.shared.abort();
         }
     }
 
@@ -200,6 +199,10 @@ impl JobWatch {
                 for (i, (tag, src)) in stash.iter().enumerate() {
                     let sep = if i == 0 { "" } else { ", " };
                     let _ = write!(out, "{sep}(tag {tag:#x} from PE {src})");
+                }
+                let hidden = probe.stash_total().saturating_sub(stash.len());
+                if hidden > 0 {
+                    let _ = write!(out, " (+{hidden} more)");
                 }
             }
             match last_ev {

@@ -1,0 +1,306 @@
+//! `microbench` binary — the hermetic perf gate.
+//!
+//! `cargo run -p microbench --release -- --native-suite` runs put/get
+//! bandwidth, barrier latency, and reduce latency on the **native**
+//! engine (real threads, wall clock — unlike the library's figure
+//! generators, which model the Tilera under virtual time) and writes
+//! `BENCH_native.json`: one entry per benchmark with `ns_per_op` and
+//! `bytes_per_sec`, plus the traced/untraced ablation ratio for the
+//! putget workload.
+//!
+//! The put/get bandwidth benchmarks go through the strided entry
+//! points (`iput`/`iget`) at unit stride, so both the contiguous copy
+//! and the strided fast path sit on the measured path; `putget_*` is
+//! the combined put+get workload the tracing ablation compares.
+//!
+//! Numbers are wall-clock on whatever machine runs the gate (CI boxes
+//! are often single-core, so collective latencies are context-switch
+//! bound); the gate schema-checks the output and *reports* thresholds
+//! rather than enforcing them. `--quick` divides iteration counts for
+//! smoke use; `--pes N` and `--out PATH` override the defaults.
+
+use std::time::Instant;
+
+use tshmem::{launch, ActiveSet, RuntimeConfig, ShmemCtx};
+
+struct Args {
+    native_suite: bool,
+    pes: usize,
+    out: String,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        native_suite: false,
+        pes: 8,
+        out: "BENCH_native.json".to_string(),
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value after {flag}");
+                std::process::exit(2)
+            })
+        };
+        match flag.as_str() {
+            "--native-suite" => args.native_suite = true,
+            "--pes" => {
+                args.pes = val().parse().unwrap_or_else(|_| {
+                    eprintln!("--pes wants a number");
+                    std::process::exit(2)
+                })
+            }
+            "--out" => args.out = val(),
+            "--quick" => args.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: microbench --native-suite [--pes N] [--out PATH] [--quick]\n\
+                     Runs the native-engine perf suite (put/get bandwidth, barrier \n\
+                     latency, reduce latency, traced-vs-untraced putget ablation) \n\
+                     and writes PATH (default BENCH_native.json)."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One measured benchmark: mean wall-clock ns per operation on the
+/// slowest PE, and the per-op payload (0 for latency-only benchmarks).
+struct Bench {
+    name: &'static str,
+    ns_per_op: f64,
+    bytes_per_op: usize,
+}
+
+impl Bench {
+    fn bytes_per_sec(&self) -> f64 {
+        if self.bytes_per_op == 0 || self.ns_per_op <= 0.0 {
+            0.0
+        } else {
+            self.bytes_per_op as f64 * 1e9 / self.ns_per_op
+        }
+    }
+}
+
+/// Measurement repetitions per benchmark; each PE keeps its **fastest**
+/// repetition. On an oversubscribed box (CI is often one core for eight
+/// PEs) a repetition window can be shorter than a scheduler quantum, so
+/// any single window may absorb a multi-millisecond deschedule; the
+/// minimum over several windows discards those outliers and converges
+/// on the real cost.
+const REPS: usize = 5;
+
+/// Time `iters` runs of `op`, [`REPS`] times, between barriers; every
+/// PE reports its fastest repetition and the job-level number is the
+/// slowest PE's (the PE that bounds throughput).
+fn timed_loop(ctx: &ShmemCtx, iters: usize, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        for _ in 0..(iters / 10).max(1) {
+            op(); // warmup
+        }
+        ctx.barrier_all();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let per_op = t0.elapsed().as_nanos() as f64 / iters as f64;
+        ctx.barrier_all();
+        best = best.min(per_op);
+    }
+    best
+}
+
+fn slowest(per_pe: Vec<f64>) -> f64 {
+    per_pe.into_iter().fold(0.0, f64::max)
+}
+
+/// Every PE iputs `nelems` u64 at unit stride to its right neighbor's
+/// symmetric heap.
+fn bench_put(npes: usize, nelems: usize, iters: usize, traced: bool) -> f64 {
+    let mut cfg = RuntimeConfig::new(npes);
+    if traced {
+        cfg = cfg.with_trace();
+    }
+    slowest(launch(&cfg, |ctx| {
+        let dst = ctx.shmalloc::<u64>(nelems);
+        let src: Vec<u64> = (0..nelems as u64).collect();
+        let to = (ctx.my_pe() + 1) % ctx.n_pes();
+        let ns = timed_loop(ctx, iters, || ctx.iput(&dst, 0, 1, &src, 1, nelems, to));
+        ctx.shfree(dst);
+        ns
+    }))
+}
+
+/// Every PE igets `nelems` u64 at unit stride from its right neighbor.
+fn bench_get(npes: usize, nelems: usize, iters: usize) -> f64 {
+    slowest(launch(&RuntimeConfig::new(npes), |ctx| {
+        let src = ctx.shmalloc::<u64>(nelems);
+        let mut dst = vec![0u64; nelems];
+        let from = (ctx.my_pe() + 1) % ctx.n_pes();
+        let ns = timed_loop(ctx, iters, || ctx.iget(&mut dst, 1, &src, 0, 1, nelems, from));
+        ctx.shfree(src);
+        ns
+    }))
+}
+
+/// Combined put+get round per op — the workload the tracing ablation
+/// compares traced vs. untraced.
+fn bench_putget(npes: usize, nelems: usize, iters: usize, traced: bool) -> f64 {
+    let mut cfg = RuntimeConfig::new(npes);
+    if traced {
+        cfg = cfg.with_trace();
+    }
+    slowest(launch(&cfg, |ctx| {
+        let sym = ctx.shmalloc::<u64>(nelems);
+        let src: Vec<u64> = (0..nelems as u64).collect();
+        let mut dst = vec![0u64; nelems];
+        let peer = (ctx.my_pe() + 1) % ctx.n_pes();
+        let ns = timed_loop(ctx, iters, || {
+            ctx.iput(&sym, 0, 1, &src, 1, nelems, peer);
+            ctx.iget(&mut dst, 1, &sym, 0, 1, nelems, peer);
+        });
+        ctx.shfree(sym);
+        ns
+    }))
+}
+
+/// `barrier_all` latency with the default (Ring) algorithm.
+fn bench_barrier(npes: usize, iters: usize) -> f64 {
+    slowest(launch(&RuntimeConfig::new(npes), |ctx| {
+        timed_loop(ctx, iters, || ctx.barrier_all())
+    }))
+}
+
+/// `sum_to_all` latency over `nreduce` u64 across all PEs (internally
+/// barriered on entry and exit, so back-to-back calls are safe).
+fn bench_reduce(npes: usize, nreduce: usize, iters: usize) -> f64 {
+    slowest(launch(&RuntimeConfig::new(npes), |ctx| {
+        let dest = ctx.shmalloc::<u64>(nreduce);
+        let source = ctx.shmalloc::<u64>(nreduce);
+        let all = ActiveSet::new(0, 0, ctx.n_pes());
+        let ns = timed_loop(ctx, iters, || ctx.sum_to_all(&dest, &source, nreduce, all));
+        ctx.shfree(source);
+        ctx.shfree(dest);
+        ns
+    }))
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Benchmark names are static identifiers; assert rather than escape.
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "benchmark name {name:?} needs JSON escaping"
+    );
+    name
+}
+
+fn main() {
+    let args = parse_args();
+    if !args.native_suite {
+        eprintln!("nothing to do: pass --native-suite (see --help)");
+        std::process::exit(2);
+    }
+    let npes = args.pes;
+    let div = if args.quick { 10 } else { 1 };
+    let it = |n: usize| (n / div).max(10);
+
+    eprintln!("native suite: {npes} PEs{}", if args.quick { " (quick)" } else { "" });
+
+    let mut benches: Vec<Bench> = Vec::new();
+    let mut push = |b: Bench| {
+        eprintln!(
+            "  {:<24} {:>12.1} ns/op  {:>10.3} MB/s",
+            b.name,
+            b.ns_per_op,
+            b.bytes_per_sec() / 1e6
+        );
+        benches.push(b);
+    };
+
+    const KB4: usize = 512; // u64 elements
+    const KB256: usize = 32 * 1024;
+
+    push(Bench {
+        name: "put_bw_4k",
+        ns_per_op: bench_put(npes, KB4, it(20_000), false),
+        bytes_per_op: KB4 * 8,
+    });
+    push(Bench {
+        name: "put_bw_256k",
+        ns_per_op: bench_put(npes, KB256, it(1_000), false),
+        bytes_per_op: KB256 * 8,
+    });
+    push(Bench {
+        name: "get_bw_4k",
+        ns_per_op: bench_get(npes, KB4, it(20_000)),
+        bytes_per_op: KB4 * 8,
+    });
+    push(Bench {
+        name: "get_bw_256k",
+        ns_per_op: bench_get(npes, KB256, it(500)),
+        bytes_per_op: KB256 * 8,
+    });
+    push(Bench {
+        name: "barrier_all",
+        ns_per_op: bench_barrier(npes, it(2_000)),
+        bytes_per_op: 0,
+    });
+    push(Bench {
+        name: "reduce_sum_8x64",
+        ns_per_op: bench_reduce(npes, 8, it(1_000)),
+        bytes_per_op: 8 * 8,
+    });
+    // 16 KiB transfers: a realistic data-plane payload (the paper's
+    // bandwidth figures run from 4 KiB up), sized so the tracing tax is
+    // measured against real transfer work rather than against pure
+    // call-overhead — while keeping the traced run's event log bounded
+    // even on engines that trace every element.
+    const ABL: usize = 2048; // u64 elements
+    let untraced = bench_putget(npes, ABL, it(2_000), false);
+    push(Bench {
+        name: "putget_untraced",
+        ns_per_op: untraced,
+        bytes_per_op: 2 * ABL * 8,
+    });
+    let traced = bench_putget(npes, ABL, it(2_000), true);
+    push(Bench {
+        name: "putget_traced",
+        ns_per_op: traced,
+        bytes_per_op: 2 * ABL * 8,
+    });
+    let ratio = traced / untraced;
+    eprintln!("  traced/untraced putget ratio: {ratio:.3}");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"suite\": \"native\",\n");
+    json.push_str(&format!("  \"npes\": {npes},\n"));
+    json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    json.push_str(&format!("  \"traced_over_untraced\": {ratio:.4},\n"));
+    json.push_str("  \"benchmarks\": {\n");
+    for (i, b) in benches.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"ns_per_op\": {:.1}, \"bytes_per_sec\": {:.1}}}{}\n",
+            json_escape_free(b.name),
+            b.ns_per_op,
+            b.bytes_per_sec(),
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&args.out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out);
+}

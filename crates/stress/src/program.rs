@@ -199,6 +199,22 @@ impl Draw for RngDraw {
     }
 }
 
+/// Fault-plan seed for sweep case `case` of suite seed `seed`.
+///
+/// A SplitMix64-style mix *outside* the frozen generator draw streams:
+/// the program for `(seed, case)` is generated from the untouched
+/// `RngDraw` stream, and the fault plan is drawn from this derived seed
+/// via [`tshmem::FaultPlan::from_seed`] — so adding fault injection to
+/// a sweep changes no generated program (the gen-1/2/3 canary streams
+/// stay byte-identical) and every faulted run is replayable with
+/// `--fault-plan`.
+pub fn fault_plan_seed(seed: u64, case: u64) -> u64 {
+    let mut z = seed ^ 0xFA17_1A9E_5EED_0001u64.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Harness-side draws, recorded on the shrinkable tape.
 pub struct SourceDraw<'a>(pub &'a mut pt::Source);
 

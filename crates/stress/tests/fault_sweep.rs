@@ -1,0 +1,71 @@
+//! The faulted acceptance sweep: the same seeded programs the smoke
+//! sweep runs, each re-run under a seeded random [`FaultPlan`] drawn
+//! from [`fault_plan_seed`]`(seed, case)` — a derivation *outside* the
+//! frozen generator draw streams, so the programs are byte-identical to
+//! the unfaulted sweep's and every run here is replayable with
+//!
+//! ```text
+//! cargo run -p stress -- --seed <seed> --case <case> --pes <n> \
+//!     --depth 2 --fault-plan <plan seed>
+//! ```
+//!
+//! One `#[test]` on purpose: the installed fault plan is process-global
+//! state, so faulted runs must never share a binary with parallel
+//! tests (the same rule `fault_canary.rs` documents). Seeded plans draw
+//! only tolerated-class faults, so every run must still converge to the
+//! sequential oracle — a stall here is a liveness bug in the library,
+//! not an expected fault outcome.
+
+use std::time::Duration;
+
+use stress::program::{fault_plan_seed, gen_program_v, RngDraw, GEN_LATEST};
+use stress::run::{run_watched, Outcome};
+use substrate::proptest_mini as pt;
+use tshmem::fault;
+use tshmem::FaultPlan;
+
+#[test]
+fn smoke_seeds_survive_seeded_fault_plans() {
+    // Same suite seed the smoke sweep uses, so these are the same
+    // programs `tests/smoke.rs` just proved correct fault-free.
+    let seed = pt::Config::default().seed;
+    for npes in [2usize, 4, 8] {
+        for case in 0..3u64 {
+            let prog = gen_program_v(&mut RngDraw::new(seed, case), npes, GEN_LATEST);
+            let plan_seed = fault_plan_seed(seed, case);
+            let plan = FaultPlan::from_seed(plan_seed, npes);
+            let desc = plan.describe();
+            fault::install(plan);
+            let hint = format!(
+                "cargo run -p stress -- --seed {seed:#x} --case {case} --pes {npes} \
+                 --depth 2 --gen {GEN_LATEST} --fault-plan {plan_seed:#x}"
+            );
+            let outcome = run_watched(&prog, Some(2), Duration::from_secs(20), &hint);
+            fault::clear();
+            match outcome {
+                Outcome::Completed => {}
+                Outcome::Stalled(report) => {
+                    panic!("case {case} on {npes} PEs stalled under tolerated {desc}:\n{report}")
+                }
+            }
+        }
+    }
+}
+
+/// The derivation is pinned: if `fault_plan_seed` changed, every
+/// `--fault-plan` hint ever printed by this sweep would replay a
+/// different plan.
+#[test]
+fn fault_plan_seed_derivation_is_stable() {
+    let a = fault_plan_seed(0x1234, 0);
+    let b = fault_plan_seed(0x1234, 1);
+    let c = fault_plan_seed(0x1235, 0);
+    assert_ne!(a, b);
+    assert_ne!(a, c);
+    assert_eq!(a, fault_plan_seed(0x1234, 0));
+    // Distinct plans for adjacent cases (the mix spreads case bits).
+    assert_ne!(
+        FaultPlan::from_seed(a, 4).faults,
+        FaultPlan::from_seed(b, 4).faults
+    );
+}

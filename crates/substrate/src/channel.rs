@@ -95,6 +95,13 @@ struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// Receivers currently parked in a `not_empty` wait. Maintained
+    /// under the state lock so senders can skip the condvar notify —
+    /// an unconditional futex syscall on std's condvar — when nobody
+    /// is parked (the common case when receivers poll before parking).
+    empty_waiters: usize,
+    /// Senders currently parked in a `not_full` wait (bounded queues).
+    full_waiters: usize,
 }
 
 struct Chan<T> {
@@ -137,6 +144,8 @@ fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
             queue: VecDeque::new(),
             senders: 1,
             receivers: 1,
+            empty_waiters: 0,
+            full_waiters: 0,
         }),
         capacity,
         not_empty: Condvar::new(),
@@ -158,14 +167,19 @@ impl<T> Sender<T> {
             }
             match self.chan.capacity {
                 Some(cap) if st.queue.len() >= cap => {
+                    st.full_waiters += 1;
                     self.chan.not_full.wait(&mut st);
+                    st.full_waiters -= 1;
                 }
                 _ => break,
             }
         }
         st.queue.push_back(value);
+        let wake = st.empty_waiters > 0;
         drop(st);
-        self.chan.not_empty.notify_one();
+        if wake {
+            self.chan.not_empty.notify_one();
+        }
         Ok(())
     }
 
@@ -184,8 +198,11 @@ impl<T> Sender<T> {
             }
         }
         st.queue.push_back(value);
+        let wake = st.empty_waiters > 0;
         drop(st);
-        self.chan.not_empty.notify_one();
+        if wake {
+            self.chan.not_empty.notify_one();
+        }
         Ok(())
     }
 
@@ -227,14 +244,19 @@ impl<T> Receiver<T> {
         let mut st = self.chan.state.lock();
         loop {
             if let Some(v) = st.queue.pop_front() {
+                let wake = st.full_waiters > 0;
                 drop(st);
-                self.chan.not_full.notify_one();
+                if wake {
+                    self.chan.not_full.notify_one();
+                }
                 return Ok(v);
             }
             if st.senders == 0 {
                 return Err(RecvError);
             }
+            st.empty_waiters += 1;
             self.chan.not_empty.wait(&mut st);
+            st.empty_waiters -= 1;
         }
     }
 
@@ -244,8 +266,11 @@ impl<T> Receiver<T> {
         let mut st = self.chan.state.lock();
         loop {
             if let Some(v) = st.queue.pop_front() {
+                let wake = st.full_waiters > 0;
                 drop(st);
-                self.chan.not_full.notify_one();
+                if wake {
+                    self.chan.not_full.notify_one();
+                }
                 return Ok(v);
             }
             if st.senders == 0 {
@@ -255,7 +280,9 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
+            st.empty_waiters += 1;
             self.chan.not_empty.wait_timeout(&mut st, deadline - now);
+            st.empty_waiters -= 1;
         }
     }
 
@@ -263,8 +290,11 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut st = self.chan.state.lock();
         if let Some(v) = st.queue.pop_front() {
+            let wake = st.full_waiters > 0;
             drop(st);
-            self.chan.not_full.notify_one();
+            if wake {
+                self.chan.not_full.notify_one();
+            }
             return Ok(v);
         }
         if st.senders == 0 {

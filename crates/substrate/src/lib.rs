@@ -19,8 +19,11 @@
 //! * [`proptest_mini`] — a small deterministic property-test harness:
 //!   seeded generators, an iteration budget, and tape-based input
 //!   shrinking with a failing-seed report.
+//! * [`smallvec`] — an inline small-vector for protocol-sized payloads
+//!   (UDN packets keep ≤ 6 words inline; no allocator on the hot path).
 
 pub mod channel;
 pub mod proptest_mini;
 pub mod rng;
+pub mod smallvec;
 pub mod sync;

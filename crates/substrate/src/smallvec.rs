@@ -1,0 +1,303 @@
+//! An inline small-vector: short payloads live in the value itself.
+//!
+//! The UDN's protocol messages are at most six words (the strided
+//! service request — see `tshmem::service::encode_strided_request`),
+//! and barrier/collective tokens are shorter still, yet the original
+//! fabric model heap-allocated a `Vec<u64>` per packet hop. On the
+//! paper's machine those tokens are register writes; on the model they
+//! should at least not touch the allocator. [`SmallVec`] keeps up to
+//! `N` elements inline and spills to a heap `Vec` only beyond that
+//! (bulk payloads — the UDN packet limit is 127 words), so cloning or
+//! moving a protocol-sized payload allocates nothing.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector of `Copy` elements that stores up to `N` inline.
+///
+/// Dereferences to `&[T]`, compares against anything slice-shaped, and
+/// iterates by value; build one with `From<&[T]>`/`From<Vec<T>>` or
+/// [`SmallVec::new`] + [`SmallVec::push`].
+pub struct SmallVec<T: Copy + Default, const N: usize>(Repr<T, N>);
+
+enum Repr<T: Copy + Default, const N: usize> {
+    Inline { len: u8, buf: [T; N] },
+    Spill(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty vector (inline; no allocation).
+    pub fn new() -> Self {
+        Self(Repr::Inline {
+            len: 0,
+            buf: [T::default(); N],
+        })
+    }
+
+    /// Copy a slice in, inline when it fits.
+    pub fn from_slice(s: &[T]) -> Self {
+        if s.len() <= N {
+            let mut buf = [T::default(); N];
+            buf[..s.len()].copy_from_slice(s);
+            Self(Repr::Inline {
+                len: s.len() as u8,
+                buf,
+            })
+        } else {
+            Self(Repr::Spill(s.to_vec()))
+        }
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// Append one element, spilling to the heap past `N`.
+    pub fn push(&mut self, value: T) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => {
+                let l = *len as usize;
+                if l < N {
+                    buf[l] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(&buf[..l]);
+                    v.push(value);
+                    self.0 = Repr::Spill(v);
+                }
+            }
+            Repr::Spill(v) => v.push(value),
+        }
+    }
+
+    /// True while the contents live inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            Repr::Inline { len, buf } => Self(Repr::Inline {
+                len: *len,
+                buf: *buf,
+            }),
+            Repr::Spill(v) => Self(Repr::Spill(v.clone())),
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for SmallVec<T, N> {
+    fn from(s: &[T]) -> Self {
+        Self::from_slice(s)
+    }
+}
+
+impl<T: Copy + Default, const N: usize, const M: usize> From<[T; M]> for SmallVec<T, N> {
+    fn from(a: [T; M]) -> Self {
+        Self::from_slice(&a)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for SmallVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        if v.len() <= N {
+            Self::from_slice(&v)
+        } else {
+            Self(Repr::Spill(v))
+        }
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<SmallVec<T, N>> for Vec<T> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<&[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for SmallVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + std::hash::Hash, const N: usize> std::hash::Hash for SmallVec<T, N> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// By-value iterator (no allocation for inline contents).
+pub struct IntoIter<T: Copy + Default, const N: usize> {
+    v: SmallVec<T, N>,
+    i: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        let s = self.v.as_slice();
+        if self.i < s.len() {
+            let out = s[self.i];
+            self.i += 1;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.v.len() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter { v: self, i: 0 }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type W = SmallVec<u64, 6>;
+
+    #[test]
+    fn empty_and_push_stay_inline_up_to_capacity() {
+        let mut v = W::new();
+        assert!(v.is_empty() && v.is_inline());
+        for i in 0..6 {
+            v.push(i);
+            assert!(v.is_inline(), "inline through {} elements", i + 1);
+        }
+        assert_eq!(v.len(), 6);
+        v.push(6);
+        assert!(!v.is_inline());
+        assert_eq!(v, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn from_slice_picks_repr_by_length() {
+        assert!(W::from_slice(&[1, 2, 3]).is_inline());
+        assert!(!W::from_slice(&[0; 7]).is_inline());
+        assert_eq!(W::from_slice(&[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_vec_inlines_short_vectors() {
+        assert!(W::from(vec![1, 2]).is_inline());
+        let long: Vec<u64> = (0..100).collect();
+        let sv = W::from(long.clone());
+        assert!(!sv.is_inline());
+        assert_eq!(sv, long);
+    }
+
+    #[test]
+    fn deref_eq_iter_and_index_work_like_a_slice() {
+        let v = W::from_slice(&[10, 20, 30]);
+        assert_eq!(v[1], 20);
+        assert_eq!(v.first(), Some(&10));
+        assert_eq!(v.iter().sum::<u64>(), 60);
+        let collected: Vec<u64> = v.clone().into_iter().collect();
+        assert_eq!(collected, vec![10, 20, 30]);
+        assert_eq!(v, [10u64, 20, 30]);
+        assert_eq!(v, &[10u64, 20, 30][..]);
+    }
+
+    #[test]
+    fn clone_of_inline_does_not_allocate_len_mismatch_not_equal() {
+        let v = W::from_slice(&[1]);
+        let c = v.clone();
+        assert!(c.is_inline());
+        assert_eq!(v, c);
+        assert_ne!(W::from_slice(&[1, 2]), vec![1]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v = W::from_slice(&[1, 2, 3]);
+        v[0] = 9;
+        assert_eq!(v, vec![9, 2, 3]);
+    }
+}

@@ -41,7 +41,7 @@ impl UdnEndpoint {
     /// # Panics
     /// Panics if the payload exceeds the 127-word hardware limit, the
     /// queue index is out of range, or `dest` is unknown.
-    pub fn send(&self, dest: usize, queue: usize, tag: u16, payload: Vec<u64>) {
+    pub fn send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
         assert!(queue < NUM_QUEUES, "queue {queue} out of range");
         assert!(dest < self.tx.len(), "unknown destination tile {dest}");
         let pkt = Packet::new(
@@ -69,7 +69,7 @@ impl UdnEndpoint {
     /// # Panics
     /// Same validation as [`send`](Self::send); also panics if the
     /// destination endpoint was dropped.
-    pub fn try_send(&self, dest: usize, queue: usize, tag: u16, payload: Vec<u64>) -> bool {
+    pub fn try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
         assert!(queue < NUM_QUEUES, "queue {queue} out of range");
         assert!(dest < self.tx.len(), "unknown destination tile {dest}");
         let pkt = Packet::new(
@@ -92,11 +92,11 @@ impl UdnEndpoint {
     /// payloads within the hardware limit).
     pub fn send_bulk(&self, dest: usize, queue: usize, tag: u16, words: &[u64]) {
         if words.is_empty() {
-            self.send(dest, queue, tag, Vec::new());
+            self.send(dest, queue, tag, &[]);
             return;
         }
         for chunk in words.chunks(MAX_PAYLOAD_WORDS) {
-            self.send(dest, queue, tag, chunk.to_vec());
+            self.send(dest, queue, tag, chunk);
         }
     }
 
@@ -157,7 +157,28 @@ pub struct UdnSender {
 }
 
 impl UdnSender {
-    pub fn send(&self, dest: usize, queue: usize, tag: u16, payload: Vec<u64>) {
+    /// Non-blocking send; `false` when the destination queue is full.
+    /// Wakeup broadcasts use this so an aborter can never stall on a
+    /// backed-up queue (whose receiver is not parked on empty anyway).
+    pub fn try_send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) -> bool {
+        assert!(queue < NUM_QUEUES, "queue {queue} out of range");
+        let pkt = Packet::new(
+            Header {
+                dest: dest as u16,
+                src: self.tile as u16,
+                queue: queue as u8,
+                tag,
+            },
+            payload,
+        );
+        match self.tx[dest][queue].try_send(pkt) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => false,
+            Err(TrySendError::Disconnected(_)) => panic!("UDN destination endpoint dropped"),
+        }
+    }
+
+    pub fn send(&self, dest: usize, queue: usize, tag: u16, payload: &[u64]) {
         assert!(queue < NUM_QUEUES, "queue {queue} out of range");
         let pkt = Packet::new(
             Header {
@@ -235,7 +256,7 @@ mod tests {
     #[test]
     fn point_to_point_delivery() {
         let eps = UdnFabric::new(4);
-        eps[0].send(3, 1, 7, vec![10, 20, 30]);
+        eps[0].send(3, 1, 7, &[10, 20, 30]);
         let p = eps[3].recv(1);
         assert_eq!(p.header.src, 0);
         assert_eq!(p.header.dest, 3);
@@ -246,8 +267,8 @@ mod tests {
     #[test]
     fn queues_do_not_cross() {
         let eps = UdnFabric::new(2);
-        eps[0].send(1, 0, 0, vec![1]);
-        eps[0].send(1, 2, 0, vec![2]);
+        eps[0].send(1, 0, 0, &[1]);
+        eps[0].send(1, 2, 0, &[2]);
         assert!(eps[1].try_recv(1).is_none());
         assert_eq!(eps[1].recv(2).payload, vec![2]);
         assert_eq!(eps[1].recv(0).payload, vec![1]);
@@ -257,7 +278,7 @@ mod tests {
     fn fifo_order_per_sender_per_queue() {
         let eps = UdnFabric::new(2);
         for i in 0..100u64 {
-            eps[0].send(1, 0, 0, vec![i]);
+            eps[0].send(1, 0, 0, &[i]);
         }
         for i in 0..100u64 {
             assert_eq!(eps[1].recv(0).payload, vec![i]);
@@ -267,7 +288,7 @@ mod tests {
     #[test]
     fn send_to_self_works() {
         let eps = UdnFabric::new(1);
-        eps[0].send(0, 0, 5, vec![9]);
+        eps[0].send(0, 0, 5, &[9]);
         assert_eq!(eps[0].recv(0).payload, vec![9]);
     }
 
@@ -309,9 +330,9 @@ mod tests {
         let e0 = eps.pop().unwrap();
         let t = std::thread::spawn(move || {
             let p = e1.recv(0);
-            e1.send(0, 0, 0, vec![p.payload[0] * 2]);
+            e1.send(0, 0, 0, &[p.payload[0] * 2]);
         });
-        e0.send(1, 0, 0, vec![21]);
+        e0.send(1, 0, 0, &[21]);
         assert_eq!(e0.recv(0).payload, vec![42]);
         t.join().unwrap();
     }
@@ -320,7 +341,7 @@ mod tests {
     fn sender_handle_sends_from_service_thread() {
         let eps = UdnFabric::new(2);
         let s = eps[0].sender();
-        std::thread::spawn(move || s.send(1, 3, 2, vec![5]))
+        std::thread::spawn(move || s.send(1, 3, 2, &[5]))
             .join()
             .unwrap();
         assert_eq!(eps[1].recv(3).payload, vec![5]);
@@ -330,7 +351,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_queue_send_panics() {
         let eps = UdnFabric::new(1);
-        eps[0].send(0, 4, 0, vec![]);
+        eps[0].send(0, 4, 0, &[]);
     }
 
     #[test]
@@ -340,11 +361,11 @@ mod tests {
         let e0 = eps.pop().unwrap();
         // Fill the queue, then show the next send blocks until the
         // receiver drains (sender thread + timing probe).
-        e0.send(1, 0, 0, vec![1]);
-        e0.send(1, 0, 0, vec![2]);
+        e0.send(1, 0, 0, &[1]);
+        e0.send(1, 0, 0, &[2]);
         let t = std::thread::spawn(move || {
             let t0 = std::time::Instant::now();
-            e0.send(1, 0, 0, vec![3]); // blocks: queue full
+            e0.send(1, 0, 0, &[3]); // blocks: queue full
             t0.elapsed()
         });
         std::thread::sleep(Duration::from_millis(50));
@@ -366,7 +387,7 @@ mod tests {
         let e0 = eps.pop().unwrap();
         let sender = std::thread::spawn(move || {
             for i in 0..500u64 {
-                e0.send(1, (i % 3) as usize, 0, vec![i]);
+                e0.send(1, (i % 3) as usize, 0, &[i]);
             }
         });
         let mut got = 0u64;
@@ -382,11 +403,11 @@ mod tests {
     #[test]
     fn try_send_reports_full_queue_without_blocking() {
         let eps = UdnFabric::new_bounded(2, 2);
-        assert!(eps[0].try_send(1, 0, 0, vec![1]));
-        assert!(eps[0].try_send(1, 0, 0, vec![2]));
-        assert!(!eps[0].try_send(1, 0, 0, vec![3])); // full, returns instead of stalling
+        assert!(eps[0].try_send(1, 0, 0, &[1]));
+        assert!(eps[0].try_send(1, 0, 0, &[2]));
+        assert!(!eps[0].try_send(1, 0, 0, &[3])); // full, returns instead of stalling
         assert_eq!(eps[1].recv(0).payload, vec![1]);
-        assert!(eps[0].try_send(1, 0, 0, vec![3])); // slot freed
+        assert!(eps[0].try_send(1, 0, 0, &[3])); // slot freed
     }
 
     #[test]

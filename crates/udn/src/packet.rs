@@ -10,6 +10,16 @@
 /// Hardware limit: 127 payload words per receiving demux queue slot.
 pub const MAX_PAYLOAD_WORDS: usize = 127;
 
+/// Words a payload can hold without touching the allocator. TSHMEM's
+/// protocol messages are at most six words (the strided service
+/// request), so every protocol hop stays inline; only bulk chunked
+/// transfers spill.
+pub const INLINE_PAYLOAD_WORDS: usize = 6;
+
+/// Packet payload storage: inline up to [`INLINE_PAYLOAD_WORDS`],
+/// heap-spilled beyond (see `substrate::smallvec`).
+pub type PayloadVec = substrate::smallvec::SmallVec<u64, INLINE_PAYLOAD_WORDS>;
+
 /// Each tile has four demultiplexing queues.
 pub const NUM_QUEUES: usize = 4;
 
@@ -48,15 +58,18 @@ impl Header {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Packet {
     pub header: Header,
-    pub payload: Vec<u64>,
+    pub payload: PayloadVec,
 }
 
 impl Packet {
-    /// Build a packet, validating the hardware payload limit.
+    /// Build a packet, validating the hardware payload limit. Protocol-
+    /// sized payloads (≤ [`INLINE_PAYLOAD_WORDS`] words) are stored
+    /// inline — no allocation.
     ///
     /// # Panics
     /// Panics if the payload exceeds [`MAX_PAYLOAD_WORDS`].
-    pub fn new(header: Header, payload: Vec<u64>) -> Self {
+    pub fn new(header: Header, payload: impl Into<PayloadVec>) -> Self {
+        let payload = payload.into();
         assert!(
             payload.len() <= MAX_PAYLOAD_WORDS,
             "UDN payload of {} words exceeds the {MAX_PAYLOAD_WORDS}-word demux queue limit",

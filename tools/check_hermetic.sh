@@ -47,6 +47,59 @@ for plan in 0x11 0x21 0x31; do
     done
 done
 
+echo "== perf smoke (native suite, hermetic, schema-checked) =="
+# The perf gate must *run* and emit well-formed JSON on every commit;
+# thresholds are reported (vs BENCH_native_baseline.json, when present)
+# but not enforced until a bench trajectory exists. --quick keeps the
+# smoke under a minute; full numbers come from the un-flagged run
+# documented in EXPERIMENTS.md.
+cargo build -q --release --offline -p microbench
+./target/release/microbench --native-suite --quick --out BENCH_native_smoke.json
+python3 - <<'PYEOF'
+import json, sys
+with open("BENCH_native_smoke.json") as f:
+    doc = json.load(f)
+for key in ("suite", "npes", "benchmarks", "traced_over_untraced"):
+    assert key in doc, f"BENCH_native_smoke.json missing key: {key}"
+assert doc["benchmarks"], "BENCH_native_smoke.json has no benchmarks"
+for name, b in doc["benchmarks"].items():
+    assert b.get("ns_per_op", 0) > 0, f"{name}: non-positive ns_per_op"
+try:
+    with open("BENCH_native.json") as f:
+        ref = json.load(f)["benchmarks"]
+    for name, b in doc["benchmarks"].items():
+        if name in ref and ref[name]["ns_per_op"] > 0:
+            r = b["ns_per_op"] / ref[name]["ns_per_op"]
+            print(f"  {name:24s} {b['ns_per_op']:12.1f} ns/op  ({r:5.2f}x of committed)")
+except FileNotFoundError:
+    print("  (no committed BENCH_native.json to compare against)")
+print("perf smoke: schema OK")
+PYEOF
+rm -f BENCH_native_smoke.json
+
+echo "== hot-path allocation allowlist (rma.rs / barrier.rs) =="
+# The RMA and barrier hot paths are allocation-free by design: any
+# `to_vec()` or `vec![` there must carry a `// cold:` justification on
+# the same line or one of the two lines above it.
+python3 - <<'PYEOF'
+import re, sys
+bad = []
+for path in ("crates/core/src/rma.rs", "crates/core/src/sync/barrier.rs"):
+    lines = open(path).read().splitlines()
+    for i, line in enumerate(lines):
+        if re.search(r'\.to_vec\(\)|vec!\[', line) and "// cold:" not in line:
+            context = lines[max(0, i - 2) : i]
+            if not any("// cold:" in c for c in context):
+                bad.append(f"{path}:{i + 1}: {line.strip()}")
+if bad:
+    print("FAIL: unjustified allocation in a hot path (add a `// cold:` comment):",
+          file=sys.stderr)
+    for b in bad:
+        print("  " + b, file=sys.stderr)
+    sys.exit(1)
+print("OK: rma.rs/barrier.rs allocations all carry `// cold:` justifications")
+PYEOF
+
 echo "== external-import scan (everything outside crates/bench) =="
 # crates/bench is excluded from the workspace and holds the only
 # permitted external dependency (criterion, behind --features
