@@ -27,9 +27,18 @@ impl ShmemCtx {
         set: ActiveSet,
     ) {
         match self.algos.broadcast {
+            // Past 64 members even the pull design serializes on the
+            // root's partition; upgrade the default to the two-level
+            // tree. Explicit choices (`Push`, `Binomial`) are honored.
+            BroadcastAlgo::Pull if set.size > crate::collectives::hier::FLAT_MAX => {
+                self.broadcast_hier(dest, source, nelems, root_rank, set)
+            }
             BroadcastAlgo::Pull => self.broadcast_pull(dest, source, nelems, root_rank, set),
             BroadcastAlgo::Push => self.broadcast_push(dest, source, nelems, root_rank, set),
             BroadcastAlgo::Binomial => self.broadcast_binomial(dest, source, nelems, root_rank, set),
+            BroadcastAlgo::Hierarchical => {
+                self.broadcast_hier(dest, source, nelems, root_rank, set)
+            }
         }
     }
 
@@ -105,7 +114,13 @@ impl ShmemCtx {
             let parent_vr = vr - (1 << k);
             let parent_pe = set.pe_at((parent_vr + root_rank) % n);
             let seq = self.next_seq(SEQ_PT2PT, parent_pe, self.my_pe());
-            self.flag_wait_ge(self.layout.pt2pt_flags, parent_pe, seq);
+            // Doubled convention, matching recursive-doubling reduce:
+            // the pairwise SEQ_PT2PT counter is shared with reduce's
+            // data/ack handshake, which writes flag values 2*seq and
+            // 2*seq+1. A plain `seq` wait here would be stale-satisfied
+            // by any prior reduce on the same pair (flag_wait_ge is >=),
+            // letting a child forward its not-yet-written dest buffer.
+            self.flag_wait_ge(self.layout.pt2pt_flags, parent_pe, 2 * seq);
         }
         // Forward to children: in round k, virtual ranks < 2^k send to
         // vr + 2^k.
@@ -121,7 +136,8 @@ impl ShmemCtx {
                     self.put_sym(dest, 0, &from, 0, nelems, child_pe);
                     self.quiet();
                     let seq = self.next_seq(SEQ_PT2PT, child_pe, self.my_pe());
-                    self.flag_set(child_pe, self.layout.pt2pt_flags, self.my_pe(), seq);
+                    // Doubled convention — see the parent-side wait.
+                    self.flag_set(child_pe, self.layout.pt2pt_flags, self.my_pe(), 2 * seq);
                 }
             } else if vr < 2 * span {
                 // We joined the senders after receiving in round k.
@@ -132,7 +148,7 @@ impl ShmemCtx {
     }
 
     /// Shared entry validation + barrier; returns this PE's rank.
-    fn collective_entry<T: Bits>(
+    pub(crate) fn collective_entry<T: Bits>(
         &self,
         source: &Sym<T>,
         nelems: usize,

@@ -1,0 +1,428 @@
+//! Hierarchical collectives for large active sets (the >64-PE scaling
+//! extension; the paper's TILE-Gx hardware stops at 36 tiles, but the
+//! M:N coop engine runs 256–1024 PEs, where every flat algorithm's
+//! serial root or O(n·log n) message volume collapses).
+//!
+//! Shape shared by barrier, reduce, and broadcast: ranks are grouped
+//! into clusters of [`CLUSTER`] consecutive ranks; rank `c·CLUSTER` is
+//! cluster `c`'s leader. An intra-cluster binomial tree funnels into the
+//! leader, the leaders run a flat log-depth exchange (dissemination for
+//! the barrier, recursive doubling for reduce, binomial for broadcast),
+//! and a binomial tree fans back down. Message volume drops from
+//! `n·⌈log₂ n⌉` to roughly `2n + nc·⌈log₂ nc⌉` with `nc = ⌈n/CLUSTER⌉`.
+//!
+//! Every point-to-point completion flag here lives on the pairwise
+//! `SEQ_PT2PT` counters, which are **shared** with recursive-doubling
+//! reduce's data/ack handshake. That handshake writes flag values
+//! `2*seq` and `2*seq + 1`, so every wait/set in this module uses the
+//! doubled convention too — a plain `seq` would be stale-satisfied by
+//! any earlier exchange on the same unordered pair (`flag_wait_ge` is
+//! `>=`).
+//!
+//! The cluster/tree arithmetic is kept in pure functions so the
+//! non-power-of-two cases (96 ranks → 3 clusters, 768 → 24) are testable
+//! without spawning a single thread.
+
+use crate::active_set::ActiveSet;
+use crate::ctx::{ShmemCtx, SEQ_PT2PT};
+use crate::symm::{Bits, Sym};
+use crate::types::{Reducible, ReduceOp};
+
+/// Largest set size served by the flat default algorithms; above this
+/// the dispatchers upgrade `Ring`/`Dissemination` barriers, `Pull`
+/// broadcasts, and `Naive` reductions to their hierarchical variants.
+pub(crate) const FLAT_MAX: usize = 64;
+
+/// Default cluster width. 32 keeps the intra-cluster trees at depth ≤5
+/// while 1024 PEs still make only 32 leaders for the flat exchange.
+pub(crate) const CLUSTER: usize = 32;
+
+/// Largest power of two `<= n`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub(crate) fn largest_pow2_le(n: usize) -> usize {
+    assert!(n > 0, "no power of two <= 0");
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Number of clusters covering `n` ranks at width `cs`.
+pub(crate) fn n_clusters(n: usize, cs: usize) -> usize {
+    n.div_ceil(cs)
+}
+
+/// Size of cluster `c` (the last cluster may be short).
+pub(crate) fn cluster_size(c: usize, cs: usize, n: usize) -> usize {
+    cs.min(n - c * cs)
+}
+
+/// Parent of node `lr` in the binomial *broadcast* tree rooted at 0:
+/// strip the highest set bit. Node `lr` receives in round
+/// `floor(log2 lr)` and forwards in every later round.
+///
+/// # Panics
+/// Panics if `lr == 0` (the root has no parent).
+pub(crate) fn bcast_parent(lr: usize) -> usize {
+    lr - largest_pow2_le(lr)
+}
+
+/// Parent of node `lr` in the binomial *gather* (reduction) tree rooted
+/// at 0: clear the lowest set bit. Node `lr` absorbs children
+/// `lr + 2^k` for `k < trailing_zeros(lr)` in ascending rounds, then
+/// sends upward once.
+///
+/// # Panics
+/// Panics if `lr == 0` (the root has no parent).
+pub(crate) fn gather_parent(lr: usize) -> usize {
+    assert!(lr > 0, "the gather root has no parent");
+    lr & (lr - 1)
+}
+
+/// Rounds of the dissemination barrier over `n` members: `⌈log₂ n⌉`.
+pub(crate) fn diss_rounds(n: usize) -> u32 {
+    assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+impl ShmemCtx {
+    /// Hierarchical reduction with the default cluster width (explicit,
+    /// like [`ShmemCtx::reduce_naive`] and friends; also what the
+    /// dispatcher selects for >64-member sets).
+    pub fn reduce_hier<T: Reducible>(
+        &self,
+        op: ReduceOp,
+        dest: &Sym<T>,
+        source: &Sym<T>,
+        nreduce: usize,
+        set: ActiveSet,
+        rank: usize,
+    ) {
+        self.reduce_hier_with(op, dest, source, nreduce, set, rank, CLUSTER);
+    }
+
+    /// [`ShmemCtx::reduce_hier`] with an explicit cluster width, so the
+    /// equivalence suite can exercise odd cluster geometries on small
+    /// sets.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_hier_with<T: Reducible>(
+        &self,
+        op: ReduceOp,
+        dest: &Sym<T>,
+        source: &Sym<T>,
+        nreduce: usize,
+        set: ActiveSet,
+        rank: usize,
+        cs: usize,
+    ) {
+        assert!(cs > 0, "cluster width must be positive");
+        self.barrier(set);
+        let n = set.size;
+        let me = self.my_pe();
+        // Seed the accumulator with our own contribution.
+        self.put_sym(dest, 0, source, 0, nreduce, me);
+        let c = rank / cs;
+        let lr = rank % cs;
+        let m = cluster_size(c, cs, n);
+        let nc = n_clusters(n, cs);
+
+        // Phase 1: binomial fold into the cluster leader. In round k a
+        // node whose low k+1 bits read 10…0 pushes its accumulator to
+        // the gather parent; nodes with low bits 0…0 absorb.
+        let mut span = 1usize;
+        while span < m {
+            if lr % (2 * span) == span {
+                debug_assert_eq!(gather_parent(lr), lr - span);
+                self.fold_into(dest, nreduce, set.pe_at(c * cs + lr - span));
+                break;
+            }
+            if lr.is_multiple_of(2 * span) && lr + span < m {
+                self.fold_from(op, dest, nreduce, set.pe_at(c * cs + lr + span));
+            }
+            span <<= 1;
+        }
+
+        // Phase 2: recursive doubling across the leaders, with the
+        // non-power-of-two excess folded into the power-of-two core
+        // first (the same scheme as the flat RD reduce — audited at
+        // nc = 3 and 24 by the unit tests below).
+        if lr == 0 && nc > 1 {
+            let p2 = largest_pow2_le(nc);
+            if c >= p2 {
+                let partner = set.pe_at((c - p2) * cs);
+                self.fold_into(dest, nreduce, partner);
+                let seq = self.next_seq(SEQ_PT2PT, partner, me);
+                // Doubled convention — see the module docs.
+                self.flag_wait_ge(self.layout.pt2pt_flags, partner, 2 * seq);
+            } else {
+                if c + p2 < nc {
+                    self.fold_from(op, dest, nreduce, set.pe_at((c + p2) * cs));
+                }
+                let mut k = 1usize;
+                while k < p2 {
+                    self.exchange_combine(op, dest, nreduce, set.pe_at((c ^ k) * cs));
+                    k <<= 1;
+                }
+                if c + p2 < nc {
+                    let partner = set.pe_at((c + p2) * cs);
+                    self.put_sym(dest, 0, dest, 0, nreduce, partner);
+                    self.quiet();
+                    let seq = self.next_seq(SEQ_PT2PT, partner, me);
+                    self.flag_set(partner, self.layout.pt2pt_flags, me, 2 * seq);
+                }
+            }
+        }
+
+        // Phase 3: binomial push-down of the finished result inside each
+        // cluster (broadcast tree — different edges than the gather
+        // tree, which is fine: the pairwise counters order each pair
+        // independently).
+        if lr > 0 {
+            let parent_pe = set.pe_at(c * cs + bcast_parent(lr));
+            let seq = self.next_seq(SEQ_PT2PT, parent_pe, me);
+            self.flag_wait_ge(self.layout.pt2pt_flags, parent_pe, 2 * seq);
+        }
+        let mut span = 1usize;
+        while span < m {
+            if lr < span && lr + span < m {
+                let child_pe = set.pe_at(c * cs + lr + span);
+                self.put_sym(dest, 0, dest, 0, nreduce, child_pe);
+                self.quiet();
+                let seq = self.next_seq(SEQ_PT2PT, child_pe, me);
+                self.flag_set(child_pe, self.layout.pt2pt_flags, me, 2 * seq);
+            }
+            span <<= 1;
+        }
+        self.barrier(set);
+    }
+
+    /// Hierarchical broadcast with the default cluster width.
+    pub fn broadcast_hier<T: Bits>(
+        &self,
+        dest: &Sym<T>,
+        source: &Sym<T>,
+        nelems: usize,
+        root_rank: usize,
+        set: ActiveSet,
+    ) {
+        self.broadcast_hier_with(dest, source, nelems, root_rank, set, CLUSTER);
+    }
+
+    /// [`ShmemCtx::broadcast_hier`] with an explicit cluster width.
+    ///
+    /// Ranks are rotated so the root is virtual rank 0 — the leader of
+    /// cluster 0 and the root of both tree levels. Per the OpenSHMEM
+    /// spec the root's `dest` is never written: virtual rank 0 has no
+    /// parent in either tree and forwards straight from `source`.
+    #[doc(hidden)]
+    pub fn broadcast_hier_with<T: Bits>(
+        &self,
+        dest: &Sym<T>,
+        source: &Sym<T>,
+        nelems: usize,
+        root_rank: usize,
+        set: ActiveSet,
+        cs: usize,
+    ) {
+        assert!(cs > 0, "cluster width must be positive");
+        let rank = self.collective_entry(source, nelems, root_rank, set);
+        let n = set.size;
+        let me = self.my_pe();
+        let vr = (rank + n - root_rank) % n;
+        let c = vr / cs;
+        let lvr = vr % cs;
+        let m = cluster_size(c, cs, n);
+        let nc = n_clusters(n, cs);
+        let pe_of_v = |v: usize| set.pe_at((v + root_rank) % n);
+
+        // Phase A: binomial tree over the cluster leaders, rooted at
+        // the root's cluster.
+        if lvr == 0 {
+            if c > 0 {
+                let parent_pe = pe_of_v(bcast_parent(c) * cs);
+                let seq = self.next_seq(SEQ_PT2PT, parent_pe, me);
+                // Doubled convention — see the module docs.
+                self.flag_wait_ge(self.layout.pt2pt_flags, parent_pe, 2 * seq);
+            }
+            let from: Sym<T> = if vr == 0 { *source } else { *dest };
+            let mut span = 1usize;
+            while span < nc {
+                if c < span && c + span < nc {
+                    let child_pe = pe_of_v((c + span) * cs);
+                    assert!(nelems <= dest.len(), "broadcast dest too small");
+                    self.put_sym(dest, 0, &from, 0, nelems, child_pe);
+                    self.quiet();
+                    let seq = self.next_seq(SEQ_PT2PT, child_pe, me);
+                    self.flag_set(child_pe, self.layout.pt2pt_flags, me, 2 * seq);
+                }
+                span <<= 1;
+            }
+        } else {
+            let parent_pe = pe_of_v(c * cs + bcast_parent(lvr));
+            let seq = self.next_seq(SEQ_PT2PT, parent_pe, me);
+            self.flag_wait_ge(self.layout.pt2pt_flags, parent_pe, 2 * seq);
+        }
+
+        // Phase B: binomial tree down each cluster from its leader.
+        let from: Sym<T> = if vr == 0 { *source } else { *dest };
+        let mut span = 1usize;
+        while span < m {
+            if lvr < span && lvr + span < m {
+                let child_pe = pe_of_v(c * cs + lvr + span);
+                assert!(nelems <= dest.len(), "broadcast dest too small");
+                self.put_sym(dest, 0, &from, 0, nelems, child_pe);
+                self.quiet();
+                let seq = self.next_seq(SEQ_PT2PT, child_pe, me);
+                self.flag_set(child_pe, self.layout.pt2pt_flags, me, 2 * seq);
+            }
+            span <<= 1;
+        }
+        self.barrier(set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn largest_pow2_le_matches_naive_scan() {
+        for n in 1..=1025usize {
+            let mut p = 1usize;
+            while p * 2 <= n {
+                p *= 2;
+            }
+            assert_eq!(largest_pow2_le(n), p, "n={n}");
+        }
+        assert_eq!(largest_pow2_le(768), 512);
+        assert_eq!(largest_pow2_le(1024), 1024);
+    }
+
+    #[test]
+    fn cluster_geometry_covers_every_rank_exactly_once() {
+        for (n, cs) in [(96, 32), (768, 32), (1024, 32), (96, 7), (65, 64), (5, 8)] {
+            let nc = n_clusters(n, cs);
+            let total: usize = (0..nc).map(|c| cluster_size(c, cs, n)).sum();
+            assert_eq!(total, n, "n={n} cs={cs}");
+            for c in 0..nc {
+                let m = cluster_size(c, cs, n);
+                assert!(m >= 1 && m <= cs, "n={n} cs={cs} c={c} m={m}");
+            }
+            assert_eq!(n_clusters(96, 32), 3);
+            assert_eq!(n_clusters(768, 32), 24);
+        }
+    }
+
+    #[test]
+    fn diss_rounds_is_ceil_log2() {
+        assert_eq!(diss_rounds(1), 0);
+        assert_eq!(diss_rounds(2), 1);
+        assert_eq!(diss_rounds(3), 2);
+        assert_eq!(diss_rounds(24), 5);
+        assert_eq!(diss_rounds(32), 5);
+        for n in 1..=1024usize {
+            let r = diss_rounds(n);
+            let mut dist = 1usize;
+            let mut rounds = 0;
+            while dist < n {
+                dist <<= 1;
+                rounds += 1;
+            }
+            assert_eq!(r, rounds, "n={n}");
+        }
+    }
+
+    /// Replay the broadcast tree exactly as the production loops walk
+    /// it and check every node is reached exactly once, from a parent
+    /// that [`bcast_parent`] agrees on.
+    #[test]
+    fn bcast_tree_reaches_every_node_once() {
+        let sizes = (1..=70usize).chain([96, 768, 1024]);
+        for m in sizes {
+            let mut from = vec![usize::MAX; m]; // cold: test harness
+            from[0] = 0;
+            let mut span = 1usize;
+            while span < m {
+                for lr in 0..span.min(m) {
+                    if lr + span < m {
+                        assert_ne!(from[lr], usize::MAX, "m={m}: {lr} sends before reached");
+                        assert_eq!(from[lr + span], usize::MAX, "m={m}: {} reached twice", lr + span);
+                        from[lr + span] = lr;
+                    }
+                }
+                span <<= 1;
+            }
+            for (lr, &f) in from.iter().enumerate().skip(1) {
+                assert_eq!(f, bcast_parent(lr), "m={m} lr={lr}");
+                assert!(bcast_parent(lr) < lr);
+            }
+        }
+    }
+
+    /// Replay the gather tree: every non-root sends exactly once, to
+    /// [`gather_parent`], and the receiver-side round condition accepts
+    /// exactly those sends.
+    #[test]
+    fn gather_tree_funnels_every_node_into_the_root() {
+        let sizes = (1..=70usize).chain([96, 768, 1024]);
+        for m in sizes {
+            let mut sent_to = vec![usize::MAX; m]; // cold: test harness
+            let mut recv_count = vec![0usize; m]; // cold: test harness
+            for lr in 0..m {
+                let mut span = 1usize;
+                while span < m {
+                    if lr % (2 * span) == span {
+                        sent_to[lr] = lr - span;
+                        break;
+                    }
+                    if lr % (2 * span) == 0 && lr + span < m {
+                        recv_count[lr] += 1;
+                    }
+                    span <<= 1;
+                }
+            }
+            assert_eq!(sent_to[0], usize::MAX, "m={m}: root must not send");
+            for (lr, &s) in sent_to.iter().enumerate().skip(1) {
+                assert_eq!(s, gather_parent(lr), "m={m} lr={lr}");
+            }
+            for (parent, &rc) in recv_count.iter().enumerate() {
+                let children = (0..m).filter(|&l| l > 0 && sent_to[l] == parent).count();
+                assert_eq!(rc, children, "m={m} parent={parent}");
+            }
+            assert_eq!(recv_count.iter().sum::<usize>(), m.saturating_sub(1));
+        }
+    }
+
+    /// Simulate the leader-phase recursive doubling (excess fold, XOR
+    /// rounds, push-back) on contributor *sets* and check every leader
+    /// ends with all contributions — the non-power-of-two audit at the
+    /// leader counts the 96/768/1024-PE jobs actually produce.
+    #[test]
+    fn leader_recursive_doubling_combines_all_contributions() {
+        for nc in (1..=33usize).chain([n_clusters(96, 32), n_clusters(768, 32), 24, 48]) {
+            let mut have: Vec<u128> = (0..nc).map(|c| 1u128 << c).collect(); // cold: test harness
+            let p2 = largest_pow2_le(nc);
+            // Excess leaders fold into the core.
+            for c in p2..nc {
+                have[c - p2] |= have[c];
+            }
+            // XOR rounds within the power-of-two core.
+            let mut k = 1usize;
+            while k < p2 {
+                let snapshot = have.clone(); // cold: test harness
+                for c in 0..p2 {
+                    have[c] |= snapshot[c ^ k];
+                }
+                k <<= 1;
+            }
+            // Push-back to the excess.
+            for c in p2..nc {
+                have[c] = have[c - p2];
+            }
+            let all = (1u128 << nc) - 1;
+            for (c, h) in have.iter().enumerate() {
+                assert_eq!(*h, all, "nc={nc} leader {c} missing contributions");
+            }
+        }
+    }
+}

@@ -3,4 +3,5 @@
 
 pub mod broadcast;
 pub mod collect;
+pub mod hier;
 pub mod reduce;

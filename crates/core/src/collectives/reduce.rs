@@ -40,10 +40,17 @@ impl ShmemCtx {
             .unwrap_or_else(|| panic!("PE {} not in active set", self.my_pe()));
         self.stats.borrow_mut().collectives += 1;
         match self.algos.reduce {
+            // Past 64 PEs the serialized baseline collapses; upgrade the
+            // default to the two-level tree. Explicit algorithm choices
+            // (`RecursiveDoubling`) are honored as configured.
+            ReduceAlgo::Naive if set.size > crate::collectives::hier::FLAT_MAX => {
+                self.reduce_hier(op, dest, source, nreduce, set, rank)
+            }
             ReduceAlgo::Naive => self.reduce_naive(op, dest, source, nreduce, set, rank),
             ReduceAlgo::RecursiveDoubling => {
                 self.reduce_recursive_doubling(op, dest, source, nreduce, set, rank)
             }
+            ReduceAlgo::Hierarchical => self.reduce_hier(op, dest, source, nreduce, set, rank),
         }
     }
 
@@ -99,7 +106,7 @@ impl ShmemCtx {
     ) {
         self.barrier(set);
         let n = set.size;
-        let p2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
+        let p2 = crate::collectives::hier::largest_pow2_le(n);
         // Start with our own contribution in dest.
         let me = self.my_pe();
         self.put_sym(dest, 0, source, 0, nreduce, me);
@@ -141,7 +148,7 @@ impl ShmemCtx {
     /// rounds, so each sender writes a disjoint slot of the receiver's
     /// temp — otherwise a fast PE's round-N chunk could clobber its
     /// partner's unconsumed round-(N-1) data from another sender.
-    fn temp_slot_sym<T: Reducible>(&self, sender_pe: usize) -> Sym<T> {
+    pub(crate) fn temp_slot_sym<T: Reducible>(&self, sender_pe: usize) -> Sym<T> {
         let slot_bytes = (self.layout.temp_bytes / self.layout.npes) & !7;
         let cap = slot_bytes / std::mem::size_of::<T>();
         assert!(
@@ -161,7 +168,7 @@ impl ShmemCtx {
     /// chunk, with a data/ack handshake per chunk so the temp buffer is
     /// never overwritten before the partner consumed it. Flag values:
     /// `2*seq` = data ready, `2*seq + 1` = consumed.
-    fn fold_into<T: Reducible>(&self, dest: &Sym<T>, nreduce: usize, partner: usize) {
+    pub(crate) fn fold_into<T: Reducible>(&self, dest: &Sym<T>, nreduce: usize, partner: usize) {
         let me = self.my_pe();
         let temp = self.temp_slot_sym::<T>(me);
         let cap = temp.len();
@@ -178,7 +185,13 @@ impl ShmemCtx {
     }
 
     /// Receiving side of [`fold_into`].
-    fn fold_from<T: Reducible>(&self, op: ReduceOp, dest: &Sym<T>, nreduce: usize, partner: usize) {
+    pub(crate) fn fold_from<T: Reducible>(
+        &self,
+        op: ReduceOp,
+        dest: &Sym<T>,
+        nreduce: usize,
+        partner: usize,
+    ) {
         let me = self.my_pe();
         let temp = self.temp_slot_sym::<T>(partner);
         let cap = temp.len();
@@ -196,7 +209,7 @@ impl ShmemCtx {
     /// Full-duplex exchange: both partners push the current accumulator
     /// chunk into each other's temp, combine, and ack. Both sides bump
     /// the pairwise sequence once per chunk, so values agree.
-    fn exchange_combine<T: Reducible>(
+    pub(crate) fn exchange_combine<T: Reducible>(
         &self,
         op: ReduceOp,
         dest: &Sym<T>,

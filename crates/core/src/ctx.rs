@@ -29,6 +29,10 @@ pub enum BarrierAlgo {
     /// signals (an extension beyond the paper; the classic
     /// low-latency software barrier).
     Dissemination,
+    /// Two-level barrier for large sets: per-cluster binomial gather,
+    /// dissemination across cluster leaders, binomial release. Selected
+    /// automatically over the flat defaults when the set exceeds 64 PEs.
+    Hierarchical,
 }
 
 /// Broadcast algorithm selection (Figures 9–10 and Section IV-E).
@@ -41,6 +45,10 @@ pub enum BroadcastAlgo {
     Push,
     /// Binomial tree (listed as future work in the paper).
     Binomial,
+    /// Two-level tree for large sets: root to cluster leaders, then
+    /// leaders down their clusters. Selected automatically over `Pull`
+    /// when the set exceeds 64 PEs.
+    Hierarchical,
 }
 
 /// Reduction algorithm selection (Figure 12 and Section IV-E).
@@ -52,6 +60,11 @@ pub enum ReduceAlgo {
     Naive,
     /// Recursive doubling (listed as future work in the paper).
     RecursiveDoubling,
+    /// Two-level reduction for large sets: per-cluster binomial fold
+    /// into the leader, recursive doubling across leaders, binomial
+    /// push-down. Selected automatically over `Naive` when the set
+    /// exceeds 64 PEs.
+    Hierarchical,
 }
 
 /// Algorithm configuration for one launch.

@@ -7,13 +7,17 @@
 //!   paper-figure harness runs on.
 //! * [`multichip`] — the timed engine spanning several simulated chips
 //!   connected by mPIPE links (the paper's Section VI future work).
+//! * [`coop`] — the native data plane multiplexed M:N (N PEs over M
+//!   worker threads, wall-clock time), for 256–1024-PE scaling runs an
+//!   order of magnitude past the host's core count.
 //!
-//! All three are instantiations of one contract: [`backend`] defines
+//! All four are instantiations of one contract: [`backend`] defines
 //! [`backend::EngineBackend`], consumed by the generic
 //! [`Launcher`](crate::runtime::Launcher), so liveness watchdogs, the
 //! fault plane, per-PE probes, and trace collection apply uniformly.
 
 pub mod backend;
+pub mod coop;
 pub mod multichip;
 pub mod native;
 pub mod timed;

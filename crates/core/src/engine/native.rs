@@ -123,6 +123,28 @@ impl NativeShared {
     }
 }
 
+impl crate::watch::WallShared for NativeShared {
+    fn npes(&self) -> usize {
+        self.npes
+    }
+
+    fn probes(&self) -> &[Arc<PeProbe>] {
+        &self.probes
+    }
+
+    fn service_probes(&self) -> &[Arc<PeProbe>] {
+        &self.service_probes
+    }
+
+    fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    fn abort_job(&self) {
+        self.abort();
+    }
+}
+
 /// Per-PE native fabric. Cloning shares the same endpoint queues — the
 /// interrupt-service thread runs on a clone and consumes only
 /// [`Q_SERVICE`].

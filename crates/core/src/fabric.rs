@@ -91,6 +91,12 @@ pub enum BlockedOn {
     /// `service_loop` for the duration of the handler so a stall inside
     /// the handler is attributed to the handler, not its clients.
     Handler { tag: u16, src: usize },
+    /// Runnable but not scheduled: the cooperative M:N engine parks a
+    /// context here while it waits for a worker slot. The wall-clock
+    /// watchdog must not count a descheduled PE as a livelock suspect —
+    /// it is making no progress only because M < N, not because its
+    /// protocol is wedged.
+    Descheduled,
 }
 
 impl BlockedOn {
@@ -106,6 +112,7 @@ impl BlockedOn {
             BlockedOn::FlagWait { offset } => (3 << 56) | offset as u64,
             BlockedOn::LockWait { offset } => (4 << 56) | offset as u64,
             BlockedOn::Handler { tag, src } => (5 << 56) | ((tag as u64) << 24) | src as u64,
+            BlockedOn::Descheduled => 6 << 56,
         }
     }
 
@@ -123,6 +130,7 @@ impl BlockedOn {
                 tag: ((lo >> 24) & 0xffff) as u16,
                 src: (lo & 0xff_ffff) as usize,
             },
+            6 => BlockedOn::Descheduled,
             _ => BlockedOn::Running,
         }
     }
@@ -139,6 +147,7 @@ impl std::fmt::Display for BlockedOn {
             BlockedOn::Handler { tag, src } => {
                 write!(f, "handler({} from PE {src})", crate::service::tag_name(*tag))
             }
+            BlockedOn::Descheduled => write!(f, "descheduled (runnable)"),
         }
     }
 }
@@ -396,6 +405,7 @@ mod tests {
             BlockedOn::LockWait { offset: 8 },
             BlockedOn::Handler { tag: 0xfffe, src: 255 },
             BlockedOn::Handler { tag: 1, src: 0 },
+            BlockedOn::Descheduled,
         ];
         let probe = PeProbe::new();
         for s in states {

@@ -49,12 +49,14 @@
 //! | **OpenSHMEM library (this crate)** | `tshmem` |
 //!
 //! Protocol code is written once against [`fabric::Fabric`] and runs on
-//! three engines behind one [`runtime::Launcher`]: native
-//! ([`runtime::launch`] — real threads, wall time), timed
-//! ([`runtime::launch_timed`] — virtual time with calibrated Tilera
-//! costs, used to regenerate the paper's figures), and multichip
-//! ([`runtime::launch_multichip`] — several simulated chips over mPIPE
-//! links). Liveness watchdogs, the seeded fault plane, per-PE probes,
+//! four engines behind one [`runtime::Launcher`]: native
+//! ([`runtime::launch`] — real threads, wall time), coop
+//! ([`runtime::launch_coop`] — the native data plane multiplexed M:N
+//! for 256–1024-PE scaling runs), timed ([`runtime::launch_timed`] —
+//! virtual time with calibrated Tilera costs, used to regenerate the
+//! paper's figures), and multichip ([`runtime::launch_multichip`] —
+//! several simulated chips over mPIPE links). Liveness watchdogs, the
+//! seeded fault plane, per-PE probes,
 //! and trace collection compose uniformly over any engine (see
 //! [`engine::backend`]).
 
@@ -82,11 +84,13 @@ pub use ctx::{Algorithms, BarrierAlgo, BroadcastAlgo, HomingHint, ReduceAlgo, Sh
 pub use engine::backend::{
     EngineBackend, EngineOutcome, MultiChipBackend, NativeBackend, TimedBackend, WatchPlane,
 };
+pub use engine::coop::CoopBackend;
 pub use fabric::{BlockedOn, PeProbe};
 pub use fault::{Fault, FaultPlan};
 pub use runtime::{
-    launch, launch_multichip, launch_multichip_watched, launch_timed, launch_timed_watched,
-    launch_watched, start_pes, Launcher, RuntimeConfig, TimedOutcome,
+    launch, launch_coop, launch_coop_watched, launch_multichip, launch_multichip_watched,
+    launch_timed, launch_timed_watched, launch_watched, start_pes, Launcher, RuntimeConfig,
+    TimedOutcome,
 };
 pub use watch::{JobWatch, PeCounters, TimedWatch};
 pub use symm::{AddrClass, Bits, Sym};

@@ -24,6 +24,7 @@ use crate::ctx::{Algorithms, Layout, ShmemCtx};
 use crate::engine::backend::{
     EngineBackend, EngineOutcome, MultiChipBackend, NativeBackend, TimedBackend, WatchPlane,
 };
+use crate::engine::coop::CoopBackend;
 use crate::watch::{JobWatch, TimedWatch};
 
 /// Configuration of one SHMEM job.
@@ -73,6 +74,27 @@ impl RuntimeConfig {
             algos: Algorithms::default(),
             udn_queue_packets: None,
             trace: false,
+        }
+    }
+
+    /// Defaults for a PE count, picking the smallest device that fits:
+    /// the TILE-Gx8036 up to 36 PEs, the TILEPro64 up to 64, and the
+    /// hypothetical 1024-tile [`Device::tile_gx_scaled`] beyond that
+    /// (the cooperative engine's scaling-study regime). Past 64 PEs the
+    /// per-partition defaults shrink (256 kB partitions, 64 kB private
+    /// segments) so a 1024-PE arena stays a few hundred MB, and the
+    /// temp region grows with the PE count so recursive doubling's
+    /// per-sender temp slots (8 bytes minimum each) still fit.
+    pub fn for_scale(npes: usize) -> Self {
+        if npes <= 36 {
+            Self::new(npes)
+        } else if npes <= 64 {
+            Self::for_device(Device::tilepro64(), npes)
+        } else {
+            Self::for_device(Device::tile_gx_scaled(), npes)
+                .with_partition_bytes(256 * 1024)
+                .with_private_bytes(64 * 1024)
+                .with_temp_bytes((16 * 1024).max(8 * npes))
         }
     }
 
@@ -324,6 +346,38 @@ where
         .with_watch(WatchPlane::Coop(watch.clone()))
         .run_watched(f)
         .map(Into::into)
+}
+
+/// Run `f` on every PE with the **cooperative M:N** engine: `cfg.npes`
+/// PEs (up to 1024) multiplexed over `workers` worker threads
+/// (`0` = auto), real shared memory, wall time. The engine for scaling
+/// runs an order of magnitude past the host's core count; see
+/// [`crate::engine::coop`] for the scheduling contract.
+///
+/// Thin shim over [`Launcher`] with [`CoopBackend`].
+pub fn launch_coop<R, F>(cfg: &RuntimeConfig, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
+{
+    Launcher::new(cfg, CoopBackend { workers }).run(f).values
+}
+
+/// [`launch_coop`] with a [`JobWatch`] attached — the same wall-clock
+/// watchdog as [`launch_watched`]. The watch reports the launch's
+/// oversubscription factor (`JobWatch::oversubscription`), which an
+/// external stall monitor must multiply into its window: a
+/// descheduled-but-runnable PE progresses `2N/M` times slower without
+/// being any less live.
+pub fn launch_coop_watched<R, F>(cfg: &RuntimeConfig, workers: usize, watch: &JobWatch, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ShmemCtx) -> R + Send + Sync,
+{
+    Launcher::new(cfg, CoopBackend { workers })
+        .with_watch(WatchPlane::Native(watch))
+        .run(f)
+        .values
 }
 
 /// `start_pes()`-flavored convenience: run with `npes` PEs on the

@@ -9,6 +9,7 @@
 //! selectable for the ablation study.
 
 use crate::active_set::ActiveSet;
+use crate::collectives::hier;
 use crate::ctx::{BarrierAlgo, ShmemCtx};
 use crate::fabric::{BlockedOn, ProtoMsg, Q_BARRIER};
 
@@ -20,6 +21,12 @@ pub const TAG_BAR_RELEASE: u16 = 11;
 pub const TAG_BAR_ARRIVE: u16 = 12;
 /// Round signal of the dissemination barrier.
 pub const TAG_BAR_DISS: u16 = 13;
+/// Cluster-gather signal of the hierarchical barrier.
+pub const TAG_BAR_HGATHER: u16 = 14;
+/// Leader-dissemination round signal of the hierarchical barrier.
+pub const TAG_BAR_HDISS: u16 = 15;
+/// Cluster-release signal of the hierarchical barrier.
+pub const TAG_BAR_HRELEASE: u16 = 16;
 
 impl ShmemCtx {
     /// Barrier across all PEs (`shmem_barrier_all`).
@@ -44,10 +51,17 @@ impl ShmemCtx {
             return;
         }
         match self.algos.barrier {
+            // Past 64 members the flat defaults pay n·⌈log₂ n⌉ (or 2n
+            // serial) hops; upgrade them to the two-level tree. The
+            // explicitly non-default choices are honored as configured.
+            BarrierAlgo::Ring | BarrierAlgo::Dissemination if set.size > hier::FLAT_MAX => {
+                self.barrier_hier(set, rank, hier::CLUSTER)
+            }
             BarrierAlgo::Ring => self.barrier_ring(set, rank),
             BarrierAlgo::RootBroadcast => self.barrier_root_broadcast(set, rank),
             BarrierAlgo::TmcSpin => self.fab.tmc_spin_barrier(set.triplet()),
             BarrierAlgo::Dissemination => self.barrier_dissemination(set, rank),
+            BarrierAlgo::Hierarchical => self.barrier_hier(set, rank, hier::CLUSTER),
         }
     }
 
@@ -76,6 +90,90 @@ impl ShmemCtx {
         self.fab.quiet();
         if set.size > 1 {
             self.barrier_dissemination(set, rank);
+        }
+    }
+
+    /// Explicit hierarchical barrier (for the scaling benches).
+    pub fn barrier_hier_explicit(&self, set: ActiveSet) {
+        self.barrier_hier_with(set, hier::CLUSTER);
+    }
+
+    /// [`ShmemCtx::barrier_hier_explicit`] with an explicit cluster
+    /// width, so the equivalence suite can exercise odd geometries on
+    /// small sets.
+    #[doc(hidden)]
+    pub fn barrier_hier_with(&self, set: ActiveSet, cs: usize) {
+        assert!(cs > 0, "cluster width must be positive");
+        let rank = set.rank_of(self.my_pe()).expect("not in set");
+        self.fab.quiet();
+        if set.size > 1 {
+            self.barrier_hier(set, rank, cs);
+        }
+    }
+
+    /// Two-level barrier: binomial gather to each cluster leader,
+    /// dissemination across the `⌈n/cs⌉` leaders, binomial release back
+    /// down. Per edge and instance at most one token is outstanding, and
+    /// gather/release tokens from the same sender are interchangeable
+    /// across consecutive barriers (a later instance's token is strictly
+    /// stronger evidence of arrival), so the `[id]`-only payload is safe
+    /// under [`ShmemCtx::recv_matching`]'s stashing — the same argument
+    /// as the flat dissemination rounds.
+    fn barrier_hier(&self, set: ActiveSet, rank: usize, cs: usize) {
+        let id = set.ident();
+        let n = set.size;
+        let c = rank / cs;
+        let lr = rank % cs;
+        let m = hier::cluster_size(c, cs, n);
+        let nc = hier::n_clusters(n, cs);
+
+        // Gather: binomial reduction tree into the cluster leader.
+        let mut span = 1usize;
+        while span < m {
+            if lr % (2 * span) == span {
+                let parent = set.pe_at(c * cs + lr - span);
+                self.send_draining(parent, Q_BARRIER, TAG_BAR_HGATHER, &[id]);
+                break;
+            }
+            if lr.is_multiple_of(2 * span) && lr + span < m {
+                self.recv_matching(Q_BARRIER, |msg: &ProtoMsg| {
+                    msg.tag == TAG_BAR_HGATHER && msg.payload.first() == Some(&id)
+                });
+            }
+            span <<= 1;
+        }
+
+        // Leaders: flat dissemination over the clusters.
+        if lr == 0 && nc > 1 {
+            let mut dist = 1usize;
+            let mut round = 0u64;
+            while dist < nc {
+                let to = set.pe_at(((c + dist) % nc) * cs);
+                self.send_draining(to, Q_BARRIER, TAG_BAR_HDISS, &[id, round]);
+                self.recv_matching(Q_BARRIER, |msg: &ProtoMsg| {
+                    msg.tag == TAG_BAR_HDISS
+                        && msg.payload.first() == Some(&id)
+                        && msg.payload.get(1) == Some(&round)
+                });
+                dist <<= 1;
+                round += 1;
+            }
+            debug_assert_eq!(round, u64::from(hier::diss_rounds(nc)));
+        }
+
+        // Release: binomial broadcast tree back down the cluster.
+        if lr > 0 {
+            self.recv_matching(Q_BARRIER, |msg: &ProtoMsg| {
+                msg.tag == TAG_BAR_HRELEASE && msg.payload.first() == Some(&id)
+            });
+        }
+        let mut span = 1usize;
+        while span < m {
+            if lr < span && lr + span < m {
+                let child = set.pe_at(c * cs + lr + span);
+                self.send_draining(child, Q_BARRIER, TAG_BAR_HRELEASE, &[id]);
+            }
+            span <<= 1;
         }
     }
 

@@ -33,9 +33,28 @@ use udn::fabric::UdnEndpoint;
 use udn::NUM_QUEUES;
 
 use crate::engine::backend::CoopCore;
-use crate::engine::native::NativeShared;
-use crate::fabric::PeProbe;
-use crate::trace::TraceEvent;
+use crate::fabric::{BlockedOn, PeProbe};
+use crate::trace::{TraceEvent, TraceSink};
+
+/// What a wall-clock watchdog needs from a launch's shared state —
+/// implemented by the native engine's `NativeShared` (one thread per
+/// PE) and the cooperative engine's `CoopShared` (N PEs over M worker
+/// threads), so one [`JobWatch`] observes either.
+pub(crate) trait WallShared: Send + Sync {
+    fn npes(&self) -> usize;
+    fn probes(&self) -> &[Arc<PeProbe>];
+    fn service_probes(&self) -> &[Arc<PeProbe>];
+    fn trace_sink(&self) -> Option<&Arc<TraceSink>>;
+    fn abort_job(&self);
+    /// Runnable contexts per worker thread: 1 on the native engine,
+    /// `ceil(2 * npes / workers)` on the cooperative engine. A stall
+    /// watchdog should scale its wall-clock window by this factor — a
+    /// descheduled-but-runnable PE makes progress N/M times slower
+    /// without being any less live.
+    fn oversubscription(&self) -> usize {
+        1
+    }
+}
 
 /// One probe's counter snapshot (useful ops vs spin retries).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,7 +71,7 @@ fn snapshot(probe: &PeProbe) -> PeCounters {
 }
 
 struct Watched {
-    shared: Arc<NativeShared>,
+    shared: Arc<dyn WallShared>,
     endpoints: Vec<UdnEndpoint>,
 }
 
@@ -70,7 +89,7 @@ impl JobWatch {
         Self::default()
     }
 
-    pub(crate) fn attach(&self, shared: Arc<NativeShared>, endpoints: Vec<UdnEndpoint>) {
+    pub(crate) fn attach(&self, shared: Arc<dyn WallShared>, endpoints: Vec<UdnEndpoint>) {
         *self.inner.lock() = Some(Watched { shared, endpoints });
     }
 
@@ -79,14 +98,25 @@ impl JobWatch {
         self.inner.lock().is_some()
     }
 
+    /// Runnable contexts per worker thread of the attached launch: 1
+    /// for the native engine (and before attachment), `ceil(2N / M)`
+    /// for a cooperative M:N launch. Watchdog stall windows should be
+    /// scaled by this factor.
+    pub fn oversubscription(&self) -> usize {
+        self.inner
+            .lock()
+            .as_ref()
+            .map_or(1, |w| w.shared.oversubscription())
+    }
+
     /// Sum of completed *useful* fabric operations across all PEs and
     /// their service threads — the watchdog's forward-progress signal.
     /// Monotone while the job runs; spins do not move it.
     pub fn total_ops(&self) -> u64 {
         match self.inner.lock().as_ref() {
             Some(w) => {
-                let main: u64 = w.shared.probes.iter().map(|p| p.ops()).sum();
-                let svc: u64 = w.shared.service_probes.iter().map(|p| p.ops()).sum();
+                let main: u64 = w.shared.probes().iter().map(|p| p.ops()).sum();
+                let svc: u64 = w.shared.service_probes().iter().map(|p| p.ops()).sum();
                 main + svc
             }
             None => 0,
@@ -97,8 +127,8 @@ impl JobWatch {
     pub fn total_spins(&self) -> u64 {
         match self.inner.lock().as_ref() {
             Some(w) => {
-                let main: u64 = w.shared.probes.iter().map(|p| p.spins()).sum();
-                let svc: u64 = w.shared.service_probes.iter().map(|p| p.spins()).sum();
+                let main: u64 = w.shared.probes().iter().map(|p| p.spins()).sum();
+                let svc: u64 = w.shared.service_probes().iter().map(|p| p.spins()).sum();
                 main + svc
             }
             None => 0,
@@ -114,11 +144,22 @@ impl JobWatch {
         match self.inner.lock().as_ref() {
             Some(w) => w
                 .shared
-                .probes
+                .probes()
                 .iter()
-                .chain(w.shared.service_probes.iter())
+                .chain(w.shared.service_probes().iter())
                 .map(|p| snapshot(p))
                 .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Per-main-PE blocked states (indices `0..npes`). Empty before
+    /// attachment. The coop engine publishes [`BlockedOn::Descheduled`]
+    /// while a context is queued for worker admission — runnable, not
+    /// wedged — which stall classifiers must not count as frozen.
+    pub fn blocked_states(&self) -> Vec<BlockedOn> {
+        match self.inner.lock().as_ref() {
+            Some(w) => w.shared.probes().iter().map(|p| p.blocked()).collect(),
             None => Vec::new(),
         }
     }
@@ -127,7 +168,7 @@ impl JobWatch {
     /// at its next abort check instead of hanging forever.
     pub fn abort(&self) {
         if let Some(w) = self.inner.lock().as_ref() {
-            w.shared.abort();
+            w.shared.abort_job();
         }
     }
 
@@ -135,9 +176,9 @@ impl JobWatch {
     /// nothing), for the stall dump.
     pub fn last_events(&self) -> Vec<Option<TraceEvent>> {
         match self.inner.lock().as_ref() {
-            Some(w) => match &w.shared.trace {
-                Some(sink) => sink.last_per_pe(w.shared.npes),
-                None => vec![None; w.shared.npes],
+            Some(w) => match w.shared.trace_sink() {
+                Some(sink) => sink.last_per_pe(w.shared.npes()),
+                None => vec![None; w.shared.npes()],
             },
             None => Vec::new(),
         }
@@ -161,16 +202,16 @@ impl JobWatch {
         let Some(w) = guard.as_ref() else {
             return "watchdog: job not attached yet".to_string();
         };
-        let last = match &w.shared.trace {
-            Some(sink) => sink.last_per_pe(w.shared.npes),
-            None => vec![None; w.shared.npes],
+        let last = match w.shared.trace_sink() {
+            Some(sink) => sink.last_per_pe(w.shared.npes()),
+            None => vec![None; w.shared.npes()],
         };
-        let npes = w.shared.npes;
+        let npes = w.shared.npes();
         let mut out = String::new();
         let mut suspects: Vec<String> = Vec::new();
         let _ = writeln!(out, "per-PE stall diagnosis ({npes} PEs):");
         for (pe, last_ev) in last.iter().enumerate() {
-            let probe = &w.shared.probes[pe];
+            let probe = &w.shared.probes()[pe];
             let now = snapshot(probe);
             let occ: Vec<usize> = (0..NUM_QUEUES)
                 .map(|q| w.endpoints[pe].queue_len(q))
@@ -186,7 +227,10 @@ impl JobWatch {
                 let du = now.ops.saturating_sub(base.ops);
                 let ds = now.spins.saturating_sub(base.spins);
                 let _ = write!(out, " (+{du} useful / +{ds} spins in window)");
-                if du == 0 && ds > 0 {
+                // A descheduled context is runnable but waiting for a
+                // worker slot (coop M:N engine) — spinning without
+                // useful work is expected there, not a livelock sign.
+                if du == 0 && ds > 0 && !matches!(probe.blocked(), BlockedOn::Descheduled) {
                     suspects.push(format!("PE {pe} ({})", probe.blocked()));
                 }
             }
@@ -219,7 +263,7 @@ impl JobWatch {
                 }
             }
             // The PE's interrupt-service thread, attributed separately.
-            let svc = &w.shared.service_probes[pe];
+            let svc = &w.shared.service_probes()[pe];
             let snow = snapshot(svc);
             let _ = write!(
                 out,
@@ -232,7 +276,7 @@ impl JobWatch {
                 let du = snow.ops.saturating_sub(base.ops);
                 let ds = snow.spins.saturating_sub(base.spins);
                 let _ = write!(out, " (+{du} useful / +{ds} spins in window)");
-                if du == 0 && ds > 0 {
+                if du == 0 && ds > 0 && !matches!(svc.blocked(), BlockedOn::Descheduled) {
                     suspects.push(format!("PE {pe} svc ({})", svc.blocked()));
                 }
             }

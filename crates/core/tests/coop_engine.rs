@@ -1,0 +1,107 @@
+//! Functional tests of the cooperative M:N engine: the native protocol
+//! stack under worker-gate multiplexing, including PE counts past the
+//! host's core count.
+
+use tshmem::prelude::*;
+use tshmem::runtime::{launch, launch_coop, launch_coop_watched};
+use tshmem::JobWatch;
+
+fn deposit_and_sum(ctx: &ShmemCtx) -> i64 {
+    let me = ctx.my_pe();
+    let n = ctx.n_pes();
+    let table = ctx.shmalloc::<i64>(n);
+    ctx.p(&table, me, me as i64 + 1, 0);
+    ctx.barrier_all();
+    let local: i64 = if me == 0 {
+        (0..n).map(|i| ctx.g(&table, i, 0)).sum()
+    } else {
+        0
+    };
+    let src = ctx.shmalloc::<i64>(1);
+    let dst = ctx.shmalloc::<i64>(1);
+    ctx.local_write(&src, 0, &[local]);
+    ctx.sum_to_all(&dst, &src, 1, ctx.world());
+    ctx.local_read(&dst, 0, 1)[0]
+}
+
+#[test]
+fn coop_matches_native_on_the_quickstart_job() {
+    let cfg = RuntimeConfig::new(8).with_partition_bytes(1 << 20);
+    let native = launch(&cfg, deposit_and_sum);
+    for workers in [1, 2, 3, 8] {
+        let coop = launch_coop(&cfg, workers, deposit_and_sum);
+        assert_eq!(coop, native, "workers={workers}");
+    }
+}
+
+#[test]
+fn coop_oversubscribed_past_the_core_count() {
+    // 96 PEs (> the 64-tile cap of real devices) on 4 workers: the
+    // for_scale config must pick the scaled device, and the answer must
+    // match the closed form.
+    let cfg = RuntimeConfig::for_scale(96).with_partition_bytes(64 * 1024);
+    let out = launch_coop(&cfg, 4, deposit_and_sum);
+    let want = (96 * 97 / 2) as i64;
+    assert_eq!(out, vec![want; 96]);
+}
+
+#[test]
+fn coop_bounded_udn_and_trace() {
+    let cfg = RuntimeConfig::new(6)
+        .with_partition_bytes(1 << 20)
+        .with_bounded_udn(2);
+    let native = launch(&cfg, deposit_and_sum);
+    let coop = launch_coop(&cfg, 2, deposit_and_sum);
+    assert_eq!(coop, native);
+}
+
+#[test]
+fn coop_watch_reports_oversubscription() {
+    let cfg = RuntimeConfig::new(8).with_partition_bytes(1 << 20);
+    let watch = JobWatch::new();
+    assert_eq!(watch.oversubscription(), 1, "unattached watch defaults to 1");
+    let out = launch_coop_watched(&cfg, 2, &watch, deposit_and_sum);
+    assert_eq!(out, vec![36; 8]);
+    assert!(watch.attached());
+    // 2 * 8 contexts over 2 workers.
+    assert_eq!(watch.oversubscription(), 8);
+    assert!(watch.total_ops() > 0);
+}
+
+#[test]
+fn coop_panic_aborts_the_whole_job() {
+    let cfg = RuntimeConfig::new(6).with_partition_bytes(1 << 20);
+    let r = std::panic::catch_unwind(|| {
+        launch_coop(&cfg, 2, |ctx| {
+            if ctx.my_pe() == 3 {
+                panic!("PE 3 exploded");
+            }
+            // Everyone else parks in a barrier that can never complete;
+            // the abort broadcast must wake them.
+            ctx.barrier_all();
+        })
+    });
+    assert!(r.is_err(), "panic must propagate out of the launch");
+}
+
+#[test]
+fn coop_tmc_spin_barrier_survives_oversubscription() {
+    // The TMC spin barrier busy-polls; under M:N the waiters must yield
+    // their worker gates or they starve the very PEs they wait for.
+    let algos = Algorithms { barrier: BarrierAlgo::TmcSpin, ..Default::default() };
+    let cfg = RuntimeConfig::new(12)
+        .with_partition_bytes(1 << 20)
+        .with_algos(algos);
+    let out = launch_coop(&cfg, 2, |ctx| {
+        let me = ctx.my_pe();
+        let n = ctx.n_pes();
+        let table = ctx.shmalloc::<u64>(n);
+        ctx.p(&table, me, (me as u64) * 3 + 1, (me + 1) % n);
+        ctx.barrier_all();
+        ctx.g(&table, (me + n - 1) % n, me)
+    });
+    for (pe, v) in out.iter().enumerate() {
+        let writer = (pe + 12 - 1) % 12;
+        assert_eq!(*v, (writer as u64) * 3 + 1, "PE {pe}");
+    }
+}

@@ -13,6 +13,14 @@
 //! and the strided fast path sit on the measured path; `putget_*` is
 //! the combined put+get workload the tracing ablation compares.
 //!
+//! `--coop-suite` is the scaling companion: flat dissemination vs
+//! hierarchical world barriers at 64/256/1024 PEs on the cooperative
+//! M:N engine, written to `BENCH_coop.json`. It exists to show the
+//! crossover the hierarchical algorithms were built for — past 64 PEs
+//! flat dissemination sends `n·⌈log₂ n⌉` messages per barrier while the
+//! hierarchical gather/dissemination/release sends `~2n + nc·⌈log₂ nc⌉`,
+//! and on an oversubscribed box wall time tracks message count.
+//!
 //! Numbers are wall-clock on whatever machine runs the gate (CI boxes
 //! are often single-core, so collective latencies are context-switch
 //! bound); the gate schema-checks the output and *reports* thresholds
@@ -21,21 +29,26 @@
 
 use std::time::Instant;
 
+use tshmem::runtime::launch_coop;
 use tshmem::{launch, ActiveSet, RuntimeConfig, ShmemCtx};
 
 struct Args {
     native_suite: bool,
+    coop_suite: bool,
     pes: usize,
-    out: String,
+    out: Option<String>,
     quick: bool,
+    workers: usize,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         native_suite: false,
+        coop_suite: false,
         pes: 8,
-        out: "BENCH_native.json".to_string(),
+        out: None,
         quick: false,
+        workers: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,20 +60,31 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--native-suite" => args.native_suite = true,
+            "--coop-suite" => args.coop_suite = true,
             "--pes" => {
                 args.pes = val().parse().unwrap_or_else(|_| {
                     eprintln!("--pes wants a number");
                     std::process::exit(2)
                 })
             }
-            "--out" => args.out = val(),
+            "--workers" => {
+                args.workers = val().parse().unwrap_or_else(|_| {
+                    eprintln!("--workers wants a number");
+                    std::process::exit(2)
+                })
+            }
+            "--out" => args.out = Some(val()),
             "--quick" => args.quick = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: microbench --native-suite [--pes N] [--out PATH] [--quick]\n\
-                     Runs the native-engine perf suite (put/get bandwidth, barrier \n\
-                     latency, reduce latency, traced-vs-untraced putget ablation) \n\
-                     and writes PATH (default BENCH_native.json)."
+                    "usage: microbench --native-suite|--coop-suite [--pes N] \
+                     [--workers M] [--out PATH] [--quick]\n\
+                     --native-suite runs the native-engine perf suite (put/get \n\
+                     bandwidth, barrier latency, reduce latency, traced-vs-untraced \n\
+                     putget ablation) and writes PATH (default BENCH_native.json).\n\
+                     --coop-suite runs the M:N scaling suite: flat dissemination vs \n\
+                     hierarchical barrier at 64/256/1024 PEs on the coop engine \n\
+                     (--workers 0 = auto) and writes PATH (default BENCH_coop.json)."
                 );
                 std::process::exit(0);
             }
@@ -195,6 +219,86 @@ fn bench_reduce(npes: usize, nreduce: usize, iters: usize) -> f64 {
     }))
 }
 
+/// [`timed_loop`] variant for the coop scaling suite: the measured op
+/// is itself a world barrier, so repetitions self-align without extra
+/// `barrier_all` fencing (which past 64 PEs would silently route
+/// through the hierarchical path and pollute the flat measurement).
+/// `reps`/`iters` are caller-chosen — at 1024 PEs on a one-core box a
+/// single barrier costs tens of milliseconds, so the big scales run a
+/// handful of iterations, not thousands.
+fn coop_timed(iters: usize, reps: usize, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        op(); // warmup + alignment (op is a collective)
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// Flat dissemination vs hierarchical barrier latency at `npes` PEs on
+/// the coop engine; returns `(flat_ns, hier_ns)` for the slowest PE.
+fn bench_coop_barriers(npes: usize, workers: usize, iters: usize, reps: usize) -> (f64, f64) {
+    let cfg = RuntimeConfig::for_scale(npes);
+    let per_pe = launch_coop(&cfg, workers, move |ctx| {
+        let world = ActiveSet::new(0, 0, ctx.n_pes());
+        let flat = coop_timed(iters, reps, || ctx.barrier_dissemination_explicit(world));
+        let hier = coop_timed(iters, reps, || ctx.barrier_hier_explicit(world));
+        (flat, hier)
+    });
+    (
+        per_pe.iter().map(|p| p.0).fold(0.0, f64::max),
+        per_pe.iter().map(|p| p.1).fold(0.0, f64::max),
+    )
+}
+
+/// The M:N scaling suite: both world-barrier algorithms at 64, 256, and
+/// 1024 PEs multiplexed over `--workers` OS threads (0 = auto). Writes
+/// one JSON entry per scale; `hier_over_flat` < 1.0 means the
+/// hierarchical barrier beat flat dissemination at that scale.
+fn run_coop_suite(args: &Args) {
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_coop.json".to_string());
+    // (npes, iters, reps): message count per flat barrier grows as
+    // n·ceil(log2 n), so iteration budgets shrink with scale.
+    let scales: &[(usize, usize, usize)] = if args.quick {
+        &[(64, 4, 2), (256, 2, 2), (1024, 1, 2)]
+    } else {
+        &[(64, 10, 3), (256, 3, 2), (1024, 2, 2)]
+    };
+    eprintln!(
+        "coop suite: workers {}{}",
+        args.workers,
+        if args.quick { " (quick)" } else { "" }
+    );
+    let mut entries = String::new();
+    for (i, &(npes, iters, reps)) in scales.iter().enumerate() {
+        let (flat, hier) = bench_coop_barriers(npes, args.workers, iters, reps);
+        let ratio = hier / flat;
+        eprintln!(
+            "  {npes:>5} PEs  flat {flat:>14.1} ns/op  hier {hier:>14.1} ns/op  hier/flat {ratio:.3}"
+        );
+        entries.push_str(&format!(
+            "    {{\"npes\": {npes}, \"benchmarks\": {{\
+             \"barrier_flat_dissemination\": {{\"ns_per_op\": {flat:.1}}}, \
+             \"barrier_hier\": {{\"ns_per_op\": {hier:.1}}}}}, \
+             \"hier_over_flat\": {ratio:.4}}}{}\n",
+            if i + 1 < scales.len() { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"suite\": \"coop\",\n  \"workers\": {},\n  \"quick\": {},\n  \"entries\": [\n{}  ]\n}}\n",
+        args.workers, args.quick, entries
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Benchmark names are static identifiers; assert rather than escape.
     assert!(
@@ -206,10 +310,15 @@ fn json_escape_free(name: &str) -> &str {
 
 fn main() {
     let args = parse_args();
+    if args.coop_suite {
+        run_coop_suite(&args);
+        return;
+    }
     if !args.native_suite {
-        eprintln!("nothing to do: pass --native-suite (see --help)");
+        eprintln!("nothing to do: pass --native-suite or --coop-suite (see --help)");
         std::process::exit(2);
     }
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_native.json".to_string());
     let npes = args.pes;
     let div = if args.quick { 10 } else { 1 };
     let it = |n: usize| (n / div).max(10);
@@ -298,9 +407,9 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    std::fs::write(&args.out, json).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", args.out);
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     });
-    println!("wrote {}", args.out);
+    println!("wrote {out}");
 }

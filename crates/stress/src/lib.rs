@@ -29,6 +29,6 @@ pub use program::{
     GEN_V1, GEN_V2, GEN_V3,
 };
 pub use run::{
-    build_cfg, run_multichip, run_on_ctx, run_plain, run_timed, run_watched, watch_closure,
-    Outcome,
+    build_cfg, classify_stall, run_coop, run_multichip, run_on_ctx, run_plain, run_timed,
+    run_watched, scaled_stall, watch_closure, watch_closure_coop, Outcome,
 };

@@ -15,8 +15,10 @@ use std::time::{Duration, Instant};
 
 use substrate::channel::{self, RecvTimeoutError};
 use tshmem::prelude::*;
-use tshmem::runtime::{launch_multichip_watched, launch_timed_watched, launch_watched};
-use tshmem::{JobWatch, TimedWatch};
+use tshmem::runtime::{
+    launch_coop_watched, launch_multichip_watched, launch_timed_watched, launch_watched,
+};
+use tshmem::{BlockedOn, JobWatch, TimedWatch};
 
 use crate::oracle::oracle;
 use crate::program::{
@@ -56,13 +58,21 @@ fn algos_of(prog: &Program) -> Algorithms {
 }
 
 /// Runtime config for a program at the given UDN queue depth
-/// (`None` = unbounded queues).
+/// (`None` = unbounded queues). Scales the device/partition geometry
+/// with the PE count (`RuntimeConfig::for_scale`), so the same
+/// generator vocabulary runs at 2 PEs and at 1024; the temp region is
+/// clamped to 8 B per PE, the floor below which the chunked reduce
+/// cannot carve per-sender slots.
 pub fn build_cfg(prog: &Program, depth: Option<usize>) -> RuntimeConfig {
-    let mut cfg = RuntimeConfig::new(prog.npes)
-        .with_partition_bytes(1 << 20)
+    let mut cfg = RuntimeConfig::for_scale(prog.npes)
         .with_private_bytes(1 << 16)
-        .with_temp_bytes(prog.temp_bytes)
+        .with_temp_bytes(prog.temp_bytes.max(8 * prog.npes))
         .with_algos(algos_of(prog));
+    if prog.npes <= 64 {
+        // The historical stress geometry; past 64 PEs `for_scale`'s
+        // 256 KB partitions keep 1024-PE jobs inside a quarter GB.
+        cfg = cfg.with_partition_bytes(1 << 20);
+    }
     if let Some(d) = depth {
         cfg = cfg.with_bounded_udn(d);
     }
@@ -362,6 +372,40 @@ where
     watch_native(*cfg, stall, format!("scenario: {label}\n"), f)
 }
 
+/// Run `prog` on the **coop** M:N engine under the wall-clock watchdog,
+/// with the stall window scaled by the oversubscription factor (see
+/// [`scaled_stall`]). `workers == 0` lets the backend size the pool
+/// from the host.
+pub fn run_coop(
+    prog: &Program,
+    depth: Option<usize>,
+    workers: usize,
+    stall: Duration,
+    replay_hint: &str,
+) -> Outcome {
+    let prog = Arc::new(prog.clone());
+    let cfg = build_cfg(&prog, depth);
+    let p = Arc::clone(&prog);
+    watch_wall(cfg, Some(workers), stall, format!("replay: {replay_hint}\n"), move |ctx| {
+        run_on_ctx(&p, ctx)
+    })
+}
+
+/// Coop variant of [`watch_closure`], for oversubscription liveness
+/// canaries.
+pub fn watch_closure_coop<F>(
+    cfg: &RuntimeConfig,
+    workers: usize,
+    stall: Duration,
+    label: &str,
+    f: F,
+) -> Outcome
+where
+    F: Fn(&ShmemCtx) + Send + Sync + 'static,
+{
+    watch_wall(*cfg, Some(workers), stall, format!("scenario: {label}\n"), f)
+}
+
 /// Run `prog` on the **timed** engine under its deadlock watchdog.
 ///
 /// There is no wall-clock stall window: the desim scheduler detects the
@@ -411,7 +455,60 @@ pub fn run_multichip(prog: &Program, depth: Option<usize>, replay_hint: &str) ->
     }
 }
 
+/// Wall-clock stall window scaled by the engine's oversubscription
+/// factor (runnable contexts per worker thread). A descheduled coop PE
+/// only moves the progress counter when its admission turn comes, so an
+/// N-PEs-on-M-workers job legitimately needs up to `2N/M` times longer
+/// between counter movements than a fully parallel native run — the
+/// unscaled window fired spuriously on exactly those runs. Capped at
+/// 64× so a true deadlock on a 1024-PE job still reports in minutes.
+pub fn scaled_stall(stall: Duration, oversubscription: usize) -> Duration {
+    stall * oversubscription.clamp(1, 64) as u32
+}
+
+/// Classify a stall from per-main-PE deltas measured since the last
+/// useful-op movement: `(useful_ops, spin_retries, descheduled)` per
+/// PE. A descheduled-but-runnable coop PE shows zero deltas while it
+/// waits for a worker slot; counting it as frozen used to turn every
+/// oversubscribed stall into a "deadlock" verdict (and starve the
+/// livelock detector of its "everyone is spinning" signal), so only a
+/// PE that is *scheduled* yet moved nothing counts as frozen.
+pub fn classify_stall<I: IntoIterator<Item = (u64, u64, bool)>>(deltas: I) -> &'static str {
+    let mut spun = 0u64;
+    let mut frozen = false;
+    for (du, ds, descheduled) in deltas {
+        spun += ds;
+        if du == 0 && ds == 0 && !descheduled {
+            frozen = true;
+        }
+    }
+    if spun > 0 && !frozen {
+        "livelock (every stalled PE is spinning without completing useful work)"
+    } else if spun > 0 {
+        "deadlock (at least one PE frozen; others spin without useful work)"
+    } else {
+        "deadlock (no useful work and no spin retries anywhere)"
+    }
+}
+
 fn watch_native<F>(cfg: RuntimeConfig, stall: Duration, trailer: String, f: F) -> Outcome
+where
+    F: Fn(&ShmemCtx) + Send + Sync + 'static,
+{
+    watch_wall(cfg, None, stall, trailer, f)
+}
+
+/// Shared wall-clock watchdog over a native (`workers == None`) or coop
+/// launch. The effective stall window is re-derived every poll from the
+/// attached job's oversubscription factor, so it is correct even before
+/// the launch attaches (factor 1) and under `workers == 0` auto-sizing.
+fn watch_wall<F>(
+    cfg: RuntimeConfig,
+    workers: Option<usize>,
+    stall: Duration,
+    trailer: String,
+    f: F,
+) -> Outcome
 where
     F: Fn(&ShmemCtx) + Send + Sync + 'static,
 {
@@ -426,8 +523,13 @@ where
     std::thread::Builder::new()
         .name("stress-job".into())
         .spawn(move || {
-            let r = catch_unwind(AssertUnwindSafe(|| {
-                launch_watched(&cfg, &w, f);
+            let r = catch_unwind(AssertUnwindSafe(|| match workers {
+                None => {
+                    launch_watched(&cfg, &w, f);
+                }
+                Some(m) => {
+                    launch_coop_watched(&cfg, m, &w, f);
+                }
             }));
             let _ = tx.try_send(r.map(|_| ()));
         })
@@ -451,36 +553,30 @@ where
             }
         }
         let ops = watch.total_ops();
+        let window = scaled_stall(stall, watch.oversubscription());
         if ops != last_ops || baseline.is_empty() {
             last_ops = ops;
             baseline = watch.counters();
             last_change = Instant::now();
-        } else if last_change.elapsed() >= stall {
+        } else if last_change.elapsed() >= window {
             // Diagnose BEFORE aborting: abort unparks the blocked PEs
             // and would destroy the evidence.
             let now = watch.counters();
+            let blocked = watch.blocked_states();
             let npes = now.len() / 2;
-            let mut spun = 0u64;
-            let mut frozen = false;
-            for (i, n) in now.iter().enumerate().take(npes) {
+            let class = classify_stall(now.iter().enumerate().take(npes).map(|(i, n)| {
                 let b = baseline.get(i).copied().unwrap_or_default();
-                let ds = n.spins.saturating_sub(b.spins);
-                spun += ds;
-                if n.ops.saturating_sub(b.ops) == 0 && ds == 0 {
-                    frozen = true;
-                }
-            }
-            let class = if spun > 0 && !frozen {
-                "livelock (every stalled PE is spinning without completing useful work)"
-            } else if spun > 0 {
-                "deadlock (at least one PE frozen; others spin without useful work)"
-            } else {
-                "deadlock (no useful work and no spin retries anywhere)"
-            };
+                let descheduled = matches!(blocked.get(i), Some(BlockedOn::Descheduled));
+                (
+                    n.ops.saturating_sub(b.ops),
+                    n.spins.saturating_sub(b.spins),
+                    descheduled,
+                )
+            }));
             let mut report = format!(
                 "stress watchdog: no useful fabric progress for {:.1}s \
                  (useful ops {ops}, spin retries {})\nclassification: {class}\n{}",
-                stall.as_secs_f64(),
+                window.as_secs_f64(),
                 watch.total_spins(),
                 watch.diagnose_delta(Some(&baseline))
             );
@@ -494,5 +590,32 @@ where
             let _ = rx.recv_timeout(Duration::from_secs(2));
             return Outcome::Stalled(report);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descheduled_pes_do_not_count_as_frozen() {
+        // Pre-fix, a parked-but-runnable coop PE (zero deltas, queued
+        // for a worker slot) forced the frozen path and misreported
+        // oversubscribed livelocks as deadlocks.
+        let oversubscribed = [(0, 5, false), (0, 0, true), (0, 0, true)];
+        assert!(classify_stall(oversubscribed).starts_with("livelock"));
+        let really_frozen = [(0, 5, false), (0, 0, false)];
+        assert!(classify_stall(really_frozen).starts_with("deadlock (at least one PE frozen"));
+        let silent = [(0, 0, true), (0, 0, true)];
+        assert!(classify_stall(silent).starts_with("deadlock (no useful work"));
+    }
+
+    #[test]
+    fn stall_window_scales_with_oversubscription_and_caps() {
+        let base = Duration::from_secs(2);
+        assert_eq!(scaled_stall(base, 0), base);
+        assert_eq!(scaled_stall(base, 1), base);
+        assert_eq!(scaled_stall(base, 8), base * 8);
+        assert_eq!(scaled_stall(base, 128), base * 64);
     }
 }

@@ -1,0 +1,51 @@
+//! Coop-engine smoke seeds past the native tile cap: pinned `--gen 3`
+//! programs at 64 and 256 PEs must converge to the sequential oracle
+//! under M:N multiplexing, and the 256-PEs-on-4-workers run must finish
+//! without the oversubscription-scaled watchdog raising a spurious
+//! livelock/deadlock report (the satellite-1 regression: the unscaled
+//! window plus the descheduled-PEs-count-as-frozen rule flagged exactly
+//! this configuration).
+
+use std::time::Duration;
+
+use stress::program::{gen_program_v, RngDraw, GEN_V3};
+use stress::run::{run_coop, Outcome};
+
+const SEED: u64 = 0x7453484d454d5031;
+
+fn assert_completed(outcome: Outcome, label: &str) {
+    match outcome {
+        Outcome::Completed => {}
+        Outcome::Stalled(report) => {
+            panic!("{label}: watchdog fired on a convergent run:\n{report}")
+        }
+    }
+}
+
+#[test]
+fn coop_smoke_64_pes() {
+    let prog = gen_program_v(&mut RngDraw::new(SEED, 0), 64, GEN_V3);
+    let hint = format!("--seed {SEED:#x} --case 0 --npes 64 --depth 0 --gen 3 --engine coop --workers 3");
+    assert_completed(run_coop(&prog, None, 3, Duration::from_secs(5), &hint), "64 PEs / 3 workers");
+}
+
+#[test]
+fn coop_smoke_256_pes_no_spurious_stall_report() {
+    // 256 PEs on 4 workers = oversubscription 128 (capped to a 64×
+    // window). A deliberately tight 1 s base window: with the scaling
+    // fix the effective window is 64 s and the run completes well
+    // inside it; pre-fix, the raw 1 s window tripped over admission
+    // latency and the report misclassified the queued PEs as frozen.
+    let prog = gen_program_v(&mut RngDraw::new(SEED, 1), 256, GEN_V3);
+    let hint = format!("--seed {SEED:#x} --case 1 --npes 256 --depth 0 --gen 3 --engine coop --workers 4");
+    assert_completed(run_coop(&prog, None, 4, Duration::from_secs(1), &hint), "256 PEs / 4 workers");
+}
+
+#[test]
+fn coop_smoke_bounded_queues() {
+    // Finite UDN buffers under oversubscription: the gate must be
+    // released around blocking sends or a full queue wedges the worker.
+    let prog = gen_program_v(&mut RngDraw::new(SEED, 2), 64, GEN_V3);
+    let hint = format!("--seed {SEED:#x} --case 2 --npes 64 --depth 2 --gen 3 --engine coop --workers 2");
+    assert_completed(run_coop(&prog, Some(2), 2, Duration::from_secs(5), &hint), "64 PEs depth 2");
+}

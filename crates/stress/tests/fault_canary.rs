@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use stress::program::{gen_program_v, RngDraw, GEN_LATEST};
-use stress::run::{run_multichip, run_timed, run_watched, watch_closure, Outcome};
+use stress::run::{run_coop, run_multichip, run_timed, run_watched, watch_closure, Outcome};
 use tshmem::fault::{self, Fault, FaultPlan};
 use tshmem::prelude::*;
 
@@ -59,10 +59,12 @@ fn service_handler_stall_is_attributed_and_seeded_plans_are_tolerated() {
     assert!(report.contains("StallServiceHandler(PE 1"), "fault plan not named in:\n{report}");
 
     // --- Tolerance matrix: seeded plans draw only the tolerated fault
-    // kinds; every such plan must converge to the oracle on all three
-    // engines (or be caught — never hang the runner). ---
+    // kinds; every such plan must converge to the oracle on all four
+    // engines (or be caught — never hang the runner). The coop rows run
+    // 4 PEs on 2 workers, so every injected delay also exercises the
+    // gate-release-around-sleep path. ---
     for plan_seed in [0x11u64, 0x21, 0x31] {
-        for engine in ["native", "timed", "multichip"] {
+        for engine in ["native", "timed", "multichip", "coop"] {
             let plan = FaultPlan::from_seed(plan_seed, 4);
             let desc = plan.describe();
             fault::install(plan);
@@ -71,6 +73,7 @@ fn service_handler_stall_is_attributed_and_seeded_plans_are_tolerated() {
             let outcome = match engine {
                 "native" => run_watched(&prog, Some(2), Duration::from_secs(20), &hint),
                 "timed" => run_timed(&prog, Some(2), &hint),
+                "coop" => run_coop(&prog, Some(2), 2, Duration::from_secs(20), &hint),
                 _ => run_multichip(&prog, Some(2), &hint),
             };
             fault::clear();

@@ -1,0 +1,53 @@
+//! Flat-vs-hierarchical collective equivalence on seeded `--gen 3`
+//! programs.
+//!
+//! The hierarchical barrier/broadcast/reduce are pure reimplementations
+//! of the same collective semantics, so forcing them on a program that
+//! defaults to the flat algorithms must leave **identical heap, static,
+//! and collective-scratch state** (enforced against the sequential
+//! oracle inside [`run_on_ctx`], which both runs must satisfy) and
+//! identical **API-level `Stats`** (barriers, collectives, atomics —
+//! the put/get counters intentionally differ, since the algorithms
+//! route different internal traffic).
+
+use stress::program::{gen_program_v, Program, RngDraw, GEN_V3};
+use stress::run::{build_cfg, run_on_ctx};
+use tshmem::prelude::*;
+use tshmem::Stats;
+
+fn stats_with(prog: &Program, algos: Algorithms, depth: Option<usize>) -> Vec<Stats> {
+    let cfg = build_cfg(prog, depth).with_algos(algos);
+    let p = prog.clone();
+    tshmem::launch(&cfg, move |ctx| {
+        run_on_ctx(&p, ctx);
+        ctx.stats()
+    })
+}
+
+#[test]
+fn flat_and_hier_collectives_agree_on_state_and_api_stats() {
+    let flat = Algorithms {
+        barrier: BarrierAlgo::Dissemination,
+        broadcast: BroadcastAlgo::Pull,
+        reduce: ReduceAlgo::Naive,
+    };
+    let hier = Algorithms {
+        barrier: BarrierAlgo::Hierarchical,
+        broadcast: BroadcastAlgo::Hierarchical,
+        reduce: ReduceAlgo::Hierarchical,
+    };
+    for (case, npes, depth) in [(0u64, 6, None), (1, 8, Some(2)), (2, 5, None)] {
+        let prog = gen_program_v(&mut RngDraw::new(0x41EC + case, 0), npes, GEN_V3);
+        // Each run oracle-checks its own final state internally, so
+        // passing both checks proves state equivalence.
+        let sf = stats_with(&prog, flat, depth);
+        let sh = stats_with(&prog, hier, depth);
+        for (pe, (f, h)) in sf.iter().zip(&sh).enumerate() {
+            assert_eq!(
+                (f.barriers, f.collectives, f.atomics),
+                (h.barriers, h.collectives, h.atomics),
+                "case {case} npes {npes} PE {pe}: API-level stats diverged between flat and hier"
+            );
+        }
+    }
+}

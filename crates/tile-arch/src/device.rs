@@ -302,6 +302,19 @@ impl Device {
         d
     }
 
+    /// A hypothetical 1024-tile scale-out of the Gx tile architecture
+    /// (32x32 mesh). Not real hardware — the scaling-study device for
+    /// the cooperative M:N engine, sized after the 1024-core RISC-V
+    /// cluster of Bertuletti et al. Excluded from [`Device::all`]: the
+    /// calibrated timing tables are only validated against the four
+    /// shipped Tilera parts.
+    pub const fn tile_gx_scaled() -> Device {
+        let mut d = Device::tile_gx8036();
+        d.name = "TILE-Gx-scaled";
+        d.grid = Mesh::new(32, 32);
+        d
+    }
+
     /// All devices modeled by this workspace.
     pub fn all() -> [Device; 4] {
         [
@@ -462,6 +475,15 @@ mod tests {
         assert_eq!(Device::tile_gx8016().grid.tiles(), 16);
         assert_eq!(Device::tilepro36().grid.tiles(), 36);
         assert_eq!(Device::all().len(), 4);
+    }
+
+    #[test]
+    fn scaled_device_is_1024_tiles_and_not_shipped() {
+        let d = Device::tile_gx_scaled();
+        assert_eq!(d.grid.tiles(), 1024);
+        assert_eq!(d.word_bits(), 64);
+        // Scaling-study device only: never part of the calibrated set.
+        assert!(Device::all().iter().all(|s| s.name != d.name));
     }
 
     #[test]

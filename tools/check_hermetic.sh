@@ -29,12 +29,14 @@ cargo test -q --offline --workspace
 echo "== stress harness replay demo (seeded, watchdog armed) =="
 cargo run -q --offline -p stress -- --seed 0x2 --pes 4 --depth 2
 
-echo "== fault matrix (3 canned plans x three engines, watchdog armed) =="
+echo "== fault matrix (3 canned plans x four engines, watchdog armed) =="
 # Every seeded fault plan must either be tolerated (exit 0: the run
 # converges to the oracle) or be caught by the watchdog with a diagnosis
-# (exit 2). Any other exit — especially a hang — fails the gate.
+# (exit 2). Any other exit — especially a hang — fails the gate. The
+# coop rows run 4 PEs on 2 workers, so injected delays also cross the
+# gate-release-around-sleep path.
 for plan in 0x11 0x21 0x31; do
-    for engine in native timed multichip; do
+    for engine in native timed multichip coop; do
         echo "-- fault plan $plan on $engine --"
         rc=0
         cargo run -q --offline -p stress -- \
@@ -77,14 +79,42 @@ print("perf smoke: schema OK")
 PYEOF
 rm -f BENCH_native_smoke.json
 
-echo "== hot-path allocation allowlist (rma.rs / barrier.rs) =="
-# The RMA and barrier hot paths are allocation-free by design: any
+echo "== scaling smoke (coop suite, 64/256/1024 PEs, schema-checked) =="
+# The M:N scaling suite must run to completion (a 1024-PE barrier
+# finishing at all is part of the check) and emit well-formed JSON with
+# both barrier algorithms measured at every scale. The hier-vs-flat
+# ratio is reported, not enforced — the committed BENCH_coop.json is
+# the reference trajectory.
+./target/release/microbench --coop-suite --quick --out BENCH_coop_smoke.json
+python3 - <<'PYEOF'
+import json
+with open("BENCH_coop_smoke.json") as f:
+    doc = json.load(f)
+for key in ("suite", "workers", "entries"):
+    assert key in doc, f"BENCH_coop_smoke.json missing key: {key}"
+assert doc["suite"] == "coop"
+scales = sorted(e["npes"] for e in doc["entries"])
+assert scales == [64, 256, 1024], f"unexpected scales: {scales}"
+for e in doc["entries"]:
+    for name in ("barrier_flat_dissemination", "barrier_hier"):
+        ns = e["benchmarks"][name]["ns_per_op"]
+        assert ns > 0, f"{e['npes']} PEs {name}: non-positive ns_per_op"
+    print(f"  {e['npes']:5d} PEs  hier/flat {e['hier_over_flat']:.3f}")
+print("coop scaling smoke: schema OK")
+PYEOF
+rm -f BENCH_coop_smoke.json
+
+echo "== hot-path allocation allowlist (rma / barrier / coop / hier) =="
+# The RMA and barrier hot paths are allocation-free by design, and the
+# M:N scheduler and hierarchical collectives stay on that diet: any
 # `to_vec()` or `vec![` there must carry a `// cold:` justification on
 # the same line or one of the two lines above it.
 python3 - <<'PYEOF'
 import re, sys
 bad = []
-for path in ("crates/core/src/rma.rs", "crates/core/src/sync/barrier.rs"):
+for path in ("crates/core/src/rma.rs", "crates/core/src/sync/barrier.rs",
+             "crates/core/src/engine/coop.rs",
+             "crates/core/src/collectives/hier.rs"):
     lines = open(path).read().splitlines()
     for i, line in enumerate(lines):
         if re.search(r'\.to_vec\(\)|vec!\[', line) and "// cold:" not in line:
@@ -97,7 +127,7 @@ if bad:
     for b in bad:
         print("  " + b, file=sys.stderr)
     sys.exit(1)
-print("OK: rma.rs/barrier.rs allocations all carry `// cold:` justifications")
+print("OK: hot-path allocations all carry `// cold:` justifications")
 PYEOF
 
 echo "== external-import scan (everything outside crates/bench) =="
