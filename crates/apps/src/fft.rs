@@ -13,6 +13,28 @@ use tshmem::types::Complex32;
 
 use crate::rng::KeyedRng;
 
+/// How stage 2's distributed transpose delivers its packed rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransposeMode {
+    /// Put directly into a symmetric-heap receive block. On Tilera
+    /// hardware the symmetric heap is cache-coherent shared memory, so
+    /// this is the paper's TSHMEM fast path (a plain store, nothing to
+    /// overlap) and stays the shipped default.
+    #[default]
+    Direct,
+    /// Put into a static-segment receive block with one blocking
+    /// redirected put per packed row: each row pays a full service
+    /// round-trip (request + completion reply at the destination's
+    /// interrupt context) before the next row is sent. This is the
+    /// ablation baseline the nbi overlap is measured against.
+    Blocking,
+    /// Same static-segment receive block, but rows are issued with
+    /// `put_nbi` and completed by a single `quiet`: the redirected
+    /// requests pipeline through each destination's service handler
+    /// instead of serializing on per-row completion replies.
+    Nbi,
+}
+
 /// Configuration for one 2D-FFT run.
 #[derive(Clone, Copy, Debug)]
 pub struct Fft2dConfig {
@@ -20,11 +42,15 @@ pub struct Fft2dConfig {
     pub n: usize,
     /// RNG seed for the input image.
     pub seed: u64,
+    /// Transpose delivery mode. `Blocking`/`Nbi` place the receive
+    /// block in the static segment, so the private segment must hold
+    /// `(n/npes + 1) * n * 8` extra bytes in those modes.
+    pub transpose: TransposeMode,
 }
 
 impl Default for Fft2dConfig {
     fn default() -> Self {
-        Self { n: 1024, seed: 0x2DFF7 }
+        Self { n: 1024, seed: 0x2DFF7, transpose: TransposeMode::Direct }
     }
 }
 
@@ -147,9 +173,13 @@ pub fn fft2d_shmem(ctx: &ShmemCtx, cfg: &Fft2dConfig) -> Fft2dResult {
     let max_rows = row_range(n, npes, 0).1;
 
     // Symmetric buffers: local row block, transpose receive block, and
-    // the full gather/output image (used on PE 0).
+    // the full gather/output image (used on PE 0). The receive block
+    // lives in the heap for the direct (coherent-store) transpose and
+    // in the static segment for the redirected blocking/nbi modes.
     let work = ctx.shmalloc::<Complex32>(max_rows * n);
-    let recv = ctx.shmalloc::<Complex32>(max_rows * n);
+    let heap_recv = (cfg.transpose == TransposeMode::Direct)
+        .then(|| ctx.shmalloc::<Complex32>(max_rows * n));
+    let recv = heap_recv.unwrap_or_else(|| ctx.static_sym::<Complex32>(max_rows * n));
     let full = ctx.shmalloc::<Complex32>(n * n);
 
     // Load input rows.
@@ -190,10 +220,20 @@ pub fn fft2d_shmem(ctx: &ShmemCtx, cfg: &Fft2dConfig) -> Fft2dResult {
                     pack.push(w[j * n + (q_start + qr)]);
                 }
             });
-            ctx.put(&recv.slice(qr * n + my_start, my_rows), 0, &pack, q);
+            match cfg.transpose {
+                TransposeMode::Nbi => {
+                    ctx.put_nbi(&recv.slice(qr * n + my_start, my_rows), 0, &pack, q)
+                }
+                _ => ctx.put(&recv.slice(qr * n + my_start, my_rows), 0, &pack, q),
+            }
         }
         // Packing cost: one pass over the sub-block.
         ctx.compute_intops((q_rows * my_rows) as f64 * 2.0);
+    }
+    if cfg.transpose == TransposeMode::Nbi {
+        // One completion point for the whole row train: the deferred
+        // reply-waits drain here, after every request is in flight.
+        ctx.quiet();
     }
     ctx.barrier_all();
 
@@ -240,7 +280,9 @@ pub fn fft2d_shmem(ctx: &ShmemCtx, cfg: &Fft2dConfig) -> Fft2dResult {
     ctx.shfree(cs_out);
     ctx.shfree(cs);
     ctx.shfree(full);
-    ctx.shfree(recv);
+    if let Some(r) = heap_recv {
+        ctx.shfree(r);
+    }
     ctx.shfree(work);
 
     Fft2dResult {

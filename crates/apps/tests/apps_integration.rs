@@ -3,7 +3,7 @@
 
 use tshmem::prelude::*;
 use tshmem_apps::cbir::{cbir_serial, cbir_shmem, CbirConfig};
-use tshmem_apps::fft::{fft2d_shmem, serial_checksum, Fft2dConfig};
+use tshmem_apps::fft::{fft2d_shmem, serial_checksum, Fft2dConfig, TransposeMode};
 
 fn cfg(npes: usize, partition_mb: usize) -> RuntimeConfig {
     RuntimeConfig::new(npes)
@@ -14,7 +14,7 @@ fn cfg(npes: usize, partition_mb: usize) -> RuntimeConfig {
 
 #[test]
 fn fft2d_matches_serial_reference_various_pe_counts() {
-    let fcfg = Fft2dConfig { n: 64, seed: 42 };
+    let fcfg = Fft2dConfig { n: 64, seed: 42, ..Fft2dConfig::default() };
     let expect = serial_checksum(&fcfg);
     for npes in [1usize, 2, 4, 6] {
         let out = tshmem::launch(&cfg(npes, 2), move |ctx| fft2d_shmem(ctx, &fcfg));
@@ -27,7 +27,7 @@ fn fft2d_matches_serial_reference_various_pe_counts() {
 
 #[test]
 fn fft2d_on_timed_engine_matches_and_times() {
-    let fcfg = Fft2dConfig { n: 32, seed: 7 };
+    let fcfg = Fft2dConfig { n: 32, seed: 7, ..Fft2dConfig::default() };
     let expect = serial_checksum(&fcfg);
     let out = tshmem::launch_timed(&cfg(4, 2), move |ctx| fft2d_shmem(ctx, &fcfg));
     for r in &out.values {
@@ -36,6 +36,30 @@ fn fft2d_on_timed_engine_matches_and_times() {
         assert!(r.elapsed_ns > 0.0);
     }
     assert!(out.makespan.us_f64() > 1.0);
+}
+
+#[test]
+fn fft2d_transpose_modes_match_serial_reference() {
+    // The redirected transpose modes (blocking round-trips and the
+    // nbi-overlapped train) must compute the same spectrum as the
+    // direct coherent-store path, on both engines. The static-segment
+    // receive block needs (n/npes + 1) * n * 8 private bytes.
+    let expect = serial_checksum(&Fft2dConfig { n: 64, seed: 42, ..Fft2dConfig::default() });
+    for mode in [TransposeMode::Blocking, TransposeMode::Nbi] {
+        let fcfg = Fft2dConfig { n: 64, seed: 42, transpose: mode };
+        for npes in [1usize, 4] {
+            let out = tshmem::launch(&cfg(npes, 2), move |ctx| fft2d_shmem(ctx, &fcfg));
+            for r in &out {
+                let rel = (r.checksum - expect).abs() / expect;
+                assert!(rel < 1e-4, "{mode:?} npes {npes}: checksum {} vs {expect}", r.checksum);
+            }
+        }
+        let timed = tshmem::launch_timed(&cfg(4, 2), move |ctx| fft2d_shmem(ctx, &fcfg));
+        for r in &timed.values {
+            let rel = (r.checksum - expect).abs() / expect;
+            assert!(rel < 1e-4, "{mode:?} timed: checksum {} vs {expect}", r.checksum);
+        }
+    }
 }
 
 #[test]
@@ -80,7 +104,7 @@ fn cbir_on_timed_engine_speeds_up_with_pes() {
 fn fft2d_timed_speedup_shows_serial_transpose_plateau() {
     // With the serialized final transpose, speedup must be clearly
     // sublinear by 16 PEs (the Figure 13 plateau mechanism).
-    let fcfg = Fft2dConfig { n: 128, seed: 3 };
+    let fcfg = Fft2dConfig { n: 128, seed: 3, ..Fft2dConfig::default() };
     let t = |npes: usize| {
         let out = tshmem::launch_timed(&cfg(npes, 2), move |ctx| fft2d_shmem(ctx, &fcfg));
         out.values[0].elapsed_ns

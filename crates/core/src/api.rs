@@ -9,6 +9,7 @@
 
 use crate::active_set::ActiveSet;
 use crate::ctx::ShmemCtx;
+use crate::rma::SignalOp;
 use crate::symm::{Bits, Sym};
 use crate::sync::pt2pt::{Cmp, WaitInt};
 use crate::types::Reducible;
@@ -101,6 +102,68 @@ pub fn shmem_iget<T: Bits>(
     ctx.iget(dest, tst, source, 0, sst, nelems, pe)
 }
 
+/// `shmem_put_nbi()` (OpenSHMEM 1.3): non-blocking put, completed by
+/// [`shmem_quiet`].
+pub fn shmem_put_nbi<T: Bits>(ctx: &ShmemCtx, target: &Sym<T>, source: &[T], pe: usize) {
+    ctx.put_nbi(target, 0, source, pe)
+}
+
+/// `shmem_get_nbi()` (OpenSHMEM 1.3): non-blocking get, completed by
+/// [`shmem_quiet`].
+pub fn shmem_get_nbi<T: Bits>(ctx: &ShmemCtx, dest: &mut [T], source: &Sym<T>, pe: usize) {
+    ctx.get_nbi(dest, source, 0, pe)
+}
+
+/// `shmem_put_signal()` (OpenSHMEM 1.4): deliver `source` into `target`
+/// on `pe`, then update `sig[sig_index]` there — payload visible before
+/// the signal, so a [`shmem_wait_until_at`] on the signal word implies
+/// the data has landed.
+#[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+pub fn shmem_put_signal<T: Bits>(
+    ctx: &ShmemCtx,
+    target: &Sym<T>,
+    source: &[T],
+    sig: &Sym<u64>,
+    sig_index: usize,
+    sig_value: u64,
+    sig_op: SignalOp,
+    pe: usize,
+) {
+    ctx.put_signal(target, 0, source, sig, sig_index, sig_value, sig_op, pe)
+}
+
+/// `shmem_alltoall()` over the `(PE_start, logPE_stride, PE_size)`
+/// triplet.
+#[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+pub fn shmem_alltoall<T: Bits>(
+    ctx: &ShmemCtx,
+    target: &Sym<T>,
+    source: &Sym<T>,
+    nelems: usize,
+    pe_start: usize,
+    log_pe_stride: u32,
+    pe_size: usize,
+) {
+    ctx.alltoall(target, source, nelems, ActiveSet::new(pe_start, log_pe_stride, pe_size))
+}
+
+/// `shmem_alltoalls()`: strided alltoall (strides in elements, as in
+/// the spec).
+#[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+pub fn shmem_alltoalls<T: Bits>(
+    ctx: &ShmemCtx,
+    target: &Sym<T>,
+    source: &Sym<T>,
+    dst: usize,
+    sst: usize,
+    nelems: usize,
+    pe_start: usize,
+    log_pe_stride: u32,
+    pe_size: usize,
+) {
+    ctx.alltoalls(target, source, dst, sst, nelems, ActiveSet::new(pe_start, log_pe_stride, pe_size))
+}
+
 /// `shmem_barrier_all()`.
 pub fn shmem_barrier_all(ctx: &ShmemCtx) {
     ctx.barrier_all()
@@ -127,9 +190,19 @@ pub fn shmem_wait<T: WaitInt>(ctx: &ShmemCtx, var: &Sym<T>, value: T) {
     ctx.wait(var, 0, value)
 }
 
-/// `shmem_wait_until()`.
+/// `shmem_wait_until()`. Waits on element 0 of `var`; for signal words
+/// landing at arbitrary offsets use [`shmem_wait_until_at`].
 pub fn shmem_wait_until<T: WaitInt>(ctx: &ShmemCtx, var: &Sym<T>, cmp: Cmp, value: T) {
-    ctx.wait_until(var, 0, cmp, value)
+    shmem_wait_until_at(ctx, var, 0, cmp, value)
+}
+
+/// `shmem_wait_until()` on element `idx` of `var`. The C API takes a
+/// pointer that may address any element of a symmetric array; the
+/// original wrapper hardwired element 0, which made waits on non-zero
+/// signal-word offsets (e.g. a `put_signal` landing at `sig[3]`)
+/// silently wait on the wrong location.
+pub fn shmem_wait_until_at<T: WaitInt>(ctx: &ShmemCtx, var: &Sym<T>, idx: usize, cmp: Cmp, value: T) {
+    ctx.wait_until(var, idx, cmp, value)
 }
 
 /// `shmem_broadcast32()/broadcast64()` (element width from `T`).

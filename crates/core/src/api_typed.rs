@@ -32,7 +32,8 @@ fn set(pe_start: usize, log_pe_stride: u32, pe_size: usize) -> ActiveSet {
 }
 
 macro_rules! rma_family {
-    ($ty:ty, $p:ident, $g:ident, $put:ident, $get:ident, $iput:ident, $iget:ident) => {
+    ($ty:ty, $p:ident, $g:ident, $put:ident, $get:ident, $iput:ident, $iget:ident,
+     $put_nbi:ident, $get_nbi:ident) => {
         #[doc = concat!("`", stringify!($p), "()`: elemental put of one `", stringify!($ty), "`.")]
         pub fn $p(ctx: &ShmemCtx, target: &Sym<$ty>, value: $ty, pe: usize) {
             ctx.p(target, 0, value, pe)
@@ -64,17 +65,27 @@ macro_rules! rma_family {
         pub fn $iget(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, tst: usize, sst: usize, nelems: usize, pe: usize) {
             ctx.iget(dest, tst, source, 0, sst, nelems, pe)
         }
+
+        #[doc = concat!("`", stringify!($put_nbi), "()`: non-blocking put, completed by `shmem_quiet`.")]
+        pub fn $put_nbi(ctx: &ShmemCtx, target: &Sym<$ty>, source: &[$ty], pe: usize) {
+            ctx.put_nbi(target, 0, source, pe)
+        }
+
+        #[doc = concat!("`", stringify!($get_nbi), "()`: non-blocking get, completed by `shmem_quiet`.")]
+        pub fn $get_nbi(ctx: &ShmemCtx, dest: &mut [$ty], source: &Sym<$ty>, pe: usize) {
+            ctx.get_nbi(dest, source, 0, pe)
+        }
     };
 }
 
-rma_family!(i16, shmem_short_p, shmem_short_g, shmem_short_put, shmem_short_get, shmem_short_iput, shmem_short_iget);
-rma_family!(i32, shmem_int_p, shmem_int_g, shmem_int_put, shmem_int_get, shmem_int_iput, shmem_int_iget);
-rma_family!(i64, shmem_long_p, shmem_long_g, shmem_long_put, shmem_long_get, shmem_long_iput, shmem_long_iget);
-rma_family!(f32, shmem_float_p, shmem_float_g, shmem_float_put, shmem_float_get, shmem_float_iput, shmem_float_iget);
-rma_family!(f64, shmem_double_p, shmem_double_g, shmem_double_put, shmem_double_get, shmem_double_iput, shmem_double_iget);
+rma_family!(i16, shmem_short_p, shmem_short_g, shmem_short_put, shmem_short_get, shmem_short_iput, shmem_short_iget, shmem_short_put_nbi, shmem_short_get_nbi);
+rma_family!(i32, shmem_int_p, shmem_int_g, shmem_int_put, shmem_int_get, shmem_int_iput, shmem_int_iget, shmem_int_put_nbi, shmem_int_get_nbi);
+rma_family!(i64, shmem_long_p, shmem_long_g, shmem_long_put, shmem_long_get, shmem_long_iput, shmem_long_iget, shmem_long_put_nbi, shmem_long_get_nbi);
+rma_family!(f32, shmem_float_p, shmem_float_g, shmem_float_put, shmem_float_get, shmem_float_iput, shmem_float_iget, shmem_float_put_nbi, shmem_float_get_nbi);
+rma_family!(f64, shmem_double_p, shmem_double_g, shmem_double_put, shmem_double_get, shmem_double_iput, shmem_double_iget, shmem_double_put_nbi, shmem_double_get_nbi);
 
 // `long long` is i64 on LP64; OpenSHMEM still names it separately.
-rma_family!(i64, shmem_longlong_p, shmem_longlong_g, shmem_longlong_put, shmem_longlong_get, shmem_longlong_iput, shmem_longlong_iget);
+rma_family!(i64, shmem_longlong_p, shmem_longlong_g, shmem_longlong_put, shmem_longlong_get, shmem_longlong_iput, shmem_longlong_iget, shmem_longlong_put_nbi, shmem_longlong_get_nbi);
 
 macro_rules! fixed_width_family {
     ($ty:ty, $put:ident, $get:ident, $iput:ident, $iget:ident) => {
@@ -109,22 +120,27 @@ fixed_width_family!(Complex64, shmem_put128, shmem_get128, shmem_iput128, shmem_
 // --- point-to-point synchronization --------------------------------------
 
 macro_rules! wait_family {
-    ($ty:ty, $wait:ident, $wait_until:ident) => {
+    ($ty:ty, $wait:ident, $wait_until:ident, $wait_until_at:ident) => {
         #[doc = concat!("`", stringify!($wait), "()`: block until the local variable changes from `value`.")]
         pub fn $wait(ctx: &ShmemCtx, var: &Sym<$ty>, value: $ty) {
             ctx.wait(var, 0, value)
         }
 
-        #[doc = concat!("`", stringify!($wait_until), "()`: block until `var cmp value` holds.")]
+        #[doc = concat!("`", stringify!($wait_until), "()`: block until `var cmp value` holds (element 0).")]
         pub fn $wait_until(ctx: &ShmemCtx, var: &Sym<$ty>, cmp: Cmp, value: $ty) {
-            ctx.wait_until(var, 0, cmp, value)
+            $wait_until_at(ctx, var, 0, cmp, value)
+        }
+
+        #[doc = concat!("`", stringify!($wait_until), "()` on element `idx` of `var` (signal words at arbitrary offsets).")]
+        pub fn $wait_until_at(ctx: &ShmemCtx, var: &Sym<$ty>, idx: usize, cmp: Cmp, value: $ty) {
+            ctx.wait_until(var, idx, cmp, value)
         }
     };
 }
 
-wait_family!(i32, shmem_int_wait, shmem_int_wait_until);
-wait_family!(i64, shmem_long_wait, shmem_long_wait_until);
-wait_family!(i64, shmem_longlong_wait, shmem_longlong_wait_until);
+wait_family!(i32, shmem_int_wait, shmem_int_wait_until, shmem_int_wait_until_at);
+wait_family!(i64, shmem_long_wait, shmem_long_wait_until, shmem_long_wait_until_at);
+wait_family!(i64, shmem_longlong_wait, shmem_longlong_wait_until, shmem_longlong_wait_until_at);
 
 // --- atomics ---------------------------------------------------------------
 
@@ -232,7 +248,7 @@ reduce_fn!(Complex64, shmem_complexd_prod_to_all, prod_to_all);
 // --- collectives ---------------------------------------------------------------
 
 macro_rules! collective_width {
-    ($ty:ty, $bcast:ident, $collect:ident, $fcollect:ident) => {
+    ($ty:ty, $bcast:ident, $collect:ident, $fcollect:ident, $alltoall:ident, $alltoalls:ident) => {
         #[doc = concat!("`", stringify!($bcast), "()`.")]
         #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
         pub fn $bcast(
@@ -273,11 +289,41 @@ macro_rules! collective_width {
         ) {
             ctx.fcollect(target, source, nelems, set(pe_start, log_pe_stride, pe_size))
         }
+
+        #[doc = concat!("`", stringify!($alltoall), "()` (OpenSHMEM 1.3).")]
+        #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+        pub fn $alltoall(
+            ctx: &ShmemCtx,
+            target: &Sym<$ty>,
+            source: &Sym<$ty>,
+            nelems: usize,
+            pe_start: usize,
+            log_pe_stride: u32,
+            pe_size: usize,
+        ) {
+            ctx.alltoall(target, source, nelems, set(pe_start, log_pe_stride, pe_size))
+        }
+
+        #[doc = concat!("`", stringify!($alltoalls), "()` (OpenSHMEM 1.3, strided).")]
+        #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+        pub fn $alltoalls(
+            ctx: &ShmemCtx,
+            target: &Sym<$ty>,
+            source: &Sym<$ty>,
+            dst: usize,
+            sst: usize,
+            nelems: usize,
+            pe_start: usize,
+            log_pe_stride: u32,
+            pe_size: usize,
+        ) {
+            ctx.alltoalls(target, source, dst, sst, nelems, set(pe_start, log_pe_stride, pe_size))
+        }
     };
 }
 
-collective_width!(u32, shmem_broadcast32, shmem_collect32, shmem_fcollect32);
-collective_width!(u64, shmem_broadcast64, shmem_collect64, shmem_fcollect64);
+collective_width!(u32, shmem_broadcast32, shmem_collect32, shmem_fcollect32, shmem_alltoall32, shmem_alltoalls32);
+collective_width!(u64, shmem_broadcast64, shmem_collect64, shmem_fcollect64, shmem_alltoall64, shmem_alltoalls64);
 
 // --- accessibility queries --------------------------------------------------
 

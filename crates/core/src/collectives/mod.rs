@@ -1,6 +1,7 @@
 //! Group communication: broadcast, collection, and reduction
 //! (paper Section IV-D).
 
+pub mod alltoall;
 pub mod broadcast;
 pub mod collect;
 pub mod hier;

@@ -146,6 +146,17 @@ pub struct Stats {
     pub barriers: u64,
     pub collectives: u64,
     pub atomics: u64,
+    /// Non-blocking puts issued (`shmem_put_nbi` family).
+    pub nbi_puts: u64,
+    /// Non-blocking gets issued (`shmem_get_nbi` family).
+    pub nbi_gets: u64,
+    /// Explicit `shmem_fence` calls. Tracked separately from `quiets`
+    /// so tests can assert that fence does **not** complete pending
+    /// non-blocking operations while quiet does.
+    pub fences: u64,
+    /// Explicit `shmem_quiet` calls (the internal completion drains run
+    /// by barriers and collectives do not count here).
+    pub quiets: u64,
 }
 
 /// Sequence-number namespaces for collective completion flags.
@@ -181,6 +192,19 @@ pub struct ShmemCtx {
     /// (local static-static copies, strided-get scatter). Grows to the
     /// high-water mark once instead of allocating per call.
     pub(crate) scratch: RefCell<Vec<u8>>,
+    /// Outstanding non-blocking operations, completed by
+    /// [`ShmemCtx::quiet`] (or the internal drain at barrier entry).
+    /// Capacity is retained across drains, so a steady-state nbi train
+    /// allocates only on its high-water mark.
+    pub(crate) pending: RefCell<Vec<crate::rma::PendingOp>>,
+    /// Source bytes captured at issue time for deferred dynamic-target
+    /// nbi puts. Entries reference `[off, off+len)` ranges; cleared (but
+    /// capacity kept) on every full drain.
+    pub(crate) nbi_stage: RefCell<Vec<u8>>,
+    /// Bump allocator over the shared temp region for in-flight
+    /// redirected nbi chunks. Reset to 0 on every full drain; blocking
+    /// temp users drain first, so the two never overlap.
+    pub(crate) nbi_temp_used: Cell<usize>,
     finalized: Cell<bool>,
 }
 
@@ -212,6 +236,9 @@ impl ShmemCtx {
             reply_token: Cell::new(0),
             stats: RefCell::new(Stats::default()),
             scratch: RefCell::new(Vec::new()),
+            pending: RefCell::new(Vec::new()),
+            nbi_stage: RefCell::new(Vec::new()),
+            nbi_temp_used: Cell::new(0),
             finalized: Cell::new(false),
         }
     }

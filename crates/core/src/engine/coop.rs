@@ -635,6 +635,14 @@ impl Fabric for CoopFabric {
             self.progress();
         } else {
             self.spin_retry();
+            // A failed cswap is a spin wait in disguise: callers retry in
+            // a loop (lock claims, rank-ordered rings) that never blocks,
+            // so without this it holds the admission gate forever and
+            // starves the very sibling whose turn must come first — the
+            // same contract `wait_pause` honors for flag polls.
+            if self.shared.gate_waiters(self.ctx) > 0 {
+                self.gate_yield();
+            }
         }
         old
     }

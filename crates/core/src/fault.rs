@@ -63,6 +63,24 @@ pub fn rma_fast_paths() -> bool {
     !RMA_FAST_PATHS_OFF.load(Ordering::Relaxed)
 }
 
+static NBI_EAGER: AtomicBool = AtomicBool::new(false);
+
+/// Complete every non-blocking RMA op immediately at issue instead of
+/// deferring to `quiet`. **Equivalence testing only**: eager and lazy
+/// completion must produce identical heap/static state and identical
+/// `Stats`, and the nbi suite proves it by running the same seeded
+/// program both ways. Same code path either way — eager mode simply
+/// drains the pending set after each issue.
+pub fn set_nbi_eager(on: bool) {
+    NBI_EAGER.store(on, Ordering::Release);
+}
+
+/// Whether nbi ops complete eagerly at issue (default: lazy).
+#[inline]
+pub fn nbi_eager() -> bool {
+    NBI_EAGER.load(Ordering::Relaxed)
+}
+
 /// One injectable liveness fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Fault {
@@ -97,6 +115,11 @@ pub enum Fault {
     /// Deliver the `nth` cross-chip mPIPE frame twice. Caught-class:
     /// the replay trips the sequence check, naming the link.
     DuplicateLinkPacket { nth: u64 },
+    /// Stall every `every`-th non-blocking-op completion for `micros` µs
+    /// as it drains (at `quiet`, barrier entry, or a same-destination
+    /// flush). Tolerated-class: completions slow down but retire in
+    /// issue order, so a correct program still converges to the oracle.
+    DelayNbiCompletion { every: u64, micros: u64 },
 }
 
 impl std::fmt::Display for Fault {
@@ -121,6 +144,9 @@ impl std::fmt::Display for Fault {
             Fault::DropLinkPacket { nth } => write!(f, "DropLinkPacket(frame {nth})"),
             Fault::DuplicateLinkPacket { nth } => {
                 write!(f, "DuplicateLinkPacket(frame {nth})")
+            }
+            Fault::DelayNbiCompletion { every, micros } => {
+                write!(f, "DelayNbiCompletion(every {every}th completion +{micros}us)")
             }
         }
     }
@@ -196,6 +222,9 @@ static PLAN_SENDS: AtomicU64 = AtomicU64::new(0);
 /// Global cross-chip mPIPE frame counter while a plan is active (drives
 /// the `nth`-frame link faults).
 static PLAN_LINK_FRAMES: AtomicU64 = AtomicU64::new(0);
+/// Global nbi-completion counter while a plan is active (drives
+/// `DelayNbiCompletion::every`).
+static PLAN_NBI_COMPLETIONS: AtomicU64 = AtomicU64::new(0);
 static PLAN: Mutex<Option<ActivePlan>> = Mutex::new(None);
 
 /// Install a fault plan process-wide, replacing any previous plan and
@@ -215,6 +244,7 @@ pub fn install(plan: FaultPlan) {
     PLAN_OPS.store(0, Ordering::Relaxed);
     PLAN_SENDS.store(0, Ordering::Relaxed);
     PLAN_LINK_FRAMES.store(0, Ordering::Relaxed);
+    PLAN_NBI_COMPLETIONS.store(0, Ordering::Relaxed);
     PLAN_BLOCKING.store(blocking, Ordering::Release);
     PLAN_ACTIVE.store(true, Ordering::Release);
 }
@@ -338,6 +368,25 @@ pub(crate) fn link_fault() -> Option<mpipe::FrameFault> {
     None
 }
 
+/// Delay (µs) to inject before the non-blocking-op completion being
+/// drained right now, if the active plan stalls this one.
+pub(crate) fn nbi_completion_delay_us() -> Option<u64> {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let n = PLAN_NBI_COMPLETIONS.fetch_add(1, Ordering::Relaxed) + 1;
+    let guard = PLAN.lock();
+    let active = guard.as_ref()?;
+    for f in &active.plan.faults {
+        if let Fault::DelayNbiCompletion { every, micros } = f {
+            if n.is_multiple_of(*every) {
+                return Some(*micros);
+            }
+        }
+    }
+    None
+}
+
 /// Delay (µs) to inject into PE `pe`'s op stream right now, if it is a
 /// `SlowPe` target on an `every`-th op.
 pub(crate) fn slow_pe_delay_us(pe: usize) -> Option<u64> {
@@ -394,6 +443,11 @@ mod tests {
                     | Fault::DuplicateLinkPacket { .. } => {
                         panic!("canary-only link fault drawn from seed")
                     }
+                    // Hand-built (canary-matrix) only today, but safe to
+                    // draw if from_seed ever grows it — just bound it.
+                    Fault::DelayNbiCompletion { every, micros } => {
+                        assert!(every >= 1 && micros < 1000);
+                    }
                 }
             }
         }
@@ -409,6 +463,7 @@ mod tests {
                 Fault::CorruptLinkPacket { nth: 7 },
                 Fault::DropLinkPacket { nth: 2 },
                 Fault::DuplicateLinkPacket { nth: 9 },
+                Fault::DelayNbiCompletion { every: 3, micros: 120 },
             ],
         };
         let d = plan.describe();
@@ -418,5 +473,6 @@ mod tests {
         assert!(d.contains("CorruptLinkPacket(frame 7)"));
         assert!(d.contains("DropLinkPacket(frame 2)"));
         assert!(d.contains("DuplicateLinkPacket(frame 9)"));
+        assert!(d.contains("DelayNbiCompletion(every 3th completion +120us)"));
     }
 }

@@ -75,6 +75,7 @@ pub mod runtime;
 pub mod service;
 pub mod symm;
 pub mod sync;
+pub mod team;
 pub mod trace;
 pub mod types;
 pub mod watch;
@@ -92,6 +93,8 @@ pub use runtime::{
     launch_timed, launch_timed_watched, launch_watched, start_pes, Launcher, RuntimeConfig,
     TimedOutcome,
 };
+pub use rma::SignalOp;
+pub use team::Team;
 pub use watch::{JobWatch, PeCounters, TimedWatch};
 pub use symm::{AddrClass, Bits, Sym};
 pub use sync::pt2pt::Cmp;
@@ -101,8 +104,10 @@ pub use types::{Complex32, Complex64, Reducible, ReduceOp};
 pub mod prelude {
     pub use crate::active_set::ActiveSet;
     pub use crate::ctx::{Algorithms, BarrierAlgo, BroadcastAlgo, HomingHint, ReduceAlgo, ShmemCtx};
+    pub use crate::rma::SignalOp;
     pub use crate::runtime::{launch, launch_timed, RuntimeConfig};
     pub use crate::symm::{AddrClass, Sym};
     pub use crate::sync::pt2pt::Cmp;
+    pub use crate::team::Team;
     pub use crate::types::{Complex32, Complex64, ReduceOp};
 }

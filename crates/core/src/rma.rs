@@ -15,11 +15,50 @@
 //! cost ladder of Figure 7.
 
 use crate::ctx::{byte_view, byte_view_mut, ShmemCtx};
-use crate::fabric::{Q_REPLY, Q_SERVICE};
+use crate::fabric::{ProtoMsg, Q_REPLY, Q_SERVICE, RmwOp, RmwWidth};
 use crate::service::{
     encode_request, encode_strided_request, TAG_SDONE, TAG_SGET, TAG_SGETS, TAG_SPUT, TAG_SPUTS,
 };
 use crate::symm::{AddrClass, Bits, Sym};
+
+/// One outstanding non-blocking operation, tracked per context and
+/// completed by [`ShmemCtx::quiet`] (or the internal drain every
+/// barrier-entering operation performs).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PendingOp {
+    /// A dynamic-target nbi put whose source bytes were captured into
+    /// the context's stage buffer at issue; applied with a single
+    /// `arena_write` at completion.
+    StagedPut {
+        pe: usize,
+        dest_global: usize,
+        stage_off: usize,
+        len: usize,
+    },
+    /// A redirected nbi request already queued at `pe`'s service
+    /// context; completion only awaits the `TAG_SDONE` reply carrying
+    /// `token`. Multiple requests pipeline through the remote handler,
+    /// which is where the nbi overlap win comes from.
+    AwaitReply { pe: usize, token: u64 },
+}
+
+impl PendingOp {
+    fn pe(&self) -> usize {
+        match self {
+            PendingOp::StagedPut { pe, .. } | PendingOp::AwaitReply { pe, .. } => *pe,
+        }
+    }
+}
+
+/// How `put_signal` updates the signal word after delivering the
+/// payload (`SHMEM_SIGNAL_SET` / `SHMEM_SIGNAL_ADD`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalOp {
+    /// Overwrite the signal word.
+    Set,
+    /// Atomically add to the signal word.
+    Add,
+}
 
 impl ShmemCtx {
     // --- elemental (`shmem_T_p` / `shmem_T_g`) --------------------------
@@ -46,6 +85,7 @@ impl ShmemCtx {
     /// it directly).
     pub fn put<T: Bits>(&self, target: &Sym<T>, index: usize, src: &[T], pe: usize) {
         self.check_pe(pe);
+        self.flush_pending_dest(pe);
         assert!(index + src.len() <= target.len(), "put out of bounds");
         let bytes = byte_view(src);
         {
@@ -64,14 +104,21 @@ impl ShmemCtx {
     /// Get `source[index..]` on PE `pe` into a local buffer.
     pub fn get<T: Bits>(&self, dst: &mut [T], source: &Sym<T>, index: usize, pe: usize) {
         self.check_pe(pe);
+        self.flush_pending_dest(pe);
         assert!(index + dst.len() <= source.len(), "get out of bounds");
-        let soff = source.elem_offset(index);
-        let len = std::mem::size_of_val(dst);
         {
             let mut s = self.stats.borrow_mut();
             s.gets += 1;
-            s.get_bytes += len as u64;
+            s.get_bytes += std::mem::size_of_val(dst) as u64;
         }
+        self.get_body(dst, source, index, pe);
+    }
+
+    /// Class dispatch shared by [`get`](Self::get) and
+    /// [`get_nbi`](Self::get_nbi) (which differ only in counters and
+    /// pending-set bookkeeping).
+    fn get_body<T: Bits>(&self, dst: &mut [T], source: &Sym<T>, index: usize, pe: usize) {
+        let soff = source.elem_offset(index);
         let bytes = byte_view_mut(dst);
         match source.class() {
             AddrClass::Dynamic => self.fab.arena_read(self.go(pe, soff), bytes),
@@ -93,6 +140,7 @@ impl ShmemCtx {
         pe: usize,
     ) {
         self.check_pe(pe);
+        self.flush_pending_dest(pe);
         assert!(toff + n <= target.len(), "put_sym target out of bounds");
         assert!(soff + n <= source.len(), "put_sym source out of bounds");
         let len = n * std::mem::size_of::<T>();
@@ -154,6 +202,7 @@ impl ShmemCtx {
         pe: usize,
     ) {
         self.check_pe(pe);
+        self.flush_pending_dest(pe);
         assert!(toff + n <= target.len(), "get_sym target out of bounds");
         assert!(soff + n <= source.len(), "get_sym source out of bounds");
         let len = n * std::mem::size_of::<T>();
@@ -227,6 +276,7 @@ impl ShmemCtx {
         pe: usize,
     ) {
         self.check_pe(pe);
+        self.flush_pending_dest(pe);
         assert!(tst >= 1 && sst >= 1, "strides must be >= 1");
         if nelems == 0 {
             return;
@@ -309,6 +359,7 @@ impl ShmemCtx {
         pe: usize,
     ) {
         self.check_pe(pe);
+        self.flush_pending_dest(pe);
         assert!(dst_stride >= 1 && sst >= 1, "strides must be >= 1");
         if nelems == 0 {
             return;
@@ -404,16 +455,27 @@ impl ShmemCtx {
 
     // --- redirection internals -------------------------------------------
 
-    /// Send a service request and await its completion reply.
+    /// Send a service request and await its completion reply. The reply
+    /// wait matches by token: with nbi requests in flight, `TAG_SDONE`
+    /// replies from different pipelined requests interleave on
+    /// `Q_REPLY`, so a positional receive would steal another op's
+    /// completion.
     fn redirect(&self, pe: usize, tag: u16, priv_off: usize, arena_global: usize, len: usize) {
         self.stats.borrow_mut().redirected += 1;
         let token = self.next_token();
         self.fab.quiet(); // our arena-side data must be visible first
         self.fab
             .udn_send(pe, Q_SERVICE, tag, &encode_request(priv_off, arena_global, len, token));
-        let reply = self.fab.udn_recv(Q_REPLY);
-        assert_eq!(reply.tag, TAG_SDONE, "unexpected reply tag {}", reply.tag);
-        assert_eq!(reply.payload[0], token, "reply token mismatch");
+        self.await_sdone(token);
+    }
+
+    /// Block until the `TAG_SDONE` reply carrying `token` arrives,
+    /// stashing any other reply that lands first.
+    fn await_sdone(&self, token: u64) {
+        let reply = self.recv_matching(Q_REPLY, |m: &ProtoMsg| {
+            m.tag == TAG_SDONE && m.payload.first() == Some(&token)
+        });
+        debug_assert_eq!(reply.payload[0], token);
     }
 
     /// Send a **strided** service request (one interrupt covers a whole
@@ -438,9 +500,7 @@ impl ShmemCtx {
             tag,
             &encode_strided_request(priv_base, stride_bytes, esize, count, arena_global, token),
         );
-        let reply = self.fab.udn_recv(Q_REPLY);
-        assert_eq!(reply.tag, TAG_SDONE, "unexpected reply tag {}", reply.tag);
-        assert_eq!(reply.payload[0], token, "reply token mismatch");
+        self.await_sdone(token);
     }
 
     /// Strided put to a remote static target: stage gathered elements in
@@ -453,6 +513,9 @@ impl ShmemCtx {
         tst: usize,
         gathered: &[T],
     ) {
+        // Blocking use of the shared temp: in-flight nbi chunks own bump-
+        // allocated slices of it, so complete them before reusing it.
+        self.drain_pending();
         let me = self.my_pe();
         let esize = std::mem::size_of::<T>();
         let temp = self.go(me, self.layout.temp_off);
@@ -488,6 +551,7 @@ impl ShmemCtx {
         nelems: usize,
         pe: usize,
     ) {
+        self.drain_pending(); // temp reuse — see iput_static_via_temp
         let me = self.my_pe();
         let esize = std::mem::size_of::<T>();
         let temp = self.go(me, self.layout.temp_off);
@@ -525,6 +589,7 @@ impl ShmemCtx {
     /// put with static target, arbitrary local bytes: chunk through the
     /// shared temp buffer.
     fn put_static_via_temp(&self, pe: usize, priv_dst: usize, bytes: &[u8]) {
+        self.drain_pending(); // temp reuse — see iput_static_via_temp
         let me = self.my_pe();
         let temp = self.layout.temp_off;
         let cap = self.layout.temp_bytes;
@@ -540,6 +605,7 @@ impl ShmemCtx {
     /// get with static source into arbitrary local bytes: redirect into
     /// our temp, then read out.
     fn get_static_via_temp(&self, pe: usize, priv_src: usize, bytes: &mut [u8]) {
+        self.drain_pending(); // temp reuse — see iput_static_via_temp
         let me = self.my_pe();
         let temp = self.layout.temp_off;
         let cap = self.layout.temp_bytes;
@@ -554,6 +620,7 @@ impl ShmemCtx {
 
     /// static-static put: private source -> shared temp -> remote private.
     fn put_static_from_private(&self, pe: usize, priv_dst: usize, priv_src: usize, len: usize) {
+        self.drain_pending(); // temp reuse — see iput_static_via_temp
         let me = self.my_pe();
         let temp = self.layout.temp_off;
         let cap = self.layout.temp_bytes;
@@ -568,6 +635,7 @@ impl ShmemCtx {
 
     /// static-static get: remote private -> my shared temp -> my private.
     fn get_static_to_private(&self, pe: usize, priv_dst: usize, priv_src: usize, len: usize) {
+        self.drain_pending(); // temp reuse — see iput_static_via_temp
         let me = self.my_pe();
         let temp = self.layout.temp_off;
         let cap = self.layout.temp_bytes;
@@ -588,5 +656,367 @@ impl ShmemCtx {
     /// Large arena->private transfer in one memcpy.
     fn bounce_arena_to_private(&self, priv_dst: usize, arena_src_global: usize, len: usize) {
         self.fab.arena_to_private(priv_dst, arena_src_global, len);
+    }
+
+    // --- non-blocking transfers (`shmem_put_nbi` / `shmem_get_nbi`) -----
+
+    /// `shmem_put_nbi`: start a put of `src` into `target[index..]` on
+    /// PE `pe` and return immediately. The source slice is captured at
+    /// issue (OpenSHMEM forbids reuse before completion, so capturing is
+    /// always observationally valid); completion is deferred to
+    /// [`quiet`](Self::quiet). Dynamic targets stage the bytes locally
+    /// and apply them at drain; static targets send their redirected
+    /// service requests immediately and defer only the completion-reply
+    /// waits, pipelining multiple requests through the remote handler.
+    pub fn put_nbi<T: Bits>(&self, target: &Sym<T>, index: usize, src: &[T], pe: usize) {
+        self.check_pe(pe);
+        assert!(index + src.len() <= target.len(), "put_nbi out of bounds");
+        let bytes = byte_view(src);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.nbi_puts += 1;
+            s.put_bytes += bytes.len() as u64;
+        }
+        let toff = target.elem_offset(index);
+        match target.class() {
+            AddrClass::Dynamic => self.stage_put_nbi(pe, self.go(pe, toff), bytes),
+            // A local private write has no remote completion to defer.
+            AddrClass::Static if pe == self.my_pe() => self.fab.private_write(toff, bytes),
+            AddrClass::Static => self.put_static_via_temp_nbi(pe, toff, bytes),
+        }
+        if crate::fault::nbi_eager() {
+            self.drain_pending();
+        }
+    }
+
+    /// `shmem_get_nbi`: get into a local buffer. The destination is a
+    /// borrowed Rust slice, so the transfer completes at issue (the
+    /// OpenSHMEM nbi contract permits early completion); the call still
+    /// counts as an nbi get and participates in the fence/quiet
+    /// ordering model.
+    pub fn get_nbi<T: Bits>(&self, dst: &mut [T], source: &Sym<T>, index: usize, pe: usize) {
+        self.check_pe(pe);
+        self.flush_pending_dest(pe);
+        assert!(index + dst.len() <= source.len(), "get_nbi out of bounds");
+        {
+            let mut s = self.stats.borrow_mut();
+            s.nbi_gets += 1;
+            s.get_bytes += std::mem::size_of_val(dst) as u64;
+        }
+        self.get_body(dst, source, index, pe);
+    }
+
+    /// Symmetric-to-symmetric non-blocking put (the deferred counterpart
+    /// of [`put_sym`](Self::put_sym)).
+    #[allow(clippy::too_many_arguments)] // mirrors put_sym
+    pub fn put_sym_nbi<T: Bits>(
+        &self,
+        target: &Sym<T>,
+        toff: usize,
+        source: &Sym<T>,
+        soff: usize,
+        n: usize,
+        pe: usize,
+    ) {
+        self.check_pe(pe);
+        assert!(toff + n <= target.len(), "put_sym_nbi target out of bounds");
+        assert!(soff + n <= source.len(), "put_sym_nbi source out of bounds");
+        let len = n * std::mem::size_of::<T>();
+        if len == 0 {
+            return;
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.nbi_puts += 1;
+            s.put_bytes += len as u64;
+        }
+        let t = target.elem_offset(toff);
+        let s = source.elem_offset(soff);
+        let me = self.my_pe();
+        match (target.class(), source.class()) {
+            (AddrClass::Dynamic, AddrClass::Dynamic) => {
+                let off = self.stage_reserve(len);
+                {
+                    let mut stage = self.nbi_stage.borrow_mut();
+                    self.fab.arena_read(self.go(me, s), &mut stage[off..off + len]);
+                }
+                self.push_staged(pe, self.go(pe, t), off, len);
+            }
+            (AddrClass::Dynamic, AddrClass::Static) => {
+                let off = self.stage_reserve(len);
+                {
+                    let mut stage = self.nbi_stage.borrow_mut();
+                    self.fab.private_read(s, &mut stage[off..off + len]);
+                }
+                self.push_staged(pe, self.go(pe, t), off, len);
+            }
+            // Local static target: completes at issue.
+            (AddrClass::Static, _) if pe == me => match source.class() {
+                AddrClass::Dynamic => self.bounce_arena_to_private(t, self.go(me, s), len),
+                AddrClass::Static => self.with_scratch(len, |buf| {
+                    self.fab.private_read(s, buf);
+                    self.fab.private_write(t, buf);
+                }),
+            },
+            // static-dynamic: the remote handler reads our arena source
+            // directly, so the request needs no staging at all — send it
+            // now, await the reply at quiet.
+            (AddrClass::Static, AddrClass::Dynamic) => {
+                self.redirect_nbi(pe, TAG_SPUT, t, self.go(me, s), len);
+            }
+            (AddrClass::Static, AddrClass::Static) => {
+                self.put_static_from_private_nbi(pe, t, s, len);
+            }
+        }
+        if crate::fault::nbi_eager() {
+            self.drain_pending();
+        }
+    }
+
+    /// Symmetric-to-symmetric non-blocking get. The dynamic-target,
+    /// static-source case — the redirected one — genuinely defers: the
+    /// remote handler writes straight into our arena target and the
+    /// completion reply is awaited at [`quiet`](Self::quiet). The other
+    /// cases are local copies and complete at issue.
+    #[allow(clippy::too_many_arguments)] // mirrors get_sym
+    pub fn get_sym_nbi<T: Bits>(
+        &self,
+        target: &Sym<T>,
+        toff: usize,
+        source: &Sym<T>,
+        soff: usize,
+        n: usize,
+        pe: usize,
+    ) {
+        self.check_pe(pe);
+        self.flush_pending_dest(pe);
+        assert!(toff + n <= target.len(), "get_sym_nbi target out of bounds");
+        assert!(soff + n <= source.len(), "get_sym_nbi source out of bounds");
+        let len = n * std::mem::size_of::<T>();
+        if len == 0 {
+            return;
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.nbi_gets += 1;
+            s.get_bytes += len as u64;
+        }
+        let t = target.elem_offset(toff);
+        let s = source.elem_offset(soff);
+        let me = self.my_pe();
+        match (target.class(), source.class()) {
+            (AddrClass::Dynamic, AddrClass::Static) if pe != me => {
+                self.redirect_nbi(pe, TAG_SGET, s, self.go(me, t), len);
+            }
+            (AddrClass::Dynamic, AddrClass::Dynamic) => {
+                self.fab.arena_copy(self.go(me, t), self.go(pe, s), len);
+            }
+            (AddrClass::Static, AddrClass::Dynamic) => {
+                self.bounce_arena_to_private(t, self.go(pe, s), len);
+            }
+            (_, AddrClass::Static) if pe == me => match target.class() {
+                AddrClass::Dynamic => self.bounce_private_to_arena(self.go(me, t), s, len),
+                AddrClass::Static => self.with_scratch(len, |buf| {
+                    self.fab.private_read(s, buf);
+                    self.fab.private_write(t, buf);
+                }),
+            },
+            (AddrClass::Static, AddrClass::Static) => {
+                self.get_static_to_private(pe, t, s, len);
+            }
+            // pe == me dynamic-static handled above; nothing else remains.
+            (AddrClass::Dynamic, AddrClass::Static) => unreachable!(),
+        }
+        if crate::fault::nbi_eager() {
+            self.drain_pending();
+        }
+    }
+
+    // --- put-with-signal (`shmem_put_signal`) ---------------------------
+
+    /// `shmem_put_signal`: deliver `src` into `target[index..]` on `pe`,
+    /// then update the signal word `sig[sig_index]` on `pe` — with the
+    /// payload guaranteed visible before the signal. The signal word is
+    /// waitable with [`wait_until`](Self::wait_until) at its (possibly
+    /// non-zero) element index, which is exactly why the indexed wait
+    /// entry point exists.
+    #[allow(clippy::too_many_arguments)] // mirrors the OpenSHMEM C signature
+    pub fn put_signal<T: Bits>(
+        &self,
+        target: &Sym<T>,
+        index: usize,
+        src: &[T],
+        sig: &Sym<u64>,
+        sig_index: usize,
+        sig_value: u64,
+        sig_op: SignalOp,
+        pe: usize,
+    ) {
+        // Payload first (a blocking put, which also flushes any pending
+        // nbi ops to `pe`), then a fabric fence so the data is visible
+        // before the signal word changes.
+        self.put(target, index, src, pe);
+        self.fab.quiet();
+        assert_eq!(sig.class(), AddrClass::Dynamic, "signal word must be dynamic");
+        assert!(sig_index < sig.len(), "signal index out of bounds");
+        let off = self.go(pe, sig.elem_offset(sig_index));
+        assert_eq!(off % 8, 0, "unaligned signal word");
+        self.stats.borrow_mut().atomics += 1;
+        match sig_op {
+            SignalOp::Set => self.fab.arena_write_u64(off, sig_value),
+            SignalOp::Add => {
+                let _ = self.fab.arena_rmw(off, RmwOp::Add, sig_value, RmwWidth::W64);
+            }
+        }
+    }
+
+    // --- pending-op lifecycle -------------------------------------------
+
+    /// Number of outstanding non-blocking operations (observability for
+    /// tests: the fence-vs-quiet contract is asserted against this).
+    pub fn pending_nbi_ops(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Complete **all** outstanding nbi operations in issue order, then
+    /// reset the staging buffers. Called by [`quiet`](Self::quiet),
+    /// barrier entry, and blocking users of the shared temp.
+    pub(crate) fn drain_pending(&self) {
+        if !self.pending.borrow().is_empty() {
+            let mut ops = self.pending.take();
+            for op in ops.drain(..) {
+                self.complete_op(op);
+            }
+            // Hand the drained vec back so its capacity is reused.
+            *self.pending.borrow_mut() = ops;
+        }
+        self.nbi_stage.borrow_mut().clear();
+        self.nbi_temp_used.set(0);
+    }
+
+    /// Complete outstanding nbi operations addressed to `pe`, in issue
+    /// order, leaving ops to other destinations pending. Blocking RMA
+    /// calls this on entry so mixed blocking/non-blocking traffic to one
+    /// destination retains program order.
+    pub(crate) fn flush_pending_dest(&self, pe: usize) {
+        if !self.pending.borrow().iter().any(|op| op.pe() == pe) {
+            return;
+        }
+        // cold: rare path — only when blocking traffic interleaves with
+        // an unfinished nbi train to the same destination.
+        let mut todo: Vec<PendingOp> = Vec::new();
+        {
+            let mut pending = self.pending.borrow_mut();
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].pe() == pe {
+                    todo.push(pending.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for op in todo {
+            self.complete_op(op);
+        }
+        // Staged bytes of the flushed ops stay in the stage buffer (ops
+        // behind them still reference their own ranges); the buffer is
+        // reclaimed wholesale at the next full drain.
+    }
+
+    /// Complete one pending op. Consulted by the fault plane first: a
+    /// `DelayNbiCompletion` plan stalls completions without reordering
+    /// them (tolerated class — slower, never wrong).
+    fn complete_op(&self, op: PendingOp) {
+        if let Some(us) = crate::fault::nbi_completion_delay_us() {
+            self.fab.inject_delay_us(us);
+        }
+        match op {
+            PendingOp::StagedPut { dest_global, stage_off, len, .. } => {
+                let stage = self.nbi_stage.borrow();
+                self.fab.arena_write(dest_global, &stage[stage_off..stage_off + len]);
+            }
+            PendingOp::AwaitReply { token, .. } => self.await_sdone(token),
+        }
+    }
+
+    /// Reserve `len` bytes in the stage buffer, returning the offset.
+    fn stage_reserve(&self, len: usize) -> usize {
+        let mut stage = self.nbi_stage.borrow_mut();
+        let off = stage.len();
+        stage.resize(off + len, 0);
+        off
+    }
+
+    fn push_staged(&self, pe: usize, dest_global: usize, stage_off: usize, len: usize) {
+        self.pending.borrow_mut().push(PendingOp::StagedPut {
+            pe,
+            dest_global,
+            stage_off,
+            len,
+        });
+    }
+
+    /// Capture `bytes` and queue a deferred dynamic-target put.
+    fn stage_put_nbi(&self, pe: usize, dest_global: usize, bytes: &[u8]) {
+        let off = self.stage_reserve(bytes.len());
+        self.nbi_stage.borrow_mut()[off..off + bytes.len()].copy_from_slice(bytes);
+        self.push_staged(pe, dest_global, off, bytes.len());
+    }
+
+    /// Send a redirected service request and queue its completion-reply
+    /// wait instead of blocking on it — the pipelined counterpart of
+    /// [`redirect`](Self::redirect).
+    fn redirect_nbi(&self, pe: usize, tag: u16, priv_off: usize, arena_global: usize, len: usize) {
+        self.stats.borrow_mut().redirected += 1;
+        let token = self.next_token();
+        self.fab.quiet(); // our arena-side data must be visible first
+        self.fab
+            .udn_send(pe, Q_SERVICE, tag, &encode_request(priv_off, arena_global, len, token));
+        self.pending.borrow_mut().push(PendingOp::AwaitReply { pe, token });
+    }
+
+    /// Non-blocking static-target put of arbitrary local bytes: chunks
+    /// bump-allocate slices of the shared temp so several chunks can be
+    /// in flight at once; only on temp exhaustion does the train stall
+    /// for a full drain.
+    fn put_static_via_temp_nbi(&self, pe: usize, priv_dst: usize, bytes: &[u8]) {
+        let me = self.my_pe();
+        let cap = self.layout.temp_bytes;
+        let mut done = 0;
+        while done < bytes.len() {
+            let used = self.nbi_temp_used.get();
+            if used == cap {
+                self.drain_pending(); // resets the bump cursor
+                continue;
+            }
+            let n = (bytes.len() - done).min(cap - used);
+            let temp = self.layout.temp_off + used;
+            self.nbi_temp_used.set(used + n);
+            self.fab.arena_write(self.go(me, temp), &bytes[done..done + n]);
+            self.redirect_nbi(pe, TAG_SPUT, priv_dst + done, self.go(me, temp), n);
+            done += n;
+        }
+    }
+
+    /// Non-blocking static-static put: private source staged through
+    /// bump-allocated temp chunks, requests pipelined.
+    fn put_static_from_private_nbi(&self, pe: usize, priv_dst: usize, priv_src: usize, len: usize) {
+        let me = self.my_pe();
+        let cap = self.layout.temp_bytes;
+        let mut done = 0;
+        while done < len {
+            let used = self.nbi_temp_used.get();
+            if used == cap {
+                self.drain_pending();
+                continue;
+            }
+            let n = (len - done).min(cap - used);
+            let temp = self.layout.temp_off + used;
+            self.nbi_temp_used.set(used + n);
+            self.fab.private_to_arena(self.go(me, temp), priv_src + done, n);
+            self.redirect_nbi(pe, TAG_SPUT, priv_dst + done, self.go(me, temp), n);
+            done += n;
+        }
     }
 }

@@ -46,6 +46,10 @@ impl ShmemCtx {
             .rank_of(self.my_pe())
             .unwrap_or_else(|| panic!("PE {} not in active set {set:?}", self.my_pe()));
         self.stats.borrow_mut().barriers += 1;
+        // Barrier completes outstanding nbi ops (it subsumes a quiet),
+        // but without bumping the `quiets` counter — fence/quiet stats
+        // stay attributable to the explicit entry points.
+        self.drain_pending();
         self.fab.quiet();
         if set.size == 1 {
             return;
@@ -69,6 +73,7 @@ impl ShmemCtx {
     /// of the configured default).
     pub fn barrier_ring_explicit(&self, set: ActiveSet) {
         let rank = set.rank_of(self.my_pe()).expect("not in set");
+        self.drain_pending();
         self.fab.quiet();
         if set.size > 1 {
             self.barrier_ring(set, rank);
@@ -78,6 +83,7 @@ impl ShmemCtx {
     /// Explicit root-broadcast barrier (for the ablation benches).
     pub fn barrier_root_broadcast_explicit(&self, set: ActiveSet) {
         let rank = set.rank_of(self.my_pe()).expect("not in set");
+        self.drain_pending();
         self.fab.quiet();
         if set.size > 1 {
             self.barrier_root_broadcast(set, rank);
@@ -87,6 +93,7 @@ impl ShmemCtx {
     /// Explicit dissemination barrier (for the ablation benches).
     pub fn barrier_dissemination_explicit(&self, set: ActiveSet) {
         let rank = set.rank_of(self.my_pe()).expect("not in set");
+        self.drain_pending();
         self.fab.quiet();
         if set.size > 1 {
             self.barrier_dissemination(set, rank);
@@ -105,6 +112,7 @@ impl ShmemCtx {
     pub fn barrier_hier_with(&self, set: ActiveSet, cs: usize) {
         assert!(cs > 0, "cluster width must be positive");
         let rank = set.rank_of(self.my_pe()).expect("not in set");
+        self.drain_pending();
         self.fab.quiet();
         if set.size > 1 {
             self.barrier_hier(set, rank, cs);

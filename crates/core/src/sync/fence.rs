@@ -1,23 +1,43 @@
 //! Communication synchronization: `shmem_fence` and `shmem_quiet`
-//! (paper Section IV-C2).
+//! (paper Section IV-C2, extended with the OpenSHMEM 1.3 completion
+//! model).
 //!
-//! `shmem_quiet()` blocks until all outstanding puts to all PEs are
-//! complete; `shmem_fence()` only orders puts to each individual PE.
-//! TSHMEM implements quiet with `tmc_mem_fence()` and simply aliases
-//! fence to quiet, giving it the stronger semantics — we do the same.
+//! `shmem_quiet()` blocks until all outstanding puts by this PE — the
+//! blocking ones *and* the non-blocking (`_nbi`) ones — are complete
+//! and visible. `shmem_fence()` is strictly weaker: it orders puts per
+//! destination PE but does **not** complete outstanding non-blocking
+//! operations. The paper's TSHMEM aliased fence to quiet (both were
+//! `tmc_mem_fence()`), which was harmless when every op was blocking;
+//! with `put_nbi` in the surface, that alias would silently destroy the
+//! communication/computation overlap nbi exists to provide. The two
+//! entry points now diverge, and `Stats { fences, quiets }` counts them
+//! separately so tests can assert the difference.
+//!
+//! Per-destination ordering without a drain holds by construction:
+//! staged dynamic-target puts are applied in issue order at drain,
+//! redirected static-target requests are sent at issue and serviced by
+//! the remote handler in arrival order, and the two kinds target
+//! disjoint memory (arena vs private), so same-location writes to one
+//! PE always retire in program order.
 
 use crate::ctx::ShmemCtx;
 
 impl ShmemCtx {
-    /// `shmem_quiet`: all outstanding puts by this PE are complete and
-    /// visible.
+    /// `shmem_quiet`: all outstanding puts by this PE — including
+    /// non-blocking ones — are complete and visible. This is the
+    /// completion point for `put_nbi`/`get_nbi`.
     pub fn quiet(&self) {
+        self.drain_pending();
         self.fab.quiet();
+        self.stats.borrow_mut().quiets += 1;
     }
 
-    /// `shmem_fence`: ordering of puts per destination PE. Aliased to
-    /// [`quiet`](Self::quiet), exactly as in the paper's TSHMEM.
+    /// `shmem_fence`: ordering of puts per destination PE. Does **not**
+    /// complete outstanding non-blocking operations — after a
+    /// `put_nbi` + `fence`, the op is still pending until
+    /// [`quiet`](Self::quiet).
     pub fn fence(&self) {
-        self.quiet();
+        self.fab.quiet();
+        self.stats.borrow_mut().fences += 1;
     }
 }

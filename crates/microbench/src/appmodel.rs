@@ -14,7 +14,7 @@ pub fn pe_counts(max: usize) -> Vec<usize> {
 
 /// Execution time (seconds, simulated) of the 2D FFT at `npes` PEs.
 pub fn fft_time_s(device: Device, n: usize, npes: usize) -> f64 {
-    let fcfg = Fft2dConfig { n, seed: 0x13 };
+    let fcfg = Fft2dConfig { n, seed: 0x13, ..Fft2dConfig::default() };
     let full_bytes = n * n * 8;
     let cfg = RuntimeConfig::for_device(device, npes)
         .with_partition_bytes(full_bytes + 4 * (n / npes.max(1) + 1) * n * 8 + (1 << 20))

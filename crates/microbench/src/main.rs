@@ -31,10 +31,12 @@ use std::time::Instant;
 
 use tshmem::runtime::launch_coop;
 use tshmem::{launch, ActiveSet, RuntimeConfig, ShmemCtx};
+use tshmem_apps::fft::{fft2d_shmem, Fft2dConfig, TransposeMode};
 
 struct Args {
     native_suite: bool,
     coop_suite: bool,
+    nbi_suite: bool,
     pes: usize,
     out: Option<String>,
     quick: bool,
@@ -45,6 +47,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         native_suite: false,
         coop_suite: false,
+        nbi_suite: false,
         pes: 8,
         out: None,
         quick: false,
@@ -61,6 +64,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--native-suite" => args.native_suite = true,
             "--coop-suite" => args.coop_suite = true,
+            "--nbi-suite" => args.nbi_suite = true,
             "--pes" => {
                 args.pes = val().parse().unwrap_or_else(|_| {
                     eprintln!("--pes wants a number");
@@ -77,14 +81,18 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: microbench --native-suite|--coop-suite [--pes N] \
+                    "usage: microbench --native-suite|--coop-suite|--nbi-suite [--pes N] \
                      [--workers M] [--out PATH] [--quick]\n\
                      --native-suite runs the native-engine perf suite (put/get \n\
                      bandwidth, barrier latency, reduce latency, traced-vs-untraced \n\
                      putget ablation) and writes PATH (default BENCH_native.json).\n\
                      --coop-suite runs the M:N scaling suite: flat dissemination vs \n\
                      hierarchical barrier at 64/256/1024 PEs on the coop engine \n\
-                     (--workers 0 = auto) and writes PATH (default BENCH_coop.json)."
+                     (--workers 0 = auto) and writes PATH (default BENCH_coop.json).\n\
+                     --nbi-suite runs the nbi overlap ablation: blocking vs \n\
+                     nbi-overlapped redirected put trains and the end-to-end 2D-FFT \n\
+                     transpose in both modes on the native engine, written to PATH \n\
+                     (default BENCH_nbi.json)."
                 );
                 std::process::exit(0);
             }
@@ -299,6 +307,125 @@ fn run_coop_suite(args: &Args) {
     println!("wrote {out}");
 }
 
+/// A train of `count` redirected puts (static-segment target, `elems`
+/// u64 each) to the right neighbor, completed once per iteration. The
+/// blocking arm pays a service round-trip per put; the nbi arm sends
+/// every request up front and drains the completion replies at one
+/// `quiet` — the pipelining `shmem_put_nbi` exists for.
+fn bench_static_put_train(npes: usize, count: usize, elems: usize, iters: usize, nbi: bool) -> f64 {
+    let cfg = RuntimeConfig::new(npes)
+        .with_private_bytes((count * elems * 8 + (1 << 12)).next_power_of_two())
+        .with_temp_bytes(1 << 14);
+    slowest(launch(&cfg, move |ctx| {
+        let dst = ctx.static_sym::<u64>(count * elems);
+        let src: Vec<u64> = (0..elems as u64).collect();
+        let to = (ctx.my_pe() + 1) % ctx.n_pes();
+        timed_loop(ctx, iters, || {
+            for i in 0..count {
+                if nbi {
+                    ctx.put_nbi(&dst, i * elems, &src, to);
+                } else {
+                    ctx.put(&dst, i * elems, &src, to);
+                }
+            }
+            ctx.quiet();
+        })
+    }))
+}
+
+/// End-to-end 2D-FFT wall time (slowest PE) under one transpose mode.
+/// One launch per repetition — the static-segment receive block is
+/// bump-allocated and never freed, so repetitions must not share a
+/// context — and the reported number is the fastest repetition.
+fn bench_fft_transpose(npes: usize, n: usize, mode: TransposeMode, reps: usize) -> f64 {
+    let fcfg = Fft2dConfig { n, seed: 0xF11, transpose: mode };
+    let full_bytes = n * n * 8;
+    let recv_bytes = (n / npes + 1) * n * 8;
+    let cfg = RuntimeConfig::new(npes)
+        .with_partition_bytes(full_bytes + 4 * recv_bytes + (1 << 20))
+        .with_private_bytes((recv_bytes + (1 << 16)).next_power_of_two())
+        .with_temp_bytes(1 << 14);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let vals = launch(&cfg, move |ctx| fft2d_shmem(ctx, &fcfg).elapsed_ns);
+        best = best.min(vals.into_iter().fold(0.0, f64::max));
+    }
+    best
+}
+
+/// The nbi overlap ablation: redirected put trains and the 2D-FFT
+/// transpose, blocking vs nbi-overlapped, on the native engine. The
+/// headline number is `nbi_over_blocking` on the end-to-end FFT —
+/// below 1.0 means the overlapped transpose won. The direct
+/// (coherent-store) transpose is measured too, as the fast-path
+/// context the redirected modes are traded against.
+fn run_nbi_suite(args: &Args) {
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_nbi.json".to_string());
+    let npes = args.pes.clamp(2, 4);
+    let (n, reps, train_iters) = if args.quick { (128, 2, 100) } else { (256, 5, 1_000) };
+    eprintln!(
+        "nbi suite: {npes} PEs, {n}x{n} FFT{}",
+        if args.quick { " (quick)" } else { "" }
+    );
+
+    let mut benches: Vec<Bench> = Vec::new();
+    let mut push = |b: Bench| {
+        eprintln!("  {:<24} {:>14.1} ns/op", b.name, b.ns_per_op);
+        benches.push(b);
+    };
+
+    const TRAIN: usize = 64; // puts per train
+    const ELEMS: usize = 64; // u64 per put (512 B)
+    let train_blocking = bench_static_put_train(npes, TRAIN, ELEMS, train_iters, false);
+    let train_nbi = bench_static_put_train(npes, TRAIN, ELEMS, train_iters, true);
+    push(Bench {
+        name: "static_put_train_blocking",
+        ns_per_op: train_blocking,
+        bytes_per_op: TRAIN * ELEMS * 8,
+    });
+    push(Bench {
+        name: "static_put_train_nbi",
+        ns_per_op: train_nbi,
+        bytes_per_op: TRAIN * ELEMS * 8,
+    });
+
+    let fft_blocking = bench_fft_transpose(npes, n, TransposeMode::Blocking, reps);
+    let fft_nbi = bench_fft_transpose(npes, n, TransposeMode::Nbi, reps);
+    let fft_direct = bench_fft_transpose(npes, n, TransposeMode::Direct, reps);
+    push(Bench { name: "fft_transpose_blocking", ns_per_op: fft_blocking, bytes_per_op: 0 });
+    push(Bench { name: "fft_transpose_nbi", ns_per_op: fft_nbi, bytes_per_op: 0 });
+    push(Bench { name: "fft_transpose_direct", ns_per_op: fft_direct, bytes_per_op: 0 });
+
+    let ratio = fft_nbi / fft_blocking;
+    let train_ratio = train_nbi / train_blocking;
+    eprintln!("  fft nbi/blocking: {ratio:.3}   train nbi/blocking: {train_ratio:.3}");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"suite\": \"nbi\",\n");
+    json.push_str(&format!("  \"npes\": {npes},\n"));
+    json.push_str(&format!("  \"fft_n\": {n},\n"));
+    json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    json.push_str(&format!("  \"nbi_over_blocking\": {ratio:.4},\n"));
+    json.push_str(&format!("  \"train_nbi_over_blocking\": {train_ratio:.4},\n"));
+    json.push_str("  \"benchmarks\": {\n");
+    for (i, b) in benches.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"ns_per_op\": {:.1}, \"bytes_per_sec\": {:.1}}}{}\n",
+            json_escape_free(b.name),
+            b.ns_per_op,
+            b.bytes_per_sec(),
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Benchmark names are static identifiers; assert rather than escape.
     assert!(
@@ -314,8 +441,12 @@ fn main() {
         run_coop_suite(&args);
         return;
     }
+    if args.nbi_suite {
+        run_nbi_suite(&args);
+        return;
+    }
     if !args.native_suite {
-        eprintln!("nothing to do: pass --native-suite or --coop-suite (see --help)");
+        eprintln!("nothing to do: pass --native-suite, --coop-suite, or --nbi-suite (see --help)");
         std::process::exit(2);
     }
     let out = args.out.clone().unwrap_or_else(|| "BENCH_native.json".to_string());

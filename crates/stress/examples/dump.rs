@@ -1,0 +1,39 @@
+//! Print the step list of one generated stress program — the first
+//! thing to look at when a `(seed, case, pes, gen)` replay stalls or
+//! diverges, before reaching for the watchdog report:
+//!
+//! ```text
+//! cargo run -p stress --example dump -- 0x52 2 4 4
+//! ```
+
+use stress::program::{gen_program_v, RngDraw, Step};
+
+fn main() {
+    let a: Vec<String> = std::env::args().skip(1).collect();
+    if a.len() != 4 {
+        eprintln!("usage: dump <hex-seed> <case> <pes> <gen>");
+        std::process::exit(2);
+    }
+    let seed = u64::from_str_radix(a[0].trim_start_matches("0x"), 16).unwrap();
+    let case: u64 = a[1].parse().unwrap();
+    let pes: usize = a[2].parse().unwrap();
+    let gen: u32 = a[3].parse().unwrap();
+    let prog = gen_program_v(&mut RngDraw::new(seed, case), pes, gen);
+    println!("temp={}B algos={:?} steps={}", prog.temp_bytes, prog.algos, prog.steps.len());
+    for (i, s) in prog.steps.iter().enumerate() {
+        let name = match s {
+            Step::Rma { .. } => "Rma".into(),
+            Step::Coll { kind, set, .. } => format!("Coll {kind:?} set={set:?}"),
+            Step::Lock { rounds } => format!("Lock rounds={rounds}"),
+            Step::SignalRing { rounds } => format!("SignalRing rounds={rounds}"),
+            Step::CswapRing { rounds } => format!("CswapRing rounds={rounds}"),
+            Step::HeapChurn { .. } => "HeapChurn".into(),
+            Step::NbiTrain { .. } => "NbiTrain".into(),
+            Step::SignalChain { rounds, idx, add } => {
+                format!("SignalChain rounds={rounds} idx={idx} add={add}")
+            }
+            Step::TeamColl { kind, split, .. } => format!("TeamColl {kind:?} split={split:?}"),
+        };
+        println!("step {i}: {name}");
+    }
+}

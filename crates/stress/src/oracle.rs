@@ -7,8 +7,8 @@
 //! collectives are evaluated by their OpenSHMEM semantics.
 
 use crate::program::{
-    coll_base, coll_len, collect_nelems, AuxOp, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
-    SLOTS_PER_PE, STAT_SLOTS_PER_PE,
+    chain_payload, coll_base, coll_len, collect_nelems, AuxOp, CollKind, NbiOp, Program, RmaOp,
+    Step, TeamKind, CHAIN_W, COLL_L, NCTRS, NSIG, SLOTS_PER_PE, STAT_SLOTS_PER_PE,
 };
 
 /// Predicted end-state, plus every value each PE's gets must observe (in
@@ -28,6 +28,13 @@ pub struct Model {
     pub sig: u64,
     /// Final value of the `ring` cswap cell (PE 0's copy).
     pub ring: u64,
+    /// Final values of the `sigs` signal words (identical on every
+    /// copy: each [`Step::SignalChain`] leaves `sigs[idx]` at its
+    /// cumulative round count on all PEs).
+    pub sigs: Vec<u64>,
+    /// `chaind[pe][elem]`: each PE's copy of the `put_signal` payload
+    /// array.
+    pub chaind: Vec<Vec<u64>>,
     /// `gets[pe]`: expected results of PE `pe`'s recorded gets, in issue
     /// order.
     pub gets: Vec<Vec<u64>>,
@@ -53,6 +60,8 @@ pub fn oracle(prog: &Program) -> Model {
         lock_ctr: 0,
         sig: 0,
         ring: 0,
+        sigs: vec![0u64; NSIG],
+        chaind: vec![vec![0u64; n * CHAIN_W]; n],
         gets: vec![Vec::new(); n],
     };
     for step in &prog.steps {
@@ -132,52 +141,7 @@ pub fn oracle(prog: &Program) -> Model {
             }
             Step::Coll { kind, set, idx, vals } => {
                 let set = tshmem::ActiveSet::new(set.0, set.1, set.2);
-                let base = coll_base(prog, *idx);
-                let dest = base + COLL_L;
-                // Every member publishes its contribution in its own
-                // copy's src slots.
-                for (rank, pe) in set.iter().enumerate() {
-                    m.coll[pe][base..base + COLL_L].copy_from_slice(&vals[rank]);
-                }
-                match kind {
-                    CollKind::Bcast { root_rank } => {
-                        // Per OpenSHMEM, the root's dest is not written.
-                        for (rank, pe) in set.iter().enumerate() {
-                            if rank != *root_rank {
-                                m.coll[pe][dest..dest + COLL_L]
-                                    .copy_from_slice(&vals[*root_rank]);
-                            }
-                        }
-                    }
-                    CollKind::Reduce { op } => {
-                        let mut acc = vals[0].clone();
-                        for v in &vals[1..] {
-                            for (a, b) in acc.iter_mut().zip(v) {
-                                *a = reduce_fold(*op, *a, *b);
-                            }
-                        }
-                        for pe in set.iter() {
-                            m.coll[pe][dest..dest + COLL_L].copy_from_slice(&acc);
-                        }
-                    }
-                    CollKind::Fcollect => {
-                        for pe in set.iter() {
-                            for (rank, v) in vals.iter().enumerate() {
-                                m.coll[pe][dest + rank * COLL_L..dest + (rank + 1) * COLL_L]
-                                    .copy_from_slice(v);
-                            }
-                        }
-                    }
-                    CollKind::Collect => {
-                        let mut cat = Vec::new();
-                        for (rank, v) in vals.iter().enumerate() {
-                            cat.extend_from_slice(&v[..collect_nelems(rank, *idx)]);
-                        }
-                        for pe in set.iter() {
-                            m.coll[pe][dest..dest + cat.len()].copy_from_slice(&cat);
-                        }
-                    }
-                }
+                apply_coll(&mut m, prog, kind, set, *idx, vals);
             }
             Step::Lock { rounds } => {
                 m.lock_ctr += *rounds as u64 * n as u64;
@@ -233,7 +197,162 @@ pub fn oracle(prog: &Program) -> Model {
                     m.gets[pe].extend_from_slice(copy);
                 }
             }
+            Step::NbiTrain { ops, .. } => {
+                // Sequential replay in issue order is exact for the same
+                // reason as `Rma`: stripe ownership, plus `get_nbi`
+                // flushes pending puts to its source PE before reading,
+                // so a PE always observes its own prior writes.
+                // `Fence`/`Quiet` change completion timing, never values.
+                for (me, list) in ops.iter().enumerate() {
+                    let hs = me * SLOTS_PER_PE;
+                    let ss = me * STAT_SLOTS_PER_PE;
+                    for op in list {
+                        match op {
+                            NbiOp::PutNbiHeap { to, slot, vals } => {
+                                m.heap[*to][hs + slot..hs + slot + vals.len()]
+                                    .copy_from_slice(vals);
+                            }
+                            NbiOp::PutNbiStatic { to, slot, vals } => {
+                                m.stat[*to][ss + slot..ss + slot + vals.len()]
+                                    .copy_from_slice(vals);
+                            }
+                            NbiOp::GetNbiHeap { from, slot, n } => {
+                                for i in 0..*n {
+                                    let v = m.heap[*from][hs + slot + i];
+                                    m.gets[me].push(v);
+                                }
+                            }
+                            NbiOp::GetNbiStatic { from, slot, n } => {
+                                for i in 0..*n {
+                                    let v = m.stat[*from][ss + slot + i];
+                                    m.gets[me].push(v);
+                                }
+                            }
+                            NbiOp::Fence | NbiOp::Quiet => {}
+                        }
+                    }
+                }
+            }
+            Step::SignalChain { rounds, idx, .. } => {
+                // Per round, every PE delivers its payload into its own
+                // `chaind` stripe on the next PE and bumps `sigs[idx]`
+                // there to the round target; the receiver's indexed wait
+                // then admits the payload read. Works for n == 1 (each
+                // PE self-signals).
+                let base = m.sigs[*idx];
+                for r in 0..*rounds {
+                    for me in 0..n {
+                        let prev = (me + n - 1) % n;
+                        let payload = chain_payload(base, r, prev);
+                        m.chaind[me][prev * CHAIN_W..(prev + 1) * CHAIN_W]
+                            .copy_from_slice(&payload);
+                        m.gets[me].extend_from_slice(&payload);
+                    }
+                }
+                m.sigs[*idx] = base + *rounds as u64;
+            }
+            Step::TeamColl { kind, split, idx, vals } => {
+                // The world team has stride 1, so a strided split is the
+                // active set with the same triplet — and a team
+                // collective is the same algorithm on that set.
+                let set = tshmem::ActiveSet::new(split.0, split.1, split.2);
+                match kind {
+                    TeamKind::Bcast { root_rank } => {
+                        apply_coll(
+                            &mut m,
+                            prog,
+                            &CollKind::Bcast { root_rank: *root_rank },
+                            set,
+                            *idx,
+                            vals,
+                        );
+                    }
+                    TeamKind::Reduce { op } => {
+                        apply_coll(&mut m, prog, &CollKind::Reduce { op: *op }, set, *idx, vals);
+                    }
+                    TeamKind::Fcollect => {
+                        apply_coll(&mut m, prog, &CollKind::Fcollect, set, *idx, vals);
+                    }
+                    TeamKind::Collect => {
+                        apply_coll(&mut m, prog, &CollKind::Collect, set, *idx, vals);
+                    }
+                    TeamKind::Alltoall { nelems } => {
+                        let base = coll_base(prog, *idx);
+                        let dest = base + COLL_L;
+                        for (rank, pe) in set.iter().enumerate() {
+                            m.coll[pe][base..base + COLL_L].copy_from_slice(&vals[rank]);
+                        }
+                        // Member rank j receives block j of every member
+                        // i's source row at dest[i * nelems ..].
+                        for (j, pe) in set.iter().enumerate() {
+                            for (i, row) in vals.iter().enumerate().take(set.size) {
+                                for k in 0..*nelems {
+                                    m.coll[pe][dest + i * nelems + k] = row[j * nelems + k];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
     m
+}
+
+/// Evaluate one triplet collective into the model — shared by
+/// [`Step::Coll`] and the team-scoped kinds of [`Step::TeamColl`],
+/// which must produce identical results on the same set.
+fn apply_coll(
+    m: &mut Model,
+    prog: &Program,
+    kind: &CollKind,
+    set: tshmem::ActiveSet,
+    idx: usize,
+    vals: &[Vec<u64>],
+) {
+    let base = coll_base(prog, idx);
+    let dest = base + COLL_L;
+    // Every member publishes its contribution in its own copy's src
+    // slots.
+    for (rank, pe) in set.iter().enumerate() {
+        m.coll[pe][base..base + COLL_L].copy_from_slice(&vals[rank]);
+    }
+    match kind {
+        CollKind::Bcast { root_rank } => {
+            // Per OpenSHMEM, the root's dest is not written.
+            for (rank, pe) in set.iter().enumerate() {
+                if rank != *root_rank {
+                    m.coll[pe][dest..dest + COLL_L].copy_from_slice(&vals[*root_rank]);
+                }
+            }
+        }
+        CollKind::Reduce { op } => {
+            let mut acc = vals[0].clone();
+            for v in &vals[1..] {
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a = reduce_fold(*op, *a, *b);
+                }
+            }
+            for pe in set.iter() {
+                m.coll[pe][dest..dest + COLL_L].copy_from_slice(&acc);
+            }
+        }
+        CollKind::Fcollect => {
+            for pe in set.iter() {
+                for (rank, v) in vals.iter().enumerate() {
+                    m.coll[pe][dest + rank * COLL_L..dest + (rank + 1) * COLL_L]
+                        .copy_from_slice(v);
+                }
+            }
+        }
+        CollKind::Collect => {
+            let mut cat = Vec::new();
+            for (rank, v) in vals.iter().enumerate() {
+                cat.extend_from_slice(&v[..collect_nelems(rank, idx)]);
+            }
+            for pe in set.iter() {
+                m.coll[pe][dest..dest + cat.len()].copy_from_slice(&cat);
+            }
+        }
+    }
 }

@@ -37,7 +37,12 @@ pub const GEN_V2: u32 = 2;
 /// cycles interleaved with striped put/get traffic on the churned
 /// array.
 pub const GEN_V3: u32 = 3;
-pub const GEN_LATEST: u32 = GEN_V3;
+/// V4 adds the OpenSHMEM 1.3/1.4 surface: non-blocking trains with
+/// interleaved fence/quiet ([`Step::NbiTrain`]), `put_signal` chains
+/// waited at non-zero signal indices ([`Step::SignalChain`]), and
+/// team-scoped collectives ([`Step::TeamColl`]).
+pub const GEN_V4: u32 = 4;
+pub const GEN_LATEST: u32 = GEN_V4;
 
 /// Heap data slots owned by each PE (its stripe of the `data` array).
 pub const SLOTS_PER_PE: usize = 16;
@@ -47,6 +52,11 @@ pub const STAT_SLOTS_PER_PE: usize = 8;
 pub const NCTRS: usize = 4;
 /// Elements each collective member contributes.
 pub const COLL_L: usize = 8;
+/// Signal words in the shared `sigs` array ([`Step::SignalChain`]
+/// draws a non-zero index, pinning the indexed-`wait_until` fix).
+pub const NSIG: usize = 4;
+/// Payload words each `put_signal` chain hop delivers.
+pub const CHAIN_W: usize = 2;
 
 /// One randomized SHMEM run, replayable from its generation seed.
 #[derive(Clone, Debug)]
@@ -104,6 +114,42 @@ pub enum Step {
         round2: Vec<Vec<AuxOp>>,
         barrier: u8,
     },
+    /// Non-blocking RMA trains (V4+): per-PE [`NbiOp`] lists mixing
+    /// `put_nbi`/`get_nbi` to heap and static stripes with interleaved
+    /// `fence` (which must *not* complete the train) and mid-train
+    /// `quiet`. The step closes with a `quiet` and barrier variant
+    /// `barrier` (same encoding as [`Step::Rma`]), so no nbi op ever
+    /// crosses a step boundary and the eager/lazy completion modes are
+    /// observationally identical.
+    NbiTrain { ops: Vec<Vec<NbiOp>>, barrier: u8 },
+    /// `put_signal` token ring (V4+): each hop delivers a [`CHAIN_W`]
+    /// -word payload into the sender's `chaind` stripe on the next PE,
+    /// then updates `sigs[idx]` there (`add = false` sets it to the
+    /// round target, `add = true` increments) — and the receiver waits
+    /// with an *indexed* `wait_until` on `sigs[idx]` before reading the
+    /// payload, so signal ordering and the non-zero-index wait path are
+    /// both load-bearing. `idx` is always non-zero.
+    SignalChain { rounds: u32, idx: usize, add: bool },
+    /// A team-scoped collective (V4+): the world team is
+    /// `split_strided(start_rank, log2_stride, size)` and the
+    /// collective runs through the [`tshmem::Team`] methods. Non-member
+    /// PEs get `None` from the split and skip. Region bookkeeping in
+    /// the shared `coll` array matches [`Step::Coll`].
+    TeamColl { kind: TeamKind, split: (usize, u32, usize), idx: usize, vals: Vec<Vec<u64>> },
+}
+
+/// Collective kind of a [`Step::TeamColl`].
+#[derive(Clone, Debug)]
+pub enum TeamKind {
+    /// Team broadcast; `root_rank` is a team rank.
+    Bcast { root_rank: usize },
+    /// Same `op` encoding as [`CollKind::Reduce`].
+    Reduce { op: u8 },
+    Fcollect,
+    Collect,
+    /// Block exchange of `nelems` elements per member pair
+    /// (`size * nelems <= COLL_L`, so the source region always fits).
+    Alltoall { nelems: usize },
 }
 
 #[derive(Clone, Debug)]
@@ -171,6 +217,43 @@ pub enum AuxOp {
     /// `g()` one value back from our stripe on PE `from`'s copy
     /// (recorded and checked against the oracle).
     Get { from: usize, slot: usize },
+}
+
+/// One operation in a [`Step::NbiTrain`]. Slot fields are stripe-local
+/// exactly like [`RmaOp`]. `Fence` orders but does *not* complete the
+/// preceding puts; `Quiet` completes everything issued so far. The
+/// `get_nbi` ops are recorded like their blocking cousins — safe to
+/// check against the oracle because `get_nbi` flushes pending puts to
+/// its source PE first and the stripe discipline means nobody else
+/// writes the slots we read. (V4+)
+#[derive(Clone, Debug)]
+pub enum NbiOp {
+    /// `put_nbi` into our heap stripe on PE `to`'s copy.
+    PutNbiHeap { to: usize, slot: usize, vals: Vec<u64> },
+    /// `put_nbi` into our *static* stripe on PE `to` (temp-chunked
+    /// redirection when remote, so in-flight chunks ride the nbi temp
+    /// bump allocator).
+    PutNbiStatic { to: usize, slot: usize, vals: Vec<u64> },
+    /// `get_nbi` of `n` heap words from PE `from` (recorded).
+    GetNbiHeap { from: usize, slot: usize, n: usize },
+    /// `get_nbi` of `n` static words from PE `from` (recorded).
+    GetNbiStatic { from: usize, slot: usize, n: usize },
+    /// `shmem_fence`: per-destination ordering, leaves ops pending.
+    Fence,
+    /// `shmem_quiet`: completes the train issued so far.
+    Quiet,
+}
+
+/// The `CHAIN_W`-word payload PE `sender` delivers in round `round` of a
+/// [`Step::SignalChain`] with chain base `base`. Shared by the executor
+/// (what gets put) and the oracle (what must arrive): deterministic,
+/// collision-free across (base, round, sender).
+pub fn chain_payload(base: u64, round: u32, sender: usize) -> [u64; CHAIN_W] {
+    let mix = base
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(round as u64)
+        .wrapping_add((sender as u64) << 32);
+    [mix, mix ^ 0xD1B5_4A32_D192_ED03]
 }
 
 /// A bounded-draw source of randomness. `below(n)` must reduce the
@@ -342,6 +425,34 @@ fn gen_aux_op(d: &mut impl Draw, npes: usize, slots: usize) -> AuxOp {
     }
 }
 
+fn gen_nbi_op(d: &mut impl Draw, npes: usize) -> NbiOp {
+    let pe = d.below(npes as u64) as usize;
+    match d.below(6) {
+        0 => {
+            let slot = d.below(SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((SLOTS_PER_PE - slot) as u64) as usize;
+            NbiOp::PutNbiHeap { to: pe, slot, vals: (0..n).map(|_| word(d)).collect() }
+        }
+        1 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((STAT_SLOTS_PER_PE - slot) as u64) as usize;
+            NbiOp::PutNbiStatic { to: pe, slot, vals: (0..n).map(|_| word(d)).collect() }
+        }
+        2 => {
+            let slot = d.below(SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((SLOTS_PER_PE - slot) as u64) as usize;
+            NbiOp::GetNbiHeap { from: pe, slot, n }
+        }
+        3 => {
+            let slot = d.below(STAT_SLOTS_PER_PE as u64) as usize;
+            let n = 1 + d.below((STAT_SLOTS_PER_PE - slot) as u64) as usize;
+            NbiOp::GetNbiStatic { from: pe, slot, n }
+        }
+        4 => NbiOp::Fence,
+        _ => NbiOp::Quiet,
+    }
+}
+
 fn gen_aux_round(d: &mut impl Draw, npes: usize, slots: usize) -> Vec<Vec<AuxOp>> {
     (0..npes)
         .map(|_| {
@@ -373,7 +484,8 @@ pub fn gen_program_v(d: &mut impl Draw, npes: usize, version: u32) -> Program {
     let step_kinds = match version {
         GEN_V1 => 6,
         GEN_V2 => 8,
-        _ => 9,
+        GEN_V3 => 9,
+        _ => 12,
     };
     for _ in 0..nsteps {
         match d.below(step_kinds) {
@@ -401,8 +513,8 @@ pub fn gen_program_v(d: &mut impl Draw, npes: usize, version: u32) -> Program {
             5 => steps.push(Step::Lock { rounds: 1 + d.below(2) as u32 }),
             6 => steps.push(Step::SignalRing { rounds: 1 + d.below(2) as u32 }),
             7 => steps.push(Step::CswapRing { rounds: 1 + d.below(2) as u32 }),
-            _ => {
-                // HeapChurn (V3+): only reachable when step_kinds == 9,
+            8 => {
+                // HeapChurn (V3+): only reachable when step_kinds >= 9,
                 // so the V1/V2 draw streams stay frozen byte-for-byte.
                 let slots = 4 + d.below(5) as usize;
                 let refresh = d.below(2) == 1;
@@ -416,15 +528,56 @@ pub fn gen_program_v(d: &mut impl Draw, npes: usize, version: u32) -> Program {
                     barrier: d.below(4) as u8,
                 });
             }
+            9 => {
+                // NbiTrain (V4+): only reachable when step_kinds == 12,
+                // keeping the V3 draw stream frozen in turn.
+                let ops = (0..npes)
+                    .map(|_| {
+                        let nops = 1 + d.below(6) as usize;
+                        (0..nops).map(|_| gen_nbi_op(d, npes)).collect()
+                    })
+                    .collect();
+                steps.push(Step::NbiTrain { ops, barrier: d.below(4) as u8 });
+            }
+            10 => {
+                // SignalChain (V4+): idx is always non-zero, so every
+                // generated chain pins the indexed wait_until path.
+                let rounds = 1 + d.below(3) as u32;
+                let idx = 1 + d.below(NSIG as u64 - 1) as usize;
+                let add = d.below(2) == 1;
+                steps.push(Step::SignalChain { rounds, idx, add });
+            }
+            _ => {
+                // TeamColl (V4+): split the world team and run the
+                // collective through the Team methods.
+                let split = gen_set(d, npes);
+                let size = split.2;
+                let kind = match d.below(5) {
+                    0 => TeamKind::Bcast { root_rank: d.below(size as u64) as usize },
+                    1 => TeamKind::Reduce { op: d.below(5) as u8 },
+                    2 => TeamKind::Fcollect,
+                    3 => TeamKind::Collect,
+                    // Alltoall needs size * nelems to fit a COLL_L
+                    // source row; degenerate teams fall back.
+                    _ if size <= COLL_L => TeamKind::Alltoall { nelems: COLL_L / size },
+                    _ => TeamKind::Fcollect,
+                };
+                let vals = (0..size).map(|_| (0..COLL_L).map(|_| word(d)).collect()).collect();
+                steps.push(Step::TeamColl { kind, split, idx: coll_idx, vals });
+                coll_idx += 1;
+            }
         }
     }
     Program { npes, temp_bytes, algos, steps }
 }
 
-/// Number of `Coll` steps (each owns one region of the shared `coll`
-/// array).
+/// Number of `Coll` + `TeamColl` steps (each owns one region of the
+/// shared `coll` array).
 pub fn coll_steps(prog: &Program) -> usize {
-    prog.steps.iter().filter(|s| matches!(s, Step::Coll { .. })).count()
+    prog.steps
+        .iter()
+        .filter(|s| matches!(s, Step::Coll { .. } | Step::TeamColl { .. }))
+        .count()
 }
 
 /// Elements of the shared `coll` array: one `[src | dest]` region per

@@ -22,8 +22,8 @@ use tshmem::{BlockedOn, JobWatch, TimedWatch};
 
 use crate::oracle::oracle;
 use crate::program::{
-    coll_base, coll_len, collect_nelems, AuxOp, CollKind, Program, RmaOp, Step, COLL_L, NCTRS,
-    SLOTS_PER_PE, STAT_SLOTS_PER_PE,
+    chain_payload, coll_base, coll_len, collect_nelems, AuxOp, CollKind, NbiOp, Program, RmaOp,
+    Step, TeamKind, CHAIN_W, COLL_L, NCTRS, NSIG, SLOTS_PER_PE, STAT_SLOTS_PER_PE,
 };
 
 /// Result of a watched run. Verification failures (oracle mismatches,
@@ -100,6 +100,10 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
     // (PE 0's copy only).
     let sig = ctx.shmalloc::<u64>(1);
     let ring = ctx.shmalloc::<u64>(1);
+    // V4 put_signal chains: `sigs` holds the indexed signal words,
+    // `chaind` the delivered payloads (stripe `p` written by PE `p`).
+    let sigs = ctx.shmalloc::<u64>(NSIG);
+    let chaind = ctx.shmalloc::<u64>(npes * CHAIN_W);
     let statv = ctx.static_sym::<u64>(npes * STAT_SLOTS_PER_PE);
     ctx.local_fill(&data, 0u64);
     ctx.local_fill(&coll, 0u64);
@@ -108,12 +112,15 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
     ctx.local_fill(&lock, 0i64);
     ctx.local_fill(&sig, 0u64);
     ctx.local_fill(&ring, 0u64);
+    ctx.local_fill(&sigs, 0u64);
+    ctx.local_fill(&chaind, 0u64);
     ctx.local_fill(&statv, 0u64);
     ctx.barrier_all();
 
     let mut gets: Vec<u64> = Vec::new();
     let mut sig_base = 0u64;
     let mut ring_base = 0u64;
+    let mut chain_bases = [0u64; NSIG];
     for step in &prog.steps {
         match step {
             Step::Rma { ops, barrier } => {
@@ -305,6 +312,115 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
                 gets.extend(ctx.local_read(&aux, 0, aux.len()));
                 ctx.shfree(aux);
             }
+            Step::NbiTrain { ops, barrier } => {
+                // get_nbi buffers are only read after the closing quiet:
+                // per the OpenSHMEM contract they are undefined before
+                // completion, and deferring the reads keeps the eager
+                // and lazy completion modes on the same recorded stream.
+                let mut bufs: Vec<Vec<u64>> = Vec::new();
+                for op in &ops[me] {
+                    match op {
+                        NbiOp::PutNbiHeap { to, slot, vals } => {
+                            ctx.put_nbi(&data, hs + slot, vals, *to)
+                        }
+                        NbiOp::PutNbiStatic { to, slot, vals } => {
+                            ctx.put_nbi(&statv, ss + slot, vals, *to)
+                        }
+                        NbiOp::GetNbiHeap { from, slot, n } => {
+                            let mut buf = vec![0u64; *n];
+                            ctx.get_nbi(&mut buf, &data, hs + slot, *from);
+                            bufs.push(buf);
+                        }
+                        NbiOp::GetNbiStatic { from, slot, n } => {
+                            let mut buf = vec![0u64; *n];
+                            ctx.get_nbi(&mut buf, &statv, ss + slot, *from);
+                            bufs.push(buf);
+                        }
+                        NbiOp::Fence => ctx.fence(),
+                        NbiOp::Quiet => ctx.quiet(),
+                    }
+                }
+                ctx.quiet();
+                for buf in &bufs {
+                    gets.extend_from_slice(buf);
+                }
+                let world = ctx.world();
+                match barrier {
+                    0 => ctx.barrier_all(),
+                    1 => ctx.barrier_ring_explicit(world),
+                    2 => ctx.barrier_root_broadcast_explicit(world),
+                    _ => ctx.barrier_dissemination_explicit(world),
+                }
+            }
+            Step::SignalChain { rounds, idx, add } => {
+                // Token ring over put_signal: the payload lands in our
+                // stripe of `chaind` on the next PE, then `sigs[idx]`
+                // there reaches the round target (one Set, or one Add
+                // per received hop — same final value). Receivers read
+                // *before* forwarding, so a payload slot is never
+                // overwritten by the next round until its reader is
+                // done (the wrap-around cannot pass a PE that has not
+                // forwarded yet).
+                let next = (me + 1) % npes;
+                let prev = (me + npes - 1) % npes;
+                let base = chain_bases[*idx];
+                for r in 0..*rounds {
+                    let target = base + r as u64 + 1;
+                    let payload = chain_payload(base, r, me);
+                    let send = |ctx: &ShmemCtx| {
+                        let (val, op) =
+                            if *add { (1, SignalOp::Add) } else { (target, SignalOp::Set) };
+                        ctx.put_signal(&chaind, me * CHAIN_W, &payload, &sigs, *idx, val, op, next);
+                    };
+                    if me == 0 {
+                        send(ctx);
+                        ctx.wait_until(&sigs, *idx, Cmp::Ge, target);
+                        gets.extend(ctx.local_read(&chaind, prev * CHAIN_W, CHAIN_W));
+                    } else {
+                        ctx.wait_until(&sigs, *idx, Cmp::Ge, target);
+                        gets.extend(ctx.local_read(&chaind, prev * CHAIN_W, CHAIN_W));
+                        send(ctx);
+                    }
+                }
+                chain_bases[*idx] += *rounds as u64;
+            }
+            Step::TeamColl { kind, split, idx, vals } => {
+                // Non-members get SHMEM_TEAM_INVALID (None) and skip —
+                // the team collectives barrier over the member set only.
+                let Some(team) = ctx.team_world().split_strided(split.0, split.1, split.2)
+                else {
+                    continue;
+                };
+                let rank = team.my_pe();
+                let base = coll_base(prog, *idx);
+                let src = coll.slice(base, COLL_L);
+                let dest = coll.slice(base + COLL_L, npes * COLL_L);
+                ctx.local_write(&src, 0, &vals[rank]);
+                match kind {
+                    TeamKind::Bcast { root_rank } => {
+                        team.broadcast(ctx, &dest, &src, COLL_L, *root_rank)
+                    }
+                    TeamKind::Reduce { op } => {
+                        let rop = match op {
+                            0 => ReduceOp::Sum,
+                            1 => ReduceOp::Min,
+                            2 => ReduceOp::Max,
+                            3 => ReduceOp::Or,
+                            _ => ReduceOp::Xor,
+                        };
+                        team.reduce(ctx, rop, &dest, &src, COLL_L);
+                    }
+                    TeamKind::Fcollect => team.fcollect(ctx, &dest, &src, COLL_L),
+                    TeamKind::Collect => {
+                        let mine = collect_nelems(rank, *idx);
+                        let expected: usize =
+                            (0..team.n_pes()).map(|r| collect_nelems(r, *idx)).sum();
+                        let total = team.collect(ctx, &dest, &src, mine);
+                        assert_eq!(total, expected, "team collect total mismatch");
+                    }
+                    TeamKind::Alltoall { nelems } => team.alltoall(ctx, &dest, &src, *nelems),
+                }
+            }
         }
     }
 
@@ -324,6 +440,16 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
         ctx.local_read(&sig, 0, 1)[0],
         model.sig,
         "PE {me}: signal-ring cell diverged from oracle"
+    );
+    assert_eq!(
+        ctx.local_read(&sigs, 0, NSIG),
+        model.sigs,
+        "PE {me}: indexed signal words diverged from oracle"
+    );
+    assert_eq!(
+        ctx.local_read(&chaind, 0, chaind.len()),
+        model.chaind[me],
+        "PE {me}: put_signal payload array diverged from oracle"
     );
     if me == 0 {
         let got_ctrs = ctx.local_read(&ctrs, 0, NCTRS);

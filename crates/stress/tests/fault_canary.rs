@@ -85,4 +85,33 @@ fn service_handler_stall_is_attributed_and_seeded_plans_are_tolerated() {
             }
         }
     }
+
+    // --- DelayNbiCompletion is tolerated by construction: stretching
+    // the gap between nbi issue and completion must never change the
+    // oracle-checked final state or wedge any engine (the drain path
+    // reuses the blocking protocol, so coop gates release and the
+    // watchdog still sees useful ops). Hand-built plan (not seeded):
+    // delaying every 2nd completion maximizes in-flight reordering
+    // pressure on the gen-4 nbi trains. ---
+    for engine in ["native", "timed", "multichip", "coop"] {
+        fault::install(FaultPlan {
+            seed: 0,
+            faults: vec![Fault::DelayNbiCompletion { every: 2, micros: 300 }],
+        });
+        let prog = gen_program_v(&mut RngDraw::new(0x53, 1), 4, GEN_LATEST);
+        let hint = format!("--engine {engine} (hand-built DelayNbiCompletion plan)");
+        let outcome = match engine {
+            "native" => run_watched(&prog, Some(2), Duration::from_secs(20), &hint),
+            "timed" => run_timed(&prog, Some(2), &hint),
+            "coop" => run_coop(&prog, Some(2), 2, Duration::from_secs(20), &hint),
+            _ => run_multichip(&prog, Some(2), &hint),
+        };
+        fault::clear();
+        match outcome {
+            Outcome::Completed => {}
+            Outcome::Stalled(report) => {
+                panic!("{engine} run under DelayNbiCompletion stalled:\n{report}")
+            }
+        }
+    }
 }

@@ -15,7 +15,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
     let npes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let fcfg = Fft2dConfig { n, seed: 0xF1 };
+    let fcfg = Fft2dConfig { n, seed: 0xF1, ..Fft2dConfig::default() };
 
     println!("2D-FFT of {n}x{n} complex floats on {npes} PEs");
     let expect = serial_checksum(&fcfg);

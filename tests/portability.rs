@@ -18,7 +18,7 @@ fn cfg(npes: usize) -> RuntimeConfig {
 
 #[test]
 fn fft_runs_identically_on_all_three_engines() {
-    let fcfg = Fft2dConfig { n: 32, seed: 11 };
+    let fcfg = Fft2dConfig { n: 32, seed: 11, ..Fft2dConfig::default() };
     let expect = serial_checksum(&fcfg);
     let near = |cs: f64| (cs - expect).abs() / expect < 1e-4;
 
@@ -55,7 +55,7 @@ fn cbir_runs_identically_on_all_three_engines() {
 fn multichip_slower_than_single_chip_for_the_same_app() {
     // The engines agree on answers but not on clocks: crossing chips
     // costs (that is the point of the §VI study).
-    let fcfg = Fft2dConfig { n: 64, seed: 5 };
+    let fcfg = Fft2dConfig { n: 64, seed: 5, ..Fft2dConfig::default() };
     let single = launch_timed(&cfg(4), move |ctx| fft2d_shmem(ctx, &fcfg).elapsed_ns);
     let multi = launch_multichip(&cfg(2), 2, move |ctx| fft2d_shmem(ctx, &fcfg).elapsed_ns);
     assert!(

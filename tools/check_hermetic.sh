@@ -104,6 +104,32 @@ print("coop scaling smoke: schema OK")
 PYEOF
 rm -f BENCH_coop_smoke.json
 
+echo "== nbi overlap smoke (put trains + FFT transpose ablation, schema-checked) =="
+# The nbi ablation must run and emit well-formed JSON with both arms of
+# each pair measured. The blocking-vs-nbi ratios are reported, not
+# enforced in the smoke (quick mode on a loaded CI box is noisy) — the
+# committed BENCH_nbi.json is the reference trajectory showing the
+# overlapped transpose beating the blocking one.
+./target/release/microbench --nbi-suite --quick --out BENCH_nbi_smoke.json
+python3 - <<'PYEOF'
+import json
+with open("BENCH_nbi_smoke.json") as f:
+    doc = json.load(f)
+for key in ("suite", "npes", "fft_n", "benchmarks",
+            "nbi_over_blocking", "train_nbi_over_blocking"):
+    assert key in doc, f"BENCH_nbi_smoke.json missing key: {key}"
+assert doc["suite"] == "nbi"
+for name in ("static_put_train_blocking", "static_put_train_nbi",
+             "fft_transpose_blocking", "fft_transpose_nbi",
+             "fft_transpose_direct"):
+    ns = doc["benchmarks"][name]["ns_per_op"]
+    assert ns > 0, f"{name}: non-positive ns_per_op"
+print(f"  fft nbi/blocking {doc['nbi_over_blocking']:.3f}  "
+      f"train nbi/blocking {doc['train_nbi_over_blocking']:.3f}")
+print("nbi overlap smoke: schema OK")
+PYEOF
+rm -f BENCH_nbi_smoke.json
+
 echo "== hot-path allocation allowlist (rma / barrier / coop / hier) =="
 # The RMA and barrier hot paths are allocation-free by design, and the
 # M:N scheduler and hierarchical collectives stay on that diet: any
