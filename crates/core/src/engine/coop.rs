@@ -108,6 +108,19 @@ impl ShardedArena {
         }
     }
 
+    /// Wrap a shard set checked out of an [`ArenaPool`] — the pool
+    /// guarantees shapes match the launch geometry and that every shard
+    /// was scrubbed of the previous tenant's bytes.
+    ///
+    /// [`ArenaPool`]: crate::server::ArenaPool
+    fn from_shards(shards: Vec<Arc<CommonMemory>>, block: usize, partition_bytes: usize) -> Self {
+        Self {
+            shards,
+            partition_bytes,
+            block,
+        }
+    }
+
     /// `(shard index, shard-local offset)` of a global arena offset.
     #[inline]
     fn locate(&self, off: usize) -> (usize, usize) {
@@ -390,6 +403,12 @@ impl CoopFabric {
             p.bump();
         }
         crate::fault::note_op();
+        // The injected crash fires while holding the gate; the launch
+        // scaffold's is_holding cleanup releases it, so worker siblings
+        // keep running after the panicking tenant is torn down.
+        if crate::fault::panic_pe_now(self.pe) {
+            panic!("PE {}: injected PanicPe fault (crashing-tenant model)", self.pe);
+        }
         if let Some(us) = crate::fault::slow_pe_delay_us(self.pe) {
             self.sleep_checking_abort(us);
         }
@@ -738,6 +757,13 @@ impl Fabric for CoopFabric {
 pub struct CoopBackend {
     /// Worker-thread count (M); `0` = auto.
     pub workers: usize,
+    /// When set, the symmetric-heap shard set is checked out of this
+    /// recycling pool (scrubbed of the previous tenant's bytes) and
+    /// retired back to it on clean completion; a panicked or wedged
+    /// launch unwinds past the check-in, so its arena is dropped. The
+    /// server layer threads its pool through here; `None` (the default)
+    /// allocates fresh per launch.
+    pub arena_pool: Option<Arc<crate::server::ArenaPool>>,
 }
 
 impl CoopBackend {
@@ -786,8 +812,16 @@ impl EngineBackend for CoopBackend {
         let sink = (cfg.trace || native_watch.is_some())
             .then(|| Arc::new(TraceSink::with_lanes(workers)));
         let waker = endpoints[0].sender();
+        let arena = match &self.arena_pool {
+            Some(pool) => ShardedArena::from_shards(
+                pool.checkout(cfg.npes, workers, block, cfg.partition_bytes, layout.heap_bytes),
+                block,
+                cfg.partition_bytes,
+            ),
+            None => ShardedArena::new(cfg.npes, workers, block, cfg.partition_bytes),
+        };
         let shared = Arc::new(CoopShared {
-            arena: ShardedArena::new(cfg.npes, workers, block, cfg.partition_bytes),
+            arena,
             privates: (0..cfg.npes)
                 .map(|pe| CommonMemory::new(cfg.private_bytes, Homing::Local(pe)))
                 .collect(),
@@ -865,6 +899,11 @@ impl EngineBackend for CoopBackend {
         for t in service_threads {
             t.join().expect("coop service thread panicked");
         }
+        // Reached only on clean completion (a tenant panic unwinds out
+        // of run_on_tiles above): retire the shard set for recycling.
+        if let Some(pool) = &self.arena_pool {
+            pool.check_in(cfg.npes, workers, block, cfg.partition_bytes, shared.arena.shards.clone());
+        }
         EngineOutcome {
             values,
             clocks: Vec::new(),
@@ -904,8 +943,8 @@ mod tests {
 
     #[test]
     fn resolved_workers_bounds() {
-        assert_eq!(CoopBackend { workers: 4 }.resolved_workers(256), 4);
-        assert_eq!(CoopBackend { workers: 9 }.resolved_workers(4), 4);
+        assert_eq!(CoopBackend { workers: 4, ..Default::default() }.resolved_workers(256), 4);
+        assert_eq!(CoopBackend { workers: 9, ..Default::default() }.resolved_workers(4), 4);
         let auto = CoopBackend::default().resolved_workers(1024);
         assert!((2..=1024).contains(&auto), "auto workers = {auto}");
         assert_eq!(CoopBackend::default().resolved_workers(1), 1);

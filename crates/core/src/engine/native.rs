@@ -217,13 +217,16 @@ impl NativeFabric {
 
     /// Count one completed (state-changing) fabric operation toward the
     /// stall watchdog, tick the fault plane's op clock, and serve any
-    /// `SlowPe` fault targeting this PE.
+    /// `SlowPe` or `PanicPe` fault targeting this PE.
     #[inline]
     fn progress(&self) {
         if let Some(p) = &self.probe {
             p.bump();
         }
         crate::fault::note_op();
+        if crate::fault::panic_pe_now(self.pe) {
+            panic!("PE {}: injected PanicPe fault (crashing-tenant model)", self.pe);
+        }
         if let Some(us) = crate::fault::slow_pe_delay_us(self.pe) {
             self.sleep_checking_abort(us);
         }

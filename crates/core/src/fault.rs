@@ -120,6 +120,14 @@ pub enum Fault {
     /// flush). Tolerated-class: completions slow down but retire in
     /// issue order, so a correct program still converges to the oracle.
     DelayNbiCompletion { every: u64, micros: u64 },
+    /// Panic PE `pe` mid-program, once the global op counter passes
+    /// `after_ops` (a crashing-tenant model). Caught-class (never drawn
+    /// from a seed): a single-job run aborts with the panic; under the
+    /// server layer the panic is caught at the PE boundary and reported
+    /// as a `Faulted` job outcome while the pool keeps serving. One-shot:
+    /// the fault fires on exactly one op, so a retried or subsequent job
+    /// runs clean.
+    PanicPe { pe: usize, after_ops: u64 },
 }
 
 impl std::fmt::Display for Fault {
@@ -147,6 +155,9 @@ impl std::fmt::Display for Fault {
             }
             Fault::DelayNbiCompletion { every, micros } => {
                 write!(f, "DelayNbiCompletion(every {every}th completion +{micros}us)")
+            }
+            Fault::PanicPe { pe, after_ops } => {
+                write!(f, "PanicPe(PE {pe} after {after_ops} ops)")
             }
         }
     }
@@ -237,6 +248,9 @@ pub fn install(plan: FaultPlan) {
         .iter()
         .map(|f| match f {
             Fault::StallServiceHandler { requests, .. } => AtomicU64::new(*requests),
+            // One-shot: a crashing tenant crashes once, so a retried or
+            // subsequent job under the same plan runs clean.
+            Fault::PanicPe { .. } => AtomicU64::new(1),
             _ => AtomicU64::new(0),
         })
         .collect();
@@ -387,6 +401,40 @@ pub(crate) fn nbi_completion_delay_us() -> Option<u64> {
     None
 }
 
+/// Whether PE `pe` must panic right now: an installed `PanicPe` fault
+/// targets it, the global op counter has passed its threshold, and its
+/// one-shot budget is unspent (consumed here, so exactly one op fires).
+pub(crate) fn panic_pe_now(pe: usize) -> bool {
+    if !PLAN_ACTIVE.load(Ordering::Acquire) {
+        return false;
+    }
+    let ops = PLAN_OPS.load(Ordering::Relaxed);
+    let guard = PLAN.lock();
+    let Some(active) = guard.as_ref() else {
+        return false;
+    };
+    for (i, f) in active.plan.faults.iter().enumerate() {
+        if let Fault::PanicPe { pe: fpe, after_ops } = f {
+            if *fpe == pe && ops >= *after_ops {
+                let budget = &active.budgets[i];
+                let mut left = budget.load(Ordering::Relaxed);
+                while left > 0 {
+                    match budget.compare_exchange(
+                        left,
+                        left - 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return true,
+                        Err(cur) => left = cur,
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Delay (µs) to inject into PE `pe`'s op stream right now, if it is a
 /// `SlowPe` target on an `every`-th op.
 pub(crate) fn slow_pe_delay_us(pe: usize) -> Option<u64> {
@@ -448,6 +496,9 @@ mod tests {
                     Fault::DelayNbiCompletion { every, micros } => {
                         assert!(every >= 1 && micros < 1000);
                     }
+                    Fault::PanicPe { .. } => {
+                        panic!("canary-only crash fault drawn from seed")
+                    }
                 }
             }
         }
@@ -464,6 +515,7 @@ mod tests {
                 Fault::DropLinkPacket { nth: 2 },
                 Fault::DuplicateLinkPacket { nth: 9 },
                 Fault::DelayNbiCompletion { every: 3, micros: 120 },
+                Fault::PanicPe { pe: 2, after_ops: 40 },
             ],
         };
         let d = plan.describe();
@@ -474,5 +526,6 @@ mod tests {
         assert!(d.contains("DropLinkPacket(frame 2)"));
         assert!(d.contains("DuplicateLinkPacket(frame 9)"));
         assert!(d.contains("DelayNbiCompletion(every 3th completion +120us)"));
+        assert!(d.contains("PanicPe(PE 2 after 40 ops)"));
     }
 }

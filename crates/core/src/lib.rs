@@ -72,6 +72,7 @@ pub mod fault;
 pub mod heap;
 pub mod rma;
 pub mod runtime;
+pub mod server;
 pub mod service;
 pub mod symm;
 pub mod sync;
@@ -94,6 +95,10 @@ pub use runtime::{
     TimedOutcome,
 };
 pub use rma::SignalOp;
+pub use server::{
+    ArenaPool, FairScheduler, JobHandle, JobId, JobOutcome, JobReport, JobSpec, RoundRobin,
+    Scheduler, Server, ServerConfig, ServerStats, ShedPolicy, SubmitError,
+};
 pub use team::Team;
 pub use watch::{JobWatch, PeCounters, TimedWatch};
 pub use symm::{AddrClass, Bits, Sym};

@@ -360,7 +360,7 @@ where
     R: Send,
     F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
-    Launcher::new(cfg, CoopBackend { workers }).run(f).values
+    Launcher::new(cfg, CoopBackend { workers, ..Default::default() }).run(f).values
 }
 
 /// [`launch_coop`] with a [`JobWatch`] attached — the same wall-clock
@@ -374,7 +374,7 @@ where
     R: Send,
     F: Fn(&ShmemCtx) -> R + Send + Sync,
 {
-    Launcher::new(cfg, CoopBackend { workers })
+    Launcher::new(cfg, CoopBackend { workers, ..Default::default() })
         .with_watch(WatchPlane::Native(watch))
         .run(f)
         .values

@@ -1,0 +1,635 @@
+//! The resident multi-tenant job pool: bounded admission, worker-slot
+//! leasing, per-job fault isolation, and watchdog-driven eviction.
+//!
+//! # Job lifecycle (DESIGN.md §8)
+//!
+//! ```text
+//! submit ── quota check ──▶ Queued ── pick + lease ──▶ Running
+//!    │            │            │                          │
+//!    ▼            ▼            ▼                          ├─▶ Completed
+//! TooManyPes  QueueFull       Shed                        ├─▶ Faulted   (tenant panic, caught)
+//! /HeapQuota  (RejectNew)  (DropOldest                    └─▶ wedged ──▶ evict ─▶ backoff ─▶ Running (retry)
+//!                           or shutdown)                              └─────── attempts exhausted ──▶ Evicted
+//! ```
+//!
+//! Isolation boundaries: every job runs as its own cooperative launch —
+//! its own recycled symmetric-heap shard set (scrubbed at checkout, see
+//! [`super::arena`]), its own UDN fabric, its own trace lanes, its own
+//! [`JobWatch`]. A tenant panic is caught at the launch boundary
+//! ([`std::panic::catch_unwind`] around the `Launcher`), poisons only
+//! that job, and is reported as [`JobOutcome::Faulted`] while the pool
+//! keeps serving. A wedged job is diagnosed with the same per-PE stall
+//! report the stress watchdog renders, aborted, its worker-slot lease
+//! reclaimed, and retried with exponential backoff up to
+//! [`ServerConfig::max_attempts`].
+//!
+//! What eviction cannot reclaim: a PE thread wedged outside every
+//! fabric abort checkpoint (e.g. parked in a fault-injected raw channel
+//! send) leaks until process exit, exactly as in the stress watchdog.
+//! The pool's accounting unit is the worker-slot *lease*, not the OS
+//! thread, so capacity recovers even when threads leak.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use substrate::channel::{self, Receiver, RecvTimeoutError, Sender};
+use substrate::sync::{Condvar, Mutex};
+
+use crate::engine::backend::WatchPlane;
+use crate::engine::coop::CoopBackend;
+use crate::runtime::Launcher;
+use crate::server::arena::ArenaPool;
+use crate::server::job::{JobId, JobOutcome, JobReport, JobSpec, SubmitError};
+use crate::server::scheduler::{FairScheduler, QueuedJob, RoundRobin, Scheduler};
+use crate::watch::{classify_stall, scaled_stall, JobWatch};
+
+/// Watchdog poll cadence while a job runs.
+const POLL: Duration = Duration::from_millis(20);
+/// How long an evicted job gets to finish unwinding after `abort()`
+/// before the runner moves on (threads wedged past every abort
+/// checkpoint leak; see module docs).
+const ABORT_GRACE: Duration = Duration::from_secs(1);
+
+/// What to do with a submission that finds the bounded queue full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the new submission with a retry-after hint (default).
+    RejectNew,
+    /// Admit the new submission and shed the oldest queued job, whose
+    /// handle resolves to [`JobOutcome::Shed`].
+    DropOldest,
+}
+
+/// Pool sizing, quotas, and supervision policy.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker slots (M) the pool leases to jobs; `0` = auto from host
+    /// parallelism (floored at 2).
+    pub workers: usize,
+    /// Bounded admission-queue depth (floored at 1).
+    pub queue_depth: usize,
+    /// Per-job PE quota.
+    pub max_npes: usize,
+    /// Per-job symmetric-heap quota (bytes per partition).
+    pub max_partition_bytes: usize,
+    /// Base per-job stall window; the effective window is
+    /// `scaled_stall(stall, oversubscription)` of the job's own launch.
+    pub stall: Duration,
+    /// Total launch attempts per job (1 = never retry a wedge).
+    pub max_attempts: u32,
+    /// Eviction backoff before attempt `k+1`: `backoff * 2^(k-1)`.
+    pub backoff: Duration,
+    pub shed: ShedPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 64,
+            max_npes: 64,
+            max_partition_bytes: 4 * 1024 * 1024,
+            stall: Duration::from_secs(2),
+            max_attempts: 2,
+            backoff: Duration::from_millis(50),
+            shed: ShedPolicy::RejectNew,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolved_slots(&self) -> usize {
+        let m = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .max(2)
+        } else {
+            self.workers
+        };
+        m.max(1)
+    }
+}
+
+/// Pool-lifetime counters (monotone; `arenas_*` come from the shared
+/// [`ArenaPool`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Accepted into the queue.
+    pub submitted: u64,
+    /// Refused at admission (quotas or a full queue under `RejectNew`).
+    pub rejected: u64,
+    /// Accepted but dropped before running (DropOldest or shutdown).
+    pub shed: u64,
+    pub completed: u64,
+    pub faulted: u64,
+    pub evicted: u64,
+    /// Eviction retries granted (attempts beyond each job's first).
+    pub retries: u64,
+    pub arenas_fresh: u64,
+    pub arenas_recycled: u64,
+}
+
+struct Queued {
+    id: JobId,
+    spec: JobSpec,
+    accepted: Instant,
+    tx: Sender<JobReport>,
+}
+
+struct State {
+    queue: VecDeque<Queued>,
+    /// Job chosen by the scheduler but still waiting for enough free
+    /// slots — kept sticky so a blocked wide job does not make the
+    /// dispatcher re-`pick` (and corrupt rotation state) on every wake.
+    pending: Option<JobId>,
+    free_slots: usize,
+    active: usize,
+    shutdown: bool,
+    scheduler: Box<dyn Scheduler>,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    /// Total worker slots (resolved once at construction).
+    slots: usize,
+    state: Mutex<State>,
+    /// Signaled on submit, slot release, runner completion, shutdown.
+    work: Condvar,
+    arena: Arc<ArenaPool>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    faulted: AtomicU64,
+    evicted: AtomicU64,
+    retries: AtomicU64,
+    /// Completed-attempt runtime accounting for retry-after estimates.
+    run_ns: AtomicU64,
+    runs: AtomicU64,
+}
+
+/// Waitable handle to one accepted job.
+pub struct JobHandle {
+    id: JobId,
+    rx: Receiver<JobReport>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Block until the job resolves. Every accepted job resolves: run
+    /// to an outcome, or shed at shutdown.
+    pub fn wait(self) -> JobReport {
+        self.rx.recv().unwrap_or(JobReport {
+            id: self.id,
+            latency: Duration::ZERO,
+            outcome: JobOutcome::Shed {
+                reason: "server dropped without resolving the job".into(),
+            },
+        })
+    }
+
+    /// Non-blocking probe; `Some` exactly once.
+    pub fn try_wait(&self) -> Option<JobReport> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The resident job pool (see module docs). Construct with a scheduling
+/// policy, `submit` jobs, `shutdown` to drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    pub fn new(cfg: ServerConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        let slots = cfg.resolved_slots();
+        let cfg = ServerConfig {
+            queue_depth: cfg.queue_depth.max(1),
+            max_attempts: cfg.max_attempts.max(1),
+            ..cfg
+        };
+        let inner = Arc::new(Inner {
+            cfg,
+            slots,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: None,
+                free_slots: slots,
+                active: 0,
+                shutdown: false,
+                scheduler,
+            }),
+            work: Condvar::new(),
+            arena: Arc::new(ArenaPool::new()),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            faulted: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            run_ns: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+        });
+        let inner2 = inner.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("tshmem-srv-dispatch".into())
+            .spawn(move || dispatch_loop(inner2))
+            .expect("spawn server dispatcher");
+        Self {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A server scheduling tenants round-robin.
+    pub fn round_robin(cfg: ServerConfig) -> Self {
+        Self::new(cfg, Box::new(RoundRobin::new()))
+    }
+
+    /// A server with the CFS-style fair scheduler.
+    pub fn fair(cfg: ServerConfig) -> Self {
+        Self::new(cfg, Box::new(FairScheduler::new()))
+    }
+
+    /// Total worker slots the pool leases from.
+    pub fn slots(&self) -> usize {
+        self.inner.slots
+    }
+
+    /// Admit a job: quota checks, then the bounded queue. On success the
+    /// handle resolves to exactly one [`JobReport`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let cfg = &self.inner.cfg;
+        if spec.cfg.npes > cfg.max_npes {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::TooManyPes {
+                requested: spec.cfg.npes,
+                quota: cfg.max_npes,
+            });
+        }
+        if spec.cfg.partition_bytes > cfg.max_partition_bytes {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::HeapQuota {
+                requested: spec.cfg.partition_bytes,
+                quota: cfg.max_partition_bytes,
+            });
+        }
+        let mut st = self.inner.state.lock();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= cfg.queue_depth {
+            match cfg.shed {
+                ShedPolicy::RejectNew => {
+                    let retry_after = self.inner.retry_after(st.queue.len());
+                    drop(st);
+                    self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::QueueFull { retry_after });
+                }
+                ShedPolicy::DropOldest => {
+                    let old = st.queue.pop_front().expect("full queue is non-empty");
+                    self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = old.tx.try_send(JobReport {
+                        id: old.id,
+                        latency: old.accepted.elapsed(),
+                        outcome: JobOutcome::Shed {
+                            reason: "load-shed: oldest queued job dropped under overload".into(),
+                        },
+                    });
+                }
+            }
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let (tx, rx) = channel::bounded(1);
+        st.queue.push_back(Queued {
+            id,
+            spec,
+            accepted: Instant::now(),
+            tx,
+        });
+        drop(st);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.work.notify_all();
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Jobs accepted but not yet dispatched.
+    pub fn queue_len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        let arena = self.inner.arena.stats();
+        ServerStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            faulted: self.inner.faulted.load(Ordering::Relaxed),
+            evicted: self.inner.evicted.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            arenas_fresh: arena.fresh,
+            arenas_recycled: arena.recycled,
+        }
+    }
+
+    /// Stop accepting work, shed still-queued jobs, wait for running
+    /// jobs to resolve, and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.do_shutdown();
+        self.stats()
+    }
+
+    fn do_shutdown(&mut self) {
+        self.inner.state.lock().shutdown = true;
+        self.inner.work.notify_all();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        let mut st = self.inner.state.lock();
+        while st.active > 0 {
+            self.inner.work.wait(&mut st);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.dispatcher.is_some() {
+            self.do_shutdown();
+        }
+    }
+}
+
+impl Inner {
+    /// Retry-after hint for a rejected submission: mean observed attempt
+    /// runtime times the queue depth ahead of the caller, spread over
+    /// the pool width.
+    fn retry_after(&self, queue_len: usize) -> Duration {
+        let runs = self.runs.load(Ordering::Relaxed);
+        let mean_ns = self
+            .run_ns
+            .load(Ordering::Relaxed)
+            .checked_div(runs)
+            .unwrap_or(10_000_000); // no history yet: assume 10ms jobs
+        let est = mean_ns.saturating_mul(queue_len as u64 + 1) / self.slots.max(1) as u64;
+        Duration::from_nanos(est.clamp(1_000_000, 10_000_000_000))
+    }
+}
+
+fn dispatch_loop(inner: Arc<Inner>) {
+    loop {
+        let (q, lease) = {
+            let mut st = inner.state.lock();
+            loop {
+                if st.shutdown {
+                    while let Some(old) = st.queue.pop_front() {
+                        inner.shed.fetch_add(1, Ordering::Relaxed);
+                        let _ = old.tx.try_send(JobReport {
+                            id: old.id,
+                            latency: old.accepted.elapsed(),
+                            outcome: JobOutcome::Shed {
+                                reason: "server shut down before the job ran".into(),
+                            },
+                        });
+                    }
+                    return;
+                }
+                if !st.queue.is_empty() {
+                    let idx = match st.pending.and_then(|id| st.queue.iter().position(|j| j.id == id)) {
+                        Some(idx) => idx,
+                        None => {
+                            let metas: Vec<QueuedJob> = st
+                                .queue
+                                .iter()
+                                .map(|j| QueuedJob {
+                                    id: j.id,
+                                    tenant: j.spec.tenant,
+                                    npes: j.spec.cfg.npes,
+                                })
+                                .collect();
+                            let idx = st.scheduler.pick(&metas).min(metas.len() - 1);
+                            st.pending = Some(st.queue[idx].id);
+                            idx
+                        }
+                    };
+                    // A job never leases more slots than exist, so even
+                    // an npes > slots job can always eventually run.
+                    let lease = st.queue[idx].spec.cfg.npes.clamp(1, inner.slots);
+                    if st.free_slots >= lease {
+                        let q = st.queue.remove(idx).expect("picked index in range");
+                        st.pending = None;
+                        st.free_slots -= lease;
+                        st.active += 1;
+                        break (q, lease);
+                    }
+                    // Deliberate head-of-line wait: the picked job keeps
+                    // its turn until slots free — skipping ahead would
+                    // let a stream of narrow jobs starve a wide one.
+                }
+                inner.work.wait(&mut st);
+            }
+        };
+        let inner2 = inner.clone();
+        std::thread::Builder::new()
+            .name(format!("tshmem-srv-job-{}", q.id))
+            .spawn(move || run_job(inner2, q, lease))
+            .expect("spawn server job runner");
+    }
+}
+
+/// One launch attempt's verdict (internal to the runner).
+enum Attempt {
+    Completed,
+    Panicked(String),
+    Wedged(String),
+}
+
+fn run_job(inner: Arc<Inner>, q: Queued, lease: usize) {
+    let mut attempts = 0u32;
+    let mut holding = true;
+    let outcome = loop {
+        attempts += 1;
+        let t0 = Instant::now();
+        let attempt = attempt_launch(&inner, q.id, &q.spec, lease);
+        let ran = t0.elapsed();
+        inner.run_ns.fetch_add(ran.as_nanos() as u64, Ordering::Relaxed);
+        inner.runs.fetch_add(1, Ordering::Relaxed);
+        inner
+            .state
+            .lock()
+            .scheduler
+            .charge(q.spec.tenant, q.spec.cfg.npes, ran);
+        match attempt {
+            Attempt::Completed => break JobOutcome::Completed { attempts },
+            Attempt::Panicked(error) => break JobOutcome::Faulted { attempts, error },
+            Attempt::Wedged(diagnosis) => {
+                if attempts >= inner.cfg.max_attempts {
+                    break JobOutcome::Evicted { attempts, diagnosis };
+                }
+                inner.retries.fetch_add(1, Ordering::Relaxed);
+                // Return the lease for the backoff: eviction reclaims
+                // the workers even though the retry is still pending.
+                release_slots(&inner, lease);
+                holding = false;
+                std::thread::sleep(inner.cfg.backoff * 2u32.saturating_pow(attempts - 1));
+                if acquire_slots(&inner, lease) {
+                    holding = true;
+                } else {
+                    break JobOutcome::Evicted {
+                        attempts,
+                        diagnosis: format!("{diagnosis}(retry abandoned: server shut down during backoff)\n"),
+                    };
+                }
+            }
+        }
+    };
+    match &outcome {
+        JobOutcome::Completed { .. } => inner.completed.fetch_add(1, Ordering::Relaxed),
+        JobOutcome::Faulted { .. } => inner.faulted.fetch_add(1, Ordering::Relaxed),
+        JobOutcome::Evicted { .. } => inner.evicted.fetch_add(1, Ordering::Relaxed),
+        JobOutcome::Shed { .. } => unreachable!("runners never shed"),
+    };
+    {
+        let mut st = inner.state.lock();
+        if holding {
+            st.free_slots += lease;
+        }
+        st.active -= 1;
+    }
+    inner.work.notify_all();
+    let _ = q.tx.try_send(JobReport {
+        id: q.id,
+        outcome,
+        latency: q.accepted.elapsed(),
+    });
+}
+
+fn release_slots(inner: &Inner, lease: usize) {
+    inner.state.lock().free_slots += lease;
+    inner.work.notify_all();
+}
+
+/// Re-acquire `lease` slots for a retry; `false` if the server shut
+/// down while waiting.
+fn acquire_slots(inner: &Inner, lease: usize) -> bool {
+    let mut st = inner.state.lock();
+    loop {
+        if st.shutdown {
+            return false;
+        }
+        if st.free_slots >= lease {
+            st.free_slots -= lease;
+            return true;
+        }
+        inner.work.wait(&mut st);
+    }
+}
+
+/// Launch the job once as its own supervised cooperative launch; see the
+/// module docs for the isolation contract. Mirrors the stress crate's
+/// `watch_wall` watchdog: detached launch thread, diagnose *before*
+/// abort, bounded unwind grace.
+fn attempt_launch(inner: &Arc<Inner>, id: JobId, spec: &JobSpec, lease: usize) -> Attempt {
+    let watch = Arc::new(JobWatch::new());
+    let (tx, rx) = channel::bounded::<std::thread::Result<()>>(1);
+    let cfg = spec.cfg;
+    let body = spec.body.clone();
+    let w = Arc::clone(&watch);
+    let pool = inner.arena.clone();
+    std::thread::Builder::new()
+        .name(format!("tshmem-srv-launch-{id}"))
+        .spawn(move || {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let backend = CoopBackend {
+                    workers: lease,
+                    arena_pool: Some(pool),
+                };
+                Launcher::new(&cfg, backend)
+                    .with_watch(WatchPlane::Native(&w))
+                    .run(|ctx| body(ctx));
+            }));
+            let _ = tx.try_send(r.map(|_| ()));
+        })
+        .expect("spawn server launch thread");
+
+    let mut last_ops = 0u64;
+    let mut baseline = watch.counters();
+    let mut last_change = Instant::now();
+    loop {
+        match rx.recv_timeout(POLL) {
+            Ok(Ok(())) => return Attempt::Completed,
+            // `&*payload`, not `&payload`: coercing the Box itself into
+            // `dyn Any` would make every downcast miss.
+            Ok(Err(payload)) => return Attempt::Panicked(panic_message(&*payload)),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Attempt::Panicked("launch thread exited without reporting".into());
+            }
+        }
+        let ops = watch.total_ops();
+        let window = scaled_stall(inner.cfg.stall, watch.oversubscription());
+        if ops != last_ops || baseline.is_empty() {
+            last_ops = ops;
+            baseline = watch.counters();
+            last_change = Instant::now();
+        } else if last_change.elapsed() >= window {
+            // Diagnose BEFORE aborting: abort unparks the blocked PEs
+            // and would destroy the evidence.
+            let now = watch.counters();
+            let blocked = watch.blocked_states();
+            let npes = now.len() / 2;
+            let class = classify_stall(now.iter().enumerate().take(npes).map(|(i, n)| {
+                let b = baseline.get(i).copied().unwrap_or_default();
+                let descheduled = matches!(
+                    blocked.get(i),
+                    Some(crate::fabric::BlockedOn::Descheduled)
+                );
+                (
+                    n.ops.saturating_sub(b.ops),
+                    n.spins.saturating_sub(b.spins),
+                    descheduled,
+                )
+            }));
+            let mut report = format!(
+                "server watchdog: job {id} made no useful fabric progress for {:.1}s\n\
+                 classification: {class}\n{}",
+                window.as_secs_f64(),
+                watch.diagnose_delta(Some(&baseline))
+            );
+            if let Some(desc) = crate::fault::describe_active() {
+                report.push_str(&format!("active {desc}\n"));
+            }
+            watch.abort();
+            let _ = rx.recv_timeout(ABORT_GRACE);
+            return Attempt::Wedged(report);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "tenant panic (non-string payload)".into()
+    }
+}

@@ -1,0 +1,202 @@
+//! Pluggable dispatch-order policies for the server's admission queue.
+//!
+//! The dispatcher holds the queue in arrival order and asks the
+//! scheduler which entry to launch next; after every launch attempt it
+//! charges the attempt's wall-clock runtime (weighted by the job's PE
+//! width) back to the tenant. Two policies ship: strict tenant
+//! round-robin and a CFS-style fair scheduler that always serves the
+//! tenant with the least weighted runtime consumed so far.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::server::job::JobId;
+
+/// Scheduler-visible metadata of one queued job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedJob {
+    pub id: JobId,
+    pub tenant: u32,
+    pub npes: usize,
+}
+
+/// Dispatch-order policy. Implementations are driven under the server's
+/// queue lock, so `pick` and `charge` need no internal synchronization.
+pub trait Scheduler: Send {
+    fn name(&self) -> &'static str;
+
+    /// Index into `queued` (arrival order, non-empty) of the job to
+    /// dispatch next. Called once per dispatch decision; the chosen job
+    /// is removed from the queue before the next call (though it may
+    /// wait for worker slots first).
+    fn pick(&mut self, queued: &[QueuedJob]) -> usize;
+
+    /// Charge one finished launch attempt to its tenant: `runtime` of
+    /// wall-clock execution at `npes`-PE width.
+    fn charge(&mut self, tenant: u32, npes: usize, runtime: Duration);
+}
+
+/// Strict tenant rotation: each dispatch serves the next tenant id
+/// (cyclically) that has work queued, FIFO within a tenant. Runtime
+/// charges are ignored — a tenant submitting many wide jobs gets the
+/// same turn frequency as one submitting few narrow ones.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    last: Option<u32>,
+}
+
+impl RoundRobin {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn pick(&mut self, queued: &[QueuedJob]) -> usize {
+        let mut tenants: Vec<u32> = queued.iter().map(|q| q.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        let next = self
+            .last
+            .and_then(|l| tenants.iter().copied().find(|&t| t > l))
+            .unwrap_or(tenants[0]);
+        self.last = Some(next);
+        queued
+            .iter()
+            .position(|q| q.tenant == next)
+            .expect("chosen tenant has a queued job")
+    }
+
+    fn charge(&mut self, _tenant: u32, _npes: usize, _runtime: Duration) {}
+}
+
+/// CFS-style fair scheduler: each tenant accumulates *vruntime* —
+/// wall-clock runtime weighted by PE width, so a 8-PE job costs four
+/// times a 2-PE job of the same duration — and every dispatch serves
+/// the queued tenant with the minimum vruntime, FIFO within the tenant.
+/// A tenant first seen enters at the current minimum (the CFS
+/// `min_vruntime` placement), so a newcomer gets immediate service
+/// without being able to starve incumbents with a banked deficit.
+#[derive(Debug, Default)]
+pub struct FairScheduler {
+    vruntime: HashMap<u32, u128>,
+}
+
+impl FairScheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn floor(&self) -> u128 {
+        self.vruntime.values().copied().min().unwrap_or(0)
+    }
+
+    fn vruntime_of(&self, tenant: u32) -> u128 {
+        self.vruntime.get(&tenant).copied().unwrap_or(self.floor())
+    }
+}
+
+impl Scheduler for FairScheduler {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn pick(&mut self, queued: &[QueuedJob]) -> usize {
+        // Materialize tenants first seen here at the current floor. An
+        // unmaterialized tenant's observed vruntime would *track* the
+        // rising minimum forever — it could only ever tie the floor
+        // holder and lose the id tie-break, a starvation hole.
+        let floor = self.floor();
+        for q in queued {
+            self.vruntime.entry(q.tenant).or_insert(floor);
+        }
+        let winner = queued
+            .iter()
+            .map(|q| q.tenant)
+            // Ties (including several floor-entry newcomers) break to
+            // the smaller tenant id for determinism.
+            .min_by_key(|&t| (self.vruntime_of(t), t))
+            .expect("pick called with a non-empty queue");
+        queued
+            .iter()
+            .position(|q| q.tenant == winner)
+            .expect("winning tenant has a queued job")
+    }
+
+    fn charge(&mut self, tenant: u32, npes: usize, runtime: Duration) {
+        let entry = self.vruntime_of(tenant);
+        self.vruntime
+            .insert(tenant, entry + runtime.as_nanos() * npes.max(1) as u128);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: JobId, tenant: u32, npes: usize) -> QueuedJob {
+        QueuedJob { id, tenant, npes }
+    }
+
+    #[test]
+    fn round_robin_rotates_tenants_fifo_within() {
+        let mut s = RoundRobin::new();
+        // Tenant 7 floods the queue; tenant 2 has one job.
+        let queue = [q(1, 7, 2), q(2, 7, 2), q(3, 2, 2), q(4, 7, 2)];
+        let first = s.pick(&queue);
+        assert_eq!(queue[first].tenant, 2, "lowest tenant id first");
+        // Next rotation wraps to tenant 7 and picks its FIFO head.
+        let queue = [q(1, 7, 2), q(2, 7, 2), q(4, 7, 2)];
+        assert_eq!(s.pick(&queue), 0);
+        // With tenant 2 back in the queue, the rotation returns to it
+        // after 7 even though 7 still has older jobs queued.
+        let queue = [q(2, 7, 2), q(5, 2, 2), q(4, 7, 2)];
+        assert_eq!(queue[s.pick(&queue)].tenant, 2);
+    }
+
+    #[test]
+    fn fair_serves_least_charged_tenant() {
+        let mut s = FairScheduler::new();
+        let queue = [q(1, 1, 2), q(2, 2, 2)];
+        // First pick ties at the floor; the id tie-break is deterministic.
+        assert_eq!(queue[s.pick(&queue)].tenant, 1);
+        s.charge(1, 2, Duration::from_millis(100));
+        assert_eq!(queue[s.pick(&queue)].tenant, 2, "least-charged tenant serves next");
+        // Charge tenant 2 past tenant 1: the pick flips back.
+        s.charge(2, 2, Duration::from_millis(300));
+        assert_eq!(queue[s.pick(&queue)].tenant, 1);
+    }
+
+    #[test]
+    fn fair_weights_runtime_by_pe_width() {
+        let mut s = FairScheduler::new();
+        let queue = [q(1, 1, 8), q(2, 2, 2)];
+        s.pick(&queue); // both tenants enter at the floor
+        // Same wall time, but tenant 1 ran 8 PEs wide vs tenant 2's 2.
+        s.charge(1, 8, Duration::from_millis(10));
+        s.charge(2, 2, Duration::from_millis(10));
+        assert_eq!(queue[s.pick(&queue)].tenant, 2);
+    }
+
+    #[test]
+    fn fair_newcomer_enters_at_the_floor() {
+        let mut s = FairScheduler::new();
+        let incumbents = [q(1, 1, 2), q(2, 2, 2)];
+        s.pick(&incumbents);
+        s.charge(1, 2, Duration::from_millis(500)); // v1 = 1000ms-PE
+        s.charge(2, 2, Duration::from_millis(300)); // v2 = 600ms-PE
+        // Tenant 9 first appears now: it enters at the current floor
+        // (tenant 2's 600), not at zero — prompt service, but no banked
+        // deficit it could starve incumbents with.
+        let queue = [q(1, 1, 2), q(2, 2, 2), q(3, 9, 2)];
+        assert_eq!(queue[s.pick(&queue)].tenant, 2, "floor tie breaks to the smaller id");
+        s.charge(2, 2, Duration::from_millis(100)); // v2 = 800
+        assert_eq!(queue[s.pick(&queue)].tenant, 9, "newcomer sits at the old floor");
+        s.charge(9, 2, Duration::from_millis(250)); // v9 = 1100
+        assert_eq!(queue[s.pick(&queue)].tenant, 2);
+    }
+}

@@ -27,6 +27,7 @@
 //! are stable; the timed observer runs with the scheduler lock held.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use substrate::sync::Mutex;
 use udn::fabric::UdnEndpoint;
@@ -53,6 +54,42 @@ pub(crate) trait WallShared: Send + Sync {
     /// without being any less live.
     fn oversubscription(&self) -> usize {
         1
+    }
+}
+
+/// Wall-clock stall window scaled by the engine's oversubscription
+/// factor (runnable contexts per worker thread). A descheduled coop PE
+/// only moves the progress counter when its admission turn comes, so an
+/// N-PEs-on-M-workers job legitimately needs up to `2N/M` times longer
+/// between counter movements than a fully parallel native run — the
+/// unscaled window fired spuriously on exactly those runs. Capped at
+/// 64× so a true deadlock on a 1024-PE job still reports in minutes.
+pub fn scaled_stall(stall: Duration, oversubscription: usize) -> Duration {
+    stall * oversubscription.clamp(1, 64) as u32
+}
+
+/// Classify a stall from per-main-PE deltas measured since the last
+/// useful-op movement: `(useful_ops, spin_retries, descheduled)` per
+/// PE. A descheduled-but-runnable coop PE shows zero deltas while it
+/// waits for a worker slot; counting it as frozen used to turn every
+/// oversubscribed stall into a "deadlock" verdict (and starve the
+/// livelock detector of its "everyone is spinning" signal), so only a
+/// PE that is *scheduled* yet moved nothing counts as frozen.
+pub fn classify_stall<I: IntoIterator<Item = (u64, u64, bool)>>(deltas: I) -> &'static str {
+    let mut spun = 0u64;
+    let mut frozen = false;
+    for (du, ds, descheduled) in deltas {
+        spun += ds;
+        if du == 0 && ds == 0 && !descheduled {
+            frozen = true;
+        }
+    }
+    if spun > 0 && !frozen {
+        "livelock (every stalled PE is spinning without completing useful work)"
+    } else if spun > 0 {
+        "deadlock (at least one PE frozen; others spin without useful work)"
+    } else {
+        "deadlock (no useful work and no spin retries anywhere)"
     }
 }
 

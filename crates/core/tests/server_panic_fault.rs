@@ -1,0 +1,79 @@
+//! `Fault::PanicPe` canary through the server: the injected
+//! crashing-tenant panic is caught at the PE boundary, reported as
+//! `JobOutcome::Faulted`, consumes its one-shot budget, and leaves the
+//! pool serving.
+//!
+//! Own test binary: the fault plane is process-global (`tshmem::fault`
+//! module rule), so an installed PanicPe plan must not be able to hit
+//! unrelated tests.
+
+use std::time::Duration;
+
+use tshmem::{Fault, FaultPlan, JobOutcome, JobSpec, RuntimeConfig, Server, ServerConfig};
+
+fn cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(256 * 1024)
+        .with_private_bytes(64 * 1024)
+        .with_temp_bytes(16 * 1024)
+}
+
+fn busy_spec() -> JobSpec {
+    JobSpec::new(cfg(2), |ctx| {
+        let n = ctx.n_pes();
+        let me = ctx.my_pe();
+        let data = ctx.shmalloc::<u64>(8);
+        ctx.local_fill(&data, 0u64);
+        ctx.barrier_all();
+        // Enough fabric ops that the global op counter comfortably
+        // passes the plan's after_ops threshold.
+        for round in 0..16u64 {
+            ctx.p(&data, (round % 8) as usize, round, (me + 1) % n);
+            ctx.barrier_all();
+        }
+    })
+}
+
+#[test]
+fn injected_pe_panic_faults_the_job_once_and_pool_survives() {
+    let server = Server::round_robin(ServerConfig {
+        workers: 2,
+        stall: Duration::from_secs(10),
+        ..Default::default()
+    });
+    tshmem::fault::install(FaultPlan {
+        seed: 0,
+        faults: vec![Fault::PanicPe { pe: 1, after_ops: 8 }],
+    });
+
+    // First job trips the one-shot PanicPe and faults — diagnosed, not
+    // a pool stall.
+    let report = server.submit(busy_spec()).expect("admitted").wait();
+    match &report.outcome {
+        JobOutcome::Faulted { error, attempts } => {
+            assert_eq!(*attempts, 1, "a caught panic is terminal, never retried");
+            assert!(
+                error.contains("PanicPe") || error.contains("aborting"),
+                "fault message should name the injected panic or the \
+                 secondary abort: {error}"
+            );
+        }
+        other => panic!("PanicPe job must fault, got {other:?}"),
+    }
+
+    // The budget is one-shot: with the plan still installed, the same
+    // workload now completes — and the pool kept serving through it.
+    for _ in 0..3 {
+        let report = server.submit(busy_spec()).expect("admitted").wait();
+        assert!(
+            report.outcome.is_completed(),
+            "one-shot budget respected and pool healthy: {:?}",
+            report.outcome
+        );
+    }
+    tshmem::fault::clear();
+
+    let stats = server.shutdown();
+    assert_eq!((stats.faulted, stats.completed), (1, 3));
+    assert_eq!(stats.evicted, 0, "a caught panic must not look like a wedge");
+}

@@ -1,0 +1,291 @@
+//! The multi-tenant server pool: admission control, per-job fault
+//! isolation, load shedding, and cross-tenant arena-recycling hygiene.
+//!
+//! No global fault plane is installed here (those tests live in their
+//! own binaries per the `tshmem::fault` rule); hostile tenants are
+//! modeled with plain panicking closures.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use substrate::sync::{Condvar, Mutex};
+use tshmem::{JobOutcome, JobSpec, RuntimeConfig, Server, ServerConfig, ShedPolicy, SubmitError};
+
+fn small_cfg(npes: usize) -> RuntimeConfig {
+    RuntimeConfig::new(npes)
+        .with_partition_bytes(256 * 1024)
+        .with_private_bytes(64 * 1024)
+        .with_temp_bytes(16 * 1024)
+}
+
+fn server_cfg() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        ..Default::default()
+    }
+}
+
+/// A latch tenants can park on without tripping the watchdog (the test
+/// raises the stall window when it uses this).
+#[derive(Default)]
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn wait(&self) {
+        let mut open = self.open.lock();
+        while !*open {
+            self.cv.wait(&mut open);
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+#[test]
+fn quotas_reject_oversized_jobs() {
+    let server = Server::round_robin(ServerConfig {
+        max_npes: 4,
+        max_partition_bytes: 1024 * 1024,
+        ..server_cfg()
+    });
+    let err = server
+        .submit(JobSpec::new(small_cfg(8), |_| {}))
+        .expect_err("8 PEs over a 4-PE quota");
+    assert_eq!(err, SubmitError::TooManyPes { requested: 8, quota: 4 });
+    let err = server
+        .submit(JobSpec::new(
+            small_cfg(2).with_partition_bytes(2 * 1024 * 1024),
+            |_| {},
+        ))
+        .expect_err("2MB partitions over a 1MB quota");
+    assert_eq!(
+        err,
+        SubmitError::HeapQuota { requested: 2 * 1024 * 1024, quota: 1024 * 1024 }
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.submitted, 0);
+}
+
+#[test]
+fn full_queue_rejects_with_retry_after() {
+    let latch = Arc::new(Latch::default());
+    let server = Server::round_robin(ServerConfig {
+        workers: 2,
+        queue_depth: 2,
+        // The blocker parks outside the fabric; keep the watchdog far away.
+        stall: Duration::from_secs(120),
+        ..Default::default()
+    });
+    // Fills both worker slots and parks, so everything behind it queues.
+    let l = latch.clone();
+    let blocker = server
+        .submit(JobSpec::new(small_cfg(2), move |ctx| {
+            if ctx.my_pe() == 0 {
+                l.wait();
+            }
+            ctx.barrier_all();
+        }))
+        .expect("blocker admitted");
+    // Wait until the blocker is dispatched (leaves the queue).
+    while server.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued: Vec<_> = (0..2)
+        .map(|_| server.submit(JobSpec::new(small_cfg(2), |_| {})).expect("fits in queue"))
+        .collect();
+    let err = server
+        .submit(JobSpec::new(small_cfg(2), |_| {}))
+        .expect_err("third submission finds the depth-2 queue full");
+    match err {
+        SubmitError::QueueFull { retry_after } => {
+            assert!(retry_after >= Duration::from_millis(1), "hint must be usable");
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    latch.release();
+    assert!(blocker.wait().outcome.is_completed());
+    for h in queued {
+        assert!(h.wait().outcome.is_completed());
+    }
+    let stats = server.shutdown();
+    assert_eq!((stats.submitted, stats.rejected, stats.completed), (3, 1, 3));
+}
+
+#[test]
+fn drop_oldest_sheds_the_queue_head() {
+    let latch = Arc::new(Latch::default());
+    let server = Server::round_robin(ServerConfig {
+        workers: 2,
+        queue_depth: 1,
+        shed: ShedPolicy::DropOldest,
+        stall: Duration::from_secs(120),
+        ..Default::default()
+    });
+    let l = latch.clone();
+    let blocker = server
+        .submit(JobSpec::new(small_cfg(2), move |ctx| {
+            if ctx.my_pe() == 0 {
+                l.wait();
+            }
+            ctx.barrier_all();
+        }))
+        .expect("blocker admitted");
+    while server.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let victim = server.submit(JobSpec::new(small_cfg(2), |_| {})).expect("queued");
+    let survivor = server.submit(JobSpec::new(small_cfg(2), |_| {})).expect("sheds the victim");
+    let shed = victim.wait();
+    assert!(shed.outcome.is_shed(), "oldest queued job load-shed: {:?}", shed.outcome);
+    latch.release();
+    assert!(blocker.wait().outcome.is_completed());
+    assert!(survivor.wait().outcome.is_completed());
+    let stats = server.shutdown();
+    assert_eq!((stats.shed, stats.completed), (1, 2));
+}
+
+#[test]
+fn tenant_panic_faults_only_that_job() {
+    let server = Server::fair(server_cfg());
+    let mut handles = Vec::new();
+    for i in 0..6u32 {
+        let spec = if i == 2 {
+            JobSpec::new(small_cfg(2), |ctx| {
+                if ctx.my_pe() == 1 {
+                    panic!("hostile tenant payload");
+                }
+                ctx.barrier_all();
+            })
+            .with_tenant(i)
+        } else {
+            JobSpec::new(small_cfg(2), |ctx| {
+                let n = ctx.n_pes();
+                let me = ctx.my_pe();
+                let ring = ctx.shmalloc::<u64>(1);
+                ctx.local_write(&ring, 0, &[0]);
+                ctx.barrier_all();
+                ctx.p(&ring, 0, me as u64 + 1, (me + 1) % n);
+                ctx.barrier_all();
+                let got = ctx.local_read(&ring, 0, 1)[0];
+                assert_eq!(got, ((me + n - 1) % n) as u64 + 1);
+            })
+            .with_tenant(i)
+        };
+        handles.push((i, server.submit(spec).expect("admitted")));
+    }
+    for (i, h) in handles {
+        let report = h.wait();
+        if i == 2 {
+            match &report.outcome {
+                JobOutcome::Faulted { error, .. } => {
+                    // Either the origin's message or a sibling's
+                    // secondary abort panic, depending on join order.
+                    assert!(
+                        error.contains("hostile tenant payload") || error.contains("aborting"),
+                        "unexpected fault message: {error}"
+                    );
+                }
+                other => panic!("hostile job should fault, got {other:?}"),
+            }
+        } else {
+            assert!(
+                report.outcome.is_completed(),
+                "healthy tenant {i} harmed by the hostile one: {:?}",
+                report.outcome
+            );
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!((stats.completed, stats.faulted), (5, 1));
+}
+
+/// Cross-tenant leak regression: a recycled heap shard must never carry
+/// the previous tenant's bytes — zeroed in release, poison-patterned
+/// under `debug_assertions`.
+#[test]
+fn recycled_arenas_never_leak_tenant_bytes() {
+    const SECRET: u64 = 0xDEAD_BEEF_CAFE_F00D;
+    let server = Server::round_robin(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let cfg = small_cfg(2);
+    // Tenant A fills its symmetric heap with a secret and completes
+    // cleanly, retiring its shard set into the recycling pool.
+    server
+        .submit(JobSpec::new(cfg, |ctx| {
+            let buf = ctx.shmalloc::<u64>(64);
+            ctx.local_fill(&buf, SECRET);
+            ctx.barrier_all();
+        }))
+        .expect("tenant A admitted")
+        .wait();
+    // Tenant B gets the same geometry and reads its heap *without
+    // writing first* — nothing of tenant A may show through.
+    let report = server
+        .submit(JobSpec::new(cfg, |ctx| {
+            let buf = ctx.shmalloc::<u64>(64);
+            let got = ctx.local_read(&buf, 0, 64);
+            let expect = if cfg!(debug_assertions) {
+                u64::from_ne_bytes([0xA5; 8])
+            } else {
+                0
+            };
+            for (i, v) in got.iter().enumerate() {
+                assert_ne!(*v, SECRET, "tenant A's secret leaked at word {i}");
+                assert_eq!(*v, expect, "recycled heap not scrubbed at word {i}");
+            }
+        }))
+        .expect("tenant B admitted")
+        .wait();
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    let stats = server.shutdown();
+    assert!(
+        stats.arenas_recycled >= 1,
+        "tenant B must actually exercise recycling (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn shutdown_sheds_queued_jobs_and_resolves_every_handle() {
+    let latch = Arc::new(Latch::default());
+    let server = Server::round_robin(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        stall: Duration::from_secs(120),
+        ..Default::default()
+    });
+    let l = latch.clone();
+    let blocker = server
+        .submit(JobSpec::new(small_cfg(2), move |ctx| {
+            if ctx.my_pe() == 0 {
+                l.wait();
+            }
+            ctx.barrier_all();
+        }))
+        .expect("blocker admitted");
+    while server.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued: Vec<_> = (0..3)
+        .map(|_| server.submit(JobSpec::new(small_cfg(2), |_| {})).expect("queued"))
+        .collect();
+    // Shutdown from another thread (it blocks on the running job);
+    // release the latch so the blocker can drain.
+    let shutter = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(50));
+    latch.release();
+    let stats = shutter.join().expect("shutdown thread");
+    assert!(blocker.wait().outcome.is_completed());
+    for h in queued {
+        assert!(h.wait().outcome.is_shed(), "queued jobs shed at shutdown");
+    }
+    assert_eq!((stats.completed, stats.shed), (1, 3));
+}

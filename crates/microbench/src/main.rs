@@ -27,16 +27,17 @@
 //! rather than enforcing them. `--quick` divides iteration counts for
 //! smoke use; `--pes N` and `--out PATH` override the defaults.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tshmem::runtime::launch_coop;
-use tshmem::{launch, ActiveSet, RuntimeConfig, ShmemCtx};
+use tshmem::{launch, ActiveSet, JobSpec, RuntimeConfig, Server, ServerConfig, ShmemCtx};
 use tshmem_apps::fft::{fft2d_shmem, Fft2dConfig, TransposeMode};
 
 struct Args {
     native_suite: bool,
     coop_suite: bool,
     nbi_suite: bool,
+    server_suite: bool,
     pes: usize,
     out: Option<String>,
     quick: bool,
@@ -48,6 +49,7 @@ fn parse_args() -> Args {
         native_suite: false,
         coop_suite: false,
         nbi_suite: false,
+        server_suite: false,
         pes: 8,
         out: None,
         quick: false,
@@ -65,6 +67,7 @@ fn parse_args() -> Args {
             "--native-suite" => args.native_suite = true,
             "--coop-suite" => args.coop_suite = true,
             "--nbi-suite" => args.nbi_suite = true,
+            "--server-suite" => args.server_suite = true,
             "--pes" => {
                 args.pes = val().parse().unwrap_or_else(|_| {
                     eprintln!("--pes wants a number");
@@ -81,8 +84,8 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: microbench --native-suite|--coop-suite|--nbi-suite [--pes N] \
-                     [--workers M] [--out PATH] [--quick]\n\
+                    "usage: microbench --native-suite|--coop-suite|--nbi-suite|--server-suite \
+                     [--pes N] [--workers M] [--out PATH] [--quick]\n\
                      --native-suite runs the native-engine perf suite (put/get \n\
                      bandwidth, barrier latency, reduce latency, traced-vs-untraced \n\
                      putget ablation) and writes PATH (default BENCH_native.json).\n\
@@ -92,7 +95,12 @@ fn parse_args() -> Args {
                      --nbi-suite runs the nbi overlap ablation: blocking vs \n\
                      nbi-overlapped redirected put trains and the end-to-end 2D-FFT \n\
                      transpose in both modes on the native engine, written to PATH \n\
-                     (default BENCH_nbi.json)."
+                     (default BENCH_nbi.json).\n\
+                     --server-suite runs the multi-tenant server pool throughput \n\
+                     suite: a fixed fault-free 2-PE SHMEM job streamed open-loop \n\
+                     through each scheduler (round_robin, fair), reporting jobs/sec \n\
+                     and p50/p99 submit-to-resolve latency, written to PATH \n\
+                     (default BENCH_server.json)."
                 );
                 std::process::exit(0);
             }
@@ -426,6 +434,111 @@ fn run_nbi_suite(args: &Args) {
     println!("wrote {out}");
 }
 
+/// One scheduler's measured serve run: `jobs` fixed 2-PE SHMEM jobs
+/// (8 put+barrier rounds each) streamed open-loop from 5 tenants.
+/// Returns `(jobs_per_sec, p50, p99)` of submit→resolve latency.
+fn bench_server(sched: &str, workers: usize, jobs: usize) -> (f64, Duration, Duration) {
+    let cfg = ServerConfig {
+        workers,
+        queue_depth: 64,
+        stall: Duration::from_secs(30), // fault-free: the watchdog is a bystander
+        ..Default::default()
+    };
+    let server = match sched {
+        "round_robin" => Server::round_robin(cfg),
+        "fair" => Server::fair(cfg),
+        other => unreachable!("unknown scheduler {other}"),
+    };
+    let job_cfg = RuntimeConfig::new(2)
+        .with_partition_bytes(256 * 1024)
+        .with_private_bytes(64 * 1024)
+        .with_temp_bytes(16 * 1024);
+    let body = |ctx: &ShmemCtx| {
+        let n = ctx.n_pes();
+        let me = ctx.my_pe();
+        let slot = ctx.shmalloc::<u64>(1);
+        ctx.local_write(&slot, 0, &[0]);
+        ctx.barrier_all();
+        for round in 1..=8u64 {
+            ctx.p(&slot, 0, round, (me + 1) % n);
+            ctx.barrier_all();
+        }
+        assert_eq!(ctx.local_read(&slot, 0, 1)[0], 8);
+    };
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let spec = JobSpec::new(job_cfg, body).with_tenant((i % 5) as u32);
+        let h = loop {
+            match server.submit(spec.clone()) {
+                Ok(h) => break h,
+                Err(tshmem::SubmitError::QueueFull { retry_after }) => {
+                    std::thread::sleep(retry_after.min(Duration::from_millis(10)));
+                }
+                Err(e) => panic!("server-suite admission error: {e}"),
+            }
+        };
+        handles.push(h);
+    }
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .map(|h| {
+            let r = h.wait();
+            assert!(r.outcome.is_completed(), "fault-free job must complete: {:?}", r.outcome);
+            r.latency
+        })
+        .collect();
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+    server.shutdown();
+    (
+        jobs as f64 / wall.as_secs_f64(),
+        latencies[latencies.len() / 2],
+        latencies[(latencies.len() * 99) / 100],
+    )
+}
+
+/// The server pool throughput suite: the same fault-free workload
+/// through both shipped schedulers. Absolute jobs/sec is wall-clock on
+/// whatever box runs the gate; the committed BENCH_server.json is the
+/// reference trajectory and the smoke only schema-checks.
+fn run_server_suite(args: &Args) {
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_server.json".to_string());
+    let jobs = if args.quick { 60 } else { 400 };
+    eprintln!(
+        "server suite: {jobs} jobs per scheduler, pool workers {}{}",
+        args.workers,
+        if args.quick { " (quick)" } else { "" }
+    );
+    let mut entries = String::new();
+    let scheds = ["round_robin", "fair"];
+    for (i, sched) in scheds.iter().enumerate() {
+        let (jps, p50, p99) = bench_server(sched, args.workers, jobs);
+        eprintln!(
+            "  {sched:<12} {jps:>8.1} jobs/sec  p50 {:>10.1} us  p99 {:>10.1} us",
+            p50.as_nanos() as f64 / 1e3,
+            p99.as_nanos() as f64 / 1e3,
+        );
+        entries.push_str(&format!(
+            "    {{\"scheduler\": \"{sched}\", \"jobs_per_sec\": {jps:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            p50.as_nanos(),
+            p99.as_nanos(),
+            if i + 1 < scheds.len() { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"suite\": \"server\",\n  \"jobs\": {jobs},\n  \"pool_workers\": {},\n  \
+         \"quick\": {},\n  \"entries\": [\n{}  ]\n}}\n",
+        args.workers, args.quick, entries
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Benchmark names are static identifiers; assert rather than escape.
     assert!(
@@ -445,8 +558,15 @@ fn main() {
         run_nbi_suite(&args);
         return;
     }
+    if args.server_suite {
+        run_server_suite(&args);
+        return;
+    }
     if !args.native_suite {
-        eprintln!("nothing to do: pass --native-suite, --coop-suite, or --nbi-suite (see --help)");
+        eprintln!(
+            "nothing to do: pass --native-suite, --coop-suite, --nbi-suite, \
+             or --server-suite (see --help)"
+        );
         std::process::exit(2);
     }
     let out = args.out.clone().unwrap_or_else(|| "BENCH_native.json".to_string());

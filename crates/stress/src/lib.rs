@@ -22,6 +22,7 @@
 pub mod oracle;
 pub mod program;
 pub mod run;
+pub mod serve;
 
 pub use oracle::{oracle, Model};
 pub use program::{
@@ -29,6 +30,7 @@ pub use program::{
     GEN_V1, GEN_V2, GEN_V3,
 };
 pub use run::{
-    build_cfg, classify_stall, run_coop, run_multichip, run_on_ctx, run_plain, run_timed,
-    run_watched, scaled_stall, watch_closure, watch_closure_coop, Outcome,
+    build_cfg, classify_stall, resolve_coop_workers, run_coop, run_multichip, run_on_ctx,
+    run_plain, run_timed, run_watched, scaled_stall, watch_closure, watch_closure_coop, Outcome,
 };
+pub use serve::{serve, Sched, ServeOpts, ServeSummary};

@@ -22,7 +22,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use stress::program::{gen_program_v, RngDraw, GEN_LATEST, GEN_V1};
-use stress::run::{run_coop, run_multichip, run_timed, run_watched, Outcome};
+use stress::run::{resolve_coop_workers, run_coop, run_multichip, run_timed, run_watched, Outcome};
+use stress::serve::{serve, Sched, ServeOpts};
 
 #[derive(PartialEq)]
 enum Engine {
@@ -43,6 +44,7 @@ struct Args {
     fault_plan: Option<u64>,
     canary: bool,
     workers: usize,
+    serve: Option<ServeOpts>,
 }
 
 fn parse_num(s: &str) -> u64 {
@@ -69,6 +71,7 @@ fn parse_args() -> Args {
         fault_plan: None,
         canary: false,
         workers: 0,
+        serve: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,11 +108,47 @@ fn parse_args() -> Args {
             }
             "--fault-plan" => args.fault_plan = Some(parse_num(&val())),
             "--canary" => args.canary = true,
+            "--serve" => {
+                args.serve.get_or_insert_with(ServeOpts::default);
+            }
+            "--jobs" => {
+                args.serve.get_or_insert_with(ServeOpts::default).jobs =
+                    parse_num(&val()) as usize;
+            }
+            "--fault-frac" => {
+                let v = val();
+                let frac: f64 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("not a fraction: {v}");
+                    std::process::exit(2)
+                });
+                args.serve.get_or_insert_with(ServeOpts::default).fault_frac = frac;
+            }
+            "--pool-workers" => {
+                args.serve.get_or_insert_with(ServeOpts::default).pool_workers =
+                    parse_num(&val()) as usize;
+            }
+            "--sched" => {
+                let v = val();
+                args.serve.get_or_insert_with(ServeOpts::default).sched = match v.as_str() {
+                    "rr" | "round-robin" => Sched::RoundRobin,
+                    "fair" => Sched::Fair,
+                    other => {
+                        eprintln!("unknown scheduler: {other} (rr|fair)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--panic-pe" => {
+                args.serve.get_or_insert_with(ServeOpts::default).panic_pe =
+                    Some(parse_num(&val()) as usize);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: stress [--seed N] [--case N] [--pes N | --npes N] [--depth N] \
                      [--stall-secs N] [--gen N] [--engine native|timed|multichip|coop] \
-                     [--workers M] [--fault-plan S] [--canary]\n\
+                     [--workers M] [--fault-plan S] [--canary]\n       \
+                     stress --serve [--seed N] [--jobs N] [--fault-frac F] \
+                     [--pool-workers M] [--sched rr|fair] [--panic-pe P]\n\
                      Replays the stress program generated by (seed, case, gen) on \
                      `pes` PEs at UDN queue depth `depth` (0 = unbounded).\n\
                      --engine timed runs under virtual time with the desim \
@@ -120,7 +159,13 @@ fn parse_args() -> Args {
                      (0 = auto) for 256–1024-PE oversubscription runs, with the \
                      stall window scaled accordingly.\n\
                      --fault-plan S installs the seeded fault plan S first.\n\
-                     --canary reintroduces the pre-fix blocking protocol sends."
+                     --canary reintroduces the pre-fix blocking protocol sends.\n\
+                     --serve drives the multi-tenant server pool with an open-loop \
+                     stream of --jobs seeded gen-v4 programs, a --fault-frac \
+                     fraction of hostile tenants (panics + wedges), reporting \
+                     jobs/sec and p50/p99 latency; --panic-pe P instead installs \
+                     a one-shot PanicPe fault plan for PE P and requires exactly \
+                     one Faulted job."
                 );
                 std::process::exit(0);
             }
@@ -150,8 +195,7 @@ fn parse_args() -> Args {
     // applies (host parallelism, at least 2, at most one worker per
     // PE), announce it, and bake the concrete M into the hint.
     if args.engine == Engine::Coop && args.workers == 0 {
-        let m = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
-        args.workers = m.clamp(1, args.pes.max(1));
+        args.workers = resolve_coop_workers(0, args.pes);
         eprintln!(
             "--workers not given (or 0): auto-sized the coop worker pool to {} \
              from host parallelism; pass --workers M to pin it",
@@ -163,9 +207,42 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(mut opts) = args.serve {
+        opts.seed = args.seed;
+        let summary = serve(&opts);
+        println!(
+            "serve: {} jobs in {:.2} jobs/sec — {} completed, {} faulted, {} evicted, \
+             {} shed; healthy latency p50={:?} p99={:?}; arenas fresh={} recycled={}",
+            summary.jobs,
+            summary.jobs_per_sec,
+            summary.completed,
+            summary.faulted,
+            summary.evicted,
+            summary.shed,
+            summary.p50,
+            summary.p99,
+            summary.arenas_fresh,
+            summary.arenas_recycled,
+        );
+        if summary.ok() {
+            println!("serve: every job resolved in its expected outcome class");
+            return ExitCode::SUCCESS;
+        }
+        for m in &summary.mismatches {
+            println!("serve MISMATCH: {m}");
+        }
+        return ExitCode::from(2);
+    }
     let prog = gen_program_v(&mut RngDraw::new(args.seed, args.case), args.pes, args.gen);
+    // The resolved coop worker count is part of the replay identity
+    // (stall windows scale with oversubscription), so the seed line
+    // carries it whenever the coop engine runs.
+    let workers = match args.engine {
+        Engine::Coop => format!(" workers={}", args.workers),
+        _ => String::new(),
+    };
     eprintln!(
-        "seed={:#018x} case={} pes={} depth={:?} gen={} temp={}B algos={:?} steps={}",
+        "seed={:#018x} case={} pes={} depth={:?} gen={} temp={}B algos={:?} steps={}{workers}",
         args.seed,
         args.case,
         args.pes,

@@ -581,40 +581,23 @@ pub fn run_multichip(prog: &Program, depth: Option<usize>, replay_hint: &str) ->
     }
 }
 
-/// Wall-clock stall window scaled by the engine's oversubscription
-/// factor (runnable contexts per worker thread). A descheduled coop PE
-/// only moves the progress counter when its admission turn comes, so an
-/// N-PEs-on-M-workers job legitimately needs up to `2N/M` times longer
-/// between counter movements than a fully parallel native run — the
-/// unscaled window fired spuriously on exactly those runs. Capped at
-/// 64× so a true deadlock on a 1024-PE job still reports in minutes.
-pub fn scaled_stall(stall: Duration, oversubscription: usize) -> Duration {
-    stall * oversubscription.clamp(1, 64) as u32
-}
+// The stall-window scaling and livelock/deadlock classification moved
+// into the core watch module so the server layer's per-tenant
+// supervision shares one implementation; re-exported here for the
+// existing stress API surface.
+pub use tshmem::watch::{classify_stall, scaled_stall};
 
-/// Classify a stall from per-main-PE deltas measured since the last
-/// useful-op movement: `(useful_ops, spin_retries, descheduled)` per
-/// PE. A descheduled-but-runnable coop PE shows zero deltas while it
-/// waits for a worker slot; counting it as frozen used to turn every
-/// oversubscribed stall into a "deadlock" verdict (and starve the
-/// livelock detector of its "everyone is spinning" signal), so only a
-/// PE that is *scheduled* yet moved nothing counts as frozen.
-pub fn classify_stall<I: IntoIterator<Item = (u64, u64, bool)>>(deltas: I) -> &'static str {
-    let mut spun = 0u64;
-    let mut frozen = false;
-    for (du, ds, descheduled) in deltas {
-        spun += ds;
-        if du == 0 && ds == 0 && !descheduled {
-            frozen = true;
-        }
+/// Resolve a `--workers` request to the concrete coop pool size, with
+/// the same rule the backend applies for `0` (auto): host parallelism,
+/// at least 2, at most one worker per PE. Both the CLI and the `dump`
+/// example bake this resolved M into replay hints, so a seed replay is
+/// byte-faithful on a host with a different core count.
+pub fn resolve_coop_workers(requested: usize, pes: usize) -> usize {
+    if requested != 0 {
+        return requested;
     }
-    if spun > 0 && !frozen {
-        "livelock (every stalled PE is spinning without completing useful work)"
-    } else if spun > 0 {
-        "deadlock (at least one PE frozen; others spin without useful work)"
-    } else {
-        "deadlock (no useful work and no spin retries anywhere)"
-    }
+    let m = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    m.clamp(1, pes.max(1))
 }
 
 fn watch_native<F>(cfg: RuntimeConfig, stall: Duration, trailer: String, f: F) -> Outcome

@@ -103,6 +103,18 @@ impl CommonMemory {
         unsafe { std::ptr::copy_nonoverlapping(p as *const u8, dst.as_mut_ptr(), dst.len()) }
     }
 
+    /// Fill `[offset, offset + len)` with `byte`. Used by arena
+    /// recycling to scrub a retired region before another tenant maps
+    /// it — zeroing restores the freshly-`new` contract, a poison
+    /// pattern makes use-before-init visible in debug builds.
+    #[inline]
+    pub fn fill(&self, offset: usize, len: usize, byte: u8) {
+        let p = self.ptr(offset, len);
+        // SAFETY: bounds checked above; see module docs for the
+        // concurrency contract.
+        unsafe { std::ptr::write_bytes(p, byte, len) }
+    }
+
     /// `memmove` within the arena (ranges may overlap).
     #[inline]
     pub fn copy_within(&self, dst_offset: usize, src_offset: usize, len: usize) {

@@ -130,7 +130,55 @@ print("nbi overlap smoke: schema OK")
 PYEOF
 rm -f BENCH_nbi_smoke.json
 
-echo "== hot-path allocation allowlist (rma / barrier / coop / hier) =="
+echo "== server suite smoke (pool throughput, schema-checked) =="
+# The multi-tenant server suite must run fault-free to completion on
+# both schedulers and emit well-formed JSON. Absolute jobs/sec is
+# box-dependent and reported vs the committed BENCH_server.json, not
+# enforced.
+./target/release/microbench --server-suite --quick --out BENCH_server_smoke.json
+python3 - <<'PYEOF'
+import json
+with open("BENCH_server_smoke.json") as f:
+    doc = json.load(f)
+for key in ("suite", "jobs", "pool_workers", "entries"):
+    assert key in doc, f"BENCH_server_smoke.json missing key: {key}"
+assert doc["suite"] == "server"
+scheds = sorted(e["scheduler"] for e in doc["entries"])
+assert scheds == ["fair", "round_robin"], f"unexpected schedulers: {scheds}"
+for e in doc["entries"]:
+    assert e["jobs_per_sec"] > 0, f"{e['scheduler']}: non-positive jobs/sec"
+    assert 0 < e["p50_ns"] <= e["p99_ns"], f"{e['scheduler']}: bad latency quantiles"
+try:
+    with open("BENCH_server.json") as f:
+        ref = {e["scheduler"]: e for e in json.load(f)["entries"]}
+    for e in doc["entries"]:
+        r = ref.get(e["scheduler"])
+        if r and r["jobs_per_sec"] > 0:
+            x = e["jobs_per_sec"] / r["jobs_per_sec"]
+            print(f"  {e['scheduler']:12s} {e['jobs_per_sec']:8.1f} jobs/sec  "
+                  f"({x:5.2f}x of committed)")
+except FileNotFoundError:
+    print("  (no committed BENCH_server.json to compare against)")
+print("server suite smoke: schema OK")
+PYEOF
+rm -f BENCH_server_smoke.json
+
+echo "== server fault-mix smoke (open-loop serve, seeded hostile tenants) =="
+# A short serve run with seeded panics and wedges: every healthy job
+# must complete oracle-clean and every hostile one must resolve in its
+# expected outcome class (Faulted / Evicted with diagnosis) — a pool
+# stall or misclassified job exits non-zero and fails the gate.
+cargo run -q --offline --release -p stress -- \
+    --serve --jobs 60 --fault-frac 0.1 --seed 0x51
+
+echo "== server PanicPe canary (one-shot caught-class fault) =="
+# The injected PE panic must surface as exactly one Faulted job while
+# the rest of the stream completes — the pool survives a crashing
+# tenant without damage.
+cargo run -q --offline --release -p stress -- \
+    --serve --jobs 8 --panic-pe 1 --seed 0x55
+
+echo "== hot-path allocation allowlist (rma / barrier / coop / hier / server) =="
 # The RMA and barrier hot paths are allocation-free by design, and the
 # M:N scheduler and hierarchical collectives stay on that diet: any
 # `to_vec()` or `vec![` there must carry a `// cold:` justification on
@@ -140,7 +188,8 @@ import re, sys
 bad = []
 for path in ("crates/core/src/rma.rs", "crates/core/src/sync/barrier.rs",
              "crates/core/src/engine/coop.rs",
-             "crates/core/src/collectives/hier.rs"):
+             "crates/core/src/collectives/hier.rs",
+             "crates/core/src/server/pool.rs"):
     lines = open(path).read().splitlines()
     for i, line in enumerate(lines):
         if re.search(r'\.to_vec\(\)|vec!\[', line) and "// cold:" not in line:
