@@ -436,6 +436,7 @@ fn run_coop_lps<R, F, G>(
     layout: crate::ctx::Layout,
     algos: crate::ctx::Algorithms,
     private_bytes: usize,
+    mode: desim::coop::SchedMode,
     observer: Option<Arc<dyn desim::coop::CoopObserver>>,
     make_fabric: G,
     f: F,
@@ -446,7 +447,7 @@ where
     F: Fn(&ShmemCtx) -> R + Send + Sync,
     G: Fn(usize, CoopHandle<ProtoMsg>) -> Box<dyn Fabric> + Send + Sync,
 {
-    let out = desim::coop::run_observed(2 * npes, TIMED_CHANNELS, observer, move |h| {
+    let out = desim::coop::run_mode(2 * npes, TIMED_CHANNELS, mode, observer, move |h| {
         let lp = h.id();
         let fab = make_fabric(lp, h);
         if lp < npes {
@@ -629,6 +630,7 @@ impl EngineBackend for TimedBackend {
             cfg.layout(),
             cfg.algos,
             cfg.private_bytes,
+            cfg.timed_mode.sched_mode(),
             observer,
             |lp, h| Box::new(TimedFabric::for_lp(shared.clone(), lp, h)),
             f,
@@ -686,6 +688,7 @@ impl EngineBackend for MultiChipBackend {
             layout,
             cfg.algos,
             cfg.private_bytes,
+            cfg.timed_mode.sched_mode(),
             observer,
             |lp, h| Box::new(MultiChipFabric::for_lp(shared.clone(), lp, h)),
             f,

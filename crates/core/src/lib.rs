@@ -92,7 +92,7 @@ pub use fault::{Fault, FaultPlan};
 pub use runtime::{
     launch, launch_coop, launch_coop_watched, launch_multichip, launch_multichip_watched,
     launch_timed, launch_timed_watched, launch_watched, start_pes, Launcher, RuntimeConfig,
-    TimedOutcome,
+    TimedMode, TimedOutcome,
 };
 pub use rma::SignalOp;
 pub use server::{

@@ -27,6 +27,49 @@ use crate::engine::backend::{
 use crate::engine::coop::CoopBackend;
 use crate::watch::{JobWatch, TimedWatch};
 
+/// Scheduling discipline for the virtual-time (desim-backed) engines.
+///
+/// Selects how the cooperative scheduler orders LPs in `launch_timed` /
+/// `launch_multichip` runs; the native and coop engines ignore it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TimedMode {
+    /// Exact discrete-event order: the LP with the minimum effective
+    /// clock always runs next. The calibrated mode — all `[cal]` figures
+    /// use it.
+    #[default]
+    EventDriven,
+    /// Lockstep cycle boxes of `tick_ns` virtual nanoseconds: within a
+    /// box LPs run in id order, each to the box edge, which cuts
+    /// cross-thread handoffs by orders of magnitude. Protocol outcomes
+    /// (final heap/static state) converge with event-driven; per-PE
+    /// clocks may differ by bounded amounts. The fast-sweep mode.
+    CycleBox { tick_ns: u64 },
+}
+
+impl TimedMode {
+    /// Default cycle-box tick: 1 µs of virtual time (≈1000 TILE-Gx
+    /// cycles) — wide enough to batch a protocol phase per box, narrow
+    /// enough to keep clock skew within a few spin periods.
+    pub const DEFAULT_TICK_NS: u64 = 1_000;
+
+    /// Cycle-box mode at the default tick.
+    pub fn cycle_box() -> Self {
+        TimedMode::CycleBox {
+            tick_ns: Self::DEFAULT_TICK_NS,
+        }
+    }
+
+    /// The desim scheduler mode this selects.
+    pub(crate) fn sched_mode(self) -> desim::coop::SchedMode {
+        match self {
+            TimedMode::EventDriven => desim::coop::SchedMode::EventDriven,
+            TimedMode::CycleBox { tick_ns } => desim::coop::SchedMode::CycleBox {
+                tick: desim::SimTime::from_ns(tick_ns.max(1)),
+            },
+        }
+    }
+}
+
 /// Configuration of one SHMEM job.
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
@@ -54,6 +97,9 @@ pub struct RuntimeConfig {
     /// Virtual-time engines: record an operation trace (see
     /// [`crate::trace`]).
     pub trace: bool,
+    /// Scheduling discipline for the virtual-time engines (see
+    /// [`TimedMode`]). Ignored by the native and coop engines.
+    pub timed_mode: TimedMode,
 }
 
 impl RuntimeConfig {
@@ -74,6 +120,7 @@ impl RuntimeConfig {
             algos: Algorithms::default(),
             udn_queue_packets: None,
             trace: false,
+            timed_mode: TimedMode::EventDriven,
         }
     }
 
@@ -128,6 +175,18 @@ impl RuntimeConfig {
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
         self
+    }
+
+    /// Select the virtual-time scheduling discipline.
+    pub fn with_timed_mode(mut self, mode: TimedMode) -> Self {
+        self.timed_mode = mode;
+        self
+    }
+
+    /// Cycle-box mode at the default tick — shorthand for
+    /// `with_timed_mode(TimedMode::cycle_box())`.
+    pub fn with_cycle_box(self) -> Self {
+        self.with_timed_mode(TimedMode::cycle_box())
     }
 
     /// The test area PEs map onto: the paper's 6×6 area when it fits

@@ -226,3 +226,52 @@ fn timed_spin_barrier_matches_calibration() {
     let us = out.values[0] / 1000.0;
     assert!((1.0..2.5).contains(&us), "spin barrier {us} us");
 }
+
+#[test]
+fn cycle_box_mode_runs_protocols_correctly() {
+    let out = launch_timed(&cfg(6).with_cycle_box(), |ctx| {
+        let me = ctx.my_pe();
+        let buf = ctx.shmalloc::<u64>(32);
+        let next = (me + 1) % ctx.n_pes();
+        ctx.put(&buf, 0, &vec![me as u64; 32], next);
+        ctx.barrier_all();
+        let prev = (me + ctx.n_pes() - 1) % ctx.n_pes();
+        assert_eq!(ctx.local_read(&buf, 0, 32), vec![prev as u64; 32]);
+        let v = ctx.shmalloc::<i64>(8);
+        let d = ctx.shmalloc::<i64>(8);
+        ctx.local_write(&v, 0, &[me as i64; 8]);
+        ctx.sum_to_all(&d, &v, 8, ctx.world());
+        ctx.barrier_all();
+        ctx.local_read(&d, 0, 1)[0]
+    });
+    assert!(out.values.iter().all(|v| *v == 15)); // 0+1+..+5
+    assert!(out.makespan.ns_f64() > 0.0);
+}
+
+#[test]
+fn cycle_box_runs_are_deterministic_and_converge_with_event_driven() {
+    let run = |cfg: RuntimeConfig| {
+        let out = launch_timed(&cfg, |ctx| {
+            let me = ctx.my_pe();
+            let n = ctx.n_pes();
+            let cell = ctx.shmalloc::<u64>(n);
+            ctx.local_write(&cell, 0, &vec![0u64; n]);
+            ctx.barrier_all();
+            for round in 0..4u64 {
+                let dst = (me + round as usize + 1) % n;
+                ctx.fadd(&cell, me, me as u64 + round, dst);
+                ctx.barrier_all();
+            }
+            ctx.local_read(&cell, 0, n)
+        });
+        out.values
+    };
+    let ed = run(cfg(5));
+    let cb1 = run(cfg(5).with_cycle_box());
+    let cb2 = run(cfg(5).with_cycle_box());
+    assert_eq!(cb1, cb2, "cycle-box runs must be deterministic");
+    assert_eq!(
+        ed, cb1,
+        "cycle-box final state must converge with event-driven"
+    );
+}

@@ -18,6 +18,32 @@
 //! deterministic* semantics while being written in ordinary blocking
 //! style.
 //!
+//! # Scheduling internals
+//!
+//! Handoffs are O(log n), not O(n): runnable LPs are indexed by a lazy
+//! min-heap of `(key, id)` entries where `key` is derived from the
+//! effective clock by the active [`SchedMode`]. Entries are *not*
+//! removed when an LP's effective clock changes — a popped entry is
+//! validated by recomputing the key and silently discarded when stale
+//! (same trick as a lazy-deletion Dijkstra heap). Mailboxes are binary
+//! heaps ordered by `(arrival, seq)`, so `recv` pops the earliest
+//! message in O(log m) and the effective-clock probe is an O(1) peek.
+//! Condvar notifies are waiter-gated: an LP that has not parked yet is
+//! granted the token by a flag check alone, with no futex syscall.
+//!
+//! # Scheduling modes
+//!
+//! [`SchedMode::EventDriven`] (the default) is the pure discrete-event
+//! order described above. [`SchedMode::CycleBox`] partitions virtual
+//! time into fixed-width tick boxes: within a box, runnable LPs execute
+//! in id order, each running until its effective clock leaves the box.
+//! A spinning LP therefore keeps its OS thread (and the scheduler's
+//! cache lines) until the box drains, trading exact event interleaving
+//! for far fewer cross-thread handoffs. Cross-LP message *order within
+//! one box* may differ from event-driven order — the same reordering a
+//! real mesh exhibits — so protocol outcomes converge while per-LP
+//! clocks may differ by bounded amounts.
+//!
 //! # Example
 //!
 //! ```
@@ -40,12 +66,41 @@
 //! assert_eq!(out.values[0], SimTime::from_ns(42));
 //! ```
 
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use substrate::sync::{Condvar, Mutex};
 
 use crate::time::SimTime;
+
+/// Scheduling discipline for a cooperative run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedMode {
+    /// Pure discrete-event order: the LP with the minimum effective
+    /// clock runs next, ties broken toward the smallest id.
+    #[default]
+    EventDriven,
+    /// Lockstep tick execution: virtual time is cut into boxes of
+    /// `tick` width; within a box, runnable LPs run in id order, each
+    /// until its effective clock leaves the box. Fewer handoffs, same
+    /// protocol outcomes, per-LP clocks may differ from event-driven
+    /// by bounded amounts.
+    CycleBox { tick: SimTime },
+}
+
+impl SchedMode {
+    /// Scheduling key for an effective clock value. The run queue
+    /// orders by `(key, id)`, so event-driven keys are exact clocks and
+    /// cycle-box keys are box indices.
+    fn key(&self, eff: u64) -> u64 {
+        match self {
+            SchedMode::EventDriven => eff,
+            SchedMode::CycleBox { tick } => eff / tick.ps().max(1),
+        }
+    }
+}
 
 /// Per-LP status.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,45 +113,80 @@ enum Status {
     Done,
 }
 
+/// Mailbox entry; the heap Ord is reversed on `(arrival, seq)` so the
+/// earliest message (FIFO among same-instant arrivals) pops first. The
+/// payload never participates in the comparison.
+struct MbMsg<M> {
+    arrival: u64,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for MbMsg<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.arrival, self.seq) == (other.arrival, other.seq)
+    }
+}
+impl<M> Eq for MbMsg<M> {}
+impl<M> PartialOrd for MbMsg<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for MbMsg<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want min-(arrival, seq).
+        (other.arrival, other.seq).cmp(&(self.arrival, self.seq))
+    }
+}
+
 struct Mailbox<M> {
-    /// (arrival, seq, message) — popped by minimum (arrival, seq).
-    msgs: Vec<(u64, u64, M)>,
+    msgs: BinaryHeap<MbMsg<M>>,
 }
 
 impl<M> Mailbox<M> {
     fn new() -> Self {
-        Self { msgs: Vec::new() }
+        Self {
+            msgs: BinaryHeap::new(),
+        }
     }
 
+    fn push(&mut self, arrival: u64, seq: u64, msg: M) {
+        self.msgs.push(MbMsg { arrival, seq, msg });
+    }
+
+    /// O(1): the heap root is the earliest (arrival, seq).
     fn min_arrival(&self) -> Option<u64> {
-        self.msgs.iter().map(|(a, _, _)| *a).min()
+        self.msgs.peek().map(|m| m.arrival)
     }
 
+    /// O(log m): pop the minimum-(arrival, seq) message.
     fn pop_min(&mut self) -> Option<(u64, M)> {
-        if self.msgs.is_empty() {
-            return None;
-        }
-        let mut best = 0;
-        for i in 1..self.msgs.len() {
-            let (a, s, _) = &self.msgs[i];
-            let (ba, bs, _) = &self.msgs[best];
-            if (*a, *s) < (*ba, *bs) {
-                best = i;
-            }
-        }
-        let (a, _, m) = self.msgs.swap_remove(best);
-        Some((a, m))
+        self.msgs.pop().map(|m| (m.arrival, m.msg))
+    }
+
+    fn len(&self) -> usize {
+        self.msgs.len()
     }
 }
 
 struct LpState<M> {
     clock: u64,
     status: Status,
+    /// Whether the LP's thread is parked in a condvar wait. Grants to
+    /// unparked LPs skip the notify: they observe `running == id` at
+    /// their next wait-condition check.
+    parked: bool,
     boxes: Vec<Mailbox<M>>,
 }
 
 struct SchedState<M> {
     lps: Vec<LpState<M>>,
+    /// Lazy scheduling index: `(key, id)` entries, min-popped. Entries
+    /// go stale when an LP's effective clock changes; `pop_next`
+    /// validates by recomputation and discards mismatches.
+    runq: BinaryHeap<Reverse<(u64, usize)>>,
+    mode: SchedMode,
     /// LP currently holding the execution token.
     running: usize,
     finished: usize,
@@ -146,17 +236,27 @@ impl<M> SchedState<M> {
         }
     }
 
-    /// LP with the minimum effective clock (ties to the smallest id).
-    fn pick(&self) -> Option<usize> {
-        let mut best: Option<(u64, usize)> = None;
-        for id in 0..self.lps.len() {
-            if let Some(e) = self.effective(id) {
-                if best.is_none_or(|(be, bid)| (e, id) < (be, bid)) {
-                    best = Some((e, id));
-                }
+    /// Publish `id` to the run queue under its current effective clock.
+    /// No-op for LPs that cannot run (done, or blocked with an empty
+    /// mailbox — the sender that fills the mailbox publishes them).
+    fn push_runnable(&mut self, id: usize) {
+        if let Some(e) = self.effective(id) {
+            let k = self.mode.key(e);
+            self.runq.push(Reverse((k, id)));
+        }
+    }
+
+    /// Pop the next grantable LP: the minimum `(key, id)` entry whose
+    /// key still matches the LP's current effective clock. Stale
+    /// entries (the LP ran, blocked differently, or finished since the
+    /// push) are discarded. Returns `None` when no LP can run.
+    fn pop_next(&mut self) -> Option<usize> {
+        while let Some(Reverse((k, id))) = self.runq.pop() {
+            if self.effective(id).map(|e| self.mode.key(e)) == Some(k) {
+                return Some(id);
             }
         }
-        best.map(|(_, id)| id)
+        None
     }
 
     /// Per-LP stall snapshot for the deadlock observer.
@@ -172,7 +272,7 @@ impl<M> SchedState<M> {
                     _ => None,
                 },
                 clock: SimTime::from_ps(lp.clock),
-                queued: lp.boxes.iter().map(|b| b.msgs.len()).collect(),
+                queued: lp.boxes.iter().map(|b| b.len()).collect(),
             })
             .collect()
     }
@@ -185,6 +285,15 @@ struct Shared<M> {
 }
 
 impl<M> Shared<M> {
+    /// Grant the token to `next`, waking its thread only if it already
+    /// parked (waiter-gated notify). Callers hold the lock.
+    fn grant(&self, guard: &mut SchedState<M>, next: usize) {
+        guard.running = next;
+        if guard.lps[next].parked {
+            self.cvs[next].notify_one();
+        }
+    }
+
     /// Hand the token to the next LP (which may be `self_id` again).
     /// Must be called with the lock held; returns holding the lock, with
     /// the token back at `self_id`.
@@ -193,32 +302,35 @@ impl<M> Shared<M> {
         mut guard: substrate::sync::MutexGuard<'a, SchedState<M>>,
         self_id: usize,
     ) -> substrate::sync::MutexGuard<'a, SchedState<M>> {
+        // Publish ourselves before picking: if we still hold the minimum
+        // effective clock we pop our own entry and keep the token with
+        // no syscall at all.
+        guard.push_runnable(self_id);
         loop {
             if let Some(msg) = &guard.poisoned {
                 let msg = msg.clone();
                 drop(guard);
                 panic!("coop scheduler poisoned: {msg}");
             }
-            match guard.pick() {
+            match guard.pop_next() {
                 Some(next) if next == self_id => {
                     guard.running = self_id;
                     return guard;
                 }
                 Some(next) => {
-                    guard.running = next;
-                    self.cvs[next].notify_one();
-                    self.cvs[self_id].wait(&mut guard);
-                    // Woken: either we hold the token or we were poisoned.
-                    if guard.running == self_id && guard.poisoned.is_none() {
-                        return guard;
-                    }
-                    // Re-check (spurious wake or poison).
-                    if guard.poisoned.is_some() {
-                        continue;
-                    }
-                    if guard.running != self_id {
-                        // Spurious wakeup — wait again.
-                        continue;
+                    self.grant(&mut guard, next);
+                    // Park until granted back (or poisoned). Spurious
+                    // wakes just re-park.
+                    loop {
+                        guard.lps[self_id].parked = true;
+                        self.cvs[self_id].wait(&mut guard);
+                        guard.lps[self_id].parked = false;
+                        if guard.poisoned.is_some() {
+                            break; // outer loop panics with the message
+                        }
+                        if guard.running == self_id {
+                            return guard;
+                        }
                     }
                 }
                 None => {
@@ -320,7 +432,17 @@ impl<M: Send> CoopHandle<M> {
         let arrival = g.lps[self.id].clock + latency.ps();
         let seq = g.seq;
         g.seq += 1;
-        g.lps[dest].boxes[channel].msgs.push((arrival, seq, msg));
+        let dst = &mut g.lps[dest];
+        let old_min = dst.boxes[channel].min_arrival();
+        dst.boxes[channel].push(arrival, seq, msg);
+        // A blocked receiver just became runnable (or got an earlier
+        // wake-up time): publish it under the new effective clock. Its
+        // older runq entries, if any, go stale and are discarded lazily.
+        if let Status::BlockedRecv(ch) = dst.status {
+            if ch == channel && old_min.is_none_or(|m| arrival < m) {
+                g.push_runnable(dest);
+            }
+        }
         // The sender keeps the token: its effective clock is still the
         // minimum (arrival >= our clock for latency >= 0).
     }
@@ -402,7 +524,7 @@ where
     R: Send,
     F: Fn(CoopHandle<M>) -> R + Send + Sync,
 {
-    run_observed(n, channels, None, f)
+    run_mode(n, channels, SchedMode::EventDriven, None, f)
 }
 
 /// [`run`] with a deadlock observer: when the simulation deadlocks,
@@ -420,22 +542,49 @@ where
     R: Send,
     F: Fn(CoopHandle<M>) -> R + Send + Sync,
 {
+    run_mode(n, channels, SchedMode::EventDriven, observer, f)
+}
+
+/// [`run_observed`] with an explicit [`SchedMode`] — the full entry
+/// point the timed engine uses to select event-driven vs cycle-box
+/// execution per run.
+pub fn run_mode<M, R, F>(
+    n: usize,
+    channels: usize,
+    mode: SchedMode,
+    observer: Option<Arc<dyn CoopObserver>>,
+    f: F,
+) -> CoopResult<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(CoopHandle<M>) -> R + Send + Sync,
+{
     assert!(n > 0, "need at least one LP");
     assert!(channels > 0, "need at least one channel");
+    let mut state = SchedState {
+        lps: (0..n)
+            .map(|_| LpState {
+                clock: 0,
+                status: Status::Ready,
+                parked: false,
+                boxes: (0..channels).map(|_| Mailbox::new()).collect(),
+            })
+            .collect(),
+        runq: BinaryHeap::with_capacity(2 * n),
+        mode,
+        running: 0,
+        finished: 0,
+        seq: 0,
+        poisoned: None,
+    };
+    // LP 0 starts holding the token; everyone else is published at
+    // clock 0 so the first handoffs find them.
+    for id in 1..n {
+        state.push_runnable(id);
+    }
     let shared = Arc::new(Shared {
-        state: Mutex::new(SchedState {
-            lps: (0..n)
-                .map(|_| LpState {
-                    clock: 0,
-                    status: Status::Ready,
-                    boxes: (0..channels).map(|_| Mailbox::new()).collect(),
-                })
-                .collect(),
-            running: 0,
-            finished: 0,
-            seq: 0,
-            poisoned: None,
-        }),
+        state: Mutex::new(state),
         cvs: (0..n).map(|_| Condvar::new()).collect(),
         observer,
     });
@@ -462,7 +611,7 @@ where
     });
 
     let mut values: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let mut clocks = vec![SimTime::ZERO; n];
+    let mut clocks = vec![SimTime::ZERO; n]; // cold: once per run, after all LPs joined
     let mut original_panic: Option<Box<dyn std::any::Any + Send>> = None;
     let mut secondary_panic: Option<Box<dyn std::any::Any + Send>> = None;
     for (id, outcome) in outcomes.into_iter().enumerate() {
@@ -513,14 +662,16 @@ where
     F: Fn(CoopHandle<M>) -> R + Send + Sync,
 {
     // Wait for the token before starting (LP 0 starts holding it by
-    // construction: pick() with all clocks 0 chooses id 0).
+    // construction; the rest are granted by runq pops).
     {
         let mut g = shared.state.lock();
         while g.running != id {
             if g.poisoned.is_some() {
                 return Err((Box::new("poisoned before start"), false));
             }
+            g.lps[id].parked = true;
             shared.cvs[id].wait(&mut g);
+            g.lps[id].parked = false;
         }
     }
 
@@ -539,10 +690,9 @@ where
     match result {
         Ok(r) => {
             // Hand the token onward.
-            match g.pick() {
+            match g.pop_next() {
                 Some(next) => {
-                    g.running = next;
-                    shared.cvs[next].notify_one();
+                    shared.grant(&mut g, next);
                 }
                 None if g.finished < g.lps.len() => {
                     let mut msg = String::from("deadlock after LP finish");
@@ -800,5 +950,171 @@ mod tests {
             h.with_global(|| c2.fetch_add(1, Ordering::Relaxed));
         });
         assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn mailbox_pop_min_is_exact_arrival_seq_order() {
+        // Direct regression for the old O(n)-scan pop: flood one
+        // mailbox with pseudo-random arrivals (including same-instant
+        // collisions) and drain — order must be exactly (arrival, seq).
+        let mut mb: Mailbox<u32> = Mailbox::new();
+        let mut x = 0x853c49e6748fea9bu64;
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        for seq in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let arrival = x % 257; // dense range forces many ties
+            mb.push(arrival, seq, seq as u32);
+            expect.push((arrival, seq));
+        }
+        expect.sort_unstable();
+        assert_eq!(mb.min_arrival(), Some(expect[0].0));
+        for (arrival, seq) in expect {
+            let (a, m) = mb.pop_min().expect("mailbox drained early");
+            assert_eq!((a, m as u64), (arrival, seq));
+        }
+        assert!(mb.pop_min().is_none());
+    }
+
+    #[test]
+    fn many_queued_messages_drain_in_arrival_order() {
+        // Scheduler-level variant: 8 senders flood one receiver channel
+        // with staggered latencies before the receiver wakes; recv must
+        // return nondecreasing arrivals (carried in the payload).
+        const PER_SENDER: u64 = 250;
+        let n = 9;
+        let out = run::<u64, _, _>(n, 1, move |h| {
+            if h.id() == 0 {
+                // Park past every arrival so all messages are queued.
+                h.advance(SimTime::from_us(100));
+                let mut last = 0u64;
+                let mut count = 0u64;
+                while count < (n as u64 - 1) * PER_SENDER {
+                    let arrival = h.recv(0);
+                    assert!(
+                        arrival >= last,
+                        "arrival order violated: {arrival} after {last}"
+                    );
+                    last = arrival;
+                    count += 1;
+                }
+                count
+            } else {
+                let mut x = (h.id() as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                for _ in 0..PER_SENDER {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let lat = SimTime::from_ps(x % 5_000_000);
+                    h.send(0, 0, h.now().ps() + lat.ps(), lat);
+                }
+                0
+            }
+        });
+        assert_eq!(out.values[0], (n as u64 - 1) * PER_SENDER);
+    }
+
+    #[test]
+    fn cycle_box_runs_lps_in_id_order_within_a_box() {
+        use std::sync::Mutex as StdMutex;
+        // Three LPs each take 3 small steps inside one 1 us box. Cycle-box
+        // runs each LP to the box edge before the next id; event-driven
+        // interleaves by exact clock.
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let body = |log: Arc<StdMutex<Vec<usize>>>| {
+            move |h: CoopHandle<u8>| {
+                for _ in 0..3 {
+                    log.lock().unwrap().push(h.id());
+                    h.advance(SimTime::from_ns(10));
+                }
+            }
+        };
+        let l = log.clone();
+        run_mode::<u8, _, _>(
+            3,
+            1,
+            SchedMode::CycleBox { tick: SimTime::from_us(1) },
+            None,
+            body(l),
+        );
+        assert_eq!(*log.lock().unwrap(), vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+
+        log.lock().unwrap().clear();
+        let l = log.clone();
+        run_mode::<u8, _, _>(3, 1, SchedMode::EventDriven, None, body(l));
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_box_converges_with_event_driven_on_seeded_traffic() {
+        use std::sync::Mutex as StdMutex;
+        // Seeded random all-to-all traffic: every LP sends R messages
+        // (dests chosen so each LP also receives exactly R), then drains
+        // its mailbox. The received multiset per LP must be identical
+        // across modes (final-state convergence) and each mode must be
+        // deterministic run-to-run including message order.
+        const N: usize = 6;
+        const R: u64 = 40;
+        #[derive(Default, Clone, PartialEq, Debug)]
+        struct PerLp {
+            sum: u64,
+            xor: u64,
+            digest: u64, // order-sensitive
+        }
+        let run_with = |mode: SchedMode| {
+            let acc = Arc::new(StdMutex::new(vec![PerLp::default(); N]));
+            let a2 = acc.clone();
+            run_mode::<u64, _, _>(N, 1, mode, None, move |h| {
+                let id = h.id();
+                let mut x = (id as u64 + 1) * 0x2545f4914f6cdd1d;
+                for k in 0..R {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let dest = (id + 1 + (k as usize % (N - 1))) % N;
+                    let lat = SimTime::from_ps(x % 800_000);
+                    h.send(dest, 0, x, lat);
+                    if x.is_multiple_of(3) {
+                        h.advance(SimTime::from_ps(x % 50_000));
+                    }
+                }
+                for _ in 0..R {
+                    let v = h.recv(0);
+                    let mut g = a2.lock().unwrap();
+                    let p = &mut g[id];
+                    p.sum = p.sum.wrapping_add(v);
+                    p.xor ^= v;
+                    p.digest = p.digest.wrapping_mul(31).wrapping_add(v);
+                }
+            });
+            Arc::try_unwrap(acc).unwrap().into_inner().unwrap()
+        };
+        let ed1 = run_with(SchedMode::EventDriven);
+        let ed2 = run_with(SchedMode::EventDriven);
+        assert_eq!(ed1, ed2, "event-driven must be deterministic");
+        let tick = SimTime::from_ns(1000);
+        let cb1 = run_with(SchedMode::CycleBox { tick });
+        let cb2 = run_with(SchedMode::CycleBox { tick });
+        assert_eq!(cb1, cb2, "cycle-box must be deterministic");
+        for id in 0..N {
+            assert_eq!(
+                (ed1[id].sum, ed1[id].xor),
+                (cb1[id].sum, cb1[id].xor),
+                "LP {id}: received multiset differs between modes"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_box_deadlock_still_detected() {
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_mode::<u8, _, _>(
+                2,
+                1,
+                SchedMode::CycleBox { tick: SimTime::from_ns(100) },
+                None,
+                |h| {
+                    let _ = h.recv(0); // both block forever
+                },
+            )
+        }));
+        let p = r.expect_err("deadlock must panic");
+        let msg = p.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("deadlock"), "got: {msg}");
     }
 }

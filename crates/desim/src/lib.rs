@@ -24,7 +24,7 @@ pub mod events;
 pub mod resource;
 pub mod time;
 
-pub use coop::{CoopHandle, CoopObserver, CoopResult, LpStall};
-pub use events::Sim;
+pub use coop::{CoopHandle, CoopObserver, CoopResult, LpStall, SchedMode};
+pub use events::{QueueKind, Sim};
 pub use resource::Resource;
 pub use time::SimTime;

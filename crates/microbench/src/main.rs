@@ -38,6 +38,7 @@ struct Args {
     coop_suite: bool,
     nbi_suite: bool,
     server_suite: bool,
+    timed_suite: bool,
     pes: usize,
     out: Option<String>,
     quick: bool,
@@ -50,6 +51,7 @@ fn parse_args() -> Args {
         coop_suite: false,
         nbi_suite: false,
         server_suite: false,
+        timed_suite: false,
         pes: 8,
         out: None,
         quick: false,
@@ -68,6 +70,7 @@ fn parse_args() -> Args {
             "--coop-suite" => args.coop_suite = true,
             "--nbi-suite" => args.nbi_suite = true,
             "--server-suite" => args.server_suite = true,
+            "--timed-suite" => args.timed_suite = true,
             "--pes" => {
                 args.pes = val().parse().unwrap_or_else(|_| {
                     eprintln!("--pes wants a number");
@@ -84,8 +87,8 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: microbench --native-suite|--coop-suite|--nbi-suite|--server-suite \
-                     [--pes N] [--workers M] [--out PATH] [--quick]\n\
+                    "usage: microbench --native-suite|--coop-suite|--nbi-suite|--server-suite\
+                     |--timed-suite [--pes N] [--workers M] [--out PATH] [--quick]\n\
                      --native-suite runs the native-engine perf suite (put/get \n\
                      bandwidth, barrier latency, reduce latency, traced-vs-untraced \n\
                      putget ablation) and writes PATH (default BENCH_native.json).\n\
@@ -100,7 +103,12 @@ fn parse_args() -> Args {
                      suite: a fixed fault-free 2-PE SHMEM job streamed open-loop \n\
                      through each scheduler (round_robin, fair), reporting jobs/sec \n\
                      and p50/p99 submit-to-resolve latency, written to PATH \n\
-                     (default BENCH_server.json)."
+                     (default BENCH_server.json).\n\
+                     --timed-suite runs the timed-engine event-core suite: raw \n\
+                     calendar-queue vs reference-heap events/sec at 256/1024 \n\
+                     self-rescheduling chains, and 64/256/1024-PE timed barriers \n\
+                     under both the event-driven and cycle-box disciplines, \n\
+                     written to PATH (default BENCH_timed.json)."
                 );
                 std::process::exit(0);
             }
@@ -539,6 +547,133 @@ fn run_server_suite(args: &Args) {
     println!("wrote {out}");
 }
 
+/// Mean chain delay in ps: delays are uniform `1..=2^20` ps, so a chain
+/// fires roughly every half microsecond of virtual time.
+const CHAIN_MEAN_PS: u64 = 1 << 19;
+
+/// One self-rescheduling chain step for the event-core throughput
+/// bench: mix the captured state and reschedule a pseudo-random delay
+/// (1 ps ..= ~1 µs — the timed engine's event granularity) ahead. The
+/// capture is four state words — a typical handoff closure — which fits
+/// the calendar core's inline event cell; the reference core boxes it,
+/// exactly as the pre-refactor `Sim` boxed every event.
+fn chain_step(s: &mut desim::Sim<'_>, mut st: [u64; 4]) {
+    st[0] = st[0].wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(st[1]);
+    st[1] = st[1].rotate_left(7) ^ st[0];
+    let delay = (st[0] & (2 * CHAIN_MEAN_PS - 1)) + 1;
+    s.schedule_in(desim::SimTime::from_ps(delay), move |s2| chain_step(s2, st));
+}
+
+/// Raw event-core throughput: `chains` concurrent self-rescheduling
+/// chains — the steady-state pending-event population, the analog of
+/// the LP count the timed engine keeps queued — driven past a warm-up
+/// horizon and then for ~`total` measured events. Returns events per
+/// second. Identical seeds and deterministic tie-breaking mean both
+/// cores execute the bit-identical schedule.
+fn bench_event_core(kind: desim::QueueKind, chains: usize, total: usize) -> f64 {
+    let mut sim = desim::Sim::with_kind(kind);
+    for c in 0..chains {
+        let mut x = c as u64 ^ 0x5851_f42d_4c95_7f2d;
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let st = [x, x.rotate_left(31), c as u64, 0];
+        sim.schedule_at(desim::SimTime::from_ps((c as u64) << 10), move |s| chain_step(s, st));
+    }
+    // Warm-up: several mean periods, so the population decorrelates
+    // from the seeding pattern before the clock starts.
+    sim.run_until(desim::SimTime::from_ps(8 * CHAIN_MEAN_PS));
+    let warm_exec = sim.executed();
+    let horizon = sim.now().ps() + (total as u64 * CHAIN_MEAN_PS) / chains as u64;
+    let t0 = Instant::now();
+    sim.run_until(desim::SimTime::from_ps(horizon));
+    let secs = t0.elapsed().as_secs_f64();
+    let events = sim.executed() - warm_exec;
+    assert!(events as usize >= total / 2, "horizon math drifted: {events} events");
+    events as f64 / secs
+}
+
+/// Wall-clock `barrier_all` latency at `npes` PEs on the timed engine
+/// under `mode`: each PE times `iters` back-to-back barriers after an
+/// alignment barrier, and the job-level number is the slowest PE's.
+/// This is host wall time (scheduler handoffs dominate), not virtual
+/// time — the cycle-box ablation is precisely about handoff count.
+fn bench_timed_barrier(npes: usize, mode: tshmem::TimedMode, iters: usize) -> f64 {
+    use tshmem::runtime::launch_timed;
+    let cfg = RuntimeConfig::for_scale(npes).with_timed_mode(mode);
+    let out = launch_timed(&cfg, move |ctx| {
+        ctx.barrier_all(); // alignment
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            ctx.barrier_all();
+        }
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    });
+    out.values.into_iter().fold(0.0, f64::max)
+}
+
+/// The timed-engine suite: raw event-core throughput (calendar vs the
+/// retained reference heap) and timed world barriers at scale under
+/// both scheduling disciplines, written to `BENCH_timed.json`. The
+/// committed full run is the refactor's perf gate: `calendar_over_heap`
+/// is the events/sec speedup of the calendar core, and
+/// `cycle_box_over_event_driven` < 1.0 means the lockstep discipline
+/// beat exact event order on wall time at that scale.
+fn run_timed_suite(args: &Args) {
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_timed.json".to_string());
+    let chain_totals = if args.quick { 400_000 } else { 4_000_000 };
+    eprintln!(
+        "timed suite: {chain_totals} events per core{}",
+        if args.quick { " (quick)" } else { "" }
+    );
+
+    let mut core_entries = String::new();
+    let chain_scales = [256usize, 1024, 16384];
+    for (i, &chains) in chain_scales.iter().enumerate() {
+        let cal = bench_event_core(desim::QueueKind::Calendar, chains, chain_totals);
+        let heap = bench_event_core(desim::QueueKind::ReferenceHeap, chains, chain_totals);
+        let ratio = cal / heap;
+        eprintln!(
+            "  {chains:>5} chains  calendar {:>10.0} ev/s  heap {:>10.0} ev/s  calendar/heap {ratio:.2}x",
+            cal, heap
+        );
+        core_entries.push_str(&format!(
+            "      {{\"chains\": {chains}, \"calendar_events_per_sec\": {cal:.0}, \
+             \"heap_events_per_sec\": {heap:.0}, \"calendar_over_heap\": {ratio:.3}}}{}\n",
+            if i + 1 < chain_scales.len() { "," } else { "" }
+        ));
+    }
+
+    // (npes, iters): a 1024-PE timed barrier is 2048 OS threads taking
+    // turns, so the big scales run a couple of iterations, not hundreds.
+    let barrier_scales: &[(usize, usize)] =
+        if args.quick { &[(64, 3), (256, 2), (1024, 1)] } else { &[(64, 10), (256, 4), (1024, 2)] };
+    let mut barrier_entries = String::new();
+    for (i, &(npes, iters)) in barrier_scales.iter().enumerate() {
+        let ed = bench_timed_barrier(npes, tshmem::TimedMode::EventDriven, iters);
+        let cb = bench_timed_barrier(npes, tshmem::TimedMode::cycle_box(), iters);
+        let ratio = cb / ed;
+        eprintln!(
+            "  {npes:>5} PEs  event-driven {ed:>14.1} ns/op  cycle-box {cb:>14.1} ns/op  cb/ed {ratio:.3}"
+        );
+        barrier_entries.push_str(&format!(
+            "      {{\"npes\": {npes}, \"event_driven_ns_per_op\": {ed:.1}, \
+             \"cycle_box_ns_per_op\": {cb:.1}, \"cycle_box_over_event_driven\": {ratio:.4}}}{}\n",
+            if i + 1 < barrier_scales.len() { "," } else { "" }
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"suite\": \"timed\",\n  \"quick\": {},\n  \
+         \"event_core\": {{\n    \"total_events\": {chain_totals},\n    \"entries\": [\n{core_entries}    ]\n  }},\n  \
+         \"barriers\": {{\n    \"entries\": [\n{barrier_entries}    ]\n  }}\n}}\n",
+        args.quick
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Benchmark names are static identifiers; assert rather than escape.
     assert!(
@@ -562,10 +697,14 @@ fn main() {
         run_server_suite(&args);
         return;
     }
+    if args.timed_suite {
+        run_timed_suite(&args);
+        return;
+    }
     if !args.native_suite {
         eprintln!(
             "nothing to do: pass --native-suite, --coop-suite, --nbi-suite, \
-             or --server-suite (see --help)"
+             --server-suite, or --timed-suite (see --help)"
         );
         std::process::exit(2);
     }

@@ -30,7 +30,8 @@ pub use program::{
     GEN_V1, GEN_V2, GEN_V3,
 };
 pub use run::{
-    build_cfg, classify_stall, resolve_coop_workers, run_coop, run_multichip, run_on_ctx,
-    run_plain, run_timed, run_watched, scaled_stall, watch_closure, watch_closure_coop, Outcome,
+    build_cfg, classify_stall, resolve_coop_workers, run_coop, run_multichip, run_multichip_mode,
+    run_on_ctx, run_plain, run_timed, run_timed_mode, run_watched, scaled_stall, watch_closure,
+    watch_closure_coop, Outcome,
 };
 pub use serve::{serve, Sched, ServeOpts, ServeSummary};

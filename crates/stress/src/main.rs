@@ -22,7 +22,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use stress::program::{gen_program_v, RngDraw, GEN_LATEST, GEN_V1};
-use stress::run::{resolve_coop_workers, run_coop, run_multichip, run_timed, run_watched, Outcome};
+use stress::run::{
+    resolve_coop_workers, run_coop, run_multichip_mode, run_timed_mode, run_watched, Outcome,
+};
+use tshmem::TimedMode;
 use stress::serve::{serve, Sched, ServeOpts};
 
 #[derive(PartialEq)]
@@ -41,6 +44,7 @@ struct Args {
     stall_secs: u64,
     gen: u32,
     engine: Engine,
+    cycle_box: bool,
     fault_plan: Option<u64>,
     canary: bool,
     workers: usize,
@@ -68,6 +72,7 @@ fn parse_args() -> Args {
         stall_secs: 5,
         gen: GEN_LATEST,
         engine: Engine::Native,
+        cycle_box: false,
         fault_plan: None,
         canary: false,
         workers: 0,
@@ -106,6 +111,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--cycle-box" => args.cycle_box = true,
             "--fault-plan" => args.fault_plan = Some(parse_num(&val())),
             "--canary" => args.canary = true,
             "--serve" => {
@@ -146,7 +152,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: stress [--seed N] [--case N] [--pes N | --npes N] [--depth N] \
                      [--stall-secs N] [--gen N] [--engine native|timed|multichip|coop] \
-                     [--workers M] [--fault-plan S] [--canary]\n       \
+                     [--cycle-box] [--workers M] [--fault-plan S] [--canary]\n       \
                      stress --serve [--seed N] [--jobs N] [--fault-frac F] \
                      [--pool-workers M] [--sched rr|fair] [--panic-pe P]\n\
                      Replays the stress program generated by (seed, case, gen) on \
@@ -158,6 +164,11 @@ fn parse_args() -> Args {
                      --engine coop multiplexes the PEs over --workers OS threads \
                      (0 = auto) for 256–1024-PE oversubscription runs, with the \
                      stall window scaled accordingly.\n\
+                     --cycle-box (timed/multichip only) selects the lockstep \
+                     cycle-box scheduling discipline instead of exact \
+                     event-driven order; the replay hint carries it, because \
+                     the two modes take different schedules to the same \
+                     final state.\n\
                      --fault-plan S installs the seeded fault plan S first.\n\
                      --canary reintroduces the pre-fix blocking protocol sends.\n\
                      --serve drives the multi-tenant server pool with an open-loop \
@@ -180,6 +191,10 @@ fn parse_args() -> Args {
     // installation runs. The multichip engine splits the job across
     // exactly 2 simulated chips with npes/2 PEs on each, so an odd PE
     // count cannot be laid out.
+    if args.cycle_box && !matches!(args.engine, Engine::Timed | Engine::Multichip) {
+        eprintln!("--cycle-box selects a virtual-time scheduling discipline; it needs --engine timed or --engine multichip");
+        std::process::exit(2);
+    }
     if args.engine == Engine::Multichip && !args.pes.is_multiple_of(2) {
         eprintln!(
             "--engine multichip splits the PE count evenly across 2 chips; \
@@ -265,10 +280,14 @@ fn main() -> ExitCode {
         let depth = args.depth.unwrap_or(0);
         let canary = if args.canary { " --canary" } else { "" };
         let gen = if args.gen != GEN_V1 { format!(" --gen {}", args.gen) } else { " --gen 1".into() };
+        // The scheduling discipline is part of the replay identity: the
+        // two modes reach the same final state along different
+        // schedules, so the hint must pin the one that failed.
+        let cb = if args.cycle_box { " --cycle-box" } else { "" };
         let engine = match args.engine {
             Engine::Native => String::new(),
-            Engine::Timed => " --engine timed".into(),
-            Engine::Multichip => " --engine multichip".into(),
+            Engine::Timed => format!(" --engine timed{cb}"),
+            Engine::Multichip => format!(" --engine multichip{cb}"),
             Engine::Coop => format!(" --engine coop --workers {}", args.workers),
         };
         let fp = match args.fault_plan {
@@ -280,13 +299,18 @@ fn main() -> ExitCode {
             args.seed, args.case, args.pes, depth
         )
     };
+    let timed_mode = if args.cycle_box {
+        TimedMode::cycle_box()
+    } else {
+        TimedMode::EventDriven
+    };
     let outcome = match args.engine {
         Engine::Native => {
             run_watched(&prog, args.depth, Duration::from_secs(args.stall_secs), &hint)
         }
-        Engine::Timed => run_timed(&prog, args.depth, &hint),
+        Engine::Timed => run_timed_mode(&prog, args.depth, timed_mode, &hint),
         // Odd PE counts were rejected in parse_args, before anything ran.
-        Engine::Multichip => run_multichip(&prog, args.depth, &hint),
+        Engine::Multichip => run_multichip_mode(&prog, args.depth, timed_mode, &hint),
         Engine::Coop => run_coop(
             &prog,
             args.depth,

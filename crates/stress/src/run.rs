@@ -18,7 +18,7 @@ use tshmem::prelude::*;
 use tshmem::runtime::{
     launch_coop_watched, launch_multichip_watched, launch_timed_watched, launch_watched,
 };
-use tshmem::{BlockedOn, JobWatch, TimedWatch};
+use tshmem::{BlockedOn, JobWatch, TimedMode, TimedWatch};
 
 use crate::oracle::oracle;
 use crate::program::{
@@ -539,8 +539,21 @@ where
 /// the attached [`TimedWatch`] renders the per-PE diagnosis. Oracle
 /// mismatches still propagate as panics.
 pub fn run_timed(prog: &Program, depth: Option<usize>, replay_hint: &str) -> Outcome {
+    run_timed_mode(prog, depth, TimedMode::EventDriven, replay_hint)
+}
+
+/// [`run_timed`] with an explicit scheduling discipline — cycle-box
+/// replays pass [`TimedMode::cycle_box`] here, and the replay hint is
+/// expected to carry `--cycle-box` so the seed line reproduces the same
+/// schedule.
+pub fn run_timed_mode(
+    prog: &Program,
+    depth: Option<usize>,
+    mode: TimedMode,
+    replay_hint: &str,
+) -> Outcome {
     let prog = Arc::new(prog.clone());
-    let cfg = build_cfg(&prog, depth);
+    let cfg = build_cfg(&prog, depth).with_timed_mode(mode);
     let watch = Arc::new(TimedWatch::new());
     let p = Arc::clone(&prog);
     match launch_timed_watched(&cfg, &watch, move |ctx| run_on_ctx(&p, ctx)) {
@@ -557,13 +570,23 @@ pub fn run_timed(prog: &Program, depth: Option<usize>, replay_hint: &str) -> Out
 /// `Dissemination` (with a note on stderr): the TMC spin barrier is a
 /// single-chip hardware primitive and the multichip backend rejects it.
 pub fn run_multichip(prog: &Program, depth: Option<usize>, replay_hint: &str) -> Outcome {
+    run_multichip_mode(prog, depth, TimedMode::EventDriven, replay_hint)
+}
+
+/// [`run_multichip`] with an explicit scheduling discipline.
+pub fn run_multichip_mode(
+    prog: &Program,
+    depth: Option<usize>,
+    mode: TimedMode,
+    replay_hint: &str,
+) -> Outcome {
     assert!(
         prog.npes.is_multiple_of(2),
         "multichip stress runs split PEs across 2 chips; need an even PE count (got {})",
         prog.npes
     );
     let prog = Arc::new(prog.clone());
-    let mut cfg = build_cfg(&prog, depth);
+    let mut cfg = build_cfg(&prog, depth).with_timed_mode(mode);
     // launch_multichip interprets cfg.npes as PEs *per chip*.
     cfg.npes = prog.npes / 2;
     if cfg.algos.barrier == BarrierAlgo::TmcSpin {

@@ -1,0 +1,82 @@
+//! Event-driven vs cycle-box final-state equivalence on seeded
+//! programs.
+//!
+//! The cycle-box discipline batches LPs into lockstep virtual-time
+//! boxes, so its interleavings (and per-PE clocks) differ from exact
+//! event-driven order — but the protocols must still converge to the
+//! **same final heap, static, collective, and atomic state**. Each run
+//! oracle-checks its own final state internally (inside `run_on_ctx`),
+//! so both runs passing proves state equivalence against the one
+//! sequential model; on top of that, each mode must be bit-deterministic
+//! across repeat runs.
+
+use stress::program::{gen_program_v, RngDraw, GEN_LATEST};
+use stress::run::{run_timed_mode, Outcome};
+use tshmem::TimedMode;
+
+const SEED: u64 = 0x7453484d454d5042;
+
+fn assert_completed(outcome: Outcome, label: &str) {
+    match outcome {
+        Outcome::Completed => {}
+        Outcome::Stalled(report) => panic!("{label}: stalled:\n{report}"),
+    }
+}
+
+#[test]
+fn both_modes_converge_to_the_oracle_on_seeded_programs() {
+    for (case, npes, depth) in [(0u64, 6usize, None), (1, 8, Some(2)), (2, 5, None), (3, 12, None)]
+    {
+        let prog = gen_program_v(&mut RngDraw::new(SEED, case), npes, GEN_LATEST);
+        for (mode, flag) in [
+            (TimedMode::EventDriven, ""),
+            (TimedMode::cycle_box(), " --cycle-box"),
+        ] {
+            let hint = format!(
+                "cargo run -p stress -- --seed {SEED:#x} --case {case} --pes {npes} \
+                 --depth {} --gen {GEN_LATEST} --engine timed{flag}",
+                depth.unwrap_or(0)
+            );
+            assert_completed(
+                run_timed_mode(&prog, depth, mode, &hint),
+                &format!("case {case} npes {npes} mode{flag}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn cycle_box_is_deterministic_and_tick_width_does_not_change_state() {
+    // Determinism: identical runs stall/complete identically (both
+    // oracle-checked). Tick-robustness: a much coarser box still
+    // converges — the discipline changes performance, never outcomes.
+    let prog = gen_program_v(&mut RngDraw::new(SEED, 4), 7, GEN_LATEST);
+    let hint = format!(
+        "cargo run -p stress -- --seed {SEED:#x} --case 4 --pes 7 --depth 0 \
+         --gen {GEN_LATEST} --engine timed --cycle-box"
+    );
+    for _ in 0..2 {
+        assert_completed(
+            run_timed_mode(&prog, None, TimedMode::cycle_box(), &hint),
+            "7 PEs cycle-box",
+        );
+    }
+    assert_completed(
+        run_timed_mode(&prog, None, TimedMode::CycleBox { tick_ns: 50_000 }, &hint),
+        "7 PEs coarse cycle-box",
+    );
+}
+
+#[test]
+fn multichip_cycle_box_converges() {
+    use stress::run::run_multichip_mode;
+    let prog = gen_program_v(&mut RngDraw::new(SEED, 5), 8, GEN_LATEST);
+    let hint = format!(
+        "cargo run -p stress -- --seed {SEED:#x} --case 5 --pes 8 --depth 0 \
+         --gen {GEN_LATEST} --engine multichip --cycle-box"
+    );
+    assert_completed(
+        run_multichip_mode(&prog, None, TimedMode::cycle_box(), &hint),
+        "8 PEs multichip cycle-box",
+    );
+}

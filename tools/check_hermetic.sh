@@ -163,6 +163,47 @@ print("server suite smoke: schema OK")
 PYEOF
 rm -f BENCH_server_smoke.json
 
+echo "== timed suite smoke (event core + virtual-time barriers, schema-checked) =="
+# The timed-engine suite must run to completion — a 1024-PE (2048-LP)
+# timed barrier finishing in both scheduling disciplines is part of the
+# check — and emit well-formed JSON with both event cores and both
+# disciplines measured. Ratios are reported vs the committed
+# BENCH_timed.json and the hand-measured pre-refactor baseline in
+# BENCH_timed_baseline.json, not enforced in the smoke.
+./target/release/microbench --timed-suite --quick --out BENCH_timed_smoke.json
+python3 - <<'PYEOF'
+import json
+with open("BENCH_timed_smoke.json") as f:
+    doc = json.load(f)
+for key in ("suite", "quick", "event_core", "barriers"):
+    assert key in doc, f"BENCH_timed_smoke.json missing key: {key}"
+assert doc["suite"] == "timed"
+chains = sorted(e["chains"] for e in doc["event_core"]["entries"])
+assert chains == [256, 1024, 16384], f"unexpected chain scales: {chains}"
+for e in doc["event_core"]["entries"]:
+    for k in ("calendar_events_per_sec", "heap_events_per_sec"):
+        assert e[k] > 0, f"{e['chains']} chains: non-positive {k}"
+scales = sorted(e["npes"] for e in doc["barriers"]["entries"])
+assert scales == [64, 256, 1024], f"unexpected barrier scales: {scales}"
+for e in doc["barriers"]["entries"]:
+    for k in ("event_driven_ns_per_op", "cycle_box_ns_per_op"):
+        assert e[k] > 0, f"{e['npes']} PEs: non-positive {k}"
+    print(f"  {e['npes']:5d} PEs  cb/ed {e['cycle_box_over_event_driven']:.3f}")
+try:
+    with open("BENCH_timed_baseline.json") as f:
+        base = json.load(f)["barrier_ns_per_op"]
+    for e in doc["barriers"]["entries"]:
+        b = base.get(str(e["npes"]), 0)
+        if b > 0:
+            print(f"  {e['npes']:5d} PEs  engine speedup vs pre-refactor: "
+                  f"ed {b / e['event_driven_ns_per_op']:.2f}x  "
+                  f"cb {b / e['cycle_box_ns_per_op']:.2f}x")
+except FileNotFoundError:
+    print("  (no BENCH_timed_baseline.json to compare against)")
+print("timed suite smoke: schema OK")
+PYEOF
+rm -f BENCH_timed_smoke.json
+
 echo "== server fault-mix smoke (open-loop serve, seeded hostile tenants) =="
 # A short serve run with seeded panics and wedges: every healthy job
 # must complete oracle-clean and every hostile one must resolve in its
@@ -178,19 +219,26 @@ echo "== server PanicPe canary (one-shot caught-class fault) =="
 cargo run -q --offline --release -p stress -- \
     --serve --jobs 8 --panic-pe 1 --seed 0x55
 
-echo "== hot-path allocation allowlist (rma / barrier / coop / hier / server) =="
+echo "== hot-path allocation allowlist (rma / barrier / coop / hier / server / desim) =="
 # The RMA and barrier hot paths are allocation-free by design, and the
-# M:N scheduler and hierarchical collectives stay on that diet: any
-# `to_vec()` or `vec![` there must carry a `// cold:` justification on
-# the same line or one of the two lines above it.
+# M:N scheduler, hierarchical collectives, and the timed-engine event
+# core stay on that diet: any `to_vec()` or `vec![` there must carry a
+# `// cold:` justification on the same line or one of the two lines
+# above it.
 python3 - <<'PYEOF'
 import re, sys
 bad = []
 for path in ("crates/core/src/rma.rs", "crates/core/src/sync/barrier.rs",
              "crates/core/src/engine/coop.rs",
              "crates/core/src/collectives/hier.rs",
-             "crates/core/src/server/pool.rs"):
+             "crates/core/src/server/pool.rs",
+             "crates/desim/src/events.rs", "crates/desim/src/coop.rs"):
     lines = open(path).read().splitlines()
+    # The diet covers runtime code only: stop at the unit-test module.
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("#[cfg(test)]"):
+            lines = lines[:i]
+            break
     for i, line in enumerate(lines):
         if re.search(r'\.to_vec\(\)|vec!\[', line) and "// cold:" not in line:
             context = lines[max(0, i - 2) : i]
