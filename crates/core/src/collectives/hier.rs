@@ -85,9 +85,38 @@ pub(crate) fn diss_rounds(n: usize) -> u32 {
 }
 
 impl ShmemCtx {
-    /// Hierarchical reduction with the default cluster width (explicit,
-    /// like [`ShmemCtx::reduce_naive`] and friends; also what the
-    /// dispatcher selects for >64-member sets).
+    /// The cluster width a hierarchical collective over `set` should
+    /// use: the backend's PE→worker block when the engine publishes a
+    /// topology hint and the set's geometry lines up with it (stride 1,
+    /// start on a block boundary) — cluster boundaries then coincide
+    /// with the coop engine's worker shards, so every intra-cluster
+    /// tree edge is a same-worker handoff and every leader sits on its
+    /// own worker. Falls back to the span-≤[`CLUSTER`] default
+    /// otherwise (native/timed/multichip engines, strided sets,
+    /// locality knob off).
+    pub(crate) fn cluster_width(&self, set: &ActiveSet) -> usize {
+        match self.fab.topology_block() {
+            Some(b) if set.log2_stride == 0 && set.start.is_multiple_of(b) => b,
+            _ => CLUSTER,
+        }
+    }
+
+    /// Whether clusters of width `cs` over `set` coincide exactly with
+    /// the engine's worker shards — i.e. `cs` *is* the published
+    /// topology block and the set's geometry lines up with it, so every
+    /// member of a cluster (including a short trailing one) shares its
+    /// leader's worker. This is the precondition for the counter-cell
+    /// barrier transport; an explicit `cs` that merely equals 32 on a
+    /// non-topology engine stays on the message path.
+    pub(crate) fn shard_aligned(&self, set: &ActiveSet, cs: usize) -> bool {
+        self.fab.topology_block() == Some(cs)
+            && set.log2_stride == 0
+            && set.start.is_multiple_of(cs)
+    }
+
+    /// Hierarchical reduction with the topology-aligned cluster width
+    /// (explicit, like [`ShmemCtx::reduce_naive`] and friends; also
+    /// what the dispatcher selects for >64-member sets).
     pub fn reduce_hier<T: Reducible>(
         &self,
         op: ReduceOp,
@@ -97,7 +126,8 @@ impl ShmemCtx {
         set: ActiveSet,
         rank: usize,
     ) {
-        self.reduce_hier_with(op, dest, source, nreduce, set, rank, CLUSTER);
+        let cs = self.cluster_width(&set);
+        self.reduce_hier_with(op, dest, source, nreduce, set, rank, cs);
     }
 
     /// [`ShmemCtx::reduce_hier`] with an explicit cluster width, so the
@@ -196,7 +226,7 @@ impl ShmemCtx {
         self.barrier(set);
     }
 
-    /// Hierarchical broadcast with the default cluster width.
+    /// Hierarchical broadcast with the topology-aligned cluster width.
     pub fn broadcast_hier<T: Bits>(
         &self,
         dest: &Sym<T>,
@@ -205,7 +235,8 @@ impl ShmemCtx {
         root_rank: usize,
         set: ActiveSet,
     ) {
-        self.broadcast_hier_with(dest, source, nelems, root_rank, set, CLUSTER);
+        let cs = self.cluster_width(&set);
+        self.broadcast_hier_with(dest, source, nelems, root_rank, set, cs);
     }
 
     /// [`ShmemCtx::broadcast_hier`] with an explicit cluster width.

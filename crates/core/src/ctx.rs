@@ -157,6 +157,12 @@ pub struct Stats {
     /// Explicit `shmem_quiet` calls (the internal completion drains run
     /// by barriers and collectives do not count here).
     pub quiets: u64,
+    /// Would-be-redirected operations that instead took a co-resident
+    /// locality bypass (coop engine, same-worker direct copies). The
+    /// locality equivalence suite compares Stats with `redirected` and
+    /// `locality_hits` excluded — locality legitimately converts the
+    /// one into the other while every API-visible counter stays equal.
+    pub locality_hits: u64,
 }
 
 /// Sequence-number namespaces for collective completion flags.

@@ -35,7 +35,7 @@
 //! single-writer guarantee each lane needs.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
 
@@ -148,6 +148,32 @@ impl ShardedArena {
     }
 }
 
+/// One cache line of locality-barrier state, indexed by (leader) PE:
+/// word 0 counts member arrivals, word 1 is the release epoch. Backs
+/// the counter transport of the shard-aligned hierarchical barrier
+/// (`Fabric::sync_cell_add` / `sync_cell_wait_change`); padded to a
+/// line so neighboring leaders' cells never false-share. `waiters`
+/// holds contexts parked in `sync_cell_wait_change` with their gate
+/// released — `sync_cell_notify` unparks them all in one sweep, so a
+/// 511-member cluster release costs one broadcast, not 511 messages.
+#[repr(align(64))]
+pub struct SyncCell {
+    pub words: [AtomicU64; 2],
+    /// Parked waiters per word — separate lists so the last-arrival
+    /// notify aimed at the leader (word 0) does not spuriously wake a
+    /// cluster of members parked on the epoch (word 1).
+    waiters: [Mutex<Vec<std::thread::Thread>>; 2],
+}
+
+impl Default for SyncCell {
+    fn default() -> Self {
+        Self {
+            words: Default::default(),
+            waiters: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+        }
+    }
+}
+
 /// Shared, immutable state of one cooperative launch.
 pub struct CoopShared {
     pub arena: ShardedArena,
@@ -156,6 +182,9 @@ pub struct CoopShared {
     pub workers: usize,
     /// PEs per worker (`ceil(npes / workers)`).
     pub block: usize,
+    /// Locality-barrier cells, one per PE (only leader PEs' cells are
+    /// ever touched, but indexing by global PE keeps lookup trivial).
+    pub sync_cells: Vec<SyncCell>,
     pub partition_bytes: usize,
     pub device: tile_arch::device::Device,
     pub start: FastClock,
@@ -188,6 +217,15 @@ impl CoopShared {
     /// `true` while context `ctx` holds its worker's gate.
     pub fn is_holding(&self, ctx: usize) -> bool {
         self.holding[ctx].load(Ordering::Relaxed)
+    }
+
+    /// Whether PEs `a` and `b` are multiplexed on the same worker —
+    /// they share an admission gate (so at most one of their contexts
+    /// runs at a time) and one arena shard. Pure geometry: the block
+    /// sharding assigns PE `p` to worker `p / block`.
+    #[inline]
+    pub fn co_resident(&self, a: usize, b: usize) -> bool {
+        a / self.block == b / self.block
     }
 
     /// Acquire the worker gate for `ctx`, parking until admitted. While
@@ -699,6 +737,134 @@ impl Fabric for CoopFabric {
         self.private().raw(off, len)
     }
 
+    fn co_resident(&self, pe: usize) -> bool {
+        crate::fault::coop_locality() && self.shared.co_resident(self.pe, pe)
+    }
+
+    fn topology_block(&self) -> Option<usize> {
+        crate::fault::coop_locality().then_some(self.shared.block)
+    }
+
+    fn udn_recv_local(&self, queue: usize) -> ProtoMsg {
+        // The expected sender shares this worker: stay runnable and
+        // yield the gate between polls instead of parking in the
+        // channel condvar — FIFO admission runs the sibling (which
+        // sends and satisfies this receive) within one gate rotation,
+        // skipping a condvar park + unpark round trip per message.
+        // Bounded and cheap: a wrong hint (sender fault-delayed, knob
+        // flipped between launches) falls back to the parked receive
+        // after a few gate rotations, so the hint costs at most bounded
+        // spinning, never liveness. Under deep oversubscription every
+        // runnable-but-waiting context lengthens the gate rotation the
+        // real sender must ride, so the bound is deliberately small —
+        // whole-cluster synchronization uses the counter cells instead
+        // (`sync_cell_add`), not this hint.
+        self.set_blocked(BlockedOn::Recv { queue });
+        for attempt in 0..32u32 {
+            if let Some(p) = self.udn.try_recv(queue) {
+                self.set_blocked(BlockedOn::Running);
+                return self.accept(p);
+            }
+            self.wait_pause(attempt);
+        }
+        self.set_blocked(BlockedOn::Running);
+        self.udn_recv(queue)
+    }
+
+    fn sync_cell_add(&self, pe: usize, word: usize, delta: u64) -> u64 {
+        // AcqRel: the add publishes this PE's pre-barrier writes
+        // (Release) and, on the leader's consuming sub, carries every
+        // member's release sequence forward (Acquire) — the cells form
+        // the barrier's happens-before spine without the gate edge.
+        let v = self.shared.sync_cells[pe].words[word].fetch_add(delta, Ordering::AcqRel);
+        self.progress();
+        v
+    }
+
+    fn sync_cell_load(&self, pe: usize, word: usize) -> u64 {
+        self.shared.sync_cells[pe].words[word].load(Ordering::Acquire)
+    }
+
+    fn sync_cell_wait_change(&self, pe: usize, word: usize, old: u64) -> u64 {
+        let cell = &self.shared.sync_cells[pe];
+        // One yield-free check, then park. Gate-yielding "just in case"
+        // polls are a net loss here: a waiter that yields re-enters the
+        // FIFO and must be scheduled again merely to park, doubling its
+        // share of the rotation, while the change it hopes to catch
+        // (all siblings arriving plus the inter-leader exchange) is
+        // almost never one rotation away.
+        let cur = cell.words[word].load(Ordering::Acquire);
+        if cur != old {
+            return cur;
+        }
+        // Park with the gate released, exactly like the channel receive
+        // slow path: a parked waiter costs its worker nothing — it
+        // drops out of the gate rotation entirely until notified. The
+        // timeout bounds abort-detection latency, mirroring udn_recv.
+        self.set_blocked(BlockedOn::CellWait { pe });
+        self.gate_release();
+        let new = loop {
+            {
+                let mut w = cell.waiters[word].lock();
+                let cur = cell.words[word].load(Ordering::Acquire);
+                if cur != old {
+                    break cur;
+                }
+                // Re-arming after a timeout: drop our stale handle so
+                // the list holds each waiter once.
+                let id = std::thread::current().id();
+                w.retain(|t| t.id() != id);
+                w.push(std::thread::current());
+            }
+            std::thread::park_timeout(std::time::Duration::from_millis(250));
+            self.abort_check();
+        };
+        self.gate_reacquire();
+        self.set_blocked(BlockedOn::Running);
+        new
+    }
+
+    fn sync_cell_notify(&self, pe: usize, word: usize) {
+        let mut w = self.shared.sync_cells[pe].waiters[word].lock();
+        for t in w.drain(..) {
+            t.unpark();
+        }
+    }
+
+    fn peer_private_write(&self, pe: usize, off: usize, src: &[u8]) {
+        debug_assert!(self.shared.co_resident(self.pe, pe));
+        debug_assert!(self.shared.is_holding(self.ctx));
+        self.shared.privates[pe].write_bytes(off, src);
+        self.trace(TraceKind::Copy, pe, src.len() as u64);
+        self.progress();
+    }
+
+    fn peer_private_read(&self, pe: usize, off: usize, dst: &mut [u8]) {
+        debug_assert!(self.shared.co_resident(self.pe, pe));
+        debug_assert!(self.shared.is_holding(self.ctx));
+        self.shared.privates[pe].read_bytes(off, dst);
+        self.trace(TraceKind::Copy, pe, dst.len() as u64);
+        self.progress();
+    }
+
+    fn peer_private_to_arena(&self, pe: usize, arena_dst: usize, priv_src: usize, len: usize) {
+        debug_assert!(self.shared.co_resident(self.pe, pe));
+        debug_assert!(self.shared.is_holding(self.ctx));
+        let (shard, local) = self.shared.arena.shard(arena_dst);
+        CommonMemory::copy_between(shard, local, &self.shared.privates[pe], priv_src, len);
+        self.trace(TraceKind::Copy, pe, len as u64);
+        self.progress();
+    }
+
+    fn peer_arena_to_private(&self, pe: usize, priv_dst: usize, arena_src: usize, len: usize) {
+        debug_assert!(self.shared.co_resident(self.pe, pe));
+        debug_assert!(self.shared.is_holding(self.ctx));
+        let (shard, local) = self.shared.arena.shard(arena_src);
+        CommonMemory::copy_between(&self.shared.privates[pe], priv_dst, shard, local, len);
+        self.trace(TraceKind::Copy, pe, len as u64);
+        self.progress();
+    }
+
     fn tmc_spin_barrier(&self, set: (usize, u32, usize)) {
         let b = {
             let mut map = self.shared.spin_barriers.lock();
@@ -828,6 +994,7 @@ impl EngineBackend for CoopBackend {
             npes: cfg.npes,
             workers,
             block,
+            sync_cells: (0..cfg.npes).map(|_| SyncCell::default()).collect(),
             partition_bytes: cfg.partition_bytes,
             device: cfg.device,
             start: FastClock::new(),
@@ -950,6 +1117,52 @@ mod tests {
         assert_eq!(CoopBackend::default().resolved_workers(1), 1);
     }
 
+    /// The launch geometry as `execute` computes it: ceil block, then
+    /// trailing-empty-shard trim.
+    fn geometry(npes: usize, requested_workers: usize) -> (usize, usize) {
+        let block = npes.div_ceil(requested_workers);
+        (block, npes.div_ceil(block))
+    }
+
+    #[test]
+    fn co_resident_geometry_uneven_block() {
+        // 10 PEs over 4 workers: block = 3, shards of 3,3,3,1.
+        let (block, workers) = geometry(10, 4);
+        assert_eq!((block, workers), (3, 4));
+        let shared = gate_fixture(10, block);
+        assert!(shared.co_resident(0, 2));
+        assert!(!shared.co_resident(2, 3));
+        assert!(shared.co_resident(3, 5));
+        // PE 9 sits alone in the trailing short shard.
+        assert!(shared.co_resident(9, 9));
+        assert!(!shared.co_resident(8, 9));
+        assert_eq!(workers, shared.workers);
+    }
+
+    #[test]
+    fn co_resident_geometry_one_worker_everything_local() {
+        let (block, workers) = geometry(7, 1);
+        assert_eq!((block, workers), (7, 1));
+        let shared = gate_fixture(7, block);
+        for a in 0..7 {
+            for b in 0..7 {
+                assert!(shared.co_resident(a, b), "({a},{b}) must share the lone worker");
+            }
+        }
+    }
+
+    #[test]
+    fn co_resident_geometry_worker_per_pe_nothing_local() {
+        let (block, workers) = geometry(6, 6);
+        assert_eq!((block, workers), (1, 6));
+        let shared = gate_fixture(6, block);
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(shared.co_resident(a, b), a == b, "({a},{b})");
+            }
+        }
+    }
+
     #[test]
     fn gate_admits_fifo_and_hands_off_directly() {
         use std::sync::atomic::AtomicUsize;
@@ -985,6 +1198,7 @@ mod tests {
             npes,
             workers,
             block,
+            sync_cells: (0..npes).map(|_| SyncCell::default()).collect(),
             partition_bytes: 4096,
             device: tile_arch::device::Device::tile_gx8036(),
             start: FastClock::new(),

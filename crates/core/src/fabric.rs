@@ -97,6 +97,11 @@ pub enum BlockedOn {
     /// it is making no progress only because M < N, not because its
     /// protocol is wedged.
     Descheduled,
+    /// Parked on the locality sync cell owned by `pe` (counter
+    /// transport of the shard-aligned hierarchical barrier): a member
+    /// waiting for the release epoch, or a leader waiting for member
+    /// arrivals.
+    CellWait { pe: usize },
 }
 
 impl BlockedOn {
@@ -113,6 +118,7 @@ impl BlockedOn {
             BlockedOn::LockWait { offset } => (4 << 56) | offset as u64,
             BlockedOn::Handler { tag, src } => (5 << 56) | ((tag as u64) << 24) | src as u64,
             BlockedOn::Descheduled => 6 << 56,
+            BlockedOn::CellWait { pe } => (7 << 56) | pe as u64,
         }
     }
 
@@ -131,6 +137,7 @@ impl BlockedOn {
                 src: (lo & 0xff_ffff) as usize,
             },
             6 => BlockedOn::Descheduled,
+            7 => BlockedOn::CellWait { pe: lo as usize },
             _ => BlockedOn::Running,
         }
     }
@@ -148,6 +155,7 @@ impl std::fmt::Display for BlockedOn {
                 write!(f, "handler({} from PE {src})", crate::service::tag_name(*tag))
             }
             BlockedOn::Descheduled => write!(f, "descheduled (runnable)"),
+            BlockedOn::CellWait { pe } => write!(f, "cell-wait@PE{pe}"),
         }
     }
 }
@@ -331,6 +339,108 @@ pub trait Fabric: Send {
 
     /// Raw pointer into this PE's private segment.
     fn private_raw(&self, off: usize, len: usize) -> *mut u8;
+
+    // --- locality (co-resident PEs on shared-worker engines) -----------
+
+    /// Whether `pe`'s memory is directly addressable from this context
+    /// because both PEs are multiplexed on the same worker (the M:N
+    /// coop engine) — the POSH "same address space ⇒ plain memcpy"
+    /// degradation. While a context runs it holds its worker's
+    /// admission gate, and the gate handoff is a Release/Acquire edge,
+    /// so touching a co-resident sibling's memory is race-free for the
+    /// duration of the call. Engines without a worker topology keep
+    /// this default, which disables every locality fast path.
+    fn co_resident(&self, pe: usize) -> bool {
+        let _ = pe;
+        false
+    }
+
+    /// The PE→worker block size when the engine shards PEs over workers
+    /// in contiguous blocks — the cluster-width hint that lets
+    /// hierarchical collectives align their trees to the sharding.
+    /// `None` when the engine has no such topology (native, timed,
+    /// multichip).
+    fn topology_block(&self) -> Option<usize> {
+        None
+    }
+
+    /// Blocking receive with a co-residency hint: the expected sender
+    /// shares this worker, so the engine may poll-yield in-worker
+    /// instead of parking in the channel condvar. Semantically
+    /// identical to [`udn_recv`](Fabric::udn_recv) — the hint changes
+    /// only the wait strategy, and a wrong hint costs bounded spinning,
+    /// never correctness.
+    fn udn_recv_local(&self, queue: usize) -> ProtoMsg {
+        self.udn_recv(queue)
+    }
+
+    /// Atomic fetch-add on locality sync cell `(pe, word)` — word 0 is
+    /// the arrival counter, word 1 the release epoch of the counter
+    /// transport used by the shard-aligned hierarchical barrier. Only
+    /// callable when [`topology_block`](Fabric::topology_block) is
+    /// `Some` (the protocol layer gates on exactly that); engines
+    /// without a topology keep the panicking default. AcqRel, so the
+    /// cells alone carry the barrier's happens-before edges.
+    fn sync_cell_add(&self, pe: usize, word: usize, delta: u64) -> u64 {
+        let _ = (pe, word, delta);
+        unreachable!("sync_cell_add requires an engine with a worker topology")
+    }
+
+    /// Acquire load of locality sync cell `(pe, word)`; see
+    /// [`sync_cell_add`](Fabric::sync_cell_add).
+    fn sync_cell_load(&self, pe: usize, word: usize) -> u64 {
+        let _ = (pe, word);
+        unreachable!("sync_cell_load requires an engine with a worker topology")
+    }
+
+    /// Block until cell `(pe, word)` reads something other than `old`,
+    /// returning the new value. Wakeups ride
+    /// [`sync_cell_notify`](Fabric::sync_cell_notify) — a change
+    /// without a notify may be observed late (the barrier protocol only
+    /// notifies on the transitions its waiters care about), but a
+    /// notified change is always observed. The engine may briefly
+    /// poll-yield before parking the context.
+    fn sync_cell_wait_change(&self, pe: usize, word: usize, old: u64) -> u64 {
+        let _ = (pe, word, old);
+        unreachable!("sync_cell_wait_change requires an engine with a worker topology")
+    }
+
+    /// Wake every context parked in
+    /// [`sync_cell_wait_change`](Fabric::sync_cell_wait_change) on
+    /// word `word` of `pe`'s cell; each woken waiter re-checks its own
+    /// condition.
+    fn sync_cell_notify(&self, pe: usize, word: usize) {
+        let _ = (pe, word);
+        unreachable!("sync_cell_notify requires an engine with a worker topology")
+    }
+
+    /// Write into co-resident PE `pe`'s private segment. Callable only
+    /// while [`co_resident`](Fabric::co_resident)`(pe)` holds; engines
+    /// that never report co-residency keep the panicking default.
+    fn peer_private_write(&self, pe: usize, off: usize, src: &[u8]) {
+        let _ = (pe, off, src);
+        unreachable!("peer_private_write requires co_resident(pe)");
+    }
+
+    /// Read from co-resident PE `pe`'s private segment.
+    fn peer_private_read(&self, pe: usize, off: usize, dst: &mut [u8]) {
+        let _ = (pe, off, dst);
+        unreachable!("peer_private_read requires co_resident(pe)");
+    }
+
+    /// One-`memcpy` transfer from co-resident PE `pe`'s private segment
+    /// into the arena (the locality bypass of a redirected get).
+    fn peer_private_to_arena(&self, pe: usize, arena_dst: usize, priv_src: usize, len: usize) {
+        let _ = (pe, arena_dst, priv_src, len);
+        unreachable!("peer_private_to_arena requires co_resident(pe)");
+    }
+
+    /// One-`memcpy` transfer from the arena into co-resident PE `pe`'s
+    /// private segment (the locality bypass of a redirected put).
+    fn peer_arena_to_private(&self, pe: usize, priv_dst: usize, arena_src: usize, len: usize) {
+        let _ = (pe, priv_dst, arena_src, len);
+        unreachable!("peer_arena_to_private requires co_resident(pe)");
+    }
 
     /// The TMC spin barrier over an active set (Figure 5's primitive;
     /// TSHMEM can adopt it for `barrier_all` on TILE-Gx — Section IV-E).

@@ -63,6 +63,25 @@ pub fn rma_fast_paths() -> bool {
     !RMA_FAST_PATHS_OFF.load(Ordering::Relaxed)
 }
 
+static COOP_LOCALITY_OFF: AtomicBool = AtomicBool::new(false);
+
+/// Disable the coop engine's locality awareness (same-worker RMA fast
+/// paths, co-resident recv hints, shard-aligned cluster construction)
+/// so every transfer takes the engine-agnostic channel/protocol path.
+/// **Equivalence testing only**: the locality-aware and locality-blind
+/// paths must produce identical memory state and identical API-level
+/// `Stats`, and the locality suite proves it by running the same seeded
+/// program both ways.
+pub fn set_coop_locality(on: bool) {
+    COOP_LOCALITY_OFF.store(!on, Ordering::Release);
+}
+
+/// Whether coop locality awareness is enabled (the default).
+#[inline]
+pub fn coop_locality() -> bool {
+    !COOP_LOCALITY_OFF.load(Ordering::Relaxed)
+}
+
 static NBI_EAGER: AtomicBool = AtomicBool::new(false);
 
 /// Complete every non-blocking RMA op immediately at issue instead of

@@ -91,8 +91,8 @@ pub use fabric::{BlockedOn, PeProbe};
 pub use fault::{Fault, FaultPlan};
 pub use runtime::{
     launch, launch_coop, launch_coop_watched, launch_multichip, launch_multichip_watched,
-    launch_timed, launch_timed_watched, launch_watched, start_pes, Launcher, RuntimeConfig,
-    TimedMode, TimedOutcome,
+    launch_timed, launch_timed_watched, launch_watched, resolve_coop_workers, start_pes, Launcher,
+    RuntimeConfig, TimedMode, TimedOutcome,
 };
 pub use rma::SignalOp;
 pub use server::{

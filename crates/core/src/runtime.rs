@@ -422,6 +422,15 @@ where
     Launcher::new(cfg, CoopBackend { workers, ..Default::default() }).run(f).values
 }
 
+/// The worker count (M) a coop launch of `npes` PEs actually runs on
+/// when `requested` workers were asked for (`0` = auto). This is the
+/// same resolution [`CoopBackend::resolved_workers`] applies inside
+/// `execute`, exposed so harnesses and benchmark emitters can record
+/// the *resolved* M — a `"workers": 0` row is meaningless across hosts.
+pub fn resolve_coop_workers(requested: usize, npes: usize) -> usize {
+    CoopBackend { workers: requested, ..Default::default() }.resolved_workers(npes)
+}
+
 /// [`launch_coop`] with a [`JobWatch`] attached — the same wall-clock
 /// watchdog as [`launch_watched`]. The watch reports the launch's
 /// oversubscription factor (`JobWatch::oversubscription`), which an

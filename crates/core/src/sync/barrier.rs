@@ -59,13 +59,15 @@ impl ShmemCtx {
             // serial) hops; upgrade them to the two-level tree. The
             // explicitly non-default choices are honored as configured.
             BarrierAlgo::Ring | BarrierAlgo::Dissemination if set.size > hier::FLAT_MAX => {
-                self.barrier_hier(set, rank, hier::CLUSTER)
+                self.barrier_hier(set, rank, self.cluster_width(&set))
             }
             BarrierAlgo::Ring => self.barrier_ring(set, rank),
             BarrierAlgo::RootBroadcast => self.barrier_root_broadcast(set, rank),
             BarrierAlgo::TmcSpin => self.fab.tmc_spin_barrier(set.triplet()),
             BarrierAlgo::Dissemination => self.barrier_dissemination(set, rank),
-            BarrierAlgo::Hierarchical => self.barrier_hier(set, rank, hier::CLUSTER),
+            BarrierAlgo::Hierarchical => {
+                self.barrier_hier(set, rank, self.cluster_width(&set))
+            }
         }
     }
 
@@ -100,9 +102,10 @@ impl ShmemCtx {
         }
     }
 
-    /// Explicit hierarchical barrier (for the scaling benches).
+    /// Explicit hierarchical barrier (for the scaling benches), at the
+    /// topology-aligned cluster width.
     pub fn barrier_hier_explicit(&self, set: ActiveSet) {
-        self.barrier_hier_with(set, hier::CLUSTER);
+        self.barrier_hier_with(set, self.cluster_width(&set));
     }
 
     /// [`ShmemCtx::barrier_hier_explicit`] with an explicit cluster
@@ -128,6 +131,9 @@ impl ShmemCtx {
     /// under [`ShmemCtx::recv_matching`]'s stashing — the same argument
     /// as the flat dissemination rounds.
     fn barrier_hier(&self, set: ActiveSet, rank: usize, cs: usize) {
+        if self.shard_aligned(&set, cs) {
+            return self.barrier_hier_cells(set, rank, cs);
+        }
         let id = set.ident();
         let n = set.size;
         let c = rank / cs;
@@ -135,7 +141,10 @@ impl ShmemCtx {
         let m = hier::cluster_size(c, cs, n);
         let nc = hier::n_clusters(n, cs);
 
-        // Gather: binomial reduction tree into the cluster leader.
+        // Gather: binomial reduction tree into the cluster leader. With
+        // shard-aligned clusters every gather edge is same-worker, so
+        // each absorbing recv carries the co-residency hint — the child
+        // is admitted by our own gate rotation, no condvar park needed.
         let mut span = 1usize;
         while span < m {
             if lr % (2 * span) == span {
@@ -144,21 +153,25 @@ impl ShmemCtx {
                 break;
             }
             if lr.is_multiple_of(2 * span) && lr + span < m {
-                self.recv_matching(Q_BARRIER, |msg: &ProtoMsg| {
+                let child = set.pe_at(c * cs + lr + span);
+                self.recv_matching_local(Q_BARRIER, self.fab.co_resident(child), |msg: &ProtoMsg| {
                     msg.tag == TAG_BAR_HGATHER && msg.payload.first() == Some(&id)
                 });
             }
             span <<= 1;
         }
 
-        // Leaders: flat dissemination over the clusters.
+        // Leaders: flat dissemination over the clusters (aligned
+        // clusters put every leader on a distinct worker, so these
+        // recvs stay on the parked path).
         if lr == 0 && nc > 1 {
             let mut dist = 1usize;
             let mut round = 0u64;
             while dist < nc {
                 let to = set.pe_at(((c + dist) % nc) * cs);
+                let from = set.pe_at(((c + nc - dist) % nc) * cs);
                 self.send_draining(to, Q_BARRIER, TAG_BAR_HDISS, &[id, round]);
-                self.recv_matching(Q_BARRIER, |msg: &ProtoMsg| {
+                self.recv_matching_local(Q_BARRIER, self.fab.co_resident(from), |msg: &ProtoMsg| {
                     msg.tag == TAG_BAR_HDISS
                         && msg.payload.first() == Some(&id)
                         && msg.payload.get(1) == Some(&round)
@@ -169,9 +182,11 @@ impl ShmemCtx {
             debug_assert_eq!(round, u64::from(hier::diss_rounds(nc)));
         }
 
-        // Release: binomial broadcast tree back down the cluster.
+        // Release: binomial broadcast tree back down the cluster (the
+        // parent is same-worker under aligned clusters — hint as above).
         if lr > 0 {
-            self.recv_matching(Q_BARRIER, |msg: &ProtoMsg| {
+            let parent = set.pe_at(c * cs + hier::bcast_parent(lr));
+            self.recv_matching_local(Q_BARRIER, self.fab.co_resident(parent), |msg: &ProtoMsg| {
                 msg.tag == TAG_BAR_HRELEASE && msg.payload.first() == Some(&id)
             });
         }
@@ -182,6 +197,85 @@ impl ShmemCtx {
                 self.send_draining(child, Q_BARRIER, TAG_BAR_HRELEASE, &[id]);
             }
             span <<= 1;
+        }
+    }
+
+    /// Counter transport of the hierarchical barrier, used when
+    /// clusters coincide exactly with the engine's worker shards
+    /// ([`ShmemCtx::shard_aligned`]): the intra-cluster gather and
+    /// release carry **no messages at all**. Members fetch-add their
+    /// leader's arrival cell (the last arriver notifies the parked
+    /// leader), the leader consumes `m - 1` arrivals, runs the
+    /// unchanged inter-leader dissemination over the channel (leaders
+    /// sit on distinct workers), bumps the release epoch, and wakes the
+    /// whole cluster with **one** notify sweep. Members wait on the
+    /// epoch through
+    /// [`sync_cell_wait_change`](crate::fabric::Fabric::sync_cell_wait_change)
+    /// — a short gate-yielding poll, then parked with the gate
+    /// released, so waiting members drop out of the FIFO rotation
+    /// instead of burning a thread wake per rotation per member.
+    /// Compared to the message path this removes every intra-cluster
+    /// send, packet accept, and per-edge condvar round trip — the point
+    /// of shard alignment.
+    ///
+    /// Correctness of cell reuse across instances: a member reads the
+    /// epoch *before* adding its arrival, so a release between those
+    /// two points still satisfies its wait; the leader subtracts the
+    /// arrivals it consumed *before* releasing, and no member can start
+    /// a later barrier (and re-add) until it is released from this one
+    /// — so counts from different instances, sets, or geometries never
+    /// mix. Ordering is AcqRel through the cells (see
+    /// [`crate::fabric::Fabric::sync_cell_add`]), giving the same
+    /// all-prior-writes-visible guarantee the message barrier gets from
+    /// channel edges. Every arrival and release is a counted op and
+    /// parked waiters publish [`BlockedOn::CellWait`], so the stall
+    /// watchdog both sees the barrier progressing and can name the cell
+    /// a wedged member is stuck on.
+    fn barrier_hier_cells(&self, set: ActiveSet, rank: usize, cs: usize) {
+        const ARRIVALS: usize = 0;
+        const EPOCH: usize = 1;
+        let n = set.size;
+        let c = rank / cs;
+        let lr = rank % cs;
+        let m = hier::cluster_size(c, cs, n);
+        let nc = hier::n_clusters(n, cs);
+        let leader = set.pe_at(c * cs);
+        if lr == 0 {
+            let mut cur = self.fab.sync_cell_load(leader, ARRIVALS);
+            while (cur as usize) < m - 1 {
+                cur = self.fab.sync_cell_wait_change(leader, ARRIVALS, cur);
+            }
+            // Consume exactly this instance's arrivals (wrapping add of
+            // the negation), restoring the cell for the next instance
+            // before anyone is released into it.
+            self.fab.sync_cell_add(leader, ARRIVALS, (m as u64 - 1).wrapping_neg());
+            if nc > 1 {
+                let id = set.ident();
+                let mut dist = 1usize;
+                let mut round = 0u64;
+                while dist < nc {
+                    let to = set.pe_at(((c + dist) % nc) * cs);
+                    self.send_draining(to, Q_BARRIER, TAG_BAR_HDISS, &[id, round]);
+                    self.recv_matching(Q_BARRIER, |msg: &ProtoMsg| {
+                        msg.tag == TAG_BAR_HDISS
+                            && msg.payload.first() == Some(&id)
+                            && msg.payload.get(1) == Some(&round)
+                    });
+                    dist <<= 1;
+                    round += 1;
+                }
+            }
+            self.fab.sync_cell_add(leader, EPOCH, 1);
+            self.fab.sync_cell_notify(leader, EPOCH);
+        } else {
+            let e0 = self.fab.sync_cell_load(leader, EPOCH);
+            // Only the arrival that completes the gather wakes the
+            // leader — intermediate arrivals change the count without a
+            // notify, which `sync_cell_wait_change` permits.
+            if self.fab.sync_cell_add(leader, ARRIVALS, 1) as usize == m - 2 {
+                self.fab.sync_cell_notify(leader, ARRIVALS);
+            }
+            self.fab.sync_cell_wait_change(leader, EPOCH, e0);
         }
     }
 
@@ -294,6 +388,20 @@ impl ShmemCtx {
     /// Receive from `queue`, parking mismatched messages in the stash so
     /// overlapping protocol exchanges cannot steal each other's tokens.
     pub(crate) fn recv_matching(&self, queue: usize, pred: impl Fn(&ProtoMsg) -> bool) -> ProtoMsg {
+        self.recv_matching_local(queue, false, pred)
+    }
+
+    /// [`ShmemCtx::recv_matching`] with a co-residency hint: when
+    /// `local` is true the expected sender shares this PE's worker, so
+    /// the engine waits with [`crate::fabric::Fabric::udn_recv_local`]
+    /// (poll + gate yield) instead of the parked receive. Purely a wait-strategy
+    /// hint — a wrong `local` is slower, never wrong.
+    pub(crate) fn recv_matching_local(
+        &self,
+        queue: usize,
+        local: bool,
+        pred: impl Fn(&ProtoMsg) -> bool,
+    ) -> ProtoMsg {
         {
             let mut stash = self.stash.borrow_mut();
             if let Some(i) = stash.iter().position(&pred) {
@@ -304,7 +412,11 @@ impl ShmemCtx {
             }
         }
         loop {
-            let msg = self.fab.udn_recv(queue);
+            let msg = if local {
+                self.fab.udn_recv_local(queue)
+            } else {
+                self.fab.udn_recv(queue)
+            };
             if pred(&msg) {
                 return msg;
             }

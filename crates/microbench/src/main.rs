@@ -13,13 +13,18 @@
 //! and the strided fast path sit on the measured path; `putget_*` is
 //! the combined put+get workload the tracing ablation compares.
 //!
-//! `--coop-suite` is the scaling companion: flat dissemination vs
-//! hierarchical world barriers at 64/256/1024 PEs on the cooperative
-//! M:N engine, written to `BENCH_coop.json`. It exists to show the
-//! crossover the hierarchical algorithms were built for — past 64 PEs
-//! flat dissemination sends `n·⌈log₂ n⌉` messages per barrier while the
-//! hierarchical gather/dissemination/release sends `~2n + nc·⌈log₂ nc⌉`,
-//! and on an oversubscribed box wall time tracks message count.
+//! `--coop-suite` is the scaling companion: a locality ablation at
+//! 64/256/1024 PEs on the cooperative M:N engine, written to
+//! `BENCH_coop.json`. Each scale runs twice — once with the co-resident
+//! fast paths disabled (`fault::set_coop_locality(false)`), measuring
+//! flat dissemination plus the span-32 hierarchical barrier and reduce
+//! (the committed pre-locality trajectory's geometry), and once with
+//! locality on (the default), measuring the shard-aligned
+//! `barrier_hier_local` / `reduce_hier_local` rows where cluster
+//! boundaries coincide with the PE→worker shards and every intra-cluster
+//! edge is a same-worker direct copy. `hier_over_flat` < 1 shows the
+//! hierarchy crossover the algorithms were built for; `local_speedup`
+//! > 1 shows the same-worker fast paths beating the channel path.
 //!
 //! Numbers are wall-clock on whatever machine runs the gate (CI boxes
 //! are often single-core, so collective latencies are context-switch
@@ -30,7 +35,7 @@
 use std::time::{Duration, Instant};
 
 use tshmem::runtime::launch_coop;
-use tshmem::{launch, ActiveSet, JobSpec, RuntimeConfig, Server, ServerConfig, ShmemCtx};
+use tshmem::{launch, ActiveSet, JobSpec, ReduceOp, RuntimeConfig, Server, ServerConfig, ShmemCtx};
 use tshmem_apps::fft::{fft2d_shmem, Fft2dConfig, TransposeMode};
 
 struct Args {
@@ -92,9 +97,12 @@ fn parse_args() -> Args {
                      --native-suite runs the native-engine perf suite (put/get \n\
                      bandwidth, barrier latency, reduce latency, traced-vs-untraced \n\
                      putget ablation) and writes PATH (default BENCH_native.json).\n\
-                     --coop-suite runs the M:N scaling suite: flat dissemination vs \n\
-                     hierarchical barrier at 64/256/1024 PEs on the coop engine \n\
-                     (--workers 0 = auto) and writes PATH (default BENCH_coop.json).\n\
+                     --coop-suite runs the M:N scaling suite as a locality ablation: \n\
+                     flat dissemination, span-32 hierarchical barrier/reduce (co-resident \n\
+                     fast paths off), and shard-aligned *_local rows (locality on) at \n\
+                     64/256/1024 PEs on the coop engine (--workers 0 = auto, the \n\
+                     resolved pool size is recorded) and writes PATH (default \n\
+                     BENCH_coop.json).\n\
                      --nbi-suite runs the nbi overlap ablation: blocking vs \n\
                      nbi-overlapped redirected put trains and the end-to-end 2D-FFT \n\
                      transpose in both modes on the native engine, written to PATH \n\
@@ -263,26 +271,57 @@ fn coop_timed(iters: usize, reps: usize, mut op: impl FnMut()) -> f64 {
     best
 }
 
-/// Flat dissemination vs hierarchical barrier latency at `npes` PEs on
-/// the coop engine; returns `(flat_ns, hier_ns)` for the slowest PE.
-fn bench_coop_barriers(npes: usize, workers: usize, iters: usize, reps: usize) -> (f64, f64) {
+/// u64 elements per hierarchical-reduce op — small on purpose: the
+/// suite measures tree latency, not copy bandwidth.
+const COOP_REDUCE_N: usize = 8;
+
+/// One locality arm of the coop scaling suite at `npes` PEs: the
+/// hierarchical world barrier and the hierarchical sum-reduce (plus
+/// flat dissemination when `with_flat`), slowest-PE ns/op. Each call is
+/// one `launch_coop`; the locality knob is process-global, so the
+/// caller toggles it only *between* launches.
+fn bench_coop_arms(
+    npes: usize,
+    workers: usize,
+    iters: usize,
+    reps: usize,
+    with_flat: bool,
+) -> (f64, f64, f64) {
     let cfg = RuntimeConfig::for_scale(npes);
     let per_pe = launch_coop(&cfg, workers, move |ctx| {
         let world = ActiveSet::new(0, 0, ctx.n_pes());
-        let flat = coop_timed(iters, reps, || ctx.barrier_dissemination_explicit(world));
+        let flat = if with_flat {
+            coop_timed(iters, reps, || ctx.barrier_dissemination_explicit(world))
+        } else {
+            0.0
+        };
         let hier = coop_timed(iters, reps, || ctx.barrier_hier_explicit(world));
-        (flat, hier)
+        let dest = ctx.shmalloc::<u64>(COOP_REDUCE_N);
+        let source = ctx.shmalloc::<u64>(COOP_REDUCE_N);
+        let rank = ctx.my_pe(); // world set: rank == PE number
+        let reduce = coop_timed(iters, reps, || {
+            ctx.reduce_hier(ReduceOp::Sum, &dest, &source, COOP_REDUCE_N, world, rank)
+        });
+        ctx.shfree(source);
+        ctx.shfree(dest);
+        (flat, hier, reduce)
     });
     (
         per_pe.iter().map(|p| p.0).fold(0.0, f64::max),
         per_pe.iter().map(|p| p.1).fold(0.0, f64::max),
+        per_pe.iter().map(|p| p.2).fold(0.0, f64::max),
     )
 }
 
-/// The M:N scaling suite: both world-barrier algorithms at 64, 256, and
-/// 1024 PEs multiplexed over `--workers` OS threads (0 = auto). Writes
-/// one JSON entry per scale; `hier_over_flat` < 1.0 means the
-/// hierarchical barrier beat flat dissemination at that scale.
+/// The M:N scaling suite, run as a locality ablation at 64, 256, and
+/// 1024 PEs multiplexed over `--workers` OS threads (0 = auto; the
+/// *resolved* pool size is recorded per entry). Per scale: one launch
+/// with the co-resident fast paths off (flat dissemination + span-32
+/// hierarchical barrier/reduce — the committed baseline's geometry),
+/// one with locality on (shard-aligned `*_local` rows).
+/// `hier_over_flat` < 1.0 means the hierarchical barrier beat flat
+/// dissemination; `local_speedup` > 1.0 means the shard-aligned
+/// locality path beat the span-32 channel path.
 fn run_coop_suite(args: &Args) {
     let out = args.out.clone().unwrap_or_else(|| "BENCH_coop.json".to_string());
     // (npes, iters, reps): message count per flat barrier grows as
@@ -290,31 +329,54 @@ fn run_coop_suite(args: &Args) {
     let scales: &[(usize, usize, usize)] = if args.quick {
         &[(64, 4, 2), (256, 2, 2), (1024, 1, 2)]
     } else {
-        &[(64, 10, 3), (256, 3, 2), (1024, 2, 2)]
+        &[(64, 10, 4), (256, 4, 3), (1024, 3, 3)]
     };
+    let max_pes = scales.iter().map(|s| s.0).max().unwrap();
+    let resolved = tshmem::resolve_coop_workers(args.workers, max_pes);
     eprintln!(
-        "coop suite: workers {}{}",
+        "coop suite: workers {} (resolved {resolved}){}",
         args.workers,
         if args.quick { " (quick)" } else { "" }
     );
     let mut entries = String::new();
     for (i, &(npes, iters, reps)) in scales.iter().enumerate() {
-        let (flat, hier) = bench_coop_barriers(npes, args.workers, iters, reps);
+        // Locality off first: with no topology hint the hierarchical
+        // collectives fall back to span-32 clusters, which is what the
+        // committed pre-locality trajectory measured.
+        tshmem::fault::set_coop_locality(false);
+        let (flat, hier, reduce) = bench_coop_arms(npes, args.workers, iters, reps, true);
+        // Restore the default before the locality arm (and leave it on).
+        tshmem::fault::set_coop_locality(true);
+        let (_, hier_local, reduce_local) =
+            bench_coop_arms(npes, args.workers, iters, reps, false);
+        let m = tshmem::resolve_coop_workers(args.workers, npes);
         let ratio = hier / flat;
+        let speedup = hier / hier_local;
         eprintln!(
-            "  {npes:>5} PEs  flat {flat:>14.1} ns/op  hier {hier:>14.1} ns/op  hier/flat {ratio:.3}"
+            "  {npes:>5} PEs ({m} workers)  flat {flat:>13.1}  hier {hier:>13.1}  \
+             hier_local {hier_local:>13.1} ns/op  local speedup {speedup:.2}x"
+        );
+        eprintln!(
+            "  {:>5}      reduce {reduce:>13.1}  reduce_local {reduce_local:>13.1} ns/op  \
+             ({:.2}x)",
+            "", reduce / reduce_local
         );
         entries.push_str(&format!(
-            "    {{\"npes\": {npes}, \"benchmarks\": {{\
+            "    {{\"npes\": {npes}, \"workers\": {m}, \"benchmarks\": {{\
              \"barrier_flat_dissemination\": {{\"ns_per_op\": {flat:.1}}}, \
-             \"barrier_hier\": {{\"ns_per_op\": {hier:.1}}}}}, \
-             \"hier_over_flat\": {ratio:.4}}}{}\n",
+             \"barrier_hier\": {{\"ns_per_op\": {hier:.1}}}, \
+             \"barrier_hier_local\": {{\"ns_per_op\": {hier_local:.1}}}, \
+             \"reduce_hier\": {{\"ns_per_op\": {reduce:.1}}}, \
+             \"reduce_hier_local\": {{\"ns_per_op\": {reduce_local:.1}}}}}, \
+             \"hier_over_flat\": {ratio:.4}, \
+             \"local_speedup\": {speedup:.4}}}{}\n",
             if i + 1 < scales.len() { "," } else { "" }
         ));
     }
     let json = format!(
-        "{{\n  \"suite\": \"coop\",\n  \"workers\": {},\n  \"quick\": {},\n  \"entries\": [\n{}  ]\n}}\n",
-        args.workers, args.quick, entries
+        "{{\n  \"suite\": \"coop\",\n  \"workers_requested\": {},\n  \"workers\": {},\n  \
+         \"quick\": {},\n  \"entries\": [\n{}  ]\n}}\n",
+        args.workers, resolved, args.quick, entries
     );
     std::fs::write(&out, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");

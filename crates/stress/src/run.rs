@@ -10,7 +10,7 @@
 //! [`Outcome::Stalled`] with the report and a replay hint.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use substrate::channel::{self, RecvTimeoutError};
@@ -20,7 +20,7 @@ use tshmem::runtime::{
 };
 use tshmem::{BlockedOn, JobWatch, TimedMode, TimedWatch};
 
-use crate::oracle::oracle;
+use crate::oracle::{oracle, Model};
 use crate::program::{
     chain_payload, coll_base, coll_len, collect_nelems, AuxOp, CollKind, NbiOp, Program, RmaOp,
     Step, TeamKind, CHAIN_W, COLL_L, NCTRS, NSIG, SLOTS_PER_PE, STAT_SLOTS_PER_PE,
@@ -70,8 +70,17 @@ pub fn build_cfg(prog: &Program, depth: Option<usize>) -> RuntimeConfig {
         .with_algos(algos_of(prog));
     if prog.npes <= 64 {
         // The historical stress geometry; past 64 PEs `for_scale`'s
-        // 256 KB partitions keep 1024-PE jobs inside a quarter GB.
+        // 256 KB partitions keep 256-PE jobs inside 64 MB.
         cfg = cfg.with_partition_bytes(1 << 20);
+    } else {
+        // The harness's symmetric footprint scales with npes (the
+        // data/chain/static arrays) and with the program's collective
+        // step count (`coll_len`), so a fixed 256 KB partition
+        // overflows at 1024 PEs. Grow to fit: 16 B per footprint word
+        // doubles the raw array bytes, covering allocator headers, the
+        // temp region, and the private block.
+        let words = prog.npes * (SLOTS_PER_PE + CHAIN_W + STAT_SLOTS_PER_PE) + coll_len(prog);
+        cfg = cfg.with_partition_bytes((256 * 1024).max(16 * words));
     }
     if let Some(d) = depth {
         cfg = cfg.with_bounded_udn(d);
@@ -81,7 +90,22 @@ pub fn build_cfg(prog: &Program, depth: Option<usize>) -> RuntimeConfig {
 
 /// Execute `prog` on this PE and verify its final view of every shared
 /// array against the sequential oracle.
+///
+/// Computes a private oracle model per call. Fine for the small-PE
+/// equivalence suites; large-`npes` launches should share one model
+/// across all PEs via [`run_on_ctx_shared`] — the model holds
+/// O(npes²) expectation arrays, so per-PE computation is quadratic
+/// memory *times* npes (at 1024 PEs: ~350 MB of zeroed arrays per PE,
+/// ~350 GB across a launch, which is what it cost before the launch
+/// wrappers switched to the shared variant).
 pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
+    run_on_ctx_shared(prog, ctx, &OnceLock::new())
+}
+
+/// [`run_on_ctx`] with the oracle model computed once per *launch*:
+/// the first PE to reach verification initializes the shared cell and
+/// every other PE checks against the same model.
+pub fn run_on_ctx_shared(prog: &Program, ctx: &ShmemCtx, shared_model: &OnceLock<Model>) {
     let me = ctx.my_pe();
     let npes = ctx.n_pes();
     assert_eq!(npes, prog.npes);
@@ -427,8 +451,11 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
     ctx.quiet();
     ctx.barrier_all();
 
-    // Verify this PE's entire view against the oracle.
-    let model = oracle(prog);
+    // Verify this PE's entire view against the oracle. `get_or_init`
+    // briefly blocks the other workers' running PEs while the first
+    // arrival computes the model; that pause is seconds at worst and
+    // the scaled watchdog window dwarfs it.
+    let model = shared_model.get_or_init(|| oracle(prog));
     let got_heap = ctx.local_read(&data, 0, data.len());
     assert_eq!(got_heap, model.heap[me], "PE {me}: heap copy diverged from oracle");
     let got_stat = ctx.local_read(&statv, 0, statv.len());
@@ -464,7 +491,8 @@ pub fn run_on_ctx(prog: &Program, ctx: &ShmemCtx) {
 /// Run `prog` without a watchdog (panics surface directly).
 pub fn run_plain(prog: &Program, depth: Option<usize>) {
     let cfg = build_cfg(prog, depth);
-    tshmem::launch(&cfg, |ctx| run_on_ctx(prog, ctx));
+    let cell = OnceLock::new();
+    tshmem::launch(&cfg, |ctx| run_on_ctx_shared(prog, ctx, &cell));
 }
 
 /// How often the watchdog samples the progress counter.
@@ -485,7 +513,10 @@ pub fn run_watched(
     let prog = Arc::new(prog.clone());
     let cfg = build_cfg(&prog, depth);
     let p = Arc::clone(&prog);
-    watch_native(cfg, stall, format!("replay: {replay_hint}\n"), move |ctx| run_on_ctx(&p, ctx))
+    let cell = OnceLock::new();
+    watch_native(cfg, stall, format!("replay: {replay_hint}\n"), move |ctx| {
+        run_on_ctx_shared(&p, ctx, &cell)
+    })
 }
 
 /// Run an arbitrary per-PE closure under the same native stall
@@ -512,8 +543,9 @@ pub fn run_coop(
     let prog = Arc::new(prog.clone());
     let cfg = build_cfg(&prog, depth);
     let p = Arc::clone(&prog);
+    let cell = OnceLock::new();
     watch_wall(cfg, Some(workers), stall, format!("replay: {replay_hint}\n"), move |ctx| {
-        run_on_ctx(&p, ctx)
+        run_on_ctx_shared(&p, ctx, &cell)
     })
 }
 
@@ -556,7 +588,8 @@ pub fn run_timed_mode(
     let cfg = build_cfg(&prog, depth).with_timed_mode(mode);
     let watch = Arc::new(TimedWatch::new());
     let p = Arc::clone(&prog);
-    match launch_timed_watched(&cfg, &watch, move |ctx| run_on_ctx(&p, ctx)) {
+    let cell = OnceLock::new();
+    match launch_timed_watched(&cfg, &watch, move |ctx| run_on_ctx_shared(&p, ctx, &cell)) {
         Ok(_) => Outcome::Completed,
         Err(report) => Outcome::Stalled(format!("{report}replay: {replay_hint}\n")),
     }
@@ -598,7 +631,10 @@ pub fn run_multichip_mode(
     }
     let watch = Arc::new(TimedWatch::new());
     let p = Arc::clone(&prog);
-    match launch_multichip_watched(&cfg, 2, &watch, move |ctx| run_on_ctx(&p, ctx)) {
+    let cell = OnceLock::new();
+    match launch_multichip_watched(&cfg, 2, &watch, move |ctx| {
+        run_on_ctx_shared(&p, ctx, &cell)
+    }) {
         Ok(_) => Outcome::Completed,
         Err(report) => Outcome::Stalled(format!("{report}replay: {replay_hint}\n")),
     }
@@ -619,8 +655,10 @@ pub fn resolve_coop_workers(requested: usize, pes: usize) -> usize {
     if requested != 0 {
         return requested;
     }
-    let m = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
-    m.clamp(1, pes.max(1))
+    // Auto case: one rule, owned by the backend (via the core shim), so
+    // replay hints and benchmark rows can never drift from what a
+    // launch actually runs on.
+    tshmem::resolve_coop_workers(0, pes.max(1))
 }
 
 fn watch_native<F>(cfg: RuntimeConfig, stall: Duration, trailer: String, f: F) -> Outcome

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use stress::program::{gen_program_v, RngDraw, GEN_V3};
+use stress::program::{gen_program_v, RngDraw, GEN_V3, GEN_V4};
 use stress::run::{run_coop, Outcome};
 
 const SEED: u64 = 0x7453484d454d5031;
@@ -39,6 +39,25 @@ fn coop_smoke_256_pes_no_spurious_stall_report() {
     let prog = gen_program_v(&mut RngDraw::new(SEED, 1), 256, GEN_V3);
     let hint = format!("--seed {SEED:#x} --case 1 --npes 256 --depth 0 --gen 3 --engine coop --workers 4");
     assert_completed(run_coop(&prog, None, 4, Duration::from_secs(1), &hint), "256 PEs / 4 workers");
+}
+
+#[test]
+fn coop_smoke_1024_pes() {
+    // The full ROADMAP scale on a deliberately small worker pool:
+    // 1024 PEs on 4 workers = oversubscription 256 (capped to a 64×
+    // window). A 2 s base window relies entirely on the scaled
+    // watchdog; with the locality fast paths on by default this also
+    // smoke-tests the counter-cell barrier at block = 256, where the
+    // dispatcher auto-upgrades every world barrier to hierarchical.
+    //
+    // Case 8 is chosen from the stream deliberately: its mix
+    // (TeamColl + two Colls + NbiTrain) is parallel-friendly, whereas
+    // neighboring cases draw a global Lock or token rings — n serial
+    // gate handoffs per round that cost debug-build minutes at this
+    // scale and measure the box, not the engine.
+    let prog = gen_program_v(&mut RngDraw::new(SEED, 8), 1024, GEN_V4);
+    let hint = format!("--seed {SEED:#x} --case 8 --npes 1024 --depth 0 --gen 4 --engine coop --workers 4");
+    assert_completed(run_coop(&prog, None, 4, Duration::from_secs(2), &hint), "1024 PEs / 4 workers");
 }
 
 #[test]

@@ -79,27 +79,39 @@ print("perf smoke: schema OK")
 PYEOF
 rm -f BENCH_native_smoke.json
 
+echo "== locality equivalence suite (coop fast paths on vs off) =="
+# The same-worker fast paths are transport substitutions: flipping
+# `fault::set_coop_locality` must not change final state (sequential
+# oracle) or API-level Stats on seeded gen-v4 programs. Runs inside the
+# workspace pass too; this named step keeps the ablation gate visible.
+cargo test -q --offline -p stress --test locality_equivalence
+
 echo "== scaling smoke (coop suite, 64/256/1024 PEs, schema-checked) =="
 # The M:N scaling suite must run to completion (a 1024-PE barrier
 # finishing at all is part of the check) and emit well-formed JSON with
-# both barrier algorithms measured at every scale. The hier-vs-flat
-# ratio is reported, not enforced — the committed BENCH_coop.json is
-# the reference trajectory.
+# both barrier algorithms plus the locality-on ablation rows measured
+# at every scale, and the resolved worker count recorded (never the
+# raw `0` auto-size request). Ratios are reported, not enforced — the
+# committed BENCH_coop.json is the reference trajectory.
 ./target/release/microbench --coop-suite --quick --out BENCH_coop_smoke.json
 python3 - <<'PYEOF'
 import json
 with open("BENCH_coop_smoke.json") as f:
     doc = json.load(f)
-for key in ("suite", "workers", "entries"):
+for key in ("suite", "workers", "workers_requested", "entries"):
     assert key in doc, f"BENCH_coop_smoke.json missing key: {key}"
 assert doc["suite"] == "coop"
+assert doc["workers"] > 0, "top-level workers not resolved (auto-size bug)"
 scales = sorted(e["npes"] for e in doc["entries"])
 assert scales == [64, 256, 1024], f"unexpected scales: {scales}"
 for e in doc["entries"]:
-    for name in ("barrier_flat_dissemination", "barrier_hier"):
+    assert e["workers"] > 0, f"{e['npes']} PEs: unresolved workers"
+    for name in ("barrier_flat_dissemination", "barrier_hier",
+                 "barrier_hier_local", "reduce_hier", "reduce_hier_local"):
         ns = e["benchmarks"][name]["ns_per_op"]
         assert ns > 0, f"{e['npes']} PEs {name}: non-positive ns_per_op"
-    print(f"  {e['npes']:5d} PEs  hier/flat {e['hier_over_flat']:.3f}")
+    print(f"  {e['npes']:5d} PEs  hier/flat {e['hier_over_flat']:.3f}  "
+          f"locality speedup {e['local_speedup']:.2f}x")
 print("coop scaling smoke: schema OK")
 PYEOF
 rm -f BENCH_coop_smoke.json
